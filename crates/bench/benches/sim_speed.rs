@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of the simulator itself: how fast the
+//! discrete-event machine executes representative workloads, traced
+//! and untraced. These guard the host-side performance of the
+//! reproduction (simulated-cycles-per-host-second), not the simulated
+//! timing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use cellsim::MachineConfig;
+use pdt::TracingConfig;
+use workloads::{
+    run_workload, Buffering, MatmulConfig, MatmulWorkload, StreamConfig, StreamWorkload,
+};
+
+fn bench_matmul_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/matmul128");
+    g.sample_size(10);
+    let w = MatmulWorkload::new(MatmulConfig {
+        n: 128,
+        spes: 2,
+        seed: 1,
+    });
+    g.bench_function("untraced", |b| {
+        b.iter_batched(
+            || (),
+            |()| run_workload(&w, MachineConfig::default().with_num_spes(2), None).unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("traced", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                run_workload(
+                    &w,
+                    MachineConfig::default().with_num_spes(2),
+                    Some(TracingConfig::default()),
+                )
+                .unwrap()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+fn bench_stream_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/stream");
+    g.sample_size(10);
+    for (label, buffering) in [("single", Buffering::Single), ("double", Buffering::Double)] {
+        let w = StreamWorkload::new(StreamConfig {
+            blocks: 32,
+            block_bytes: 16 * 1024,
+            buffering,
+            spes: 4,
+            ..StreamConfig::default()
+        });
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || (),
+                |()| run_workload(&w, MachineConfig::default().with_num_spes(4), None).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul_sim, bench_stream_sim);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks of the trace machinery: record
+//! encode/decode, trace-file round-trips, and analyzer throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use cellsim::{
+    LsAddr, MachineConfig, PpeThreadId, SpeJob, SpmdDriver, SpuAction, SpuScript, TagId,
+    TagWaitMode,
+};
+use pdt::{
+    decode_stream, EventCode, TraceCore, TraceFile, TraceRecord, TraceSession, TracingConfig,
+};
+
+fn sample_records(n: usize) -> Vec<TraceRecord> {
+    (0..n)
+        .map(|i| TraceRecord {
+            core: TraceCore::Spe((i % 8) as u8),
+            code: if i % 2 == 0 {
+                EventCode::SpeDmaGet
+            } else {
+                EventCode::SpeTagWaitEnd
+            },
+            timestamp: u32::MAX as u64 - i as u64,
+            params: vec![i as u64, 2, 4096, 1],
+        })
+        .collect()
+}
+
+fn bench_record_codec(c: &mut Criterion) {
+    let records = sample_records(1000);
+    let mut bytes = Vec::new();
+    for r in &records {
+        r.encode_into(&mut bytes);
+    }
+    let mut g = c.benchmark_group("trace/records");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("encode_1k", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(bytes.len());
+            for r in &records {
+                r.encode_into(&mut out);
+            }
+            black_box(out.len())
+        })
+    });
+    g.bench_function("decode_1k", |b| {
+        b.iter(|| black_box(decode_stream(black_box(&bytes)).unwrap().len()))
+    });
+    g.finish();
+}
+
+fn collected_trace() -> TraceFile {
+    let mut m = cellsim::Machine::new(MachineConfig::default().with_num_spes(4)).unwrap();
+    let session = TraceSession::install(TracingConfig::default(), &mut m).unwrap();
+    let jobs = (0..4)
+        .map(|i| {
+            let mut actions = Vec::new();
+            for k in 0..64u32 {
+                actions.push(SpuAction::DmaGet {
+                    lsa: LsAddr::new(0x8000),
+                    ea: 0x100000 + (k as u64) * 4096,
+                    size: 4096,
+                    tag: TagId::new(0).unwrap(),
+                });
+                actions.push(SpuAction::WaitTags {
+                    mask: 1,
+                    mode: TagWaitMode::All,
+                });
+                actions.push(SpuAction::Compute(1000));
+            }
+            SpeJob::new(format!("b{i}"), Box::new(SpuScript::new(actions)))
+        })
+        .collect();
+    m.set_ppe_program(PpeThreadId::new(0), Box::new(SpmdDriver::new(jobs)));
+    m.run().unwrap();
+    session.collect(&m)
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let trace = collected_trace();
+    let bytes = trace.to_bytes();
+    let mut g = c.benchmark_group("trace/analyze");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("file_roundtrip", |b| {
+        b.iter(|| {
+            let f = TraceFile::from_bytes(black_box(&bytes)).unwrap();
+            black_box(f.streams.len())
+        })
+    });
+    g.bench_function("analyze_and_stats", |b| {
+        b.iter_batched(
+            || trace.clone(),
+            |t| {
+                let a = ta::analyze(&t).unwrap();
+                black_box(ta::compute_stats(&a).spes.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("timeline_svg", |b| {
+        let a = ta::analyze(&trace).unwrap();
+        b.iter(|| {
+            let tl = ta::build_timeline(&a);
+            black_box(ta::render_svg(&tl, &ta::SvgOptions::default()).len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_record_codec, bench_analyze);
+criterion_main!(benches);

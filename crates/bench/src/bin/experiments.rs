@@ -1,0 +1,43 @@
+//! Experiment driver: `experiments [all|e1..e10] [--full] [--out DIR]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::{run_all, run_one, Scale};
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Quick;
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => scale = Scale::Full,
+            "--quick" => scale = Scale::Quick,
+            "--out" => match args.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: experiments [all|e1..e10 ...] [--full] [--out DIR]");
+                return ExitCode::SUCCESS;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        for out in run_all(scale, &out_dir) {
+            println!("== {} — {} ==\n{}", out.id, out.title, out.body);
+        }
+    } else {
+        for id in &ids {
+            let out = run_one(id, scale, &out_dir);
+            println!("== {} — {} ==\n{}", out.id, out.title, out.body);
+        }
+    }
+    println!("results written to {}", out_dir.display());
+    ExitCode::SUCCESS
+}

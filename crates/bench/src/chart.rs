@@ -1,0 +1,255 @@
+//! A minimal SVG line/scatter chart for the figure-style experiments.
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, in plotting order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart options.
+#[derive(Debug, Clone)]
+pub struct ChartOptions {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Plot X on a log₂ scale.
+    pub log_x: bool,
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions {
+            title: String::new(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log_x: false,
+            width: 720,
+            height: 420,
+        }
+    }
+}
+
+const COLORS: [&str; 6] = [
+    "#1565c0", "#e53935", "#43a047", "#fb8c00", "#8e24aa", "#00897b",
+];
+
+/// Renders series as an SVG line chart.
+pub fn line_chart(series: &[Series], opts: &ChartOptions) -> String {
+    let margin_l = 70.0;
+    let margin_r = 20.0;
+    let margin_t = 40.0;
+    let margin_b = 60.0;
+    let pw = opts.width as f64 - margin_l - margin_r;
+    let ph = opts.height as f64 - margin_t - margin_b;
+
+    let tx = |x: f64| if opts.log_x { x.max(1e-12).log2() } else { x };
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(x, y)| (tx(*x), *y)))
+        .collect();
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for (x, y) in &all {
+        x0 = x0.min(*x);
+        x1 = x1.max(*x);
+        y0 = y0.min(*y);
+        y1 = y1.max(*y);
+    }
+    if all.is_empty() {
+        x0 = 0.0;
+        x1 = 1.0;
+        y0 = 0.0;
+        y1 = 1.0;
+    }
+    y0 = y0.min(0.0);
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let px = |x: f64| margin_l + (tx(x) - x0) / (x1 - x0) * pw;
+    let py = |y: f64| margin_t + (1.0 - (y - y0) / (y1 - y0)) * ph;
+
+    let mut svg = format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" font-family="monospace" font-size="11">"#,
+        opts.width, opts.height
+    );
+    svg.push('\n');
+    svg.push_str(&format!(
+        r##"<rect width="{}" height="{}" fill="#ffffff"/>"##,
+        opts.width, opts.height
+    ));
+    svg.push_str(&format!(
+        r##"<text x="{}" y="20" text-anchor="middle" font-size="14" fill="#222">{}</text>"##,
+        opts.width / 2,
+        escape(&opts.title)
+    ));
+    // Axes.
+    svg.push_str(&format!(
+        r##"<line x1="{margin_l}" y1="{}" x2="{}" y2="{}" stroke="#444"/>"##,
+        margin_t + ph,
+        margin_l + pw,
+        margin_t + ph
+    ));
+    svg.push_str(&format!(
+        r##"<line x1="{margin_l}" y1="{margin_t}" x2="{margin_l}" y2="{}" stroke="#444"/>"##,
+        margin_t + ph
+    ));
+    // Y ticks.
+    for i in 0..=5 {
+        let v = y0 + (y1 - y0) * i as f64 / 5.0;
+        let y = py(v);
+        svg.push_str(&format!(
+            r##"<line x1="{}" y1="{y:.1}" x2="{margin_l}" y2="{y:.1}" stroke="#444"/><text x="{}" y="{:.1}" text-anchor="end" fill="#555">{}</text>"##,
+            margin_l - 4.0,
+            margin_l - 7.0,
+            y + 4.0,
+            fmt_num(v)
+        ));
+    }
+    // X ticks at each distinct x of the first series (sweeps are small).
+    if let Some(s0) = series.first() {
+        for (x, _) in &s0.points {
+            let xp = px(*x);
+            svg.push_str(&format!(
+                r##"<line x1="{xp:.1}" y1="{}" x2="{xp:.1}" y2="{}" stroke="#444"/><text x="{xp:.1}" y="{}" text-anchor="middle" fill="#555">{}</text>"##,
+                margin_t + ph,
+                margin_t + ph + 4.0,
+                margin_t + ph + 16.0,
+                fmt_num(*x)
+            ));
+        }
+    }
+    // Axis labels.
+    svg.push_str(&format!(
+        r##"<text x="{}" y="{}" text-anchor="middle" fill="#333">{}</text>"##,
+        margin_l + pw / 2.0,
+        opts.height as f64 - 12.0,
+        escape(&opts.x_label)
+    ));
+    svg.push_str(&format!(
+        r##"<text x="14" y="{}" text-anchor="middle" transform="rotate(-90 14 {})" fill="#333">{}</text>"##,
+        margin_t + ph / 2.0,
+        margin_t + ph / 2.0,
+        escape(&opts.y_label)
+    ));
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .enumerate()
+            .map(|(j, (x, y))| {
+                format!(
+                    "{}{:.1},{:.1}",
+                    if j == 0 { "M" } else { "L" },
+                    px(*x),
+                    py(*y)
+                )
+            })
+            .collect();
+        svg.push_str(&format!(
+            r#"<path d="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            path.join(" ")
+        ));
+        for (x, y) in &s.points {
+            svg.push_str(&format!(
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"><title>{}: ({}, {})</title></circle>"#,
+                px(*x),
+                py(*y),
+                escape(&s.label),
+                fmt_num(*x),
+                fmt_num(*y)
+            ));
+        }
+        // Legend.
+        svg.push_str(&format!(
+            r##"<rect x="{}" y="{}" width="10" height="10" fill="{color}"/><text x="{}" y="{}" fill="#333">{}</text>"##,
+            margin_l + 10.0 + 150.0 * i as f64,
+            26.0,
+            margin_l + 24.0 + 150.0 * i as f64,
+            35.0,
+            escape(&s.label)
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1_000_000.0 {
+        format!("{:.1}M", v / 1e6)
+    } else if v.abs() >= 10_000.0 {
+        format!("{:.0}k", v / 1e3)
+    } else if v.abs() >= 100.0 || (v.fract() == 0.0 && v.abs() >= 1.0) {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_series_and_legend() {
+        let s = vec![
+            Series {
+                label: "single".into(),
+                points: vec![(128.0, 1.0), (1024.0, 5.0), (16384.0, 20.0)],
+            },
+            Series {
+                label: "double".into(),
+                points: vec![(128.0, 2.0), (1024.0, 9.0), (16384.0, 24.0)],
+            },
+        ];
+        let svg = line_chart(
+            &s,
+            &ChartOptions {
+                title: "bandwidth vs size".into(),
+                log_x: true,
+                ..ChartOptions::default()
+            },
+        );
+        assert!(svg.contains("</svg>"));
+        assert!(svg.contains("single"));
+        assert!(svg.contains("double"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+    }
+
+    #[test]
+    fn empty_chart_does_not_panic() {
+        let svg = line_chart(&[], &ChartOptions::default());
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn fmt_num_ranges() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(0.5), "0.50");
+        assert_eq!(fmt_num(128.0), "128");
+        assert_eq!(fmt_num(16384.0), "16k");
+        assert_eq!(fmt_num(2_000_000.0), "2.0M");
+    }
+}

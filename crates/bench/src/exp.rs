@@ -1,0 +1,1059 @@
+//! The reconstructed paper experiments, E1–E10.
+//!
+//! Each function regenerates one table or figure of the evaluation
+//! (see `DESIGN.md` for the experiment index), writing text tables,
+//! CSVs and SVG figures into the output directory and returning the
+//! report body that `EXPERIMENTS.md` quotes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use cellsim::{CoreId, CoreState, MachineConfig, SpeId, SpuAction, SpuScript, TagId, TagWaitMode};
+use pdt::{GroupMask, TracingConfig};
+use ta::{analyze, build_timeline, compute_stats, dma_occupancy, render_svg, validate, SvgOptions};
+use workloads::{
+    run_workload, Buffering, DmaSweepConfig, DmaSweepWorkload, EventRateConfig, EventRateWorkload,
+    FftConfig, FftWorkload, MatmulConfig, MatmulWorkload, PipelineConfig, PipelineWorkload,
+    Schedule, SparseConfig, SparseWorkload, StencilConfig, StencilWorkload, StreamConfig,
+    StreamWorkload, Workload,
+};
+
+use crate::chart::{line_chart, ChartOptions, Series};
+use crate::runner::{overhead_pair, pct, Scale, Table};
+
+/// Output of one experiment.
+#[derive(Debug)]
+pub struct ExperimentOutput {
+    /// Experiment id (`e1`..`e10`).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Report body (tables + commentary).
+    pub body: String,
+    /// Files written.
+    pub files: Vec<PathBuf>,
+}
+
+fn write(out_dir: &Path, name: &str, content: &str, files: &mut Vec<PathBuf>) {
+    let path = out_dir.join(name);
+    fs::write(&path, content).expect("write experiment output");
+    files.push(path);
+}
+
+fn spes_for(scale: Scale) -> usize {
+    scale.pick(4, 8)
+}
+
+// ---------------------------------------------------------------------
+// E1 — per-event tracing cost
+// ---------------------------------------------------------------------
+
+/// E1: the cost of recording a single trace event, measured
+/// mechanically (traced minus untraced runtime divided by event count).
+pub fn e1_event_cost(scale: Scale, out_dir: &Path) -> ExperimentOutput {
+    let mut files = Vec::new();
+    let clock = cellsim::ClockSpec::CELL_3_2GHZ;
+    let n = scale.pick(500usize, 4000);
+    let mcfg = MachineConfig::default().with_num_spes(1);
+    let mut t = Table::new(&["event kind", "cycles/event", "ns/event", "notes"]);
+
+    // SPE user event.
+    let w = EventRateWorkload::new(EventRateConfig {
+        events: n,
+        gap_cycles: 2000,
+        spes: 1,
+    });
+    let p = overhead_pair(
+        &w,
+        &mcfg,
+        TracingConfig::default().with_groups(GroupMask::user_only()),
+    );
+    let per = (p.traced.report.cycles - p.base.report.cycles) as f64 / n as f64;
+    t.row(vec![
+        "spe-user (3 params)".into(),
+        format!("{per:.0}"),
+        format!("{:.1}", clock.cycles_to_ns(per as u64)),
+        "includes amortized buffer flushes".into(),
+    ]);
+
+    // SPE DMA round: issue + wait-begin + wait-end = 3 events.
+    let mut actions = Vec::new();
+    for k in 0..n {
+        actions.push(SpuAction::DmaGet {
+            lsa: cellsim::LsAddr::new(0x1000),
+            ea: 0x100000 + ((k % 64) as u64) * 128,
+            size: 128,
+            tag: TagId::new(0).unwrap(),
+        });
+        actions.push(SpuAction::WaitTags {
+            mask: 1,
+            mode: TagWaitMode::All,
+        });
+    }
+    struct DmaLoop(Vec<SpuAction>);
+    impl Workload for DmaLoop {
+        fn name(&self) -> &str {
+            "dma-loop"
+        }
+        fn stage(&self, _m: &mut cellsim::Machine) -> Box<dyn cellsim::PpeProgram> {
+            Box::new(cellsim::SpmdDriver::new(vec![cellsim::SpeJob::new(
+                "dma-loop",
+                Box::new(SpuScript::new(self.0.clone())),
+            )]))
+        }
+        fn verify(&self, _m: &cellsim::Machine) -> Result<(), String> {
+            Ok(())
+        }
+    }
+    let w = DmaLoop(actions);
+    let p = overhead_pair(
+        &w,
+        &mcfg,
+        TracingConfig::default().with_groups(GroupMask::dma_only()),
+    );
+    let per = (p.traced.report.cycles - p.base.report.cycles) as f64 / (3 * n) as f64;
+    t.row(vec![
+        "spe-dma (issue+wait pair)".into(),
+        format!("{per:.0}"),
+        format!("{:.1}", clock.cycles_to_ns(per as u64)),
+        "3 records per GET/wait round".into(),
+    ]);
+
+    // PPE user event.
+    struct PpeUserLoop(usize);
+    impl Workload for PpeUserLoop {
+        fn name(&self) -> &str {
+            "ppe-user-loop"
+        }
+        fn stage(&self, _m: &mut cellsim::Machine) -> Box<dyn cellsim::PpeProgram> {
+            let mut actions = Vec::new();
+            for i in 0..self.0 {
+                actions.push(cellsim::PpeAction::UserEvent {
+                    id: 2,
+                    a0: i as u64,
+                    a1: 0,
+                });
+            }
+            Box::new(cellsim::PpeScript::new(actions))
+        }
+        fn verify(&self, _m: &cellsim::Machine) -> Result<(), String> {
+            Ok(())
+        }
+    }
+    let w = PpeUserLoop(n);
+    let p = overhead_pair(
+        &w,
+        &mcfg,
+        TracingConfig::default().with_groups(GroupMask::user_only()),
+    );
+    let per = (p.traced.report.cycles - p.base.report.cycles) as f64 / n as f64;
+    t.row(vec![
+        "ppe-user (3 params)".into(),
+        format!("{per:.0}"),
+        format!("{:.1}", clock.cycles_to_ns(per as u64)),
+        "library call through TLS buffer".into(),
+    ]);
+
+    // Disabled-group residual.
+    let w = EventRateWorkload::new(EventRateConfig {
+        events: n,
+        gap_cycles: 2000,
+        spes: 1,
+    });
+    let p = overhead_pair(
+        &w,
+        &mcfg,
+        TracingConfig::default().with_groups(GroupMask::NONE),
+    );
+    let per = (p.traced.report.cycles - p.base.report.cycles) as f64 / n as f64;
+    t.row(vec![
+        "disabled group (mask check)".into(),
+        format!("{per:.0}"),
+        format!("{:.1}", clock.cycles_to_ns(per as u64)),
+        "tracing compiled in, group off".into(),
+    ]);
+
+    let body = format!("E1 — cost of recording one trace event\n\n{}", t.render());
+    write(out_dir, "e1_event_cost.txt", &body, &mut files);
+    write(out_dir, "e1_event_cost.csv", &t.to_csv(), &mut files);
+    ExperimentOutput {
+        id: "e1",
+        title: "Per-event tracing cost",
+        body,
+        files,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E2 — application tracing overhead
+// ---------------------------------------------------------------------
+
+fn e2_apps(scale: Scale) -> Vec<(String, Box<dyn Workload>, MachineConfig)> {
+    let s = spes_for(scale);
+    let mcfg = |n: usize| MachineConfig::default().with_num_spes(n);
+    vec![
+        (
+            "matmul".into(),
+            Box::new(MatmulWorkload::new(MatmulConfig {
+                n: scale.pick(192, 512),
+                spes: s,
+                seed: 7,
+            })) as Box<dyn Workload>,
+            mcfg(s),
+        ),
+        (
+            "fft".into(),
+            Box::new(FftWorkload::new(FftConfig {
+                n1: scale.pick(32, 64),
+                n2: scale.pick(32, 64),
+                spes: s,
+                seed: 31,
+            })),
+            mcfg(s),
+        ),
+        (
+            "stream".into(),
+            Box::new(StreamWorkload::new(StreamConfig {
+                blocks: scale.pick(32, 256),
+                block_bytes: 16 * 1024,
+                buffering: Buffering::Double,
+                spes: s,
+                ..StreamConfig::default()
+            })),
+            mcfg(s),
+        ),
+        (
+            "pipeline".into(),
+            Box::new(PipelineWorkload::new(PipelineConfig {
+                blocks: scale.pick(16, 64),
+                pairs: s / 2,
+                ..PipelineConfig::default()
+            })),
+            mcfg(s),
+        ),
+        (
+            "sparse".into(),
+            Box::new(SparseWorkload::new(SparseConfig {
+                rows: scale.pick(1024, 4096),
+                schedule: Schedule::Dynamic,
+                spes: s,
+                cycles_per_nnz: 40,
+                ..SparseConfig::default()
+            })),
+            mcfg(s),
+        ),
+        (
+            "stencil".into(),
+            Box::new(StencilWorkload::new(StencilConfig {
+                n: scale.pick(64, 128),
+                iters: scale.pick(4, 8),
+                spes: s.min(4),
+                seed: 77,
+            })),
+            mcfg(s),
+        ),
+    ]
+}
+
+/// E2: tracing overhead per application under three group
+/// configurations.
+pub fn e2_app_overhead(scale: Scale, out_dir: &Path) -> ExperimentOutput {
+    let mut files = Vec::new();
+    let mut t = Table::new(&[
+        "workload",
+        "base ms",
+        "dma-only ovh",
+        "all-groups ovh",
+        "records",
+        "trace KiB",
+        "dropped",
+    ]);
+    for (name, w, mcfg) in e2_apps(scale) {
+        let dma = overhead_pair(
+            w.as_ref(),
+            &mcfg,
+            TracingConfig::default().with_groups(GroupMask::dma_only()),
+        );
+        let all = overhead_pair(w.as_ref(), &mcfg, TracingConfig::default());
+        let trace = all.traced.trace.as_ref().expect("traced run has a trace");
+        let records: u64 = trace
+            .streams
+            .iter()
+            .map(|s| s.records().map(|r| r.len() as u64).unwrap_or(0))
+            .sum();
+        t.row(vec![
+            name,
+            format!("{:.3}", all.base_ms()),
+            pct(dma.overhead()),
+            pct(all.overhead()),
+            records.to_string(),
+            format!("{:.1}", trace.total_bytes() as f64 / 1024.0),
+            trace.total_dropped().to_string(),
+        ]);
+    }
+    let body = format!(
+        "E2 — application tracing overhead ({} SPEs)\n\n{}",
+        spes_for(scale),
+        t.render()
+    );
+    let mut files_v = Vec::new();
+    write(out_dir, "e2_app_overhead.txt", &body, &mut files_v);
+    write(out_dir, "e2_app_overhead.csv", &t.to_csv(), &mut files_v);
+    files.extend(files_v);
+    ExperimentOutput {
+        id: "e2",
+        title: "Application tracing overhead",
+        body,
+        files,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E3 — overhead vs event rate
+// ---------------------------------------------------------------------
+
+/// E3: runtime dilation as a function of the user-event rate.
+pub fn e3_event_rate(scale: Scale, out_dir: &Path) -> ExperimentOutput {
+    let mut files = Vec::new();
+    let events = scale.pick(300usize, 2000);
+    let mut t = Table::new(&["gap cycles", "events/ms", "overhead"]);
+    let mut points = Vec::new();
+    for gap in [500u64, 1000, 2000, 4000, 8000, 16000] {
+        let w = EventRateWorkload::new(EventRateConfig {
+            events,
+            gap_cycles: gap,
+            spes: 1,
+        });
+        let p = overhead_pair(
+            &w,
+            &MachineConfig::default().with_num_spes(1),
+            TracingConfig::default().with_groups(GroupMask::user_only()),
+        );
+        let rate_per_ms = events as f64 / p.base_ms();
+        t.row(vec![
+            gap.to_string(),
+            format!("{rate_per_ms:.0}"),
+            pct(p.overhead()),
+        ]);
+        points.push((rate_per_ms, p.overhead() * 100.0));
+    }
+    points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let svg = line_chart(
+        &[Series {
+            label: "overhead %".into(),
+            points,
+        }],
+        &ChartOptions {
+            title: "E3: tracing overhead vs user-event rate".into(),
+            x_label: "events per millisecond".into(),
+            y_label: "runtime dilation (%)".into(),
+            log_x: true,
+            ..ChartOptions::default()
+        },
+    );
+    let body = format!("E3 — overhead vs event rate\n\n{}", t.render());
+    write(out_dir, "e3_event_rate.txt", &body, &mut files);
+    write(out_dir, "e3_event_rate.csv", &t.to_csv(), &mut files);
+    write(out_dir, "e3_event_rate.svg", &svg, &mut files);
+    ExperimentOutput {
+        id: "e3",
+        title: "Overhead vs event rate",
+        body,
+        files,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E4 — overhead vs trace-buffer size
+// ---------------------------------------------------------------------
+
+/// E4: the LS trace-buffer size knob: smaller buffers flush more often
+/// (more perturbation and drops), larger ones steal local store.
+pub fn e4_buffer_size(scale: Scale, out_dir: &Path) -> ExperimentOutput {
+    let mut files = Vec::new();
+    let w = StreamWorkload::new(StreamConfig {
+        blocks: scale.pick(32, 128),
+        block_bytes: 4096,
+        compute_cycles_per_block: 1024,
+        buffering: Buffering::Double,
+        spes: 1,
+        ..StreamConfig::default()
+    });
+    let mcfg = MachineConfig::default().with_num_spes(1);
+    let mut t = Table::new(&["buffer bytes", "overhead", "flushes", "dropped"]);
+    let mut points = Vec::new();
+    for bytes in [512u32, 1024, 2048, 4096, 8192, 16384] {
+        let p = overhead_pair(&w, &mcfg, TracingConfig::default().with_buffer_bytes(bytes));
+        let trace = p.traced.trace.as_ref().unwrap();
+        // Flush DMAs appear in the machine's DMA log.
+        let flushes = p
+            .traced
+            .report
+            .dma_log
+            .iter()
+            .filter(|d| d.origin == cellsim::DmaOrigin::Trace)
+            .count();
+        t.row(vec![
+            bytes.to_string(),
+            pct(p.overhead()),
+            flushes.to_string(),
+            trace.total_dropped().to_string(),
+        ]);
+        points.push((bytes as f64, p.overhead() * 100.0));
+    }
+    let svg = line_chart(
+        &[Series {
+            label: "overhead %".into(),
+            points,
+        }],
+        &ChartOptions {
+            title: "E4: tracing overhead vs LS trace-buffer size".into(),
+            x_label: "trace buffer (bytes)".into(),
+            y_label: "runtime dilation (%)".into(),
+            log_x: true,
+            ..ChartOptions::default()
+        },
+    );
+    let body = format!("E4 — overhead vs trace-buffer size\n\n{}", t.render());
+    write(out_dir, "e4_buffer_size.txt", &body, &mut files);
+    write(out_dir, "e4_buffer_size.csv", &t.to_csv(), &mut files);
+    write(out_dir, "e4_buffer_size.svg", &svg, &mut files);
+    ExperimentOutput {
+        id: "e4",
+        title: "Overhead vs trace-buffer size",
+        body,
+        files,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E5 — load-imbalance use case
+// ---------------------------------------------------------------------
+
+/// E5: the TA exposes static-schedule load imbalance; dynamic
+/// self-scheduling fixes it.
+pub fn e5_load_balance(scale: Scale, out_dir: &Path) -> ExperimentOutput {
+    let mut files = Vec::new();
+    let s = spes_for(scale);
+    let cfg = |schedule| SparseConfig {
+        rows: scale.pick(1024, 4096),
+        rows_per_chunk: 64,
+        mean_nnz: 48,
+        max_nnz: 192,
+        spes: s,
+        schedule,
+        cycles_per_nnz: 40,
+        seed: 11,
+    };
+    let mcfg = MachineConfig::default().with_num_spes(s);
+    let mut cycles = Vec::new();
+    let mut body = format!("E5 — load-imbalance detection and fix ({s} SPEs)\n\n");
+    for (label, schedule) in [
+        ("static", Schedule::StaticContiguous),
+        ("dynamic", Schedule::Dynamic),
+    ] {
+        let w = SparseWorkload::new(cfg(schedule));
+        let r = run_workload(&w, mcfg.clone(), Some(TracingConfig::default())).expect("sparse run");
+        let analyzed = analyze(r.trace.as_ref().unwrap()).expect("trace analyzes");
+        let stats = compute_stats(&analyzed);
+        let mut t = Table::new(&["spe", "compute ms", "utilization"]);
+        for a in &stats.spes {
+            t.row(vec![
+                format!("SPE{}", a.spe),
+                format!("{:.3}", analyzed.tb_to_ns(a.compute_tb) / 1e6),
+                pct(a.utilization),
+            ]);
+        }
+        body.push_str(&format!(
+            "{label} schedule: runtime {:.3} ms, imbalance (max/mean compute) {:.2}\n{}\n",
+            r.report.wall_ns / 1e6,
+            stats.imbalance(),
+            t.render()
+        ));
+        cycles.push(r.report.cycles);
+        let tl = build_timeline(&analyzed);
+        let svg = render_svg(&tl, &SvgOptions::default());
+        write(
+            out_dir,
+            &format!("e5_timeline_{label}.svg"),
+            &svg,
+            &mut files,
+        );
+    }
+    body.push_str(&format!(
+        "speedup from dynamic scheduling: {:.2}x\n",
+        cycles[0] as f64 / cycles[1] as f64
+    ));
+    write(out_dir, "e5_load_balance.txt", &body, &mut files);
+    ExperimentOutput {
+        id: "e5",
+        title: "Load-imbalance use case",
+        body,
+        files,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E6 — double-buffering use case
+// ---------------------------------------------------------------------
+
+/// E6: the TA shows the DMA-wait fraction collapsing when the stream
+/// kernel switches to double buffering.
+pub fn e6_double_buffering(scale: Scale, out_dir: &Path) -> ExperimentOutput {
+    let mut files = Vec::new();
+    let cfg = |buffering| StreamConfig {
+        blocks: scale.pick(32, 128),
+        block_bytes: 16 * 1024,
+        compute_cycles_per_block: 2500,
+        buffering,
+        spes: 1,
+        ..StreamConfig::default()
+    };
+    let mcfg = MachineConfig::default().with_num_spes(1);
+    let mut cycles = Vec::new();
+    let mut body = String::from("E6 — double buffering use case (1 SPE)\n\n");
+    let mut t = Table::new(&[
+        "buffering",
+        "runtime ms",
+        "dma-wait",
+        "compute",
+        "utilization",
+        "mean DMA occupancy",
+    ]);
+    for (label, buffering) in [("single", Buffering::Single), ("double", Buffering::Double)] {
+        let w = StreamWorkload::new(cfg(buffering));
+        let r = run_workload(
+            &w,
+            mcfg.clone(),
+            Some(TracingConfig::default().with_groups(GroupMask::dma_only())),
+        )
+        .expect("stream run");
+        let analyzed = analyze(r.trace.as_ref().unwrap()).unwrap();
+        let stats = compute_stats(&analyzed);
+        let a = stats.spe(0).expect("SPE0 active");
+        let occ = dma_occupancy(&analyzed);
+        t.row(vec![
+            label.into(),
+            format!("{:.3}", r.report.wall_ns / 1e6),
+            pct(a.dma_wait_tb as f64 / a.active_tb as f64),
+            pct(a.compute_tb as f64 / a.active_tb as f64),
+            pct(a.utilization),
+            format!("{:.2}", occ.first().map_or(0.0, |o| o.mean)),
+        ]);
+        cycles.push(r.report.cycles);
+        let tl = build_timeline(&analyzed);
+        write(
+            out_dir,
+            &format!("e6_timeline_{label}.svg"),
+            &render_svg(&tl, &SvgOptions::default()),
+            &mut files,
+        );
+    }
+    body.push_str(&t.render());
+    body.push_str(&format!(
+        "\nspeedup from double buffering: {:.2}x\n",
+        cycles[0] as f64 / cycles[1] as f64
+    ));
+    write(out_dir, "e6_double_buffering.txt", &body, &mut files);
+    write(out_dir, "e6_double_buffering.csv", &t.to_csv(), &mut files);
+    ExperimentOutput {
+        id: "e6",
+        title: "Double-buffering use case",
+        body,
+        files,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E7 — DMA transfer-size analysis
+// ---------------------------------------------------------------------
+
+/// E7: achieved bandwidth vs DMA size, alone and under 8-SPE
+/// contention, with the observed latency histogram.
+pub fn e7_dma_sweep(scale: Scale, out_dir: &Path) -> ExperimentOutput {
+    let mut files = Vec::new();
+    let count = scale.pick(32usize, 128);
+    let mut t = Table::new(&[
+        "size B",
+        "latency us (1 spe)",
+        "GB/s per spe (1)",
+        "GB/s total (8)",
+    ]);
+    let mut s1 = Vec::new();
+    let mut s8 = Vec::new();
+    let mut histogram_txt = String::new();
+    for size in [128u32, 256, 512, 1024, 2048, 4096, 8192, 16384] {
+        let run = |spes: usize| {
+            let w = DmaSweepWorkload::new(DmaSweepConfig {
+                size,
+                count,
+                spes,
+                seed: 99,
+            });
+            run_workload(
+                &w,
+                MachineConfig::default().with_num_spes(spes),
+                Some(TracingConfig::default().with_groups(GroupMask::dma_only())),
+            )
+            .expect("sweep run")
+        };
+        let r1 = run(1);
+        let a1 = analyze(r1.trace.as_ref().unwrap()).unwrap();
+        let st1 = compute_stats(&a1);
+        let lat_ns = a1.tb_to_ns(st1.dma.latency_ticks.mean().round() as u64);
+        // Per-transfer bandwidth from observed latency.
+        let bw1 = size as f64 / (lat_ns / 1e9) / 1e9;
+        let r8 = run(8);
+        let total_bytes = 8.0 * count as f64 * size as f64;
+        let bw8 = total_bytes / (r8.report.wall_ns / 1e9) / 1e9;
+        t.row(vec![
+            size.to_string(),
+            format!("{:.2}", lat_ns / 1000.0),
+            format!("{bw1:.2}"),
+            format!("{bw8:.2}"),
+        ]);
+        s1.push((size as f64, bw1));
+        s8.push((size as f64, bw8));
+        if size == 4096 {
+            histogram_txt = st1
+                .dma
+                .latency_ticks
+                .render("observed latency (ticks), 4 KiB GETs");
+        }
+    }
+    let svg = line_chart(
+        &[
+            Series {
+                label: "1 SPE (per transfer)".into(),
+                points: s1,
+            },
+            Series {
+                label: "8 SPEs (aggregate)".into(),
+                points: s8,
+            },
+        ],
+        &ChartOptions {
+            title: "E7: achieved DMA bandwidth vs transfer size".into(),
+            x_label: "DMA size (bytes)".into(),
+            y_label: "GB/s".into(),
+            log_x: true,
+            ..ChartOptions::default()
+        },
+    );
+    let body = format!(
+        "E7 — DMA transfer-size analysis\n\n{}\n{histogram_txt}",
+        t.render()
+    );
+    write(out_dir, "e7_dma_sweep.txt", &body, &mut files);
+    write(out_dir, "e7_dma_sweep.csv", &t.to_csv(), &mut files);
+    write(out_dir, "e7_dma_sweep.svg", &svg, &mut files);
+    ExperimentOutput {
+        id: "e7",
+        title: "DMA transfer-size analysis",
+        body,
+        files,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E8 — trace volume
+// ---------------------------------------------------------------------
+
+/// E8: trace volume per application with all groups enabled.
+pub fn e8_trace_volume(scale: Scale, out_dir: &Path) -> ExperimentOutput {
+    let mut files = Vec::new();
+    let mut t = Table::new(&[
+        "workload",
+        "records",
+        "KiB",
+        "records/ms",
+        "KiB/ms",
+        "dropped",
+    ]);
+    for (name, w, mcfg) in e2_apps(scale) {
+        let r = run_workload(w.as_ref(), mcfg, Some(TracingConfig::default())).expect("traced run");
+        let trace = r.trace.as_ref().unwrap();
+        let records: u64 = trace
+            .streams
+            .iter()
+            .map(|s| s.records().map(|r| r.len() as u64).unwrap_or(0))
+            .sum();
+        let ms = r.report.wall_ns / 1e6;
+        t.row(vec![
+            name,
+            records.to_string(),
+            format!("{:.1}", trace.total_bytes() as f64 / 1024.0),
+            format!("{:.0}", records as f64 / ms),
+            format!("{:.1}", trace.total_bytes() as f64 / 1024.0 / ms),
+            trace.total_dropped().to_string(),
+        ]);
+    }
+    let body = format!("E8 — trace volume (all groups)\n\n{}", t.render());
+    write(out_dir, "e8_trace_volume.txt", &body, &mut files);
+    write(out_dir, "e8_trace_volume.csv", &t.to_csv(), &mut files);
+    ExperimentOutput {
+        id: "e8",
+        title: "Trace volume",
+        body,
+        files,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E9 — overhead vs SPE count
+// ---------------------------------------------------------------------
+
+/// E9: tracing overhead scaling with the number of SPEs.
+pub fn e9_spe_scaling(scale: Scale, out_dir: &Path) -> ExperimentOutput {
+    let mut files = Vec::new();
+    let n = scale.pick(192, 256);
+    let mut t = Table::new(&["spes", "base ms", "traced ms", "overhead"]);
+    let mut points = Vec::new();
+    for spes in [1usize, 2, 4, 8] {
+        let w = MatmulWorkload::new(MatmulConfig { n, spes, seed: 7 });
+        let p = overhead_pair(
+            &w,
+            &MachineConfig::default().with_num_spes(spes),
+            TracingConfig::default(),
+        );
+        t.row(vec![
+            spes.to_string(),
+            format!("{:.3}", p.base_ms()),
+            format!("{:.3}", p.traced_ms()),
+            pct(p.overhead()),
+        ]);
+        points.push((spes as f64, p.overhead() * 100.0));
+    }
+    let svg = line_chart(
+        &[Series {
+            label: "overhead %".into(),
+            points,
+        }],
+        &ChartOptions {
+            title: format!("E9: matmul({n}) tracing overhead vs SPE count"),
+            x_label: "SPEs".into(),
+            y_label: "runtime dilation (%)".into(),
+            log_x: false,
+            ..ChartOptions::default()
+        },
+    );
+    let body = format!("E9 — overhead vs SPE count (matmul {n})\n\n{}", t.render());
+    write(out_dir, "e9_spe_scaling.txt", &body, &mut files);
+    write(out_dir, "e9_spe_scaling.csv", &t.to_csv(), &mut files);
+    write(out_dir, "e9_spe_scaling.svg", &svg, &mut files);
+    ExperimentOutput {
+        id: "e9",
+        title: "Overhead vs SPE count",
+        body,
+        files,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E10 — time-synchronization accuracy
+// ---------------------------------------------------------------------
+
+/// E10: how faithfully the analyzer reconstructs per-SPE time from
+/// decrementer snapshots + sync records, against simulator ground
+/// truth.
+pub fn e10_timesync(scale: Scale, out_dir: &Path) -> ExperimentOutput {
+    let mut files = Vec::new();
+    let s = spes_for(scale);
+    let w = StreamWorkload::new(StreamConfig {
+        blocks: scale.pick(32, 128),
+        block_bytes: 8192,
+        buffering: Buffering::Double,
+        spes: s,
+        ..StreamConfig::default()
+    });
+    let mcfg = MachineConfig::default().with_num_spes(s);
+    let r = run_workload(&w, mcfg.clone(), Some(TracingConfig::default())).expect("run");
+    let analyzed = analyze(r.trace.as_ref().unwrap()).unwrap();
+    let stats = compute_stats(&analyzed);
+    let v = validate(&analyzed, &stats, &r.report, mcfg.clock.core_hz);
+
+    let mut t = Table::new(&[
+        "spe",
+        "anchor skew us",
+        "active err",
+        "dma-wait err",
+        "invisible blocked us",
+        "trace ovh us",
+    ]);
+    for sv in &v.spes {
+        // Anchor skew: TA places the SPE start at the PPE's run call;
+        // ground truth knows the real context start.
+        let anchor = analyzed
+            .anchors
+            .iter()
+            .find(|a| a.spe == sv.spe)
+            .expect("anchor");
+        let ta_start_ns = analyzed.tb_to_ns(anchor.run_tb);
+        let gt_start_ns = r
+            .report
+            .core(CoreId::Spe(SpeId::new(sv.spe as usize)))
+            .unwrap()
+            .spans
+            .iter()
+            .find(|sp| sp.state != CoreState::Idle)
+            .map(|sp| sp.start.get() as f64 * 1e9 / mcfg.clock.core_hz as f64)
+            .unwrap_or(0.0);
+        t.row(vec![
+            format!("SPE{}", sv.spe),
+            format!("{:.2}", (gt_start_ns - ta_start_ns) / 1000.0),
+            pct(sv.active_rel_err()),
+            pct(sv.dma_wait_rel_err()),
+            format!("{:.2}", (sv.gt_blocked_ns - sv.ta_blocked_ns) / 1000.0),
+            format!("{:.2}", sv.gt_trace_overhead_ns / 1000.0),
+        ]);
+    }
+    // Message-based clock alignment: the FFT workload's mailbox
+    // barrier provides PPE→SPE causality edges from which the analyzer
+    // can *recover* most of the anchor skew without ground truth.
+    let fft = FftWorkload::new(FftConfig {
+        n1: scale.pick(16, 32),
+        n2: scale.pick(32, 64),
+        spes: s,
+        seed: 31,
+    });
+    let fr = run_workload(&fft, mcfg.clone(), Some(TracingConfig::default())).expect("fft run");
+    let fa = analyze(fr.trace.as_ref().unwrap()).unwrap();
+    let raw_violations = ta::violations(&fa).len();
+    let (aligned, est) = ta::align_clocks(&fa);
+    let residual = ta::violations(&aligned).len();
+    let true_skew_ticks =
+        mcfg.ctx_run_cycles as f64 / mcfg.clock.timebase_divider as f64;
+    let mean_est = if est.is_empty() {
+        0.0
+    } else {
+        est.iter().map(|e| e.shift_tb as f64).sum::<f64>() / est.len() as f64
+    };
+    let alignment = format!(
+        "message-based clock alignment (fft barrier edges): {raw_violations} causal \
+         violations before, {residual} after; estimated skew {mean_est:.0} ticks \
+         (true context-start skew {true_skew_ticks:.0} ticks) on {} SPE(s)\n",
+        est.len()
+    );
+
+    let body = format!(
+        "E10 — time-synchronization accuracy ({s} SPEs)\n\n{}\n\
+         max active error {} | max dma-wait error {}\n{alignment}\
+         (decrementer wrap handling is exercised separately by the\n\
+         analyzer's synthetic-wrap unit tests; a real wrap needs 2^32\n\
+         timebase ticks ≈ 161 s of simulated time)\n",
+        t.render(),
+        pct(v.max_active_rel_err()),
+        pct(v.max_dma_wait_rel_err()),
+    );
+    write(out_dir, "e10_timesync.txt", &body, &mut files);
+    write(out_dir, "e10_timesync.csv", &t.to_csv(), &mut files);
+    ExperimentOutput {
+        id: "e10",
+        title: "Time-synchronization accuracy",
+        body,
+        files,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E11 — ablations of the tracing mechanism
+// ---------------------------------------------------------------------
+
+/// E11: which mechanism costs what. (a) scale the per-event cycle
+/// charge while keeping flush DMAs — the residual dilation at 0× is
+/// pure flush/bus interference; (b) drive the event rate beyond the
+/// flush bandwidth of a minimal buffer to expose drop back-pressure.
+pub fn e11_ablation(scale: Scale, out_dir: &Path) -> ExperimentOutput {
+    let mut files = Vec::new();
+
+    // (a) overhead-model scaling on the stream workload.
+    let w = StreamWorkload::new(StreamConfig {
+        blocks: scale.pick(32, 128),
+        block_bytes: 4096,
+        compute_cycles_per_block: 1024,
+        buffering: Buffering::Double,
+        spes: 1,
+        ..StreamConfig::default()
+    });
+    let mcfg = MachineConfig::default().with_num_spes(1);
+    let mut ta_tbl = Table::new(&["event-cost scale", "overhead", "interpretation"]);
+    let mut points = Vec::new();
+    for factor in [0.0f64, 0.5, 1.0, 2.0, 4.0] {
+        let p = overhead_pair(
+            &w,
+            &mcfg,
+            TracingConfig::default().with_overhead(pdt::OverheadModel::scaled(factor)),
+        );
+        let note = if factor == 0.0 {
+            "flush DMA + bus interference only"
+        } else if factor == 1.0 {
+            "shipped PDT cost model"
+        } else {
+            ""
+        };
+        ta_tbl.row(vec![
+            format!("{factor:.1}x"),
+            pct(p.overhead()),
+            note.into(),
+        ]);
+        points.push((factor, p.overhead() * 100.0));
+    }
+    let svg = line_chart(
+        &[Series {
+            label: "overhead %".into(),
+            points,
+        }],
+        &ChartOptions {
+            title: "E11a: dilation vs per-event cycle charge".into(),
+            x_label: "overhead-model scale factor".into(),
+            y_label: "runtime dilation (%)".into(),
+            log_x: false,
+            ..ChartOptions::default()
+        },
+    );
+
+    // (b) drop back-pressure: a user-event storm on SPE0 while the
+    // other seven SPEs saturate the memory interface with 16 KiB GETs.
+    // The tiny buffer's flush DMAs queue behind the bulk traffic and
+    // can no longer keep up with the fill rate.
+    let mut drop_tbl = Table::new(&[
+        "bus load",
+        "buffer B",
+        "events",
+        "recorded (SPE0)",
+        "dropped (SPE0)",
+        "drop rate",
+    ]);
+    let events = scale.pick(1000usize, 4000);
+    for (label, hammers) in [("idle", 0usize), ("7 SPEs streaming", 7)] {
+        for buffer in [512u32, 2048] {
+            let mut m = cellsim::Machine::new(MachineConfig::default()).expect("machine");
+            let session = pdt::TraceSession::install(
+                TracingConfig::default()
+                    .with_buffer_bytes(buffer)
+                    .with_groups(GroupMask::user_only()),
+                &mut m,
+            )
+            .expect("session");
+            let mut jobs = Vec::new();
+            let mut storm = Vec::new();
+            for i in 0..events {
+                storm.push(SpuAction::UserEvent {
+                    id: 1,
+                    a0: i as u64,
+                    a1: 0,
+                });
+                storm.push(SpuAction::Compute(40));
+            }
+            jobs.push(cellsim::SpeJob::new(
+                "storm",
+                Box::new(SpuScript::new(storm)),
+            ));
+            for h in 0..hammers {
+                let mut actions = Vec::new();
+                for k in 0..scale.pick(48u64, 192) {
+                    actions.push(SpuAction::DmaGet {
+                        lsa: cellsim::LsAddr::new(0x10000),
+                        ea: 0x100000 + (h as u64) * 0x100000 + (k % 8) * 16384,
+                        size: 16 * 1024,
+                        tag: TagId::new(0).unwrap(),
+                    });
+                    actions.push(SpuAction::WaitTags {
+                        mask: 1,
+                        mode: TagWaitMode::Any,
+                    });
+                }
+                jobs.push(cellsim::SpeJob::new(
+                    format!("hammer{h}"),
+                    Box::new(SpuScript::new(actions)),
+                ));
+            }
+            m.set_ppe_program(
+                cellsim::PpeThreadId::new(0),
+                Box::new(cellsim::SpmdDriver::new(jobs)),
+            );
+            m.run().expect("storm run");
+            let trace = session.collect(&m);
+            let spe0 = trace.stream(pdt::TraceCore::Spe(0)).expect("storm stream");
+            let recorded = spe0.records().map(|v| v.len() as u64).unwrap_or(0);
+            let dropped = spe0.dropped;
+            drop_tbl.row(vec![
+                label.into(),
+                buffer.to_string(),
+                events.to_string(),
+                recorded.to_string(),
+                dropped.to_string(),
+                pct(dropped as f64 / (recorded + dropped).max(1) as f64),
+            ]);
+        }
+    }
+
+    let body = format!(
+        "E11 — tracing-mechanism ablations\n\n\
+         (a) per-event cycle charge scaled, flush machinery unchanged:\n{}\n\
+         (b) user-event storm vs a 512 B double buffer (back-pressure):\n{}",
+        ta_tbl.render(),
+        drop_tbl.render()
+    );
+    write(out_dir, "e11_ablation.txt", &body, &mut files);
+    write(
+        out_dir,
+        "e11_ablation_scale.csv",
+        &ta_tbl.to_csv(),
+        &mut files,
+    );
+    write(
+        out_dir,
+        "e11_ablation_drops.csv",
+        &drop_tbl.to_csv(),
+        &mut files,
+    );
+    write(out_dir, "e11_ablation.svg", &svg, &mut files);
+    ExperimentOutput {
+        id: "e11",
+        title: "Tracing-mechanism ablations",
+        body,
+        files,
+    }
+}
+
+/// Runs every experiment, returning their outputs in order.
+pub fn run_all(scale: Scale, out_dir: &Path) -> Vec<ExperimentOutput> {
+    fs::create_dir_all(out_dir).expect("create results dir");
+    vec![
+        e1_event_cost(scale, out_dir),
+        e2_app_overhead(scale, out_dir),
+        e3_event_rate(scale, out_dir),
+        e4_buffer_size(scale, out_dir),
+        e5_load_balance(scale, out_dir),
+        e6_double_buffering(scale, out_dir),
+        e7_dma_sweep(scale, out_dir),
+        e8_trace_volume(scale, out_dir),
+        e9_spe_scaling(scale, out_dir),
+        e10_timesync(scale, out_dir),
+        e11_ablation(scale, out_dir),
+    ]
+}
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn run_one(id: &str, scale: Scale, out_dir: &Path) -> ExperimentOutput {
+    fs::create_dir_all(out_dir).expect("create results dir");
+    match id {
+        "e1" => e1_event_cost(scale, out_dir),
+        "e2" => e2_app_overhead(scale, out_dir),
+        "e3" => e3_event_rate(scale, out_dir),
+        "e4" => e4_buffer_size(scale, out_dir),
+        "e5" => e5_load_balance(scale, out_dir),
+        "e6" => e6_double_buffering(scale, out_dir),
+        "e7" => e7_dma_sweep(scale, out_dir),
+        "e8" => e8_trace_volume(scale, out_dir),
+        "e9" => e9_spe_scaling(scale, out_dir),
+        "e10" => e10_timesync(scale, out_dir),
+        "e11" => e11_ablation(scale, out_dir),
+        other => panic!("unknown experiment id {other:?} (e1..e11)"),
+    }
+}

@@ -1,0 +1,195 @@
+//! Shared experiment plumbing: scales, traced/untraced run pairs, and
+//! table formatting.
+
+use cellsim::MachineConfig;
+use pdt::TracingConfig;
+use workloads::{run_workload, Workload, WorkloadResult};
+
+/// Experiment scale: `Quick` for CI/tests, `Full` for the published
+/// numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small problem sizes, seconds per experiment.
+    Quick,
+    /// Paper-scale problem sizes.
+    Full,
+}
+
+impl Scale {
+    /// Picks `q` for quick and `f` for full scale.
+    pub fn pick<T>(self, q: T, f: T) -> T {
+        match self {
+            Scale::Quick => q,
+            Scale::Full => f,
+        }
+    }
+}
+
+/// A baseline/traced run pair of the same workload.
+#[derive(Debug)]
+pub struct OverheadPair {
+    /// Untraced run.
+    pub base: WorkloadResult,
+    /// Traced run.
+    pub traced: WorkloadResult,
+}
+
+impl OverheadPair {
+    /// Runtime dilation `(traced - base) / base`.
+    pub fn overhead(&self) -> f64 {
+        let b = self.base.report.cycles as f64;
+        (self.traced.report.cycles as f64 - b) / b
+    }
+
+    /// Baseline wall time in milliseconds.
+    pub fn base_ms(&self) -> f64 {
+        self.base.report.wall_ns / 1e6
+    }
+
+    /// Traced wall time in milliseconds.
+    pub fn traced_ms(&self) -> f64 {
+        self.traced.report.wall_ns / 1e6
+    }
+}
+
+/// Runs `workload` untraced and traced with `tcfg`.
+///
+/// # Panics
+///
+/// Panics if either run fails — experiments are expected to be
+/// well-formed.
+pub fn overhead_pair(
+    workload: &dyn Workload,
+    mcfg: &MachineConfig,
+    tcfg: TracingConfig,
+) -> OverheadPair {
+    let base = run_workload(workload, mcfg.clone(), None).expect("baseline run");
+    let traced = run_workload(workload, mcfg.clone(), Some(tcfg)).expect("traced run");
+    OverheadPair { base, traced }
+}
+
+/// A plain-text table builder with aligned columns.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "table arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_picks() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a "));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("name,value\n"));
+        assert!(csv.contains("longer,22"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.34%");
+    }
+
+    #[test]
+    fn overhead_pair_measures_dilation() {
+        use workloads::{EventRateConfig, EventRateWorkload};
+        let w = EventRateWorkload::new(EventRateConfig {
+            events: 200,
+            gap_cycles: 1000,
+            spes: 1,
+        });
+        let p = overhead_pair(
+            &w,
+            &MachineConfig::default().with_num_spes(1),
+            TracingConfig::default(),
+        );
+        assert!(p.overhead() > 0.0);
+        assert!(p.traced_ms() > p.base_ms());
+    }
+}

@@ -1,0 +1,265 @@
+//! Machine configuration.
+//!
+//! [`MachineConfig`] collects every tunable of the simulated Cell BE.
+//! The defaults model a production 3.2 GHz Cell blade; experiments
+//! override individual fields through the builder-style `with_*`
+//! methods.
+
+use crate::cycle::ClockSpec;
+use crate::error::ConfigError;
+
+/// Default local-store size: 256 KiB, as on all shipped Cell parts.
+pub const DEFAULT_LS_SIZE: usize = 256 * 1024;
+
+/// Architectural maximum DMA transfer size for one MFC command (16 KiB).
+pub const MAX_DMA_SIZE: u32 = 16 * 1024;
+
+/// Number of MFC tag groups.
+pub const NUM_TAG_GROUPS: usize = 32;
+
+/// Configuration of the simulated machine.
+///
+/// Construct with [`MachineConfig::default`] and refine with the
+/// `with_*` methods, then validate via [`MachineConfig::validate`]
+/// (done automatically by [`crate::Machine::new`]):
+///
+/// ```
+/// use cellsim::MachineConfig;
+/// let cfg = MachineConfig::default().with_num_spes(4);
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of SPEs (1–16; 8 on production parts).
+    pub num_spes: usize,
+    /// Number of PPE hardware threads (1 or 2).
+    pub num_ppe_threads: usize,
+    /// Clock rates.
+    pub clock: ClockSpec,
+    /// Local-store size per SPE in bytes (power of two).
+    pub ls_size: usize,
+    /// Main-memory size limit in bytes.
+    pub mem_size: u64,
+    /// Depth of each MFC SPU command queue (16 on hardware).
+    pub mfc_queue_depth: usize,
+    /// Depth of each MFC proxy command queue (8 on hardware).
+    pub mfc_proxy_depth: usize,
+    /// Maximum DMA commands a single MFC advances concurrently.
+    pub mfc_inflight: usize,
+    /// Fixed cost, in cycles, for the SPU to enqueue one MFC command
+    /// through the channel interface.
+    pub dma_issue_cycles: u64,
+    /// Fixed MFC-internal setup latency per command, in cycles.
+    pub dma_setup_cycles: u64,
+    /// Number of EIB data rings (4 on hardware).
+    pub eib_rings: usize,
+    /// Payload bytes moved per EIB bus cycle on one ring (16 on hardware).
+    pub eib_bytes_per_bus_cycle: u64,
+    /// Core cycles per EIB bus cycle (the EIB runs at half the core clock).
+    pub eib_bus_divider: u64,
+    /// Per-hop latency on the ring, in core cycles.
+    pub eib_hop_cycles: u64,
+    /// Main-memory (XDR) access latency in nanoseconds.
+    pub mem_latency_ns: f64,
+    /// Aggregate memory-interface bandwidth cap in bytes per second.
+    pub mem_bandwidth_bytes_per_sec: u64,
+    /// SPU inbound mailbox depth (4 on hardware).
+    pub inbound_mbox_depth: usize,
+    /// Cost in cycles of an SPU mailbox channel access.
+    pub mbox_access_cycles: u64,
+    /// Cost in cycles of a PPE MMIO access to an SPE problem-state
+    /// register (mailboxes, signals).
+    pub ppe_mmio_cycles: u64,
+    /// Cost in cycles of reading the SPU decrementer channel.
+    pub dec_read_cycles: u64,
+    /// Cost in cycles of `spe_context_create` + program load on the PPE.
+    pub ctx_create_cycles: u64,
+    /// Cost in cycles of starting a loaded context on an SPE.
+    pub ctx_run_cycles: u64,
+    /// Effective address at which SPE local stores are aliased into the
+    /// memory map (LS of SPE *i* at `ls_ea_base + i * ls_size`), used
+    /// for LS-to-LS DMA between SPEs.
+    pub ls_ea_base: u64,
+    /// Safety cap: abort the simulation after this many cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            num_spes: 8,
+            num_ppe_threads: 2,
+            clock: ClockSpec::CELL_3_2GHZ,
+            ls_size: DEFAULT_LS_SIZE,
+            mem_size: 512 * 1024 * 1024,
+            mfc_queue_depth: 16,
+            mfc_proxy_depth: 8,
+            mfc_inflight: 2,
+            dma_issue_cycles: 10,
+            dma_setup_cycles: 30,
+            eib_rings: 4,
+            eib_bytes_per_bus_cycle: 16,
+            eib_bus_divider: 2,
+            eib_hop_cycles: 8,
+            mem_latency_ns: 90.0,
+            mem_bandwidth_bytes_per_sec: 25_600_000_000,
+            inbound_mbox_depth: 4,
+            mbox_access_cycles: 6,
+            ppe_mmio_cycles: 100,
+            dec_read_cycles: 4,
+            ctx_create_cycles: 8_000,
+            ctx_run_cycles: 16_000,
+            ls_ea_base: 0x1_0000_0000,
+            max_cycles: u64::MAX / 4,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Sets the number of SPEs.
+    pub fn with_num_spes(mut self, n: usize) -> Self {
+        self.num_spes = n;
+        self
+    }
+
+    /// Sets the number of PPE hardware threads.
+    pub fn with_num_ppe_threads(mut self, n: usize) -> Self {
+        self.num_ppe_threads = n;
+        self
+    }
+
+    /// Sets the main-memory size limit.
+    pub fn with_mem_size(mut self, bytes: u64) -> Self {
+        self.mem_size = bytes;
+        self
+    }
+
+    /// Sets the simulation cycle cap.
+    pub fn with_max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// Memory access latency converted to core cycles.
+    pub fn mem_latency_cycles(&self) -> u64 {
+        self.clock.ns_to_cycles(self.mem_latency_ns)
+    }
+
+    /// Core cycles the memory interface is occupied per byte
+    /// transferred, as a rational pair `(cycles, bytes)`.
+    pub fn mem_occupancy(&self) -> (u64, u64) {
+        // bandwidth [B/s] = bytes * core_hz / cycles
+        (self.clock.core_hz, self.mem_bandwidth_bytes_per_sec)
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first violated
+    /// constraint (SPE count, LS size power-of-two, queue depths, ring
+    /// count, clock sanity).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_spes == 0 || self.num_spes > 16 {
+            return Err(ConfigError::new(format!(
+                "num_spes must be in 1..=16, got {}",
+                self.num_spes
+            )));
+        }
+        if self.num_ppe_threads == 0 || self.num_ppe_threads > 2 {
+            return Err(ConfigError::new(format!(
+                "num_ppe_threads must be 1 or 2, got {}",
+                self.num_ppe_threads
+            )));
+        }
+        if !self.ls_size.is_power_of_two() || self.ls_size < 4096 {
+            return Err(ConfigError::new(format!(
+                "ls_size must be a power of two >= 4096, got {}",
+                self.ls_size
+            )));
+        }
+        if self.mfc_queue_depth == 0 || self.mfc_proxy_depth == 0 {
+            return Err(ConfigError::new("MFC queue depths must be nonzero"));
+        }
+        if self.mfc_inflight == 0 {
+            return Err(ConfigError::new("mfc_inflight must be nonzero"));
+        }
+        if self.eib_rings == 0 || self.eib_bytes_per_bus_cycle == 0 {
+            return Err(ConfigError::new("EIB must have rings and bandwidth"));
+        }
+        if self.eib_bus_divider == 0 {
+            return Err(ConfigError::new("eib_bus_divider must be nonzero"));
+        }
+        if self.clock.core_hz == 0 || self.clock.timebase_divider == 0 {
+            return Err(ConfigError::new("clock rates must be nonzero"));
+        }
+        if self.inbound_mbox_depth == 0 {
+            return Err(ConfigError::new("inbound mailbox depth must be nonzero"));
+        }
+        if self.mem_bandwidth_bytes_per_sec == 0 {
+            return Err(ConfigError::new("memory bandwidth must be nonzero"));
+        }
+        if self.ls_ea_base < self.mem_size {
+            return Err(ConfigError::new(format!(
+                "LS alias window {:#x} overlaps main memory of {:#x} bytes",
+                self.ls_ea_base, self.mem_size
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_cell_blade() {
+        let cfg = MachineConfig::default();
+        cfg.validate().expect("default config must validate");
+        assert_eq!(cfg.num_spes, 8);
+        assert_eq!(cfg.ls_size, 256 * 1024);
+        assert_eq!(cfg.mfc_queue_depth, 16);
+    }
+
+    #[test]
+    fn builder_methods_override_fields() {
+        let cfg = MachineConfig::default()
+            .with_num_spes(2)
+            .with_num_ppe_threads(1)
+            .with_mem_size(1 << 20)
+            .with_max_cycles(1000);
+        assert_eq!(cfg.num_spes, 2);
+        assert_eq!(cfg.num_ppe_threads, 1);
+        assert_eq!(cfg.mem_size, 1 << 20);
+        assert_eq!(cfg.max_cycles, 1000);
+    }
+
+    #[test]
+    fn validation_rejects_bad_spe_count() {
+        assert!(MachineConfig::default()
+            .with_num_spes(0)
+            .validate()
+            .is_err());
+        assert!(MachineConfig::default()
+            .with_num_spes(17)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn validation_rejects_non_pow2_ls() {
+        let cfg = MachineConfig {
+            ls_size: 100_000,
+            ..MachineConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn mem_latency_converts_to_cycles() {
+        let cfg = MachineConfig::default();
+        // 90 ns at 3.2 GHz = 288 cycles.
+        assert_eq!(cfg.mem_latency_cycles(), 288);
+    }
+}

@@ -1,0 +1,195 @@
+//! Simulation time: core-clock cycles and clock conversions.
+//!
+//! Everything inside the simulator is measured in cycles of the 3.2 GHz
+//! core clock (the PPE, the SPUs and the MFCs all share it on real
+//! silicon; the EIB runs at half that rate, which the [`crate::eib`]
+//! module accounts for internally). [`Cycle`] is an absolute point on
+//! the simulated timeline; durations are plain `u64` cycle counts.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute point in simulated time, in core-clock cycles.
+///
+/// `Cycle` is a transparent newtype over `u64`; arithmetic with plain
+/// `u64` durations is provided so timing code reads naturally:
+///
+/// ```
+/// use cellsim::Cycle;
+/// let start = Cycle::ZERO;
+/// let end = start + 640;
+/// assert_eq!(end.duration_since(start), 640);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The origin of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle timestamp from a raw cycle count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Number of cycles elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`; simulated time never
+    /// runs backwards, so this indicates a scheduling bug.
+    #[inline]
+    pub fn duration_since(self, earlier: Cycle) -> u64 {
+        self.0
+            .checked_sub(earlier.0)
+            .expect("cycle arithmetic underflow: time ran backwards")
+    }
+
+    /// The later of two timestamps.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0.checked_add(rhs).expect("cycle overflow"))
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cyc", self.0)
+    }
+}
+
+/// Clock rates of the simulated machine, used to convert cycles to wall
+/// time and to derive the timebase that the PPE and the SPE decrementers
+/// run on.
+///
+/// On production Cell blades the core clock is 3.2 GHz and the timebase
+/// divider is 120, giving the 26.67 MHz timebase that PDT timestamps are
+/// expressed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockSpec {
+    /// Core clock frequency in Hz (PPE/SPU/MFC clock domain).
+    pub core_hz: u64,
+    /// Core cycles per timebase tick.
+    pub timebase_divider: u64,
+}
+
+impl ClockSpec {
+    /// The clocking of a production 3.2 GHz Cell blade.
+    pub const CELL_3_2GHZ: ClockSpec = ClockSpec {
+        core_hz: 3_200_000_000,
+        timebase_divider: 120,
+    };
+
+    /// Timebase frequency in Hz.
+    #[inline]
+    pub fn timebase_hz(&self) -> u64 {
+        self.core_hz / self.timebase_divider
+    }
+
+    /// Converts an absolute cycle timestamp to timebase ticks
+    /// (truncating, exactly like the hardware timebase register).
+    #[inline]
+    pub fn cycles_to_timebase(&self, t: Cycle) -> u64 {
+        t.get() / self.timebase_divider
+    }
+
+    /// Converts a cycle count to nanoseconds.
+    #[inline]
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * 1e9 / self.core_hz as f64
+    }
+
+    /// Converts nanoseconds to a cycle count (rounding up).
+    #[inline]
+    pub fn ns_to_cycles(&self, ns: f64) -> u64 {
+        (ns * self.core_hz as f64 / 1e9).ceil() as u64
+    }
+}
+
+impl Default for ClockSpec {
+    fn default() -> Self {
+        ClockSpec::CELL_3_2GHZ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic_roundtrips() {
+        let a = Cycle::new(100);
+        let b = a + 28;
+        assert_eq!(b.get(), 128);
+        assert_eq!(b - a, 28);
+        assert_eq!(b.duration_since(a), 28);
+    }
+
+    #[test]
+    fn cycle_max_picks_later() {
+        assert_eq!(Cycle::new(5).max(Cycle::new(9)), Cycle::new(9));
+        assert_eq!(Cycle::new(9).max(Cycle::new(5)), Cycle::new(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "time ran backwards")]
+    fn duration_since_panics_on_backwards_time() {
+        let _ = Cycle::new(1).duration_since(Cycle::new(2));
+    }
+
+    #[test]
+    fn clock_spec_timebase_matches_cell_blade() {
+        let c = ClockSpec::CELL_3_2GHZ;
+        assert_eq!(c.timebase_hz(), 26_666_666);
+        assert_eq!(c.cycles_to_timebase(Cycle::new(240)), 2);
+        assert_eq!(c.cycles_to_timebase(Cycle::new(239)), 1);
+    }
+
+    #[test]
+    fn ns_conversions_are_inverse_up_to_rounding() {
+        let c = ClockSpec::CELL_3_2GHZ;
+        let cycles = 3200;
+        let ns = c.cycles_to_ns(cycles);
+        assert!((ns - 1000.0).abs() < 1e-9);
+        assert_eq!(c.ns_to_cycles(ns), cycles);
+    }
+
+    #[test]
+    fn display_formats_with_suffix() {
+        assert_eq!(Cycle::new(42).to_string(), "42cyc");
+    }
+}

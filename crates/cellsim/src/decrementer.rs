@@ -1,0 +1,102 @@
+//! SPU decrementer and PPE timebase.
+//!
+//! The Cell timebase ticks at `core_clock / 120` (≈26.67 MHz on a
+//! 3.2 GHz part). The PPE reads a monotonically increasing 64-bit
+//! timebase register; each SPU instead has a 32-bit *decrementer* that
+//! counts **down** at the timebase rate and wraps. PDT timestamps SPE
+//! events with decrementer snapshots, so reconstructing global time in
+//! the analyzer requires the sync records and wrap handling this module
+//! makes testable.
+
+use crate::cycle::{ClockSpec, Cycle};
+
+/// A 32-bit down-counting decrementer clocked by the timebase.
+///
+/// The value at core-cycle time `t` is computed arithmetically from the
+/// load value and load time — no periodic simulation events are needed.
+#[derive(Debug, Clone, Copy)]
+pub struct Decrementer {
+    loaded_value: u32,
+    loaded_at_tb: u64,
+}
+
+impl Decrementer {
+    /// Creates a decrementer loaded with `value` at absolute time
+    /// `now` (i.e. as if the SPU wrote the decrementer channel then).
+    pub fn loaded(value: u32, now: Cycle, clock: &ClockSpec) -> Self {
+        Decrementer {
+            loaded_value: value,
+            loaded_at_tb: clock.cycles_to_timebase(now),
+        }
+    }
+
+    /// The decrementer value visible at absolute time `now`.
+    pub fn value_at(&self, now: Cycle, clock: &ClockSpec) -> u32 {
+        let tb = clock.cycles_to_timebase(now);
+        let elapsed = tb.saturating_sub(self.loaded_at_tb);
+        self.loaded_value.wrapping_sub(elapsed as u32)
+    }
+
+    /// The value the decrementer was loaded with.
+    #[inline]
+    pub fn loaded_value(&self) -> u32 {
+        self.loaded_value
+    }
+
+    /// The timebase tick at which the decrementer was loaded.
+    #[inline]
+    pub fn loaded_at_timebase(&self) -> u64 {
+        self.loaded_at_tb
+    }
+}
+
+/// Elapsed timebase ticks between two decrementer snapshots taken on
+/// the same SPU, assuming fewer than 2³² ticks passed between them.
+///
+/// Because the decrementer counts down, the elapsed time from `earlier`
+/// to `later` is `earlier - later` in wrapping arithmetic; this is the
+/// primitive the trace analyzer uses to rebuild per-SPE time.
+#[inline]
+pub fn dec_elapsed(earlier: u32, later: u32) -> u32 {
+    earlier.wrapping_sub(later)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLK: ClockSpec = ClockSpec::CELL_3_2GHZ;
+
+    #[test]
+    fn decrementer_counts_down_at_timebase_rate() {
+        let d = Decrementer::loaded(1000, Cycle::ZERO, &CLK);
+        // 120 core cycles = 1 timebase tick.
+        assert_eq!(d.value_at(Cycle::new(0), &CLK), 1000);
+        assert_eq!(d.value_at(Cycle::new(119), &CLK), 1000);
+        assert_eq!(d.value_at(Cycle::new(120), &CLK), 999);
+        assert_eq!(d.value_at(Cycle::new(1200), &CLK), 990);
+    }
+
+    #[test]
+    fn decrementer_wraps_through_zero() {
+        let d = Decrementer::loaded(2, Cycle::ZERO, &CLK);
+        assert_eq!(d.value_at(Cycle::new(240), &CLK), 0);
+        assert_eq!(d.value_at(Cycle::new(360), &CLK), u32::MAX);
+        assert_eq!(d.value_at(Cycle::new(480), &CLK), u32::MAX - 1);
+    }
+
+    #[test]
+    fn dec_elapsed_handles_wrap() {
+        assert_eq!(dec_elapsed(100, 90), 10);
+        // Wrapped: earlier snapshot was 5, decrementer passed 0.
+        assert_eq!(dec_elapsed(5, u32::MAX - 4), 10);
+        assert_eq!(dec_elapsed(7, 7), 0);
+    }
+
+    #[test]
+    fn load_at_nonzero_time() {
+        let d = Decrementer::loaded(500, Cycle::new(1200), &CLK);
+        assert_eq!(d.loaded_at_timebase(), 10);
+        assert_eq!(d.value_at(Cycle::new(1200 + 240), &CLK), 498);
+    }
+}

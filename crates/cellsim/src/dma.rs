@@ -1,0 +1,325 @@
+//! DMA commands, tag groups and architectural validation.
+//!
+//! MFC DMA commands move up to 16 KiB between an SPE local store and an
+//! effective address; valid sizes are 1, 2, 4, 8 bytes or any multiple
+//! of 16 up to 16 KiB, and the low four address bits of source and
+//! destination must match. Commands carry a 5-bit *tag*; completion is
+//! observed per tag group (`WaitTagsAll` / `WaitTagsAny`). DMA *lists*
+//! gather/scatter up to 2048 elements under one command.
+
+use crate::config::MAX_DMA_SIZE;
+use crate::error::DmaError;
+use crate::local_store::LsAddr;
+
+/// An MFC tag-group id (0..32).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TagId(u8);
+
+impl TagId {
+    /// Creates a tag id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmaError::BadTag`] if `tag >= 32`.
+    pub fn new(tag: u8) -> Result<Self, DmaError> {
+        if tag < 32 {
+            Ok(TagId(tag))
+        } else {
+            Err(DmaError::BadTag { tag })
+        }
+    }
+
+    /// The raw tag value.
+    #[inline]
+    pub fn get(self) -> u8 {
+        self.0
+    }
+
+    /// The tag's bit in a tag-status mask.
+    #[inline]
+    pub fn mask_bit(self) -> u32 {
+        1u32 << self.0
+    }
+}
+
+/// Transfer direction, named from the SPE's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmaKind {
+    /// Effective address → local store.
+    Get,
+    /// Local store → effective address.
+    Put,
+}
+
+/// One element of a DMA list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaListElem {
+    /// Effective address of this element.
+    pub ea: u64,
+    /// Transfer size of this element.
+    pub size: u32,
+}
+
+/// Who injected a DMA command — user programs or the tracing layer.
+/// Trace flushes ride the same queues and rings (perturbation is part
+/// of what we measure) but their completion notifies the tracer rather
+/// than a tag waiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaOrigin {
+    /// Issued by the SPU program (or PPE proxy on its behalf).
+    User,
+    /// Issued by the PDT tracer to flush a trace buffer.
+    Trace,
+}
+
+/// A validated MFC DMA command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmaCmd {
+    /// Direction.
+    pub kind: DmaKind,
+    /// Local-store address.
+    pub lsa: LsAddr,
+    /// Effective address (start of transfer, or list base for lists).
+    pub ea: u64,
+    /// Size in bytes (single transfers; 0 for list commands).
+    pub size: u32,
+    /// Tag group.
+    pub tag: TagId,
+    /// Scatter/gather list, if this is a list command.
+    pub list: Option<Vec<DmaListElem>>,
+    /// Who issued the command.
+    pub origin: DmaOrigin,
+}
+
+/// Validates a single-transfer size: 1, 2, 4, 8 or a multiple of 16 up
+/// to 16 KiB.
+pub fn valid_dma_size(size: u32) -> bool {
+    matches!(size, 1 | 2 | 4 | 8) || (size != 0 && size.is_multiple_of(16) && size <= MAX_DMA_SIZE)
+}
+
+impl DmaCmd {
+    /// Builds a validated single-transfer command.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmaError`] for invalid sizes or address misalignment
+    /// (low 4 bits of `lsa` and `ea` must match, as on hardware).
+    pub fn single(
+        kind: DmaKind,
+        lsa: LsAddr,
+        ea: u64,
+        size: u32,
+        tag: TagId,
+    ) -> Result<Self, DmaError> {
+        if !valid_dma_size(size) {
+            return Err(DmaError::BadSize { size });
+        }
+        if (lsa.get() as u64 & 0xf) != (ea & 0xf) {
+            return Err(DmaError::Misaligned { lsa: lsa.get(), ea });
+        }
+        Ok(DmaCmd {
+            kind,
+            lsa,
+            ea,
+            size,
+            tag,
+            list: None,
+            origin: DmaOrigin::User,
+        })
+    }
+
+    /// Builds a validated list command. Elements transfer to/from
+    /// consecutive local-store addresses starting at `lsa`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmaError::BadList`] for an empty or over-long list and
+    /// [`DmaError::BadSize`] for an invalid element size.
+    pub fn list(
+        kind: DmaKind,
+        lsa: LsAddr,
+        elems: Vec<DmaListElem>,
+        tag: TagId,
+    ) -> Result<Self, DmaError> {
+        if elems.is_empty() || elems.len() > 2048 {
+            return Err(DmaError::BadList { len: elems.len() });
+        }
+        for e in &elems {
+            if !valid_dma_size(e.size) {
+                return Err(DmaError::BadSize { size: e.size });
+            }
+        }
+        Ok(DmaCmd {
+            kind,
+            lsa,
+            ea: elems[0].ea,
+            size: 0,
+            tag,
+            list: Some(elems),
+            origin: DmaOrigin::User,
+        })
+    }
+
+    /// Total bytes this command moves.
+    pub fn total_bytes(&self) -> u64 {
+        match &self.list {
+            Some(l) => l.iter().map(|e| e.size as u64).sum(),
+            None => self.size as u64,
+        }
+    }
+
+    /// Marks the command as tracer-issued.
+    pub fn with_origin(mut self, origin: DmaOrigin) -> Self {
+        self.origin = origin;
+        self
+    }
+}
+
+/// Waiting discipline for tag-group completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagWaitMode {
+    /// Resume when every tag in the mask has no outstanding commands.
+    All,
+    /// Resume when any tag in the mask has no outstanding commands.
+    Any,
+}
+
+/// Per-SPE bookkeeping of outstanding commands per tag group.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct TagGroups {
+    outstanding: [u32; 32],
+}
+
+
+impl TagGroups {
+    /// Creates an empty tag-group table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Notes one more outstanding command on `tag`.
+    pub fn issue(&mut self, tag: TagId) {
+        self.outstanding[tag.get() as usize] += 1;
+    }
+
+    /// Notes completion of one command on `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag had no outstanding commands (a simulator bug).
+    pub fn complete(&mut self, tag: TagId) {
+        let c = &mut self.outstanding[tag.get() as usize];
+        assert!(*c > 0, "tag {} completed with none outstanding", tag.get());
+        *c -= 1;
+    }
+
+    /// Outstanding command count for `tag`.
+    pub fn outstanding(&self, tag: TagId) -> u32 {
+        self.outstanding[tag.get() as usize]
+    }
+
+    /// Bitmask of tags in `mask` that currently have **no** outstanding
+    /// commands (the MFC tag-status semantics).
+    pub fn completed_mask(&self, mask: u32) -> u32 {
+        let mut done = 0u32;
+        for t in 0..32 {
+            if mask & (1 << t) != 0 && self.outstanding[t] == 0 {
+                done |= 1 << t;
+            }
+        }
+        done
+    }
+
+    /// Whether a wait with the given mode and mask would be satisfied.
+    pub fn satisfied(&self, mask: u32, mode: TagWaitMode) -> bool {
+        let done = self.completed_mask(mask);
+        match mode {
+            TagWaitMode::All => done == mask,
+            TagWaitMode::Any => done != 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_id_validation() {
+        assert!(TagId::new(0).is_ok());
+        assert!(TagId::new(31).is_ok());
+        assert!(matches!(TagId::new(32), Err(DmaError::BadTag { tag: 32 })));
+        assert_eq!(TagId::new(5).unwrap().mask_bit(), 32);
+    }
+
+    #[test]
+    fn size_validation_matches_architecture() {
+        for ok in [1u32, 2, 4, 8, 16, 32, 128, 1024, 16384] {
+            assert!(valid_dma_size(ok), "{ok} should be valid");
+        }
+        for bad in [0u32, 3, 5, 12, 17, 100, 16400, 32768] {
+            assert!(!valid_dma_size(bad), "{bad} should be invalid");
+        }
+    }
+
+    #[test]
+    fn single_command_checks_alignment() {
+        let tag = TagId::new(0).unwrap();
+        assert!(DmaCmd::single(DmaKind::Get, LsAddr::new(0x10), 0x1000, 128, tag).is_ok());
+        let err = DmaCmd::single(DmaKind::Get, LsAddr::new(0x11), 0x1000, 128, tag).unwrap_err();
+        assert!(matches!(err, DmaError::Misaligned { .. }));
+    }
+
+    #[test]
+    fn list_command_totals_bytes() {
+        let tag = TagId::new(3).unwrap();
+        let elems = vec![
+            DmaListElem {
+                ea: 0x1000,
+                size: 128,
+            },
+            DmaListElem {
+                ea: 0x9000,
+                size: 256,
+            },
+        ];
+        let cmd = DmaCmd::list(DmaKind::Get, LsAddr::new(0), elems, tag).unwrap();
+        assert_eq!(cmd.total_bytes(), 384);
+        assert!(DmaCmd::list(DmaKind::Get, LsAddr::new(0), vec![], tag).is_err());
+    }
+
+    #[test]
+    fn tag_groups_track_completion() {
+        let mut tg = TagGroups::new();
+        let t0 = TagId::new(0).unwrap();
+        let t1 = TagId::new(1).unwrap();
+        tg.issue(t0);
+        tg.issue(t0);
+        tg.issue(t1);
+        let mask = t0.mask_bit() | t1.mask_bit();
+        assert!(!tg.satisfied(mask, TagWaitMode::All));
+        assert!(!tg.satisfied(mask, TagWaitMode::Any));
+        tg.complete(t1);
+        assert!(tg.satisfied(mask, TagWaitMode::Any));
+        assert!(!tg.satisfied(mask, TagWaitMode::All));
+        tg.complete(t0);
+        tg.complete(t0);
+        assert!(tg.satisfied(mask, TagWaitMode::All));
+        assert_eq!(tg.completed_mask(mask), mask);
+    }
+
+    #[test]
+    #[should_panic(expected = "none outstanding")]
+    fn double_complete_panics() {
+        let mut tg = TagGroups::new();
+        tg.complete(TagId::new(0).unwrap());
+    }
+
+    #[test]
+    fn empty_mask_wait_all_is_trivially_satisfied() {
+        let tg = TagGroups::new();
+        assert!(tg.satisfied(0, TagWaitMode::All));
+        assert!(!tg.satisfied(0, TagWaitMode::Any));
+    }
+}

@@ -1,0 +1,289 @@
+//! The Element Interconnect Bus.
+//!
+//! The EIB connects the PPE, the SPEs, the memory interface controller
+//! (MIC) and the I/O interfaces with four unidirectional data rings,
+//! each moving 16 bytes per bus cycle (the bus runs at half the core
+//! clock). We model each ring as a bandwidth resource with a
+//! next-free-time, plus a hop-distance latency term and a separate
+//! occupancy/latency model for the MIC port. This reproduces the two
+//! effects the PDT use cases care about: transfer time growing with
+//! size, and congestion when many SPEs move data at once.
+
+use crate::config::MachineConfig;
+use crate::cycle::Cycle;
+use crate::ids::SpeId;
+
+/// A bus element (ring stop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Element {
+    /// The PPE ring stop.
+    Ppe,
+    /// An SPE ring stop.
+    Spe(SpeId),
+    /// The memory interface controller.
+    Mem,
+}
+
+/// Timing of one granted transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferTiming {
+    /// When the transfer started moving data.
+    pub start: Cycle,
+    /// When the last byte arrived.
+    pub finish: Cycle,
+    /// Ring that carried the transfer.
+    pub ring: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Ring {
+    free_at: Cycle,
+    bytes: u64,
+    transfers: u64,
+}
+
+/// Aggregate EIB statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EibStats {
+    /// Total bytes moved over all rings.
+    pub total_bytes: u64,
+    /// Total transfers granted.
+    pub transfers: u64,
+    /// Bytes that crossed the MIC port.
+    pub mem_bytes: u64,
+    /// Per-ring byte counts.
+    pub ring_bytes: Vec<u64>,
+}
+
+/// The EIB arbitration and bandwidth model.
+#[derive(Debug)]
+pub struct Eib {
+    rings: Vec<Ring>,
+    mic_free_at: Cycle,
+    num_stops: usize,
+    bytes_per_bus_cycle: u64,
+    bus_divider: u64,
+    hop_cycles: u64,
+    mem_latency_cycles: u64,
+    mem_occ_num: u64,
+    mem_occ_den: u64,
+    mem_bytes: u64,
+}
+
+impl Eib {
+    /// Builds the EIB from the machine configuration.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        let (num, den) = cfg.mem_occupancy();
+        Eib {
+            rings: vec![Ring::default(); cfg.eib_rings],
+            mic_free_at: Cycle::ZERO,
+            num_stops: cfg.num_spes + 2,
+            bytes_per_bus_cycle: cfg.eib_bytes_per_bus_cycle,
+            bus_divider: cfg.eib_bus_divider,
+            hop_cycles: cfg.eib_hop_cycles,
+            mem_latency_cycles: cfg.mem_latency_cycles(),
+            mem_occ_num: num,
+            mem_occ_den: den,
+            mem_bytes: 0,
+        }
+    }
+
+    fn position(&self, e: Element) -> usize {
+        match e {
+            Element::Ppe => 0,
+            Element::Spe(s) => 1 + s.index(),
+            Element::Mem => self.num_stops - 1,
+        }
+    }
+
+    /// Ring hop distance between two elements (shorter direction).
+    pub fn hops(&self, a: Element, b: Element) -> u64 {
+        let pa = self.position(a);
+        let pb = self.position(b);
+        let d = pa.abs_diff(pb);
+        d.min(self.num_stops - d) as u64
+    }
+
+    /// Pure data-movement time for `bytes` on one ring, in core cycles
+    /// (no queueing, no memory latency).
+    pub fn wire_cycles(&self, bytes: u64) -> u64 {
+        let bus_cycles = bytes.div_ceil(self.bytes_per_bus_cycle);
+        bus_cycles * self.bus_divider
+    }
+
+    fn mem_occupancy_cycles(&self, bytes: u64) -> u64 {
+        // cycles = bytes * core_hz / bandwidth, rounded up.
+        (bytes * self.mem_occ_num).div_ceil(self.mem_occ_den)
+    }
+
+    /// Requests a transfer of `bytes` from `src` to `dst`, no earlier
+    /// than `earliest`. Reserves ring (and MIC, when memory is an
+    /// endpoint) bandwidth and returns the granted timing.
+    pub fn transfer(
+        &mut self,
+        src: Element,
+        dst: Element,
+        bytes: u64,
+        earliest: Cycle,
+    ) -> TransferTiming {
+        let touches_mem = src == Element::Mem || dst == Element::Mem;
+        // Least-loaded ring wins arbitration.
+        let (ring_idx, _) = self
+            .rings
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, r)| (r.free_at, *i))
+            .expect("EIB has at least one ring");
+
+        let mut start = earliest.max(self.rings[ring_idx].free_at);
+        if touches_mem {
+            start = start.max(self.mic_free_at);
+        }
+
+        let occupancy = self.wire_cycles(bytes);
+        let hop_latency = self.hops(src, dst) * self.hop_cycles;
+        let mut finish = start + occupancy + hop_latency;
+        if touches_mem {
+            finish += self.mem_latency_cycles;
+            let mic_occ = self.mem_occupancy_cycles(bytes);
+            self.mic_free_at = start + mic_occ.max(occupancy);
+            self.mem_bytes += bytes;
+        }
+
+        let ring = &mut self.rings[ring_idx];
+        ring.free_at = start + occupancy;
+        ring.bytes += bytes;
+        ring.transfers += 1;
+
+        TransferTiming {
+            start,
+            finish,
+            ring: ring_idx,
+        }
+    }
+
+    /// Snapshot of the accumulated statistics.
+    pub fn stats(&self) -> EibStats {
+        EibStats {
+            total_bytes: self.rings.iter().map(|r| r.bytes).sum(),
+            transfers: self.rings.iter().map(|r| r.transfers).sum(),
+            mem_bytes: self.mem_bytes,
+            ring_bytes: self.rings.iter().map(|r| r.bytes).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eib() -> Eib {
+        Eib::new(&MachineConfig::default())
+    }
+
+    #[test]
+    fn wire_time_scales_with_size() {
+        let e = eib();
+        // 16 B per bus cycle, bus at half clock: 128 B = 8 bus cycles = 16 core cycles.
+        assert_eq!(e.wire_cycles(128), 16);
+        assert_eq!(e.wire_cycles(16 * 1024), 2048);
+        // Sub-granule transfers still occupy one bus cycle.
+        assert_eq!(e.wire_cycles(1), 2);
+    }
+
+    #[test]
+    fn hop_distance_uses_shorter_direction() {
+        let e = eib(); // 10 stops: PPE, 8 SPEs, MIC.
+        assert_eq!(e.hops(Element::Ppe, Element::Spe(SpeId::new(0))), 1);
+        assert_eq!(e.hops(Element::Ppe, Element::Mem), 1); // around the ring
+        assert_eq!(
+            e.hops(Element::Spe(SpeId::new(0)), Element::Spe(SpeId::new(7))),
+            3
+        );
+    }
+
+    #[test]
+    fn memory_transfers_pay_latency() {
+        let mut e = eib();
+        let ls_to_ls = e.transfer(
+            Element::Spe(SpeId::new(0)),
+            Element::Spe(SpeId::new(1)),
+            128,
+            Cycle::ZERO,
+        );
+        let mut e2 = eib();
+        let mem = e2.transfer(Element::Mem, Element::Spe(SpeId::new(0)), 128, Cycle::ZERO);
+        assert!(
+            mem.finish.get() > ls_to_ls.finish.get() + 200,
+            "memory transfer {:?} should be much slower than LS-to-LS {:?}",
+            mem,
+            ls_to_ls
+        );
+    }
+
+    #[test]
+    fn concurrent_transfers_spread_over_rings() {
+        let mut e = eib();
+        let mut rings = std::collections::HashSet::new();
+        for i in 0..4 {
+            let t = e.transfer(
+                Element::Spe(SpeId::new(i)),
+                Element::Spe(SpeId::new(i + 4)),
+                4096,
+                Cycle::ZERO,
+            );
+            rings.insert(t.ring);
+            assert_eq!(
+                t.start,
+                Cycle::ZERO,
+                "4 rings → no queueing for 4 transfers"
+            );
+        }
+        assert_eq!(rings.len(), 4);
+        // A fifth transfer must queue behind one of them.
+        let t5 = e.transfer(
+            Element::Spe(SpeId::new(0)),
+            Element::Spe(SpeId::new(1)),
+            4096,
+            Cycle::ZERO,
+        );
+        assert!(t5.start.get() > 0);
+    }
+
+    #[test]
+    fn mic_serializes_memory_traffic() {
+        let mut e = eib();
+        let t1 = e.transfer(
+            Element::Mem,
+            Element::Spe(SpeId::new(0)),
+            16 * 1024,
+            Cycle::ZERO,
+        );
+        let t2 = e.transfer(
+            Element::Mem,
+            Element::Spe(SpeId::new(1)),
+            16 * 1024,
+            Cycle::ZERO,
+        );
+        // Second transfer waits for MIC occupancy even though a free ring exists.
+        assert!(t2.start >= Cycle::new(2048));
+        assert!(t2.finish > t1.finish);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut e = eib();
+        e.transfer(Element::Mem, Element::Spe(SpeId::new(0)), 1024, Cycle::ZERO);
+        e.transfer(
+            Element::Spe(SpeId::new(0)),
+            Element::Spe(SpeId::new(1)),
+            512,
+            Cycle::ZERO,
+        );
+        let s = e.stats();
+        assert_eq!(s.total_bytes, 1536);
+        assert_eq!(s.transfers, 2);
+        assert_eq!(s.mem_bytes, 1024);
+        assert_eq!(s.ring_bytes.iter().sum::<u64>(), 1536);
+    }
+}

@@ -1,0 +1,167 @@
+//! The discrete-event core.
+//!
+//! A deterministic priority queue of `(time, sequence)`-ordered events.
+//! Ties at the same cycle are broken by insertion order, so a given
+//! program and configuration always replays identically — a property
+//! the PDT reproduction leans on (trace diffs between runs isolate the
+//! tracer's perturbation, not scheduler noise).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::cycle::Cycle;
+
+struct Scheduled<E> {
+    at: Cycle,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Deterministic discrete-event queue.
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: Cycle,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Schedules `ev` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: Cycle, ev: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            ev,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `ev` after `delay` cycles.
+    pub fn schedule_in(&mut self, delay: u64, ev: E) {
+        self.schedule_at(self.now + delay, ev);
+    }
+
+    /// Pops the next event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|s| {
+            debug_assert!(s.at >= self.now);
+            self.now = s.at;
+            (s.at, s.ev)
+        })
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycle::new(30), "c");
+        q.schedule_at(Cycle::new(10), "a");
+        q.schedule_at(Cycle::new(20), "b");
+        assert_eq!(q.pop().unwrap(), (Cycle::new(10), "a"));
+        assert_eq!(q.pop().unwrap(), (Cycle::new(20), "b"));
+        assert_eq!(q.now(), Cycle::new(20));
+        assert_eq!(q.pop().unwrap(), (Cycle::new(30), "c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for name in ["first", "second", "third"] {
+            q.schedule_at(Cycle::new(5), name);
+        }
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycle::new(10), 1u32);
+        q.pop();
+        q.schedule_in(5, 2u32);
+        assert_eq!(q.pop().unwrap(), (Cycle::new(15), 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycle::new(10), ());
+        q.pop();
+        q.schedule_at(Cycle::new(5), ());
+    }
+
+    #[test]
+    fn len_and_is_empty_track_contents() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_in(1, ());
+        q.schedule_in(2, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Error types for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{CtxId, SpeId};
+
+/// Invalid machine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    msg: String,
+}
+
+impl ConfigError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        ConfigError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid machine configuration: {}", self.msg)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Out-of-bounds or misaligned main-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemError {
+    /// Effective address of the failing access.
+    pub ea: u64,
+    /// Length of the failing access.
+    pub len: u64,
+    /// Memory size limit.
+    pub limit: u64,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "main-memory access out of bounds: ea={:#x} len={} limit={:#x}",
+            self.ea, self.len, self.limit
+        )
+    }
+}
+
+impl Error for MemError {}
+
+/// Invalid local-store access or allocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LsError {
+    /// Access beyond the local-store size.
+    OutOfBounds {
+        /// Local-store address of the failing access.
+        addr: u32,
+        /// Access length.
+        len: u32,
+        /// Local-store size.
+        size: u32,
+    },
+    /// The bump allocator ran out of space.
+    OutOfSpace {
+        /// Requested allocation size.
+        requested: u32,
+        /// Bytes remaining.
+        available: u32,
+    },
+}
+
+impl fmt::Display for LsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LsError::OutOfBounds { addr, len, size } => write!(
+                f,
+                "local-store access out of bounds: addr={addr:#x} len={len} ls_size={size:#x}"
+            ),
+            LsError::OutOfSpace {
+                requested,
+                available,
+            } => write!(
+                f,
+                "local-store allocation failed: requested {requested} bytes, {available} available"
+            ),
+        }
+    }
+}
+
+impl Error for LsError {}
+
+/// Invalid DMA command (size, alignment, or tag violations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmaError {
+    /// Transfer size is not architecturally valid.
+    BadSize {
+        /// The offending size.
+        size: u32,
+    },
+    /// Source and destination addresses are not congruent modulo 16.
+    Misaligned {
+        /// Local-store address.
+        lsa: u32,
+        /// Effective address.
+        ea: u64,
+    },
+    /// Tag id out of the 0..32 range.
+    BadTag {
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A DMA list is empty or too long.
+    BadList {
+        /// Number of elements supplied.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmaError::BadSize { size } => write!(
+                f,
+                "invalid DMA size {size}: must be 1,2,4,8 or a multiple of 16 up to 16384"
+            ),
+            DmaError::Misaligned { lsa, ea } => write!(
+                f,
+                "DMA addresses not congruent mod 16: lsa={lsa:#x} ea={ea:#x}"
+            ),
+            DmaError::BadTag { tag } => write!(f, "invalid DMA tag {tag}: must be < 32"),
+            DmaError::BadList { len } => {
+                write!(f, "invalid DMA list length {len}: must be 1..=2048")
+            }
+        }
+    }
+}
+
+impl Error for DmaError {}
+
+/// A fatal simulation error: the machine cannot make progress or a
+/// program performed an illegal operation.
+#[derive(Debug)]
+pub enum SimError {
+    /// Configuration failed validation.
+    Config(ConfigError),
+    /// Main-memory fault raised by a DMA transfer or a PPE access.
+    Mem(MemError),
+    /// Local-store fault.
+    Ls(LsError),
+    /// Invalid DMA command submitted by a program.
+    Dma(DmaError),
+    /// The simulation exceeded the configured cycle cap.
+    CycleCapExceeded {
+        /// The configured cap.
+        cap: u64,
+    },
+    /// Deadlock: cores are blocked but no events remain.
+    Deadlock {
+        /// Human-readable description of who is blocked on what.
+        detail: String,
+    },
+    /// A runtime-interface misuse (double-run of a context, bad id, ...).
+    Runtime {
+        /// Description of the misuse.
+        detail: String,
+    },
+    /// No free physical SPE was available for [`CtxId`].
+    NoFreeSpe {
+        /// The context that could not be scheduled.
+        ctx: CtxId,
+    },
+    /// A program on the given SPE panicked the simulation contract
+    /// (e.g. produced an action while stopped).
+    ProgramFault {
+        /// The SPE whose program misbehaved.
+        spe: SpeId,
+        /// Description of the fault.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::Mem(e) => write!(f, "{e}"),
+            SimError::Ls(e) => write!(f, "{e}"),
+            SimError::Dma(e) => write!(f, "{e}"),
+            SimError::CycleCapExceeded { cap } => {
+                write!(f, "simulation exceeded cycle cap of {cap}")
+            }
+            SimError::Deadlock { detail } => write!(f, "simulation deadlock: {detail}"),
+            SimError::Runtime { detail } => write!(f, "runtime misuse: {detail}"),
+            SimError::NoFreeSpe { ctx } => {
+                write!(f, "no free physical SPE available to run {ctx}")
+            }
+            SimError::ProgramFault { spe, detail } => {
+                write!(f, "program fault on {spe}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Mem(e) => Some(e),
+            SimError::Ls(e) => Some(e),
+            SimError::Dma(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<MemError> for SimError {
+    fn from(e: MemError) -> Self {
+        SimError::Mem(e)
+    }
+}
+
+impl From<LsError> for SimError {
+    fn from(e: LsError) -> Self {
+        SimError::Ls(e)
+    }
+}
+
+impl From<DmaError> for SimError {
+    fn from(e: DmaError) -> Self {
+        SimError::Dma(e)
+    }
+}
+
+/// Convenience alias for simulator results.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = MemError {
+            ea: 0x1000,
+            len: 16,
+            limit: 0x100,
+        };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = DmaError::BadSize { size: 3 };
+        assert!(e.to_string().contains("invalid DMA size 3"));
+        let e: SimError = e.into();
+        assert!(e.to_string().contains("invalid DMA size"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn sim_error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn deadlock_and_cap_display() {
+        let e = SimError::Deadlock {
+            detail: "SPE0 waiting on mailbox".into(),
+        };
+        assert!(e.to_string().contains("deadlock"));
+        let e = SimError::CycleCapExceeded { cap: 10 };
+        assert!(e.to_string().contains("cycle cap"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Tracer hook points.
+//!
+//! These traits are the seam between the machine and the PDT: the
+//! simulator invokes a hook at every runtime-interface event (the same
+//! granularity at which the real PDT instruments libspe2 and the SPU
+//! channel interface), and the hook answers with the *cost* of
+//! recording — cycles to charge to the core, plus an optional trace
+//! buffer flush expressed as a real DMA the machine must perform.
+//! Tracing perturbation therefore emerges from the simulation rather
+//! than being asserted.
+//!
+//! `cellsim` defines the traits; the `pdt` crate implements them. A
+//! machine with no tracers attached runs with strictly zero overhead.
+
+use crate::dma::{DmaKind, TagId, TagWaitMode};
+use crate::ids::{CtxId, PpeThreadId, SpeId};
+use crate::local_store::{LocalStore, LsAddr};
+use crate::signal::SignalReg;
+
+/// A runtime-interface event, as seen at an instrumentation point.
+///
+/// Variants map one-to-one onto the call sites the PDT instruments:
+/// DMA issue, tag waits, mailbox and signal traffic, context lifecycle
+/// and user events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeEvent {
+    /// SPU begins executing a context.
+    SpeCtxStart {
+        /// The context.
+        ctx: CtxId,
+    },
+    /// SPU enqueued a DMA command.
+    SpeDmaIssue {
+        /// Direction.
+        kind: DmaKind,
+        /// Local-store address.
+        lsa: u32,
+        /// Effective address.
+        ea: u64,
+        /// Total bytes (sum over list elements for lists).
+        size: u32,
+        /// Tag group.
+        tag: u8,
+        /// Number of list elements (0 for single transfers).
+        list_len: u32,
+    },
+    /// SPU entered a tag-group wait.
+    SpeTagWaitBegin {
+        /// Tag mask.
+        mask: u32,
+        /// All/any discipline.
+        mode: TagWaitMode,
+    },
+    /// SPU left a tag-group wait.
+    SpeTagWaitEnd {
+        /// Tags that completed.
+        mask: u32,
+    },
+    /// SPU started reading its inbound mailbox.
+    SpeMboxReadBegin,
+    /// SPU finished reading its inbound mailbox.
+    SpeMboxReadEnd {
+        /// The word read.
+        value: u32,
+    },
+    /// SPU wrote an outbound mailbox.
+    SpeMboxWrite {
+        /// The word written.
+        value: u32,
+        /// True for the interrupt mailbox.
+        interrupt: bool,
+    },
+    /// SPU started reading a signal register.
+    SpeSignalReadBegin {
+        /// Which register.
+        reg: SignalReg,
+    },
+    /// SPU finished reading a signal register.
+    SpeSignalReadEnd {
+        /// The value read.
+        value: u32,
+    },
+    /// SPU sent a signal to another SPE (`sndsig`).
+    SpeSignalSend {
+        /// Target SPE index.
+        target: u32,
+        /// Register.
+        reg: SignalReg,
+        /// Word sent.
+        value: u32,
+    },
+    /// SPU issued an atomic fetch-and-add.
+    SpeAtomic {
+        /// Counter address.
+        ea: u64,
+        /// Added value.
+        delta: u32,
+    },
+    /// User-defined SPE event.
+    SpeUser {
+        /// Event id.
+        id: u32,
+        /// First payload word.
+        a0: u64,
+        /// Second payload word.
+        a1: u64,
+    },
+    /// SPU stopped.
+    SpeStop {
+        /// Stop code.
+        code: u32,
+    },
+    /// PPE created an SPE context.
+    PpeCtxCreate {
+        /// New context id.
+        ctx: CtxId,
+        /// Context name.
+        name: String,
+    },
+    /// PPE bound a context to a physical SPE and started it. The PDT
+    /// writes its time-synchronization record here: the PPE timebase at
+    /// this instant corresponds to the SPE decrementer's start value.
+    PpeCtxRun {
+        /// The context.
+        ctx: CtxId,
+        /// The physical SPE it runs on.
+        spe: SpeId,
+        /// Decrementer value the runtime loaded at start.
+        dec_start: u32,
+    },
+    /// PPE observed a context stop.
+    PpeCtxStopped {
+        /// The context.
+        ctx: CtxId,
+        /// SPU stop code.
+        code: u32,
+    },
+    /// PPE wrote an SPE inbound mailbox.
+    PpeMboxWrite {
+        /// Target context.
+        ctx: CtxId,
+        /// Word written.
+        value: u32,
+    },
+    /// PPE read an SPE outbound mailbox.
+    PpeMboxRead {
+        /// Source context.
+        ctx: CtxId,
+        /// Word read.
+        value: u32,
+        /// True for the interrupt mailbox.
+        interrupt: bool,
+    },
+    /// PPE delivered a signal.
+    PpeSignalWrite {
+        /// Target context.
+        ctx: CtxId,
+        /// Register.
+        reg: SignalReg,
+        /// Word delivered.
+        value: u32,
+    },
+    /// PPE issued a proxy DMA.
+    PpeProxyDma {
+        /// Target context.
+        ctx: CtxId,
+        /// Direction.
+        kind: DmaKind,
+        /// Bytes.
+        size: u32,
+        /// Tag.
+        tag: u8,
+    },
+    /// User-defined PPE event.
+    PpeUser {
+        /// Event id.
+        id: u32,
+        /// First payload word.
+        a0: u64,
+        /// Second payload word.
+        a1: u64,
+    },
+}
+
+/// A trace-buffer flush the tracer asks the machine to perform: a PUT
+/// DMA from the tracer's local-store buffer region to main memory,
+/// riding the ordinary MFC/EIB machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushRequest {
+    /// Local-store source (inside the tracer's reserved region).
+    pub lsa: LsAddr,
+    /// Bytes to flush.
+    pub len: u32,
+    /// Main-memory destination.
+    pub ea: u64,
+    /// Tag the flush uses (PDT reserves a tag for itself).
+    pub tag: TagId,
+}
+
+/// Cost of recording one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCost {
+    /// SPU/PPE cycles consumed by the instrumentation.
+    pub cycles: u64,
+    /// Buffer flush to start, if the event filled the buffer.
+    pub flush: Option<FlushRequest>,
+}
+
+impl TraceCost {
+    /// A free event (tracing disabled for this group).
+    pub const FREE: TraceCost = TraceCost {
+        cycles: 0,
+        flush: None,
+    };
+}
+
+/// SPE-side tracer: owns the per-SPE trace buffer living in the local
+/// store it is handed.
+pub trait SpeTracer: Send {
+    /// Called once when a context starts on `spe`, before any events.
+    /// The tracer allocates its LS buffer region here.
+    fn attach(&mut self, spe: SpeId, ls: &mut LocalStore);
+
+    /// Record one event with the SPE decrementer timestamp `dec`.
+    /// Returns the cycles to charge and an optional flush.
+    fn on_event(
+        &mut self,
+        spe: SpeId,
+        dec: u32,
+        ev: &RuntimeEvent,
+        ls: &mut LocalStore,
+    ) -> TraceCost;
+
+    /// The machine completed a flush DMA. May return a follow-up flush
+    /// (the other half of a double buffer that filled meanwhile).
+    fn on_flush_complete(&mut self, spe: SpeId, ls: &mut LocalStore) -> Option<FlushRequest>;
+
+    /// The context stopped; flush whatever remains.
+    fn finalize(&mut self, spe: SpeId, ls: &mut LocalStore) -> Option<FlushRequest>;
+}
+
+/// PPE-side tracer. PPE trace buffers live in main memory and are
+/// drained by the trace writer directly, so only a cycle cost is
+/// returned.
+pub trait PpeTracer: Send {
+    /// Record one event with the PPE timebase timestamp.
+    fn on_event(&mut self, thread: PpeThreadId, timebase: u64, ev: &RuntimeEvent) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_cost_free_is_zero() {
+        assert_eq!(TraceCost::FREE.cycles, 0);
+        assert!(TraceCost::FREE.flush.is_none());
+    }
+
+    #[test]
+    fn runtime_event_is_cloneable_and_comparable() {
+        let e = RuntimeEvent::SpeUser {
+            id: 1,
+            a0: 2,
+            a1: 3,
+        };
+        assert_eq!(e.clone(), e);
+        let f = RuntimeEvent::SpeMboxWrite {
+            value: 1,
+            interrupt: false,
+        };
+        assert_ne!(e, f);
+    }
+
+    #[test]
+    fn hook_traits_are_object_safe() {
+        struct T;
+        impl SpeTracer for T {
+            fn attach(&mut self, _: SpeId, _: &mut LocalStore) {}
+            fn on_event(
+                &mut self,
+                _: SpeId,
+                _: u32,
+                _: &RuntimeEvent,
+                _: &mut LocalStore,
+            ) -> TraceCost {
+                TraceCost::FREE
+            }
+            fn on_flush_complete(&mut self, _: SpeId, _: &mut LocalStore) -> Option<FlushRequest> {
+                None
+            }
+            fn finalize(&mut self, _: SpeId, _: &mut LocalStore) -> Option<FlushRequest> {
+                None
+            }
+        }
+        let _: Box<dyn SpeTracer> = Box::new(T);
+    }
+}

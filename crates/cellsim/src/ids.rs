@@ -1,0 +1,158 @@
+//! Identifiers for cores, contexts and hardware threads.
+
+use std::fmt;
+
+/// Index of a physical SPE (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpeId(u8);
+
+impl SpeId {
+    /// Creates an SPE id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the architectural maximum of 16 SPEs.
+    pub fn new(index: usize) -> Self {
+        assert!(index < 16, "SPE index {index} out of range (max 16)");
+        SpeId(index as u8)
+    }
+
+    /// Returns the 0-based index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SpeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SPE{}", self.0)
+    }
+}
+
+/// Index of a PPE hardware thread (the PPE is 2-way SMT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PpeThreadId(u8);
+
+impl PpeThreadId {
+    /// Creates a PPE hardware-thread id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2`; the Cell PPE has exactly two hardware
+    /// threads.
+    pub fn new(index: usize) -> Self {
+        assert!(index < 2, "PPE thread index {index} out of range (max 2)");
+        PpeThreadId(index as u8)
+    }
+
+    /// Returns the 0-based index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PpeThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PPE.{}", self.0)
+    }
+}
+
+/// A core as it appears in trace records: either a PPE hardware thread
+/// or an SPE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CoreId {
+    /// A PPE hardware thread.
+    Ppe(PpeThreadId),
+    /// A synergistic processing element.
+    Spe(SpeId),
+}
+
+impl CoreId {
+    /// A small dense index usable as an array slot: PPE threads first,
+    /// then SPEs.
+    pub fn dense_index(self, num_ppe_threads: usize) -> usize {
+        match self {
+            CoreId::Ppe(t) => t.index(),
+            CoreId::Spe(s) => num_ppe_threads + s.index(),
+        }
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreId::Ppe(t) => write!(f, "{t}"),
+            CoreId::Spe(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Handle to an SPE context created through the runtime
+/// (the analogue of a `spe_context_ptr_t` in libspe2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CtxId(u32);
+
+impl CtxId {
+    /// Creates a context id from its 0-based creation index. Contexts
+    /// are numbered in creation order by the machine; constructing an
+    /// id does not create a context.
+    pub fn new(index: usize) -> Self {
+        CtxId(index as u32)
+    }
+
+    /// Returns the 0-based creation index of the context.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CtxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spe_id_roundtrip_and_display() {
+        let id = SpeId::new(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "SPE3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn spe_id_rejects_out_of_range() {
+        let _ = SpeId::new(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ppe_thread_id_rejects_out_of_range() {
+        let _ = PpeThreadId::new(2);
+    }
+
+    #[test]
+    fn core_id_dense_index_partitions_cores() {
+        let ppe0 = CoreId::Ppe(PpeThreadId::new(0));
+        let ppe1 = CoreId::Ppe(PpeThreadId::new(1));
+        let spe0 = CoreId::Spe(SpeId::new(0));
+        let spe5 = CoreId::Spe(SpeId::new(5));
+        assert_eq!(ppe0.dense_index(2), 0);
+        assert_eq!(ppe1.dense_index(2), 1);
+        assert_eq!(spe0.dense_index(2), 2);
+        assert_eq!(spe5.dense_index(2), 7);
+    }
+
+    #[test]
+    fn core_id_display() {
+        assert_eq!(CoreId::Ppe(PpeThreadId::new(1)).to_string(), "PPE.1");
+        assert_eq!(CoreId::Spe(SpeId::new(7)).to_string(), "SPE7");
+    }
+}

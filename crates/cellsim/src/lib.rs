@@ -1,0 +1,85 @@
+//! # cellsim — a cycle-approximate Cell Broadband Engine simulator
+//!
+//! `cellsim` is the hardware substrate for the reproduction of
+//! *Trace-based Performance Analysis on Cell BE* (ISPASS 2008). It
+//! models the parts of the Cell that the paper's Performance Debugging
+//! Tool observes and perturbs:
+//!
+//! - a PPE with two hardware threads, driving SPE contexts through a
+//!   libspe2-like runtime interface ([`PpeProgram`], [`SpmdDriver`]);
+//! - up to 16 SPEs, each with a 256 KiB [`LocalStore`], an MFC with a
+//!   16-entry DMA command queue and 32 tag groups, mailboxes, signal
+//!   notification registers and a down-counting [`Decrementer`];
+//! - the Element Interconnect Bus ([`eib::Eib`]) with four data rings,
+//!   hop latency and a bandwidth-capped memory port;
+//! - sparse [`MainMemory`] with real byte movement — DMA transfers copy
+//!   actual data, so workloads produce verifiable results.
+//!
+//! Programs are *behavioural*: state machines that issue the same
+//! runtime-level operations (`Compute`, `DmaGet`, `WaitTags`, mailbox
+//! reads, ...) that the PDT instruments on real silicon. Tracer hooks
+//! ([`SpeTracer`], [`PpeTracer`]) let the `pdt` crate charge
+//! instrumentation cycles and inject trace-buffer flush DMAs, so the
+//! tracing overhead the paper studies *emerges* from simulation.
+//!
+//! ## Example
+//!
+//! ```
+//! use cellsim::{Machine, MachineConfig, PpeThreadId, SpmdDriver, SpeJob};
+//! use cellsim::{SpuScript, SpuAction};
+//!
+//! # fn main() -> Result<(), cellsim::SimError> {
+//! let mut machine = Machine::new(MachineConfig::default().with_num_spes(2))?;
+//! let jobs = vec![
+//!     SpeJob::new("worker0", Box::new(SpuScript::new(vec![SpuAction::Compute(1_000)]))),
+//!     SpeJob::new("worker1", Box::new(SpuScript::new(vec![SpuAction::Compute(2_000)]))),
+//! ];
+//! machine.set_ppe_program(PpeThreadId::new(0), Box::new(SpmdDriver::new(jobs)));
+//! let report = machine.run()?;
+//! assert_eq!(report.stop_codes.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod cycle;
+pub mod decrementer;
+pub mod dma;
+pub mod eib;
+pub mod engine;
+pub mod error;
+pub mod hooks;
+pub mod ids;
+pub mod local_store;
+pub mod machine;
+pub mod mailbox;
+pub mod memory;
+pub mod mfc;
+pub mod ppu;
+pub mod presets;
+pub mod runtime;
+pub mod script;
+pub mod signal;
+pub mod spe;
+pub mod spu;
+pub mod stats;
+
+pub use config::MachineConfig;
+pub use cycle::{ClockSpec, Cycle};
+pub use decrementer::Decrementer;
+pub use dma::{DmaCmd, DmaKind, DmaListElem, DmaOrigin, TagId, TagWaitMode};
+pub use error::{ConfigError, DmaError, LsError, MemError, SimError, SimResult};
+pub use hooks::{FlushRequest, PpeTracer, RuntimeEvent, SpeTracer, TraceCost};
+pub use ids::{CoreId, CtxId, PpeThreadId, SpeId};
+pub use local_store::{LocalStore, LsAddr};
+pub use machine::{CoreReport, DmaTransfer, Machine, RunReport, DEC_START_VALUE};
+pub use memory::MainMemory;
+pub use ppu::{PpeAction, PpeEnv, PpeProgram, PpeWake};
+pub use runtime::{SpeJob, SpmdDriver};
+pub use script::{PpeScript, SpuScript};
+pub use signal::{SignalMode, SignalReg};
+pub use spu::{SpuAction, SpuEnv, SpuProgram, SpuWake};
+pub use stats::{CoreState, Span, StateBreakdown};

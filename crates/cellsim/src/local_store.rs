@@ -1,0 +1,362 @@
+//! SPE local store.
+//!
+//! Each SPE owns a 256 KiB software-managed local store. Programs and
+//! the PDT trace buffer share it; [`LocalStore`] therefore carries a
+//! simple bump allocator with named reservations so that the tracer's
+//! buffer visibly consumes space a program could otherwise use — one of
+//! the real costs of tracing that the paper discusses.
+
+use std::fmt;
+
+use crate::error::LsError;
+
+/// An address inside an SPE local store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LsAddr(u32);
+
+impl LsAddr {
+    /// Creates a local-store address from a raw offset.
+    #[inline]
+    pub const fn new(addr: u32) -> Self {
+        LsAddr(addr)
+    }
+
+    /// Raw byte offset.
+    #[inline]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Address advanced by `off` bytes.
+    #[inline]
+    pub fn offset(self, off: u32) -> LsAddr {
+        LsAddr(self.0 + off)
+    }
+}
+
+impl fmt::Display for LsAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ls:{:#x}", self.0)
+    }
+}
+
+/// A named region reserved in the local store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsReservation {
+    /// Start address.
+    pub addr: LsAddr,
+    /// Length in bytes.
+    pub len: u32,
+    /// Who reserved it (diagnostics only).
+    pub label: String,
+}
+
+/// A single SPE's local store: raw bytes plus a bump allocator.
+#[derive(Debug)]
+pub struct LocalStore {
+    data: Vec<u8>,
+    next_free: u32,
+    top: u32,
+    reservations: Vec<LsReservation>,
+}
+
+impl LocalStore {
+    /// Creates a zeroed local store of `size` bytes (power of two).
+    pub fn new(size: usize) -> Self {
+        assert!(size.is_power_of_two(), "LS size must be a power of two");
+        LocalStore {
+            top: size as u32,
+            data: vec![0; size],
+            next_free: 0,
+            reservations: Vec::new(),
+        }
+    }
+
+    /// Local-store size in bytes.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// Bytes not yet claimed by [`LocalStore::alloc`] or
+    /// [`LocalStore::alloc_top`].
+    #[inline]
+    pub fn available(&self) -> u32 {
+        self.top - self.next_free
+    }
+
+    /// Reserves `len` bytes aligned to `align` and returns the base
+    /// address. This models static data placement in an SPU image, so
+    /// there is no `free`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsError::OutOfSpace`] when the local store is full —
+    /// exactly the failure a Cell programmer hits when the PDT buffer
+    /// no longer fits next to the working set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, len: u32, align: u32, label: &str) -> Result<LsAddr, LsError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.next_free + align - 1) & !(align - 1);
+        let end = base.checked_add(len).ok_or(LsError::OutOfSpace {
+            requested: len,
+            available: self.available(),
+        })?;
+        if end > self.top {
+            return Err(LsError::OutOfSpace {
+                requested: len,
+                available: self.available(),
+            });
+        }
+        self.next_free = end;
+        self.reservations.push(LsReservation {
+            addr: LsAddr(base),
+            len,
+            label: label.to_string(),
+        });
+        Ok(LsAddr(base))
+    }
+
+    /// Reserves `len` bytes aligned to `align` from the *top* of the
+    /// local store, growing downward. The first top allocation of a
+    /// given size lands at a deterministic address
+    /// (`(size - len) & !(align - 1)`), which lets cooperating SPEs
+    /// agree on exchange-buffer locations without a handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsError::OutOfSpace`] when it would collide with the
+    /// bottom allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc_top(&mut self, len: u32, align: u32, label: &str) -> Result<LsAddr, LsError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base =
+            self.top
+                .checked_sub(len)
+                .map(|b| b & !(align - 1))
+                .ok_or(LsError::OutOfSpace {
+                    requested: len,
+                    available: self.available(),
+                })?;
+        if base < self.next_free {
+            return Err(LsError::OutOfSpace {
+                requested: len,
+                available: self.available(),
+            });
+        }
+        self.top = base;
+        self.reservations.push(LsReservation {
+            addr: LsAddr(base),
+            len,
+            label: label.to_string(),
+        });
+        Ok(LsAddr(base))
+    }
+
+    /// The reservation map (for diagnostics and tests).
+    pub fn reservations(&self) -> &[LsReservation] {
+        &self.reservations
+    }
+
+    fn check(&self, addr: LsAddr, len: u32) -> Result<(), LsError> {
+        let end = addr.0.checked_add(len);
+        if end.is_none_or(|e| e > self.size()) {
+            return Err(LsError::OutOfBounds {
+                addr: addr.0,
+                len,
+                size: self.size(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsError::OutOfBounds`] if the range exceeds the LS.
+    pub fn read(&self, addr: LsAddr, buf: &mut [u8]) -> Result<(), LsError> {
+        self.check(addr, buf.len() as u32)?;
+        let a = addr.0 as usize;
+        buf.copy_from_slice(&self.data[a..a + buf.len()]);
+        Ok(())
+    }
+
+    /// Writes bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsError::OutOfBounds`] if the range exceeds the LS.
+    pub fn write(&mut self, addr: LsAddr, buf: &[u8]) -> Result<(), LsError> {
+        self.check(addr, buf.len() as u32)?;
+        let a = addr.0 as usize;
+        self.data[a..a + buf.len()].copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Borrow a byte range immutably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsError::OutOfBounds`] if the range exceeds the LS.
+    pub fn bytes(&self, addr: LsAddr, len: u32) -> Result<&[u8], LsError> {
+        self.check(addr, len)?;
+        Ok(&self.data[addr.0 as usize..(addr.0 + len) as usize])
+    }
+
+    /// Borrow a byte range mutably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsError::OutOfBounds`] if the range exceeds the LS.
+    pub fn bytes_mut(&mut self, addr: LsAddr, len: u32) -> Result<&mut [u8], LsError> {
+        self.check(addr, len)?;
+        Ok(&mut self.data[addr.0 as usize..(addr.0 + len) as usize])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsError::OutOfBounds`] if out of range.
+    pub fn read_u32(&self, addr: LsAddr) -> Result<u32, LsError> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsError::OutOfBounds`] if out of range.
+    pub fn write_u32(&mut self, addr: LsAddr, v: u32) -> Result<(), LsError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Reads `n` little-endian `f32` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsError::OutOfBounds`] if out of range.
+    pub fn read_f32_slice(&self, addr: LsAddr, n: usize) -> Result<Vec<f32>, LsError> {
+        let bytes = self.bytes(addr, (n * 4) as u32)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Writes a slice of little-endian `f32` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsError::OutOfBounds`] if out of range.
+    pub fn write_f32_slice(&mut self, addr: LsAddr, data: &[f32]) -> Result<(), LsError> {
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write(addr, &bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment_and_space() {
+        let mut ls = LocalStore::new(4096);
+        let a = ls.alloc(100, 16, "a").unwrap();
+        assert_eq!(a.get(), 0);
+        let b = ls.alloc(10, 128, "b").unwrap();
+        assert_eq!(b.get() % 128, 0);
+        assert!(b.get() >= 100);
+        assert_eq!(ls.reservations().len(), 2);
+    }
+
+    #[test]
+    fn alloc_fails_when_full() {
+        let mut ls = LocalStore::new(4096);
+        ls.alloc(4000, 16, "big").unwrap();
+        let err = ls.alloc(200, 16, "overflow").unwrap_err();
+        assert!(matches!(err, LsError::OutOfSpace { .. }));
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut ls = LocalStore::new(4096);
+        let addr = LsAddr::new(128);
+        ls.write(addr, &[1, 2, 3, 4]).unwrap();
+        let mut out = [0u8; 4];
+        ls.read(addr, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4]);
+        ls.write_u32(addr, 77).unwrap();
+        assert_eq!(ls.read_u32(addr).unwrap(), 77);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut ls = LocalStore::new(4096);
+        assert!(ls.write(LsAddr::new(4090), &[0u8; 16]).is_err());
+        let mut b = [0u8; 1];
+        assert!(ls.read(LsAddr::new(4096), &mut b).is_err());
+        assert!(ls.bytes(LsAddr::new(u32::MAX), 2).is_err());
+    }
+
+    #[test]
+    fn f32_slice_roundtrip() {
+        let mut ls = LocalStore::new(4096);
+        let addr = LsAddr::new(0);
+        let v = [0.5f32, 1.5, -3.0];
+        ls.write_f32_slice(addr, &v).unwrap();
+        assert_eq!(ls.read_f32_slice(addr, 3).unwrap(), v);
+    }
+
+    #[test]
+    fn ls_addr_offset_and_display() {
+        let a = LsAddr::new(0x100);
+        assert_eq!(a.offset(0x10).get(), 0x110);
+        assert_eq!(a.to_string(), "ls:0x100");
+    }
+}
+
+#[cfg(test)]
+mod top_alloc_tests {
+    use super::*;
+
+    #[test]
+    fn top_alloc_is_deterministic() {
+        let mut ls = LocalStore::new(4096);
+        let a = ls.alloc_top(100, 128, "slots").unwrap();
+        assert_eq!(a.get(), (4096 - 100) & !127);
+        // Independent of whatever the bottom allocator did first.
+        let mut ls2 = LocalStore::new(4096);
+        ls2.alloc(500, 16, "other").unwrap();
+        let b = ls2.alloc_top(100, 128, "slots").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_and_bottom_collide_safely() {
+        let mut ls = LocalStore::new(4096);
+        ls.alloc(2000, 16, "bottom").unwrap();
+        ls.alloc_top(2000, 16, "top").unwrap();
+        assert!(ls.alloc(200, 16, "overflow").is_err());
+        assert!(ls.alloc_top(200, 16, "overflow").is_err());
+        assert!(ls.available() < 200);
+    }
+
+    #[test]
+    fn top_alloc_underflow_is_an_error() {
+        let mut ls = LocalStore::new(4096);
+        assert!(ls.alloc_top(8192, 16, "huge").is_err());
+    }
+}

@@ -1,0 +1,1332 @@
+//! The machine: ownership of all components and the event dispatch loop.
+//!
+//! [`Machine`] wires the PPE threads, SPEs, EIB, main memory and the
+//! optional tracers together and advances them with a deterministic
+//! discrete-event loop. Programs never poll: a blocked core is parked
+//! in an explicit state and woken by the event that satisfies it, so
+//! simulated time is exact and runs are replayable.
+
+use crate::config::MachineConfig;
+use crate::cycle::Cycle;
+use crate::decrementer::Decrementer;
+use crate::dma::{DmaCmd, DmaKind, DmaOrigin};
+use crate::eib::{Eib, EibStats, Element};
+use crate::engine::EventQueue;
+use crate::error::{SimError, SimResult};
+use crate::hooks::{FlushRequest, PpeTracer, RuntimeEvent, SpeTracer};
+use crate::ids::{CoreId, CtxId, PpeThreadId, SpeId};
+use crate::local_store::LsAddr;
+use crate::mailbox::Mailbox;
+use crate::memory::MainMemory;
+use crate::mfc::{MfcSource, MfcStats, ProxyEntry};
+use crate::ppu::{PpeAction, PpeEnv, PpeProgram, PpeWake};
+use crate::signal::SignalReg;
+use crate::spe::{Spe, SpuBlock, SpuState};
+use crate::spu::{SpuAction, SpuEnv, SpuProgram, SpuWake};
+use crate::stats::{CoreState, CoreTimeline, Span, StateBreakdown};
+
+/// Decrementer start value the runtime loads when a context begins.
+pub const DEC_START_VALUE: u32 = u32::MAX;
+
+#[derive(Debug)]
+enum SimEvent {
+    SpuResume {
+        spe: SpeId,
+        wake: SpuWake,
+    },
+    PpeResume {
+        thread: PpeThreadId,
+        wake: PpeWake,
+    },
+    MfcIssue {
+        spe: SpeId,
+    },
+    MfcDone {
+        spe: SpeId,
+        src: MfcSource,
+    },
+    AtomicDone {
+        spe: SpeId,
+        ea: u64,
+        delta: u32,
+    },
+    SignalDeliver {
+        to: SpeId,
+        reg: SignalReg,
+        value: u32,
+    },
+}
+
+#[derive(Debug)]
+enum PpeBlock {
+    OutMbox { ctx: CtxId, interrupt: bool },
+    InMboxSpace { ctx: CtxId, value: u32 },
+    Proxy,
+    Stop(CtxId),
+}
+
+#[derive(Debug)]
+enum PpeState {
+    Vacant,
+    Running,
+    Blocked(PpeBlock),
+    Halted,
+}
+
+struct PpeThread {
+    program: Option<Box<dyn PpeProgram>>,
+    state: PpeState,
+}
+
+struct Context {
+    name: String,
+    program: Option<Box<dyn SpuProgram>>,
+    spe: Option<SpeId>,
+    stopped: Option<u32>,
+}
+
+/// Where an effective address routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EaTarget {
+    Mem,
+    Ls(SpeId, LsAddr),
+}
+
+/// One completed DMA transfer, for ground-truth validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaTransfer {
+    /// The MFC that carried it.
+    pub spe: SpeId,
+    /// Direction.
+    pub kind: DmaKind,
+    /// User or trace-flush origin.
+    pub origin: DmaOrigin,
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// When the command entered its queue.
+    pub issued: Cycle,
+    /// When data started moving on the EIB.
+    pub started: Cycle,
+    /// When the transfer completed.
+    pub finished: Cycle,
+}
+
+impl DmaTransfer {
+    /// End-to-end latency in cycles (queue wait included).
+    pub fn latency(&self) -> u64 {
+        self.finished - self.issued
+    }
+}
+
+/// Per-core results in the run report.
+#[derive(Debug, Clone)]
+pub struct CoreReport {
+    /// Which core.
+    pub core: CoreId,
+    /// The full ground-truth state timeline.
+    pub spans: Vec<Span>,
+    /// Aggregated cycles per state.
+    pub breakdown: StateBreakdown,
+    /// MFC counters (SPEs only).
+    pub mfc: Option<MfcStats>,
+}
+
+/// Everything a finished simulation reports.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Total simulated wall time in nanoseconds.
+    pub wall_ns: f64,
+    /// Per-core timelines and breakdowns (PPE threads first).
+    pub cores: Vec<CoreReport>,
+    /// EIB statistics.
+    pub eib: EibStats,
+    /// Every DMA transfer, in completion order.
+    pub dma_log: Vec<DmaTransfer>,
+    /// Stop code per context (`None` if it never stopped).
+    pub stop_codes: Vec<(CtxId, Option<u32>)>,
+}
+
+impl RunReport {
+    /// The report for one core.
+    pub fn core(&self, core: CoreId) -> Option<&CoreReport> {
+        self.cores.iter().find(|c| c.core == core)
+    }
+
+    /// Renders a human-readable summary (ground truth — compare with
+    /// the trace analyzer's view of the same run).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "run: {} cycles ({:.3} ms)\n",
+            self.cycles,
+            self.wall_ns / 1e6
+        );
+        out.push_str(&format!(
+            "{:<7} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}\n",
+            "core", "run", "dma-wait", "mbox-wait", "queue", "trace", "util"
+        ));
+        for c in &self.cores {
+            let b = &c.breakdown;
+            if b.active_total() == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<7} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7.1}%\n",
+                c.core.to_string(),
+                b.running,
+                b.dma_wait,
+                b.mbox_wait,
+                b.queue_wait,
+                b.trace_overhead,
+                b.utilization() * 100.0
+            ));
+        }
+        let total_dma: u64 = self.dma_log.iter().map(|d| d.bytes).sum();
+        out.push_str(&format!(
+            "dma: {} transfers, {} bytes ({} via trace flushes); eib: {} bytes\n",
+            self.dma_log.len(),
+            total_dma,
+            self.dma_log
+                .iter()
+                .filter(|d| d.origin == DmaOrigin::Trace)
+                .count(),
+            self.eib.total_bytes
+        ));
+        out
+    }
+}
+
+/// The simulated Cell BE machine.
+pub struct Machine {
+    cfg: MachineConfig,
+    q: EventQueue<SimEvent>,
+    mem: MainMemory,
+    spes: Vec<Spe>,
+    ppes: Vec<PpeThread>,
+    eib: Eib,
+    ctxs: Vec<Context>,
+    spe_tracers: Vec<Option<Box<dyn SpeTracer>>>,
+    ppe_tracer: Option<Box<dyn PpeTracer>>,
+    timelines: Vec<CoreTimeline>,
+    dma_log: Vec<DmaTransfer>,
+    ran: bool,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("now", &self.q.now())
+            .field("num_spes", &self.spes.len())
+            .field("contexts", &self.ctxs.len())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if the configuration is invalid.
+    pub fn new(cfg: MachineConfig) -> SimResult<Self> {
+        cfg.validate()?;
+        let spes = (0..cfg.num_spes)
+            .map(|_| Spe::new(&cfg))
+            .collect::<Vec<_>>();
+        let ppes = (0..cfg.num_ppe_threads)
+            .map(|_| PpeThread {
+                program: None,
+                state: PpeState::Vacant,
+            })
+            .collect::<Vec<_>>();
+        let n_cores = cfg.num_ppe_threads + cfg.num_spes;
+        Ok(Machine {
+            eib: Eib::new(&cfg),
+            mem: MainMemory::new(cfg.mem_size),
+            spe_tracers: (0..cfg.num_spes).map(|_| None).collect(),
+            ppe_tracer: None,
+            timelines: vec![CoreTimeline::new(); n_cores],
+            dma_log: Vec::new(),
+            ran: false,
+            q: EventQueue::new(),
+            spes,
+            ppes,
+            ctxs: Vec::new(),
+            cfg,
+        })
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.q.now()
+    }
+
+    /// Main memory (read access, e.g. to collect results after a run).
+    pub fn mem(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// Main memory (write access, e.g. to stage workload inputs).
+    pub fn mem_mut(&mut self) -> &mut MainMemory {
+        &mut self.mem
+    }
+
+    /// An SPE, for post-run inspection.
+    pub fn spe(&self, spe: SpeId) -> &Spe {
+        &self.spes[spe.index()]
+    }
+
+    /// The name a context was created with.
+    pub fn ctx_name(&self, ctx: CtxId) -> Option<&str> {
+        self.ctxs.get(ctx.index()).map(|c| c.name.as_str())
+    }
+
+    /// Installs the program for a PPE hardware thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread index is out of range or already occupied.
+    pub fn set_ppe_program(&mut self, thread: PpeThreadId, program: Box<dyn PpeProgram>) {
+        let t = &mut self.ppes[thread.index()];
+        assert!(
+            t.program.is_none(),
+            "PPE thread {thread} already has a program"
+        );
+        t.program = Some(program);
+        t.state = PpeState::Running;
+    }
+
+    /// Installs an SPE-side tracer (one per SPE).
+    pub fn set_spe_tracer(&mut self, spe: SpeId, tracer: Box<dyn SpeTracer>) {
+        self.spe_tracers[spe.index()] = Some(tracer);
+    }
+
+    /// Installs the PPE-side tracer.
+    pub fn set_ppe_tracer(&mut self, tracer: Box<dyn PpeTracer>) {
+        self.ppe_tracer = Some(tracer);
+    }
+
+    fn dense(&self, core: CoreId) -> usize {
+        core.dense_index(self.cfg.num_ppe_threads)
+    }
+
+    fn mark(&mut self, core: CoreId, state: CoreState, at: Cycle) {
+        let i = self.dense(core);
+        self.timelines[i].transition(state, at);
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on deadlock, cycle-cap overrun, invalid
+    /// DMA commands, memory faults or runtime misuse.
+    pub fn run(&mut self) -> SimResult<RunReport> {
+        if self.ran {
+            return Err(SimError::Runtime {
+                detail: "Machine::run called twice".into(),
+            });
+        }
+        self.ran = true;
+        for i in 0..self.ppes.len() {
+            if self.ppes[i].program.is_some() {
+                let thread = PpeThreadId::new(i);
+                self.q.schedule_at(
+                    Cycle::ZERO,
+                    SimEvent::PpeResume {
+                        thread,
+                        wake: PpeWake::Start,
+                    },
+                );
+            }
+        }
+        while let Some((now, ev)) = self.q.pop() {
+            if now.get() > self.cfg.max_cycles {
+                return Err(SimError::CycleCapExceeded {
+                    cap: self.cfg.max_cycles,
+                });
+            }
+            self.dispatch(ev)?;
+        }
+        self.check_quiescent()?;
+        Ok(self.report())
+    }
+
+    fn check_quiescent(&self) -> SimResult<()> {
+        let mut blocked = Vec::new();
+        for (i, t) in self.ppes.iter().enumerate() {
+            match &t.state {
+                PpeState::Blocked(b) => blocked.push(format!("PPE.{i} blocked on {b:?}")),
+                PpeState::Running if t.program.is_some() => {
+                    blocked.push(format!("PPE.{i} runnable but no event pending"))
+                }
+                _ => {}
+            }
+        }
+        for (i, s) in self.spes.iter().enumerate() {
+            match &s.state {
+                SpuState::Blocked(b) => blocked.push(format!("SPE{i} blocked on {b:?}")),
+                SpuState::Running => blocked.push(format!("SPE{i} runnable but no event pending")),
+                _ => {}
+            }
+        }
+        if blocked.is_empty() {
+            Ok(())
+        } else {
+            Err(SimError::Deadlock {
+                detail: blocked.join("; "),
+            })
+        }
+    }
+
+    fn report(&self) -> RunReport {
+        let now = self.q.now();
+        let mut cores = Vec::new();
+        for i in 0..self.ppes.len() {
+            let spans = self.timelines[i].clone().finalize(now);
+            cores.push(CoreReport {
+                core: CoreId::Ppe(PpeThreadId::new(i)),
+                breakdown: StateBreakdown::from_spans(&spans),
+                spans,
+                mfc: None,
+            });
+        }
+        for i in 0..self.spes.len() {
+            let spans = self.timelines[self.ppes.len() + i].clone().finalize(now);
+            cores.push(CoreReport {
+                core: CoreId::Spe(SpeId::new(i)),
+                breakdown: StateBreakdown::from_spans(&spans),
+                spans,
+                mfc: Some(self.spes[i].mfc.stats),
+            });
+        }
+        RunReport {
+            cycles: now.get(),
+            wall_ns: self.cfg.clock.cycles_to_ns(now.get()),
+            cores,
+            eib: self.eib.stats(),
+            dma_log: self.dma_log.clone(),
+            stop_codes: self
+                .ctxs
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (CtxId::new(i), c.stopped))
+                .collect(),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Tracing hooks
+    // ---------------------------------------------------------------
+
+    /// Records an SPE-side event; returns the cycles charged.
+    fn trace_spe(&mut self, spe: SpeId, ev: RuntimeEvent) -> u64 {
+        let i = spe.index();
+        let now = self.q.now();
+        let dec = self.spes[i].dec.value_at(now, &self.cfg.clock);
+        let (cycles, flush) = match self.spe_tracers[i].as_mut() {
+            Some(tr) => {
+                let cost = tr.on_event(spe, dec, &ev, &mut self.spes[i].ls);
+                (cost.cycles, cost.flush)
+            }
+            None => (0, None),
+        };
+        if let Some(f) = flush {
+            self.issue_trace_flush(spe, f);
+        }
+        cycles
+    }
+
+    /// Records a PPE-side event; returns the cycles charged.
+    fn trace_ppe(&mut self, thread: PpeThreadId, ev: RuntimeEvent) -> u64 {
+        let now = self.q.now();
+        let tb = self.cfg.clock.cycles_to_timebase(now);
+        match self.ppe_tracer.as_mut() {
+            Some(tr) => tr.on_event(thread, tb, &ev),
+            None => 0,
+        }
+    }
+
+    fn issue_trace_flush(&mut self, spe: SpeId, f: FlushRequest) {
+        let now = self.q.now();
+        let cmd = DmaCmd::single(DmaKind::Put, f.lsa, f.ea, f.len, f.tag)
+            .expect("tracer produced an invalid flush command")
+            .with_origin(DmaOrigin::Trace);
+        self.spes[spe.index()].mfc.enqueue_trace(cmd, now);
+        self.q.schedule_in(0, SimEvent::MfcIssue { spe });
+    }
+
+    // ---------------------------------------------------------------
+    // Dispatch
+    // ---------------------------------------------------------------
+
+    fn dispatch(&mut self, ev: SimEvent) -> SimResult<()> {
+        match ev {
+            SimEvent::SpuResume { spe, wake } => self.spu_resume(spe, wake),
+            SimEvent::PpeResume { thread, wake } => self.ppe_resume(thread, wake),
+            SimEvent::MfcIssue { spe } => self.mfc_issue(spe),
+            SimEvent::MfcDone { spe, src } => self.mfc_done(spe, src),
+            SimEvent::AtomicDone { spe, ea, delta } => self.atomic_done(spe, ea, delta),
+            SimEvent::SignalDeliver { to, reg, value } => {
+                self.spes[to.index()].signals.reg_mut(reg).deliver(value);
+                self.unblock_spu_signal(to);
+                Ok(())
+            }
+        }
+    }
+
+    fn atomic_done(&mut self, spe: SpeId, ea: u64, delta: u32) -> SimResult<()> {
+        let now = self.q.now();
+        let old = self.mem.read_u32(ea)?;
+        self.mem.write_u32(ea, old.wrapping_add(delta))?;
+        self.wake_spu(spe, SpuWake::AtomicDone(old), now + 1);
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // SPU side
+    // ---------------------------------------------------------------
+
+    fn wake_spu(&mut self, spe: SpeId, wake: SpuWake, at: Cycle) {
+        self.spes[spe.index()].state = SpuState::Running;
+        self.mark(CoreId::Spe(spe), CoreState::Running, at);
+        self.q.schedule_at(at, SimEvent::SpuResume { spe, wake });
+    }
+
+    fn spu_resume(&mut self, spe: SpeId, wake: SpuWake) -> SimResult<()> {
+        let i = spe.index();
+        if wake == SpuWake::Start {
+            let ctx = self.spes[i].ctx.expect("start wake without context");
+            let c = self.trace_spe(spe, RuntimeEvent::SpeCtxStart { ctx });
+            if c > 0 {
+                // Re-enter after the instrumentation cost; the start
+                // event is the only one recorded before the program runs.
+                let now = self.q.now();
+                self.mark(CoreId::Spe(spe), CoreState::TraceOverhead, now);
+                self.mark(CoreId::Spe(spe), CoreState::Running, now + c);
+            }
+        }
+        let mut prog = match self.spes[i].program.take() {
+            Some(p) => p,
+            None => {
+                return Err(SimError::ProgramFault {
+                    spe,
+                    detail: "resume with no program loaded".into(),
+                })
+            }
+        };
+        let action = prog.resume(
+            wake,
+            SpuEnv {
+                spe,
+                ls: &mut self.spes[i].ls,
+            },
+        );
+        self.spes[i].program = Some(prog);
+        self.apply_spu_action(spe, action)
+    }
+
+    fn apply_spu_action(&mut self, spe: SpeId, action: SpuAction) -> SimResult<()> {
+        let now = self.q.now();
+        let core = CoreId::Spe(spe);
+        let i = spe.index();
+        match action {
+            SpuAction::Compute(n) => {
+                self.mark(core, CoreState::Running, now);
+                self.q.schedule_in(
+                    n.max(1),
+                    SimEvent::SpuResume {
+                        spe,
+                        wake: SpuWake::ComputeDone,
+                    },
+                );
+            }
+            SpuAction::DmaGet { lsa, ea, size, tag } => {
+                let cmd = DmaCmd::single(DmaKind::Get, lsa, ea, size, tag)?;
+                self.spu_enqueue_dma(spe, cmd)?;
+            }
+            SpuAction::DmaPut { lsa, ea, size, tag } => {
+                let cmd = DmaCmd::single(DmaKind::Put, lsa, ea, size, tag)?;
+                self.spu_enqueue_dma(spe, cmd)?;
+            }
+            SpuAction::DmaGetList { lsa, list, tag } => {
+                let cmd = DmaCmd::list(DmaKind::Get, lsa, list, tag)?;
+                self.spu_enqueue_dma(spe, cmd)?;
+            }
+            SpuAction::DmaPutList { lsa, list, tag } => {
+                let cmd = DmaCmd::list(DmaKind::Put, lsa, list, tag)?;
+                self.spu_enqueue_dma(spe, cmd)?;
+            }
+            SpuAction::WaitTags { mask, mode } => {
+                let c = self.trace_spe(spe, RuntimeEvent::SpeTagWaitBegin { mask, mode });
+                if c > 0 {
+                    self.mark(core, CoreState::TraceOverhead, now);
+                }
+                if self.spes[i].mfc.tags.satisfied(mask, mode) {
+                    let done = self.spes[i].mfc.tags.completed_mask(mask);
+                    let c2 = self.trace_spe(spe, RuntimeEvent::SpeTagWaitEnd { mask: done });
+                    let at = now + c + c2 + self.cfg.mbox_access_cycles;
+                    self.wake_spu(spe, SpuWake::TagsDone(done), at);
+                } else {
+                    self.spes[i].state = SpuState::Blocked(SpuBlock::Tags { mask, mode });
+                    self.mark(core, CoreState::DmaWait, now + c);
+                }
+            }
+            SpuAction::ReadInMbox => {
+                let c = self.trace_spe(spe, RuntimeEvent::SpeMboxReadBegin);
+                if c > 0 {
+                    self.mark(core, CoreState::TraceOverhead, now);
+                }
+                if let Some(v) = self.spes[i].mboxes.inbound.pop() {
+                    let c2 = self.trace_spe(spe, RuntimeEvent::SpeMboxReadEnd { value: v });
+                    let at = now + c + c2 + self.cfg.mbox_access_cycles;
+                    self.wake_spu(spe, SpuWake::InMbox(v), at);
+                    self.unblock_ppe_inbound_space(spe);
+                } else {
+                    self.spes[i].state = SpuState::Blocked(SpuBlock::InMbox);
+                    self.mark(core, CoreState::MboxWait, now + c);
+                }
+            }
+            SpuAction::WriteOutMbox(v) | SpuAction::WriteOutIntrMbox(v) => {
+                let interrupt = matches!(action, SpuAction::WriteOutIntrMbox(_));
+                let c = self.trace_spe(
+                    spe,
+                    RuntimeEvent::SpeMboxWrite {
+                        value: v,
+                        interrupt,
+                    },
+                );
+                if c > 0 {
+                    self.mark(core, CoreState::TraceOverhead, now);
+                }
+                let mbox = outbound_mbox(&mut self.spes[i], interrupt);
+                match mbox.push(v) {
+                    Ok(()) => {
+                        let at = now + c + self.cfg.mbox_access_cycles;
+                        self.wake_spu(spe, SpuWake::MboxWritten, at);
+                        self.unblock_ppe_outbound(spe, interrupt);
+                    }
+                    Err(v) => {
+                        self.spes[i].state = SpuState::Blocked(SpuBlock::OutMbox {
+                            value: v,
+                            interrupt,
+                        });
+                        self.mark(core, CoreState::MboxWait, now + c);
+                    }
+                }
+            }
+            SpuAction::ReadSignal(reg) => {
+                let c = self.trace_spe(spe, RuntimeEvent::SpeSignalReadBegin { reg });
+                if c > 0 {
+                    self.mark(core, CoreState::TraceOverhead, now);
+                }
+                if let Some(v) = self.spes[i].signals.reg_mut(reg).take() {
+                    let c2 = self.trace_spe(spe, RuntimeEvent::SpeSignalReadEnd { value: v });
+                    let at = now + c + c2 + self.cfg.mbox_access_cycles;
+                    self.wake_spu(spe, SpuWake::Signal(v), at);
+                } else {
+                    self.spes[i].state = SpuState::Blocked(SpuBlock::Signal(reg));
+                    self.mark(core, CoreState::SignalWait, now + c);
+                }
+            }
+            SpuAction::SendSignal {
+                spe: target,
+                reg,
+                value,
+            } => {
+                if target as usize >= self.cfg.num_spes {
+                    return Err(SimError::ProgramFault {
+                        spe,
+                        detail: format!("sndsig to nonexistent SPE{target}"),
+                    });
+                }
+                let c = self.trace_spe(spe, RuntimeEvent::SpeSignalSend { target, reg, value });
+                if c > 0 {
+                    self.mark(core, CoreState::TraceOverhead, now);
+                }
+                let to = SpeId::new(target as usize);
+                let t = self.eib.transfer(
+                    Element::Spe(spe),
+                    Element::Spe(to),
+                    16,
+                    now + c + self.cfg.dma_setup_cycles,
+                );
+                self.q
+                    .schedule_at(t.finish, SimEvent::SignalDeliver { to, reg, value });
+                // Fire-and-forget: the sender resumes after the channel
+                // write, not after delivery.
+                let at = now + c + self.cfg.mbox_access_cycles;
+                self.wake_spu(spe, SpuWake::SignalSent, at);
+            }
+            SpuAction::AtomicAdd { ea, delta } => {
+                if ea % 4 != 0 || self.classify_ea(ea, 4)? != EaTarget::Mem {
+                    return Err(SimError::ProgramFault {
+                        spe,
+                        detail: format!("atomic on invalid address {ea:#x}"),
+                    });
+                }
+                let c = self.trace_spe(spe, RuntimeEvent::SpeAtomic { ea, delta });
+                if c > 0 {
+                    self.mark(core, CoreState::TraceOverhead, now);
+                }
+                // The atomic rides the EIB like a cache-line transfer
+                // and serializes at the memory interface.
+                let t = self.eib.transfer(
+                    Element::Mem,
+                    Element::Spe(spe),
+                    128,
+                    now + c + self.cfg.dma_setup_cycles,
+                );
+                self.mark(core, CoreState::DmaWait, now + c);
+                self.q
+                    .schedule_at(t.finish, SimEvent::AtomicDone { spe, ea, delta });
+            }
+            SpuAction::ReadDecrementer => {
+                let at = now + self.cfg.dec_read_cycles;
+                let dec = self.spes[i].dec.value_at(at, &self.cfg.clock);
+                self.mark(core, CoreState::Running, now);
+                self.q.schedule_at(
+                    at,
+                    SimEvent::SpuResume {
+                        spe,
+                        wake: SpuWake::Decrementer(dec),
+                    },
+                );
+            }
+            SpuAction::UserEvent { id, a0, a1 } => {
+                let c = self.trace_spe(spe, RuntimeEvent::SpeUser { id, a0, a1 });
+                if c > 0 {
+                    self.mark(core, CoreState::TraceOverhead, now);
+                    self.mark(core, CoreState::Running, now + c);
+                }
+                self.q.schedule_in(
+                    c.max(1),
+                    SimEvent::SpuResume {
+                        spe,
+                        wake: SpuWake::UserDone,
+                    },
+                );
+            }
+            SpuAction::Stop(code) => {
+                let c = self.trace_spe(spe, RuntimeEvent::SpeStop { code });
+                if c > 0 {
+                    self.mark(core, CoreState::TraceOverhead, now);
+                }
+                self.spes[i].state = SpuState::Stopped(code);
+                self.mark(core, CoreState::Stopped, now + c);
+                let ctx = self.spes[i].ctx.expect("stop without context");
+                self.ctxs[ctx.index()].stopped = Some(code);
+                // Final trace flush.
+                if let Some(tr) = self.spe_tracers[i].as_mut() {
+                    if let Some(f) = tr.finalize(spe, &mut self.spes[i].ls) {
+                        self.issue_trace_flush(spe, f);
+                    }
+                }
+                self.notify_ppe_stop(ctx, code);
+            }
+        }
+        Ok(())
+    }
+
+    fn spu_enqueue_dma(&mut self, spe: SpeId, cmd: DmaCmd) -> SimResult<()> {
+        let now = self.q.now();
+        let core = CoreId::Spe(spe);
+        let i = spe.index();
+        let ev = RuntimeEvent::SpeDmaIssue {
+            kind: cmd.kind,
+            lsa: cmd.lsa.get(),
+            ea: cmd.ea,
+            size: cmd.total_bytes() as u32,
+            tag: cmd.tag.get(),
+            list_len: cmd.list.as_ref().map_or(0, |l| l.len() as u32),
+        };
+        let c = self.trace_spe(spe, ev);
+        if c > 0 {
+            self.mark(core, CoreState::TraceOverhead, now);
+        }
+        if self.spes[i].mfc.can_accept_spu() {
+            let at = now + c + self.cfg.dma_issue_cycles;
+            self.spes[i].mfc.enqueue_spu(cmd, now);
+            self.q.schedule_at(at, SimEvent::MfcIssue { spe });
+            self.wake_spu(spe, SpuWake::DmaQueued, at);
+        } else {
+            self.spes[i].mfc.note_queue_full();
+            self.spes[i].state = SpuState::Blocked(SpuBlock::QueueSlot(cmd));
+            self.mark(core, CoreState::QueueWait, now + c);
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // MFC / EIB
+    // ---------------------------------------------------------------
+
+    fn classify_ea(&self, ea: u64, len: u64) -> SimResult<EaTarget> {
+        let base = self.cfg.ls_ea_base;
+        if ea >= base {
+            let off = ea - base;
+            let ls = self.cfg.ls_size as u64;
+            let idx = (off / ls) as usize;
+            let inner = off % ls;
+            if idx >= self.cfg.num_spes || inner + len > ls {
+                return Err(SimError::Mem(crate::error::MemError {
+                    ea,
+                    len,
+                    limit: base + ls * self.cfg.num_spes as u64,
+                }));
+            }
+            Ok(EaTarget::Ls(SpeId::new(idx), LsAddr::new(inner as u32)))
+        } else {
+            Ok(EaTarget::Mem)
+        }
+    }
+
+    fn mfc_issue(&mut self, spe: SpeId) -> SimResult<()> {
+        let now = self.q.now();
+        let i = spe.index();
+        while let Some(src) = self.spes[i].mfc.next_to_issue() {
+            let setup = self.cfg.dma_setup_cycles;
+            let cmd = src.cmd().clone();
+            let local = Element::Spe(spe);
+            let mut earliest = now + setup;
+            let mut finish = earliest;
+            // Lists serialize their elements through the EIB.
+            let pieces: Vec<(u64, u64)> = match &cmd.list {
+                Some(l) => l.iter().map(|e| (e.ea, e.size as u64)).collect(),
+                None => vec![(cmd.ea, cmd.size as u64)],
+            };
+            let mut started = None;
+            for (ea, bytes) in pieces {
+                let remote = match self.classify_ea(ea, bytes)? {
+                    EaTarget::Mem => Element::Mem,
+                    EaTarget::Ls(other, _) => Element::Spe(other),
+                };
+                let (from, to) = match cmd.kind {
+                    DmaKind::Get => (remote, local),
+                    DmaKind::Put => (local, remote),
+                };
+                let t = self.eib.transfer(from, to, bytes, earliest);
+                started.get_or_insert(t.start);
+                earliest = t.finish;
+                finish = t.finish;
+            }
+            self.dma_log.push(DmaTransfer {
+                spe,
+                kind: cmd.kind,
+                origin: cmd.origin,
+                bytes: cmd.total_bytes(),
+                issued: src.enqueued(),
+                started: started.unwrap_or(earliest),
+                finished: finish,
+            });
+            // The queue slot freed: a blocked SPU can enqueue now.
+            self.unblock_spu_queue_slot(spe)?;
+            self.q.schedule_at(finish, SimEvent::MfcDone { spe, src });
+        }
+        Ok(())
+    }
+
+    fn mfc_done(&mut self, spe: SpeId, src: MfcSource) -> SimResult<()> {
+        let now = self.q.now();
+        let i = spe.index();
+        self.perform_copy(spe, src.cmd().clone())?;
+        self.spes[i].mfc.complete(&src);
+        match &src {
+            MfcSource::Proxy(p) => {
+                let waiter = p.waiter;
+                self.wake_ppe(waiter, PpeWake::ProxyDone, now + 1);
+            }
+            MfcSource::Spu(qc) => {
+                if qc.cmd.origin == DmaOrigin::Trace {
+                    if let Some(tr) = self.spe_tracers[i].as_mut() {
+                        if let Some(f) = tr.on_flush_complete(spe, &mut self.spes[i].ls) {
+                            self.issue_trace_flush(spe, f);
+                        }
+                    }
+                }
+            }
+        }
+        self.unblock_spu_tags(spe);
+        // More commands may be waiting for the in-flight slot.
+        self.q.schedule_in(0, SimEvent::MfcIssue { spe });
+        Ok(())
+    }
+
+    fn perform_copy(&mut self, spe: SpeId, cmd: DmaCmd) -> SimResult<()> {
+        let pieces: Vec<(u64, u32)> = match &cmd.list {
+            Some(l) => l.iter().map(|e| (e.ea, e.size)).collect(),
+            None => vec![(cmd.ea, cmd.size)],
+        };
+        let mut lsa = cmd.lsa;
+        for (ea, size) in pieces {
+            let mut buf = vec![0u8; size as usize];
+            match cmd.kind {
+                DmaKind::Get => {
+                    match self.classify_ea(ea, size as u64)? {
+                        EaTarget::Mem => self.mem.read(ea, &mut buf)?,
+                        EaTarget::Ls(other, addr) => {
+                            self.spes[other.index()].ls.read(addr, &mut buf)?
+                        }
+                    }
+                    self.spes[spe.index()].ls.write(lsa, &buf)?;
+                }
+                DmaKind::Put => {
+                    self.spes[spe.index()].ls.read(lsa, &mut buf)?;
+                    match self.classify_ea(ea, size as u64)? {
+                        EaTarget::Mem => self.mem.write(ea, &buf)?,
+                        EaTarget::Ls(other, addr) => {
+                            self.spes[other.index()].ls.write(addr, &buf)?
+                        }
+                    }
+                }
+            }
+            lsa = lsa.offset(size);
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Unblocking helpers
+    // ---------------------------------------------------------------
+
+    fn unblock_spu_tags(&mut self, spe: SpeId) {
+        let now = self.q.now();
+        let i = spe.index();
+        if let SpuState::Blocked(SpuBlock::Tags { mask, mode }) = self.spes[i].state {
+            if self.spes[i].mfc.tags.satisfied(mask, mode) {
+                let done = self.spes[i].mfc.tags.completed_mask(mask);
+                let c = self.trace_spe(spe, RuntimeEvent::SpeTagWaitEnd { mask: done });
+                let at = now + c + self.cfg.mbox_access_cycles;
+                self.wake_spu(spe, SpuWake::TagsDone(done), at);
+            }
+        }
+    }
+
+    fn unblock_spu_queue_slot(&mut self, spe: SpeId) -> SimResult<()> {
+        let now = self.q.now();
+        let i = spe.index();
+        if matches!(
+            self.spes[i].state,
+            SpuState::Blocked(SpuBlock::QueueSlot(_))
+        ) && self.spes[i].mfc.can_accept_spu()
+        {
+            let state = std::mem::replace(&mut self.spes[i].state, SpuState::Running);
+            let SpuState::Blocked(SpuBlock::QueueSlot(cmd)) = state else {
+                unreachable!()
+            };
+            let at = now + self.cfg.dma_issue_cycles;
+            self.spes[i].mfc.enqueue_spu(cmd, now);
+            self.q.schedule_at(at, SimEvent::MfcIssue { spe });
+            self.wake_spu(spe, SpuWake::DmaQueued, at);
+        }
+        Ok(())
+    }
+
+    /// SPU wrote an outbound mailbox: wake a PPE thread blocked reading it.
+    fn unblock_ppe_outbound(&mut self, spe: SpeId, interrupt: bool) {
+        let now = self.q.now();
+        let Some(ctx) = self.spes[spe.index()].ctx else {
+            return;
+        };
+        for t in 0..self.ppes.len() {
+            if let PpeState::Blocked(PpeBlock::OutMbox {
+                ctx: want,
+                interrupt: want_intr,
+            }) = self.ppes[t].state
+            {
+                if want == ctx && want_intr == interrupt {
+                    let mbox = outbound_mbox(&mut self.spes[spe.index()], interrupt);
+                    if let Some(v) = mbox.pop() {
+                        let thread = PpeThreadId::new(t);
+                        let c = self.trace_ppe(
+                            thread,
+                            RuntimeEvent::PpeMboxRead {
+                                ctx,
+                                value: v,
+                                interrupt,
+                            },
+                        );
+                        self.wake_ppe(
+                            thread,
+                            PpeWake::OutMbox(v),
+                            now + c + self.cfg.ppe_mmio_cycles,
+                        );
+                        // An SPU blocked writing can now slot its word in.
+                        self.unblock_spu_outbound_space(spe, interrupt);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Outbound mailbox drained: a blocked SPU writer can proceed.
+    fn unblock_spu_outbound_space(&mut self, spe: SpeId, interrupt: bool) {
+        let now = self.q.now();
+        let i = spe.index();
+        if let SpuState::Blocked(SpuBlock::OutMbox {
+            value,
+            interrupt: pend_intr,
+        }) = self.spes[i].state
+        {
+            if pend_intr == interrupt {
+                let mbox = outbound_mbox(&mut self.spes[i], interrupt);
+                if mbox.push(value).is_ok() {
+                    let at = now + self.cfg.mbox_access_cycles;
+                    self.wake_spu(spe, SpuWake::MboxWritten, at);
+                    self.unblock_ppe_outbound(spe, interrupt);
+                }
+            }
+        }
+    }
+
+    /// SPU drained its inbound mailbox: a blocked PPE writer can proceed.
+    fn unblock_ppe_inbound_space(&mut self, spe: SpeId) {
+        let now = self.q.now();
+        let Some(ctx) = self.spes[spe.index()].ctx else {
+            return;
+        };
+        for t in 0..self.ppes.len() {
+            if let PpeState::Blocked(PpeBlock::InMboxSpace { ctx: want, value }) =
+                self.ppes[t].state
+            {
+                if want == ctx && self.spes[spe.index()].mboxes.inbound.push(value).is_ok() {
+                    let thread = PpeThreadId::new(t);
+                    self.wake_ppe(thread, PpeWake::MboxWritten, now + self.cfg.ppe_mmio_cycles);
+                    self.unblock_spu_inbound(spe);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Inbound mailbox gained a word: a blocked SPU reader can proceed.
+    fn unblock_spu_inbound(&mut self, spe: SpeId) {
+        let now = self.q.now();
+        let i = spe.index();
+        if matches!(self.spes[i].state, SpuState::Blocked(SpuBlock::InMbox)) {
+            if let Some(v) = self.spes[i].mboxes.inbound.pop() {
+                let c = self.trace_spe(spe, RuntimeEvent::SpeMboxReadEnd { value: v });
+                let at = now + c + self.cfg.mbox_access_cycles;
+                self.wake_spu(spe, SpuWake::InMbox(v), at);
+                self.unblock_ppe_inbound_space(spe);
+            }
+        }
+    }
+
+    /// A signal arrived: a blocked SPU reader can proceed.
+    fn unblock_spu_signal(&mut self, spe: SpeId) {
+        let now = self.q.now();
+        let i = spe.index();
+        if let SpuState::Blocked(SpuBlock::Signal(reg)) = self.spes[i].state {
+            if let Some(v) = self.spes[i].signals.reg_mut(reg).take() {
+                let c = self.trace_spe(spe, RuntimeEvent::SpeSignalReadEnd { value: v });
+                let at = now + c + self.cfg.mbox_access_cycles;
+                self.wake_spu(spe, SpuWake::Signal(v), at);
+            }
+        }
+    }
+
+    fn notify_ppe_stop(&mut self, ctx: CtxId, code: u32) {
+        let now = self.q.now();
+        for t in 0..self.ppes.len() {
+            if let PpeState::Blocked(PpeBlock::Stop(want)) = self.ppes[t].state {
+                if want == ctx {
+                    let thread = PpeThreadId::new(t);
+                    let c = self.trace_ppe(thread, RuntimeEvent::PpeCtxStopped { ctx, code });
+                    self.wake_ppe(thread, PpeWake::Stopped { ctx, code }, now + c + 1);
+                    return;
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // PPE side
+    // ---------------------------------------------------------------
+
+    fn wake_ppe(&mut self, thread: PpeThreadId, wake: PpeWake, at: Cycle) {
+        self.ppes[thread.index()].state = PpeState::Running;
+        self.mark(CoreId::Ppe(thread), CoreState::Running, at);
+        self.q.schedule_at(at, SimEvent::PpeResume { thread, wake });
+    }
+
+    fn ppe_resume(&mut self, thread: PpeThreadId, wake: PpeWake) -> SimResult<()> {
+        let t = thread.index();
+        let mut prog = match self.ppes[t].program.take() {
+            Some(p) => p,
+            None => {
+                return Err(SimError::Runtime {
+                    detail: format!("{thread} resumed with no program"),
+                })
+            }
+        };
+        let action = prog.resume(
+            wake,
+            PpeEnv {
+                thread,
+                mem: &mut self.mem,
+            },
+        );
+        self.ppes[t].program = Some(prog);
+        self.apply_ppe_action(thread, action)
+    }
+
+    fn ctx_spe(&self, ctx: CtxId) -> SimResult<SpeId> {
+        self.ctxs
+            .get(ctx.index())
+            .and_then(|c| c.spe)
+            .ok_or_else(|| SimError::Runtime {
+                detail: format!("{ctx} is not running on any SPE"),
+            })
+    }
+
+    fn apply_ppe_action(&mut self, thread: PpeThreadId, action: PpeAction) -> SimResult<()> {
+        let now = self.q.now();
+        let core = CoreId::Ppe(thread);
+        match action {
+            PpeAction::Compute(n) => {
+                self.mark(core, CoreState::Running, now);
+                self.q.schedule_in(
+                    n.max(1),
+                    SimEvent::PpeResume {
+                        thread,
+                        wake: PpeWake::ComputeDone,
+                    },
+                );
+            }
+            PpeAction::CreateContext { name, program } => {
+                let ctx = CtxId::new(self.ctxs.len());
+                self.ctxs.push(Context {
+                    name: name.clone(),
+                    program: Some(program),
+                    spe: None,
+                    stopped: None,
+                });
+                let c = self.trace_ppe(thread, RuntimeEvent::PpeCtxCreate { ctx, name });
+                self.mark(core, CoreState::Running, now);
+                let at = now + c + self.cfg.ctx_create_cycles;
+                self.q.schedule_at(
+                    at,
+                    SimEvent::PpeResume {
+                        thread,
+                        wake: PpeWake::ContextCreated(ctx),
+                    },
+                );
+            }
+            PpeAction::RunContext(ctx) => {
+                let entry = self
+                    .ctxs
+                    .get_mut(ctx.index())
+                    .ok_or_else(|| SimError::Runtime {
+                        detail: format!("{ctx} does not exist"),
+                    })?;
+                let program = entry.program.take().ok_or_else(|| SimError::Runtime {
+                    detail: format!("{ctx} already started"),
+                })?;
+                let Some(free) = self.spes.iter().position(|s| s.is_vacant()) else {
+                    return Err(SimError::NoFreeSpe { ctx });
+                };
+                let spe = SpeId::new(free);
+                self.ctxs[ctx.index()].spe = Some(spe);
+                let start_at = now + self.cfg.ctx_run_cycles;
+                {
+                    let s = &mut self.spes[free];
+                    s.program = Some(program);
+                    s.ctx = Some(ctx);
+                    s.state = SpuState::Running;
+                    s.dec = Decrementer::loaded(DEC_START_VALUE, start_at, &self.cfg.clock);
+                }
+                if let Some(tr) = self.spe_tracers[free].as_mut() {
+                    tr.attach(spe, &mut self.spes[free].ls);
+                }
+                let c = self.trace_ppe(
+                    thread,
+                    RuntimeEvent::PpeCtxRun {
+                        ctx,
+                        spe,
+                        dec_start: DEC_START_VALUE,
+                    },
+                );
+                self.mark(core, CoreState::Running, now);
+                self.mark(CoreId::Spe(spe), CoreState::Running, start_at);
+                self.q.schedule_at(
+                    start_at,
+                    SimEvent::SpuResume {
+                        spe,
+                        wake: SpuWake::Start,
+                    },
+                );
+                self.q.schedule_at(
+                    start_at + c,
+                    SimEvent::PpeResume {
+                        thread,
+                        wake: PpeWake::ContextStarted(ctx),
+                    },
+                );
+            }
+            PpeAction::WriteInMbox { ctx, value } => {
+                let spe = self.ctx_spe(ctx)?;
+                let c = self.trace_ppe(thread, RuntimeEvent::PpeMboxWrite { ctx, value });
+                self.mark(core, CoreState::Running, now);
+                match self.spes[spe.index()].mboxes.inbound.push(value) {
+                    Ok(()) => {
+                        self.wake_ppe(
+                            thread,
+                            PpeWake::MboxWritten,
+                            now + c + self.cfg.ppe_mmio_cycles,
+                        );
+                        self.unblock_spu_inbound(spe);
+                    }
+                    Err(v) => {
+                        self.ppes[thread.index()].state =
+                            PpeState::Blocked(PpeBlock::InMboxSpace { ctx, value: v });
+                        self.mark(core, CoreState::MboxWait, now + c);
+                    }
+                }
+            }
+            PpeAction::ReadOutMbox { ctx } | PpeAction::ReadOutIntrMbox { ctx } => {
+                let interrupt = matches!(action, PpeAction::ReadOutIntrMbox { .. });
+                let spe = self.ctx_spe(ctx)?;
+                self.mark(core, CoreState::Running, now);
+                let mbox = outbound_mbox(&mut self.spes[spe.index()], interrupt);
+                if let Some(v) = mbox.pop() {
+                    let c = self.trace_ppe(
+                        thread,
+                        RuntimeEvent::PpeMboxRead {
+                            ctx,
+                            value: v,
+                            interrupt,
+                        },
+                    );
+                    self.wake_ppe(
+                        thread,
+                        PpeWake::OutMbox(v),
+                        now + c + self.cfg.ppe_mmio_cycles,
+                    );
+                    self.unblock_spu_outbound_space(spe, interrupt);
+                } else {
+                    self.ppes[thread.index()].state =
+                        PpeState::Blocked(PpeBlock::OutMbox { ctx, interrupt });
+                    self.mark(core, CoreState::MboxWait, now);
+                }
+            }
+            PpeAction::WriteSignal { ctx, reg, value } => {
+                let spe = self.ctx_spe(ctx)?;
+                let c = self.trace_ppe(thread, RuntimeEvent::PpeSignalWrite { ctx, reg, value });
+                self.mark(core, CoreState::Running, now);
+                self.spes[spe.index()].signals.reg_mut(reg).deliver(value);
+                self.wake_ppe(
+                    thread,
+                    PpeWake::SignalWritten,
+                    now + c + self.cfg.ppe_mmio_cycles,
+                );
+                self.unblock_spu_signal(spe);
+            }
+            PpeAction::ProxyDma {
+                ctx,
+                kind,
+                lsa,
+                ea,
+                size,
+                tag,
+            } => {
+                let spe = self.ctx_spe(ctx)?;
+                let cmd = DmaCmd::single(kind, LsAddr::new(lsa), ea, size, tag)?;
+                let c = self.trace_ppe(
+                    thread,
+                    RuntimeEvent::PpeProxyDma {
+                        ctx,
+                        kind,
+                        size,
+                        tag: tag.get(),
+                    },
+                );
+                let i = spe.index();
+                if !self.spes[i].mfc.can_accept_proxy() {
+                    return Err(SimError::Runtime {
+                        detail: format!("proxy queue of {spe} is full"),
+                    });
+                }
+                self.mark(core, CoreState::Running, now);
+                self.spes[i].mfc.enqueue_proxy(ProxyEntry {
+                    cmd,
+                    enqueued: now,
+                    waiter: thread,
+                });
+                self.ppes[thread.index()].state = PpeState::Blocked(PpeBlock::Proxy);
+                self.mark(core, CoreState::DmaWait, now + c + self.cfg.ppe_mmio_cycles);
+                self.q
+                    .schedule_in(c + self.cfg.ppe_mmio_cycles, SimEvent::MfcIssue { spe });
+            }
+            PpeAction::WaitStop { ctx } => {
+                self.mark(core, CoreState::Running, now);
+                match self.ctxs.get(ctx.index()) {
+                    Some(entry) => {
+                        if let Some(code) = entry.stopped {
+                            let c =
+                                self.trace_ppe(thread, RuntimeEvent::PpeCtxStopped { ctx, code });
+                            self.wake_ppe(thread, PpeWake::Stopped { ctx, code }, now + c + 1);
+                        } else {
+                            self.ppes[thread.index()].state =
+                                PpeState::Blocked(PpeBlock::Stop(ctx));
+                            self.mark(core, CoreState::JoinWait, now);
+                        }
+                    }
+                    None => {
+                        return Err(SimError::Runtime {
+                            detail: format!("{ctx} does not exist"),
+                        })
+                    }
+                }
+            }
+            PpeAction::ReadTimebase => {
+                let at = now + self.cfg.dec_read_cycles;
+                let tb = self.cfg.clock.cycles_to_timebase(at);
+                self.mark(core, CoreState::Running, now);
+                self.q.schedule_at(
+                    at,
+                    SimEvent::PpeResume {
+                        thread,
+                        wake: PpeWake::Timebase(tb),
+                    },
+                );
+            }
+            PpeAction::UserEvent { id, a0, a1 } => {
+                let c = self.trace_ppe(thread, RuntimeEvent::PpeUser { id, a0, a1 });
+                if c > 0 {
+                    self.mark(core, CoreState::TraceOverhead, now);
+                    self.mark(core, CoreState::Running, now + c);
+                } else {
+                    self.mark(core, CoreState::Running, now);
+                }
+                self.q.schedule_in(
+                    c.max(1),
+                    SimEvent::PpeResume {
+                        thread,
+                        wake: PpeWake::UserDone,
+                    },
+                );
+            }
+            PpeAction::Halt => {
+                self.ppes[thread.index()].state = PpeState::Halted;
+                self.mark(core, CoreState::Stopped, now);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn outbound_mbox(spe: &mut Spe, interrupt: bool) -> &mut Mailbox {
+    if interrupt {
+        &mut spe.mboxes.outbound_intr
+    } else {
+        &mut spe.mboxes.outbound
+    }
+}

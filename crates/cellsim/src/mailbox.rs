@@ -1,0 +1,141 @@
+//! Bounded mailbox queues.
+//!
+//! Each SPE exposes three 32-bit mailbox channels to the PPE: a 4-entry
+//! inbound mailbox (PPE→SPU), a 1-entry outbound mailbox (SPU→PPE) and
+//! a 1-entry outbound-interrupt mailbox. Reads from an empty mailbox
+//! and writes to a full one block the issuing core; the blocking logic
+//! lives in [`crate::machine`], this module only models the queues.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO of 32-bit mailbox words.
+#[derive(Debug, Clone)]
+pub struct Mailbox {
+    q: VecDeque<u32>,
+    cap: usize,
+}
+
+impl Mailbox {
+    /// Creates a mailbox holding at most `cap` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "mailbox capacity must be nonzero");
+        Mailbox {
+            q: VecDeque::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// Capacity in entries.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Entries currently queued.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when no entries are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// True when the mailbox cannot accept another entry.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.q.len() == self.cap
+    }
+
+    /// Attempts to enqueue `v`; returns `Err(v)` if full so the caller
+    /// can park the writer.
+    pub fn push(&mut self, v: u32) -> Result<(), u32> {
+        if self.is_full() {
+            Err(v)
+        } else {
+            self.q.push_back(v);
+            Ok(())
+        }
+    }
+
+    /// Attempts to dequeue the oldest entry.
+    pub fn pop(&mut self) -> Option<u32> {
+        self.q.pop_front()
+    }
+
+    /// Peeks at the oldest entry without consuming it (the PPE can read
+    /// the mailbox status register without draining).
+    pub fn peek(&self) -> Option<u32> {
+        self.q.front().copied()
+    }
+}
+
+/// The trio of mailboxes attached to one SPE.
+#[derive(Debug, Clone)]
+pub struct MailboxSet {
+    /// PPE → SPU, 4 entries on hardware.
+    pub inbound: Mailbox,
+    /// SPU → PPE, 1 entry.
+    pub outbound: Mailbox,
+    /// SPU → PPE with interrupt, 1 entry.
+    pub outbound_intr: Mailbox,
+}
+
+impl MailboxSet {
+    /// Creates the standard SPE mailbox set with the given inbound depth.
+    pub fn new(inbound_depth: usize) -> Self {
+        MailboxSet {
+            inbound: Mailbox::new(inbound_depth),
+            outbound: Mailbox::new(1),
+            outbound_intr: Mailbox::new(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_ordering_is_preserved() {
+        let mut m = Mailbox::new(4);
+        for v in [10, 20, 30] {
+            m.push(v).unwrap();
+        }
+        assert_eq!(m.peek(), Some(10));
+        assert_eq!(m.pop(), Some(10));
+        assert_eq!(m.pop(), Some(20));
+        assert_eq!(m.pop(), Some(30));
+        assert_eq!(m.pop(), None);
+    }
+
+    #[test]
+    fn push_to_full_returns_value() {
+        let mut m = Mailbox::new(1);
+        m.push(7).unwrap();
+        assert!(m.is_full());
+        assert_eq!(m.push(8), Err(8));
+        assert_eq!(m.pop(), Some(7));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn mailbox_set_has_hardware_depths() {
+        let s = MailboxSet::new(4);
+        assert_eq!(s.inbound.capacity(), 4);
+        assert_eq!(s.outbound.capacity(), 1);
+        assert_eq!(s.outbound_intr.capacity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = Mailbox::new(0);
+    }
+}

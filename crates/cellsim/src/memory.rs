@@ -1,0 +1,203 @@
+//! Sparse paged main memory (the XDR DRAM behind the MIC).
+//!
+//! Main memory is modelled as a sparse map of 4 KiB pages so that
+//! workloads can use realistic effective addresses (e.g. buffers at
+//! `0x1000_0000`) without the simulator allocating gigabytes. All byte
+//! movement in the simulator — DMA transfers, PPE loads/stores, trace
+//! buffer flushes — goes through [`MainMemory`], so data really flows
+//! end to end.
+
+use std::collections::HashMap;
+
+use crate::error::MemError;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse byte-addressable main memory with a configurable size limit.
+#[derive(Debug, Default)]
+pub struct MainMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    limit: u64,
+}
+
+impl MainMemory {
+    /// Creates a memory of `limit` addressable bytes. Pages are
+    /// allocated lazily on first write.
+    pub fn new(limit: u64) -> Self {
+        MainMemory {
+            pages: HashMap::new(),
+            limit,
+        }
+    }
+
+    /// Addressable size in bytes.
+    #[inline]
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Number of 4 KiB pages currently materialized.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn check(&self, ea: u64, len: u64) -> Result<(), MemError> {
+        if ea.checked_add(len).is_none_or(|end| end > self.limit) {
+            return Err(MemError {
+                ea,
+                len,
+                limit: self.limit,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at effective address `ea`.
+    /// Unmaterialized pages read as zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the range exceeds the memory limit.
+    pub fn read(&self, ea: u64, buf: &mut [u8]) -> Result<(), MemError> {
+        self.check(ea, buf.len() as u64)?;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let addr = ea + off as u64;
+            let page = addr >> PAGE_SHIFT;
+            let in_page = (addr as usize) & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - in_page).min(buf.len() - off);
+            match self.pages.get(&page) {
+                Some(p) => buf[off..off + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at effective address `ea`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the range exceeds the memory limit.
+    pub fn write(&mut self, ea: u64, buf: &[u8]) -> Result<(), MemError> {
+        self.check(ea, buf.len() as u64)?;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let addr = ea + off as u64;
+            let page = addr >> PAGE_SHIFT;
+            let in_page = (addr as usize) & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - in_page).min(buf.len() - off);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            p[in_page..in_page + n].copy_from_slice(&buf[off..off + n]);
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if out of bounds.
+    pub fn read_u32(&self, ea: u64) -> Result<u32, MemError> {
+        let mut b = [0u8; 4];
+        self.read(ea, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if out of bounds.
+    pub fn write_u32(&mut self, ea: u64, v: u32) -> Result<(), MemError> {
+        self.write(ea, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian `f32` slice of `n` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if out of bounds.
+    pub fn read_f32_slice(&self, ea: u64, n: usize) -> Result<Vec<f32>, MemError> {
+        let mut bytes = vec![0u8; n * 4];
+        self.read(ea, &mut bytes)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Writes a slice of `f32` values in little-endian layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if out of bounds.
+    pub fn write_f32_slice(&mut self, ea: u64, data: &[f32]) -> Result<(), MemError> {
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write(ea, &bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics_for_untouched_pages() {
+        let mem = MainMemory::new(1 << 20);
+        let mut buf = [0xffu8; 8];
+        mem.read(0x4000, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_page_boundary() {
+        let mut mem = MainMemory::new(1 << 20);
+        let data: Vec<u8> = (0..=255).collect();
+        // Straddles the 4 KiB boundary at 0x1000.
+        mem.write(0x1000 - 100, &data).unwrap();
+        let mut out = vec![0u8; 256];
+        mem.read(0x1000 - 100, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_rejected() {
+        let mut mem = MainMemory::new(4096);
+        assert!(mem.write(4090, &[0u8; 8]).is_err());
+        let mut b = [0u8; 8];
+        assert!(mem.read(4096, &mut b).is_err());
+        // Overflowing ea + len must not panic.
+        assert!(mem.read(u64::MAX - 2, &mut b).is_err());
+    }
+
+    #[test]
+    fn u32_and_f32_helpers_roundtrip() {
+        let mut mem = MainMemory::new(1 << 16);
+        mem.write_u32(0x100, 0xdeadbeef).unwrap();
+        assert_eq!(mem.read_u32(0x100).unwrap(), 0xdeadbeef);
+        let vals = [1.0f32, -2.5, 3.25, 0.0];
+        mem.write_f32_slice(0x200, &vals).unwrap();
+        assert_eq!(mem.read_f32_slice(0x200, 4).unwrap(), vals);
+    }
+
+    #[test]
+    fn boundary_write_exactly_at_limit_is_ok() {
+        let mut mem = MainMemory::new(4096);
+        mem.write(4088, &[1u8; 8]).unwrap();
+        let mut b = [0u8; 8];
+        mem.read(4088, &mut b).unwrap();
+        assert_eq!(b, [1u8; 8]);
+    }
+}

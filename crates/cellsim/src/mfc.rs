@@ -1,0 +1,288 @@
+//! Memory Flow Controller queues.
+//!
+//! Each SPE's MFC owns a 16-entry SPU command queue (fed by the SPU
+//! channel interface) and an 8-entry proxy queue (fed by PPE MMIO
+//! writes). The MFC advances a bounded number of commands concurrently;
+//! transfer timing itself is granted by the [`crate::eib`] model, so
+//! this module is pure queue/tag bookkeeping driven by the machine.
+//!
+//! PDT trace-buffer flushes are DMA PUTs too; they ride the same queue
+//! via [`Mfc::enqueue_trace`], which models the tracer's reserved slot
+//! by being exempt from the capacity check (the real PDT reserves
+//! resources for itself up front).
+
+use std::collections::VecDeque;
+
+use crate::cycle::Cycle;
+use crate::dma::{DmaCmd, TagGroups};
+use crate::ids::PpeThreadId;
+
+/// An SPU-queue entry: the command plus when it was accepted.
+#[derive(Debug, Clone)]
+pub struct QueuedCmd {
+    /// The DMA command.
+    pub cmd: DmaCmd,
+    /// When the SPU enqueued it.
+    pub enqueued: Cycle,
+}
+
+/// A proxy-queue entry: the command, its enqueue time, and the PPE
+/// thread to wake on completion.
+#[derive(Debug, Clone)]
+pub struct ProxyEntry {
+    /// The DMA command.
+    pub cmd: DmaCmd,
+    /// When the PPE enqueued it.
+    pub enqueued: Cycle,
+    /// PPE thread blocked on this proxy command.
+    pub waiter: PpeThreadId,
+}
+
+/// Which queue a command came from, attached to in-flight transfers so
+/// completion can be routed.
+#[derive(Debug, Clone)]
+pub enum MfcSource {
+    /// SPU command queue.
+    Spu(QueuedCmd),
+    /// Proxy command queue.
+    Proxy(ProxyEntry),
+}
+
+impl MfcSource {
+    /// The command regardless of source.
+    pub fn cmd(&self) -> &DmaCmd {
+        match self {
+            MfcSource::Spu(q) => &q.cmd,
+            MfcSource::Proxy(p) => &p.cmd,
+        }
+    }
+
+    /// When the command entered its queue.
+    pub fn enqueued(&self) -> Cycle {
+        match self {
+            MfcSource::Spu(q) => q.enqueued,
+            MfcSource::Proxy(p) => p.enqueued,
+        }
+    }
+}
+
+/// Counters exposed in the run report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MfcStats {
+    /// Commands accepted into the SPU queue (including trace flushes).
+    pub spu_cmds: u64,
+    /// Trace-flush commands accepted.
+    pub trace_cmds: u64,
+    /// Commands accepted into the proxy queue.
+    pub proxy_cmds: u64,
+    /// Bytes completed (all sources).
+    pub bytes: u64,
+    /// Times the SPU stalled because the command queue was full.
+    pub queue_full_stalls: u64,
+}
+
+/// One SPE's MFC state.
+#[derive(Debug)]
+pub struct Mfc {
+    queue: VecDeque<QueuedCmd>,
+    proxy: VecDeque<ProxyEntry>,
+    queue_depth: usize,
+    proxy_depth: usize,
+    inflight: usize,
+    max_inflight: usize,
+    /// Tag-group completion state.
+    pub tags: TagGroups,
+    /// Counters.
+    pub stats: MfcStats,
+}
+
+impl Mfc {
+    /// Creates an empty MFC with the given queue depths and concurrency.
+    pub fn new(queue_depth: usize, proxy_depth: usize, max_inflight: usize) -> Self {
+        Mfc {
+            queue: VecDeque::with_capacity(queue_depth),
+            proxy: VecDeque::with_capacity(proxy_depth),
+            queue_depth,
+            proxy_depth,
+            inflight: 0,
+            max_inflight,
+            tags: TagGroups::new(),
+            stats: MfcStats::default(),
+        }
+    }
+
+    /// True when the SPU command queue has a free slot.
+    pub fn can_accept_spu(&self) -> bool {
+        self.queue.len() < self.queue_depth
+    }
+
+    /// True when the proxy command queue has a free slot.
+    pub fn can_accept_proxy(&self) -> bool {
+        self.proxy.len() < self.proxy_depth
+    }
+
+    /// Entries currently waiting in the SPU queue.
+    pub fn spu_queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues an SPU command; the caller must have checked
+    /// [`Mfc::can_accept_spu`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (machine logic error).
+    pub fn enqueue_spu(&mut self, cmd: DmaCmd, now: Cycle) {
+        assert!(self.can_accept_spu(), "SPU command queue overflow");
+        self.tags.issue(cmd.tag);
+        self.stats.spu_cmds += 1;
+        self.queue.push_back(QueuedCmd { cmd, enqueued: now });
+    }
+
+    /// Enqueues a tracer flush command, exempt from the capacity check
+    /// (the PDT's reserved slot).
+    pub fn enqueue_trace(&mut self, cmd: DmaCmd, now: Cycle) {
+        self.tags.issue(cmd.tag);
+        self.stats.spu_cmds += 1;
+        self.stats.trace_cmds += 1;
+        self.queue.push_back(QueuedCmd { cmd, enqueued: now });
+    }
+
+    /// Enqueues a proxy command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the proxy queue is full (machine logic error).
+    pub fn enqueue_proxy(&mut self, entry: ProxyEntry) {
+        assert!(self.can_accept_proxy(), "proxy command queue overflow");
+        self.tags.issue(entry.cmd.tag);
+        self.stats.proxy_cmds += 1;
+        self.proxy.push_back(entry);
+    }
+
+    /// Pops the next command to put on the wire, if concurrency allows.
+    /// SPU-queue commands have priority over proxy commands.
+    pub fn next_to_issue(&mut self) -> Option<MfcSource> {
+        if self.inflight >= self.max_inflight {
+            return None;
+        }
+        let src = if let Some(c) = self.queue.pop_front() {
+            Some(MfcSource::Spu(c))
+        } else {
+            self.proxy.pop_front().map(MfcSource::Proxy)
+        };
+        if src.is_some() {
+            self.inflight += 1;
+        }
+        src
+    }
+
+    /// Notes completion of an in-flight command's data movement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is in flight (machine logic error).
+    pub fn complete(&mut self, src: &MfcSource) {
+        assert!(self.inflight > 0, "completion with nothing in flight");
+        self.inflight -= 1;
+        let cmd = src.cmd();
+        self.tags.complete(cmd.tag);
+        self.stats.bytes += cmd.total_bytes();
+    }
+
+    /// Counts a queue-full stall (for the run report).
+    pub fn note_queue_full(&mut self) {
+        self.stats.queue_full_stalls += 1;
+    }
+
+    /// True when no commands are queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.proxy.is_empty() && self.inflight == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dma::{DmaKind, TagId};
+    use crate::local_store::LsAddr;
+
+    fn cmd(tag: u8, size: u32) -> DmaCmd {
+        DmaCmd::single(
+            DmaKind::Get,
+            LsAddr::new(0),
+            0x1000,
+            size,
+            TagId::new(tag).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let mut m = Mfc::new(2, 1, 2);
+        assert!(m.can_accept_spu());
+        m.enqueue_spu(cmd(0, 16), Cycle::ZERO);
+        m.enqueue_spu(cmd(0, 16), Cycle::ZERO);
+        assert!(!m.can_accept_spu());
+        assert_eq!(m.spu_queue_len(), 2);
+    }
+
+    #[test]
+    fn trace_flush_bypasses_capacity() {
+        let mut m = Mfc::new(1, 1, 2);
+        m.enqueue_spu(cmd(0, 16), Cycle::ZERO);
+        assert!(!m.can_accept_spu());
+        m.enqueue_trace(cmd(31, 128), Cycle::new(5));
+        assert_eq!(m.spu_queue_len(), 2);
+        assert_eq!(m.stats.trace_cmds, 1);
+    }
+
+    #[test]
+    fn inflight_cap_limits_issue() {
+        let mut m = Mfc::new(16, 8, 2);
+        for _ in 0..3 {
+            m.enqueue_spu(cmd(1, 128), Cycle::ZERO);
+        }
+        let a = m.next_to_issue().unwrap();
+        let _b = m.next_to_issue().unwrap();
+        assert!(m.next_to_issue().is_none(), "third issue must wait");
+        m.complete(&a);
+        assert!(m.next_to_issue().is_some());
+    }
+
+    #[test]
+    fn spu_queue_has_priority_over_proxy() {
+        let mut m = Mfc::new(16, 8, 1);
+        m.enqueue_proxy(ProxyEntry {
+            cmd: cmd(2, 16),
+            enqueued: Cycle::ZERO,
+            waiter: PpeThreadId::new(0),
+        });
+        m.enqueue_spu(cmd(3, 16), Cycle::new(1));
+        let first = m.next_to_issue().unwrap();
+        assert!(matches!(first, MfcSource::Spu(_)));
+        assert_eq!(first.enqueued(), Cycle::new(1));
+    }
+
+    #[test]
+    fn completion_updates_tags_and_bytes() {
+        let mut m = Mfc::new(16, 8, 4);
+        let t = TagId::new(7).unwrap();
+        m.enqueue_spu(cmd(7, 256), Cycle::ZERO);
+        assert_eq!(m.tags.outstanding(t), 1);
+        let src = m.next_to_issue().unwrap();
+        m.complete(&src);
+        assert_eq!(m.tags.outstanding(t), 0);
+        assert_eq!(m.stats.bytes, 256);
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn stall_counter_increments() {
+        let mut m = Mfc::new(1, 1, 1);
+        m.note_queue_full();
+        m.note_queue_full();
+        assert_eq!(m.stats.queue_full_stalls, 2);
+    }
+}

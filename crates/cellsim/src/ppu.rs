@@ -1,0 +1,211 @@
+//! The PPE program interface.
+//!
+//! Like SPU programs, PPE programs are behavioural state machines. The
+//! action set mirrors what a Cell application does on the PPE through
+//! libspe2 and the problem-state MMIO window: create and run SPE
+//! contexts, exchange mailbox words, deliver signals, issue proxy DMA,
+//! and wait for SPE stop events. Main-memory access is host-level
+//! plumbing via [`PpeEnv::mem`] (charge time with
+//! [`PpeAction::Compute`] where it matters).
+
+use crate::dma::{DmaKind, TagId};
+use crate::ids::{CtxId, PpeThreadId};
+use crate::memory::MainMemory;
+use crate::signal::SignalReg;
+use crate::spu::SpuProgram;
+
+/// What the PPE thread does next.
+pub enum PpeAction {
+    /// Execute for the given number of cycles.
+    Compute(u64),
+    /// Create an SPE context holding `program` (libspe2
+    /// `spe_context_create` + `spe_program_load` analogue).
+    CreateContext {
+        /// Human-readable name recorded in traces.
+        name: String,
+        /// The SPU program image.
+        program: Box<dyn SpuProgram>,
+    },
+    /// Bind a created context to a free physical SPE and start it
+    /// (`spe_context_run` analogue; asynchronous — completion is
+    /// observed with [`PpeAction::WaitStop`]).
+    RunContext(CtxId),
+    /// Write a word into the context's inbound mailbox (blocks while
+    /// the 4-entry mailbox is full).
+    WriteInMbox {
+        /// Target context.
+        ctx: CtxId,
+        /// Word to send.
+        value: u32,
+    },
+    /// Read the context's outbound mailbox (blocks while empty).
+    ReadOutMbox {
+        /// Source context.
+        ctx: CtxId,
+    },
+    /// Read the context's outbound-interrupt mailbox (blocks while
+    /// empty).
+    ReadOutIntrMbox {
+        /// Source context.
+        ctx: CtxId,
+    },
+    /// Deliver a word to a signal-notification register.
+    WriteSignal {
+        /// Target context.
+        ctx: CtxId,
+        /// Which register.
+        reg: SignalReg,
+        /// Word to deliver.
+        value: u32,
+    },
+    /// Issue a DMA through the context's MFC proxy queue and block
+    /// until it completes.
+    ProxyDma {
+        /// Target context.
+        ctx: CtxId,
+        /// Direction (GET: memory → LS, PUT: LS → memory).
+        kind: DmaKind,
+        /// Local-store address inside the context's SPE.
+        lsa: u32,
+        /// Effective address.
+        ea: u64,
+        /// Bytes.
+        size: u32,
+        /// Tag group in the proxy queue.
+        tag: TagId,
+    },
+    /// Block until the context's SPU executes `Stop`.
+    WaitStop {
+        /// Context to join.
+        ctx: CtxId,
+    },
+    /// Read the 64-bit timebase register.
+    ReadTimebase,
+    /// Emit a user-defined trace event.
+    UserEvent {
+        /// User event id.
+        id: u32,
+        /// First payload word.
+        a0: u64,
+        /// Second payload word.
+        a1: u64,
+    },
+    /// Terminate this PPE thread's program.
+    Halt,
+}
+
+impl std::fmt::Debug for PpeAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PpeAction::Compute(n) => write!(f, "Compute({n})"),
+            PpeAction::CreateContext { name, .. } => write!(f, "CreateContext({name:?})"),
+            PpeAction::RunContext(c) => write!(f, "RunContext({c})"),
+            PpeAction::WriteInMbox { ctx, value } => write!(f, "WriteInMbox({ctx}, {value})"),
+            PpeAction::ReadOutMbox { ctx } => write!(f, "ReadOutMbox({ctx})"),
+            PpeAction::ReadOutIntrMbox { ctx } => write!(f, "ReadOutIntrMbox({ctx})"),
+            PpeAction::WriteSignal { ctx, reg, value } => {
+                write!(f, "WriteSignal({ctx}, {reg:?}, {value})")
+            }
+            PpeAction::ProxyDma {
+                ctx, kind, size, ..
+            } => {
+                write!(f, "ProxyDma({ctx}, {kind:?}, {size}B)")
+            }
+            PpeAction::WaitStop { ctx } => write!(f, "WaitStop({ctx})"),
+            PpeAction::ReadTimebase => write!(f, "ReadTimebase"),
+            PpeAction::UserEvent { id, .. } => write!(f, "UserEvent({id})"),
+            PpeAction::Halt => write!(f, "Halt"),
+        }
+    }
+}
+
+/// Why the PPE thread resumed; carries the previous action's result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PpeWake {
+    /// First entry.
+    Start,
+    /// A `Compute` finished.
+    ComputeDone,
+    /// Context created; payload is its id.
+    ContextCreated(CtxId),
+    /// Context bound to an SPE and started.
+    ContextStarted(CtxId),
+    /// The inbound-mailbox write was accepted.
+    MboxWritten,
+    /// Outbound-mailbox word.
+    OutMbox(u32),
+    /// The signal was delivered.
+    SignalWritten,
+    /// The proxy DMA completed.
+    ProxyDone,
+    /// The context stopped; payload is the SPU stop code.
+    Stopped {
+        /// The stopped context.
+        ctx: CtxId,
+        /// SPU stop code.
+        code: u32,
+    },
+    /// Timebase value.
+    Timebase(u64),
+    /// The user event was recorded.
+    UserDone,
+}
+
+/// The PPE thread's view of the machine while resuming.
+#[derive(Debug)]
+pub struct PpeEnv<'a> {
+    /// This thread's id.
+    pub thread: PpeThreadId,
+    /// Host-level main-memory access (for staging workload data).
+    pub mem: &'a mut MainMemory,
+}
+
+/// A behavioural PPE program.
+pub trait PpeProgram: Send {
+    /// Advance the program: consume the wake reason and return the next
+    /// action.
+    fn resume(&mut self, wake: PpeWake, env: PpeEnv<'_>) -> PpeAction;
+}
+
+impl std::fmt::Debug for dyn PpeProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("<ppe program>")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Halter;
+    impl PpeProgram for Halter {
+        fn resume(&mut self, _wake: PpeWake, env: PpeEnv<'_>) -> PpeAction {
+            env.mem.write_u32(0x100, 42).unwrap();
+            PpeAction::Halt
+        }
+    }
+
+    #[test]
+    fn ppe_program_can_touch_memory() {
+        let mut mem = MainMemory::new(1 << 20);
+        let mut p = Halter;
+        let act = p.resume(
+            PpeWake::Start,
+            PpeEnv {
+                thread: PpeThreadId::new(0),
+                mem: &mut mem,
+            },
+        );
+        assert!(matches!(act, PpeAction::Halt));
+        assert_eq!(mem.read_u32(0x100).unwrap(), 42);
+    }
+
+    #[test]
+    fn action_debug_is_informative() {
+        let a = PpeAction::WriteInMbox {
+            ctx: CtxId::new(1),
+            value: 9,
+        };
+        assert_eq!(format!("{a:?}"), "WriteInMbox(ctx1, 9)");
+    }
+}

@@ -1,0 +1,81 @@
+//! Machine presets for the Cell systems the tools actually ran on.
+
+use crate::config::MachineConfig;
+
+/// An IBM QS20-class blade: one Cell BE with all 8 SPEs enabled at
+/// 3.2 GHz — the configuration the paper's evaluation used.
+pub fn qs20_blade() -> MachineConfig {
+    MachineConfig::default()
+}
+
+/// A PlayStation 3 under Linux: one SPE is factory-disabled for yield
+/// and one more is reserved by the hypervisor, leaving 6 for the
+/// application — the machine most people actually traced Cell code on.
+pub fn ps3() -> MachineConfig {
+    MachineConfig::default().with_num_spes(6)
+}
+
+/// A QS22-class blade at a slightly higher clock (the PowerXCell 8i
+/// shipped at up to 3.2 GHz too; this preset models the 4.0 GHz parts
+/// IBM sampled, useful for clock-sensitivity studies).
+pub fn fast_part() -> MachineConfig {
+    let mut cfg = MachineConfig::default();
+    cfg.clock.core_hz = 4_000_000_000;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PpeThreadId;
+    use crate::machine::Machine;
+    use crate::runtime::{SpeJob, SpmdDriver};
+    use crate::script::SpuScript;
+    use crate::spu::SpuAction;
+
+    #[test]
+    fn presets_validate_and_run() {
+        for (name, cfg) in [
+            ("qs20", qs20_blade()),
+            ("ps3", ps3()),
+            ("fast", fast_part()),
+        ] {
+            cfg.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let mut m = Machine::new(cfg).unwrap();
+            m.set_ppe_program(
+                PpeThreadId::new(0),
+                Box::new(SpmdDriver::new(vec![SpeJob::new(
+                    "probe",
+                    Box::new(SpuScript::new(vec![SpuAction::Compute(1000)])),
+                )])),
+            );
+            let r = m.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(r.stop_codes[0].1, Some(0), "{name}");
+        }
+    }
+
+    #[test]
+    fn ps3_has_six_spes() {
+        assert_eq!(ps3().num_spes, 6);
+        assert_eq!(qs20_blade().num_spes, 8);
+    }
+
+    #[test]
+    fn fast_part_finishes_the_same_cycles_in_less_wall_time() {
+        let run = |cfg: MachineConfig| {
+            let mut m = Machine::new(cfg).unwrap();
+            m.set_ppe_program(
+                PpeThreadId::new(0),
+                Box::new(SpmdDriver::new(vec![SpeJob::new(
+                    "c",
+                    Box::new(SpuScript::new(vec![SpuAction::Compute(100_000)])),
+                )])),
+            );
+            m.run().unwrap()
+        };
+        let slow = run(qs20_blade());
+        let fast = run(fast_part());
+        assert_eq!(slow.cycles, fast.cycles, "same cycle count");
+        assert!(fast.wall_ns < slow.wall_ns, "fewer ns at 4 GHz");
+    }
+}

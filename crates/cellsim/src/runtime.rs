@@ -1,0 +1,241 @@
+//! Runtime conveniences built on the program interfaces.
+//!
+//! [`SpmdDriver`] is the workhorse PPE program for SPMD-style Cell
+//! applications: it creates one context per SPE job, starts them all,
+//! optionally seeds each inbound mailbox with parameter words, waits
+//! for every context to stop, and halts. This mirrors the canonical
+//! libspe2 main loop that the PDT's PPE-side instrumentation targets.
+
+use crate::ids::CtxId;
+use crate::ppu::{PpeAction, PpeEnv, PpeProgram, PpeWake};
+use crate::spu::SpuProgram;
+
+/// One SPE job: a named program plus mailbox parameter words delivered
+/// after start.
+pub struct SpeJob {
+    /// Context name recorded in traces.
+    pub name: String,
+    /// The SPU program.
+    pub program: Box<dyn SpuProgram>,
+    /// Words written to the context's inbound mailbox after start.
+    pub initial_mbox: Vec<u32>,
+}
+
+impl std::fmt::Debug for SpeJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpeJob")
+            .field("name", &self.name)
+            .field("initial_mbox", &self.initial_mbox)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SpeJob {
+    /// Creates a job with no mailbox parameters.
+    pub fn new(name: impl Into<String>, program: Box<dyn SpuProgram>) -> Self {
+        SpeJob {
+            name: name.into(),
+            program,
+            initial_mbox: Vec::new(),
+        }
+    }
+
+    /// Adds mailbox parameter words.
+    pub fn with_mbox(mut self, words: Vec<u32>) -> Self {
+        self.initial_mbox = words;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Create(usize),
+    Run(usize),
+    SendMbox { job: usize, word: usize },
+    Wait(usize),
+    Done,
+}
+
+/// PPE driver for SPMD workloads: create → run → seed mailboxes →
+/// join → halt.
+pub struct SpmdDriver {
+    jobs: Vec<Option<SpeJob>>,
+    mbox_words: Vec<Vec<u32>>,
+    ctxs: Vec<CtxId>,
+    phase: Phase,
+}
+
+impl std::fmt::Debug for SpmdDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpmdDriver")
+            .field("jobs", &self.jobs.len())
+            .field("phase", &self.phase)
+            .finish()
+    }
+}
+
+impl SpmdDriver {
+    /// Creates a driver over the given jobs (at most one per SPE).
+    pub fn new(jobs: Vec<SpeJob>) -> Self {
+        let mbox_words = jobs.iter().map(|j| j.initial_mbox.clone()).collect();
+        SpmdDriver {
+            mbox_words,
+            jobs: jobs.into_iter().map(Some).collect(),
+            ctxs: Vec::new(),
+            phase: Phase::Create(0),
+        }
+    }
+
+    fn advance_after_start(&mut self, job: usize) -> Phase {
+        if !self.mbox_words[job].is_empty() {
+            Phase::SendMbox { job, word: 0 }
+        } else {
+            self.next_job(job)
+        }
+    }
+
+    fn next_job(&mut self, job: usize) -> Phase {
+        if job + 1 < self.jobs.len() {
+            Phase::Create(job + 1)
+        } else {
+            Phase::Wait(0)
+        }
+    }
+
+    fn emit(&mut self) -> PpeAction {
+        match self.phase {
+            Phase::Create(j) => {
+                let job = self.jobs[j].take().expect("job consumed twice");
+                PpeAction::CreateContext {
+                    name: job.name,
+                    program: job.program,
+                }
+            }
+            Phase::Run(j) => PpeAction::RunContext(self.ctxs[j]),
+            Phase::SendMbox { job, word } => PpeAction::WriteInMbox {
+                ctx: self.ctxs[job],
+                value: self.mbox_words[job][word],
+            },
+            Phase::Wait(j) => PpeAction::WaitStop { ctx: self.ctxs[j] },
+            Phase::Done => PpeAction::Halt,
+        }
+    }
+}
+
+impl PpeProgram for SpmdDriver {
+    fn resume(&mut self, wake: PpeWake, _env: PpeEnv<'_>) -> PpeAction {
+        match wake {
+            PpeWake::Start => {
+                if self.jobs.is_empty() {
+                    self.phase = Phase::Done;
+                }
+            }
+            PpeWake::ContextCreated(ctx) => {
+                let Phase::Create(j) = self.phase else {
+                    panic!("unexpected ContextCreated in {:?}", self.phase)
+                };
+                self.ctxs.push(ctx);
+                self.phase = Phase::Run(j);
+            }
+            PpeWake::ContextStarted(_) => {
+                let Phase::Run(j) = self.phase else {
+                    panic!("unexpected ContextStarted in {:?}", self.phase)
+                };
+                self.phase = self.advance_after_start(j);
+            }
+            PpeWake::MboxWritten => {
+                let Phase::SendMbox { job, word } = self.phase else {
+                    panic!("unexpected MboxWritten in {:?}", self.phase)
+                };
+                self.phase = if word + 1 < self.mbox_words[job].len() {
+                    Phase::SendMbox {
+                        job,
+                        word: word + 1,
+                    }
+                } else {
+                    self.next_job(job)
+                };
+            }
+            PpeWake::Stopped { .. } => {
+                let Phase::Wait(j) = self.phase else {
+                    panic!("unexpected Stopped in {:?}", self.phase)
+                };
+                self.phase = if j + 1 < self.ctxs.len() {
+                    Phase::Wait(j + 1)
+                } else {
+                    Phase::Done
+                };
+            }
+            other => panic!("SpmdDriver: unexpected wake {other:?} in {:?}", self.phase),
+        }
+        self.emit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::ids::PpeThreadId;
+    use crate::machine::Machine;
+    use crate::script::SpuScript;
+    use crate::spu::SpuAction;
+
+    #[test]
+    fn driver_runs_two_jobs_to_completion() {
+        let mut m = Machine::new(MachineConfig::default().with_num_spes(2)).unwrap();
+        let jobs = vec![
+            SpeJob::new(
+                "a",
+                Box::new(SpuScript::new(vec![SpuAction::Compute(100)]).with_stop_code(11)),
+            ),
+            SpeJob::new(
+                "b",
+                Box::new(SpuScript::new(vec![SpuAction::Compute(200)]).with_stop_code(22)),
+            ),
+        ];
+        m.set_ppe_program(PpeThreadId::new(0), Box::new(SpmdDriver::new(jobs)));
+        let report = m.run().expect("simulation completes");
+        assert_eq!(report.stop_codes.len(), 2);
+        assert_eq!(report.stop_codes[0].1, Some(11));
+        assert_eq!(report.stop_codes[1].1, Some(22));
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn driver_delivers_mailbox_parameters() {
+        use crate::spu::{SpuEnv, SpuProgram, SpuWake};
+
+        /// Reads two mailbox words and stops with their sum.
+        struct SumMbox {
+            got: Vec<u32>,
+        }
+        impl SpuProgram for SumMbox {
+            fn resume(&mut self, wake: SpuWake, _env: SpuEnv<'_>) -> SpuAction {
+                if let SpuWake::InMbox(v) = wake {
+                    self.got.push(v);
+                }
+                if self.got.len() < 2 {
+                    SpuAction::ReadInMbox
+                } else {
+                    SpuAction::Stop(self.got.iter().sum())
+                }
+            }
+        }
+
+        let mut m = Machine::new(MachineConfig::default().with_num_spes(1)).unwrap();
+        let jobs =
+            vec![SpeJob::new("sum", Box::new(SumMbox { got: Vec::new() })).with_mbox(vec![30, 12])];
+        m.set_ppe_program(PpeThreadId::new(0), Box::new(SpmdDriver::new(jobs)));
+        let report = m.run().unwrap();
+        assert_eq!(report.stop_codes[0].1, Some(42));
+    }
+
+    #[test]
+    fn empty_driver_halts_immediately() {
+        let mut m = Machine::new(MachineConfig::default().with_num_spes(1)).unwrap();
+        m.set_ppe_program(PpeThreadId::new(0), Box::new(SpmdDriver::new(vec![])));
+        let report = m.run().unwrap();
+        assert!(report.stop_codes.is_empty());
+    }
+}

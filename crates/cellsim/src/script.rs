@@ -1,0 +1,138 @@
+//! Scripted programs: fixed action sequences.
+//!
+//! Many tests and microbenchmarks need a program that performs a known
+//! sequence of actions regardless of wake payloads. [`SpuScript`] and
+//! [`PpeScript`] replay a prepared list and then stop/halt. For
+//! data-dependent control flow, implement [`SpuProgram`]/[`PpeProgram`]
+//! directly.
+
+use crate::ppu::{PpeAction, PpeEnv, PpeProgram, PpeWake};
+use crate::spu::{SpuAction, SpuEnv, SpuProgram, SpuWake};
+
+/// An SPU program that replays a fixed action list, then `Stop(0)`.
+#[derive(Debug, Clone)]
+pub struct SpuScript {
+    actions: Vec<SpuAction>,
+    next: usize,
+    stop_code: u32,
+}
+
+impl SpuScript {
+    /// Creates a script from an action list.
+    pub fn new(actions: Vec<SpuAction>) -> Self {
+        SpuScript {
+            actions,
+            next: 0,
+            stop_code: 0,
+        }
+    }
+
+    /// Sets the stop code issued after the last action.
+    pub fn with_stop_code(mut self, code: u32) -> Self {
+        self.stop_code = code;
+        self
+    }
+}
+
+impl SpuProgram for SpuScript {
+    fn resume(&mut self, _wake: SpuWake, _env: SpuEnv<'_>) -> SpuAction {
+        match self.actions.get(self.next) {
+            Some(a) => {
+                self.next += 1;
+                a.clone()
+            }
+            None => SpuAction::Stop(self.stop_code),
+        }
+    }
+}
+
+/// A PPE program that replays a fixed action list, then `Halt`.
+///
+/// Actions that need values created at runtime (e.g. `RunContext` of a
+/// context created by an earlier action) cannot be expressed in a fixed
+/// list; use a hand-written [`PpeProgram`] for those flows.
+pub struct PpeScript {
+    actions: std::vec::IntoIter<PpeAction>,
+}
+
+impl std::fmt::Debug for PpeScript {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PpeScript")
+            .field("remaining", &self.actions.len())
+            .finish()
+    }
+}
+
+impl PpeScript {
+    /// Creates a script from an action list.
+    pub fn new(actions: Vec<PpeAction>) -> Self {
+        PpeScript {
+            actions: actions.into_iter(),
+        }
+    }
+}
+
+impl PpeProgram for PpeScript {
+    fn resume(&mut self, _wake: PpeWake, _env: PpeEnv<'_>) -> PpeAction {
+        self.actions.next().unwrap_or(PpeAction::Halt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{PpeThreadId, SpeId};
+    use crate::local_store::LocalStore;
+    use crate::memory::MainMemory;
+
+    #[test]
+    fn spu_script_replays_then_stops() {
+        let mut s =
+            SpuScript::new(vec![SpuAction::Compute(10), SpuAction::Compute(20)]).with_stop_code(7);
+        let mut ls = LocalStore::new(4096);
+        fn env(ls: &mut LocalStore) -> SpuEnv<'_> {
+            SpuEnv {
+                spe: SpeId::new(0),
+                ls,
+            }
+        }
+        assert_eq!(
+            s.resume(SpuWake::Start, env(&mut ls)),
+            SpuAction::Compute(10)
+        );
+        assert_eq!(
+            s.resume(SpuWake::ComputeDone, env(&mut ls)),
+            SpuAction::Compute(20)
+        );
+        assert_eq!(
+            s.resume(SpuWake::ComputeDone, env(&mut ls)),
+            SpuAction::Stop(7)
+        );
+        assert_eq!(
+            s.resume(SpuWake::ComputeDone, env(&mut ls)),
+            SpuAction::Stop(7)
+        );
+    }
+
+    #[test]
+    fn ppe_script_replays_then_halts() {
+        let mut s = PpeScript::new(vec![PpeAction::Compute(5)]);
+        let mut mem = MainMemory::new(4096);
+        let a = s.resume(
+            PpeWake::Start,
+            PpeEnv {
+                thread: PpeThreadId::new(0),
+                mem: &mut mem,
+            },
+        );
+        assert!(matches!(a, PpeAction::Compute(5)));
+        let a = s.resume(
+            PpeWake::ComputeDone,
+            PpeEnv {
+                thread: PpeThreadId::new(0),
+                mem: &mut mem,
+            },
+        );
+        assert!(matches!(a, PpeAction::Halt));
+    }
+}

@@ -1,0 +1,155 @@
+//! SPE signal-notification registers.
+//!
+//! Each SPE has two 32-bit signal-notification registers. Writers (the
+//! PPE or other SPEs via their MFCs) deliver words either in *overwrite*
+//! mode or in *OR* (logical accumulate) mode; the SPU reads a register
+//! through its channel interface, which blocks while the register is
+//! empty and clears it on read.
+
+/// Which of the two signal-notification registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalReg {
+    /// SPU Signal Notification 1.
+    Sig1,
+    /// SPU Signal Notification 2.
+    Sig2,
+}
+
+/// Delivery mode for signal writes, a per-register hardware
+/// configuration bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SignalMode {
+    /// A write replaces the register contents.
+    #[default]
+    Overwrite,
+    /// A write ORs into the register (used for multi-source barriers).
+    Or,
+}
+
+/// One signal-notification register.
+#[derive(Debug, Clone, Default)]
+pub struct Signal {
+    value: u32,
+    pending: bool,
+    mode: SignalMode,
+}
+
+impl Signal {
+    /// Creates an empty register with the given delivery mode.
+    pub fn new(mode: SignalMode) -> Self {
+        Signal {
+            value: 0,
+            pending: false,
+            mode,
+        }
+    }
+
+    /// The delivery mode.
+    #[inline]
+    pub fn mode(&self) -> SignalMode {
+        self.mode
+    }
+
+    /// True when a value is waiting to be read.
+    #[inline]
+    pub fn is_pending(&self) -> bool {
+        self.pending
+    }
+
+    /// Delivers `v` according to the register's mode.
+    pub fn deliver(&mut self, v: u32) {
+        match self.mode {
+            SignalMode::Overwrite => self.value = v,
+            SignalMode::Or => self.value |= v,
+        }
+        self.pending = true;
+    }
+
+    /// SPU-side read: consumes and clears the register, or `None` if
+    /// nothing is pending (the SPU channel read would block).
+    pub fn take(&mut self) -> Option<u32> {
+        if self.pending {
+            self.pending = false;
+            let v = self.value;
+            self.value = 0;
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+/// The pair of signal registers attached to one SPE.
+#[derive(Debug, Clone, Default)]
+pub struct SignalSet {
+    sig1: Signal,
+    sig2: Signal,
+}
+
+impl SignalSet {
+    /// Creates both registers with the given modes.
+    pub fn new(mode1: SignalMode, mode2: SignalMode) -> Self {
+        SignalSet {
+            sig1: Signal::new(mode1),
+            sig2: Signal::new(mode2),
+        }
+    }
+
+    /// Borrow a register.
+    pub fn reg(&self, which: SignalReg) -> &Signal {
+        match which {
+            SignalReg::Sig1 => &self.sig1,
+            SignalReg::Sig2 => &self.sig2,
+        }
+    }
+
+    /// Borrow a register mutably.
+    pub fn reg_mut(&mut self, which: SignalReg) -> &mut Signal {
+        match which {
+            SignalReg::Sig1 => &mut self.sig1,
+            SignalReg::Sig2 => &mut self.sig2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overwrite_mode_replaces() {
+        let mut s = Signal::new(SignalMode::Overwrite);
+        s.deliver(0b01);
+        s.deliver(0b10);
+        assert_eq!(s.take(), Some(0b10));
+        assert_eq!(s.take(), None);
+    }
+
+    #[test]
+    fn or_mode_accumulates() {
+        let mut s = Signal::new(SignalMode::Or);
+        s.deliver(0b01);
+        s.deliver(0b10);
+        assert_eq!(s.take(), Some(0b11));
+        assert!(!s.is_pending());
+    }
+
+    #[test]
+    fn read_clears_register() {
+        let mut s = Signal::new(SignalMode::Or);
+        s.deliver(0xff);
+        assert_eq!(s.take(), Some(0xff));
+        s.deliver(0x01);
+        assert_eq!(s.take(), Some(0x01));
+    }
+
+    #[test]
+    fn signal_set_routes_registers() {
+        let mut set = SignalSet::new(SignalMode::Overwrite, SignalMode::Or);
+        set.reg_mut(SignalReg::Sig1).deliver(1);
+        set.reg_mut(SignalReg::Sig2).deliver(2);
+        set.reg_mut(SignalReg::Sig2).deliver(4);
+        assert_eq!(set.reg_mut(SignalReg::Sig1).take(), Some(1));
+        assert_eq!(set.reg_mut(SignalReg::Sig2).take(), Some(6));
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-SPE hardware aggregation and SPU execution state.
+
+use crate::config::MachineConfig;
+use crate::cycle::Cycle;
+use crate::decrementer::Decrementer;
+use crate::dma::{DmaCmd, TagWaitMode};
+use crate::ids::CtxId;
+use crate::local_store::LocalStore;
+use crate::mailbox::MailboxSet;
+use crate::mfc::Mfc;
+use crate::signal::{SignalMode, SignalReg, SignalSet};
+use crate::spu::SpuProgram;
+
+/// Why an SPU is not running.
+#[derive(Debug)]
+pub(crate) enum SpuBlock {
+    /// Waiting for a free MFC command-queue slot; the command to
+    /// enqueue once one frees.
+    QueueSlot(DmaCmd),
+    /// Waiting for tag groups.
+    Tags {
+        /// Tag mask.
+        mask: u32,
+        /// All/any discipline.
+        mode: TagWaitMode,
+    },
+    /// Waiting for an inbound-mailbox word.
+    InMbox,
+    /// Waiting for outbound-mailbox space; the pending word.
+    OutMbox {
+        /// Word to deliver once space exists.
+        value: u32,
+        /// True for the interrupt mailbox.
+        interrupt: bool,
+    },
+    /// Waiting for a signal register to become pending.
+    Signal(SignalReg),
+}
+
+/// SPU execution state.
+#[derive(Debug)]
+pub(crate) enum SpuState {
+    /// No context bound.
+    Vacant,
+    /// Program loaded, a resume event is in flight or being handled.
+    Running,
+    /// Blocked on a hardware resource.
+    Blocked(SpuBlock),
+    /// Program executed `Stop(code)`.
+    Stopped(u32),
+}
+
+/// One synergistic processing element: local store, MFC, mailboxes,
+/// signal registers, decrementer and the SPU execution state.
+#[derive(Debug)]
+pub struct Spe {
+    /// The 256 KiB local store.
+    pub ls: LocalStore,
+    /// The memory flow controller.
+    pub mfc: Mfc,
+    /// Mailboxes to/from the PPE.
+    pub mboxes: MailboxSet,
+    /// Signal-notification registers.
+    pub signals: SignalSet,
+    /// The SPU decrementer.
+    pub dec: Decrementer,
+    pub(crate) program: Option<Box<dyn SpuProgram>>,
+    pub(crate) state: SpuState,
+    pub(crate) ctx: Option<CtxId>,
+}
+
+impl Spe {
+    /// Builds one SPE from the machine configuration.
+    pub(crate) fn new(cfg: &MachineConfig) -> Self {
+        Spe {
+            ls: LocalStore::new(cfg.ls_size),
+            mfc: Mfc::new(cfg.mfc_queue_depth, cfg.mfc_proxy_depth, cfg.mfc_inflight),
+            mboxes: MailboxSet::new(cfg.inbound_mbox_depth),
+            signals: SignalSet::new(SignalMode::Or, SignalMode::Or),
+            dec: Decrementer::loaded(u32::MAX, Cycle::ZERO, &cfg.clock),
+            program: None,
+            state: SpuState::Vacant,
+            ctx: None,
+        }
+    }
+
+    /// The context currently bound to this SPE, if any.
+    pub fn context(&self) -> Option<CtxId> {
+        self.ctx
+    }
+
+    /// True if no context is bound.
+    pub fn is_vacant(&self) -> bool {
+        matches!(self.state, SpuState::Vacant)
+    }
+
+    /// True if the bound program has stopped.
+    pub fn is_stopped(&self) -> bool {
+        matches!(self.state, SpuState::Stopped(_))
+    }
+
+    /// The stop code, if the bound program has stopped.
+    pub fn stop_code(&self) -> Option<u32> {
+        match self.state {
+            SpuState::Stopped(code) => Some(code),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_spe_is_vacant_with_hardware_resources() {
+        let cfg = MachineConfig::default();
+        let spe = Spe::new(&cfg);
+        assert!(spe.is_vacant());
+        assert!(!spe.is_stopped());
+        assert_eq!(spe.ls.size(), cfg.ls_size as u32);
+        assert!(spe.mfc.can_accept_spu());
+        assert_eq!(spe.mboxes.inbound.capacity(), 4);
+        assert!(spe.context().is_none());
+    }
+}

@@ -1,0 +1,214 @@
+//! The SPU program interface.
+//!
+//! SPU programs are *behavioural*: instead of interpreting SPU ISA, a
+//! program is a resumable state machine that tells the simulator what
+//! the SPU does next — burn compute cycles, enqueue a DMA command, wait
+//! on tag groups, touch a mailbox, and so on. This mirrors what the PDT
+//! instruments on real hardware (the runtime/channel interface, not
+//! instructions), so the trace stream has the same shape.
+//!
+//! A program implements [`SpuProgram::resume`], which receives the
+//! *wake reason* — carrying the result of the previous action — and
+//! returns the next [`SpuAction`]. Local-store access through
+//! [`SpuEnv`] is free plumbing; time is charged only through actions.
+
+use crate::dma::{DmaListElem, TagId, TagWaitMode};
+use crate::ids::SpeId;
+use crate::local_store::{LocalStore, LsAddr};
+use crate::signal::SignalReg;
+
+/// What the SPU does next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpuAction {
+    /// Execute for the given number of cycles.
+    Compute(u64),
+    /// Enqueue a GET (memory → LS) on the MFC.
+    DmaGet {
+        /// Local-store destination.
+        lsa: LsAddr,
+        /// Effective-address source.
+        ea: u64,
+        /// Bytes to transfer.
+        size: u32,
+        /// Tag group.
+        tag: TagId,
+    },
+    /// Enqueue a PUT (LS → memory) on the MFC.
+    DmaPut {
+        /// Local-store source.
+        lsa: LsAddr,
+        /// Effective-address destination.
+        ea: u64,
+        /// Bytes to transfer.
+        size: u32,
+        /// Tag group.
+        tag: TagId,
+    },
+    /// Enqueue a gather list (memory → consecutive LS).
+    DmaGetList {
+        /// Local-store base.
+        lsa: LsAddr,
+        /// Gather elements.
+        list: Vec<DmaListElem>,
+        /// Tag group.
+        tag: TagId,
+    },
+    /// Enqueue a scatter list (consecutive LS → memory).
+    DmaPutList {
+        /// Local-store base.
+        lsa: LsAddr,
+        /// Scatter elements.
+        list: Vec<DmaListElem>,
+        /// Tag group.
+        tag: TagId,
+    },
+    /// Block until tag groups in `mask` complete per `mode`.
+    WaitTags {
+        /// Tag-group bit mask.
+        mask: u32,
+        /// All or any.
+        mode: TagWaitMode,
+    },
+    /// Read the inbound mailbox (blocks while empty).
+    ReadInMbox,
+    /// Write the outbound mailbox (blocks while full).
+    WriteOutMbox(u32),
+    /// Write the outbound interrupt mailbox (blocks while full).
+    WriteOutIntrMbox(u32),
+    /// Read a signal-notification register (blocks while empty).
+    ReadSignal(SignalReg),
+    /// Send a word to another SPE's signal-notification register
+    /// through the MFC (`sndsig`). Fire-and-forget: the sender resumes
+    /// after issue, delivery happens after the bus latency.
+    SendSignal {
+        /// Target SPE index.
+        spe: u32,
+        /// Target register.
+        reg: SignalReg,
+        /// Word to deliver (OR'd or overwritten per the register mode).
+        value: u32,
+    },
+    /// Read the decrementer channel.
+    ReadDecrementer,
+    /// Atomic fetch-and-add on a main-memory word through the MFC's
+    /// atomic unit (models the `getllar`/`putllc` based `atomic_add`
+    /// library routine the SDK ships for SPE work queues).
+    AtomicAdd {
+        /// Effective address of the 32-bit counter (must be in main
+        /// memory, 4-byte aligned).
+        ea: u64,
+        /// Value to add.
+        delta: u32,
+    },
+    /// Emit a user-defined trace event (PDT `pdt_trace_user` analogue).
+    UserEvent {
+        /// User event id.
+        id: u32,
+        /// First payload word.
+        a0: u64,
+        /// Second payload word.
+        a1: u64,
+    },
+    /// Stop with a status code, delivered to a PPE `WaitStop`.
+    Stop(u32),
+}
+
+/// Why the SPU resumed; carries the result of the previous action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpuWake {
+    /// First entry after the context starts running.
+    Start,
+    /// A `Compute` finished.
+    ComputeDone,
+    /// A DMA command was accepted into the MFC queue (the transfer
+    /// itself completes later, observed via `WaitTags`).
+    DmaQueued,
+    /// A `WaitTags` satisfied; the payload is the completed-tag mask.
+    TagsDone(u32),
+    /// Inbound-mailbox word.
+    InMbox(u32),
+    /// An outbound mailbox write was accepted.
+    MboxWritten,
+    /// A signal register value.
+    Signal(u32),
+    /// A `SendSignal` was issued.
+    SignalSent,
+    /// The decrementer value.
+    Decrementer(u32),
+    /// An `AtomicAdd` completed; the payload is the *old* value.
+    AtomicDone(u32),
+    /// A `UserEvent` was recorded.
+    UserDone,
+}
+
+/// The SPU's view of its environment while resuming.
+#[derive(Debug)]
+pub struct SpuEnv<'a> {
+    /// Which physical SPE the program runs on.
+    pub spe: SpeId,
+    /// The SPE's local store. Reading/writing it models the SPU
+    /// touching its own LS; the time cost belongs in `Compute` charges.
+    pub ls: &'a mut LocalStore,
+}
+
+/// A behavioural SPU program.
+///
+/// The simulator guarantees `resume` is called exactly once per wake,
+/// starting with [`SpuWake::Start`], and never again after the program
+/// returns [`SpuAction::Stop`].
+pub trait SpuProgram: Send {
+    /// Advance the program: consume the wake reason, optionally touch
+    /// the local store, and return the next action.
+    fn resume(&mut self, wake: SpuWake, env: SpuEnv<'_>) -> SpuAction;
+}
+
+impl std::fmt::Debug for dyn SpuProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("<spu program>")
+    }
+}
+
+/// Convenience: a full tag mask for one tag.
+pub fn tag_mask(tag: TagId) -> u32 {
+    tag.mask_bit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl SpuProgram for Nop {
+        fn resume(&mut self, _wake: SpuWake, _env: SpuEnv<'_>) -> SpuAction {
+            SpuAction::Stop(0)
+        }
+    }
+
+    #[test]
+    fn programs_are_object_safe_and_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let b: Box<dyn SpuProgram> = Box::new(Nop);
+        assert_send(&b);
+        assert_eq!(format!("{:?}", &*b), "<spu program>");
+    }
+
+    #[test]
+    fn env_exposes_local_store() {
+        let mut ls = LocalStore::new(4096);
+        let mut p = Nop;
+        let act = p.resume(
+            SpuWake::Start,
+            SpuEnv {
+                spe: SpeId::new(0),
+                ls: &mut ls,
+            },
+        );
+        assert!(matches!(act, SpuAction::Stop(0)));
+    }
+
+    #[test]
+    fn tag_mask_matches_bit() {
+        let t = TagId::new(4).unwrap();
+        assert_eq!(tag_mask(t), 1 << 4);
+    }
+}

@@ -1,0 +1,286 @@
+//! Ground-truth interval accounting.
+//!
+//! The machine records every core's state transitions as it simulates.
+//! This is the *oracle* the trace analyzer is validated against: the TA
+//! must reconstruct utilization and wait breakdowns from trace bytes
+//! alone, and integration tests compare its answers to these spans.
+
+use crate::cycle::Cycle;
+
+/// What a core is doing during a span of cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreState {
+    /// No context loaded / program not yet started.
+    Idle,
+    /// Executing program work.
+    Running,
+    /// Blocked in a tag-group wait.
+    DmaWait,
+    /// Blocked on a mailbox (read-empty or write-full).
+    MboxWait,
+    /// Blocked on a signal register.
+    SignalWait,
+    /// Stalled because the MFC command queue was full.
+    QueueWait,
+    /// PPE blocked waiting for an SPE context to stop.
+    JoinWait,
+    /// Executing tracing instrumentation (PDT overhead).
+    TraceOverhead,
+    /// Program finished.
+    Stopped,
+}
+
+impl CoreState {
+    /// Short label used in reports and the ASCII timeline.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoreState::Idle => "idle",
+            CoreState::Running => "run",
+            CoreState::DmaWait => "dma-wait",
+            CoreState::MboxWait => "mbox-wait",
+            CoreState::SignalWait => "sig-wait",
+            CoreState::QueueWait => "queue-wait",
+            CoreState::JoinWait => "join-wait",
+            CoreState::TraceOverhead => "trace",
+            CoreState::Stopped => "stop",
+        }
+    }
+}
+
+/// A closed state span on one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Span start (inclusive).
+    pub start: Cycle,
+    /// Span end (exclusive).
+    pub end: Cycle,
+    /// The state during the span.
+    pub state: CoreState,
+}
+
+impl Span {
+    /// Span length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// State-transition recorder for one core.
+#[derive(Debug, Clone)]
+pub struct CoreTimeline {
+    current: CoreState,
+    since: Cycle,
+    spans: Vec<Span>,
+}
+
+impl CoreTimeline {
+    /// Starts in `Idle` at time zero.
+    pub fn new() -> Self {
+        CoreTimeline {
+            current: CoreState::Idle,
+            since: Cycle::ZERO,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> CoreState {
+        self.current
+    }
+
+    /// Transition to `state` at time `now`, closing the previous span.
+    /// Zero-length spans are dropped; transitions to the same state are
+    /// no-ops.
+    pub fn transition(&mut self, state: CoreState, now: Cycle) {
+        if state == self.current {
+            return;
+        }
+        if now > self.since {
+            self.spans.push(Span {
+                start: self.since,
+                end: now,
+                state: self.current,
+            });
+        }
+        self.current = state;
+        self.since = now;
+    }
+
+    /// Closes the open span at `now` and returns the full span list.
+    pub fn finalize(mut self, now: Cycle) -> Vec<Span> {
+        if now > self.since {
+            self.spans.push(Span {
+                start: self.since,
+                end: now,
+                state: self.current,
+            });
+        }
+        self.spans
+    }
+
+    /// Spans recorded so far (not including the open one).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+}
+
+impl Default for CoreTimeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Aggregated cycles per state, computed from a span list.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateBreakdown {
+    /// Cycles running.
+    pub running: u64,
+    /// Cycles in DMA waits.
+    pub dma_wait: u64,
+    /// Cycles in mailbox waits.
+    pub mbox_wait: u64,
+    /// Cycles in signal waits.
+    pub signal_wait: u64,
+    /// Cycles stalled on a full MFC queue.
+    pub queue_wait: u64,
+    /// Cycles waiting for an SPE context to stop (PPE only).
+    pub join_wait: u64,
+    /// Cycles in tracing instrumentation.
+    pub trace_overhead: u64,
+    /// Cycles idle (before start).
+    pub idle: u64,
+    /// Cycles after stop.
+    pub stopped: u64,
+}
+
+impl StateBreakdown {
+    /// Builds a breakdown from spans.
+    pub fn from_spans(spans: &[Span]) -> Self {
+        let mut b = StateBreakdown::default();
+        for s in spans {
+            let c = s.cycles();
+            match s.state {
+                CoreState::Running => b.running += c,
+                CoreState::DmaWait => b.dma_wait += c,
+                CoreState::MboxWait => b.mbox_wait += c,
+                CoreState::SignalWait => b.signal_wait += c,
+                CoreState::QueueWait => b.queue_wait += c,
+                CoreState::JoinWait => b.join_wait += c,
+                CoreState::TraceOverhead => b.trace_overhead += c,
+                CoreState::Idle => b.idle += c,
+                CoreState::Stopped => b.stopped += c,
+            }
+        }
+        b
+    }
+
+    /// Cycles between start and stop (everything except `Idle` and
+    /// `Stopped`).
+    pub fn active_total(&self) -> u64 {
+        self.running
+            + self.dma_wait
+            + self.mbox_wait
+            + self.signal_wait
+            + self.queue_wait
+            + self.join_wait
+            + self.trace_overhead
+    }
+
+    /// Fraction of active time spent running (0..=1); 0 when never
+    /// active.
+    pub fn utilization(&self) -> f64 {
+        let t = self.active_total();
+        if t == 0 {
+            0.0
+        } else {
+            self.running as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_close_spans() {
+        let mut t = CoreTimeline::new();
+        t.transition(CoreState::Running, Cycle::new(10));
+        t.transition(CoreState::DmaWait, Cycle::new(30));
+        t.transition(CoreState::Running, Cycle::new(50));
+        let spans = t.finalize(Cycle::new(60));
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].state, CoreState::Idle);
+        assert_eq!(spans[0].cycles(), 10);
+        assert_eq!(spans[1].state, CoreState::Running);
+        assert_eq!(spans[1].cycles(), 20);
+        assert_eq!(spans[2].state, CoreState::DmaWait);
+        assert_eq!(spans[2].cycles(), 20);
+        assert_eq!(spans[3].cycles(), 10);
+    }
+
+    #[test]
+    fn same_state_transition_is_noop() {
+        let mut t = CoreTimeline::new();
+        t.transition(CoreState::Running, Cycle::new(5));
+        t.transition(CoreState::Running, Cycle::new(9));
+        let spans = t.finalize(Cycle::new(10));
+        assert_eq!(spans.len(), 2); // idle + one running span
+        assert_eq!(spans[1].cycles(), 5);
+    }
+
+    #[test]
+    fn zero_length_spans_are_dropped() {
+        let mut t = CoreTimeline::new();
+        t.transition(CoreState::Running, Cycle::ZERO);
+        t.transition(CoreState::DmaWait, Cycle::ZERO);
+        let spans = t.finalize(Cycle::new(4));
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].state, CoreState::DmaWait);
+    }
+
+    #[test]
+    fn breakdown_sums_and_utilization() {
+        let spans = [
+            Span {
+                start: Cycle::new(0),
+                end: Cycle::new(10),
+                state: CoreState::Idle,
+            },
+            Span {
+                start: Cycle::new(10),
+                end: Cycle::new(70),
+                state: CoreState::Running,
+            },
+            Span {
+                start: Cycle::new(70),
+                end: Cycle::new(100),
+                state: CoreState::DmaWait,
+            },
+            Span {
+                start: Cycle::new(100),
+                end: Cycle::new(110),
+                state: CoreState::TraceOverhead,
+            },
+        ];
+        let b = StateBreakdown::from_spans(&spans);
+        assert_eq!(b.running, 60);
+        assert_eq!(b.dma_wait, 30);
+        assert_eq!(b.trace_overhead, 10);
+        assert_eq!(b.idle, 10);
+        assert_eq!(b.active_total(), 100);
+        assert!((b.utilization() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_utilization_is_zero() {
+        let b = StateBreakdown::default();
+        assert_eq!(b.utilization(), 0.0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(CoreState::DmaWait.label(), "dma-wait");
+        assert_eq!(CoreState::TraceOverhead.label(), "trace");
+    }
+}

@@ -1,0 +1,160 @@
+//! Error-path and misc-API coverage for the machine.
+
+use cellsim::{
+    LsAddr, Machine, MachineConfig, PpeAction, PpeEnv, PpeProgram, PpeScript, PpeThreadId,
+    PpeWake, SimError, SpeJob, SpmdDriver, SpuAction, SpuEnv, SpuProgram, SpuScript, SpuWake,
+    TagId,
+};
+
+fn machine(n: usize) -> Machine {
+    Machine::new(MachineConfig::default().with_num_spes(n)).unwrap()
+}
+
+#[test]
+fn run_twice_is_a_runtime_error() {
+    let mut m = machine(1);
+    m.set_ppe_program(PpeThreadId::new(0), Box::new(PpeScript::new(vec![])));
+    m.run().unwrap();
+    let err = m.run().unwrap_err();
+    assert!(matches!(err, SimError::Runtime { .. }), "{err}");
+    assert!(err.to_string().contains("twice"));
+}
+
+#[test]
+fn invalid_config_is_rejected_at_construction() {
+    let err = Machine::new(MachineConfig::default().with_num_spes(0)).unwrap_err();
+    assert!(matches!(err, SimError::Config(_)));
+    let cfg = MachineConfig {
+        ls_ea_base: 0, // overlaps main memory
+        ..MachineConfig::default()
+    };
+    assert!(Machine::new(cfg).is_err());
+}
+
+#[test]
+fn dma_beyond_ls_alias_window_faults() {
+    struct BadDma;
+    impl SpuProgram for BadDma {
+        fn resume(&mut self, _wake: SpuWake, _env: SpuEnv<'_>) -> SpuAction {
+            // SPE index 5 does not exist on a 1-SPE machine.
+            SpuAction::DmaGet {
+                lsa: LsAddr::new(0),
+                ea: 0x1_0000_0000 + 5 * 256 * 1024,
+                size: 128,
+                tag: TagId::new(0).unwrap(),
+            }
+        }
+    }
+    let mut m = machine(1);
+    m.set_ppe_program(
+        PpeThreadId::new(0),
+        Box::new(SpmdDriver::new(vec![SpeJob::new("bad", Box::new(BadDma))])),
+    );
+    let err = m.run().unwrap_err();
+    assert!(matches!(err, SimError::Mem(_)), "{err}");
+}
+
+#[test]
+fn invalid_dma_size_faults_at_issue() {
+    let mut m = machine(1);
+    m.set_ppe_program(
+        PpeThreadId::new(0),
+        Box::new(SpmdDriver::new(vec![SpeJob::new(
+            "badsize",
+            Box::new(SpuScript::new(vec![SpuAction::DmaGet {
+                lsa: LsAddr::new(0),
+                ea: 0x10000,
+                size: 100, // not 1/2/4/8/16k
+                tag: TagId::new(0).unwrap(),
+            }])),
+        )])),
+    );
+    let err = m.run().unwrap_err();
+    assert!(matches!(err, SimError::Dma(_)), "{err}");
+}
+
+#[test]
+fn mailbox_to_unstarted_context_is_runtime_misuse() {
+    struct Premature;
+    impl PpeProgram for Premature {
+        fn resume(&mut self, wake: PpeWake, _env: PpeEnv<'_>) -> PpeAction {
+            match wake {
+                PpeWake::Start => PpeAction::CreateContext {
+                    name: "x".into(),
+                    program: Box::new(SpuScript::new(vec![])),
+                },
+                PpeWake::ContextCreated(c) => PpeAction::WriteInMbox { ctx: c, value: 1 },
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+    let mut m = machine(1);
+    m.set_ppe_program(PpeThreadId::new(0), Box::new(Premature));
+    let err = m.run().unwrap_err();
+    assert!(matches!(err, SimError::Runtime { .. }), "{err}");
+    assert!(err.to_string().contains("not running"));
+}
+
+#[test]
+fn timebase_and_user_events_on_the_ppe() {
+    struct TbProg {
+        first: Option<u64>,
+    }
+    impl PpeProgram for TbProg {
+        fn resume(&mut self, wake: PpeWake, _env: PpeEnv<'_>) -> PpeAction {
+            match wake {
+                PpeWake::Start => PpeAction::ReadTimebase,
+                PpeWake::Timebase(tb) if self.first.is_none() => {
+                    self.first = Some(tb);
+                    PpeAction::Compute(120_000) // 1000 ticks
+                }
+                PpeWake::ComputeDone => PpeAction::ReadTimebase,
+                PpeWake::Timebase(tb) => {
+                    let delta = tb - self.first.unwrap();
+                    assert!((995..=1005).contains(&delta), "delta {delta}");
+                    PpeAction::UserEvent { id: 3, a0: 0, a1: 0 }
+                }
+                PpeWake::UserDone => PpeAction::Halt,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+    let mut m = machine(1);
+    m.set_ppe_program(PpeThreadId::new(0), Box::new(TbProg { first: None }));
+    m.run().unwrap();
+}
+
+#[test]
+fn ctx_names_are_recorded() {
+    let mut m = machine(2);
+    m.set_ppe_program(
+        PpeThreadId::new(0),
+        Box::new(SpmdDriver::new(vec![
+            SpeJob::new("alpha", Box::new(SpuScript::new(vec![]))),
+            SpeJob::new("beta", Box::new(SpuScript::new(vec![]))),
+        ])),
+    );
+    m.run().unwrap();
+    assert_eq!(m.ctx_name(cellsim::CtxId::new(0)), Some("alpha"));
+    assert_eq!(m.ctx_name(cellsim::CtxId::new(1)), Some("beta"));
+    assert_eq!(m.ctx_name(cellsim::CtxId::new(9)), None);
+    // The SPEs report their contexts and stop codes.
+    assert_eq!(m.spe(cellsim::SpeId::new(0)).context(), Some(cellsim::CtxId::new(0)));
+    assert_eq!(m.spe(cellsim::SpeId::new(0)).stop_code(), Some(0));
+}
+
+#[test]
+fn cycle_cap_aborts_runaway_simulations() {
+    let mut cfg = MachineConfig::default().with_num_spes(1);
+    cfg.max_cycles = 50_000;
+    let mut m = Machine::new(cfg).unwrap();
+    m.set_ppe_program(
+        PpeThreadId::new(0),
+        Box::new(SpmdDriver::new(vec![SpeJob::new(
+            "forever",
+            Box::new(SpuScript::new(vec![SpuAction::Compute(1_000_000)])),
+        )])),
+    );
+    let err = m.run().unwrap_err();
+    assert!(matches!(err, SimError::CycleCapExceeded { .. }), "{err}");
+}

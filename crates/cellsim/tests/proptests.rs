@@ -1,0 +1,144 @@
+//! Property-based tests of the substrate's core invariants.
+
+use proptest::prelude::*;
+
+use cellsim::cycle::{ClockSpec, Cycle};
+use cellsim::decrementer::{dec_elapsed, Decrementer};
+use cellsim::eib::{Eib, Element};
+use cellsim::engine::EventQueue;
+use cellsim::{LocalStore, LsAddr, MachineConfig, MainMemory, SpeId};
+
+fn arb_element() -> impl Strategy<Value = Element> {
+    prop_oneof![
+        Just(Element::Ppe),
+        Just(Element::Mem),
+        (0usize..8).prop_map(|i| Element::Spe(SpeId::new(i))),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time_order(
+        delays in prop::collection::vec(0u64..10_000, 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, d) in delays.iter().enumerate() {
+            q.schedule_at(Cycle::new(*d), i);
+        }
+        let mut last = Cycle::ZERO;
+        let mut seen = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            prop_assert!(t >= last, "time went backwards");
+            // Ties must preserve insertion order.
+            if t == last {
+                if let Some(&prev) = seen.last() {
+                    if delays[prev] == delays[id] {
+                        prop_assert!(prev < id, "tie broke insertion order");
+                    }
+                }
+            }
+            last = t;
+            seen.push(id);
+        }
+        prop_assert_eq!(seen.len(), delays.len());
+    }
+
+    #[test]
+    fn eib_grants_are_causal_and_monotone_per_ring(
+        transfers in prop::collection::vec(
+            (arb_element(), arb_element(), 1u64..20_000, 0u64..50_000),
+            1..60,
+        ),
+    ) {
+        let mut eib = Eib::new(&MachineConfig::default());
+        let mut ring_last_start: std::collections::HashMap<usize, Cycle> =
+            std::collections::HashMap::new();
+        for (src, dst, bytes, earliest) in transfers {
+            let t = eib.transfer(src, dst, bytes, Cycle::new(earliest));
+            // Causality: cannot start before requested, cannot finish
+            // before starting, and must take at least the wire time.
+            prop_assert!(t.start >= Cycle::new(earliest));
+            prop_assert!(t.finish.get() >= t.start.get() + eib.wire_cycles(bytes));
+            // Per-ring grant starts never go backwards (the ring is a
+            // serial resource).
+            if let Some(prev) = ring_last_start.get(&t.ring) {
+                prop_assert!(t.start >= *prev, "ring {} start regressed", t.ring);
+            }
+            ring_last_start.insert(t.ring, t.start);
+        }
+        // Conservation: stats add up.
+        let stats = eib.stats();
+        prop_assert_eq!(
+            stats.total_bytes,
+            stats.ring_bytes.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn decrementer_value_matches_elapsed_ticks(
+        load in any::<u32>(),
+        at in 0u64..1_000_000,
+        later in 0u64..2_000_000_000,
+    ) {
+        let clk = ClockSpec::CELL_3_2GHZ;
+        let d = Decrementer::loaded(load, Cycle::new(at), &clk);
+        let now = Cycle::new(at + later);
+        let v = d.value_at(now, &clk);
+        let ticks = clk.cycles_to_timebase(now) - clk.cycles_to_timebase(Cycle::new(at));
+        prop_assert_eq!(v, load.wrapping_sub(ticks as u32));
+        // Wrap-safe elapsed recovers the tick delta.
+        prop_assert_eq!(dec_elapsed(load, v) as u64, ticks & 0xffff_ffff);
+    }
+
+    #[test]
+    fn memory_writes_read_back_under_random_overlap(
+        ops in prop::collection::vec(
+            (0u64..8192, prop::collection::vec(any::<u8>(), 1..64)),
+            1..40,
+        ),
+    ) {
+        let mut mem = MainMemory::new(16 * 1024);
+        let mut model = vec![0u8; 16 * 1024];
+        for (ea, data) in &ops {
+            let ea = *ea;
+            mem.write(ea, data).unwrap();
+            model[ea as usize..ea as usize + data.len()].copy_from_slice(data);
+        }
+        let mut out = vec![0u8; model.len()];
+        mem.read(0, &mut out).unwrap();
+        prop_assert_eq!(out, model);
+    }
+
+    #[test]
+    fn local_store_allocations_never_overlap(
+        sizes in prop::collection::vec((16u32..4096, prop_oneof![Just(16u32), Just(128u32)]), 1..30),
+        top_sizes in prop::collection::vec((16u32..4096, Just(128u32)), 0..10),
+    ) {
+        let mut ls = LocalStore::new(256 * 1024);
+        let mut regions: Vec<(u32, u32)> = Vec::new();
+        for (len, align) in sizes {
+            if let Ok(a) = ls.alloc(len, align, "b") {
+                regions.push((a.get(), len));
+                prop_assert_eq!(a.get() % align, 0);
+            }
+        }
+        for (len, align) in top_sizes {
+            if let Ok(a) = ls.alloc_top(len, align, "t") {
+                regions.push((a.get(), len));
+            }
+        }
+        regions.sort();
+        for w in regions.windows(2) {
+            prop_assert!(
+                w[0].0 + w[0].1 <= w[1].0,
+                "overlap: {:?} and {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // Everything is in bounds.
+        for (a, l) in &regions {
+            prop_assert!(ls.bytes(LsAddr::new(*a), *l).is_ok());
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The double-buffered SPE trace buffer.
+//!
+//! PDT keeps a small trace buffer in each SPE's local store, split into
+//! two halves: the tracer fills one half while the other is being
+//! DMA-flushed to main memory. If the active half fills before the
+//! in-flight flush completes, records are *dropped* (and counted) —
+//! the same back-pressure behaviour the real tool exhibits when the
+//! event rate outruns the flush bandwidth. Buffer size is therefore a
+//! first-order overhead knob, swept by experiment E4.
+
+use cellsim::{FlushRequest, LocalStore, LsAddr, TagId};
+
+/// Counters of buffer activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Records accepted into the buffer.
+    pub records: u64,
+    /// Records dropped (flush back-pressure or region exhaustion).
+    pub dropped: u64,
+    /// Bytes handed to flush DMAs.
+    pub flushed_bytes: u64,
+    /// Flush DMAs issued.
+    pub flushes: u64,
+}
+
+/// Outcome of a record write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Whether the record made it into the buffer.
+    pub written: bool,
+    /// A flush to start (the previously active half).
+    pub flush: Option<FlushRequest>,
+}
+
+/// A double-buffered local-store trace buffer with a main-memory
+/// flush cursor.
+#[derive(Debug)]
+pub struct SpeTraceBuffer {
+    base: LsAddr,
+    half: u32,
+    active: u32,
+    fill: u32,
+    flushing: bool,
+    ea_base: u64,
+    ea_cap: u64,
+    ea_off: u64,
+    region_full: bool,
+    flush_tag: TagId,
+    /// Activity counters.
+    pub stats: BufferStats,
+}
+
+impl SpeTraceBuffer {
+    /// Allocates the buffer region in `ls` and binds it to the
+    /// main-memory window `[ea_base, ea_base + ea_cap)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the local store cannot fit the buffer (the same hard
+    /// failure a Cell programmer hits when PDT no longer fits beside
+    /// the working set).
+    pub fn new(
+        ls: &mut LocalStore,
+        total_bytes: u32,
+        ea_base: u64,
+        ea_cap: u64,
+        flush_tag: TagId,
+    ) -> Self {
+        let base = ls
+            .alloc(total_bytes, 128, "pdt-trace-buffer")
+            .expect("local store cannot fit the PDT trace buffer");
+        SpeTraceBuffer {
+            base,
+            half: total_bytes / 2,
+            active: 0,
+            fill: 0,
+            flushing: false,
+            ea_base,
+            ea_cap,
+            ea_off: 0,
+            region_full: false,
+            flush_tag,
+            stats: BufferStats::default(),
+        }
+    }
+
+    fn active_base(&self) -> LsAddr {
+        self.base.offset(self.active * self.half)
+    }
+
+    fn make_flush(&mut self, len: u32) -> Option<FlushRequest> {
+        if len == 0 {
+            return None;
+        }
+        if self.ea_off + len as u64 > self.ea_cap {
+            self.region_full = true;
+            return None;
+        }
+        let req = FlushRequest {
+            lsa: self.active_base(),
+            len,
+            ea: self.ea_base + self.ea_off,
+            tag: self.flush_tag,
+        };
+        self.ea_off += len as u64;
+        self.stats.flushed_bytes += len as u64;
+        self.stats.flushes += 1;
+        Some(req)
+    }
+
+    /// Appends an encoded record (16-byte granular), swapping and
+    /// flushing halves as needed.
+    ///
+    /// Returns whether a flush DMA must be started and whether the
+    /// record was dropped.
+    pub fn write_record(&mut self, rec: &[u8], ls: &mut LocalStore) -> WriteOutcome {
+        debug_assert_eq!(rec.len() % 16, 0, "records are 16-byte granular");
+        let len = rec.len() as u32;
+        if len > self.half || self.region_full {
+            self.stats.dropped += 1;
+            return WriteOutcome {
+                written: false,
+                flush: None,
+            };
+        }
+        let mut flush = None;
+        if self.fill + len > self.half {
+            if self.flushing {
+                // The other half is still on the wire: drop.
+                self.stats.dropped += 1;
+                return WriteOutcome {
+                    written: false,
+                    flush: None,
+                };
+            }
+            // Flush the active half and switch.
+            flush = self.make_flush(self.fill);
+            if flush.is_some() {
+                self.flushing = true;
+            }
+            // Even if the region filled (no flush), reuse the half —
+            // the data is lost either way and is counted as dropped
+            // region bytes on collection.
+            self.active ^= 1;
+            self.fill = 0;
+            if self.region_full {
+                self.stats.dropped += 1;
+                return WriteOutcome {
+                    written: false,
+                    flush,
+                };
+            }
+        }
+        let addr = self.active_base().offset(self.fill);
+        ls.write(addr, rec).expect("trace buffer write in bounds");
+        self.fill += len;
+        self.stats.records += 1;
+        WriteOutcome {
+            written: true,
+            flush,
+        }
+    }
+
+    /// The in-flight flush completed.
+    pub fn flush_completed(&mut self) {
+        self.flushing = false;
+    }
+
+    /// Final flush of the partial active half (at context stop).
+    pub fn finalize(&mut self) -> Option<FlushRequest> {
+        let len = self.fill;
+        self.fill = 0;
+        self.make_flush(len)
+    }
+
+    /// True while a flush DMA is on the wire.
+    pub fn is_flushing(&self) -> bool {
+        self.flushing
+    }
+
+    /// Bytes of the main-memory region consumed so far.
+    pub fn region_used(&self) -> u64 {
+        self.ea_off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(total: u32) -> (LocalStore, SpeTraceBuffer) {
+        let mut ls = LocalStore::new(256 * 1024);
+        let buf = SpeTraceBuffer::new(&mut ls, total, 0x1000, 1 << 20, TagId::new(31).unwrap());
+        (ls, buf)
+    }
+
+    fn rec(n: usize) -> Vec<u8> {
+        vec![0xabu8; n]
+    }
+
+    #[test]
+    fn records_accumulate_until_half_full() {
+        let (mut ls, mut buf) = setup(256); // halves of 128
+        for _ in 0..4 {
+            let out = buf.write_record(&rec(32), &mut ls);
+            assert!(out.written);
+            assert!(out.flush.is_none());
+        }
+        // Fifth record overflows the half → flush of 128 bytes.
+        let out = buf.write_record(&rec(32), &mut ls);
+        assert!(out.written);
+        let f = out.flush.expect("flush requested");
+        assert_eq!(f.len, 128);
+        assert_eq!(f.ea, 0x1000);
+        assert_eq!(buf.stats.flushes, 1);
+        assert!(buf.is_flushing());
+    }
+
+    #[test]
+    fn back_pressure_drops_records_while_flushing() {
+        let (mut ls, mut buf) = setup(256);
+        // Fill half A (4×32), overflow into B with a flush in flight.
+        for _ in 0..5 {
+            buf.write_record(&rec(32), &mut ls);
+        }
+        // Fill half B (3 more of 32 = 128 total in B).
+        for _ in 0..3 {
+            assert!(buf.write_record(&rec(32), &mut ls).written);
+        }
+        // B overflows while A's flush is still in flight → drop.
+        let out = buf.write_record(&rec(32), &mut ls);
+        assert!(!out.written);
+        assert_eq!(buf.stats.dropped, 1);
+        // Flush completes; the next overflow flushes B.
+        buf.flush_completed();
+        let out = buf.write_record(&rec(32), &mut ls);
+        assert!(out.written);
+        assert!(out.flush.is_some());
+    }
+
+    #[test]
+    fn finalize_flushes_partial_half() {
+        let (mut ls, mut buf) = setup(1024);
+        buf.write_record(&rec(48), &mut ls);
+        buf.write_record(&rec(16), &mut ls);
+        let f = buf.finalize().expect("partial flush");
+        assert_eq!(f.len, 64);
+        assert_eq!(buf.finalize(), None, "second finalize is empty");
+        assert_eq!(buf.region_used(), 64);
+    }
+
+    #[test]
+    fn region_exhaustion_stops_tracing() {
+        let mut ls = LocalStore::new(256 * 1024);
+        // Region fits exactly one half flush.
+        let mut buf = SpeTraceBuffer::new(&mut ls, 256, 0x0, 128, TagId::new(31).unwrap());
+        for _ in 0..5 {
+            buf.write_record(&rec(32), &mut ls);
+        }
+        buf.flush_completed();
+        // Fill the second half and overflow: region cannot take more.
+        for _ in 0..3 {
+            buf.write_record(&rec(32), &mut ls);
+        }
+        let out = buf.write_record(&rec(32), &mut ls);
+        assert!(out.flush.is_none(), "region full: no flush possible");
+        assert!(!out.written);
+        assert!(buf.stats.dropped >= 1);
+        // Everything afterwards is dropped.
+        let out = buf.write_record(&rec(16), &mut ls);
+        assert!(!out.written);
+    }
+
+    #[test]
+    fn oversized_record_is_dropped_not_panicking() {
+        let (mut ls, mut buf) = setup(256);
+        let out = buf.write_record(&rec(256), &mut ls);
+        assert!(!out.written);
+        assert_eq!(buf.stats.dropped, 1);
+    }
+
+    #[test]
+    fn bytes_land_in_local_store() {
+        let (ls, _buf) = {
+            let mut ls = LocalStore::new(256 * 1024);
+            let mut buf = SpeTraceBuffer::new(&mut ls, 256, 0x0, 1 << 20, TagId::new(31).unwrap());
+            let data: Vec<u8> = (0..32).collect();
+            buf.write_record(&data, &mut ls);
+            (ls, buf)
+        };
+        // The buffer was the first allocation → base 0.
+        let got = ls.bytes(LsAddr::new(0), 32).unwrap();
+        assert_eq!(got, (0..32).collect::<Vec<u8>>().as_slice());
+    }
+}

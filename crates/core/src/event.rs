@@ -1,0 +1,423 @@
+//! Event codes and the mapping from runtime events to trace records.
+//!
+//! Every instrumentation point has a stable 16-bit [`EventCode`]; the
+//! mapping from a [`RuntimeEvent`] to `(code, group, parameter words)`
+//! is the PDT's event schema. The trace analyzer decodes records using
+//! the same schema, so it lives here in the `pdt` crate.
+
+use cellsim::{DmaKind, RuntimeEvent, SignalReg, TagWaitMode};
+
+use crate::group::EventGroup;
+
+/// Stable numeric code of a traceable event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum EventCode {
+    /// SPU began executing a context. Params: `[ctx]`.
+    SpeCtxStart = 0x0100,
+    /// SPU stopped. Params: `[code]`.
+    SpeStop = 0x0101,
+    /// SPU enqueued a GET. Params: `[ea, lsa, size, tag|list_len<<8]`.
+    SpeDmaGet = 0x0110,
+    /// SPU enqueued a PUT. Params: as `SpeDmaGet`.
+    SpeDmaPut = 0x0111,
+    /// SPU issued an atomic fetch-and-add. Params: `[ea, delta]`.
+    SpeAtomic = 0x0116,
+    /// SPU entered a tag wait. Params: `[mask, mode]` (0=all, 1=any).
+    SpeTagWaitBegin = 0x0114,
+    /// SPU left a tag wait. Params: `[completed_mask]`.
+    SpeTagWaitEnd = 0x0115,
+    /// SPU began reading its inbound mailbox. Params: `[]`.
+    SpeMboxReadBegin = 0x0120,
+    /// SPU finished reading its inbound mailbox. Params: `[value]`.
+    SpeMboxReadEnd = 0x0121,
+    /// SPU wrote the outbound mailbox. Params: `[value]`.
+    SpeMboxWrite = 0x0122,
+    /// SPU wrote the outbound interrupt mailbox. Params: `[value]`.
+    SpeIntrMboxWrite = 0x0123,
+    /// SPU began reading a signal register. Params: `[reg]` (1 or 2).
+    SpeSignalReadBegin = 0x0130,
+    /// SPU finished reading a signal register. Params: `[value]`.
+    SpeSignalReadEnd = 0x0131,
+    /// SPU sent a signal to another SPE. Params: `[target, reg, value]`.
+    SpeSignalSend = 0x0132,
+    /// SPE user event. Params: `[id, a0, a1]`.
+    SpeUser = 0x0140,
+    /// PPE created a context. Params: `[ctx]` (name in the name table).
+    PpeCtxCreate = 0x0200,
+    /// PPE started a context — the time-sync record. Params:
+    /// `[ctx, spe, dec_start]`.
+    PpeCtxRun = 0x0201,
+    /// PPE observed a context stop. Params: `[ctx, code]`.
+    PpeCtxStopped = 0x0202,
+    /// PPE wrote an inbound mailbox. Params: `[ctx, value]`.
+    PpeMboxWrite = 0x0210,
+    /// PPE read an outbound mailbox. Params: `[ctx, value]`.
+    PpeMboxRead = 0x0211,
+    /// PPE read the outbound interrupt mailbox. Params: `[ctx, value]`.
+    PpeIntrMboxRead = 0x0212,
+    /// PPE delivered a signal. Params: `[ctx, reg, value]`.
+    PpeSignalWrite = 0x0220,
+    /// PPE issued a proxy DMA. Params: `[ctx, kind, size, tag]`.
+    PpeProxyDma = 0x0230,
+    /// PPE user event. Params: `[id, a0, a1]`.
+    PpeUser = 0x0240,
+}
+
+impl EventCode {
+    /// The raw 16-bit code.
+    #[inline]
+    pub fn raw(self) -> u16 {
+        self as u16
+    }
+
+    /// Decodes a raw code.
+    pub fn from_raw(raw: u16) -> Option<EventCode> {
+        use EventCode::*;
+        Some(match raw {
+            0x0100 => SpeCtxStart,
+            0x0101 => SpeStop,
+            0x0110 => SpeDmaGet,
+            0x0111 => SpeDmaPut,
+            0x0114 => SpeTagWaitBegin,
+            0x0115 => SpeTagWaitEnd,
+            0x0116 => SpeAtomic,
+            0x0120 => SpeMboxReadBegin,
+            0x0121 => SpeMboxReadEnd,
+            0x0122 => SpeMboxWrite,
+            0x0123 => SpeIntrMboxWrite,
+            0x0130 => SpeSignalReadBegin,
+            0x0131 => SpeSignalReadEnd,
+            0x0132 => SpeSignalSend,
+            0x0140 => SpeUser,
+            0x0200 => PpeCtxCreate,
+            0x0201 => PpeCtxRun,
+            0x0202 => PpeCtxStopped,
+            0x0210 => PpeMboxWrite,
+            0x0211 => PpeMboxRead,
+            0x0212 => PpeIntrMboxRead,
+            0x0220 => PpeSignalWrite,
+            0x0230 => PpeProxyDma,
+            0x0240 => PpeUser,
+            _ => return None,
+        })
+    }
+
+    /// The group the event belongs to.
+    pub fn group(self) -> EventGroup {
+        use EventCode::*;
+        match self {
+            SpeCtxStart | SpeStop => EventGroup::SpeLifecycle,
+            SpeDmaGet | SpeDmaPut | SpeAtomic | SpeTagWaitBegin | SpeTagWaitEnd => {
+                EventGroup::SpeDma
+            }
+            SpeMboxReadBegin | SpeMboxReadEnd | SpeMboxWrite | SpeIntrMboxWrite => {
+                EventGroup::SpeMbox
+            }
+            SpeSignalReadBegin | SpeSignalReadEnd | SpeSignalSend => EventGroup::SpeSignal,
+            SpeUser => EventGroup::SpeUser,
+            PpeCtxCreate | PpeCtxRun | PpeCtxStopped => EventGroup::PpeLifecycle,
+            PpeMboxWrite | PpeMboxRead | PpeIntrMboxRead => EventGroup::PpeMbox,
+            PpeSignalWrite => EventGroup::PpeSignal,
+            PpeProxyDma => EventGroup::PpeDma,
+            PpeUser => EventGroup::PpeUser,
+        }
+    }
+
+    /// Short stable name.
+    pub fn name(self) -> &'static str {
+        use EventCode::*;
+        match self {
+            SpeCtxStart => "spe-ctx-start",
+            SpeStop => "spe-stop",
+            SpeDmaGet => "spe-dma-get",
+            SpeDmaPut => "spe-dma-put",
+            SpeAtomic => "spe-atomic",
+            SpeTagWaitBegin => "spe-tag-wait-begin",
+            SpeTagWaitEnd => "spe-tag-wait-end",
+            SpeMboxReadBegin => "spe-mbox-read-begin",
+            SpeMboxReadEnd => "spe-mbox-read-end",
+            SpeMboxWrite => "spe-mbox-write",
+            SpeIntrMboxWrite => "spe-intr-mbox-write",
+            SpeSignalReadBegin => "spe-signal-read-begin",
+            SpeSignalReadEnd => "spe-signal-read-end",
+            SpeSignalSend => "spe-signal-send",
+            SpeUser => "spe-user",
+            PpeCtxCreate => "ppe-ctx-create",
+            PpeCtxRun => "ppe-ctx-run",
+            PpeCtxStopped => "ppe-ctx-stopped",
+            PpeMboxWrite => "ppe-mbox-write",
+            PpeMboxRead => "ppe-mbox-read",
+            PpeIntrMboxRead => "ppe-intr-mbox-read",
+            PpeSignalWrite => "ppe-signal-write",
+            PpeProxyDma => "ppe-proxy-dma",
+            PpeUser => "ppe-user",
+        }
+    }
+}
+
+/// A runtime event translated into the trace schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedEvent {
+    /// The event code.
+    pub code: EventCode,
+    /// Parameter words, per the code's documented layout.
+    pub params: Vec<u64>,
+    /// Context name for `PpeCtxCreate` (goes to the name table, not
+    /// the record).
+    pub ctx_name: Option<String>,
+}
+
+/// Translates a runtime event into its trace-schema form.
+pub fn encode_event(ev: &RuntimeEvent) -> EncodedEvent {
+    let (code, params, ctx_name) = match ev {
+        RuntimeEvent::SpeCtxStart { ctx } => {
+            (EventCode::SpeCtxStart, vec![ctx.index() as u64], None)
+        }
+        RuntimeEvent::SpeStop { code } => (EventCode::SpeStop, vec![*code as u64], None),
+        RuntimeEvent::SpeDmaIssue {
+            kind,
+            lsa,
+            ea,
+            size,
+            tag,
+            list_len,
+        } => {
+            let code = match kind {
+                DmaKind::Get => EventCode::SpeDmaGet,
+                DmaKind::Put => EventCode::SpeDmaPut,
+            };
+            (
+                code,
+                vec![
+                    *ea,
+                    *lsa as u64,
+                    *size as u64,
+                    (*tag as u64) | ((*list_len as u64) << 8),
+                ],
+                None,
+            )
+        }
+        RuntimeEvent::SpeSignalSend { target, reg, value } => (
+            EventCode::SpeSignalSend,
+            vec![
+                *target as u64,
+                match reg {
+                    SignalReg::Sig1 => 1,
+                    SignalReg::Sig2 => 2,
+                },
+                *value as u64,
+            ],
+            None,
+        ),
+        RuntimeEvent::SpeAtomic { ea, delta } => {
+            (EventCode::SpeAtomic, vec![*ea, *delta as u64], None)
+        }
+        RuntimeEvent::SpeTagWaitBegin { mask, mode } => (
+            EventCode::SpeTagWaitBegin,
+            vec![
+                *mask as u64,
+                match mode {
+                    TagWaitMode::All => 0,
+                    TagWaitMode::Any => 1,
+                },
+            ],
+            None,
+        ),
+        RuntimeEvent::SpeTagWaitEnd { mask } => {
+            (EventCode::SpeTagWaitEnd, vec![*mask as u64], None)
+        }
+        RuntimeEvent::SpeMboxReadBegin => (EventCode::SpeMboxReadBegin, vec![], None),
+        RuntimeEvent::SpeMboxReadEnd { value } => {
+            (EventCode::SpeMboxReadEnd, vec![*value as u64], None)
+        }
+        RuntimeEvent::SpeMboxWrite { value, interrupt } => (
+            if *interrupt {
+                EventCode::SpeIntrMboxWrite
+            } else {
+                EventCode::SpeMboxWrite
+            },
+            vec![*value as u64],
+            None,
+        ),
+        RuntimeEvent::SpeSignalReadBegin { reg } => (
+            EventCode::SpeSignalReadBegin,
+            vec![match reg {
+                SignalReg::Sig1 => 1,
+                SignalReg::Sig2 => 2,
+            }],
+            None,
+        ),
+        RuntimeEvent::SpeSignalReadEnd { value } => {
+            (EventCode::SpeSignalReadEnd, vec![*value as u64], None)
+        }
+        RuntimeEvent::SpeUser { id, a0, a1 } => {
+            (EventCode::SpeUser, vec![*id as u64, *a0, *a1], None)
+        }
+        RuntimeEvent::PpeCtxCreate { ctx, name } => (
+            EventCode::PpeCtxCreate,
+            vec![ctx.index() as u64],
+            Some(name.clone()),
+        ),
+        RuntimeEvent::PpeCtxRun {
+            ctx,
+            spe,
+            dec_start,
+        } => (
+            EventCode::PpeCtxRun,
+            vec![ctx.index() as u64, spe.index() as u64, *dec_start as u64],
+            None,
+        ),
+        RuntimeEvent::PpeCtxStopped { ctx, code } => (
+            EventCode::PpeCtxStopped,
+            vec![ctx.index() as u64, *code as u64],
+            None,
+        ),
+        RuntimeEvent::PpeMboxWrite { ctx, value } => (
+            EventCode::PpeMboxWrite,
+            vec![ctx.index() as u64, *value as u64],
+            None,
+        ),
+        RuntimeEvent::PpeMboxRead {
+            ctx,
+            value,
+            interrupt,
+        } => (
+            if *interrupt {
+                EventCode::PpeIntrMboxRead
+            } else {
+                EventCode::PpeMboxRead
+            },
+            vec![ctx.index() as u64, *value as u64],
+            None,
+        ),
+        RuntimeEvent::PpeSignalWrite { ctx, reg, value } => (
+            EventCode::PpeSignalWrite,
+            vec![
+                ctx.index() as u64,
+                match reg {
+                    SignalReg::Sig1 => 1,
+                    SignalReg::Sig2 => 2,
+                },
+                *value as u64,
+            ],
+            None,
+        ),
+        RuntimeEvent::PpeProxyDma {
+            ctx,
+            kind,
+            size,
+            tag,
+        } => (
+            EventCode::PpeProxyDma,
+            vec![
+                ctx.index() as u64,
+                match kind {
+                    DmaKind::Get => 0,
+                    DmaKind::Put => 1,
+                },
+                *size as u64,
+                *tag as u64,
+            ],
+            None,
+        ),
+        RuntimeEvent::PpeUser { id, a0, a1 } => {
+            (EventCode::PpeUser, vec![*id as u64, *a0, *a1], None)
+        }
+    };
+    EncodedEvent {
+        code,
+        params,
+        ctx_name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellsim::CtxId;
+
+    #[test]
+    fn raw_code_roundtrip_for_all_codes() {
+        use EventCode::*;
+        for code in [
+            SpeCtxStart,
+            SpeStop,
+            SpeDmaGet,
+            SpeDmaPut,
+            SpeAtomic,
+            SpeTagWaitBegin,
+            SpeTagWaitEnd,
+            SpeMboxReadBegin,
+            SpeMboxReadEnd,
+            SpeMboxWrite,
+            SpeIntrMboxWrite,
+            SpeSignalReadBegin,
+            SpeSignalReadEnd,
+            SpeSignalSend,
+            SpeUser,
+            PpeCtxCreate,
+            PpeCtxRun,
+            PpeCtxStopped,
+            PpeMboxWrite,
+            PpeMboxRead,
+            PpeIntrMboxRead,
+            PpeSignalWrite,
+            PpeProxyDma,
+            PpeUser,
+        ] {
+            assert_eq!(EventCode::from_raw(code.raw()), Some(code));
+            assert!(!code.name().is_empty());
+        }
+        assert_eq!(EventCode::from_raw(0xffff), None);
+    }
+
+    #[test]
+    fn dma_issue_packs_tag_and_list_len() {
+        let ev = RuntimeEvent::SpeDmaIssue {
+            kind: DmaKind::Put,
+            lsa: 0x80,
+            ea: 0x10000,
+            size: 4096,
+            tag: 5,
+            list_len: 3,
+        };
+        let enc = encode_event(&ev);
+        assert_eq!(enc.code, EventCode::SpeDmaPut);
+        assert_eq!(enc.params, vec![0x10000, 0x80, 4096, 5 | (3 << 8)]);
+    }
+
+    #[test]
+    fn ctx_create_carries_name_out_of_band() {
+        let ev = RuntimeEvent::PpeCtxCreate {
+            ctx: CtxId::new(2),
+            name: "worker".into(),
+        };
+        let enc = encode_event(&ev);
+        assert_eq!(enc.code, EventCode::PpeCtxCreate);
+        assert_eq!(enc.params, vec![2]);
+        assert_eq!(enc.ctx_name.as_deref(), Some("worker"));
+    }
+
+    #[test]
+    fn groups_partition_spe_and_ppe() {
+        assert_eq!(EventCode::SpeDmaGet.group(), EventGroup::SpeDma);
+        assert_eq!(EventCode::SpeTagWaitEnd.group(), EventGroup::SpeDma);
+        assert_eq!(EventCode::PpeCtxRun.group(), EventGroup::PpeLifecycle);
+        assert_eq!(EventCode::SpeUser.group(), EventGroup::SpeUser);
+    }
+
+    #[test]
+    fn mode_encodes_all_vs_any() {
+        let all = encode_event(&RuntimeEvent::SpeTagWaitBegin {
+            mask: 0xf,
+            mode: TagWaitMode::All,
+        });
+        let any = encode_event(&RuntimeEvent::SpeTagWaitBegin {
+            mask: 0xf,
+            mode: TagWaitMode::Any,
+        });
+        assert_eq!(all.params[1], 0);
+        assert_eq!(any.params[1], 1);
+    }
+}

@@ -1,0 +1,381 @@
+//! The PDT trace-file format.
+//!
+//! A trace file holds a header describing the machine and session, one
+//! record stream per core (a combined stream for the PPE threads, one
+//! per SPE), and the context-name table. All integers are
+//! little-endian.
+//!
+//! ```text
+//! magic     "PDT1"
+//! u16       version (1)
+//! u8        num_ppe_threads
+//! u8        num_spes
+//! u64       core_hz
+//! u64       timebase_divider
+//! u32       decrementer start value
+//! u32       enabled group mask
+//! u32       spe trace-buffer bytes
+//! u32       stream count
+//! streams:  u8 core_tag, u8[3] pad, u64 byte_len, u64 dropped_records,
+//!           then byte_len record bytes
+//! names:    u32 count, then per entry u32 ctx, u32 len, utf-8 bytes
+//! ```
+
+use bytes::{Buf, BufMut};
+
+use crate::record::{decode_stream, RecordError, TraceCore, TraceRecord};
+
+/// Trace-file magic bytes.
+pub const MAGIC: &[u8; 4] = b"PDT1";
+
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Session/machine metadata stored in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Format version.
+    pub version: u16,
+    /// PPE hardware threads traced.
+    pub num_ppe_threads: u8,
+    /// SPEs traced.
+    pub num_spes: u8,
+    /// Core clock in Hz.
+    pub core_hz: u64,
+    /// Core cycles per timebase tick.
+    pub timebase_divider: u64,
+    /// Decrementer value loaded at context start.
+    pub dec_start: u32,
+    /// Enabled group-mask bits.
+    pub group_mask: u32,
+    /// LS trace-buffer bytes per SPE.
+    pub spe_buffer_bytes: u32,
+}
+
+/// One core's record stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStream {
+    /// The producing core (the PPE stream uses `Ppe(0)` and carries
+    /// per-thread tags inside its records).
+    pub core: TraceCore,
+    /// Encoded records.
+    pub bytes: Vec<u8>,
+    /// Records the tracer dropped (back-pressure / region exhaustion).
+    pub dropped: u64,
+}
+
+impl TraceStream {
+    /// Decodes the stream's records.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offset and cause of the first corrupt record.
+    pub fn records(&self) -> Result<Vec<TraceRecord>, (usize, RecordError)> {
+        decode_stream(&self.bytes)
+    }
+}
+
+/// A complete trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFile {
+    /// Header metadata.
+    pub header: TraceHeader,
+    /// Per-core streams.
+    pub streams: Vec<TraceStream>,
+    /// Context-name table.
+    pub ctx_names: Vec<(u32, String)>,
+}
+
+/// Errors from parsing a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion {
+        /// The version found.
+        found: u16,
+    },
+    /// The file ended early.
+    Truncated {
+        /// What was being read.
+        reading: &'static str,
+    },
+    /// A name-table entry is not UTF-8.
+    BadName,
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::BadMagic => f.write_str("not a PDT trace file (bad magic)"),
+            FormatError::BadVersion { found } => {
+                write!(f, "unsupported trace version {found} (expected {VERSION})")
+            }
+            FormatError::Truncated { reading } => {
+                write!(f, "trace file truncated while reading {reading}")
+            }
+            FormatError::BadName => f.write_str("context name is not valid utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl TraceFile {
+    /// Total encoded record bytes over all streams.
+    pub fn total_bytes(&self) -> u64 {
+        self.streams.iter().map(|s| s.bytes.len() as u64).sum()
+    }
+
+    /// Total dropped records over all streams.
+    pub fn total_dropped(&self) -> u64 {
+        self.streams.iter().map(|s| s.dropped).sum()
+    }
+
+    /// The stream for `core`, if present.
+    pub fn stream(&self, core: TraceCore) -> Option<&TraceStream> {
+        self.streams.iter().find(|s| s.core == core)
+    }
+
+    /// The name of context `ctx`, if recorded.
+    pub fn ctx_name(&self, ctx: u32) -> Option<&str> {
+        self.ctx_names
+            .iter()
+            .find(|(c, _)| *c == ctx)
+            .map(|(_, n)| n.as_str())
+    }
+
+    /// Serializes to the on-disk byte layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.total_bytes() as usize);
+        out.put_slice(MAGIC);
+        out.put_u16_le(self.header.version);
+        out.put_u8(self.header.num_ppe_threads);
+        out.put_u8(self.header.num_spes);
+        out.put_u64_le(self.header.core_hz);
+        out.put_u64_le(self.header.timebase_divider);
+        out.put_u32_le(self.header.dec_start);
+        out.put_u32_le(self.header.group_mask);
+        out.put_u32_le(self.header.spe_buffer_bytes);
+        out.put_u32_le(self.streams.len() as u32);
+        for s in &self.streams {
+            out.put_u8(s.core.tag());
+            out.put_bytes(0, 3);
+            out.put_u64_le(s.bytes.len() as u64);
+            out.put_u64_le(s.dropped);
+            out.put_slice(&s.bytes);
+        }
+        out.put_u32_le(self.ctx_names.len() as u32);
+        for (ctx, name) in &self.ctx_names {
+            out.put_u32_le(*ctx);
+            out.put_u32_le(name.len() as u32);
+            out.put_slice(name.as_bytes());
+        }
+        out
+    }
+
+    /// Writes the trace to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error from the filesystem.
+    pub fn write_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a trace from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error wrapping either the filesystem failure or
+    /// a [`FormatError`].
+    pub fn read_from(path: impl AsRef<std::path::Path>) -> std::io::Result<TraceFile> {
+        let bytes = std::fs::read(path)?;
+        TraceFile::from_bytes(&bytes).map_err(std::io::Error::other)
+    }
+
+    /// Parses the on-disk byte layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] on structural corruption. Record-level
+    /// corruption is reported later by [`TraceStream::records`].
+    pub fn from_bytes(mut buf: &[u8]) -> Result<TraceFile, FormatError> {
+        fn need(buf: &[u8], n: usize, what: &'static str) -> Result<(), FormatError> {
+            if buf.len() < n {
+                Err(FormatError::Truncated { reading: what })
+            } else {
+                Ok(())
+            }
+        }
+        need(buf, 4, "magic")?;
+        if &buf[..4] != MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        buf.advance(4);
+        need(buf, 2 + 1 + 1 + 8 + 8 + 4 + 4 + 4 + 4, "header")?;
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(FormatError::BadVersion { found: version });
+        }
+        let num_ppe_threads = buf.get_u8();
+        let num_spes = buf.get_u8();
+        let core_hz = buf.get_u64_le();
+        let timebase_divider = buf.get_u64_le();
+        let dec_start = buf.get_u32_le();
+        let group_mask = buf.get_u32_le();
+        let spe_buffer_bytes = buf.get_u32_le();
+        let n_streams = buf.get_u32_le();
+        let mut streams = Vec::with_capacity(n_streams as usize);
+        for _ in 0..n_streams {
+            need(buf, 4 + 8 + 8, "stream header")?;
+            let core = TraceCore::from_tag(buf.get_u8());
+            buf.advance(3);
+            let len = buf.get_u64_le() as usize;
+            let dropped = buf.get_u64_le();
+            need(buf, len, "stream bytes")?;
+            let bytes = buf[..len].to_vec();
+            buf.advance(len);
+            streams.push(TraceStream {
+                core,
+                bytes,
+                dropped,
+            });
+        }
+        need(buf, 4, "name table")?;
+        let n_names = buf.get_u32_le();
+        let mut ctx_names = Vec::with_capacity(n_names as usize);
+        for _ in 0..n_names {
+            need(buf, 8, "name entry")?;
+            let ctx = buf.get_u32_le();
+            let len = buf.get_u32_le() as usize;
+            need(buf, len, "name bytes")?;
+            let name = String::from_utf8(buf[..len].to_vec()).map_err(|_| FormatError::BadName)?;
+            buf.advance(len);
+            ctx_names.push((ctx, name));
+        }
+        Ok(TraceFile {
+            header: TraceHeader {
+                version,
+                num_ppe_threads,
+                num_spes,
+                core_hz,
+                timebase_divider,
+                dec_start,
+                group_mask,
+                spe_buffer_bytes,
+            },
+            streams,
+            ctx_names,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventCode;
+
+    fn sample() -> TraceFile {
+        let mut spe_bytes = Vec::new();
+        TraceRecord {
+            core: TraceCore::Spe(0),
+            code: EventCode::SpeUser,
+            timestamp: 999,
+            params: vec![1, 2, 3],
+        }
+        .encode_into(&mut spe_bytes);
+        let mut ppe_bytes = Vec::new();
+        TraceRecord {
+            core: TraceCore::Ppe(0),
+            code: EventCode::PpeCtxCreate,
+            timestamp: 5,
+            params: vec![0],
+        }
+        .encode_into(&mut ppe_bytes);
+        TraceFile {
+            header: TraceHeader {
+                version: VERSION,
+                num_ppe_threads: 2,
+                num_spes: 1,
+                core_hz: 3_200_000_000,
+                timebase_divider: 120,
+                dec_start: u32::MAX,
+                group_mask: 0xffff,
+                spe_buffer_bytes: 2048,
+            },
+            streams: vec![
+                TraceStream {
+                    core: TraceCore::Ppe(0),
+                    bytes: ppe_bytes,
+                    dropped: 0,
+                },
+                TraceStream {
+                    core: TraceCore::Spe(0),
+                    bytes: spe_bytes,
+                    dropped: 3,
+                },
+            ],
+            ctx_names: vec![(0, "kernel".into())],
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let f = sample();
+        let bytes = f.to_bytes();
+        let g = TraceFile::from_bytes(&bytes).unwrap();
+        assert_eq!(f, g);
+        assert_eq!(g.total_dropped(), 3);
+        assert_eq!(g.ctx_name(0), Some("kernel"));
+        assert_eq!(g.ctx_name(9), None);
+    }
+
+    #[test]
+    fn records_decode_from_streams() {
+        let f = sample();
+        let spe = f.stream(TraceCore::Spe(0)).unwrap();
+        let recs = spe.records().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].params, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(TraceFile::from_bytes(&bytes), Err(FormatError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 99;
+        assert!(matches!(
+            TraceFile::from_bytes(&bytes),
+            Err(FormatError::BadVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected() {
+        let bytes = sample().to_bytes();
+        for cut in [3, 10, 30, bytes.len() - 1] {
+            let r = TraceFile::from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn empty_file_parses_with_no_streams() {
+        let f = TraceFile {
+            header: sample().header,
+            streams: vec![],
+            ctx_names: vec![],
+        };
+        let g = TraceFile::from_bytes(&f.to_bytes()).unwrap();
+        assert!(g.streams.is_empty());
+        assert_eq!(g.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Event groups and the group-enable mask.
+//!
+//! The PDT lets users enable tracing per *event group* (DMA, mailbox,
+//! synchronization, user events, lifecycle) on each side of the
+//! machine, trading trace completeness against overhead. [`GroupMask`]
+//! is the runtime filter the tracers consult on every hook invocation.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// A PDT event group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum EventGroup {
+    /// SPE context start/stop.
+    SpeLifecycle = 1 << 0,
+    /// SPE DMA issue and tag waits.
+    SpeDma = 1 << 1,
+    /// SPE mailbox traffic.
+    SpeMbox = 1 << 2,
+    /// SPE signal-register reads.
+    SpeSignal = 1 << 3,
+    /// SPE user-defined events.
+    SpeUser = 1 << 4,
+    /// PPE context create/run/stop.
+    PpeLifecycle = 1 << 8,
+    /// PPE mailbox traffic.
+    PpeMbox = 1 << 9,
+    /// PPE signal writes.
+    PpeSignal = 1 << 10,
+    /// PPE proxy DMA.
+    PpeDma = 1 << 11,
+    /// PPE user-defined events.
+    PpeUser = 1 << 12,
+}
+
+impl EventGroup {
+    /// All groups, in a stable order.
+    pub const ALL: [EventGroup; 10] = [
+        EventGroup::SpeLifecycle,
+        EventGroup::SpeDma,
+        EventGroup::SpeMbox,
+        EventGroup::SpeSignal,
+        EventGroup::SpeUser,
+        EventGroup::PpeLifecycle,
+        EventGroup::PpeMbox,
+        EventGroup::PpeSignal,
+        EventGroup::PpeDma,
+        EventGroup::PpeUser,
+    ];
+
+    /// The group's bit.
+    #[inline]
+    pub fn bit(self) -> u32 {
+        self as u32
+    }
+
+    /// Short stable name (used in reports and config files).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventGroup::SpeLifecycle => "spe-lifecycle",
+            EventGroup::SpeDma => "spe-dma",
+            EventGroup::SpeMbox => "spe-mbox",
+            EventGroup::SpeSignal => "spe-signal",
+            EventGroup::SpeUser => "spe-user",
+            EventGroup::PpeLifecycle => "ppe-lifecycle",
+            EventGroup::PpeMbox => "ppe-mbox",
+            EventGroup::PpeSignal => "ppe-signal",
+            EventGroup::PpeDma => "ppe-dma",
+            EventGroup::PpeUser => "ppe-user",
+        }
+    }
+}
+
+impl fmt::Display for EventGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of enabled event groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct GroupMask(u32);
+
+impl GroupMask {
+    /// No groups enabled (tracing effectively off).
+    pub const NONE: GroupMask = GroupMask(0);
+
+    /// Creates a mask from raw bits (unknown bits are kept, harmless).
+    pub const fn from_bits(bits: u32) -> Self {
+        GroupMask(bits)
+    }
+
+    /// Every group enabled.
+    pub fn all() -> Self {
+        EventGroup::ALL.iter().fold(GroupMask::NONE, |m, g| m | *g)
+    }
+
+    /// All DMA-related groups (the most common PDT configuration in
+    /// the paper's use cases).
+    pub fn dma_only() -> Self {
+        GroupMask::NONE
+            | EventGroup::SpeDma
+            | EventGroup::PpeDma
+            | EventGroup::SpeLifecycle
+            | EventGroup::PpeLifecycle
+    }
+
+    /// Mailbox groups plus lifecycle.
+    pub fn mbox_only() -> Self {
+        GroupMask::NONE
+            | EventGroup::SpeMbox
+            | EventGroup::PpeMbox
+            | EventGroup::SpeLifecycle
+            | EventGroup::PpeLifecycle
+    }
+
+    /// User events plus lifecycle.
+    pub fn user_only() -> Self {
+        GroupMask::NONE
+            | EventGroup::SpeUser
+            | EventGroup::PpeUser
+            | EventGroup::SpeLifecycle
+            | EventGroup::PpeLifecycle
+    }
+
+    /// Raw bits (stored in the trace-file header).
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Whether `group` is enabled.
+    #[inline]
+    pub fn contains(self, group: EventGroup) -> bool {
+        self.0 & group.bit() != 0
+    }
+
+    /// True when nothing is enabled.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The enabled groups, in stable order.
+    pub fn groups(self) -> Vec<EventGroup> {
+        EventGroup::ALL
+            .into_iter()
+            .filter(|g| self.contains(*g))
+            .collect()
+    }
+}
+
+impl BitOr<EventGroup> for GroupMask {
+    type Output = GroupMask;
+    fn bitor(self, rhs: EventGroup) -> GroupMask {
+        GroupMask(self.0 | rhs.bit())
+    }
+}
+
+impl BitOr for GroupMask {
+    type Output = GroupMask;
+    fn bitor(self, rhs: GroupMask) -> GroupMask {
+        GroupMask(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign<EventGroup> for GroupMask {
+    fn bitor_assign(&mut self, rhs: EventGroup) {
+        self.0 |= rhs.bit();
+    }
+}
+
+impl fmt::Display for GroupMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("none");
+        }
+        let names: Vec<&str> = self.groups().iter().map(|g| g.name()).collect();
+        f.write_str(&names.join("+"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_every_group() {
+        let m = GroupMask::all();
+        for g in EventGroup::ALL {
+            assert!(m.contains(g), "{g} missing from all()");
+        }
+        assert_eq!(m.groups().len(), 10);
+    }
+
+    #[test]
+    fn none_is_empty() {
+        assert!(GroupMask::NONE.is_empty());
+        assert!(GroupMask::NONE.groups().is_empty());
+        assert_eq!(GroupMask::NONE.to_string(), "none");
+    }
+
+    #[test]
+    fn dma_only_excludes_mailboxes() {
+        let m = GroupMask::dma_only();
+        assert!(m.contains(EventGroup::SpeDma));
+        assert!(m.contains(EventGroup::SpeLifecycle));
+        assert!(!m.contains(EventGroup::SpeMbox));
+        assert!(!m.contains(EventGroup::SpeUser));
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let m = GroupMask::mbox_only();
+        let m2 = GroupMask::from_bits(m.bits());
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn display_lists_names() {
+        let m = GroupMask::NONE | EventGroup::SpeDma | EventGroup::SpeUser;
+        assert_eq!(m.to_string(), "spe-dma+spe-user");
+    }
+
+    #[test]
+    fn or_assign_adds_groups() {
+        let mut m = GroupMask::NONE;
+        m |= EventGroup::PpeUser;
+        assert!(m.contains(EventGroup::PpeUser));
+    }
+}

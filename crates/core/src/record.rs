@@ -1,0 +1,328 @@
+//! Trace records and their binary encoding.
+//!
+//! Records are 16-byte granular so that any prefix of a trace buffer is
+//! a valid DMA transfer (MFC transfers must be multiples of 16 bytes):
+//!
+//! ```text
+//! byte 0      granule count (record length / 16)
+//! byte 1      core tag (0x00..0x0f = PPE thread, 0x10.. = SPE index)
+//! bytes 2-3   event code, little-endian u16
+//! byte 4      parameter count
+//! bytes 5-7   reserved (zero)
+//! bytes 8-15  raw timestamp, little-endian u64
+//!             (SPE records: decrementer snapshot; PPE records: timebase)
+//! then        parameters, 8 bytes each, zero-padded to a 16-byte boundary
+//! ```
+
+use bytes::{Buf, BufMut};
+
+use crate::event::EventCode;
+
+/// The core a record was produced on, as encoded in trace bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TraceCore {
+    /// PPE hardware thread.
+    Ppe(u8),
+    /// SPE index.
+    Spe(u8),
+}
+
+impl TraceCore {
+    /// Encodes to the one-byte core tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            TraceCore::Ppe(t) => t,
+            TraceCore::Spe(i) => 0x10 + i,
+        }
+    }
+
+    /// Decodes a core tag.
+    pub fn from_tag(tag: u8) -> TraceCore {
+        if tag < 0x10 {
+            TraceCore::Ppe(tag)
+        } else {
+            TraceCore::Spe(tag - 0x10)
+        }
+    }
+
+    /// True for SPE records.
+    pub fn is_spe(self) -> bool {
+        matches!(self, TraceCore::Spe(_))
+    }
+}
+
+impl std::fmt::Display for TraceCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceCore::Ppe(t) => write!(f, "PPE.{t}"),
+            TraceCore::Spe(i) => write!(f, "SPE{i}"),
+        }
+    }
+}
+
+/// A decoded trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Producing core.
+    pub core: TraceCore,
+    /// Event code.
+    pub code: EventCode,
+    /// Raw timestamp: decrementer snapshot (SPE) or timebase (PPE).
+    pub timestamp: u64,
+    /// Parameter words.
+    pub params: Vec<u64>,
+}
+
+/// Maximum parameters a record can carry (fits the u8 length fields).
+pub const MAX_PARAMS: usize = 16;
+
+/// Errors from record decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// Fewer bytes than one granule.
+    Truncated {
+        /// Bytes available.
+        have: usize,
+        /// Bytes needed.
+        need: usize,
+    },
+    /// Zero-length granule count (corrupt stream).
+    ZeroLength,
+    /// Unknown event code.
+    UnknownCode {
+        /// The raw code.
+        raw: u16,
+    },
+    /// Parameter count inconsistent with the granule count.
+    BadParamCount {
+        /// Claimed parameter count.
+        params: u8,
+        /// Claimed granules.
+        granules: u8,
+    },
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Truncated { have, need } => {
+                write!(f, "truncated record: have {have} bytes, need {need}")
+            }
+            RecordError::ZeroLength => f.write_str("record with zero granule count"),
+            RecordError::UnknownCode { raw } => write!(f, "unknown event code {raw:#06x}"),
+            RecordError::BadParamCount { params, granules } => write!(
+                f,
+                "parameter count {params} does not fit {granules} granules"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl TraceRecord {
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        granules_for(self.params.len()) as usize * 16
+    }
+
+    /// Appends the binary encoding to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record has more than [`MAX_PARAMS`] parameters.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        assert!(
+            self.params.len() <= MAX_PARAMS,
+            "record with {} params exceeds MAX_PARAMS",
+            self.params.len()
+        );
+        let granules = granules_for(self.params.len());
+        out.put_u8(granules);
+        out.put_u8(self.core.tag());
+        out.put_u16_le(self.code.raw());
+        out.put_u8(self.params.len() as u8);
+        out.put_bytes(0, 3);
+        out.put_u64_le(self.timestamp);
+        for p in &self.params {
+            out.put_u64_le(*p);
+        }
+        if self.params.len() % 2 == 1 {
+            out.put_u64_le(0);
+        }
+    }
+
+    /// Decodes one record from the front of `buf`, returning it and the
+    /// bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecordError`] on truncation or corruption.
+    pub fn decode(mut buf: &[u8]) -> Result<(TraceRecord, usize), RecordError> {
+        if buf.len() < 16 {
+            return Err(RecordError::Truncated {
+                have: buf.len(),
+                need: 16,
+            });
+        }
+        let granules = buf.get_u8();
+        if granules == 0 {
+            return Err(RecordError::ZeroLength);
+        }
+        let total = granules as usize * 16;
+        if buf.len() + 1 < total {
+            return Err(RecordError::Truncated {
+                have: buf.len() + 1,
+                need: total,
+            });
+        }
+        let core = TraceCore::from_tag(buf.get_u8());
+        let raw_code = buf.get_u16_le();
+        let code =
+            EventCode::from_raw(raw_code).ok_or(RecordError::UnknownCode { raw: raw_code })?;
+        let nparams = buf.get_u8();
+        buf.advance(3);
+        let timestamp = buf.get_u64_le();
+        if granules_for(nparams as usize) != granules {
+            return Err(RecordError::BadParamCount {
+                params: nparams,
+                granules,
+            });
+        }
+        let mut params = Vec::with_capacity(nparams as usize);
+        for _ in 0..nparams {
+            params.push(buf.get_u64_le());
+        }
+        Ok((
+            TraceRecord {
+                core,
+                code,
+                timestamp,
+                params,
+            },
+            total,
+        ))
+    }
+}
+
+/// Granule count for a record with `nparams` parameters.
+pub fn granules_for(nparams: usize) -> u8 {
+    (1 + nparams.div_ceil(2)) as u8
+}
+
+/// Decodes every record in a byte stream.
+///
+/// # Errors
+///
+/// Returns the first [`RecordError`] with the offset it occurred at.
+pub fn decode_stream(bytes: &[u8]) -> Result<Vec<TraceRecord>, (usize, RecordError)> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let (rec, used) = TraceRecord::decode(&bytes[off..]).map_err(|e| (off, e))?;
+        out.push(rec);
+        off += used;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(nparams: usize) -> TraceRecord {
+        TraceRecord {
+            core: TraceCore::Spe(3),
+            code: EventCode::SpeDmaGet,
+            timestamp: 0xdead_beef_cafe,
+            params: (0..nparams as u64).map(|i| i * 7 + 1).collect(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for n in 0..=6 {
+            let r = rec(n);
+            let mut bytes = Vec::new();
+            r.encode_into(&mut bytes);
+            assert_eq!(bytes.len(), r.encoded_len());
+            assert_eq!(bytes.len() % 16, 0, "records are 16-byte granular");
+            let (d, used) = TraceRecord::decode(&bytes).unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(d, r);
+        }
+    }
+
+    #[test]
+    fn stream_of_mixed_records_decodes() {
+        let mut bytes = Vec::new();
+        let records: Vec<TraceRecord> = (0..5).map(rec).collect();
+        for r in &records {
+            r.encode_into(&mut bytes);
+        }
+        let decoded = decode_stream(&bytes).unwrap();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn truncated_stream_reports_offset() {
+        let mut bytes = Vec::new();
+        rec(2).encode_into(&mut bytes);
+        let full = bytes.len();
+        rec(4).encode_into(&mut bytes);
+        bytes.truncate(full + 8);
+        let (off, err) = decode_stream(&bytes).unwrap_err();
+        assert_eq!(off, full);
+        assert!(matches!(err, RecordError::Truncated { .. }));
+    }
+
+    #[test]
+    fn unknown_code_is_rejected() {
+        let mut bytes = Vec::new();
+        rec(0).encode_into(&mut bytes);
+        bytes[2] = 0xff;
+        bytes[3] = 0xff;
+        let err = TraceRecord::decode(&bytes).unwrap_err();
+        assert_eq!(err, RecordError::UnknownCode { raw: 0xffff });
+    }
+
+    #[test]
+    fn zero_granules_is_corrupt() {
+        let mut bytes = vec![0u8; 16];
+        assert_eq!(
+            TraceRecord::decode(&bytes).unwrap_err(),
+            RecordError::ZeroLength
+        );
+        bytes[0] = 2;
+        bytes[4] = 9; // param count inconsistent with 2 granules
+        let err = TraceRecord::decode(&bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            RecordError::Truncated { .. } | RecordError::BadParamCount { .. }
+        ));
+    }
+
+    #[test]
+    fn core_tag_roundtrip() {
+        for c in [
+            TraceCore::Ppe(0),
+            TraceCore::Ppe(1),
+            TraceCore::Spe(0),
+            TraceCore::Spe(15),
+        ] {
+            assert_eq!(TraceCore::from_tag(c.tag()), c);
+        }
+        assert!(TraceCore::Spe(2).is_spe());
+        assert!(!TraceCore::Ppe(0).is_spe());
+        assert_eq!(TraceCore::Spe(4).to_string(), "SPE4");
+    }
+
+    #[test]
+    fn granule_math() {
+        assert_eq!(granules_for(0), 1);
+        assert_eq!(granules_for(1), 2);
+        assert_eq!(granules_for(2), 2);
+        assert_eq!(granules_for(3), 3);
+        assert_eq!(granules_for(4), 3);
+    }
+}

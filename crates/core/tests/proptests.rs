@@ -1,0 +1,125 @@
+//! Property-based tests for the trace record format and the
+//! double-buffered trace buffer.
+
+use proptest::prelude::*;
+
+use cellsim::{LocalStore, TagId};
+use pdt::{decode_stream, EventCode, SpeTraceBuffer, TraceCore, TraceRecord};
+
+const ALL_CODES: &[EventCode] = &[
+    EventCode::SpeCtxStart,
+    EventCode::SpeStop,
+    EventCode::SpeDmaGet,
+    EventCode::SpeDmaPut,
+    EventCode::SpeTagWaitBegin,
+    EventCode::SpeTagWaitEnd,
+    EventCode::SpeMboxReadBegin,
+    EventCode::SpeMboxReadEnd,
+    EventCode::SpeMboxWrite,
+    EventCode::SpeIntrMboxWrite,
+    EventCode::SpeSignalReadBegin,
+    EventCode::SpeSignalReadEnd,
+    EventCode::SpeUser,
+    EventCode::PpeCtxCreate,
+    EventCode::PpeCtxRun,
+    EventCode::PpeCtxStopped,
+    EventCode::PpeMboxWrite,
+    EventCode::PpeMboxRead,
+    EventCode::PpeIntrMboxRead,
+    EventCode::PpeSignalWrite,
+    EventCode::PpeProxyDma,
+    EventCode::PpeUser,
+];
+
+fn arb_core() -> impl Strategy<Value = TraceCore> {
+    prop_oneof![
+        (0u8..2).prop_map(TraceCore::Ppe),
+        (0u8..16).prop_map(TraceCore::Spe),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        arb_core(),
+        0..ALL_CODES.len(),
+        any::<u64>(),
+        prop::collection::vec(any::<u64>(), 0..=8),
+    )
+        .prop_map(|(core, code_i, timestamp, params)| TraceRecord {
+            core,
+            code: ALL_CODES[code_i],
+            timestamp,
+            params,
+        })
+}
+
+proptest! {
+    #[test]
+    fn record_roundtrips(rec in arb_record()) {
+        let mut bytes = Vec::new();
+        rec.encode_into(&mut bytes);
+        prop_assert_eq!(bytes.len() % 16, 0);
+        prop_assert_eq!(bytes.len(), rec.encoded_len());
+        let (decoded, used) = TraceRecord::decode(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn streams_roundtrip(recs in prop::collection::vec(arb_record(), 0..64)) {
+        let mut bytes = Vec::new();
+        for r in &recs {
+            r.encode_into(&mut bytes);
+        }
+        let decoded = decode_stream(&bytes).unwrap();
+        prop_assert_eq!(decoded, recs);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Any outcome is fine as long as it does not panic and obeys
+        // the "consumed bytes are 16-granular" contract on success.
+        if let Ok(recs) = decode_stream(&bytes) {
+            let total: usize = recs.iter().map(|r| r.encoded_len()).sum();
+            prop_assert_eq!(total, bytes.len());
+        }
+    }
+
+    #[test]
+    fn buffer_accounts_for_every_record(
+        sizes in prop::collection::vec(prop_oneof![Just(16u32), Just(32u32), Just(48u32), Just(64u32)], 1..200),
+        total in prop_oneof![Just(256u32), Just(512u32), Just(2048u32)],
+        complete_every in 1usize..8,
+    ) {
+        let mut ls = LocalStore::new(256 * 1024);
+        let mut buf = SpeTraceBuffer::new(&mut ls, total, 0, 1 << 20, TagId::new(31).unwrap());
+        let mut flushed = 0u64;
+        let mut writes = 0u64;
+        for (i, sz) in sizes.iter().enumerate() {
+            let rec = vec![0u8; *sz as usize];
+            let out = buf.write_record(&rec, &mut ls);
+            if out.written {
+                writes += 1;
+            }
+            if let Some(f) = out.flush {
+                prop_assert_eq!(f.len % 16, 0);
+                prop_assert!(f.len <= total / 2);
+                flushed += f.len as u64;
+            }
+            if i % complete_every == 0 {
+                buf.flush_completed();
+            }
+        }
+        if let Some(f) = buf.finalize() {
+            flushed += f.len as u64;
+        }
+        prop_assert_eq!(buf.stats.records, writes);
+        prop_assert_eq!(buf.stats.records + buf.stats.dropped, sizes.len() as u64);
+        prop_assert_eq!(buf.stats.flushed_bytes, flushed);
+        prop_assert_eq!(buf.region_used(), flushed);
+        // Every written-and-flushed byte is accounted: flushed bytes
+        // never exceed what was written.
+        let written_bytes: u64 = buf.stats.records * 16; // lower bound (min record)
+        prop_assert!(flushed >= written_bytes.saturating_sub(total as u64).min(flushed));
+    }
+}

@@ -1,0 +1,158 @@
+//! The Trace Analyzer as a command-line tool, operating on `.pdt`
+//! trace files exactly like the original worked on traces shipped off
+//! a Cell blade.
+//!
+//! ```text
+//! ta-cli summary  TRACE              per-core activity, DMA stats, event counts
+//! ta-cli timeline TRACE [--svg OUT]  ASCII timeline (or SVG to a file)
+//! ta-cli events   TRACE [--core C]   event listing (CSV)
+//! ta-cli phases   TRACE              user-defined phase intervals
+//! ta-cli compare  BEFORE AFTER       before/after comparison
+//! ta-cli report   TRACE OUT.html     self-contained HTML report
+//! ta-cli occupancy TRACE             MFC queue depth per SPE
+//! ta-cli causality TRACE             cross-core order check + skew estimate
+//! ```
+
+use std::process::ExitCode;
+
+use pdt::{TraceCore, TraceFile};
+use ta::{
+    analyze, build_timeline, compare_traces, events_csv, render_ascii, render_svg, summary_report,
+    user_phases, EventFilter, SvgOptions,
+};
+
+fn load(path: &str) -> Result<ta::AnalyzedTrace, String> {
+    let trace = TraceFile::read_from(path).map_err(|e| format!("{path}: {e}"))?;
+    analyze(&trace).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_core(s: &str) -> Result<TraceCore, String> {
+    if let Some(i) = s.strip_prefix("spe") {
+        return i
+            .parse::<u8>()
+            .map(TraceCore::Spe)
+            .map_err(|_| format!("bad core {s:?}"));
+    }
+    if let Some(i) = s.strip_prefix("ppe") {
+        return i
+            .parse::<u8>()
+            .map(TraceCore::Ppe)
+            .map_err(|_| format!("bad core {s:?}"));
+    }
+    Err(format!("bad core {s:?} (expected speN or ppeN)"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: ta-cli <summary|timeline|events|phases|compare|report|occupancy|causality> TRACE [...]";
+    let cmd = args.first().ok_or(usage)?;
+    match cmd.as_str() {
+        "summary" => {
+            let path = args.get(1).ok_or(usage)?;
+            print!("{}", summary_report(&load(path)?));
+        }
+        "timeline" => {
+            let path = args.get(1).ok_or(usage)?;
+            let analyzed = load(path)?;
+            let tl = build_timeline(&analyzed);
+            match args.iter().position(|a| a == "--svg") {
+                Some(i) => {
+                    let out = args.get(i + 1).ok_or("--svg requires a path")?;
+                    std::fs::write(out, render_svg(&tl, &SvgOptions::default()))
+                        .map_err(|e| e.to_string())?;
+                    println!("wrote {out}");
+                }
+                None => print!("{}", render_ascii(&tl, 120)),
+            }
+        }
+        "events" => {
+            let path = args.get(1).ok_or(usage)?;
+            let analyzed = load(path)?;
+            match args.iter().position(|a| a == "--core") {
+                Some(i) => {
+                    let core = parse_core(args.get(i + 1).ok_or("--core requires a core")?)?;
+                    let filter = EventFilter::new().on_core(core);
+                    for e in filter.apply(&analyzed) {
+                        println!("{},{},{},{:?}", e.time_tb, e.core, e.code.name(), e.params);
+                    }
+                }
+                None => print!("{}", events_csv(&analyzed)),
+            }
+        }
+        "phases" => {
+            let path = args.get(1).ok_or(usage)?;
+            let analyzed = load(path)?;
+            let report = user_phases(&analyzed);
+            if report.phases.is_empty() {
+                println!("no user phases recorded");
+            }
+            for p in &report.phases {
+                println!(
+                    "phase {} on {}: {} .. {} ({:.2} µs)",
+                    p.id,
+                    p.core,
+                    p.start_tb,
+                    p.end_tb,
+                    analyzed.tb_to_ns(p.ticks()) / 1000.0
+                );
+            }
+            if report.unmatched_begins + report.unmatched_ends > 0 {
+                println!(
+                    "warning: {} unmatched begins, {} unmatched ends",
+                    report.unmatched_begins, report.unmatched_ends
+                );
+            }
+        }
+        "causality" => {
+            let path = args.get(1).ok_or(usage)?;
+            let analyzed = load(path)?;
+            let v = ta::violations(&analyzed);
+            println!("{} provable edges violated", v.len());
+            for est in ta::estimate_skew(&analyzed) {
+                println!(
+                    "SPE{}: shift +{} ticks (forced by {} edges, {} allowed)",
+                    est.spe, est.shift_tb, est.forced_by, est.allowed_tb
+                );
+            }
+        }
+        "occupancy" => {
+            let path = args.get(1).ok_or(usage)?;
+            let analyzed = load(path)?;
+            for o in ta::dma_occupancy(&analyzed) {
+                println!(
+                    "SPE{}: peak {} outstanding, mean {:.2}, >=2 outstanding {:.1}% of the time",
+                    o.spe,
+                    o.peak,
+                    o.mean,
+                    o.fraction_at_least(2) * 100.0
+                );
+            }
+        }
+        "report" => {
+            let path = args.get(1).ok_or(usage)?;
+            let out = args.get(2).ok_or("report needs an output path")?;
+            let analyzed = load(path)?;
+            std::fs::write(out, ta::html_report(&analyzed, path)).map_err(|e| e.to_string())?;
+            println!("wrote {out}");
+        }
+        "compare" => {
+            let before = args.get(1).ok_or(usage)?;
+            let after = args.get(2).ok_or(usage)?;
+            let c = compare_traces(&load(before)?, &load(after)?);
+            print!("{}", c.render());
+        }
+        "--help" | "-h" => println!("{usage}"),
+        other => return Err(format!("unknown command {other:?}\n{usage}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

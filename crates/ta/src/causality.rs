@@ -1,0 +1,392 @@
+//! Cross-core event-order verification and skew correction.
+//!
+//! The paper's PDT "maintains the sequential order of events". Within
+//! one core that is free (records are appended in program order), but
+//! *across* cores the analyzer reconstructs SPE time from decrementer
+//! snapshots anchored at the PPE's run call — a few microseconds early
+//! (E10). That skew can make causally-ordered events appear reversed
+//! on the merged timeline: an SPE's mailbox-read-end may land *before*
+//! the PPE write that produced the word.
+//!
+//! This module extracts the happens-before edges that the trace itself
+//! proves — context run → context start, k-th inbound-mailbox write →
+//! k-th inbound read-end, k-th outbound write → k-th outbound PPE read
+//! — reports the violations, and estimates a per-SPE time shift that
+//! restores causal order: the classic message-based clock alignment,
+//! which is how trace tools tightened exactly this kind of anchor.
+
+use std::collections::HashMap;
+
+use pdt::{EventCode, TraceCore};
+
+use crate::analyze::AnalyzedTrace;
+
+/// What kind of proof an edge rests on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// `PpeCtxRun` must precede the matching `SpeCtxStart`.
+    CtxStart,
+    /// A PPE inbound-mailbox write must precede the SPE read that
+    /// consumed the same (k-th) word.
+    InboundMbox,
+    /// An SPE outbound-mailbox write must precede the PPE read that
+    /// consumed the same (k-th) word.
+    OutboundMbox,
+}
+
+/// One happens-before edge between two events (indices into
+/// [`AnalyzedTrace::events`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CausalEdge {
+    /// The event that must come first.
+    pub earlier: usize,
+    /// The event that must come later.
+    pub later: usize,
+    /// The proof kind.
+    pub kind: EdgeKind,
+}
+
+/// A violated edge: the "later" event carries an earlier timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated edge.
+    pub edge: CausalEdge,
+    /// By how many ticks the order is reversed.
+    pub margin_tb: u64,
+}
+
+/// Per-SPE skew estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkewEstimate {
+    /// The SPE.
+    pub spe: u8,
+    /// Ticks to shift this SPE's events forward.
+    pub shift_tb: u64,
+    /// Incoming-edge violations that forced the shift.
+    pub forced_by: usize,
+    /// Upper bound allowed by outgoing edges (shift is clamped to it).
+    pub allowed_tb: u64,
+}
+
+fn ctx_to_spe(trace: &AnalyzedTrace) -> HashMap<u32, u8> {
+    trace.anchors.iter().map(|a| (a.ctx, a.spe)).collect()
+}
+
+/// Extracts the provable happens-before edges from a trace.
+pub fn causal_edges(trace: &AnalyzedTrace) -> Vec<CausalEdge> {
+    let ctx_spe = ctx_to_spe(trace);
+    let mut edges = Vec::new();
+
+    // Queues of pending producer events per (spe, direction).
+    let mut run_by_spe: HashMap<u8, usize> = HashMap::new();
+    let mut in_writes: HashMap<u8, Vec<usize>> = HashMap::new();
+    let mut in_reads: HashMap<u8, Vec<usize>> = HashMap::new();
+    let mut out_writes: HashMap<u8, Vec<usize>> = HashMap::new();
+    let mut out_reads: HashMap<u8, Vec<usize>> = HashMap::new();
+    let mut starts: HashMap<u8, usize> = HashMap::new();
+
+    for (i, e) in trace.events.iter().enumerate() {
+        match (e.core, e.code) {
+            (TraceCore::Ppe(_), EventCode::PpeCtxRun) => {
+                run_by_spe.insert(e.params[1] as u8, i);
+            }
+            (TraceCore::Spe(s), EventCode::SpeCtxStart) => {
+                starts.insert(s, i);
+            }
+            (TraceCore::Ppe(_), EventCode::PpeMboxWrite) => {
+                if let Some(spe) = ctx_spe.get(&(e.params[0] as u32)) {
+                    in_writes.entry(*spe).or_default().push(i);
+                }
+            }
+            (TraceCore::Spe(s), EventCode::SpeMboxReadEnd) => {
+                in_reads.entry(s).or_default().push(i);
+            }
+            (TraceCore::Spe(s), EventCode::SpeMboxWrite) => {
+                out_writes.entry(s).or_default().push(i);
+            }
+            (TraceCore::Ppe(_), EventCode::PpeMboxRead) => {
+                if let Some(spe) = ctx_spe.get(&(e.params[0] as u32)) {
+                    out_reads.entry(*spe).or_default().push(i);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for (spe, start) in &starts {
+        if let Some(run) = run_by_spe.get(spe) {
+            edges.push(CausalEdge {
+                earlier: *run,
+                later: *start,
+                kind: EdgeKind::CtxStart,
+            });
+        }
+    }
+    // Mailboxes are FIFO: the k-th consume pairs with the k-th produce.
+    // (Events within one core are already in recording order, and the
+    // global sort is stable on stream order, so index order in each
+    // queue is the k order.)
+    for (spe, writes) in &in_writes {
+        if let Some(reads) = in_reads.get(spe) {
+            for (w, r) in writes.iter().zip(reads) {
+                edges.push(CausalEdge {
+                    earlier: *w,
+                    later: *r,
+                    kind: EdgeKind::InboundMbox,
+                });
+            }
+        }
+    }
+    for (spe, writes) in &out_writes {
+        if let Some(reads) = out_reads.get(spe) {
+            for (w, r) in writes.iter().zip(reads) {
+                edges.push(CausalEdge {
+                    earlier: *w,
+                    later: *r,
+                    kind: EdgeKind::OutboundMbox,
+                });
+            }
+        }
+    }
+    edges
+}
+
+/// Reports the edges whose reconstructed timestamps are reversed.
+pub fn violations(trace: &AnalyzedTrace) -> Vec<Violation> {
+    causal_edges(trace)
+        .into_iter()
+        .filter_map(|edge| {
+            let t_early = trace.events[edge.earlier].time_tb;
+            let t_late = trace.events[edge.later].time_tb;
+            (t_late < t_early).then(|| Violation {
+                edge,
+                margin_tb: t_early - t_late,
+            })
+        })
+        .collect()
+}
+
+/// Estimates the forward shift each SPE's clock needs so that no
+/// provable edge is violated, clamped so that no *outgoing* edge
+/// (SPE → PPE) becomes violated instead.
+pub fn estimate_skew(trace: &AnalyzedTrace) -> Vec<SkewEstimate> {
+    let edges = causal_edges(trace);
+    let mut needed: HashMap<u8, (u64, usize)> = HashMap::new();
+    let mut allowed: HashMap<u8, u64> = HashMap::new();
+    for e in &edges {
+        let earlier = &trace.events[e.earlier];
+        let later = &trace.events[e.later];
+        match (earlier.core, later.core) {
+            (TraceCore::Ppe(_), TraceCore::Spe(s))
+                if later.time_tb < earlier.time_tb => {
+                    let m = earlier.time_tb - later.time_tb;
+                    let entry = needed.entry(s).or_insert((0, 0));
+                    entry.0 = entry.0.max(m);
+                    entry.1 += 1;
+                }
+            (TraceCore::Spe(s), TraceCore::Ppe(_)) => {
+                let slack = later.time_tb.saturating_sub(earlier.time_tb);
+                let a = allowed.entry(s).or_insert(u64::MAX);
+                *a = (*a).min(slack);
+            }
+            _ => {}
+        }
+    }
+    let mut out: Vec<SkewEstimate> = trace
+        .spes()
+        .into_iter()
+        .filter_map(|spe| {
+            let (need, forced_by) = needed.get(&spe).copied().unwrap_or((0, 0));
+            if need == 0 {
+                return None;
+            }
+            let allow = allowed.get(&spe).copied().unwrap_or(u64::MAX);
+            Some(SkewEstimate {
+                spe,
+                shift_tb: need.min(allow),
+                forced_by,
+                allowed_tb: allow,
+            })
+        })
+        .collect();
+    out.sort_by_key(|s| s.spe);
+    out
+}
+
+/// Applies skew corrections: shifts each listed SPE's events forward
+/// and re-sorts the global order (stable on per-core sequence).
+pub fn apply_skew(trace: &AnalyzedTrace, corrections: &[SkewEstimate]) -> AnalyzedTrace {
+    let by_spe: HashMap<u8, u64> = corrections.iter().map(|c| (c.spe, c.shift_tb)).collect();
+    let mut out = trace.clone();
+    for e in &mut out.events {
+        if let TraceCore::Spe(s) = e.core {
+            if let Some(shift) = by_spe.get(&s) {
+                e.time_tb += shift;
+            }
+        }
+    }
+    for a in &mut out.anchors {
+        if let Some(shift) = by_spe.get(&a.spe) {
+            a.run_tb += shift;
+        }
+    }
+    out.events
+        .sort_by_key(|a| (a.time_tb, a.core, a.stream_seq));
+    out
+}
+
+/// Convenience: detect, estimate and apply in one step. Returns the
+/// corrected trace and the estimates used.
+pub fn align_clocks(trace: &AnalyzedTrace) -> (AnalyzedTrace, Vec<SkewEstimate>) {
+    let est = estimate_skew(trace);
+    let fixed = apply_skew(trace, &est);
+    (fixed, est)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{GlobalEvent, SpeAnchor};
+    use pdt::{TraceHeader, VERSION};
+
+    fn ev(t: u64, core: TraceCore, code: EventCode, params: Vec<u64>, seq: u64) -> GlobalEvent {
+        GlobalEvent {
+            time_tb: t,
+            core,
+            code,
+            params,
+            stream_seq: seq,
+        }
+    }
+
+    /// A PPE writes a word at t=100; with a −30-tick anchor skew the
+    /// SPE's read-end lands at t=80 on the reconstructed timeline.
+    fn skewed_trace() -> AnalyzedTrace {
+        use EventCode::*;
+        let ppe = TraceCore::Ppe(0);
+        let spe = TraceCore::Spe(0);
+        AnalyzedTrace {
+            header: TraceHeader {
+                version: VERSION,
+                num_ppe_threads: 1,
+                num_spes: 1,
+                core_hz: 3_200_000_000,
+                timebase_divider: 120,
+                dec_start: u32::MAX,
+                group_mask: u32::MAX,
+                spe_buffer_bytes: 2048,
+            },
+            events: vec![
+                ev(50, ppe, PpeCtxRun, vec![0, 0, u32::MAX as u64], 0),
+                ev(50, spe, SpeCtxStart, vec![0], 0),
+                ev(60, spe, SpeMboxReadBegin, vec![], 1),
+                ev(80, spe, SpeMboxReadEnd, vec![7], 2),
+                ev(100, ppe, PpeMboxWrite, vec![0, 7], 1),
+                ev(150, spe, SpeMboxWrite, vec![9], 3),
+                ev(200, ppe, PpeMboxRead, vec![0, 9], 2),
+                ev(220, spe, SpeStop, vec![0], 4),
+            ],
+            ctx_names: vec![],
+            anchors: vec![SpeAnchor {
+                spe: 0,
+                ctx: 0,
+                run_tb: 50,
+                dec_start: u32::MAX,
+            }],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn edges_and_violations_are_detected() {
+        let t = skewed_trace();
+        let edges = causal_edges(&t);
+        assert_eq!(edges.len(), 3, "{edges:?}");
+        let v = violations(&t);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].edge.kind, EdgeKind::InboundMbox);
+        assert_eq!(v[0].margin_tb, 20);
+    }
+
+    #[test]
+    fn skew_estimate_is_clamped_by_outgoing_edges() {
+        let t = skewed_trace();
+        let est = estimate_skew(&t);
+        assert_eq!(est.len(), 1);
+        let e = est[0];
+        assert_eq!(e.spe, 0);
+        // Needs +20 to fix the inbound violation; the outbound edge
+        // (150 → 200) allows up to +50.
+        assert_eq!(e.shift_tb, 20);
+        assert_eq!(e.allowed_tb, 50);
+        assert_eq!(e.forced_by, 1);
+    }
+
+    #[test]
+    fn applying_the_shift_restores_causal_order() {
+        let t = skewed_trace();
+        let (fixed, est) = align_clocks(&t);
+        assert_eq!(est.len(), 1);
+        assert!(violations(&fixed).is_empty(), "{:?}", violations(&fixed));
+        // SPE events moved forward by 20; PPE events untouched.
+        let read_end = fixed
+            .events
+            .iter()
+            .find(|e| e.code == EventCode::SpeMboxReadEnd)
+            .unwrap();
+        assert_eq!(read_end.time_tb, 100);
+        let write = fixed
+            .events
+            .iter()
+            .find(|e| e.code == EventCode::PpeMboxWrite)
+            .unwrap();
+        assert_eq!(write.time_tb, 100);
+        // Order: at the tie, PPE (lower core tag) sorts first — the
+        // producer precedes the consumer.
+        let iw = fixed
+            .events
+            .iter()
+            .position(|e| e.code == EventCode::PpeMboxWrite)
+            .unwrap();
+        let ir = fixed
+            .events
+            .iter()
+            .position(|e| e.code == EventCode::SpeMboxReadEnd)
+            .unwrap();
+        assert!(iw < ir);
+        // The anchor moved with the events.
+        assert_eq!(fixed.anchors[0].run_tb, 70);
+    }
+
+    #[test]
+    fn clean_trace_needs_no_correction() {
+        let mut t = skewed_trace();
+        // Move the read-end after the write.
+        for e in &mut t.events {
+            if e.code == EventCode::SpeMboxReadEnd {
+                e.time_tb = 120;
+            }
+        }
+        t.events.sort_by_key(|e| e.time_tb);
+        assert!(violations(&t).is_empty());
+        assert!(estimate_skew(&t).is_empty());
+    }
+
+    #[test]
+    fn needed_beyond_allowed_is_clamped() {
+        let mut t = skewed_trace();
+        // Make the outbound edge tight: PPE read at 155 (slack 5).
+        for e in &mut t.events {
+            if e.code == EventCode::PpeMboxRead {
+                e.time_tb = 155;
+            }
+        }
+        let est = estimate_skew(&t);
+        assert_eq!(est[0].shift_tb, 5, "clamped to the outgoing slack");
+        let (fixed, _) = align_clocks(&t);
+        // The inbound violation shrinks but cannot fully close.
+        let v = violations(&fixed);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].margin_tb, 15);
+    }
+}

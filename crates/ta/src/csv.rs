@@ -1,0 +1,131 @@
+//! CSV export of events, intervals and statistics.
+
+use crate::analyze::AnalyzedTrace;
+use crate::intervals::SpeIntervals;
+use crate::stats::TraceStats;
+
+/// Exports every event as `time_tb,time_ns,core,event,params`.
+pub fn events_csv(trace: &AnalyzedTrace) -> String {
+    let mut out = String::from("time_tb,time_ns,core,event,params\n");
+    for e in &trace.events {
+        let params = e
+            .params
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(";");
+        out.push_str(&format!(
+            "{},{:.1},{},{},{}\n",
+            e.time_tb,
+            trace.tb_to_ns(e.time_tb),
+            e.core,
+            e.code.name(),
+            params
+        ));
+    }
+    out
+}
+
+/// Exports intervals as `spe,kind,start_tb,end_tb,ticks`.
+pub fn intervals_csv(intervals: &[SpeIntervals]) -> String {
+    let mut out = String::from("spe,kind,start_tb,end_tb,ticks\n");
+    for s in intervals {
+        for i in &s.intervals {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                s.spe,
+                i.kind.label(),
+                i.start_tb,
+                i.end_tb,
+                i.ticks()
+            ));
+        }
+    }
+    out
+}
+
+/// Exports per-SPE activity as
+/// `spe,active_tb,compute_tb,dma_wait_tb,mbox_wait_tb,signal_wait_tb,utilization`.
+pub fn activity_csv(stats: &TraceStats) -> String {
+    let mut out = String::from(
+        "spe,active_tb,compute_tb,dma_wait_tb,mbox_wait_tb,signal_wait_tb,utilization\n",
+    );
+    for s in &stats.spes {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:.4}\n",
+            s.spe,
+            s.active_tb,
+            s.compute_tb,
+            s.dma_wait_tb,
+            s.mbox_wait_tb,
+            s.signal_wait_tb,
+            s.utilization
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::GlobalEvent;
+    use crate::intervals::{ActivityKind, Interval};
+    use pdt::{EventCode, TraceCore, TraceHeader, VERSION};
+
+    fn trace() -> AnalyzedTrace {
+        AnalyzedTrace {
+            header: TraceHeader {
+                version: VERSION,
+                num_ppe_threads: 1,
+                num_spes: 1,
+                core_hz: 3_200_000_000,
+                timebase_divider: 120,
+                dec_start: u32::MAX,
+                group_mask: u32::MAX,
+                spe_buffer_bytes: 2048,
+            },
+            events: vec![GlobalEvent {
+                time_tb: 40,
+                core: TraceCore::Spe(0),
+                code: EventCode::SpeUser,
+                params: vec![1, 2, 3],
+                stream_seq: 0,
+            }],
+            ctx_names: vec![],
+            anchors: vec![],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn events_csv_has_header_and_rows() {
+        let csv = events_csv(&trace());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("time_tb,"));
+        assert_eq!(lines[1], "40,1500.0,SPE0,spe-user,1;2;3");
+    }
+
+    #[test]
+    fn intervals_csv_rows() {
+        let iv = vec![SpeIntervals {
+            spe: 2,
+            start_tb: 0,
+            stop_tb: 100,
+            intervals: vec![Interval {
+                start_tb: 0,
+                end_tb: 100,
+                kind: ActivityKind::Compute,
+            }],
+        }];
+        let csv = intervals_csv(&iv);
+        assert!(csv.contains("2,compute,0,100,100"));
+    }
+
+    #[test]
+    fn activity_csv_rows() {
+        let stats = crate::stats::compute_stats(&trace());
+        let csv = activity_csv(&stats);
+        assert!(csv.starts_with("spe,active_tb"));
+    }
+}

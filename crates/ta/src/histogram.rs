@@ -1,0 +1,144 @@
+//! Simple histograms for DMA sizes and latencies.
+
+/// A power-of-two bucketed histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Log2Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, v: u64) {
+        let bucket = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
+        if self.counts.len() <= bucket {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum += v;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of samples, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Non-empty buckets as `(lower_bound, upper_bound, count)`.
+    pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(b, c)| {
+                let lo = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                let hi = if b == 0 { 0 } else { (1u64 << b) - 1 };
+                (lo, hi, *c)
+            })
+            .collect()
+    }
+
+    /// Renders a compact text view ("[lo..hi] ### count" rows).
+    pub fn render(&self, label: &str) -> String {
+        let mut out = format!(
+            "{label}: n={} mean={:.1} min={} max={}\n",
+            self.total,
+            self.mean(),
+            self.min.unwrap_or(0),
+            self.max.unwrap_or(0)
+        );
+        let peak = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        for (lo, hi, c) in self.buckets() {
+            let bar = "#".repeat(((c * 40) / peak).max(1) as usize);
+            out.push_str(&format!("  [{lo:>10}..{hi:>10}] {bar} {c}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_power_of_two_ranges() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.add(v);
+        }
+        let b = h.buckets();
+        // 0 → [0,0]; 1 → [1,1]; 2,3 → [2,3]; 4,7 → [4,7]; 8 → [8,15]; 1024 → [1024,2047]
+        assert_eq!(
+            b,
+            vec![
+                (0, 0, 1),
+                (1, 1, 1),
+                (2, 3, 2),
+                (4, 7, 2),
+                (8, 15, 1),
+                (1024, 2047, 1)
+            ]
+        );
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1024));
+    }
+
+    #[test]
+    fn mean_and_sum() {
+        let mut h = Log2Histogram::new();
+        h.add(10);
+        h.add(30);
+        assert_eq!(h.sum(), 40);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(Log2Histogram::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let mut h = Log2Histogram::new();
+        h.add(100);
+        h.add(120);
+        let s = h.render("latency");
+        assert!(s.contains("latency: n=2"));
+        assert!(s.contains('#'));
+    }
+}

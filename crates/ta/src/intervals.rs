@@ -1,0 +1,352 @@
+//! Activity-interval reconstruction.
+//!
+//! The PDT records paired begin/end events around every potentially
+//! blocking operation. The analyzer turns those pairs into *intervals*
+//! — the colored segments of the Trace Analyzer's timeline view — and
+//! classifies the gaps between them as compute.
+//!
+//! A known limitation inherited from the instrumentation points: an
+//! SPU blocking on a *full outbound mailbox* records a single
+//! `SpeMboxWrite` event (the write call), so that block is attributed
+//! to compute. The paper's TA had the same blind spot; the machine's
+//! ground-truth report exposes the residual as `mbox_wait` that the TA
+//! does not see.
+
+use pdt::{EventCode, TraceCore};
+
+use crate::analyze::AnalyzedTrace;
+
+/// What an SPE was doing during an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivityKind {
+    /// Executing program work (including instrumentation overhead,
+    /// which the trace cannot separate from user cycles).
+    Compute,
+    /// Blocked in a tag-group wait.
+    DmaWait,
+    /// Blocked reading the inbound mailbox.
+    MboxWait,
+    /// Blocked reading a signal register.
+    SignalWait,
+}
+
+impl ActivityKind {
+    /// Stable short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ActivityKind::Compute => "compute",
+            ActivityKind::DmaWait => "dma-wait",
+            ActivityKind::MboxWait => "mbox-wait",
+            ActivityKind::SignalWait => "sig-wait",
+        }
+    }
+}
+
+/// A half-open interval `[start_tb, end_tb)` on one SPE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Start, in timebase ticks.
+    pub start_tb: u64,
+    /// End, in timebase ticks.
+    pub end_tb: u64,
+    /// Activity classification.
+    pub kind: ActivityKind,
+}
+
+impl Interval {
+    /// Interval length in ticks.
+    pub fn ticks(&self) -> u64 {
+        self.end_tb - self.start_tb
+    }
+}
+
+/// All intervals reconstructed for one SPE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpeIntervals {
+    /// The SPE index.
+    pub spe: u8,
+    /// Context start time.
+    pub start_tb: u64,
+    /// Context stop time.
+    pub stop_tb: u64,
+    /// Intervals covering `[start_tb, stop_tb)` without gaps.
+    pub intervals: Vec<Interval>,
+}
+
+impl SpeIntervals {
+    /// Clips the interval set to the window `[start_tb, end_tb)` —
+    /// the analyzer's zoom operation. Intervals partially inside the
+    /// window are trimmed; the result tiles the intersection of the
+    /// window with the SPE's active span.
+    pub fn clip(&self, start_tb: u64, end_tb: u64) -> SpeIntervals {
+        let s = start_tb.max(self.start_tb);
+        let e = end_tb.min(self.stop_tb).max(s);
+        SpeIntervals {
+            spe: self.spe,
+            start_tb: s,
+            stop_tb: e,
+            intervals: self
+                .intervals
+                .iter()
+                .filter(|i| i.end_tb > s && i.start_tb < e)
+                .map(|i| Interval {
+                    start_tb: i.start_tb.max(s),
+                    end_tb: i.end_tb.min(e),
+                    kind: i.kind,
+                })
+                .collect(),
+        }
+    }
+
+    /// Total ticks attributed to `kind`.
+    pub fn total(&self, kind: ActivityKind) -> u64 {
+        self.intervals
+            .iter()
+            .filter(|i| i.kind == kind)
+            .map(Interval::ticks)
+            .sum()
+    }
+
+    /// Active ticks (start to stop).
+    pub fn active(&self) -> u64 {
+        self.stop_tb - self.start_tb
+    }
+
+    /// Compute fraction of active time (0..=1).
+    pub fn utilization(&self) -> f64 {
+        if self.active() == 0 {
+            return 0.0;
+        }
+        self.total(ActivityKind::Compute) as f64 / self.active() as f64
+    }
+}
+
+fn wait_kind(code: EventCode) -> Option<ActivityKind> {
+    match code {
+        EventCode::SpeTagWaitBegin => Some(ActivityKind::DmaWait),
+        EventCode::SpeMboxReadBegin => Some(ActivityKind::MboxWait),
+        EventCode::SpeSignalReadBegin => Some(ActivityKind::SignalWait),
+        _ => None,
+    }
+}
+
+fn wait_end(code: EventCode) -> bool {
+    matches!(
+        code,
+        EventCode::SpeTagWaitEnd | EventCode::SpeMboxReadEnd | EventCode::SpeSignalReadEnd
+    )
+}
+
+/// Reconstructs intervals for every SPE in the trace.
+///
+/// SPEs whose stream lacks a `SpeCtxStart` or `SpeStop` are skipped
+/// (truncated traces); waits left open at stop are closed at the stop
+/// timestamp.
+pub fn build_intervals(trace: &AnalyzedTrace) -> Vec<SpeIntervals> {
+    let mut out = Vec::new();
+    for spe in trace.spes() {
+        let events: Vec<_> = trace.core_events(TraceCore::Spe(spe)).collect();
+        let Some(start) = events
+            .iter()
+            .find(|e| e.code == EventCode::SpeCtxStart)
+            .map(|e| e.time_tb)
+        else {
+            continue;
+        };
+        let Some(stop) = events
+            .iter()
+            .find(|e| e.code == EventCode::SpeStop)
+            .map(|e| e.time_tb)
+        else {
+            continue;
+        };
+        let mut intervals = Vec::new();
+        let mut cursor = start;
+        let mut open: Option<(u64, ActivityKind)> = None;
+        for e in &events {
+            if let Some(kind) = wait_kind(e.code) {
+                if open.is_none() {
+                    // Close the compute gap before the wait begins.
+                    if e.time_tb > cursor {
+                        intervals.push(Interval {
+                            start_tb: cursor,
+                            end_tb: e.time_tb,
+                            kind: ActivityKind::Compute,
+                        });
+                    }
+                    open = Some((e.time_tb, kind));
+                }
+            } else if wait_end(e.code) {
+                if let Some((begin, kind)) = open.take() {
+                    if e.time_tb > begin {
+                        intervals.push(Interval {
+                            start_tb: begin,
+                            end_tb: e.time_tb,
+                            kind,
+                        });
+                    }
+                    cursor = e.time_tb.max(begin);
+                }
+            }
+        }
+        // A wait left open at stop (e.g. trace truncated by drops).
+        if let Some((begin, kind)) = open.take() {
+            if stop > begin {
+                intervals.push(Interval {
+                    start_tb: begin,
+                    end_tb: stop,
+                    kind,
+                });
+            }
+            cursor = stop;
+        }
+        if stop > cursor {
+            intervals.push(Interval {
+                start_tb: cursor,
+                end_tb: stop,
+                kind: ActivityKind::Compute,
+            });
+        }
+        out.push(SpeIntervals {
+            spe,
+            start_tb: start,
+            stop_tb: stop,
+            intervals,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::GlobalEvent;
+    use pdt::{TraceHeader, VERSION};
+
+    fn trace_of(events: Vec<(u64, EventCode)>) -> AnalyzedTrace {
+        AnalyzedTrace {
+            header: TraceHeader {
+                version: VERSION,
+                num_ppe_threads: 1,
+                num_spes: 1,
+                core_hz: 3_200_000_000,
+                timebase_divider: 120,
+                dec_start: u32::MAX,
+                group_mask: u32::MAX,
+                spe_buffer_bytes: 2048,
+            },
+            events: events
+                .into_iter()
+                .enumerate()
+                .map(|(i, (t, code))| GlobalEvent {
+                    time_tb: t,
+                    core: TraceCore::Spe(0),
+                    code,
+                    params: vec![0; 4],
+                    stream_seq: i as u64,
+                })
+                .collect(),
+            ctx_names: vec![],
+            anchors: vec![],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn waits_and_compute_partition_active_time() {
+        use EventCode::*;
+        let t = trace_of(vec![
+            (100, SpeCtxStart),
+            (100, SpeDmaGet),
+            (110, SpeTagWaitBegin),
+            (150, SpeTagWaitEnd),
+            (180, SpeMboxReadBegin),
+            (200, SpeMboxReadEnd),
+            (300, SpeStop),
+        ]);
+        let iv = build_intervals(&t);
+        assert_eq!(iv.len(), 1);
+        let s = &iv[0];
+        assert_eq!(s.active(), 200);
+        assert_eq!(s.total(ActivityKind::DmaWait), 40);
+        assert_eq!(s.total(ActivityKind::MboxWait), 20);
+        assert_eq!(s.total(ActivityKind::Compute), 140);
+        // Intervals tile [start, stop) without gaps or overlaps.
+        let mut cursor = s.start_tb;
+        for i in &s.intervals {
+            assert_eq!(i.start_tb, cursor);
+            cursor = i.end_tb;
+        }
+        assert_eq!(cursor, s.stop_tb);
+        let u = s.utilization();
+        assert!((u - 0.7).abs() < 1e-12, "utilization {u}");
+    }
+
+    #[test]
+    fn zero_length_waits_vanish() {
+        use EventCode::*;
+        let t = trace_of(vec![
+            (10, SpeCtxStart),
+            (20, SpeTagWaitBegin),
+            (20, SpeTagWaitEnd),
+            (50, SpeStop),
+        ]);
+        let s = &build_intervals(&t)[0];
+        assert_eq!(s.total(ActivityKind::DmaWait), 0);
+        assert_eq!(s.total(ActivityKind::Compute), 40);
+    }
+
+    #[test]
+    fn open_wait_is_closed_at_stop() {
+        use EventCode::*;
+        let t = trace_of(vec![
+            (0, SpeCtxStart),
+            (10, SpeSignalReadBegin),
+            (90, SpeStop),
+        ]);
+        let s = &build_intervals(&t)[0];
+        assert_eq!(s.total(ActivityKind::SignalWait), 80);
+        assert_eq!(s.total(ActivityKind::Compute), 10);
+    }
+
+    #[test]
+    fn stream_without_lifecycle_is_skipped() {
+        use EventCode::*;
+        let t = trace_of(vec![(10, SpeUser)]);
+        assert!(build_intervals(&t).is_empty());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ActivityKind::DmaWait.label(), "dma-wait");
+        assert_eq!(ActivityKind::Compute.label(), "compute");
+    }
+
+    #[test]
+    fn clip_trims_and_tiles() {
+        use EventCode::*;
+        let t = trace_of(vec![
+            (100, SpeCtxStart),
+            (110, SpeTagWaitBegin),
+            (150, SpeTagWaitEnd),
+            (300, SpeStop),
+        ]);
+        let s = &build_intervals(&t)[0];
+        // Window straddling the wait and part of the compute tail.
+        let c = s.clip(120, 200);
+        assert_eq!(c.start_tb, 120);
+        assert_eq!(c.stop_tb, 200);
+        assert_eq!(c.total(ActivityKind::DmaWait), 30);
+        assert_eq!(c.total(ActivityKind::Compute), 50);
+        let mut cursor = c.start_tb;
+        for i in &c.intervals {
+            assert_eq!(i.start_tb, cursor);
+            cursor = i.end_tb;
+        }
+        assert_eq!(cursor, c.stop_tb);
+        // Window entirely outside the active span is empty.
+        let empty = s.clip(400, 500);
+        assert_eq!(empty.active(), 0);
+        assert!(empty.intervals.is_empty());
+    }
+}

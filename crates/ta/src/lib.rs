@@ -1,0 +1,88 @@
+//! # ta — the Trace Analyzer
+//!
+//! The second half of the reproduced paper's contribution: a reader
+//! and visualizer for PDT traces. The analyzer never talks to the
+//! simulator — it works from trace bytes alone, exactly like the
+//! original tool working from trace files shipped off a Cell blade.
+//!
+//! Pipeline:
+//!
+//! 1. [`mod@analyze`] — decode the per-core streams, reconstruct global
+//!    time from decrementer snapshots + the `PpeCtxRun` sync records
+//!    (wrap-safe), and merge everything into one ordered event list.
+//! 2. [`intervals`] — turn begin/end event pairs into activity
+//!    intervals (compute / DMA wait / mailbox wait / signal wait).
+//! 3. [`stats`] — per-SPE utilization and wait breakdowns, DMA traffic
+//!    and observed-latency statistics, event counts.
+//! 4. [`timeline`] + [`svg`] / [`ascii`] — the Gantt views.
+//! 5. [`csv`], [`query`] — export and filtering.
+//! 6. [`mod@validate`] — fidelity checks against simulator ground truth.
+//!
+//! ## Example
+//!
+//! ```
+//! use cellsim::{Machine, MachineConfig, PpeThreadId, SpmdDriver, SpeJob, SpuScript, SpuAction};
+//! use pdt::{TraceSession, TracingConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut machine = Machine::new(MachineConfig::default().with_num_spes(1))?;
+//! let session = TraceSession::install(TracingConfig::default(), &mut machine)?;
+//! machine.set_ppe_program(
+//!     PpeThreadId::new(0),
+//!     Box::new(SpmdDriver::new(vec![SpeJob::new(
+//!         "kernel",
+//!         Box::new(SpuScript::new(vec![SpuAction::Compute(100_000)])),
+//!     )])),
+//! );
+//! machine.run()?;
+//! let trace = session.collect(&machine);
+//!
+//! let analyzed = ta::analyze(&trace)?;
+//! let stats = ta::compute_stats(&analyzed);
+//! let timeline = ta::build_timeline(&analyzed);
+//! let svg = ta::render_svg(&timeline, &ta::SvgOptions::default());
+//! assert!(svg.contains("</svg>"));
+//! assert_eq!(stats.spes.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analyze;
+pub mod ascii;
+pub mod causality;
+pub mod compare;
+pub mod csv;
+pub mod histogram;
+pub mod html;
+pub mod occupancy;
+pub mod intervals;
+pub mod phases;
+pub mod query;
+pub mod stats;
+pub mod summary;
+pub mod svg;
+pub mod timeline;
+pub mod validate;
+
+pub use analyze::{analyze, AnalyzeError, AnalyzedTrace, GlobalEvent, SpeAnchor};
+pub use ascii::render_ascii;
+pub use causality::{
+    align_clocks, apply_skew, causal_edges, estimate_skew, violations, CausalEdge, EdgeKind,
+    SkewEstimate, Violation,
+};
+pub use compare::{compare_stats, compare_traces, Comparison, SpeDelta};
+pub use csv::{activity_csv, events_csv, intervals_csv};
+pub use histogram::Log2Histogram;
+pub use html::html_report;
+pub use occupancy::{dma_occupancy, OccupancyStep, SpeOccupancy};
+pub use intervals::{build_intervals, ActivityKind, Interval, SpeIntervals};
+pub use phases::{user_phases, PhaseReport, UserPhase};
+pub use query::EventFilter;
+pub use stats::{compute_stats, DmaSummary, EventCounts, ObservedDma, SpeActivity, TraceStats};
+pub use summary::{render_summary, summary_report};
+pub use svg::{render_svg, SvgOptions};
+pub use timeline::{build_timeline, Lane, Marker, Segment, Timeline};
+pub use validate::{rel_err, validate, SpeValidation, ValidationReport};

@@ -1,0 +1,201 @@
+//! MFC queue-occupancy analysis: how many DMA commands each SPE keeps
+//! in flight over time, reconstructed from trace events alone.
+//!
+//! A command becomes outstanding at its issue record and is retired at
+//! the first `SpeTagWaitEnd` whose mask covers its tag (the analyzer
+//! cannot see individual completions — neither could the original TA —
+//! so this is the *observable* outstanding count, an upper bound).
+//! Deep sustained occupancy is how effective double buffering looks in
+//! a trace; an occupancy stuck at 0/1 is the single-buffered
+//! anti-pattern the paper's use case fixes.
+
+use pdt::{EventCode, TraceCore};
+
+use crate::analyze::AnalyzedTrace;
+
+/// A step in an occupancy time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancyStep {
+    /// When the outstanding count changed (ticks).
+    pub time_tb: u64,
+    /// The outstanding command count from this time on.
+    pub outstanding: u32,
+}
+
+/// One SPE's occupancy series and summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeOccupancy {
+    /// The SPE.
+    pub spe: u8,
+    /// The step series, in time order.
+    pub steps: Vec<OccupancyStep>,
+    /// Maximum observed outstanding count.
+    pub peak: u32,
+    /// Time-weighted mean outstanding count over the series' span.
+    pub mean: f64,
+}
+
+impl SpeOccupancy {
+    /// Fraction of the observed span with at least `k` commands
+    /// outstanding.
+    pub fn fraction_at_least(&self, k: u32) -> f64 {
+        let (mut covered, mut total) = (0u64, 0u64);
+        for w in self.steps.windows(2) {
+            let dt = w[1].time_tb - w[0].time_tb;
+            total += dt;
+            if w[0].outstanding >= k {
+                covered += dt;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            covered as f64 / total as f64
+        }
+    }
+}
+
+/// Builds the occupancy series for every SPE in the trace.
+pub fn dma_occupancy(trace: &AnalyzedTrace) -> Vec<SpeOccupancy> {
+    let mut out = Vec::new();
+    for spe in trace.spes() {
+        let mut per_tag = [0u32; 32];
+        let mut outstanding = 0u32;
+        let mut steps = Vec::new();
+        let mut peak = 0u32;
+        for e in trace.core_events(TraceCore::Spe(spe)) {
+            match e.code {
+                EventCode::SpeDmaGet | EventCode::SpeDmaPut => {
+                    let tag = (e.params[3] & 0xff) as usize % 32;
+                    per_tag[tag] += 1;
+                    outstanding += 1;
+                }
+                EventCode::SpeTagWaitEnd => {
+                    let mask = e.params[0] as u32;
+                    for (t, count) in per_tag.iter_mut().enumerate() {
+                        if mask & (1 << t) != 0 {
+                            outstanding -= *count;
+                            *count = 0;
+                        }
+                    }
+                }
+                _ => continue,
+            }
+            peak = peak.max(outstanding);
+            steps.push(OccupancyStep {
+                time_tb: e.time_tb,
+                outstanding,
+            });
+        }
+        if steps.is_empty() {
+            continue;
+        }
+        // Time-weighted mean.
+        let (mut area, mut span) = (0f64, 0u64);
+        for w in steps.windows(2) {
+            let dt = w[1].time_tb - w[0].time_tb;
+            area += w[0].outstanding as f64 * dt as f64;
+            span += dt;
+        }
+        let mean = if span == 0 { 0.0 } else { area / span as f64 };
+        out.push(SpeOccupancy {
+            spe,
+            steps,
+            peak,
+            mean,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::GlobalEvent;
+    use pdt::{TraceHeader, VERSION};
+
+    fn ev(t: u64, code: EventCode, params: Vec<u64>) -> GlobalEvent {
+        GlobalEvent {
+            time_tb: t,
+            core: TraceCore::Spe(0),
+            code,
+            params,
+            stream_seq: t,
+        }
+    }
+
+    fn trace(events: Vec<GlobalEvent>) -> AnalyzedTrace {
+        AnalyzedTrace {
+            header: TraceHeader {
+                version: VERSION,
+                num_ppe_threads: 1,
+                num_spes: 1,
+                core_hz: 3_200_000_000,
+                timebase_divider: 120,
+                dec_start: u32::MAX,
+                group_mask: u32::MAX,
+                spe_buffer_bytes: 2048,
+            },
+            events,
+            ctx_names: vec![],
+            anchors: vec![],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn occupancy_tracks_issue_and_retire() {
+        use EventCode::*;
+        let t = trace(vec![
+            ev(0, SpeDmaGet, vec![0, 0, 4096, 0]),
+            ev(10, SpeDmaGet, vec![0, 0, 4096, 1]),
+            ev(20, SpeTagWaitEnd, vec![0b01]), // retires tag 0
+            ev(30, SpeDmaPut, vec![0, 0, 4096, 1]),
+            ev(40, SpeTagWaitEnd, vec![0b10]), // retires both tag-1 cmds
+        ]);
+        let occ = dma_occupancy(&t);
+        assert_eq!(occ.len(), 1);
+        let s = &occ[0];
+        let series: Vec<(u64, u32)> = s.steps.iter().map(|x| (x.time_tb, x.outstanding)).collect();
+        assert_eq!(series, vec![(0, 1), (10, 2), (20, 1), (30, 2), (40, 0)]);
+        assert_eq!(s.peak, 2);
+        // Mean over [0,40): (1*10 + 2*10 + 1*10 + 2*10)/40 = 1.5
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        assert!((s.fraction_at_least(2) - 0.5).abs() < 1e-12);
+        assert!((s.fraction_at_least(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_or_dma_free_trace_yields_nothing() {
+        use EventCode::*;
+        assert!(dma_occupancy(&trace(vec![])).is_empty());
+        let t = trace(vec![ev(0, SpeUser, vec![1, 0, 0])]);
+        assert!(dma_occupancy(&t).is_empty());
+    }
+
+    #[test]
+    fn double_buffering_shows_deeper_occupancy_than_single() {
+        use EventCode::*;
+        // Single-buffered: issue, wait, issue, wait.
+        let single = trace(vec![
+            ev(0, SpeDmaGet, vec![0, 0, 4096, 0]),
+            ev(10, SpeTagWaitEnd, vec![1]),
+            ev(20, SpeDmaGet, vec![0, 0, 4096, 0]),
+            ev(30, SpeTagWaitEnd, vec![1]),
+        ]);
+        // Double-buffered: two outstanding most of the time.
+        let double = trace(vec![
+            ev(0, SpeDmaGet, vec![0, 0, 4096, 0]),
+            ev(1, SpeDmaGet, vec![0, 0, 4096, 1]),
+            ev(10, SpeTagWaitEnd, vec![0b01]),
+            ev(11, SpeDmaGet, vec![0, 0, 4096, 0]),
+            ev(20, SpeTagWaitEnd, vec![0b10]),
+            ev(21, SpeDmaGet, vec![0, 0, 4096, 1]),
+            ev(30, SpeTagWaitEnd, vec![0b11]),
+        ]);
+        let s = &dma_occupancy(&single)[0];
+        let d = &dma_occupancy(&double)[0];
+        assert!(d.mean > s.mean, "double {} vs single {}", d.mean, s.mean);
+        assert!(d.peak >= 2 && s.peak == 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Event filtering: time windows, cores, codes and groups.
+//!
+//! The Trace Analyzer's interactive views are zoom-and-filter
+//! operations over the event list; [`EventFilter`] is the programmatic
+//! equivalent.
+
+use pdt::{EventCode, EventGroup, TraceCore};
+
+use crate::analyze::{AnalyzedTrace, GlobalEvent};
+
+/// A composable event filter (builder style; all criteria are ANDed).
+#[derive(Debug, Clone, Default)]
+pub struct EventFilter {
+    window: Option<(u64, u64)>,
+    cores: Option<Vec<TraceCore>>,
+    codes: Option<Vec<EventCode>>,
+    groups: Option<Vec<EventGroup>>,
+}
+
+impl EventFilter {
+    /// Matches everything.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restrict to `[start_tb, end_tb)`.
+    pub fn in_window(mut self, start_tb: u64, end_tb: u64) -> Self {
+        self.window = Some((start_tb, end_tb));
+        self
+    }
+
+    /// Restrict to one core (may be called repeatedly to add cores).
+    pub fn on_core(mut self, core: TraceCore) -> Self {
+        self.cores.get_or_insert_with(Vec::new).push(core);
+        self
+    }
+
+    /// Restrict to one event code (repeatable).
+    pub fn with_code(mut self, code: EventCode) -> Self {
+        self.codes.get_or_insert_with(Vec::new).push(code);
+        self
+    }
+
+    /// Restrict to one event group (repeatable).
+    pub fn in_group(mut self, group: EventGroup) -> Self {
+        self.groups.get_or_insert_with(Vec::new).push(group);
+        self
+    }
+
+    /// Whether `event` passes the filter.
+    pub fn matches(&self, event: &GlobalEvent) -> bool {
+        if let Some((s, e)) = self.window {
+            if event.time_tb < s || event.time_tb >= e {
+                return false;
+            }
+        }
+        if let Some(cores) = &self.cores {
+            if !cores.contains(&event.core) {
+                return false;
+            }
+        }
+        if let Some(codes) = &self.codes {
+            if !codes.contains(&event.code) {
+                return false;
+            }
+        }
+        if let Some(groups) = &self.groups {
+            if !groups.contains(&event.code.group()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Applies the filter to a trace, preserving order.
+    pub fn apply<'a>(&self, trace: &'a AnalyzedTrace) -> Vec<&'a GlobalEvent> {
+        trace.events.iter().filter(|e| self.matches(e)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt::{TraceHeader, VERSION};
+
+    fn trace() -> AnalyzedTrace {
+        use EventCode::*;
+        let mk = |t, core, code| GlobalEvent {
+            time_tb: t,
+            core,
+            code,
+            params: vec![],
+            stream_seq: t,
+        };
+        AnalyzedTrace {
+            header: TraceHeader {
+                version: VERSION,
+                num_ppe_threads: 1,
+                num_spes: 2,
+                core_hz: 3_200_000_000,
+                timebase_divider: 120,
+                dec_start: u32::MAX,
+                group_mask: u32::MAX,
+                spe_buffer_bytes: 2048,
+            },
+            events: vec![
+                mk(0, TraceCore::Ppe(0), PpeCtxCreate),
+                mk(10, TraceCore::Spe(0), SpeMboxReadBegin),
+                mk(20, TraceCore::Spe(0), SpeMboxReadEnd),
+                mk(30, TraceCore::Spe(1), SpeMboxReadBegin),
+                mk(50, TraceCore::Spe(1), SpeUser),
+            ],
+            ctx_names: vec![],
+            anchors: vec![],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let t = trace();
+        let got = EventFilter::new().in_window(10, 30).apply(&t);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].time_tb, 10);
+        assert_eq!(got[1].time_tb, 20);
+    }
+
+    #[test]
+    fn core_filter_composes_with_group() {
+        let t = trace();
+        let got = EventFilter::new()
+            .on_core(TraceCore::Spe(1))
+            .in_group(EventGroup::SpeMbox)
+            .apply(&t);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].time_tb, 30);
+    }
+
+    #[test]
+    fn code_filter_exact() {
+        let t = trace();
+        let got = EventFilter::new().with_code(EventCode::SpeUser).apply(&t);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].core, TraceCore::Spe(1));
+    }
+
+    #[test]
+    fn empty_filter_matches_all() {
+        let t = trace();
+        assert_eq!(EventFilter::new().apply(&t).len(), t.events.len());
+    }
+
+    #[test]
+    fn multiple_cores_are_ored() {
+        let t = trace();
+        let got = EventFilter::new()
+            .on_core(TraceCore::Spe(0))
+            .on_core(TraceCore::Spe(1))
+            .apply(&t);
+        assert_eq!(got.len(), 4);
+    }
+}

@@ -1,0 +1,220 @@
+//! SVG rendering of timelines — the reproduction of the Trace
+//! Analyzer's Gantt view.
+
+use crate::intervals::ActivityKind;
+use crate::timeline::Timeline;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvgOptions {
+    /// Plot width in pixels (lanes area, excluding the label gutter).
+    pub width: u32,
+    /// Height of one lane in pixels.
+    pub lane_height: u32,
+    /// Gap between lanes in pixels.
+    pub lane_gap: u32,
+    /// Label gutter width in pixels.
+    pub gutter: u32,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 960,
+            lane_height: 22,
+            lane_gap: 6,
+            gutter: 140,
+        }
+    }
+}
+
+fn color(kind: ActivityKind) -> &'static str {
+    match kind {
+        ActivityKind::Compute => "#4caf50",
+        ActivityKind::DmaWait => "#e53935",
+        ActivityKind::MboxWait => "#fb8c00",
+        ActivityKind::SignalWait => "#8e24aa",
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Renders a timeline to an SVG document string.
+pub fn render_svg(timeline: &Timeline, opts: &SvgOptions) -> String {
+    let n = timeline.lanes.len() as u32;
+    let axis_h = 28u32;
+    let legend_h = 22u32;
+    let height = n * (opts.lane_height + opts.lane_gap) + axis_h + legend_h + 10;
+    let total_w = opts.gutter + opts.width + 20;
+    let span = timeline.span() as f64;
+    let x_of = |tb: u64| -> f64 {
+        opts.gutter as f64 + (tb - timeline.start_tb) as f64 / span * opts.width as f64
+    };
+
+    let mut svg = String::with_capacity(4096);
+    svg.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{total_w}" height="{height}" font-family="monospace" font-size="11">"#
+    ));
+    svg.push('\n');
+    svg.push_str(&format!(
+        r##"<rect width="{total_w}" height="{height}" fill="#ffffff"/>"##
+    ));
+    svg.push('\n');
+
+    // Lanes.
+    for (i, lane) in timeline.lanes.iter().enumerate() {
+        let y = legend_h + i as u32 * (opts.lane_height + opts.lane_gap);
+        svg.push_str(&format!(
+            r##"<text x="4" y="{}" fill="#333">{}</text>"##,
+            y + opts.lane_height / 2 + 4,
+            escape(&lane.label)
+        ));
+        svg.push('\n');
+        // Lane background.
+        svg.push_str(&format!(
+            r##"<rect x="{}" y="{y}" width="{}" height="{}" fill="#f2f2f2"/>"##,
+            opts.gutter, opts.width, opts.lane_height
+        ));
+        svg.push('\n');
+        for seg in &lane.segments {
+            let x0 = x_of(seg.start_tb);
+            let x1 = x_of(seg.end_tb);
+            let w = (x1 - x0).max(0.5);
+            svg.push_str(&format!(
+                r#"<rect x="{x0:.1}" y="{y}" width="{w:.1}" height="{}" fill="{}"><title>{}: {}..{} ticks</title></rect>"#,
+                opts.lane_height,
+                color(seg.kind),
+                seg.kind.label(),
+                seg.start_tb,
+                seg.end_tb,
+            ));
+            svg.push('\n');
+        }
+        for m in &lane.markers {
+            let x = x_of(m.time_tb);
+            svg.push_str(&format!(
+                r##"<line x1="{x:.1}" y1="{y}" x2="{x:.1}" y2="{}" stroke="#1565c0" stroke-width="1"><title>{} @ {} ticks</title></line>"##,
+                y + opts.lane_height,
+                m.code.name(),
+                m.time_tb,
+            ));
+            svg.push('\n');
+        }
+    }
+
+    // Time axis with ~8 ticks.
+    let axis_y = legend_h + n * (opts.lane_height + opts.lane_gap) + 12;
+    svg.push_str(&format!(
+        r##"<line x1="{}" y1="{axis_y}" x2="{}" y2="{axis_y}" stroke="#999"/>"##,
+        opts.gutter,
+        opts.gutter + opts.width
+    ));
+    svg.push('\n');
+    for i in 0..=8u64 {
+        let tb = timeline.start_tb + timeline.span() * i / 8;
+        let x = x_of(tb);
+        svg.push_str(&format!(
+            r##"<line x1="{x:.1}" y1="{axis_y}" x2="{x:.1}" y2="{}" stroke="#999"/><text x="{x:.1}" y="{}" text-anchor="middle" fill="#666">{tb}</text>"##,
+            axis_y + 4,
+            axis_y + 15,
+        ));
+        svg.push('\n');
+    }
+
+    // Legend.
+    let mut lx = opts.gutter;
+    for kind in [
+        ActivityKind::Compute,
+        ActivityKind::DmaWait,
+        ActivityKind::MboxWait,
+        ActivityKind::SignalWait,
+    ] {
+        svg.push_str(&format!(
+            r##"<rect x="{lx}" y="4" width="12" height="12" fill="{}"/><text x="{}" y="14" fill="#333">{}</text>"##,
+            color(kind),
+            lx + 16,
+            kind.label()
+        ));
+        svg.push('\n');
+        lx += 110;
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{Lane, Marker, Segment};
+    use pdt::{EventCode, TraceCore};
+
+    fn timeline() -> Timeline {
+        Timeline {
+            start_tb: 0,
+            end_tb: 1000,
+            lanes: vec![Lane {
+                label: "SPE0 <&test>".into(),
+                core: TraceCore::Spe(0),
+                segments: vec![
+                    Segment {
+                        start_tb: 0,
+                        end_tb: 400,
+                        kind: ActivityKind::Compute,
+                    },
+                    Segment {
+                        start_tb: 400,
+                        end_tb: 1000,
+                        kind: ActivityKind::DmaWait,
+                    },
+                ],
+                markers: vec![Marker {
+                    time_tb: 500,
+                    code: EventCode::SpeUser,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn svg_is_structurally_sound() {
+        let svg = render_svg(&timeline(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One rect per segment, with the right colors.
+        assert!(svg.contains("#4caf50"));
+        assert!(svg.contains("#e53935"));
+        // Marker line and tooltip.
+        assert!(svg.contains("spe-user @ 500 ticks"));
+        // Label is escaped.
+        assert!(svg.contains("SPE0 &lt;&amp;test&gt;"));
+        assert!(!svg.contains("<&test>"));
+    }
+
+    #[test]
+    fn segment_geometry_scales_to_width() {
+        let opts = SvgOptions {
+            width: 1000,
+            ..SvgOptions::default()
+        };
+        let svg = render_svg(&timeline(), &opts);
+        // Compute segment: 40% of 1000 px = 400 px wide at x=gutter.
+        assert!(svg.contains(r#"width="400.0""#), "svg: {svg}");
+    }
+
+    #[test]
+    fn empty_timeline_renders_without_panic() {
+        let t = Timeline {
+            start_tb: 0,
+            end_tb: 0,
+            lanes: vec![],
+        };
+        let svg = render_svg(&t, &SvgOptions::default());
+        assert!(svg.contains("</svg>"));
+    }
+}

@@ -1,0 +1,228 @@
+//! The timeline model behind the SVG and ASCII renderers.
+//!
+//! A [`Timeline`] is what the Trace Analyzer's main view shows: one
+//! lane per core, activity segments on SPE lanes, and point markers for
+//! discrete events (PPE calls, user events).
+
+use pdt::{EventCode, TraceCore};
+
+use crate::analyze::AnalyzedTrace;
+use crate::intervals::{build_intervals, ActivityKind};
+
+/// A colored activity segment on a lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Start, timebase ticks.
+    pub start_tb: u64,
+    /// End, timebase ticks.
+    pub end_tb: u64,
+    /// Activity classification.
+    pub kind: ActivityKind,
+}
+
+/// A point event on a lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Marker {
+    /// Event time, timebase ticks.
+    pub time_tb: u64,
+    /// The event.
+    pub code: EventCode,
+}
+
+/// One core's lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lane {
+    /// Display label.
+    pub label: String,
+    /// The core.
+    pub core: TraceCore,
+    /// Activity segments (SPE lanes only).
+    pub segments: Vec<Segment>,
+    /// Point markers.
+    pub markers: Vec<Marker>,
+}
+
+/// The complete timeline model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    /// Earliest tick shown.
+    pub start_tb: u64,
+    /// Latest tick shown.
+    pub end_tb: u64,
+    /// Lanes, PPE first then SPEs in index order.
+    pub lanes: Vec<Lane>,
+}
+
+impl Timeline {
+    /// Timeline span in ticks (at least 1 to keep renderers sane).
+    pub fn span(&self) -> u64 {
+        (self.end_tb - self.start_tb).max(1)
+    }
+}
+
+/// Which point events become markers.
+fn is_marker(core: TraceCore, code: EventCode) -> bool {
+    match core {
+        TraceCore::Ppe(_) => true, // every PPE call is a marker
+        TraceCore::Spe(_) => matches!(
+            code,
+            EventCode::SpeUser | EventCode::SpeCtxStart | EventCode::SpeStop
+        ),
+    }
+}
+
+/// Builds the timeline model from an analyzed trace.
+pub fn build_timeline(trace: &AnalyzedTrace) -> Timeline {
+    let start_tb = trace.start_tb();
+    let end_tb = trace.end_tb();
+    let mut lanes = Vec::new();
+
+    // PPE lanes (one per hardware thread that produced events).
+    let mut ppe_threads: Vec<u8> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e.core {
+            TraceCore::Ppe(t) => Some(t),
+            TraceCore::Spe(_) => None,
+        })
+        .collect();
+    ppe_threads.sort_unstable();
+    ppe_threads.dedup();
+    for t in ppe_threads {
+        let core = TraceCore::Ppe(t);
+        lanes.push(Lane {
+            label: format!("PPE.{t}"),
+            core,
+            segments: Vec::new(),
+            markers: trace
+                .core_events(core)
+                .map(|e| Marker {
+                    time_tb: e.time_tb,
+                    code: e.code,
+                })
+                .collect(),
+        });
+    }
+
+    // SPE lanes from intervals.
+    let intervals = build_intervals(trace);
+    for iv in &intervals {
+        let core = TraceCore::Spe(iv.spe);
+        let ctx = trace
+            .anchors
+            .iter()
+            .find(|a| a.spe == iv.spe)
+            .map(|a| a.ctx);
+        let label = match ctx.and_then(|c| trace.ctx_name(c)) {
+            Some(name) => format!("SPE{} ({name})", iv.spe),
+            None => format!("SPE{}", iv.spe),
+        };
+        lanes.push(Lane {
+            label,
+            core,
+            segments: iv
+                .intervals
+                .iter()
+                .map(|i| Segment {
+                    start_tb: i.start_tb,
+                    end_tb: i.end_tb,
+                    kind: i.kind,
+                })
+                .collect(),
+            markers: trace
+                .core_events(core)
+                .filter(|e| is_marker(core, e.code))
+                .map(|e| Marker {
+                    time_tb: e.time_tb,
+                    code: e.code,
+                })
+                .collect(),
+        });
+    }
+
+    Timeline {
+        start_tb,
+        end_tb,
+        lanes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{GlobalEvent, SpeAnchor};
+    use pdt::{TraceHeader, VERSION};
+
+    fn trace() -> AnalyzedTrace {
+        use EventCode::*;
+        let mk = |t: u64, core: TraceCore, code, params: Vec<u64>| GlobalEvent {
+            time_tb: t,
+            core,
+            code,
+            params,
+            stream_seq: t,
+        };
+        AnalyzedTrace {
+            header: TraceHeader {
+                version: VERSION,
+                num_ppe_threads: 1,
+                num_spes: 1,
+                core_hz: 3_200_000_000,
+                timebase_divider: 120,
+                dec_start: u32::MAX,
+                group_mask: u32::MAX,
+                spe_buffer_bytes: 2048,
+            },
+            events: vec![
+                mk(0, TraceCore::Ppe(0), PpeCtxCreate, vec![0]),
+                mk(10, TraceCore::Ppe(0), PpeCtxRun, vec![0, 0, 0]),
+                mk(10, TraceCore::Spe(0), SpeCtxStart, vec![0]),
+                mk(20, TraceCore::Spe(0), SpeTagWaitBegin, vec![1, 0]),
+                mk(60, TraceCore::Spe(0), SpeTagWaitEnd, vec![1]),
+                mk(80, TraceCore::Spe(0), SpeUser, vec![5, 0, 0]),
+                mk(100, TraceCore::Spe(0), SpeStop, vec![0]),
+            ],
+            ctx_names: vec![(0, "kern".into())],
+            anchors: vec![SpeAnchor {
+                spe: 0,
+                ctx: 0,
+                run_tb: 10,
+                dec_start: u32::MAX,
+            }],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn lanes_cover_ppe_and_spes_with_labels() {
+        let t = build_timeline(&trace());
+        assert_eq!(t.lanes.len(), 2);
+        assert_eq!(t.lanes[0].label, "PPE.0");
+        assert_eq!(t.lanes[1].label, "SPE0 (kern)");
+        assert_eq!(t.start_tb, 0);
+        assert_eq!(t.end_tb, 100);
+        assert_eq!(t.span(), 100);
+    }
+
+    #[test]
+    fn spe_lane_has_segments_and_markers() {
+        let t = build_timeline(&trace());
+        let spe = &t.lanes[1];
+        assert_eq!(spe.segments.len(), 3); // compute, dma-wait, compute
+        assert_eq!(spe.segments[1].kind, ActivityKind::DmaWait);
+        // Markers: start, user, stop.
+        assert_eq!(spe.markers.len(), 3);
+        assert!(spe
+            .markers
+            .iter()
+            .any(|m| m.code == EventCode::SpeUser && m.time_tb == 80));
+    }
+
+    #[test]
+    fn ppe_lane_is_markers_only() {
+        let t = build_timeline(&trace());
+        let ppe = &t.lanes[0];
+        assert!(ppe.segments.is_empty());
+        assert_eq!(ppe.markers.len(), 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Smoke tests of the standalone `ta-cli` binary against a real trace
+//! file on disk.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use cellsim::{
+    LsAddr, Machine, MachineConfig, PpeThreadId, SpeJob, SpmdDriver, SpuAction, SpuScript, TagId,
+    TagWaitMode,
+};
+use pdt::{TraceSession, TracingConfig};
+
+fn make_trace(path: &PathBuf, compute: u64) {
+    let mut m = Machine::new(MachineConfig::default().with_num_spes(2)).unwrap();
+    let session = TraceSession::install(TracingConfig::default(), &mut m).unwrap();
+    let jobs = (0..2)
+        .map(|i| {
+            SpeJob::new(
+                format!("cli{i}"),
+                Box::new(SpuScript::new(vec![
+                    SpuAction::DmaGet {
+                        lsa: LsAddr::new(0x8000),
+                        ea: 0x100000,
+                        size: 4096,
+                        tag: TagId::new(0).unwrap(),
+                    },
+                    SpuAction::WaitTags {
+                        mask: 1,
+                        mode: TagWaitMode::All,
+                    },
+                    SpuAction::UserEvent {
+                        id: 9,
+                        a0: pdt::markers::PHASE_BEGIN,
+                        a1: 0,
+                    },
+                    SpuAction::Compute(compute),
+                    SpuAction::UserEvent {
+                        id: 9,
+                        a0: pdt::markers::PHASE_END,
+                        a1: 0,
+                    },
+                ])),
+            )
+        })
+        .collect();
+    m.set_ppe_program(PpeThreadId::new(0), Box::new(SpmdDriver::new(jobs)));
+    m.run().unwrap();
+    session.collect(&m).write_to(path).unwrap();
+}
+
+fn cli(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ta-cli"))
+        .args(args)
+        .output()
+        .expect("run ta-cli");
+    let text =
+        String::from_utf8_lossy(&out.stdout).to_string() + &String::from_utf8_lossy(&out.stderr);
+    (out.status.success(), text)
+}
+
+#[test]
+fn summary_timeline_events_phases_and_compare() {
+    let dir = std::env::temp_dir().join(format!("ta-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let before = dir.join("before.pdt");
+    let after = dir.join("after.pdt");
+    make_trace(&before, 80_000);
+    make_trace(&after, 20_000);
+
+    let (ok, text) = cli(&["summary", before.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert!(text.contains("PDT trace summary"), "{text}");
+    assert!(text.contains("SPE0"), "{text}");
+
+    let (ok, text) = cli(&["timeline", before.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert!(text.contains("legend"), "{text}");
+
+    let svg_out = dir.join("t.svg");
+    let (ok, _) = cli(&[
+        "timeline",
+        before.to_str().unwrap(),
+        "--svg",
+        svg_out.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    assert!(std::fs::read_to_string(&svg_out)
+        .unwrap()
+        .contains("</svg>"));
+
+    let (ok, text) = cli(&["events", before.to_str().unwrap(), "--core", "spe1"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("SPE1"), "{text}");
+    assert!(!text.contains("SPE0,"), "{text}");
+
+    let (ok, text) = cli(&["phases", before.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert!(text.contains("phase 9"), "{text}");
+
+    let (ok, text) = cli(&["compare", before.to_str().unwrap(), after.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert!(text.contains("runtime:"), "{text}");
+    assert!(text.contains("x)"), "{text}");
+
+    let html_out = dir.join("report.html");
+    let (ok, text) = cli(&[
+        "report",
+        before.to_str().unwrap(),
+        html_out.to_str().unwrap(),
+    ]);
+    assert!(ok, "{text}");
+    let html = std::fs::read_to_string(&html_out).unwrap();
+    assert!(html.contains("</html>"));
+    assert!(html.contains("PDT trace report"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_reports_errors_cleanly() {
+    let (ok, text) = cli(&["summary", "/nonexistent/trace.pdt"]);
+    assert!(!ok);
+    assert!(text.contains("trace.pdt"), "{text}");
+
+    let (ok, text) = cli(&["frobnicate"]);
+    assert!(!ok);
+    assert!(text.contains("unknown command"), "{text}");
+
+    let (ok, _) = cli(&["--help"]);
+    assert!(ok);
+}

@@ -1,0 +1,180 @@
+//! Property-based tests of the analyzer: reconstruction never panics
+//! on structurally valid traces, preserves per-core order, and its
+//! interval algebra is self-consistent.
+
+use proptest::prelude::*;
+
+use pdt::{EventCode, TraceCore, TraceFile, TraceHeader, TraceRecord, TraceStream, VERSION};
+use ta::{analyze, build_intervals, compute_stats, ActivityKind};
+
+const SPE_CODES: &[EventCode] = &[
+    EventCode::SpeDmaGet,
+    EventCode::SpeDmaPut,
+    EventCode::SpeTagWaitBegin,
+    EventCode::SpeTagWaitEnd,
+    EventCode::SpeMboxReadBegin,
+    EventCode::SpeMboxReadEnd,
+    EventCode::SpeUser,
+];
+
+fn header(n_spes: u8) -> TraceHeader {
+    TraceHeader {
+        version: VERSION,
+        num_ppe_threads: 1,
+        num_spes: n_spes,
+        core_hz: 3_200_000_000,
+        timebase_divider: 120,
+        dec_start: u32::MAX,
+        group_mask: u32::MAX,
+        spe_buffer_bytes: 2048,
+    }
+}
+
+/// Builds a structurally valid trace: a PPE stream with one run record
+/// per SPE, and per-SPE streams with start/stop brackets around
+/// arbitrary middle events whose decrementer values descend by
+/// arbitrary (wrapping) steps.
+fn arb_trace() -> impl Strategy<Value = TraceFile> {
+    (
+        1u8..4,
+        prop::collection::vec(
+            prop::collection::vec((0usize..SPE_CODES.len(), 1u32..5_000), 0..40),
+            1..4,
+        ),
+    )
+        .prop_map(|(_n, per_spe)| {
+            let n = per_spe.len() as u8;
+            let mut ppe_bytes = Vec::new();
+            for spe in 0..n {
+                TraceRecord {
+                    core: TraceCore::Ppe(0),
+                    code: EventCode::PpeCtxRun,
+                    timestamp: 100 + spe as u64 * 37,
+                    params: vec![spe as u64, spe as u64, u32::MAX as u64],
+                }
+                .encode_into(&mut ppe_bytes);
+            }
+            let mut streams = vec![TraceStream {
+                core: TraceCore::Ppe(0),
+                bytes: ppe_bytes,
+                dropped: 0,
+            }];
+            for (spe, middle) in per_spe.iter().enumerate() {
+                let mut dec = u32::MAX;
+                let mut bytes = Vec::new();
+                let mut push = |code: EventCode, dec: u32, params: Vec<u64>| {
+                    TraceRecord {
+                        core: TraceCore::Spe(spe as u8),
+                        code,
+                        timestamp: dec as u64,
+                        params,
+                    }
+                    .encode_into(&mut bytes);
+                };
+                push(EventCode::SpeCtxStart, dec, vec![spe as u64]);
+                for (code_i, step) in middle {
+                    dec = dec.wrapping_sub(*step);
+                    let code = SPE_CODES[*code_i];
+                    let params = match code {
+                        EventCode::SpeDmaGet | EventCode::SpeDmaPut => {
+                            vec![0x1000, 0, 4096, (*step % 32) as u64]
+                        }
+                        EventCode::SpeTagWaitBegin => vec![(*step % 0xffff) as u64, 0],
+                        EventCode::SpeTagWaitEnd => vec![(*step % 0xffff) as u64],
+                        EventCode::SpeMboxReadBegin => vec![],
+                        EventCode::SpeMboxReadEnd => vec![*step as u64],
+                        _ => vec![1, 2, 3],
+                    };
+                    push(code, dec, params);
+                }
+                dec = dec.wrapping_sub(1);
+                push(EventCode::SpeStop, dec, vec![0]);
+                streams.push(TraceStream {
+                    core: TraceCore::Spe(spe as u8),
+                    bytes,
+                    dropped: 0,
+                });
+            }
+            TraceFile {
+                header: header(n),
+                streams,
+                ctx_names: (0..n as u32).map(|c| (c, format!("k{c}"))).collect(),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn analysis_is_total_and_order_preserving(trace in arb_trace()) {
+        let analyzed = analyze(&trace).expect("valid traces analyze");
+        // Global order is sorted.
+        prop_assert!(analyzed
+            .events
+            .windows(2)
+            .all(|w| w[0].time_tb <= w[1].time_tb));
+        // Per-core recording order survives the merge.
+        for spe in analyzed.spes() {
+            let seqs: Vec<u64> = analyzed
+                .core_events(TraceCore::Spe(spe))
+                .map(|e| e.stream_seq)
+                .collect();
+            prop_assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Stats never panic; intervals tile each active window.
+        let stats = compute_stats(&analyzed);
+        prop_assert!(stats.mean_utilization() >= 0.0 && stats.mean_utilization() <= 1.0);
+        for iv in build_intervals(&analyzed) {
+            let mut cursor = iv.start_tb;
+            for seg in &iv.intervals {
+                prop_assert_eq!(seg.start_tb, cursor);
+                cursor = seg.end_tb;
+            }
+            prop_assert_eq!(cursor, iv.stop_tb);
+            let sum: u64 = [
+                ActivityKind::Compute,
+                ActivityKind::DmaWait,
+                ActivityKind::MboxWait,
+                ActivityKind::SignalWait,
+            ]
+            .iter()
+            .map(|k| iv.total(*k))
+            .sum();
+            prop_assert_eq!(sum, iv.active());
+        }
+        // The renderers accept whatever came out.
+        let tl = ta::build_timeline(&analyzed);
+        prop_assert!(ta::render_svg(&tl, &ta::SvgOptions::default()).ends_with("</svg>\n"));
+        prop_assert!(ta::render_ascii(&tl, 40).contains("legend"));
+        // Round-trip through bytes is lossless.
+        let again = TraceFile::from_bytes(&trace.to_bytes()).unwrap();
+        prop_assert_eq!(again, trace);
+    }
+
+    #[test]
+    fn window_clipping_conserves_ticks(
+        trace in arb_trace(),
+        cut in 0u64..10_000,
+    ) {
+        let analyzed = analyze(&trace).unwrap();
+        for iv in build_intervals(&analyzed) {
+            let mid = iv.start_tb + cut.min(iv.active());
+            let left = iv.clip(0, mid);
+            let right = iv.clip(mid, u64::MAX);
+            for kind in [
+                ActivityKind::Compute,
+                ActivityKind::DmaWait,
+                ActivityKind::MboxWait,
+                ActivityKind::SignalWait,
+            ] {
+                prop_assert_eq!(
+                    left.total(kind) + right.total(kind),
+                    iv.total(kind),
+                    "kind {:?} not conserved across the cut",
+                    kind
+                );
+            }
+        }
+    }
+}

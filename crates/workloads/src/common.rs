@@ -1,0 +1,213 @@
+//! Common workload infrastructure: the [`Workload`] trait, the runner,
+//! seeded data generation and memory-layout constants.
+
+use cellsim::{Machine, MachineConfig, PpeProgram, PpeThreadId, RunReport, SimError};
+use pdt::{TraceFile, TraceSession, TracingConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload data lives below this address; PDT trace regions start at
+/// it (see [`pdt::TracingConfig::region_base`]).
+pub const DATA_BASE: u64 = 0x0010_0000;
+
+/// Upper bound of the workload data region.
+pub const DATA_LIMIT: u64 = 0x0800_0000;
+
+/// A runnable Cell workload: stages its inputs into simulated memory,
+/// provides the PPE driver program, and verifies its outputs after the
+/// run.
+pub trait Workload {
+    /// Short name used in reports.
+    fn name(&self) -> &str;
+
+    /// Writes inputs into main memory and returns the PPE program that
+    /// drives the run.
+    fn stage(&self, machine: &mut Machine) -> Box<dyn PpeProgram>;
+
+    /// Checks the outputs in main memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first mismatch.
+    fn verify(&self, machine: &Machine) -> Result<(), String>;
+}
+
+/// Everything a workload run produces.
+pub struct WorkloadResult {
+    /// The machine after the run (for memory inspection).
+    pub machine: Machine,
+    /// The simulator's report.
+    pub report: RunReport,
+    /// The PDT trace, when tracing was enabled.
+    pub trace: Option<TraceFile>,
+}
+
+impl std::fmt::Debug for WorkloadResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadResult")
+            .field("cycles", &self.report.cycles)
+            .field("traced", &self.trace.is_some())
+            .finish()
+    }
+}
+
+/// Runs a workload on a machine, optionally under PDT tracing, and
+/// verifies its outputs.
+///
+/// # Errors
+///
+/// Returns [`SimError`] from the simulation, or a
+/// [`SimError::Runtime`] wrapping a verification failure.
+pub fn run_workload(
+    workload: &dyn Workload,
+    mcfg: MachineConfig,
+    tracing: Option<TracingConfig>,
+) -> Result<WorkloadResult, SimError> {
+    let mut machine = Machine::new(mcfg)?;
+    let session = match tracing {
+        Some(tcfg) => {
+            Some(
+                TraceSession::install(tcfg, &mut machine).map_err(|e| SimError::Runtime {
+                    detail: format!("tracing setup failed: {e}"),
+                })?,
+            )
+        }
+        None => None,
+    };
+    let driver = workload.stage(&mut machine);
+    machine.set_ppe_program(PpeThreadId::new(0), driver);
+    let report = machine.run()?;
+    workload
+        .verify(&machine)
+        .map_err(|detail| SimError::Runtime {
+            detail: format!("{} verification failed: {detail}", workload.name()),
+        })?;
+    let trace = session.map(|s| s.collect(&machine));
+    Ok(WorkloadResult {
+        machine,
+        report,
+        trace,
+    })
+}
+
+/// Deterministic data generator.
+#[derive(Debug)]
+pub struct DataGen {
+    rng: StdRng,
+}
+
+impl DataGen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        DataGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// `n` uniform f32 values in [-1, 1).
+    pub fn f32_vec(&mut self, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    /// A power-law-ish row-length distribution with mean roughly
+    /// `mean`, capped at `max` (models irregular sparse rows).
+    pub fn skewed_lengths(&mut self, n: usize, mean: usize, max: usize) -> Vec<usize> {
+        (0..n)
+            .map(|_| {
+                // Pareto-like: u^(-0.7) scaled, clamped.
+                let u: f64 = self.rng.gen_range(0.05..1.0);
+                let v = (mean as f64 * 0.45 * u.powf(-0.7)) as usize;
+                v.clamp(1, max)
+            })
+            .collect()
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    pub fn index(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..hi)
+    }
+}
+
+/// Builds the GET commands that fetch an arbitrary byte span
+/// `[ea, ea+bytes)` into a local-store buffer, obeying the MFC rules
+/// (sizes multiple of 16 up to 16 KiB, address congruence mod 16).
+///
+/// The span is widened to 16-byte boundaries — the caller's arrays must
+/// tolerate up to 15 bytes of over-read on each side (keep 16 bytes of
+/// padding around packed arrays). Returns the actions (all on `tag`)
+/// and the offset within the buffer where the requested data starts.
+pub fn dma_get_span(
+    buf: cellsim::LsAddr,
+    ea: u64,
+    bytes: u64,
+    tag: cellsim::TagId,
+) -> (Vec<cellsim::SpuAction>, u32) {
+    let ea0 = ea & !0xf;
+    let lead = ea - ea0;
+    let total = (bytes + lead + 15) & !0xf;
+    let mut actions = Vec::new();
+    let mut off = 0u64;
+    while off < total {
+        let size = (total - off).min(16 * 1024) as u32;
+        actions.push(cellsim::SpuAction::DmaGet {
+            lsa: buf.offset(off as u32),
+            ea: ea0 + off,
+            size,
+            tag,
+        });
+        off += size as u64;
+    }
+    (actions, lead as u32)
+}
+
+/// Asserts two f32 slices match within `tol` absolute error.
+///
+/// # Errors
+///
+/// Returns the first offending index and values.
+pub fn check_f32(got: &[f32], want: &[f32], tol: f32) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("length {} != {}", got.len(), want.len()));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if (g - w).abs() > tol {
+            return Err(format!("index {i}: got {g}, want {w} (tol {tol})"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datagen_is_deterministic() {
+        let a = DataGen::new(7).f32_vec(16);
+        let b = DataGen::new(7).f32_vec(16);
+        assert_eq!(a, b);
+        let c = DataGen::new(8).f32_vec(16);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skewed_lengths_are_bounded_and_skewed() {
+        let mut g = DataGen::new(1);
+        let lens = g.skewed_lengths(500, 32, 256);
+        assert!(lens.iter().all(|&l| (1..=256).contains(&l)));
+        let max = *lens.iter().max().unwrap();
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!(
+            max as f64 > mean * 2.5,
+            "distribution should be skewed: max {max} mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn check_f32_detects_mismatch() {
+        assert!(check_f32(&[1.0, 2.0], &[1.0, 2.0], 1e-6).is_ok());
+        let err = check_f32(&[1.0, 2.5], &[1.0, 2.0], 1e-3).unwrap_err();
+        assert!(err.contains("index 1"));
+        assert!(check_f32(&[1.0], &[1.0, 2.0], 1e-3).is_err());
+    }
+}

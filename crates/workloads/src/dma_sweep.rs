@@ -1,0 +1,263 @@
+//! DMA transfer-size microbenchmark (experiment E7).
+//!
+//! Each SPE issues a fixed count of GETs of one size, waiting for each
+//! before the next, so the observed per-transfer latency in the trace
+//! is the true transfer latency. Sweeping the size reproduces the
+//! classic Cell curve: achieved bandwidth rises steeply with DMA size
+//! until it saturates near 16 KiB.
+
+use cellsim::{
+    LsAddr, Machine, PpeProgram, SpeJob, SpmdDriver, SpuAction, SpuEnv, SpuProgram, SpuWake, TagId,
+    TagWaitMode,
+};
+
+use crate::common::{DataGen, Workload, DATA_BASE};
+
+/// Sweep-point parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DmaSweepConfig {
+    /// Transfer size in bytes (a valid DMA size).
+    pub size: u32,
+    /// Transfers per SPE.
+    pub count: usize,
+    /// SPEs issuing concurrently (1 isolates latency, 8 shows
+    /// contention).
+    pub spes: usize,
+    /// Data seed.
+    pub seed: u64,
+}
+
+impl Default for DmaSweepConfig {
+    fn default() -> Self {
+        DmaSweepConfig {
+            size: 4096,
+            count: 64,
+            spes: 1,
+            seed: 99,
+        }
+    }
+}
+
+/// The sweep workload.
+#[derive(Debug, Clone, Copy)]
+pub struct DmaSweepWorkload {
+    /// Parameters.
+    pub cfg: DmaSweepConfig,
+}
+
+impl DmaSweepWorkload {
+    /// Creates the workload.
+    pub fn new(cfg: DmaSweepConfig) -> Self {
+        assert!(cellsim::dma::valid_dma_size(cfg.size), "invalid DMA size");
+        assert!(cfg.size >= 16, "sweep sizes start at 16 bytes");
+        DmaSweepWorkload { cfg }
+    }
+
+    fn region(&self, spe: usize) -> u64 {
+        DATA_BASE + spe as u64 * 0x40_0000
+    }
+
+    fn checksum_ea(&self, spe: usize) -> u64 {
+        self.region(spe) + 0x20_0000
+    }
+
+    fn input(&self, spe: usize) -> Vec<f32> {
+        let elems = self.cfg.size as usize / 4;
+        DataGen::new(self.cfg.seed + spe as u64).f32_vec(elems * self.cfg.count)
+    }
+
+    fn expected_checksum(&self, spe: usize) -> f32 {
+        // The kernel sums the first element of every block it fetched.
+        let elems = self.cfg.size as usize / 4;
+        let data = self.input(spe);
+        (0..self.cfg.count).map(|k| data[k * elems]).sum()
+    }
+}
+
+impl Workload for DmaSweepWorkload {
+    fn name(&self) -> &str {
+        "dma-sweep"
+    }
+
+    fn stage(&self, machine: &mut Machine) -> Box<dyn PpeProgram> {
+        let jobs = (0..self.cfg.spes)
+            .map(|s| {
+                machine
+                    .mem_mut()
+                    .write_f32_slice(self.region(s), &self.input(s))
+                    .unwrap();
+                SpeJob::new(
+                    format!("sweep{s}"),
+                    Box::new(SweepKernel {
+                        cfg: self.cfg,
+                        base: self.region(s),
+                        checksum_ea: self.checksum_ea(s),
+                        k: 0,
+                        sum: 0.0,
+                        phase: SweepPhase::Init,
+                        buf: LsAddr::new(0),
+                    }) as Box<dyn SpuProgram>,
+                )
+            })
+            .collect();
+        Box::new(SpmdDriver::new(jobs))
+    }
+
+    fn verify(&self, machine: &Machine) -> Result<(), String> {
+        for s in 0..self.cfg.spes {
+            let got = machine
+                .mem()
+                .read_f32_slice(self.checksum_ea(s), 1)
+                .map_err(|e| e.to_string())?[0];
+            let want = self.expected_checksum(s);
+            if (got - want).abs() > want.abs() * 1e-4 + 1e-3 {
+                return Err(format!("SPE{s}: checksum {got} != {want}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SweepPhase {
+    Init,
+    GetIssued,
+    GetWait,
+    PutChecksum,
+    PutWait,
+}
+
+#[derive(Debug)]
+struct SweepKernel {
+    cfg: DmaSweepConfig,
+    base: u64,
+    checksum_ea: u64,
+    k: usize,
+    sum: f32,
+    phase: SweepPhase,
+    buf: LsAddr,
+}
+
+impl SpuProgram for SweepKernel {
+    fn resume(&mut self, _wake: SpuWake, env: SpuEnv<'_>) -> SpuAction {
+        let tag = TagId::new(0).unwrap();
+        loop {
+            match self.phase {
+                SweepPhase::Init => {
+                    let alloc = self.cfg.size.max(16);
+                    self.buf = env.ls.alloc(alloc, 128, "buf").unwrap();
+                    self.phase = SweepPhase::GetIssued;
+                    return SpuAction::DmaGet {
+                        lsa: self.buf,
+                        ea: self.base,
+                        size: self.cfg.size,
+                        tag,
+                    };
+                }
+                SweepPhase::GetIssued => {
+                    self.phase = SweepPhase::GetWait;
+                    return SpuAction::WaitTags {
+                        mask: tag.mask_bit(),
+                        mode: TagWaitMode::All,
+                    };
+                }
+                SweepPhase::GetWait => {
+                    self.sum += env.ls.read_f32_slice(self.buf, 1).unwrap()[0];
+                    self.k += 1;
+                    if self.k < self.cfg.count {
+                        self.phase = SweepPhase::GetIssued;
+                        return SpuAction::DmaGet {
+                            lsa: self.buf,
+                            ea: self.base + (self.k as u64) * self.cfg.size as u64,
+                            size: self.cfg.size,
+                            tag,
+                        };
+                    }
+                    self.phase = SweepPhase::PutChecksum;
+                }
+                SweepPhase::PutChecksum => {
+                    env.ls
+                        .write_f32_slice(self.buf, &[self.sum, 0.0, 0.0, 0.0])
+                        .unwrap();
+                    self.phase = SweepPhase::PutWait;
+                    return SpuAction::DmaPut {
+                        lsa: self.buf,
+                        ea: self.checksum_ea,
+                        size: 16,
+                        tag,
+                    };
+                }
+                SweepPhase::PutWait => {
+                    if matches!(_wake, SpuWake::TagsDone(_)) {
+                        return SpuAction::Stop(0);
+                    }
+                    return SpuAction::WaitTags {
+                        mask: tag.mask_bit(),
+                        mode: TagWaitMode::All,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+    use cellsim::MachineConfig;
+
+    #[test]
+    fn sweep_point_verifies() {
+        let w = DmaSweepWorkload::new(DmaSweepConfig::default());
+        run_workload(&w, MachineConfig::default().with_num_spes(1), None).unwrap();
+    }
+
+    #[test]
+    fn larger_transfers_achieve_higher_bandwidth() {
+        let run = |size: u32| {
+            let w = DmaSweepWorkload::new(DmaSweepConfig {
+                size,
+                count: 64,
+                spes: 1,
+                seed: 1,
+            });
+            let r = run_workload(&w, MachineConfig::default().with_num_spes(1), None).unwrap();
+            let bytes = 64u64 * size as u64;
+            bytes as f64 / r.report.cycles as f64
+        };
+        let bw_small = run(128);
+        let bw_large = run(16384);
+        assert!(
+            bw_large > bw_small * 5.0,
+            "bandwidth must rise with size: {bw_small:.3} vs {bw_large:.3} B/cyc"
+        );
+    }
+
+    #[test]
+    fn contention_slows_per_spe_bandwidth() {
+        let run = |spes: usize| {
+            let w = DmaSweepWorkload::new(DmaSweepConfig {
+                size: 16384,
+                count: 32,
+                spes,
+                seed: 2,
+            });
+            let r = run_workload(
+                &w,
+                MachineConfig::default().with_num_spes(spes.max(1)),
+                None,
+            )
+            .unwrap();
+            r.report.cycles
+        };
+        let alone = run(1);
+        let contended = run(8);
+        // 8 SPEs hammering the MIC serialize: total time grows well
+        // beyond the single-SPE case.
+        assert!(
+            contended as f64 > alone as f64 * 3.0,
+            "MIC contention: {alone} vs {contended}"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! User-event-rate microbenchmark (experiment E3).
+//!
+//! The kernel alternates `Compute(gap)` with a user trace event, so the
+//! event rate is `clock / (gap + event_cost)`. Sweeping `gap` maps out
+//! runtime dilation as a function of event frequency — the core of the
+//! paper's overhead discussion.
+
+use cellsim::{Machine, PpeProgram, SpeJob, SpmdDriver, SpuAction, SpuEnv, SpuProgram, SpuWake};
+
+use crate::common::Workload;
+
+/// Event-rate parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EventRateConfig {
+    /// User events emitted per SPE.
+    pub events: usize,
+    /// Compute cycles between events.
+    pub gap_cycles: u64,
+    /// SPEs to use.
+    pub spes: usize,
+}
+
+impl Default for EventRateConfig {
+    fn default() -> Self {
+        EventRateConfig {
+            events: 1000,
+            gap_cycles: 2000,
+            spes: 1,
+        }
+    }
+}
+
+impl EventRateConfig {
+    /// The untraced runtime floor per SPE, in cycles.
+    pub fn compute_floor(&self) -> u64 {
+        self.events as u64 * self.gap_cycles
+    }
+}
+
+/// The event-rate workload.
+#[derive(Debug, Clone, Copy)]
+pub struct EventRateWorkload {
+    /// Parameters.
+    pub cfg: EventRateConfig,
+}
+
+impl EventRateWorkload {
+    /// Creates the workload.
+    pub fn new(cfg: EventRateConfig) -> Self {
+        EventRateWorkload { cfg }
+    }
+}
+
+#[derive(Debug)]
+struct EventKernel {
+    remaining: usize,
+    gap: u64,
+    emit_next: bool,
+}
+
+impl SpuProgram for EventKernel {
+    fn resume(&mut self, _wake: SpuWake, _env: SpuEnv<'_>) -> SpuAction {
+        if self.remaining == 0 {
+            return SpuAction::Stop(0);
+        }
+        if self.emit_next {
+            self.emit_next = false;
+            self.remaining -= 1;
+            SpuAction::UserEvent {
+                id: 1,
+                a0: self.remaining as u64,
+                a1: 0,
+            }
+        } else {
+            self.emit_next = true;
+            SpuAction::Compute(self.gap)
+        }
+    }
+}
+
+impl Workload for EventRateWorkload {
+    fn name(&self) -> &str {
+        "event-rate"
+    }
+
+    fn stage(&self, _machine: &mut Machine) -> Box<dyn PpeProgram> {
+        let jobs = (0..self.cfg.spes)
+            .map(|s| {
+                SpeJob::new(
+                    format!("events{s}"),
+                    Box::new(EventKernel {
+                        remaining: self.cfg.events,
+                        gap: self.cfg.gap_cycles,
+                        emit_next: false,
+                    }) as Box<dyn SpuProgram>,
+                )
+            })
+            .collect();
+        Box::new(SpmdDriver::new(jobs))
+    }
+
+    fn verify(&self, _machine: &Machine) -> Result<(), String> {
+        // Pure timing microbenchmark: nothing to check in memory.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+    use cellsim::MachineConfig;
+    use pdt::{GroupMask, TraceCore, TracingConfig};
+
+    #[test]
+    fn untraced_run_matches_compute_floor() {
+        let cfg = EventRateConfig {
+            events: 100,
+            gap_cycles: 1000,
+            spes: 1,
+        };
+        let w = EventRateWorkload::new(cfg);
+        let r = run_workload(&w, MachineConfig::default().with_num_spes(1), None).unwrap();
+        // Floor plus context start/stop overheads only.
+        let floor = cfg.compute_floor();
+        assert!(r.report.cycles >= floor);
+        assert!(
+            r.report.cycles < floor + 100_000,
+            "untraced events must be nearly free: {} vs floor {floor}",
+            r.report.cycles
+        );
+    }
+
+    #[test]
+    fn traced_events_land_in_the_trace() {
+        let cfg = EventRateConfig {
+            events: 50,
+            gap_cycles: 500,
+            spes: 1,
+        };
+        let w = EventRateWorkload::new(cfg);
+        let r = run_workload(
+            &w,
+            MachineConfig::default().with_num_spes(1),
+            Some(TracingConfig::default().with_groups(GroupMask::user_only())),
+        )
+        .unwrap();
+        let trace = r.trace.unwrap();
+        let recs = trace.stream(TraceCore::Spe(0)).unwrap().records().unwrap();
+        let user = recs
+            .iter()
+            .filter(|r| r.code == pdt::EventCode::SpeUser)
+            .count();
+        assert_eq!(user, 50);
+    }
+
+    #[test]
+    fn higher_event_rate_costs_more() {
+        let run = |gap: u64| {
+            let w = EventRateWorkload::new(EventRateConfig {
+                events: 500,
+                gap_cycles: gap,
+                spes: 1,
+            });
+            let traced = run_workload(
+                &w,
+                MachineConfig::default().with_num_spes(1),
+                Some(TracingConfig::default()),
+            )
+            .unwrap()
+            .report
+            .cycles;
+            let base = run_workload(&w, MachineConfig::default().with_num_spes(1), None)
+                .unwrap()
+                .report
+                .cycles;
+            (traced - base) as f64 / base as f64
+        };
+        let dense = run(500);
+        let sparse = run(8000);
+        assert!(
+            dense > sparse * 4.0,
+            "relative overhead must grow with event rate: dense {dense:.3} sparse {sparse:.3}"
+        );
+    }
+}

@@ -1,0 +1,681 @@
+//! Distributed four-step FFT — the analogue of the paper's FFT16M
+//! workload.
+//!
+//! A length-`N = n1·n2` complex FFT decomposed Bailey-style over a
+//! row-major `n1 × n2` matrix:
+//!
+//! 1. **Column FFTs** — each SPE gathers its columns with DMA *lists*
+//!    (stride `n2` complex elements), performs `n1`-point FFTs,
+//!    applies the `W_N^{j1·k2}` twiddles, and scatters back.
+//! 2. **Barrier** — SPEs report to the PPE through their outbound
+//!    mailboxes; the PPE releases them through the inbound mailboxes
+//!    (the mailbox-coordination pattern the PDT traces).
+//! 3. **Row FFTs** — each SPE streams its contiguous rows with plain
+//!    DMA, performing `n2`-point FFTs in place.
+//!
+//! The result `Z[j1][j2]` holds the DFT in transposed order:
+//! `X[j1 + n1·j2] = Z[j1][j2]`, verified against a naive DFT.
+
+use std::f64::consts::PI;
+
+use cellsim::{
+    CtxId, DmaListElem, LsAddr, Machine, PpeAction, PpeEnv, PpeProgram, PpeWake, SpuAction, SpuEnv,
+    SpuProgram, SpuWake, TagId, TagWaitMode,
+};
+
+use crate::common::{DataGen, Workload, DATA_BASE};
+
+/// A complex number in f32 (storage) with f64 twiddle math.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub fn new(re: f32, im: f32) -> Self {
+        Complex { re, im }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f32 {
+        (self.re * self.re + self.im * self.im).sqrt()
+    }
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    fn add(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
+    }
+
+    fn sub(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
+    }
+}
+
+/// `e^{-2πi k / n}` computed in f64 for accuracy.
+pub fn twiddle(k: usize, n: usize) -> Complex {
+    let ang = -2.0 * PI * (k % n) as f64 / n as f64;
+    Complex {
+        re: ang.cos() as f32,
+        im: ang.sin() as f32,
+    }
+}
+
+/// In-place radix-2 decimation-in-time FFT.
+///
+/// # Panics
+///
+/// Panics unless the length is a power of two.
+pub fn fft_inplace(a: &mut [Complex]) {
+    let n = a.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            a.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        for i in (0..n).step_by(len) {
+            for k in 0..half {
+                let w = twiddle(k, len);
+                let u = a[i + k];
+                let v = a[i + k + half].mul(w);
+                a[i + k] = u.add(v);
+                a[i + k + half] = u.sub(v);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive O(N²) DFT reference.
+pub fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|j| {
+            let mut acc = Complex::default();
+            for (k, v) in x.iter().enumerate() {
+                acc = acc.add(v.mul(twiddle((j * k) % n, n)));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Host-side four-step FFT over a row-major `n1 × n2` matrix; returns
+/// `Z` with `X[j1 + n1·j2] = Z[j1][j2]`.
+pub fn four_step_reference(x: &[Complex], n1: usize, n2: usize) -> Vec<Complex> {
+    assert_eq!(x.len(), n1 * n2);
+    let n = n1 * n2;
+    let mut m = x.to_vec();
+    // Step 1+2: column FFTs and twiddles.
+    for c in 0..n2 {
+        let mut col: Vec<Complex> = (0..n1).map(|r| m[r * n2 + c]).collect();
+        fft_inplace(&mut col);
+        for (j1, v) in col.iter_mut().enumerate() {
+            *v = v.mul(twiddle(j1 * c, n));
+        }
+        for (r, v) in col.iter().enumerate() {
+            m[r * n2 + c] = *v;
+        }
+    }
+    // Step 3: row FFTs.
+    for r in 0..n1 {
+        fft_inplace(&mut m[r * n2..(r + 1) * n2]);
+    }
+    m
+}
+
+/// Modeled SPU cycles for one `n`-point FFT (5·n·log₂n flops at 8
+/// flops per cycle).
+pub fn fft_cycles(n: usize) -> u64 {
+    let logn = n.trailing_zeros() as u64;
+    (5 * n as u64 * logn) / 8
+}
+
+/// FFT workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FftConfig {
+    /// Matrix rows (power of two; column-FFT length).
+    pub n1: usize,
+    /// Matrix columns (power of two; row-FFT length, row must fit one
+    /// DMA: `n2 ≤ 2048`).
+    pub n2: usize,
+    /// SPEs to use.
+    pub spes: usize,
+    /// Data seed.
+    pub seed: u64,
+}
+
+impl Default for FftConfig {
+    fn default() -> Self {
+        FftConfig {
+            n1: 64,
+            n2: 64,
+            spes: 4,
+            seed: 31,
+        }
+    }
+}
+
+impl FftConfig {
+    /// Total points.
+    pub fn n(&self) -> usize {
+        self.n1 * self.n2
+    }
+
+    fn base(&self) -> u64 {
+        DATA_BASE
+    }
+}
+
+/// The FFT workload.
+#[derive(Debug, Clone, Copy)]
+pub struct FftWorkload {
+    /// Parameters.
+    pub cfg: FftConfig,
+}
+
+impl FftWorkload {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid dimensions.
+    pub fn new(cfg: FftConfig) -> Self {
+        assert!(cfg.n1.is_power_of_two() && cfg.n2.is_power_of_two());
+        assert!(cfg.n2 * 8 <= 16 * 1024, "a row must fit one DMA");
+        assert!(cfg.n1 * 8 <= 16 * 1024, "a column must fit the LS buffer");
+        FftWorkload { cfg }
+    }
+
+    /// The staged input signal.
+    pub fn input(&self) -> Vec<Complex> {
+        let mut g = DataGen::new(self.cfg.seed);
+        let raw = g.f32_vec(2 * self.cfg.n());
+        raw.chunks_exact(2)
+            .map(|c| Complex::new(c[0], c[1]))
+            .collect()
+    }
+}
+
+fn write_complex(machine: &mut Machine, ea: u64, data: &[Complex]) {
+    let flat: Vec<f32> = data.iter().flat_map(|c| [c.re, c.im]).collect();
+    machine.mem_mut().write_f32_slice(ea, &flat).unwrap();
+}
+
+fn read_complex(machine: &Machine, ea: u64, n: usize) -> Vec<Complex> {
+    let flat = machine.mem().read_f32_slice(ea, 2 * n).unwrap();
+    flat.chunks_exact(2)
+        .map(|c| Complex::new(c[0], c[1]))
+        .collect()
+}
+
+impl Workload for FftWorkload {
+    fn name(&self) -> &str {
+        "fft"
+    }
+
+    fn stage(&self, machine: &mut Machine) -> Box<dyn PpeProgram> {
+        write_complex(machine, self.cfg.base(), &self.input());
+        let kernels = (0..self.cfg.spes)
+            .map(|s| Box::new(FftKernel::new(self.cfg, s)) as Box<dyn SpuProgram>)
+            .collect();
+        Box::new(FftDriver::new(kernels))
+    }
+
+    fn verify(&self, machine: &Machine) -> Result<(), String> {
+        let got = read_complex(machine, self.cfg.base(), self.cfg.n());
+        let want = naive_dft(&self.input());
+        let scale = want.iter().map(|c| c.abs()).fold(0.0f32, f32::max);
+        let tol = scale * 2e-4 + 1e-3;
+        for j1 in 0..self.cfg.n1 {
+            for j2 in 0..self.cfg.n2 {
+                let z = got[j1 * self.cfg.n2 + j2];
+                let x = want[j1 + self.cfg.n1 * j2];
+                let err = z.sub(x).abs();
+                if err > tol {
+                    return Err(format!(
+                        "Z[{j1}][{j2}] = ({}, {}) vs X = ({}, {}), err {err} > tol {tol}",
+                        z.re, z.im, x.re, x.im
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// PPE driver with a mailbox barrier
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DriverPhase {
+    Create(usize),
+    Run(usize),
+    BarrierCollect(usize),
+    BarrierRelease(usize),
+    Join(usize),
+    Done,
+}
+
+/// PPE driver: start all kernels, run one collect/release mailbox
+/// barrier between the FFT phases, join.
+struct FftDriver {
+    kernels: Vec<Option<Box<dyn SpuProgram>>>,
+    ctxs: Vec<CtxId>,
+    phase: DriverPhase,
+}
+
+impl std::fmt::Debug for FftDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FftDriver")
+            .field("phase", &self.phase)
+            .finish()
+    }
+}
+
+impl FftDriver {
+    fn new(kernels: Vec<Box<dyn SpuProgram>>) -> Self {
+        FftDriver {
+            kernels: kernels.into_iter().map(Some).collect(),
+            ctxs: Vec::new(),
+            phase: DriverPhase::Create(0),
+        }
+    }
+
+    fn emit(&mut self) -> PpeAction {
+        match self.phase {
+            DriverPhase::Create(i) => PpeAction::CreateContext {
+                name: format!("fft{i}"),
+                program: self.kernels[i].take().expect("kernel consumed once"),
+            },
+            DriverPhase::Run(i) => PpeAction::RunContext(self.ctxs[i]),
+            DriverPhase::BarrierCollect(i) => PpeAction::ReadOutMbox { ctx: self.ctxs[i] },
+            DriverPhase::BarrierRelease(i) => PpeAction::WriteInMbox {
+                ctx: self.ctxs[i],
+                value: 1,
+            },
+            DriverPhase::Join(i) => PpeAction::WaitStop { ctx: self.ctxs[i] },
+            DriverPhase::Done => PpeAction::Halt,
+        }
+    }
+}
+
+impl PpeProgram for FftDriver {
+    fn resume(&mut self, wake: PpeWake, _env: PpeEnv<'_>) -> PpeAction {
+        let n = self.kernels.len();
+        match wake {
+            PpeWake::Start => {}
+            PpeWake::ContextCreated(c) => {
+                let DriverPhase::Create(i) = self.phase else {
+                    panic!("unexpected ContextCreated")
+                };
+                self.ctxs.push(c);
+                self.phase = DriverPhase::Run(i);
+            }
+            PpeWake::ContextStarted(_) => {
+                let DriverPhase::Run(i) = self.phase else {
+                    panic!("unexpected ContextStarted")
+                };
+                self.phase = if i + 1 < n {
+                    DriverPhase::Create(i + 1)
+                } else {
+                    DriverPhase::BarrierCollect(0)
+                };
+            }
+            PpeWake::OutMbox(_) => {
+                let DriverPhase::BarrierCollect(i) = self.phase else {
+                    panic!("unexpected OutMbox")
+                };
+                self.phase = if i + 1 < n {
+                    DriverPhase::BarrierCollect(i + 1)
+                } else {
+                    DriverPhase::BarrierRelease(0)
+                };
+            }
+            PpeWake::MboxWritten => {
+                let DriverPhase::BarrierRelease(i) = self.phase else {
+                    panic!("unexpected MboxWritten")
+                };
+                self.phase = if i + 1 < n {
+                    DriverPhase::BarrierRelease(i + 1)
+                } else {
+                    DriverPhase::Join(0)
+                };
+            }
+            PpeWake::Stopped { .. } => {
+                let DriverPhase::Join(i) = self.phase else {
+                    panic!("unexpected Stopped")
+                };
+                self.phase = if i + 1 < n {
+                    DriverPhase::Join(i + 1)
+                } else {
+                    DriverPhase::Done
+                };
+            }
+            other => panic!("FftDriver: unexpected wake {other:?}"),
+        }
+        self.emit()
+    }
+}
+
+// ---------------------------------------------------------------------
+// SPU kernel
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KernelPhase {
+    Init,
+    ColGatherWait,
+    ColComputeDone,
+    ColScatterWait,
+    BarrierArrive,
+    BarrierWait,
+    RowGetWait,
+    RowComputeDone,
+    RowPutWait,
+}
+
+const TAG: u8 = 0;
+
+/// Per-SPE four-step FFT kernel.
+#[derive(Debug)]
+struct FftKernel {
+    cfg: FftConfig,
+    phase: KernelPhase,
+    col: usize, // current column (strided by spes)
+    row: usize, // current row (strided by spes)
+    buf: LsAddr,
+}
+
+impl FftKernel {
+    fn new(cfg: FftConfig, spe: usize) -> Self {
+        FftKernel {
+            cfg,
+            phase: KernelPhase::Init,
+            col: spe,
+            row: spe,
+            buf: LsAddr::new(0),
+        }
+    }
+
+    fn column_list(&self, c: usize) -> Vec<DmaListElem> {
+        (0..self.cfg.n1)
+            .map(|r| DmaListElem {
+                ea: self.cfg.base() + ((r * self.cfg.n2 + c) as u64) * 8,
+                size: 8,
+            })
+            .collect()
+    }
+
+    fn gather_column(&self, c: usize) -> SpuAction {
+        SpuAction::DmaGetList {
+            lsa: self.buf,
+            list: self.column_list(c),
+            tag: TagId::new(TAG).unwrap(),
+        }
+    }
+
+    fn scatter_column(&self, c: usize) -> SpuAction {
+        SpuAction::DmaPutList {
+            lsa: self.buf,
+            list: self.column_list(c),
+            tag: TagId::new(TAG).unwrap(),
+        }
+    }
+
+    fn wait(&self) -> SpuAction {
+        SpuAction::WaitTags {
+            mask: 1 << TAG,
+            mode: TagWaitMode::All,
+        }
+    }
+
+    fn ls_complex(&self, env: &SpuEnv<'_>, n: usize) -> Vec<Complex> {
+        env.ls
+            .read_f32_slice(self.buf, 2 * n)
+            .unwrap()
+            .chunks_exact(2)
+            .map(|c| Complex::new(c[0], c[1]))
+            .collect()
+    }
+
+    fn store_complex(&self, env: &mut SpuEnv<'_>, data: &[Complex]) {
+        let flat: Vec<f32> = data.iter().flat_map(|c| [c.re, c.im]).collect();
+        env.ls.write_f32_slice(self.buf, &flat).unwrap();
+    }
+}
+
+impl SpuProgram for FftKernel {
+    fn resume(&mut self, wake: SpuWake, mut env: SpuEnv<'_>) -> SpuAction {
+        loop {
+            match self.phase {
+                KernelPhase::Init => {
+                    let bytes = (self.cfg.n1.max(self.cfg.n2) * 8) as u32;
+                    self.buf = env.ls.alloc(bytes, 128, "fft-buf").unwrap();
+                    if self.col >= self.cfg.n2 {
+                        self.phase = KernelPhase::BarrierArrive;
+                        continue;
+                    }
+                    self.phase = KernelPhase::ColGatherWait;
+                    return self.gather_column(self.col);
+                }
+                KernelPhase::ColGatherWait => {
+                    if matches!(wake, SpuWake::TagsDone(_)) {
+                        // Column in LS: n1-point FFT + twiddles.
+                        let mut col = self.ls_complex(&env, self.cfg.n1);
+                        fft_inplace(&mut col);
+                        for (j1, v) in col.iter_mut().enumerate() {
+                            *v = v.mul(twiddle(j1 * self.col, self.cfg.n()));
+                        }
+                        self.store_complex(&mut env, &col);
+                        self.phase = KernelPhase::ColComputeDone;
+                        return SpuAction::Compute(fft_cycles(self.cfg.n1) + self.cfg.n1 as u64);
+                    }
+                    return self.wait();
+                }
+                KernelPhase::ColComputeDone => {
+                    self.phase = KernelPhase::ColScatterWait;
+                    return self.scatter_column(self.col);
+                }
+                KernelPhase::ColScatterWait => {
+                    if matches!(wake, SpuWake::TagsDone(_)) {
+                        self.col += self.cfg.spes;
+                        if self.col < self.cfg.n2 {
+                            self.phase = KernelPhase::ColGatherWait;
+                            return self.gather_column(self.col);
+                        }
+                        self.phase = KernelPhase::BarrierArrive;
+                        continue;
+                    }
+                    return self.wait();
+                }
+                KernelPhase::BarrierArrive => {
+                    self.phase = KernelPhase::BarrierWait;
+                    return SpuAction::WriteOutMbox(1);
+                }
+                KernelPhase::BarrierWait => {
+                    if let SpuWake::InMbox(_) = wake {
+                        if self.row >= self.cfg.n1 {
+                            return SpuAction::Stop(0);
+                        }
+                        self.phase = KernelPhase::RowGetWait;
+                        return SpuAction::DmaGet {
+                            lsa: self.buf,
+                            ea: self.cfg.base() + (self.row * self.cfg.n2 * 8) as u64,
+                            size: (self.cfg.n2 * 8) as u32,
+                            tag: TagId::new(TAG).unwrap(),
+                        };
+                    }
+                    return SpuAction::ReadInMbox;
+                }
+                KernelPhase::RowGetWait => {
+                    if matches!(wake, SpuWake::TagsDone(_)) {
+                        let mut row = self.ls_complex(&env, self.cfg.n2);
+                        fft_inplace(&mut row);
+                        self.store_complex(&mut env, &row);
+                        self.phase = KernelPhase::RowComputeDone;
+                        return SpuAction::Compute(fft_cycles(self.cfg.n2));
+                    }
+                    return self.wait();
+                }
+                KernelPhase::RowComputeDone => {
+                    self.phase = KernelPhase::RowPutWait;
+                    return SpuAction::DmaPut {
+                        lsa: self.buf,
+                        ea: self.cfg.base() + (self.row * self.cfg.n2 * 8) as u64,
+                        size: (self.cfg.n2 * 8) as u32,
+                        tag: TagId::new(TAG).unwrap(),
+                    };
+                }
+                KernelPhase::RowPutWait => {
+                    if matches!(wake, SpuWake::TagsDone(_)) {
+                        self.row += self.cfg.spes;
+                        if self.row >= self.cfg.n1 {
+                            return SpuAction::Stop(0);
+                        }
+                        self.phase = KernelPhase::RowGetWait;
+                        return SpuAction::DmaGet {
+                            lsa: self.buf,
+                            ea: self.cfg.base() + (self.row * self.cfg.n2 * 8) as u64,
+                            size: (self.cfg.n2 * 8) as u32,
+                            tag: TagId::new(TAG).unwrap(),
+                        };
+                    }
+                    return self.wait();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+    use cellsim::MachineConfig;
+
+    fn approx(a: &[Complex], b: &[Complex], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                x.sub(*y).abs() <= tol,
+                "index {i}: ({}, {}) vs ({}, {})",
+                x.re,
+                x.im,
+                y.re,
+                y.im
+            );
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let mut g = DataGen::new(5);
+        let x: Vec<Complex> = g
+            .f32_vec(64)
+            .chunks_exact(2)
+            .map(|c| Complex::new(c[0], c[1]))
+            .collect();
+        let mut fast = x.clone();
+        fft_inplace(&mut fast);
+        let slow = naive_dft(&x);
+        approx(&fast, &slow, 1e-3);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::default(); 16];
+        x[0] = Complex::new(1.0, 0.0);
+        fft_inplace(&mut x);
+        for v in &x {
+            assert!((v.re - 1.0).abs() < 1e-6 && v.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn four_step_reference_matches_naive() {
+        let (n1, n2) = (8, 16);
+        let mut g = DataGen::new(6);
+        let x: Vec<Complex> = g
+            .f32_vec(2 * n1 * n2)
+            .chunks_exact(2)
+            .map(|c| Complex::new(c[0], c[1]))
+            .collect();
+        let z = four_step_reference(&x, n1, n2);
+        let want = naive_dft(&x);
+        for j1 in 0..n1 {
+            for j2 in 0..n2 {
+                let a = z[j1 * n2 + j2];
+                let b = want[j1 + n1 * j2];
+                assert!(a.sub(b).abs() < 1e-2, "({j1},{j2})");
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_fft_matches_dft_single_spe() {
+        let w = FftWorkload::new(FftConfig {
+            n1: 16,
+            n2: 16,
+            spes: 1,
+            seed: 8,
+        });
+        run_workload(&w, MachineConfig::default().with_num_spes(1), None).unwrap();
+    }
+
+    #[test]
+    fn simulated_fft_matches_dft_parallel() {
+        let w = FftWorkload::new(FftConfig {
+            n1: 32,
+            n2: 32,
+            spes: 4,
+            seed: 9,
+        });
+        run_workload(&w, MachineConfig::default().with_num_spes(4), None).unwrap();
+    }
+
+    #[test]
+    fn fft_cycles_model_is_n_log_n() {
+        assert_eq!(fft_cycles(1024), 5 * 1024 * 10 / 8);
+        assert!(fft_cycles(4096) > 4 * fft_cycles(1024));
+    }
+
+    #[test]
+    fn odd_spe_counts_split_unevenly_but_verify() {
+        let w = FftWorkload::new(FftConfig {
+            n1: 32,
+            n2: 64,
+            spes: 3,
+            seed: 10,
+        });
+        run_workload(&w, MachineConfig::default().with_num_spes(3), None).unwrap();
+    }
+}

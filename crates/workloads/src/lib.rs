@@ -1,0 +1,44 @@
+//! # workloads — behavioural Cell BE applications
+//!
+//! The applications used to reproduce the paper's use cases and
+//! overhead study. Every workload moves real data through the
+//! simulated DMA/mailbox/signal machinery and verifies its numerical
+//! results after the run, so the traces the PDT collects describe
+//! genuine computations:
+//!
+//! | Workload | Pattern | Paper experiment |
+//! |---|---|---|
+//! | [`matmul`] | blocked SGEMM, 16 KiB tile DMAs, block-cyclic | E2, E9 |
+//! | [`fft`] | four-step distributed FFT, gather/scatter lists, mailbox barrier | E2 |
+//! | [`stream`] | streaming triad, single vs double buffering | E2, E4, E6 |
+//! | [`pipeline`] | two-stage SPE pipeline, LS-to-LS DMA + `sndsig` | E2 |
+//! | [`sparse`] | skewed SpMV, static vs atomic work-queue scheduling | E2, E5 |
+//! | [`stencil`] | Jacobi 2-D, halo exchange via LS-to-LS DMA + `sndsig`, iteration barriers | E2 |
+//! | [`dma_sweep`] | transfer-size sweep microbenchmark | E7 |
+//! | [`eventrate`] | user-event frequency microbenchmark | E1, E3 |
+//!
+//! All workloads implement [`Workload`] and run through
+//! [`run_workload`], optionally under a PDT tracing session.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod common;
+pub mod dma_sweep;
+pub mod eventrate;
+pub mod fft;
+pub mod matmul;
+pub mod pipeline;
+pub mod sparse;
+pub mod stencil;
+pub mod stream;
+
+pub use common::{check_f32, dma_get_span, run_workload, DataGen, Workload, WorkloadResult};
+pub use dma_sweep::{DmaSweepConfig, DmaSweepWorkload};
+pub use eventrate::{EventRateConfig, EventRateWorkload};
+pub use fft::{FftConfig, FftWorkload};
+pub use matmul::{MatmulConfig, MatmulWorkload};
+pub use pipeline::{PipelineConfig, PipelineWorkload};
+pub use sparse::{Schedule, SparseConfig, SparseWorkload};
+pub use stencil::{jacobi_reference, StencilConfig, StencilWorkload};
+pub use stream::{Buffering, StreamConfig, StreamWorkload};

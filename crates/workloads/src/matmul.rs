@@ -1,0 +1,433 @@
+//! Blocked single-precision matrix multiply — the canonical Cell SDK
+//! demo workload.
+//!
+//! Matrices are stored *block-major* (a grid of contiguous 64×64 f32
+//! tiles, 16 KiB each — exactly one maximum-size DMA), as the SDK's
+//! `matrix_mul` demo does. C-tiles are distributed block-cyclically
+//! over the SPEs; each SPE streams the A and B tiles it needs,
+//! multiply-accumulates in its local store, and PUTs the finished
+//! C-tile back.
+
+use cellsim::{
+    LsAddr, Machine, PpeProgram, SpeJob, SpmdDriver, SpuAction, SpuEnv, SpuProgram, SpuWake, TagId,
+    TagWaitMode,
+};
+
+use crate::common::{check_f32, DataGen, Workload, DATA_BASE};
+
+/// Tile edge: 64×64 f32 = 16 KiB.
+pub const BLOCK: usize = 64;
+
+/// Bytes per tile.
+pub const BLOCK_BYTES: u32 = (BLOCK * BLOCK * 4) as u32;
+
+/// Modeled SPU cycles for one 64×64×64 tile multiply-accumulate
+/// (2·64³ flops at 8 flops/cycle).
+pub const TILE_MAC_CYCLES: u64 = (2 * BLOCK * BLOCK * BLOCK / 8) as u64;
+
+/// Matmul parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MatmulConfig {
+    /// Matrix dimension (multiple of 64).
+    pub n: usize,
+    /// SPEs to use.
+    pub spes: usize,
+    /// Data seed.
+    pub seed: u64,
+}
+
+impl Default for MatmulConfig {
+    fn default() -> Self {
+        MatmulConfig {
+            n: 256,
+            spes: 4,
+            seed: 7,
+        }
+    }
+}
+
+impl MatmulConfig {
+    /// Tiles per dimension.
+    pub fn nb(&self) -> usize {
+        self.n / BLOCK
+    }
+
+    fn matrix_bytes(&self) -> u64 {
+        (self.n * self.n * 4) as u64
+    }
+
+    fn a_base(&self) -> u64 {
+        DATA_BASE
+    }
+
+    fn b_base(&self) -> u64 {
+        self.a_base() + self.matrix_bytes()
+    }
+
+    fn c_base(&self) -> u64 {
+        self.b_base() + self.matrix_bytes()
+    }
+
+    /// EA of tile `(bi, bj)` within a block-major matrix at `base`.
+    fn tile_ea(&self, base: u64, bi: usize, bj: usize) -> u64 {
+        base + ((bi * self.nb() + bj) as u64) * BLOCK_BYTES as u64
+    }
+}
+
+/// Converts a row-major `n×n` matrix into block-major tile layout.
+pub fn to_block_major(m: &[f32], n: usize) -> Vec<f32> {
+    let nb = n / BLOCK;
+    let mut out = vec![0.0f32; n * n];
+    for bi in 0..nb {
+        for bj in 0..nb {
+            let tile = (bi * nb + bj) * BLOCK * BLOCK;
+            for r in 0..BLOCK {
+                for c in 0..BLOCK {
+                    out[tile + r * BLOCK + c] = m[(bi * BLOCK + r) * n + bj * BLOCK + c];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Converts block-major tiles back to a row-major matrix.
+pub fn from_block_major(m: &[f32], n: usize) -> Vec<f32> {
+    let nb = n / BLOCK;
+    let mut out = vec![0.0f32; n * n];
+    for bi in 0..nb {
+        for bj in 0..nb {
+            let tile = (bi * nb + bj) * BLOCK * BLOCK;
+            for r in 0..BLOCK {
+                for c in 0..BLOCK {
+                    out[(bi * BLOCK + r) * n + bj * BLOCK + c] = m[tile + r * BLOCK + c];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reference row-major matmul.
+pub fn reference_matmul(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// The matmul workload.
+#[derive(Debug, Clone, Copy)]
+pub struct MatmulWorkload {
+    /// Parameters.
+    pub cfg: MatmulConfig,
+}
+
+impl MatmulWorkload {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a nonzero multiple of 64.
+    pub fn new(cfg: MatmulConfig) -> Self {
+        assert!(
+            cfg.n >= BLOCK && cfg.n.is_multiple_of(BLOCK),
+            "matrix dimension must be a multiple of {BLOCK}"
+        );
+        MatmulWorkload { cfg }
+    }
+
+    fn inputs(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut g = DataGen::new(self.cfg.seed);
+        let a = g.f32_vec(self.cfg.n * self.cfg.n);
+        let b = g.f32_vec(self.cfg.n * self.cfg.n);
+        (a, b)
+    }
+}
+
+impl Workload for MatmulWorkload {
+    fn name(&self) -> &str {
+        "matmul"
+    }
+
+    fn stage(&self, machine: &mut Machine) -> Box<dyn PpeProgram> {
+        let (a, b) = self.inputs();
+        let ab = to_block_major(&a, self.cfg.n);
+        let bb = to_block_major(&b, self.cfg.n);
+        machine
+            .mem_mut()
+            .write_f32_slice(self.cfg.a_base(), &ab)
+            .expect("A fits");
+        machine
+            .mem_mut()
+            .write_f32_slice(self.cfg.b_base(), &bb)
+            .expect("B fits");
+        let jobs = (0..self.cfg.spes)
+            .map(|s| {
+                SpeJob::new(
+                    format!("matmul{s}"),
+                    Box::new(MatmulKernel::new(self.cfg, s)) as Box<dyn SpuProgram>,
+                )
+            })
+            .collect();
+        Box::new(SpmdDriver::new(jobs))
+    }
+
+    fn verify(&self, machine: &Machine) -> Result<(), String> {
+        let (a, b) = self.inputs();
+        let want = reference_matmul(&a, &b, self.cfg.n);
+        let got_blocks = machine
+            .mem()
+            .read_f32_slice(self.cfg.c_base(), self.cfg.n * self.cfg.n)
+            .map_err(|e| e.to_string())?;
+        let got = from_block_major(&got_blocks, self.cfg.n);
+        // f32 accumulation over n terms: scale tolerance with n.
+        let tol = 1e-4 * self.cfg.n as f32;
+        check_f32(&got, &want, tol)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Init,
+    TileStart,
+    GetAIssued,
+    GetBIssued,
+    TilesLoaded,
+    MacDone,
+    PutIssued,
+    PutDone,
+}
+
+const TAG_A: u8 = 0;
+const TAG_B: u8 = 1;
+const TAG_C: u8 = 2;
+
+/// The per-SPE matmul kernel: block-cyclic over C-tiles.
+#[derive(Debug)]
+pub struct MatmulKernel {
+    cfg: MatmulConfig,
+    tile: usize, // linear C-tile index currently owned
+    bk: usize,
+    phase: Phase,
+    a_buf: LsAddr,
+    b_buf: LsAddr,
+    c_buf: LsAddr,
+}
+
+impl MatmulKernel {
+    /// Kernel for SPE slot `spe_index` of `cfg.spes`.
+    pub fn new(cfg: MatmulConfig, spe_index: usize) -> Self {
+        MatmulKernel {
+            cfg,
+            tile: spe_index,
+            bk: 0,
+            phase: Phase::Init,
+            a_buf: LsAddr::new(0),
+            b_buf: LsAddr::new(0),
+            c_buf: LsAddr::new(0),
+        }
+    }
+
+    fn n_tiles(&self) -> usize {
+        self.cfg.nb() * self.cfg.nb()
+    }
+
+    fn bi(&self) -> usize {
+        self.tile / self.cfg.nb()
+    }
+
+    fn bj(&self) -> usize {
+        self.tile % self.cfg.nb()
+    }
+
+    fn mac(&self, env: &mut SpuEnv<'_>) {
+        let a = env.ls.read_f32_slice(self.a_buf, BLOCK * BLOCK).unwrap();
+        let b = env.ls.read_f32_slice(self.b_buf, BLOCK * BLOCK).unwrap();
+        let mut c = env.ls.read_f32_slice(self.c_buf, BLOCK * BLOCK).unwrap();
+        for i in 0..BLOCK {
+            for k in 0..BLOCK {
+                let aik = a[i * BLOCK + k];
+                for j in 0..BLOCK {
+                    c[i * BLOCK + j] += aik * b[k * BLOCK + j];
+                }
+            }
+        }
+        env.ls.write_f32_slice(self.c_buf, &c).unwrap();
+    }
+}
+
+impl SpuProgram for MatmulKernel {
+    fn resume(&mut self, _wake: SpuWake, mut env: SpuEnv<'_>) -> SpuAction {
+        loop {
+            match self.phase {
+                Phase::Init => {
+                    self.a_buf = env.ls.alloc(BLOCK_BYTES, 128, "A").unwrap();
+                    self.b_buf = env.ls.alloc(BLOCK_BYTES, 128, "B").unwrap();
+                    self.c_buf = env.ls.alloc(BLOCK_BYTES, 128, "C").unwrap();
+                    self.phase = Phase::TileStart;
+                }
+                Phase::TileStart => {
+                    if self.tile >= self.n_tiles() {
+                        return SpuAction::Stop(0);
+                    }
+                    // Zero the accumulator tile.
+                    env.ls
+                        .write_f32_slice(self.c_buf, &vec![0.0f32; BLOCK * BLOCK])
+                        .unwrap();
+                    self.bk = 0;
+                    self.phase = Phase::GetAIssued;
+                    return SpuAction::DmaGet {
+                        lsa: self.a_buf,
+                        ea: self.cfg.tile_ea(self.cfg.a_base(), self.bi(), self.bk),
+                        size: BLOCK_BYTES,
+                        tag: TagId::new(TAG_A).unwrap(),
+                    };
+                }
+                Phase::GetAIssued => {
+                    self.phase = Phase::GetBIssued;
+                    return SpuAction::DmaGet {
+                        lsa: self.b_buf,
+                        ea: self.cfg.tile_ea(self.cfg.b_base(), self.bk, self.bj()),
+                        size: BLOCK_BYTES,
+                        tag: TagId::new(TAG_B).unwrap(),
+                    };
+                }
+                Phase::GetBIssued => {
+                    self.phase = Phase::TilesLoaded;
+                    return SpuAction::WaitTags {
+                        mask: (1 << TAG_A) | (1 << TAG_B),
+                        mode: TagWaitMode::All,
+                    };
+                }
+                Phase::TilesLoaded => {
+                    self.mac(&mut env);
+                    self.phase = Phase::MacDone;
+                    return SpuAction::Compute(TILE_MAC_CYCLES);
+                }
+                Phase::MacDone => {
+                    self.bk += 1;
+                    if self.bk < self.cfg.nb() {
+                        self.phase = Phase::GetAIssued;
+                        return SpuAction::DmaGet {
+                            lsa: self.a_buf,
+                            ea: self.cfg.tile_ea(self.cfg.a_base(), self.bi(), self.bk),
+                            size: BLOCK_BYTES,
+                            tag: TagId::new(TAG_A).unwrap(),
+                        };
+                    }
+                    self.phase = Phase::PutIssued;
+                    return SpuAction::DmaPut {
+                        lsa: self.c_buf,
+                        ea: self.cfg.tile_ea(self.cfg.c_base(), self.bi(), self.bj()),
+                        size: BLOCK_BYTES,
+                        tag: TagId::new(TAG_C).unwrap(),
+                    };
+                }
+                Phase::PutIssued => {
+                    self.phase = Phase::PutDone;
+                    return SpuAction::WaitTags {
+                        mask: 1 << TAG_C,
+                        mode: TagWaitMode::All,
+                    };
+                }
+                Phase::PutDone => {
+                    self.tile += self.cfg.spes;
+                    self.phase = Phase::TileStart;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+    use cellsim::MachineConfig;
+
+    #[test]
+    fn block_major_roundtrip() {
+        let n = 128;
+        let m: Vec<f32> = (0..n * n).map(|i| i as f32).collect();
+        let bm = to_block_major(&m, n);
+        assert_ne!(bm, m);
+        assert_eq!(from_block_major(&bm, n), m);
+    }
+
+    #[test]
+    fn reference_matmul_identity() {
+        let n = BLOCK;
+        let mut eye = vec![0.0f32; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let b: Vec<f32> = (0..n * n).map(|i| (i % 97) as f32).collect();
+        assert_eq!(reference_matmul(&eye, &b, n), b);
+    }
+
+    #[test]
+    fn simulated_matmul_matches_reference_single_spe() {
+        let w = MatmulWorkload::new(MatmulConfig {
+            n: 128,
+            spes: 1,
+            seed: 3,
+        });
+        run_workload(&w, MachineConfig::default().with_num_spes(1), None).unwrap();
+    }
+
+    #[test]
+    fn simulated_matmul_matches_reference_parallel() {
+        let w = MatmulWorkload::new(MatmulConfig {
+            n: 192,
+            spes: 4,
+            seed: 3,
+        });
+        let r = run_workload(&w, MachineConfig::default().with_num_spes(4), None).unwrap();
+        // 9 tiles over 4 SPEs: every SPE moved data.
+        for c in r.report.cores.iter().filter(|c| c.mfc.is_some()) {
+            assert!(c.mfc.unwrap().bytes > 0, "idle SPE in {:?}", c.core);
+        }
+    }
+
+    #[test]
+    fn parallel_speedup_is_real() {
+        let run = |spes: usize| {
+            let w = MatmulWorkload::new(MatmulConfig {
+                n: 256,
+                spes,
+                seed: 5,
+            });
+            run_workload(&w, MachineConfig::default().with_num_spes(spes), None)
+                .unwrap()
+                .report
+                .cycles
+        };
+        let one = run(1);
+        let four = run(4);
+        let speedup = one as f64 / four as f64;
+        assert!(
+            speedup > 2.8,
+            "expected near-linear speedup on 16 tiles / 4 SPEs, got {speedup:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn non_multiple_dimension_rejected() {
+        let _ = MatmulWorkload::new(MatmulConfig {
+            n: 100,
+            spes: 1,
+            seed: 0,
+        });
+    }
+}

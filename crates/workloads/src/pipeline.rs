@@ -1,0 +1,434 @@
+//! A two-stage SPE pipeline with LS-to-LS DMA and SPE-to-SPE signals.
+//!
+//! Producer SPEs GET blocks from main memory, apply the first stage
+//! (`f(x) = 2x + 1`), PUT the result *directly into the paired
+//! consumer's local store* through the LS alias window, and notify the
+//! consumer with an `sndsig` signal. The consumer applies the second
+//! stage (`g(x) = -x`) and PUTs the final block to memory, signalling
+//! the slot free. Two slots per pair give pipeline overlap.
+//!
+//! This exercises the inter-SPE communication patterns PDT's signal
+//! and DMA groups were designed to expose: the trace shows the
+//! signal ping-pong and the analyzer shows both stages' wait structure.
+
+use cellsim::{
+    LsAddr, Machine, PpeProgram, SignalReg, SpeJob, SpmdDriver, SpuAction, SpuEnv, SpuProgram,
+    SpuWake, TagId, TagWaitMode,
+};
+
+use crate::common::{check_f32, DataGen, Workload, DATA_BASE};
+
+/// Pipeline parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Blocks per producer/consumer pair.
+    pub blocks: usize,
+    /// Bytes per block (multiple of 16, at most 16 KiB).
+    pub block_bytes: u32,
+    /// Producer/consumer pairs (uses `2 * pairs` SPEs).
+    pub pairs: usize,
+    /// Modeled compute cycles per block per stage.
+    pub stage_cycles: u64,
+    /// Data seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            blocks: 32,
+            block_bytes: 8192,
+            pairs: 2,
+            stage_cycles: 4000,
+            seed: 23,
+        }
+    }
+}
+
+impl PipelineConfig {
+    fn elems(&self) -> usize {
+        self.block_bytes as usize / 4
+    }
+
+    fn in_base(&self, pair: usize) -> u64 {
+        DATA_BASE + (pair as u64) * 0x40_0000
+    }
+
+    fn out_base(&self, pair: usize) -> u64 {
+        self.in_base(pair) + 0x20_0000
+    }
+}
+
+/// The pipeline workload.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineWorkload {
+    /// Parameters.
+    pub cfg: PipelineConfig,
+}
+
+impl PipelineWorkload {
+    /// Creates the workload.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        assert!(cfg.block_bytes.is_multiple_of(16) && cfg.block_bytes <= 16 * 1024);
+        PipelineWorkload { cfg }
+    }
+
+    fn input(&self, pair: usize) -> Vec<f32> {
+        DataGen::new(self.cfg.seed + pair as u64).f32_vec(self.cfg.blocks * self.cfg.elems())
+    }
+}
+
+impl Workload for PipelineWorkload {
+    fn name(&self) -> &str {
+        "pipeline"
+    }
+
+    fn stage(&self, machine: &mut Machine) -> Box<dyn PpeProgram> {
+        let ls_base = machine.config().ls_ea_base;
+        let ls_size = machine.config().ls_size as u64;
+        let mut jobs = Vec::new();
+        for p in 0..self.cfg.pairs {
+            machine
+                .mem_mut()
+                .write_f32_slice(self.cfg.in_base(p), &self.input(p))
+                .unwrap();
+            // SpmdDriver binds contexts to SPEs in creation order:
+            // producer p → SPE 2p, consumer p → SPE 2p+1.
+            let producer_spe = (2 * p) as u32;
+            let consumer_spe = (2 * p + 1) as u32;
+            // The consumer reserves its slots with the deterministic
+            // top-of-LS allocator, so the producer can compute the
+            // address without a handshake.
+            let slots_off = slots_ls_offset(&self.cfg, ls_size as u32);
+            let consumer_slots_ea = ls_base + consumer_spe as u64 * ls_size + slots_off as u64;
+            jobs.push(SpeJob::new(
+                format!("prod{p}"),
+                Box::new(Producer::new(self.cfg, p, consumer_spe, consumer_slots_ea))
+                    as Box<dyn SpuProgram>,
+            ));
+            jobs.push(SpeJob::new(
+                format!("cons{p}"),
+                Box::new(Consumer::new(self.cfg, p, producer_spe)) as Box<dyn SpuProgram>,
+            ));
+        }
+        Box::new(SpmdDriver::new(jobs))
+    }
+
+    fn verify(&self, machine: &Machine) -> Result<(), String> {
+        for p in 0..self.cfg.pairs {
+            let n = self.cfg.blocks * self.cfg.elems();
+            let got = machine
+                .mem()
+                .read_f32_slice(self.cfg.out_base(p), n)
+                .map_err(|e| e.to_string())?;
+            let want: Vec<f32> = self.input(p).iter().map(|x| -(2.0 * x + 1.0)).collect();
+            check_f32(&got, &want, 1e-5).map_err(|e| format!("pair {p}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// The deterministic local-store offset of a consumer's exchange slots
+/// (the first top-of-LS allocation of `2 * block_bytes`).
+fn slots_ls_offset(cfg: &PipelineConfig, ls_size: u32) -> u32 {
+    (ls_size - 2 * cfg.block_bytes) & !127
+}
+
+const TAG_IN: u8 = 0;
+const TAG_XFER: u8 = 1;
+const TAG_OUT: u8 = 2;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProdPhase {
+    Init,
+    WaitSlotFree,
+    GetIssued,
+    GetWait,
+    ComputeDone,
+    PutIssued,
+    PutWait,
+    SignalSent,
+}
+
+/// First pipeline stage.
+#[derive(Debug)]
+struct Producer {
+    cfg: PipelineConfig,
+    pair: usize,
+    consumer_spe: u32,
+    consumer_slots_ea: u64,
+    k: usize,
+    free_mask: u32,
+    phase: ProdPhase,
+    buf: LsAddr,
+}
+
+impl Producer {
+    fn new(cfg: PipelineConfig, pair: usize, consumer_spe: u32, consumer_slots_ea: u64) -> Self {
+        Producer {
+            cfg,
+            pair,
+            consumer_spe,
+            consumer_slots_ea,
+            k: 0,
+            free_mask: 0b11, // both slots free initially
+            phase: ProdPhase::Init,
+            buf: LsAddr::new(0),
+        }
+    }
+
+    fn slot_bit(&self) -> u32 {
+        1 << (self.k % 2)
+    }
+}
+
+impl SpuProgram for Producer {
+    fn resume(&mut self, wake: SpuWake, env: SpuEnv<'_>) -> SpuAction {
+        loop {
+            match self.phase {
+                ProdPhase::Init => {
+                    self.buf = env.ls.alloc(self.cfg.block_bytes, 128, "stage").unwrap();
+                    self.phase = ProdPhase::WaitSlotFree;
+                }
+                ProdPhase::WaitSlotFree => {
+                    if self.k >= self.cfg.blocks {
+                        return SpuAction::Stop(0);
+                    }
+                    if let SpuWake::Signal(bits) = wake {
+                        self.free_mask |= bits;
+                    }
+                    if self.free_mask & self.slot_bit() != 0 {
+                        self.free_mask &= !self.slot_bit();
+                        self.phase = ProdPhase::GetIssued;
+                        return SpuAction::DmaGet {
+                            lsa: self.buf,
+                            ea: self.cfg.in_base(self.pair)
+                                + (self.k as u64) * self.cfg.block_bytes as u64,
+                            size: self.cfg.block_bytes,
+                            tag: TagId::new(TAG_IN).unwrap(),
+                        };
+                    }
+                    return SpuAction::ReadSignal(SignalReg::Sig1);
+                }
+                ProdPhase::GetIssued => {
+                    self.phase = ProdPhase::GetWait;
+                    return SpuAction::WaitTags {
+                        mask: 1 << TAG_IN,
+                        mode: TagWaitMode::All,
+                    };
+                }
+                ProdPhase::GetWait => {
+                    let data = env.ls.read_f32_slice(self.buf, self.cfg.elems()).unwrap();
+                    let out: Vec<f32> = data.iter().map(|x| 2.0 * x + 1.0).collect();
+                    env.ls.write_f32_slice(self.buf, &out).unwrap();
+                    self.phase = ProdPhase::ComputeDone;
+                    return SpuAction::Compute(self.cfg.stage_cycles);
+                }
+                ProdPhase::ComputeDone => {
+                    self.phase = ProdPhase::PutIssued;
+                    let slot = (self.k % 2) as u64;
+                    return SpuAction::DmaPut {
+                        lsa: self.buf,
+                        ea: self.consumer_slots_ea + slot * self.cfg.block_bytes as u64,
+                        size: self.cfg.block_bytes,
+                        tag: TagId::new(TAG_XFER).unwrap(),
+                    };
+                }
+                ProdPhase::PutIssued => {
+                    self.phase = ProdPhase::PutWait;
+                    return SpuAction::WaitTags {
+                        mask: 1 << TAG_XFER,
+                        mode: TagWaitMode::All,
+                    };
+                }
+                ProdPhase::PutWait => {
+                    // Data has landed in the consumer's LS: notify.
+                    self.phase = ProdPhase::SignalSent;
+                    return SpuAction::SendSignal {
+                        spe: self.consumer_spe,
+                        reg: SignalReg::Sig1,
+                        value: self.slot_bit(),
+                    };
+                }
+                ProdPhase::SignalSent => {
+                    self.k += 1;
+                    self.phase = ProdPhase::WaitSlotFree;
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConsPhase {
+    Init,
+    WaitFilled,
+    ComputeDone,
+    PutIssued,
+    PutWait,
+    SignalSent,
+}
+
+/// Second pipeline stage.
+#[derive(Debug)]
+struct Consumer {
+    cfg: PipelineConfig,
+    pair: usize,
+    producer_spe: u32,
+    k: usize,
+    filled_mask: u32,
+    phase: ConsPhase,
+    slots: LsAddr,
+    out_buf: LsAddr,
+}
+
+impl Consumer {
+    fn new(cfg: PipelineConfig, pair: usize, producer_spe: u32) -> Self {
+        Consumer {
+            cfg,
+            pair,
+            producer_spe,
+            k: 0,
+            filled_mask: 0,
+            phase: ConsPhase::Init,
+            slots: LsAddr::new(0),
+            out_buf: LsAddr::new(0),
+        }
+    }
+
+    fn slot_bit(&self) -> u32 {
+        1 << (self.k % 2)
+    }
+}
+
+impl SpuProgram for Consumer {
+    fn resume(&mut self, wake: SpuWake, env: SpuEnv<'_>) -> SpuAction {
+        loop {
+            match self.phase {
+                ConsPhase::Init => {
+                    // First top-of-LS allocation: lands exactly where
+                    // the producer computes it.
+                    self.slots = env
+                        .ls
+                        .alloc_top(self.cfg.block_bytes * 2, 128, "slots")
+                        .unwrap();
+                    assert_eq!(self.slots.get(), slots_ls_offset(&self.cfg, env.ls.size()));
+                    self.out_buf = env.ls.alloc(self.cfg.block_bytes, 128, "out").unwrap();
+                    self.phase = ConsPhase::WaitFilled;
+                }
+                ConsPhase::WaitFilled => {
+                    if self.k >= self.cfg.blocks {
+                        return SpuAction::Stop(0);
+                    }
+                    if let SpuWake::Signal(bits) = wake {
+                        self.filled_mask |= bits;
+                    }
+                    if self.filled_mask & self.slot_bit() != 0 {
+                        self.filled_mask &= !self.slot_bit();
+                        let slot_addr = self
+                            .slots
+                            .offset((self.k as u32 % 2) * self.cfg.block_bytes);
+                        let data = env.ls.read_f32_slice(slot_addr, self.cfg.elems()).unwrap();
+                        let out: Vec<f32> = data.iter().map(|x| -x).collect();
+                        env.ls.write_f32_slice(self.out_buf, &out).unwrap();
+                        self.phase = ConsPhase::ComputeDone;
+                        return SpuAction::Compute(self.cfg.stage_cycles);
+                    }
+                    return SpuAction::ReadSignal(SignalReg::Sig1);
+                }
+                ConsPhase::ComputeDone => {
+                    self.phase = ConsPhase::PutIssued;
+                    return SpuAction::DmaPut {
+                        lsa: self.out_buf,
+                        ea: self.cfg.out_base(self.pair)
+                            + (self.k as u64) * self.cfg.block_bytes as u64,
+                        size: self.cfg.block_bytes,
+                        tag: TagId::new(TAG_OUT).unwrap(),
+                    };
+                }
+                ConsPhase::PutIssued => {
+                    self.phase = ConsPhase::PutWait;
+                    return SpuAction::WaitTags {
+                        mask: 1 << TAG_OUT,
+                        mode: TagWaitMode::All,
+                    };
+                }
+                ConsPhase::PutWait => {
+                    // Slot consumed and final data safe: free the slot.
+                    self.phase = ConsPhase::SignalSent;
+                    return SpuAction::SendSignal {
+                        spe: self.producer_spe,
+                        reg: SignalReg::Sig1,
+                        value: self.slot_bit(),
+                    };
+                }
+                ConsPhase::SignalSent => {
+                    self.k += 1;
+                    self.phase = ConsPhase::WaitFilled;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+    use cellsim::MachineConfig;
+
+    #[test]
+    fn pipeline_produces_correct_results() {
+        let w = PipelineWorkload::new(PipelineConfig::default());
+        let r = run_workload(&w, MachineConfig::default().with_num_spes(4), None).unwrap();
+        assert!(r.report.cycles > 0);
+    }
+
+    #[test]
+    fn single_pair_small_blocks() {
+        let w = PipelineWorkload::new(PipelineConfig {
+            blocks: 5,
+            block_bytes: 1024,
+            pairs: 1,
+            stage_cycles: 500,
+            seed: 1,
+        });
+        run_workload(&w, MachineConfig::default().with_num_spes(2), None).unwrap();
+    }
+
+    #[test]
+    fn four_pairs_use_all_eight_spes() {
+        let w = PipelineWorkload::new(PipelineConfig {
+            blocks: 8,
+            block_bytes: 4096,
+            pairs: 4,
+            stage_cycles: 2000,
+            seed: 9,
+        });
+        let r = run_workload(&w, MachineConfig::default(), None).unwrap();
+        assert_eq!(r.report.stop_codes.len(), 8);
+    }
+
+    #[test]
+    fn pipeline_overlaps_stages() {
+        // With two slots, total time should be far below the serial
+        // sum of both stages' critical paths.
+        let cfg = PipelineConfig {
+            blocks: 40,
+            block_bytes: 8192,
+            pairs: 1,
+            stage_cycles: 20_000,
+            seed: 2,
+        };
+        let w = PipelineWorkload::new(cfg);
+        let r = run_workload(&w, MachineConfig::default().with_num_spes(2), None).unwrap();
+        // Serial would be ≥ blocks * 2 * stage_cycles = 1.6M cycles.
+        let serial_floor = cfg.blocks as u64 * 2 * cfg.stage_cycles;
+        assert!(
+            r.report.cycles < serial_floor,
+            "pipeline should overlap: {} vs serial floor {}",
+            r.report.cycles,
+            serial_floor
+        );
+    }
+}

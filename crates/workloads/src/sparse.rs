@@ -1,0 +1,620 @@
+//! Irregular sparse matrix–vector product: the paper's load-balancing
+//! use case.
+//!
+//! `y = A·x` over a CSR matrix whose row densities are heavily skewed
+//! *and clustered* (the dense rows come first, as in a matrix with a
+//! dense boundary block). Work is split into row *chunks* and assigned
+//! to SPEs two ways:
+//!
+//! - [`Schedule::StaticContiguous`] — each SPE takes a contiguous
+//!   range of chunks. With clustered density this piles the heavy
+//!   chunks onto SPE0: the imbalance the paper's TA timeline makes
+//!   visible.
+//! - [`Schedule::Dynamic`] — SPEs claim chunks from a shared counter
+//!   in main memory using MFC atomics (the SDK `atomic_add` pattern),
+//!   self-balancing at the cost of one atomic round-trip per chunk.
+//!
+//! The chunk descriptor table and CSR row pointers are embedded in the
+//! SPU program (modeling tables linked into the SPU image); the column
+//! indices, values, `x` and `y` move through real simulated DMA.
+
+use std::sync::Arc;
+
+use cellsim::{
+    LsAddr, Machine, PpeProgram, SpeJob, SpmdDriver, SpuAction, SpuEnv, SpuProgram, SpuWake, TagId,
+    TagWaitMode,
+};
+
+use crate::common::{check_f32, dma_get_span, DataGen, Workload, DATA_BASE};
+
+/// Chunk-assignment policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Contiguous chunk ranges per SPE.
+    StaticContiguous,
+    /// Shared atomic work counter.
+    Dynamic,
+}
+
+/// Sparse workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseConfig {
+    /// Number of matrix rows (multiple of `rows_per_chunk`; `x` must
+    /// fit one local store: rows ≤ 16384).
+    pub rows: usize,
+    /// Rows per work chunk (multiple of 4).
+    pub rows_per_chunk: usize,
+    /// Mean nonzeros per row.
+    pub mean_nnz: usize,
+    /// Maximum nonzeros per row.
+    pub max_nnz: usize,
+    /// SPEs to use.
+    pub spes: usize,
+    /// Scheduling policy.
+    pub schedule: Schedule,
+    /// Modeled SPU cycles per nonzero (gather-dominated inner loop).
+    pub cycles_per_nnz: u64,
+    /// Data seed.
+    pub seed: u64,
+}
+
+impl Default for SparseConfig {
+    fn default() -> Self {
+        SparseConfig {
+            rows: 2048,
+            rows_per_chunk: 64,
+            mean_nnz: 48,
+            max_nnz: 192,
+            spes: 4,
+            schedule: Schedule::StaticContiguous,
+            cycles_per_nnz: 3,
+            seed: 11,
+        }
+    }
+}
+
+/// A CSR matrix with f32 values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Row pointer array, `rows + 1` entries.
+    pub row_ptr: Vec<u32>,
+    /// Column indices.
+    pub cols: Vec<u32>,
+    /// Values.
+    pub vals: Vec<f32>,
+}
+
+impl Csr {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Reference product `y = A·x`.
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = vec![0.0f32; self.rows()];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let (s, e) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            let mut acc = 0.0f32;
+            for j in s..e {
+                acc += self.vals[j] * x[self.cols[j] as usize];
+            }
+            *yr = acc;
+        }
+        y
+    }
+}
+
+/// Generates the skewed, front-loaded CSR matrix for `cfg`.
+pub fn generate_matrix(cfg: &SparseConfig) -> Csr {
+    let mut g = DataGen::new(cfg.seed);
+    let mut lens = g.skewed_lengths(cfg.rows, cfg.mean_nnz, cfg.max_nnz);
+    // Cluster the density at the front: this is what defeats static
+    // contiguous partitioning.
+    lens.sort_unstable_by(|a, b| b.cmp(a));
+    let mut row_ptr = Vec::with_capacity(cfg.rows + 1);
+    row_ptr.push(0u32);
+    let mut cols = Vec::new();
+    for len in &lens {
+        for _ in 0..*len {
+            cols.push(g.index(0, cfg.rows) as u32);
+        }
+        row_ptr.push(cols.len() as u32);
+    }
+    let vals = g.f32_vec(cols.len());
+    Csr {
+        row_ptr,
+        cols,
+        vals,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Layout {
+    x_base: u64,
+    y_base: u64,
+    cols_base: u64,
+    vals_base: u64,
+    counter_ea: u64,
+}
+
+impl Layout {
+    fn new(rows: usize, nnz: usize) -> Layout {
+        let align = |v: u64| (v + 127) & !127;
+        let x_base = DATA_BASE;
+        let y_base = align(x_base + rows as u64 * 4 + 16);
+        let cols_base = align(y_base + rows as u64 * 4 + 16);
+        let vals_base = align(cols_base + nnz as u64 * 4 + 16);
+        let counter_ea = align(vals_base + nnz as u64 * 4 + 16);
+        Layout {
+            x_base,
+            y_base,
+            cols_base,
+            vals_base,
+            counter_ea,
+        }
+    }
+}
+
+/// One chunk's precomputed extents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChunkDesc {
+    row_start: u32,
+    nnz_start: u32,
+    nnz_count: u32,
+}
+
+/// The sparse workload.
+#[derive(Debug)]
+pub struct SparseWorkload {
+    /// Parameters.
+    pub cfg: SparseConfig,
+    matrix: Csr,
+    x: Vec<f32>,
+    chunks: Arc<Vec<ChunkDesc>>,
+    row_ptr: Arc<Vec<u32>>,
+    layout: Layout,
+}
+
+impl SparseWorkload {
+    /// Creates the workload (generates the matrix deterministically).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameter combinations (see [`SparseConfig`]).
+    pub fn new(cfg: SparseConfig) -> Self {
+        assert!(
+            cfg.rows.is_multiple_of(cfg.rows_per_chunk),
+            "rows % rows_per_chunk != 0"
+        );
+        assert!(cfg.rows_per_chunk.is_multiple_of(4), "rows_per_chunk % 4 != 0");
+        assert!(cfg.rows * 4 <= 64 * 1024, "x vector must fit the LS budget");
+        let matrix = generate_matrix(&cfg);
+        let mut g = DataGen::new(cfg.seed ^ 0x5eed);
+        let x = g.f32_vec(cfg.rows);
+        let n_chunks = cfg.rows / cfg.rows_per_chunk;
+        let chunks: Vec<ChunkDesc> = (0..n_chunks)
+            .map(|c| {
+                let row_start = c * cfg.rows_per_chunk;
+                let s = matrix.row_ptr[row_start];
+                let e = matrix.row_ptr[row_start + cfg.rows_per_chunk];
+                ChunkDesc {
+                    row_start: row_start as u32,
+                    nnz_start: s,
+                    nnz_count: e - s,
+                }
+            })
+            .collect();
+        let layout = Layout::new(cfg.rows, matrix.nnz());
+        SparseWorkload {
+            row_ptr: Arc::new(matrix.row_ptr.clone()),
+            chunks: Arc::new(chunks),
+            matrix,
+            x,
+            cfg,
+            layout,
+        }
+    }
+
+    /// The generated matrix.
+    pub fn matrix(&self) -> &Csr {
+        &self.matrix
+    }
+
+    /// Total chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+impl Workload for SparseWorkload {
+    fn name(&self) -> &str {
+        "sparse"
+    }
+
+    fn stage(&self, machine: &mut Machine) -> Box<dyn PpeProgram> {
+        let mem = machine.mem_mut();
+        mem.write_f32_slice(self.layout.x_base, &self.x).unwrap();
+        let cols_bytes: Vec<u8> = self
+            .matrix
+            .cols
+            .iter()
+            .flat_map(|c| c.to_le_bytes())
+            .collect();
+        mem.write(self.layout.cols_base, &cols_bytes).unwrap();
+        mem.write_f32_slice(self.layout.vals_base, &self.matrix.vals)
+            .unwrap();
+        mem.write_u32(self.layout.counter_ea, 0).unwrap();
+
+        let n_chunks = self.n_chunks();
+        let per = n_chunks.div_ceil(self.cfg.spes);
+        let jobs = (0..self.cfg.spes)
+            .map(|s| {
+                let assignment = match self.cfg.schedule {
+                    Schedule::StaticContiguous => {
+                        let first = s * per;
+                        let last = ((s + 1) * per).min(n_chunks);
+                        Assignment::Static {
+                            next: first as u32,
+                            end: last.max(first) as u32,
+                        }
+                    }
+                    Schedule::Dynamic => Assignment::Dynamic,
+                };
+                SpeJob::new(
+                    format!("spmv{s}"),
+                    Box::new(SparseKernel::new(
+                        self.cfg,
+                        self.layout,
+                        self.chunks.clone(),
+                        self.row_ptr.clone(),
+                        assignment,
+                    )) as Box<dyn SpuProgram>,
+                )
+            })
+            .collect();
+        Box::new(SpmdDriver::new(jobs))
+    }
+
+    fn verify(&self, machine: &Machine) -> Result<(), String> {
+        let want = self.matrix.spmv(&self.x);
+        let got = machine
+            .mem()
+            .read_f32_slice(self.layout.y_base, self.cfg.rows)
+            .map_err(|e| e.to_string())?;
+        check_f32(&got, &want, 1e-3)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Assignment {
+    Static { next: u32, end: u32 },
+    Dynamic,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Init,
+    LoadX,
+    XWait,
+    Claim,
+    LoadChunk,
+    ChunkWait,
+    ComputeDone,
+    PutWait,
+}
+
+const TAG_X: u8 = 0;
+const TAG_CHUNK: u8 = 1;
+const TAG_Y: u8 = 2;
+
+/// Per-SPE SpMV kernel.
+#[derive(Debug)]
+pub struct SparseKernel {
+    cfg: SparseConfig,
+    layout: Layout,
+    chunks: Arc<Vec<ChunkDesc>>,
+    row_ptr: Arc<Vec<u32>>,
+    assignment: Assignment,
+    phase: Phase,
+    pending: Vec<SpuAction>,
+    x_buf: LsAddr,
+    cols_buf: LsAddr,
+    vals_buf: LsAddr,
+    y_buf: LsAddr,
+    cur: u32,
+    cols_off: u32,
+    vals_off: u32,
+}
+
+impl SparseKernel {
+    fn new(
+        cfg: SparseConfig,
+        layout: Layout,
+        chunks: Arc<Vec<ChunkDesc>>,
+        row_ptr: Arc<Vec<u32>>,
+        assignment: Assignment,
+    ) -> Self {
+        SparseKernel {
+            cfg,
+            layout,
+            chunks,
+            row_ptr,
+            assignment,
+            phase: Phase::Init,
+            pending: Vec::new(),
+            x_buf: LsAddr::new(0),
+            cols_buf: LsAddr::new(0),
+            vals_buf: LsAddr::new(0),
+            y_buf: LsAddr::new(0),
+            cur: 0,
+            cols_off: 0,
+            vals_off: 0,
+        }
+    }
+
+    fn pop_pending(&mut self) -> Option<SpuAction> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.pending.remove(0))
+        }
+    }
+
+    fn max_chunk_bytes(&self) -> u32 {
+        // Worst-case nonzeros in a chunk, padded for span over-reads.
+        ((self.cfg.rows_per_chunk * self.cfg.max_nnz * 4) as u32 + 64).next_multiple_of(128)
+    }
+
+    fn claim_action(&mut self) -> SpuAction {
+        match &mut self.assignment {
+            Assignment::Static { next, end } => {
+                if next < end {
+                    let c = *next;
+                    *next += 1;
+                    self.begin_chunk(c)
+                } else {
+                    SpuAction::Stop(0)
+                }
+            }
+            Assignment::Dynamic => SpuAction::AtomicAdd {
+                ea: self.layout.counter_ea,
+                delta: 1,
+            },
+        }
+    }
+
+    fn begin_chunk(&mut self, c: u32) -> SpuAction {
+        self.cur = c;
+        let d = self.chunks[c as usize];
+        let (mut gets, cols_off) = dma_get_span(
+            self.cols_buf,
+            self.layout.cols_base + d.nnz_start as u64 * 4,
+            d.nnz_count as u64 * 4,
+            TagId::new(TAG_CHUNK).unwrap(),
+        );
+        let (more, vals_off) = dma_get_span(
+            self.vals_buf,
+            self.layout.vals_base + d.nnz_start as u64 * 4,
+            d.nnz_count as u64 * 4,
+            TagId::new(TAG_CHUNK).unwrap(),
+        );
+        gets.extend(more);
+        self.cols_off = cols_off;
+        self.vals_off = vals_off;
+        self.pending = gets;
+        self.phase = Phase::LoadChunk;
+        self.pop_pending().expect("chunk loads at least one DMA")
+    }
+
+    fn compute_chunk(&mut self, env: &mut SpuEnv<'_>) -> u64 {
+        let d = self.chunks[self.cur as usize];
+        let x = env.ls.read_f32_slice(self.x_buf, self.cfg.rows).unwrap();
+        let cols_bytes = env
+            .ls
+            .bytes(self.cols_buf.offset(self.cols_off), d.nnz_count * 4)
+            .unwrap();
+        let cols: Vec<u32> = cols_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let vals = env
+            .ls
+            .read_f32_slice(self.vals_buf.offset(self.vals_off), d.nnz_count as usize)
+            .unwrap();
+        let mut y = vec![0.0f32; self.cfg.rows_per_chunk];
+        let base = d.nnz_start;
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = d.row_start as usize + r;
+            let s = (self.row_ptr[row] - base) as usize;
+            let e = (self.row_ptr[row + 1] - base) as usize;
+            let mut acc = 0.0f32;
+            for j in s..e {
+                acc += vals[j] * x[cols[j] as usize];
+            }
+            *yr = acc;
+        }
+        env.ls.write_f32_slice(self.y_buf, &y).unwrap();
+        d.nnz_count as u64 * self.cfg.cycles_per_nnz
+    }
+}
+
+impl SpuProgram for SparseKernel {
+    fn resume(&mut self, wake: SpuWake, mut env: SpuEnv<'_>) -> SpuAction {
+        loop {
+            match self.phase {
+                Phase::Init => {
+                    let x_bytes = (self.cfg.rows * 4) as u32;
+                    self.x_buf = env.ls.alloc(x_bytes, 128, "x").unwrap();
+                    let cb = self.max_chunk_bytes();
+                    self.cols_buf = env.ls.alloc(cb, 128, "cols").unwrap();
+                    self.vals_buf = env.ls.alloc(cb, 128, "vals").unwrap();
+                    self.y_buf = env
+                        .ls
+                        .alloc((self.cfg.rows_per_chunk * 4) as u32, 128, "y")
+                        .unwrap();
+                    let (gets, off) = dma_get_span(
+                        self.x_buf,
+                        self.layout.x_base,
+                        x_bytes as u64,
+                        TagId::new(TAG_X).unwrap(),
+                    );
+                    debug_assert_eq!(off, 0, "x_base is 128-aligned");
+                    self.pending = gets;
+                    self.phase = Phase::LoadX;
+                    return self.pop_pending().expect("x load");
+                }
+                Phase::LoadX => {
+                    if let Some(a) = self.pop_pending() {
+                        return a;
+                    }
+                    self.phase = Phase::XWait;
+                    return SpuAction::WaitTags {
+                        mask: 1 << TAG_X,
+                        mode: TagWaitMode::All,
+                    };
+                }
+                Phase::XWait => {
+                    self.phase = Phase::Claim;
+                }
+                Phase::Claim => {
+                    if let SpuWake::AtomicDone(idx) = wake {
+                        if (idx as usize) < self.chunks.len() {
+                            return self.begin_chunk(idx);
+                        }
+                        return SpuAction::Stop(0);
+                    }
+                    return self.claim_action();
+                }
+                Phase::LoadChunk => {
+                    if let Some(a) = self.pop_pending() {
+                        return a;
+                    }
+                    self.phase = Phase::ChunkWait;
+                    return SpuAction::WaitTags {
+                        mask: 1 << TAG_CHUNK,
+                        mode: TagWaitMode::All,
+                    };
+                }
+                Phase::ChunkWait => {
+                    let cycles = self.compute_chunk(&mut env);
+                    self.phase = Phase::ComputeDone;
+                    return SpuAction::Compute(cycles.max(1));
+                }
+                Phase::ComputeDone => {
+                    let d = self.chunks[self.cur as usize];
+                    self.phase = Phase::PutWait;
+                    return SpuAction::DmaPut {
+                        lsa: self.y_buf,
+                        ea: self.layout.y_base + d.row_start as u64 * 4,
+                        size: (self.cfg.rows_per_chunk * 4) as u32,
+                        tag: TagId::new(TAG_Y).unwrap(),
+                    };
+                }
+                Phase::PutWait => {
+                    if matches!(wake, SpuWake::TagsDone(_)) {
+                        self.phase = Phase::Claim;
+                        continue;
+                    }
+                    return SpuAction::WaitTags {
+                        mask: 1 << TAG_Y,
+                        mode: TagWaitMode::All,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+    use cellsim::{CoreId, MachineConfig, SpeId};
+
+    fn base_cfg(schedule: Schedule) -> SparseConfig {
+        SparseConfig {
+            rows: 1024,
+            rows_per_chunk: 64,
+            mean_nnz: 32,
+            max_nnz: 128,
+            spes: 4,
+            schedule,
+            cycles_per_nnz: 40,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn csr_generation_is_deterministic_and_front_loaded() {
+        let cfg = base_cfg(Schedule::StaticContiguous);
+        let a = generate_matrix(&cfg);
+        let b = generate_matrix(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.rows(), 1024);
+        // Front rows denser than back rows.
+        let front: u32 = a.row_ptr[64] - a.row_ptr[0];
+        let back: u32 = a.row_ptr[1024] - a.row_ptr[1024 - 64];
+        assert!(front > back * 2, "front {front} back {back}");
+    }
+
+    #[test]
+    fn static_schedule_verifies() {
+        let w = SparseWorkload::new(base_cfg(Schedule::StaticContiguous));
+        run_workload(&w, MachineConfig::default().with_num_spes(4), None).unwrap();
+    }
+
+    #[test]
+    fn dynamic_schedule_verifies() {
+        let w = SparseWorkload::new(base_cfg(Schedule::Dynamic));
+        run_workload(&w, MachineConfig::default().with_num_spes(4), None).unwrap();
+    }
+
+    #[test]
+    fn dynamic_balances_what_static_cannot() {
+        let run = |schedule| {
+            let w = SparseWorkload::new(base_cfg(schedule));
+            let r = run_workload(&w, MachineConfig::default().with_num_spes(4), None).unwrap();
+            let busy: Vec<u64> = (0..4)
+                .map(|i| {
+                    r.report
+                        .core(CoreId::Spe(SpeId::new(i)))
+                        .unwrap()
+                        .breakdown
+                        .running
+                })
+                .collect();
+            (r.report.cycles, busy)
+        };
+        let (static_cycles, static_busy) = run(Schedule::StaticContiguous);
+        let (dynamic_cycles, dynamic_busy) = run(Schedule::Dynamic);
+        let imbalance = |busy: &[u64]| {
+            let max = *busy.iter().max().unwrap() as f64;
+            let mean = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
+            max / mean
+        };
+        let si = imbalance(&static_busy);
+        let di = imbalance(&dynamic_busy);
+        assert!(
+            si > di + 0.2,
+            "static imbalance {si:.2} should exceed dynamic {di:.2}"
+        );
+        assert!(
+            static_cycles as f64 > dynamic_cycles as f64 * 1.15,
+            "dynamic should be faster: static {static_cycles} dynamic {dynamic_cycles}"
+        );
+    }
+
+    #[test]
+    fn single_spe_edge_case() {
+        let mut cfg = base_cfg(Schedule::Dynamic);
+        cfg.spes = 1;
+        let w = SparseWorkload::new(cfg);
+        run_workload(&w, MachineConfig::default().with_num_spes(1), None).unwrap();
+    }
+}

@@ -1,0 +1,692 @@
+//! Jacobi 2-D stencil with halo exchange — the nearest-neighbour
+//! communication pattern (each SPE owns a band of rows and trades halo
+//! rows with its neighbours every iteration).
+//!
+//! Layout: an `n × n` f32 grid, row-banded over the SPEs. Each
+//! iteration every SPE:
+//!
+//! 1. PUTs its boundary rows into its neighbours' halo slots
+//!    (LS-to-LS DMA through the alias window, top-of-LS slots like the
+//!    pipeline workload),
+//! 2. signals both neighbours (`sndsig`, one bit per direction),
+//! 3. waits for its own two halo signals,
+//! 4. computes the 5-point Jacobi update on its band,
+//! 5. runs a PPE mailbox barrier (iterations must not skew, or a halo
+//!    could be overwritten early).
+//!
+//! After `iters` iterations each SPE PUTs its band back to memory and
+//! the result is checked against a host reference.
+
+use cellsim::{
+    CtxId, LsAddr, Machine, PpeAction, PpeEnv, PpeProgram, PpeWake, SignalReg, SpuAction, SpuEnv,
+    SpuProgram, SpuWake, TagId, TagWaitMode,
+};
+
+use crate::common::{check_f32, DataGen, Workload, DATA_BASE};
+
+/// Stencil parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StencilConfig {
+    /// Grid edge (rows and columns; `n * 4` bytes per row, one DMA:
+    /// n ≤ 4096; `n` must be divisible by `spes`).
+    pub n: usize,
+    /// Jacobi iterations.
+    pub iters: usize,
+    /// SPEs (row bands).
+    pub spes: usize,
+    /// Data seed.
+    pub seed: u64,
+}
+
+impl Default for StencilConfig {
+    fn default() -> Self {
+        StencilConfig {
+            n: 128,
+            iters: 4,
+            spes: 4,
+            seed: 77,
+        }
+    }
+}
+
+impl StencilConfig {
+    fn rows_per_spe(&self) -> usize {
+        self.n / self.spes
+    }
+
+    fn row_bytes(&self) -> u32 {
+        (self.n * 4) as u32
+    }
+
+    fn grid_base(&self) -> u64 {
+        DATA_BASE
+    }
+
+    fn out_base(&self) -> u64 {
+        let bytes = (self.n * self.n * 4) as u64;
+        (self.grid_base() + bytes + 0xffff) & !0xffff
+    }
+}
+
+/// Host-side Jacobi reference (edges held fixed).
+pub fn jacobi_reference(grid: &[f32], n: usize, iters: usize) -> Vec<f32> {
+    let mut cur = grid.to_vec();
+    let mut next = grid.to_vec();
+    for _ in 0..iters {
+        for r in 1..n - 1 {
+            for c in 1..n - 1 {
+                next[r * n + c] = 0.25
+                    * (cur[(r - 1) * n + c]
+                        + cur[(r + 1) * n + c]
+                        + cur[r * n + c - 1]
+                        + cur[r * n + c + 1]);
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// The stencil workload.
+#[derive(Debug, Clone, Copy)]
+pub struct StencilWorkload {
+    /// Parameters.
+    pub cfg: StencilConfig,
+}
+
+impl StencilWorkload {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid dimensions.
+    pub fn new(cfg: StencilConfig) -> Self {
+        assert!(cfg.n.is_multiple_of(cfg.spes), "n must divide over the SPEs");
+        assert!(cfg.n * 4 <= 16 * 1024, "a row must fit one DMA");
+        assert!(cfg.rows_per_spe() >= 2, "bands need at least two rows");
+        assert!(
+            cfg.rows_per_spe() * cfg.n * 4 <= 32 * 1024,
+            "a band must fit two DMA transfers"
+        );
+        assert!(cfg.spes >= 1);
+        StencilWorkload { cfg }
+    }
+
+    /// The staged input grid.
+    pub fn input(&self) -> Vec<f32> {
+        DataGen::new(self.cfg.seed).f32_vec(self.cfg.n * self.cfg.n)
+    }
+}
+
+/// Deterministic top-of-LS offset of a band's two halo slots
+/// (slot 0: halo from above; slot 1: halo from below).
+fn halo_ls_offset(cfg: &StencilConfig, ls_size: u32) -> u32 {
+    (ls_size - 2 * cfg.row_bytes()) & !127
+}
+
+impl Workload for StencilWorkload {
+    fn name(&self) -> &str {
+        "stencil"
+    }
+
+    fn stage(&self, machine: &mut Machine) -> Box<dyn PpeProgram> {
+        machine
+            .mem_mut()
+            .write_f32_slice(self.cfg.grid_base(), &self.input())
+            .unwrap();
+        let ls_base = machine.config().ls_ea_base;
+        let ls_size = machine.config().ls_size as u64;
+        let halo_off = halo_ls_offset(&self.cfg, ls_size as u32) as u64;
+        let kernels = (0..self.cfg.spes)
+            .map(|band| {
+                let up = band.checked_sub(1).map(|b| Neighbour {
+                    spe: b as u32,
+                    // Our top row lands in the *below* halo slot (1) of
+                    // the SPE above.
+                    halo_ea: ls_base
+                        + (b as u64) * ls_size
+                        + halo_off
+                        + self.cfg.row_bytes() as u64,
+                });
+                let down = (band + 1 < self.cfg.spes).then(|| Neighbour {
+                    spe: (band + 1) as u32,
+                    // Our bottom row lands in the *above* halo slot (0).
+                    halo_ea: ls_base + ((band + 1) as u64) * ls_size + halo_off,
+                });
+                Box::new(StencilKernel::new(self.cfg, band, up, down)) as Box<dyn SpuProgram>
+            })
+            .collect();
+        Box::new(StencilDriver::new(kernels, self.cfg.iters))
+    }
+
+    fn verify(&self, machine: &Machine) -> Result<(), String> {
+        let want = jacobi_reference(&self.input(), self.cfg.n, self.cfg.iters);
+        let got = machine
+            .mem()
+            .read_f32_slice(self.cfg.out_base(), self.cfg.n * self.cfg.n)
+            .map_err(|e| e.to_string())?;
+        check_f32(&got, &want, 1e-4)
+    }
+}
+
+// ---------------------------------------------------------------------
+// PPE driver: start all, run `iters` barriers, join all
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DrvPhase {
+    Create(usize),
+    Run(usize),
+    Collect { iter: usize, spe: usize },
+    Release { iter: usize, spe: usize },
+    Join(usize),
+    Done,
+}
+
+struct StencilDriver {
+    kernels: Vec<Option<Box<dyn SpuProgram>>>,
+    ctxs: Vec<CtxId>,
+    iters: usize,
+    phase: DrvPhase,
+}
+
+impl std::fmt::Debug for StencilDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StencilDriver")
+            .field("phase", &self.phase)
+            .finish()
+    }
+}
+
+impl StencilDriver {
+    fn new(kernels: Vec<Box<dyn SpuProgram>>, iters: usize) -> Self {
+        StencilDriver {
+            kernels: kernels.into_iter().map(Some).collect(),
+            ctxs: Vec::new(),
+            iters,
+            phase: DrvPhase::Create(0),
+        }
+    }
+
+    fn emit(&mut self) -> PpeAction {
+        match self.phase {
+            DrvPhase::Create(i) => PpeAction::CreateContext {
+                name: format!("band{i}"),
+                program: self.kernels[i].take().expect("kernel taken once"),
+            },
+            DrvPhase::Run(i) => PpeAction::RunContext(self.ctxs[i]),
+            DrvPhase::Collect { spe, .. } => PpeAction::ReadOutMbox {
+                ctx: self.ctxs[spe],
+            },
+            DrvPhase::Release { spe, .. } => PpeAction::WriteInMbox {
+                ctx: self.ctxs[spe],
+                value: 1,
+            },
+            DrvPhase::Join(i) => PpeAction::WaitStop { ctx: self.ctxs[i] },
+            DrvPhase::Done => PpeAction::Halt,
+        }
+    }
+}
+
+impl PpeProgram for StencilDriver {
+    fn resume(&mut self, wake: PpeWake, _env: PpeEnv<'_>) -> PpeAction {
+        let n = self.kernels.len();
+        match wake {
+            PpeWake::Start => {}
+            PpeWake::ContextCreated(c) => {
+                let DrvPhase::Create(i) = self.phase else {
+                    panic!("bad wake")
+                };
+                self.ctxs.push(c);
+                self.phase = DrvPhase::Run(i);
+            }
+            PpeWake::ContextStarted(_) => {
+                let DrvPhase::Run(i) = self.phase else {
+                    panic!("bad wake")
+                };
+                self.phase = if i + 1 < n {
+                    DrvPhase::Create(i + 1)
+                } else if self.iters > 0 {
+                    DrvPhase::Collect { iter: 0, spe: 0 }
+                } else {
+                    DrvPhase::Join(0)
+                };
+            }
+            PpeWake::OutMbox(_) => {
+                let DrvPhase::Collect { iter, spe } = self.phase else {
+                    panic!("bad wake")
+                };
+                self.phase = if spe + 1 < n {
+                    DrvPhase::Collect { iter, spe: spe + 1 }
+                } else {
+                    DrvPhase::Release { iter, spe: 0 }
+                };
+            }
+            PpeWake::MboxWritten => {
+                let DrvPhase::Release { iter, spe } = self.phase else {
+                    panic!("bad wake")
+                };
+                self.phase = if spe + 1 < n {
+                    DrvPhase::Release { iter, spe: spe + 1 }
+                } else if iter + 1 < self.iters {
+                    DrvPhase::Collect {
+                        iter: iter + 1,
+                        spe: 0,
+                    }
+                } else {
+                    DrvPhase::Join(0)
+                };
+            }
+            PpeWake::Stopped { .. } => {
+                let DrvPhase::Join(i) = self.phase else {
+                    panic!("bad wake")
+                };
+                self.phase = if i + 1 < n {
+                    DrvPhase::Join(i + 1)
+                } else {
+                    DrvPhase::Done
+                };
+            }
+            other => panic!("StencilDriver: unexpected {other:?}"),
+        }
+        self.emit()
+    }
+}
+
+// ---------------------------------------------------------------------
+// SPU kernel
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct Neighbour {
+    spe: u32,
+    halo_ea: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KPhase {
+    Init,
+    LoadWait,
+    SendUp,
+    SendUpWait,
+    SignalUp,
+    SendDown,
+    SendDownWait,
+    SignalDown,
+    AwaitHalos,
+    ComputeDone,
+    BarrierArrive,
+    BarrierWait,
+    StoreIssued,
+    StoreWait,
+}
+
+const TAG: u8 = 0;
+const SIG_FROM_UP: u32 = 0b01;
+const SIG_FROM_DOWN: u32 = 0b10;
+
+/// One row band's kernel.
+#[derive(Debug)]
+struct StencilKernel {
+    cfg: StencilConfig,
+    band: usize,
+    up: Option<Neighbour>,
+    down: Option<Neighbour>,
+    iter: usize,
+    phase: KPhase,
+    band_buf: LsAddr,
+    next_buf: LsAddr,
+    halo_buf: LsAddr,
+    sig_mask: u32,
+    pending_store: usize,
+}
+
+impl StencilKernel {
+    fn new(cfg: StencilConfig, band: usize, up: Option<Neighbour>, down: Option<Neighbour>) -> Self {
+        StencilKernel {
+            cfg,
+            band,
+            up,
+            down,
+            iter: 0,
+            phase: KPhase::Init,
+            band_buf: LsAddr::new(0),
+            next_buf: LsAddr::new(0),
+            halo_buf: LsAddr::new(0),
+            sig_mask: 0,
+            pending_store: 0,
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.cfg.rows_per_spe()
+    }
+
+    fn expected_sigs(&self) -> u32 {
+        let mut m = 0;
+        if self.up.is_some() {
+            m |= SIG_FROM_UP;
+        }
+        if self.down.is_some() {
+            m |= SIG_FROM_DOWN;
+        }
+        m
+    }
+
+    fn band_row_ea(&self, base: u64, row: usize) -> u64 {
+        base + ((self.band * self.rows() + row) * self.cfg.n * 4) as u64
+    }
+
+    fn compute(&mut self, env: &mut SpuEnv<'_>) {
+        let n = self.cfg.n;
+        let rows = self.rows();
+        let band = env.ls.read_f32_slice(self.band_buf, rows * n).unwrap();
+        // Halo rows (zero where there is no neighbour — the global edge
+        // rows are never updated anyway).
+        let above = if self.up.is_some() {
+            env.ls.read_f32_slice(self.halo_buf, n).unwrap()
+        } else {
+            vec![0.0; n]
+        };
+        let below = if self.down.is_some() {
+            env.ls
+                .read_f32_slice(self.halo_buf.offset(self.cfg.row_bytes()), n)
+                .unwrap()
+        } else {
+            vec![0.0; n]
+        };
+        let first_global = self.band * rows;
+        let mut next = band.clone();
+        for r in 0..rows {
+            let g = first_global + r;
+            if g == 0 || g == n - 1 {
+                continue; // global edge rows held fixed
+            }
+            let up_row: &[f32] = if r == 0 {
+                &above
+            } else {
+                &band[(r - 1) * n..r * n]
+            };
+            let down_row: &[f32] = if r == rows - 1 {
+                &below
+            } else {
+                &band[(r + 1) * n..(r + 2) * n]
+            };
+            for c in 1..n - 1 {
+                next[r * n + c] =
+                    0.25 * (up_row[c] + down_row[c] + band[r * n + c - 1] + band[r * n + c + 1]);
+            }
+        }
+        env.ls.write_f32_slice(self.next_buf, &next).unwrap();
+        // The new band becomes current.
+        std::mem::swap(&mut self.band_buf, &mut self.next_buf);
+    }
+
+    fn compute_cycles(&self) -> u64 {
+        // 4 adds + 1 mul per interior point at 8 flops/cycle.
+        (self.rows() * self.cfg.n * 5 / 8) as u64
+    }
+}
+
+impl SpuProgram for StencilKernel {
+    fn resume(&mut self, wake: SpuWake, mut env: SpuEnv<'_>) -> SpuAction {
+        let rb = self.cfg.row_bytes();
+        loop {
+            match self.phase {
+                KPhase::Init => {
+                    let band_bytes = (self.rows() * self.cfg.n * 4) as u32;
+                    self.band_buf = env.ls.alloc(band_bytes, 128, "band").unwrap();
+                    self.next_buf = env.ls.alloc(band_bytes, 128, "next").unwrap();
+                    self.halo_buf = env.ls.alloc_top(2 * rb, 128, "halos").unwrap();
+                    debug_assert_eq!(
+                        self.halo_buf.get(),
+                        halo_ls_offset(&self.cfg, env.ls.size())
+                    );
+                    self.phase = KPhase::LoadWait;
+                    // Load the whole band (one DMA per row keeps each
+                    // transfer a valid size; rows are contiguous so use
+                    // one big GET when it fits).
+                    let band_ea = self.band_row_ea(self.cfg.grid_base(), 0);
+                    return SpuAction::DmaGet {
+                        lsa: self.band_buf,
+                        ea: band_ea,
+                        size: band_bytes.min(16 * 1024),
+                        tag: TagId::new(TAG).unwrap(),
+                    };
+                }
+                KPhase::LoadWait => {
+                    if matches!(wake, SpuWake::TagsDone(_)) {
+                        // Load any remainder beyond the first 16 KiB.
+                        let band_bytes = (self.rows() * self.cfg.n * 4) as u32;
+                        let loaded = 16 * 1024u32;
+                        if band_bytes > loaded && self.pending_store == 0 {
+                            self.pending_store = 1; // reuse as "remainder loaded" marker
+                            return SpuAction::DmaGet {
+                                lsa: self.band_buf.offset(loaded),
+                                ea: self.band_row_ea(self.cfg.grid_base(), 0) + loaded as u64,
+                                size: band_bytes - loaded,
+                                tag: TagId::new(TAG).unwrap(),
+                            };
+                        }
+                        self.pending_store = 0;
+                        self.phase = KPhase::SendUp;
+                        continue;
+                    }
+                    return SpuAction::WaitTags {
+                        mask: 1 << TAG,
+                        mode: TagWaitMode::All,
+                    };
+                }
+                KPhase::SendUp => {
+                    if self.iter >= self.cfg.iters {
+                        self.phase = KPhase::StoreIssued;
+                        continue;
+                    }
+                    match self.up {
+                        Some(nb) => {
+                            self.phase = KPhase::SendUpWait;
+                            return SpuAction::DmaPut {
+                                lsa: self.band_buf, // top row
+                                ea: nb.halo_ea,
+                                size: rb,
+                                tag: TagId::new(TAG).unwrap(),
+                            };
+                        }
+                        None => {
+                            self.phase = KPhase::SendDown;
+                            continue;
+                        }
+                    }
+                }
+                KPhase::SendUpWait => {
+                    if matches!(wake, SpuWake::TagsDone(_)) {
+                        self.phase = KPhase::SignalUp;
+                        continue;
+                    }
+                    return SpuAction::WaitTags {
+                        mask: 1 << TAG,
+                        mode: TagWaitMode::All,
+                    };
+                }
+                KPhase::SignalUp => {
+                    let nb = self.up.expect("signal only with neighbour");
+                    self.phase = KPhase::SendDown;
+                    return SpuAction::SendSignal {
+                        spe: nb.spe,
+                        reg: SignalReg::Sig1,
+                        value: SIG_FROM_DOWN, // we are *below* them
+                    };
+                }
+                KPhase::SendDown => {
+                    match self.down {
+                        Some(nb) => {
+                            self.phase = KPhase::SendDownWait;
+                            let last_row = (self.rows() - 1) as u32;
+                            return SpuAction::DmaPut {
+                                lsa: self.band_buf.offset(last_row * rb),
+                                ea: nb.halo_ea,
+                                size: rb,
+                                tag: TagId::new(TAG).unwrap(),
+                            };
+                        }
+                        None => {
+                            self.phase = KPhase::AwaitHalos;
+                            continue;
+                        }
+                    }
+                }
+                KPhase::SendDownWait => {
+                    if matches!(wake, SpuWake::TagsDone(_)) {
+                        self.phase = KPhase::SignalDown;
+                        continue;
+                    }
+                    return SpuAction::WaitTags {
+                        mask: 1 << TAG,
+                        mode: TagWaitMode::All,
+                    };
+                }
+                KPhase::SignalDown => {
+                    let nb = self.down.expect("signal only with neighbour");
+                    self.phase = KPhase::AwaitHalos;
+                    return SpuAction::SendSignal {
+                        spe: nb.spe,
+                        reg: SignalReg::Sig1,
+                        value: SIG_FROM_UP, // we are *above* them
+                    };
+                }
+                KPhase::AwaitHalos => {
+                    if let SpuWake::Signal(bits) = wake {
+                        self.sig_mask |= bits;
+                    }
+                    if self.sig_mask & self.expected_sigs() == self.expected_sigs() {
+                        self.sig_mask &= !self.expected_sigs();
+                        self.compute(&mut env);
+                        self.phase = KPhase::ComputeDone;
+                        return SpuAction::Compute(self.compute_cycles().max(1));
+                    }
+                    return SpuAction::ReadSignal(SignalReg::Sig1);
+                }
+                KPhase::ComputeDone => {
+                    self.phase = KPhase::BarrierArrive;
+                    continue;
+                }
+                KPhase::BarrierArrive => {
+                    self.phase = KPhase::BarrierWait;
+                    return SpuAction::WriteOutMbox(self.iter as u32);
+                }
+                KPhase::BarrierWait => {
+                    if matches!(wake, SpuWake::InMbox(_)) {
+                        self.iter += 1;
+                        self.phase = KPhase::SendUp;
+                        continue;
+                    }
+                    return SpuAction::ReadInMbox;
+                }
+                KPhase::StoreIssued => {
+                    // PUT the band back (split like the load).
+                    let band_bytes = (self.rows() * self.cfg.n * 4) as u32;
+                    let first = band_bytes.min(16 * 1024);
+                    self.pending_store = if band_bytes > first { 1 } else { 0 };
+                    self.phase = KPhase::StoreWait;
+                    return SpuAction::DmaPut {
+                        lsa: self.band_buf,
+                        ea: self.band_row_ea(self.cfg.out_base(), 0),
+                        size: first,
+                        tag: TagId::new(TAG).unwrap(),
+                    };
+                }
+                KPhase::StoreWait => {
+                    if matches!(wake, SpuWake::TagsDone(_)) {
+                        if self.pending_store == 1 {
+                            self.pending_store = 2;
+                            let band_bytes = (self.rows() * self.cfg.n * 4) as u32;
+                            let loaded = 16 * 1024u32;
+                            return SpuAction::DmaPut {
+                                lsa: self.band_buf.offset(loaded),
+                                ea: self.band_row_ea(self.cfg.out_base(), 0) + loaded as u64,
+                                size: band_bytes - loaded,
+                                tag: TagId::new(TAG).unwrap(),
+                            };
+                        }
+                        return SpuAction::Stop(0);
+                    }
+                    return SpuAction::WaitTags {
+                        mask: 1 << TAG,
+                        mode: TagWaitMode::All,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+    use cellsim::MachineConfig;
+
+    #[test]
+    fn reference_preserves_edges() {
+        let n = 8;
+        // Quadratic values are not harmonic, so the interior changes.
+        let grid: Vec<f32> = (0..n * n).map(|i| (i * i) as f32).collect();
+        let out = jacobi_reference(&grid, n, 3);
+        for c in 0..n {
+            assert_eq!(out[c], grid[c], "top edge fixed");
+            assert_eq!(out[(n - 1) * n + c], grid[(n - 1) * n + c], "bottom edge");
+        }
+        for r in 0..n {
+            assert_eq!(out[r * n], grid[r * n], "left edge");
+            assert_eq!(out[r * n + n - 1], grid[r * n + n - 1], "right edge");
+        }
+        // Interior changed.
+        assert_ne!(out[n + 1], grid[n + 1]);
+    }
+
+    #[test]
+    fn single_spe_matches_reference() {
+        let w = StencilWorkload::new(StencilConfig {
+            n: 32,
+            iters: 3,
+            spes: 1,
+            seed: 5,
+        });
+        run_workload(&w, MachineConfig::default().with_num_spes(1), None).unwrap();
+    }
+
+    #[test]
+    fn four_spes_exchange_halos_correctly() {
+        let w = StencilWorkload::new(StencilConfig {
+            n: 64,
+            iters: 4,
+            spes: 4,
+            seed: 6,
+        });
+        run_workload(&w, MachineConfig::default().with_num_spes(4), None).unwrap();
+    }
+
+    #[test]
+    fn eight_spes_large_bands_split_dma() {
+        // 128×128 over 2 SPEs → 32 KiB bands: exercises the >16 KiB
+        // split load/store paths.
+        let w = StencilWorkload::new(StencilConfig {
+            n: 128,
+            iters: 2,
+            spes: 2,
+            seed: 7,
+        });
+        run_workload(&w, MachineConfig::default().with_num_spes(2), None).unwrap();
+    }
+
+    #[test]
+    fn zero_iterations_is_identity() {
+        let w = StencilWorkload::new(StencilConfig {
+            n: 32,
+            iters: 0,
+            spes: 2,
+            seed: 8,
+        });
+        run_workload(&w, MachineConfig::default().with_num_spes(2), None).unwrap();
+    }
+}

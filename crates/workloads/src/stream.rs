@@ -1,0 +1,520 @@
+//! Streaming triad workload: the paper's double-buffering use case.
+//!
+//! Each SPE processes a contiguous range of data blocks, computing
+//! `out[i] = a * in[i] + b` per element. Two buffering strategies are
+//! provided:
+//!
+//! - [`Buffering::Single`]: GET a block, wait, compute, PUT, wait —
+//!   every transfer exposed on the critical path.
+//! - [`Buffering::Double`]: the canonical Cell scheme with two input
+//!   and two output buffers on separate tag groups, prefetching block
+//!   *k+1* while computing block *k*.
+//!
+//! Experiment E6 traces both and shows the DMA-wait fraction collapse
+//! the paper demonstrates with the Trace Analyzer timeline.
+
+use cellsim::{
+    LsAddr, Machine, PpeProgram, SpeJob, SpmdDriver, SpuAction, SpuEnv, SpuProgram, SpuWake, TagId,
+    TagWaitMode,
+};
+
+use crate::common::{check_f32, DataGen, Workload, DATA_BASE};
+
+/// Buffering strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Buffering {
+    /// One input and one output buffer; transfers serialize with
+    /// compute.
+    Single,
+    /// Two input and two output buffers; transfers overlap compute.
+    Double,
+}
+
+/// Streaming workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Total data blocks (split contiguously across SPEs).
+    pub blocks: usize,
+    /// Bytes per block (a valid DMA size, multiple of 16).
+    pub block_bytes: u32,
+    /// Triad scale.
+    pub a: f32,
+    /// Triad offset.
+    pub b: f32,
+    /// Modeled compute cycles per block (on top of the data movement).
+    pub compute_cycles_per_block: u64,
+    /// Buffering strategy.
+    pub buffering: Buffering,
+    /// SPEs to use.
+    pub spes: usize,
+    /// Data seed.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            blocks: 64,
+            block_bytes: 16 * 1024,
+            a: 2.5,
+            b: -1.0,
+            compute_cycles_per_block: 4096,
+            buffering: Buffering::Double,
+            spes: 4,
+            seed: 42,
+        }
+    }
+}
+
+impl StreamConfig {
+    fn elems_per_block(&self) -> usize {
+        self.block_bytes as usize / 4
+    }
+
+    fn in_base(&self) -> u64 {
+        DATA_BASE
+    }
+
+    fn out_base(&self) -> u64 {
+        let total = self.blocks as u64 * self.block_bytes as u64;
+        (DATA_BASE + total + 0xffff) & !0xffff
+    }
+}
+
+/// The streaming workload.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamWorkload {
+    /// Parameters.
+    pub cfg: StreamConfig,
+}
+
+impl StreamWorkload {
+    /// Creates the workload.
+    pub fn new(cfg: StreamConfig) -> Self {
+        StreamWorkload { cfg }
+    }
+
+    /// The input data this workload stages (derived from the seed).
+    pub fn input(&self) -> Vec<f32> {
+        DataGen::new(self.cfg.seed).f32_vec(self.cfg.blocks * self.cfg.elems_per_block())
+    }
+}
+
+impl Workload for StreamWorkload {
+    fn name(&self) -> &str {
+        "stream"
+    }
+
+    fn stage(&self, machine: &mut Machine) -> Box<dyn PpeProgram> {
+        let input = self.input();
+        machine
+            .mem_mut()
+            .write_f32_slice(self.cfg.in_base(), &input)
+            .expect("input fits in data region");
+        // Split blocks contiguously.
+        let per = self.cfg.blocks.div_ceil(self.cfg.spes);
+        let jobs = (0..self.cfg.spes)
+            .map(|s| {
+                let first = s * per;
+                let count = per.min(self.cfg.blocks.saturating_sub(first));
+                let kernel: Box<dyn SpuProgram> = match self.cfg.buffering {
+                    Buffering::Single => Box::new(SingleBufferKernel::new(self.cfg, first, count)),
+                    Buffering::Double => Box::new(DoubleBufferKernel::new(self.cfg, first, count)),
+                };
+                SpeJob::new(format!("stream{s}"), kernel)
+            })
+            .collect();
+        Box::new(SpmdDriver::new(jobs))
+    }
+
+    fn verify(&self, machine: &Machine) -> Result<(), String> {
+        let n = self.cfg.blocks * self.cfg.elems_per_block();
+        let input = self.input();
+        let got = machine
+            .mem()
+            .read_f32_slice(self.cfg.out_base(), n)
+            .map_err(|e| e.to_string())?;
+        let want: Vec<f32> = input.iter().map(|x| self.cfg.a * x + self.cfg.b).collect();
+        check_f32(&got, &want, 1e-5)
+    }
+}
+
+fn transform(env: &mut SpuEnv<'_>, from: LsAddr, to: LsAddr, elems: usize, a: f32, b: f32) {
+    let data = env.ls.read_f32_slice(from, elems).expect("in buffer");
+    let out: Vec<f32> = data.iter().map(|x| a * x + b).collect();
+    env.ls.write_f32_slice(to, &out).expect("out buffer");
+}
+
+// ---------------------------------------------------------------------
+// Single-buffered kernel
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SinglePhase {
+    Init,
+    GetIssued,
+    GetDone,
+    ComputeDone,
+    PutIssued,
+    PutDone,
+}
+
+/// One-in one-out buffer streaming kernel.
+#[derive(Debug)]
+pub struct SingleBufferKernel {
+    cfg: StreamConfig,
+    first: usize,
+    count: usize,
+    k: usize,
+    phase: SinglePhase,
+    in_buf: LsAddr,
+    out_buf: LsAddr,
+}
+
+impl SingleBufferKernel {
+    /// Kernel over blocks `[first, first+count)`.
+    pub fn new(cfg: StreamConfig, first: usize, count: usize) -> Self {
+        SingleBufferKernel {
+            cfg,
+            first,
+            count,
+            k: 0,
+            phase: SinglePhase::Init,
+            in_buf: LsAddr::new(0),
+            out_buf: LsAddr::new(0),
+        }
+    }
+
+    fn block_ea(&self, base: u64, k: usize) -> u64 {
+        base + (self.first + k) as u64 * self.cfg.block_bytes as u64
+    }
+}
+
+const IN_TAG: u8 = 0;
+const OUT_TAG: u8 = 2;
+
+impl SpuProgram for SingleBufferKernel {
+    fn resume(&mut self, _wake: SpuWake, mut env: SpuEnv<'_>) -> SpuAction {
+        let bytes = self.cfg.block_bytes;
+        match self.phase {
+            SinglePhase::Init => {
+                self.in_buf = env.ls.alloc(bytes, 128, "in").unwrap();
+                self.out_buf = env.ls.alloc(bytes, 128, "out").unwrap();
+                if self.count == 0 {
+                    return SpuAction::Stop(0);
+                }
+                self.phase = SinglePhase::GetIssued;
+                SpuAction::DmaGet {
+                    lsa: self.in_buf,
+                    ea: self.block_ea(self.cfg.in_base(), self.k),
+                    size: bytes,
+                    tag: TagId::new(IN_TAG).unwrap(),
+                }
+            }
+            SinglePhase::GetIssued => {
+                self.phase = SinglePhase::GetDone;
+                SpuAction::WaitTags {
+                    mask: 1 << IN_TAG,
+                    mode: TagWaitMode::All,
+                }
+            }
+            SinglePhase::GetDone => {
+                transform(
+                    &mut env,
+                    self.in_buf,
+                    self.out_buf,
+                    self.cfg.elems_per_block(),
+                    self.cfg.a,
+                    self.cfg.b,
+                );
+                self.phase = SinglePhase::ComputeDone;
+                SpuAction::Compute(self.cfg.compute_cycles_per_block)
+            }
+            SinglePhase::ComputeDone => {
+                self.phase = SinglePhase::PutIssued;
+                SpuAction::DmaPut {
+                    lsa: self.out_buf,
+                    ea: self.block_ea(self.cfg.out_base(), self.k),
+                    size: bytes,
+                    tag: TagId::new(OUT_TAG).unwrap(),
+                }
+            }
+            SinglePhase::PutIssued => {
+                self.phase = SinglePhase::PutDone;
+                SpuAction::WaitTags {
+                    mask: 1 << OUT_TAG,
+                    mode: TagWaitMode::All,
+                }
+            }
+            SinglePhase::PutDone => {
+                self.k += 1;
+                if self.k >= self.count {
+                    return SpuAction::Stop(0);
+                }
+                self.phase = SinglePhase::GetIssued;
+                SpuAction::DmaGet {
+                    lsa: self.in_buf,
+                    ea: self.block_ea(self.cfg.in_base(), self.k),
+                    size: bytes,
+                    tag: TagId::new(IN_TAG).unwrap(),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Double-buffered kernel
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DoublePhase {
+    Init,
+    FirstGetIssued,
+    PrefetchIssued,
+    InWaitDone,
+    ComputeDone,
+    OutWaitDone,
+    PutIssued,
+    DrainWait,
+}
+
+/// Two-in two-out buffer streaming kernel with prefetch.
+#[derive(Debug)]
+pub struct DoubleBufferKernel {
+    cfg: StreamConfig,
+    first: usize,
+    count: usize,
+    k: usize,
+    phase: DoublePhase,
+    in_bufs: [LsAddr; 2],
+    out_bufs: [LsAddr; 2],
+}
+
+impl DoubleBufferKernel {
+    /// Kernel over blocks `[first, first+count)`.
+    pub fn new(cfg: StreamConfig, first: usize, count: usize) -> Self {
+        DoubleBufferKernel {
+            cfg,
+            first,
+            count,
+            k: 0,
+            phase: DoublePhase::Init,
+            in_bufs: [LsAddr::new(0); 2],
+            out_bufs: [LsAddr::new(0); 2],
+        }
+    }
+
+    fn block_ea(&self, base: u64, k: usize) -> u64 {
+        base + (self.first + k) as u64 * self.cfg.block_bytes as u64
+    }
+
+    fn in_tag(k: usize) -> u8 {
+        (k % 2) as u8
+    }
+
+    fn out_tag(k: usize) -> u8 {
+        2 + (k % 2) as u8
+    }
+
+    fn get_action(&self, k: usize) -> SpuAction {
+        SpuAction::DmaGet {
+            lsa: self.in_bufs[k % 2],
+            ea: self.block_ea(self.cfg.in_base(), k),
+            size: self.cfg.block_bytes,
+            tag: TagId::new(Self::in_tag(k)).unwrap(),
+        }
+    }
+}
+
+impl SpuProgram for DoubleBufferKernel {
+    fn resume(&mut self, _wake: SpuWake, mut env: SpuEnv<'_>) -> SpuAction {
+        let bytes = self.cfg.block_bytes;
+        match self.phase {
+            DoublePhase::Init => {
+                for b in 0..2 {
+                    self.in_bufs[b] = env.ls.alloc(bytes, 128, "in").unwrap();
+                    self.out_bufs[b] = env.ls.alloc(bytes, 128, "out").unwrap();
+                }
+                if self.count == 0 {
+                    return SpuAction::Stop(0);
+                }
+                self.phase = DoublePhase::FirstGetIssued;
+                self.get_action(0)
+            }
+            DoublePhase::FirstGetIssued => {
+                // Prefetch block 1, if any.
+                if self.count > 1 {
+                    self.phase = DoublePhase::PrefetchIssued;
+                    return self.get_action(1);
+                }
+                self.phase = DoublePhase::InWaitDone;
+                SpuAction::WaitTags {
+                    mask: 1 << Self::in_tag(0),
+                    mode: TagWaitMode::All,
+                }
+            }
+            DoublePhase::PrefetchIssued => {
+                self.phase = DoublePhase::InWaitDone;
+                SpuAction::WaitTags {
+                    mask: 1 << Self::in_tag(self.k),
+                    mode: TagWaitMode::All,
+                }
+            }
+            DoublePhase::InWaitDone => {
+                transform(
+                    &mut env,
+                    self.in_bufs[self.k % 2],
+                    self.out_bufs[self.k % 2],
+                    self.cfg.elems_per_block(),
+                    self.cfg.a,
+                    self.cfg.b,
+                );
+                self.phase = DoublePhase::ComputeDone;
+                SpuAction::Compute(self.cfg.compute_cycles_per_block)
+            }
+            DoublePhase::ComputeDone => {
+                // Ensure the previous PUT from this out-buffer is
+                // done before overwriting... it already is: we
+                // transformed into it. Ensure the *DMA* finished:
+                self.phase = DoublePhase::OutWaitDone;
+                SpuAction::WaitTags {
+                    mask: 1 << Self::out_tag(self.k),
+                    mode: TagWaitMode::All,
+                }
+            }
+            DoublePhase::OutWaitDone => {
+                self.phase = DoublePhase::PutIssued;
+                SpuAction::DmaPut {
+                    lsa: self.out_bufs[self.k % 2],
+                    ea: self.block_ea(self.cfg.out_base(), self.k),
+                    size: bytes,
+                    tag: TagId::new(Self::out_tag(self.k)).unwrap(),
+                }
+            }
+            DoublePhase::PutIssued => {
+                // Prefetch block k+2 into the in-buffer we just
+                // consumed, then advance.
+                let next_prefetch = self.k + 2;
+                self.k += 1;
+                if self.k >= self.count {
+                    self.phase = DoublePhase::DrainWait;
+                    return SpuAction::WaitTags {
+                        mask: (1 << OUT_TAG) | (1 << (OUT_TAG + 1)),
+                        mode: TagWaitMode::All,
+                    };
+                }
+                if next_prefetch < self.count {
+                    self.phase = DoublePhase::PrefetchIssued;
+                    return self.get_action(next_prefetch);
+                }
+                self.phase = DoublePhase::InWaitDone;
+                SpuAction::WaitTags {
+                    mask: 1 << Self::in_tag(self.k),
+                    mode: TagWaitMode::All,
+                }
+            }
+            DoublePhase::DrainWait => {
+                SpuAction::Stop(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+    use cellsim::MachineConfig;
+
+    fn small(buffering: Buffering, spes: usize) -> StreamConfig {
+        StreamConfig {
+            blocks: 12,
+            block_bytes: 4096,
+            compute_cycles_per_block: 3000,
+            buffering,
+            spes,
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_buffer_produces_correct_results() {
+        let w = StreamWorkload::new(small(Buffering::Single, 2));
+        let r = run_workload(&w, MachineConfig::default().with_num_spes(2), None).unwrap();
+        assert!(r.report.cycles > 0);
+    }
+
+    #[test]
+    fn double_buffer_produces_correct_results() {
+        let w = StreamWorkload::new(small(Buffering::Double, 2));
+        run_workload(&w, MachineConfig::default().with_num_spes(2), None).unwrap();
+    }
+
+    #[test]
+    fn double_buffering_is_faster_when_balanced() {
+        // Compute ≈ transfer time so overlap matters.
+        let mk = |buffering| StreamConfig {
+            blocks: 32,
+            block_bytes: 16 * 1024,
+            compute_cycles_per_block: 2500,
+            buffering,
+            spes: 1,
+            ..StreamConfig::default()
+        };
+        let single = run_workload(
+            &StreamWorkload::new(mk(Buffering::Single)),
+            MachineConfig::default().with_num_spes(1),
+            None,
+        )
+        .unwrap();
+        let double = run_workload(
+            &StreamWorkload::new(mk(Buffering::Double)),
+            MachineConfig::default().with_num_spes(1),
+            None,
+        )
+        .unwrap();
+        let speedup = single.report.cycles as f64 / double.report.cycles as f64;
+        assert!(
+            speedup > 1.25,
+            "double buffering speedup {speedup:.2} (single {} double {})",
+            single.report.cycles,
+            double.report.cycles
+        );
+    }
+
+    #[test]
+    fn uneven_block_split_still_verifies() {
+        // 13 blocks over 4 SPEs: one SPE gets a single block.
+        let cfg = StreamConfig {
+            blocks: 13,
+            block_bytes: 2048,
+            spes: 4,
+            buffering: Buffering::Double,
+            ..StreamConfig::default()
+        };
+        run_workload(
+            &StreamWorkload::new(cfg),
+            MachineConfig::default().with_num_spes(4),
+            None,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn single_block_double_buffer_edge_case() {
+        let cfg = StreamConfig {
+            blocks: 1,
+            block_bytes: 1024,
+            spes: 1,
+            buffering: Buffering::Double,
+            ..StreamConfig::default()
+        };
+        run_workload(
+            &StreamWorkload::new(cfg),
+            MachineConfig::default().with_num_spes(1),
+            None,
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,63 @@
+//! Machine-configuration sensitivity: the same workload on machines
+//! with different memory subsystems, seen through the trace analyzer.
+//! Demonstrates using `MachineConfig` beyond the defaults and the
+//! simulator's ground-truth report.
+//!
+//! ```sh
+//! cargo run --example custom_machine
+//! ```
+
+use cell_pdt::prelude::*;
+use cellsim::MachineConfig;
+
+fn run(label: &str, mcfg: MachineConfig) -> Result<(), Box<dyn std::error::Error>> {
+    let workload = StreamWorkload::new(StreamConfig {
+        blocks: 48,
+        block_bytes: 16 * 1024,
+        compute_cycles_per_block: 2500,
+        buffering: Buffering::Double,
+        spes: 4,
+        ..StreamConfig::default()
+    });
+    let result = run_workload(&workload, mcfg, Some(TracingConfig::default()))?;
+    let analyzed = analyze(result.trace.as_ref().expect("traced"))?;
+    let stats = compute_stats(&analyzed);
+    let dma_frac: f64 = stats
+        .spes
+        .iter()
+        .map(|a| a.dma_wait_tb as f64 / a.active_tb.max(1) as f64)
+        .sum::<f64>()
+        / stats.spes.len() as f64;
+    println!(
+        "{label:<28} {:>9} cycles   mean dma-wait {:>5.1}%   observed latency {:>6.2} µs",
+        result.report.cycles,
+        dma_frac * 100.0,
+        analyzed.tb_to_ns(stats.dma.latency_ticks.mean().round() as u64) / 1000.0
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("streaming triad on four machine variants:\n");
+
+    run("stock 3.2 GHz blade", MachineConfig::default().with_num_spes(4))?;
+
+    let mut slow_mem = MachineConfig::default().with_num_spes(4);
+    slow_mem.mem_latency_ns = 360.0; // 4x the XDR latency
+    run("4x memory latency", slow_mem)?;
+
+    let mut half_bw = MachineConfig::default().with_num_spes(4);
+    half_bw.mem_bandwidth_bytes_per_sec /= 4;
+    run("1/4 memory bandwidth", half_bw)?;
+
+    let mut shallow = MachineConfig::default().with_num_spes(4);
+    shallow.mfc_queue_depth = 2;
+    shallow.mfc_inflight = 1;
+    run("2-entry MFC queues", shallow)?;
+
+    println!(
+        "\nthe analyzer sees only trace bytes in every case — the same\n\
+         tooling diagnoses whichever machine the application runs on"
+    );
+    Ok(())
+}

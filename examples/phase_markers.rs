@@ -1,0 +1,119 @@
+//! Writing your own instrumented SPU kernel: bracket logical phases
+//! with PDT user-event markers, save the trace to disk, and let the
+//! analyzer reconstruct the phase structure.
+//!
+//! ```sh
+//! cargo run --example phase_markers
+//! # then inspect the saved trace with the standalone analyzer:
+//! cargo run -p ta --bin ta-cli -- summary phase_markers.pdt
+//! cargo run -p ta --bin ta-cli -- phases  phase_markers.pdt
+//! ```
+
+use cell_pdt::prelude::*;
+use pdt::markers::{PHASE_BEGIN, PHASE_END};
+
+const PHASE_LOAD: u32 = 1;
+const PHASE_COMPUTE: u32 = 2;
+
+/// A kernel that marks its load and compute phases.
+struct MarkedKernel {
+    rounds: u32,
+    step: u32,
+}
+
+impl SpuProgram for MarkedKernel {
+    fn resume(&mut self, _wake: SpuWake, env: cellsim::SpuEnv<'_>) -> SpuAction {
+        // Steps per round: mark-load, GET, wait, end-load,
+        // mark-compute, compute, end-compute.
+        let round = self.step / 7;
+        if round >= self.rounds {
+            return SpuAction::Stop(0);
+        }
+        let s = self.step % 7;
+        self.step += 1;
+        match s {
+            0 => SpuAction::UserEvent {
+                id: PHASE_LOAD,
+                a0: PHASE_BEGIN,
+                a1: round as u64,
+            },
+            1 => {
+                let buf = if round == 0 {
+                    env.ls.alloc(8192, 128, "buf").unwrap()
+                } else {
+                    cellsim::LsAddr::new(0x800) // trace buffer sits below
+                };
+                let _ = buf;
+                SpuAction::DmaGet {
+                    lsa: cellsim::LsAddr::new(0x10000),
+                    ea: 0x100000 + (round as u64) * 8192,
+                    size: 8192,
+                    tag: TagId::new(0).unwrap(),
+                }
+            }
+            2 => SpuAction::WaitTags {
+                mask: 1,
+                mode: TagWaitMode::All,
+            },
+            3 => SpuAction::UserEvent {
+                id: PHASE_LOAD,
+                a0: PHASE_END,
+                a1: round as u64,
+            },
+            4 => SpuAction::UserEvent {
+                id: PHASE_COMPUTE,
+                a0: PHASE_BEGIN,
+                a1: round as u64,
+            },
+            5 => SpuAction::Compute(20_000),
+            _ => SpuAction::UserEvent {
+                id: PHASE_COMPUTE,
+                a0: PHASE_END,
+                a1: round as u64,
+            },
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut machine = Machine::new(MachineConfig::default().with_num_spes(1))?;
+    let session = TraceSession::install(TracingConfig::default(), &mut machine)?;
+    machine.set_ppe_program(
+        PpeThreadId::new(0),
+        Box::new(SpmdDriver::new(vec![SpeJob::new(
+            "marked",
+            Box::new(MarkedKernel { rounds: 6, step: 0 }),
+        )])),
+    );
+    machine.run()?;
+
+    let trace = session.collect(&machine);
+    trace.write_to("phase_markers.pdt")?;
+    println!("trace saved to phase_markers.pdt\n");
+
+    let analyzed = analyze(&trace)?;
+    let report = ta::user_phases(&analyzed);
+    println!("reconstructed user phases:");
+    for p in &report.phases {
+        let name = match p.id {
+            PHASE_LOAD => "load",
+            PHASE_COMPUTE => "compute",
+            _ => "?",
+        };
+        println!(
+            "  {:>8} on {}: {:>6.2} µs",
+            name,
+            p.core,
+            analyzed.tb_to_ns(p.ticks()) / 1000.0
+        );
+    }
+    let load = analyzed.tb_to_ns(report.total_ticks(PHASE_LOAD)) / 1000.0;
+    let compute = analyzed.tb_to_ns(report.total_ticks(PHASE_COMPUTE)) / 1000.0;
+    println!("\ntotals: load {load:.2} µs, compute {compute:.2} µs");
+    println!(
+        "compute/load ratio {:.2} — the application-level view the\n\
+         hardware-event timeline cannot give by itself",
+        compute / load
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: simulate a traced workload, analyze its PDT trace, and
+//! print the analyzer's view — all in about fifty lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use cell_pdt::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4-SPE Cell machine with a PDT tracing session attached.
+    let mut machine = Machine::new(MachineConfig::default().with_num_spes(4))?;
+    let session = TraceSession::install(TracingConfig::default(), &mut machine)?;
+
+    // The streaming-triad workload, double-buffered over 4 SPEs.
+    let workload = StreamWorkload::new(StreamConfig {
+        blocks: 32,
+        block_bytes: 16 * 1024,
+        buffering: Buffering::Double,
+        spes: 4,
+        ..StreamConfig::default()
+    });
+    let driver = workload.stage(&mut machine);
+    machine.set_ppe_program(PpeThreadId::new(0), driver);
+
+    let report = machine.run()?;
+    workload.verify(&machine).map_err(std::io::Error::other)?;
+    println!(
+        "simulated {} cycles ({:.3} ms of Cell time); results verified\n",
+        report.cycles,
+        report.wall_ns / 1e6
+    );
+
+    // Everything below uses only the trace bytes, like the real TA.
+    let trace = session.collect(&machine);
+    println!(
+        "trace: {} streams, {} bytes, {} records dropped\n",
+        trace.streams.len(),
+        trace.total_bytes(),
+        trace.total_dropped()
+    );
+
+    let analyzed = analyze(&trace)?;
+    let stats = compute_stats(&analyzed);
+    println!("per-SPE activity (from the trace alone):");
+    for a in &stats.spes {
+        println!(
+            "  SPE{}: utilization {:5.1}%  dma-wait {:5.1}%  mbox-wait {:5.1}%",
+            a.spe,
+            a.utilization * 100.0,
+            a.dma_wait_tb as f64 / a.active_tb as f64 * 100.0,
+            a.mbox_wait_tb as f64 / a.active_tb as f64 * 100.0,
+        );
+    }
+    println!(
+        "\nDMA: {} gets, {} puts, {} KiB moved, mean observed latency {:.2} µs",
+        stats.dma.gets,
+        stats.dma.puts,
+        stats.dma.bytes / 1024,
+        analyzed.tb_to_ns(stats.dma.latency_ticks.mean().round() as u64) / 1000.0
+    );
+
+    println!("\ntimeline:\n");
+    let timeline = build_timeline(&analyzed);
+    print!("{}", render_ascii(&timeline, 100));
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! Property-based end-to-end test: arbitrary (valid) scripted SPU
+//! programs, traced and analyzed. Whatever the program does, the PDT
+//! trace must decode, the analyzer must reconstruct a consistent
+//! global timeline, and the activity accounting must tile each SPE's
+//! active window exactly.
+
+use proptest::prelude::*;
+
+use cell_pdt::prelude::*;
+
+/// A generatable, always-terminating SPU action.
+#[derive(Debug, Clone)]
+enum Step {
+    Compute(u64),
+    DmaRound { size_class: u8, tag: u8 },
+    User(u32),
+    Decrementer,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u64..20_000).prop_map(Step::Compute),
+        ((0u8..4), (0u8..4)).prop_map(|(size_class, tag)| Step::DmaRound { size_class, tag }),
+        (0u32..100).prop_map(Step::User),
+        Just(Step::Decrementer),
+    ]
+}
+
+fn to_actions(steps: &[Step]) -> Vec<SpuAction> {
+    let mut out = Vec::new();
+    for s in steps {
+        match s {
+            Step::Compute(n) => out.push(SpuAction::Compute(*n)),
+            Step::DmaRound { size_class, tag } => {
+                let size = 128u32 << (2 * *size_class as u32); // 128..8192
+                let tag = TagId::new(*tag).unwrap();
+                out.push(SpuAction::DmaGet {
+                    lsa: cellsim::LsAddr::new(0x10000),
+                    ea: 0x100000,
+                    size,
+                    tag,
+                });
+                out.push(SpuAction::WaitTags {
+                    mask: tag.mask_bit(),
+                    mode: TagWaitMode::All,
+                });
+            }
+            Step::User(id) => out.push(SpuAction::UserEvent {
+                id: *id,
+                a0: 1,
+                a1: 2,
+            }),
+            Step::Decrementer => out.push(SpuAction::ReadDecrementer),
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_program_traces_and_analyzes(
+        programs in prop::collection::vec(prop::collection::vec(arb_step(), 0..24), 1..4),
+        buffer_bytes in prop_oneof![Just(512u32), Just(2048u32), Just(8192u32)],
+    ) {
+        let spes = programs.len();
+        let mut m = Machine::new(MachineConfig::default().with_num_spes(spes)).unwrap();
+        let session = TraceSession::install(
+            TracingConfig::default().with_buffer_bytes(buffer_bytes),
+            &mut m,
+        )
+        .unwrap();
+        let jobs: Vec<SpeJob> = programs
+            .iter()
+            .enumerate()
+            .map(|(i, steps)| {
+                SpeJob::new(format!("p{i}"), Box::new(SpuScript::new(to_actions(steps))))
+            })
+            .collect();
+        m.set_ppe_program(PpeThreadId::new(0), Box::new(SpmdDriver::new(jobs)));
+        let report = m.run().expect("scripted programs always terminate");
+        let trace = session.collect(&m);
+
+        // Every stream decodes.
+        for s in &trace.streams {
+            prop_assert!(s.records().is_ok());
+        }
+        // The analyzer reconstructs a consistent timeline.
+        let analyzed = analyze(&trace).expect("trace analyzes");
+        let times: Vec<u64> = analyzed.events.iter().map(|e| e.time_tb).collect();
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]), "global order sorted");
+
+        // Per-SPE intervals tile the active window exactly.
+        for iv in build_intervals(&analyzed) {
+            let mut cursor = iv.start_tb;
+            for seg in &iv.intervals {
+                prop_assert_eq!(seg.start_tb, cursor, "no gaps");
+                prop_assert!(seg.end_tb >= seg.start_tb);
+                cursor = seg.end_tb;
+            }
+            prop_assert_eq!(cursor, iv.stop_tb, "no tail gap");
+        }
+
+        // Ground-truth active time matches within tolerance whenever
+        // the SPE did nontrivial work (tiny programs are dominated by
+        // start/stop quantization).
+        let stats = compute_stats(&analyzed);
+        let v = validate(&analyzed, &stats, &report, m.config().clock.core_hz);
+        for sv in &v.spes {
+            if sv.gt_active_ns > 50_000.0 {
+                prop_assert!(
+                    sv.active_rel_err() < 0.05,
+                    "SPE{} active err {} (ta {} gt {})",
+                    sv.spe,
+                    sv.active_rel_err(),
+                    sv.ta_active_ns,
+                    sv.gt_active_ns
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_volume_scales_with_enabled_groups(
+        steps in prop::collection::vec(arb_step(), 8..32),
+    ) {
+        let run = |groups: GroupMask| {
+            let mut m = Machine::new(MachineConfig::default().with_num_spes(1)).unwrap();
+            let session = TraceSession::install(
+                TracingConfig::default().with_groups(groups),
+                &mut m,
+            )
+            .unwrap();
+            m.set_ppe_program(
+                PpeThreadId::new(0),
+                Box::new(SpmdDriver::new(vec![SpeJob::new(
+                    "p",
+                    Box::new(SpuScript::new(to_actions(&steps))),
+                )])),
+            );
+            m.run().unwrap();
+            session.collect(&m).total_bytes()
+        };
+        let all = run(GroupMask::all());
+        let dma = run(GroupMask::dma_only());
+        let none = run(GroupMask::NONE);
+        prop_assert!(none <= dma && dma <= all, "none {none} <= dma {dma} <= all {all}");
+        prop_assert_eq!(none, 0);
+    }
+}
