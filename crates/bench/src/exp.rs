@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 
 use cellsim::{CoreId, CoreState, MachineConfig, SpeId, SpuAction, SpuScript, TagId, TagWaitMode};
 use pdt::{GroupMask, TracingConfig};
-use ta::{analyze, build_timeline, compute_stats, dma_occupancy, render_svg, validate, SvgOptions};
+use ta::{validate, Analysis, SvgOptions};
 use workloads::{
     run_workload, Buffering, DmaSweepConfig, DmaSweepWorkload, EventRateConfig, EventRateWorkload,
     FftConfig, FftWorkload, MatmulConfig, MatmulWorkload, PipelineConfig, PipelineWorkload,
@@ -454,13 +454,15 @@ pub fn e5_load_balance(scale: Scale, out_dir: &Path) -> ExperimentOutput {
     ] {
         let w = SparseWorkload::new(cfg(schedule));
         let r = run_workload(&w, mcfg.clone(), Some(TracingConfig::default())).expect("sparse run");
-        let analyzed = analyze(r.trace.as_ref().unwrap()).expect("trace analyzes");
-        let stats = compute_stats(&analyzed);
+        let analysis = Analysis::of(r.trace.as_ref().unwrap())
+            .run()
+            .expect("trace analyzes");
+        let stats = analysis.stats();
         let mut t = Table::new(&["spe", "compute ms", "utilization"]);
         for a in &stats.spes {
             t.row(vec![
                 format!("SPE{}", a.spe),
-                format!("{:.3}", analyzed.tb_to_ns(a.compute_tb) / 1e6),
+                format!("{:.3}", analysis.analyzed().tb_to_ns(a.compute_tb) / 1e6),
                 pct(a.utilization),
             ]);
         }
@@ -471,8 +473,7 @@ pub fn e5_load_balance(scale: Scale, out_dir: &Path) -> ExperimentOutput {
             t.render()
         ));
         cycles.push(r.report.cycles);
-        let tl = build_timeline(&analyzed);
-        let svg = render_svg(&tl, &SvgOptions::default());
+        let svg = analysis.svg(&SvgOptions::default());
         write(
             out_dir,
             &format!("e5_timeline_{label}.svg"),
@@ -528,10 +529,9 @@ pub fn e6_double_buffering(scale: Scale, out_dir: &Path) -> ExperimentOutput {
             Some(TracingConfig::default().with_groups(GroupMask::dma_only())),
         )
         .expect("stream run");
-        let analyzed = analyze(r.trace.as_ref().unwrap()).unwrap();
-        let stats = compute_stats(&analyzed);
-        let a = stats.spe(0).expect("SPE0 active");
-        let occ = dma_occupancy(&analyzed);
+        let analysis = Analysis::of(r.trace.as_ref().unwrap()).run().unwrap();
+        let a = analysis.stats().spe(0).expect("SPE0 active");
+        let occ = analysis.occupancy();
         t.row(vec![
             label.into(),
             format!("{:.3}", r.report.wall_ns / 1e6),
@@ -541,11 +541,10 @@ pub fn e6_double_buffering(scale: Scale, out_dir: &Path) -> ExperimentOutput {
             format!("{:.2}", occ.first().map_or(0.0, |o| o.mean)),
         ]);
         cycles.push(r.report.cycles);
-        let tl = build_timeline(&analyzed);
         write(
             out_dir,
             &format!("e6_timeline_{label}.svg"),
-            &render_svg(&tl, &SvgOptions::default()),
+            &analysis.svg(&SvgOptions::default()),
             &mut files,
         );
     }
@@ -598,9 +597,11 @@ pub fn e7_dma_sweep(scale: Scale, out_dir: &Path) -> ExperimentOutput {
             .expect("sweep run")
         };
         let r1 = run(1);
-        let a1 = analyze(r1.trace.as_ref().unwrap()).unwrap();
-        let st1 = compute_stats(&a1);
-        let lat_ns = a1.tb_to_ns(st1.dma.latency_ticks.mean().round() as u64);
+        let a1 = Analysis::of(r1.trace.as_ref().unwrap()).run().unwrap();
+        let st1 = a1.stats();
+        let lat_ns = a1
+            .analyzed()
+            .tb_to_ns(st1.dma.latency_ticks.mean().round() as u64);
         // Per-transfer bandwidth from observed latency.
         let bw1 = size as f64 / (lat_ns / 1e9) / 1e9;
         let r8 = run(8);
@@ -768,9 +769,9 @@ pub fn e10_timesync(scale: Scale, out_dir: &Path) -> ExperimentOutput {
     });
     let mcfg = MachineConfig::default().with_num_spes(s);
     let r = run_workload(&w, mcfg.clone(), Some(TracingConfig::default())).expect("run");
-    let analyzed = analyze(r.trace.as_ref().unwrap()).unwrap();
-    let stats = compute_stats(&analyzed);
-    let v = validate(&analyzed, &stats, &r.report, mcfg.clock.core_hz);
+    let analysis = Analysis::of(r.trace.as_ref().unwrap()).run().unwrap();
+    let analyzed = analysis.analyzed();
+    let v = validate(analyzed, analysis.stats(), &r.report, mcfg.clock.core_hz);
 
     let mut t = Table::new(&[
         "spe",
@@ -817,12 +818,14 @@ pub fn e10_timesync(scale: Scale, out_dir: &Path) -> ExperimentOutput {
         seed: 31,
     });
     let fr = run_workload(&fft, mcfg.clone(), Some(TracingConfig::default())).expect("fft run");
-    let fa = analyze(fr.trace.as_ref().unwrap()).unwrap();
+    let fa = Analysis::of(fr.trace.as_ref().unwrap())
+        .run()
+        .unwrap()
+        .into_analyzed();
     let raw_violations = ta::violations(&fa).len();
     let (aligned, est) = ta::align_clocks(&fa);
     let residual = ta::violations(&aligned).len();
-    let true_skew_ticks =
-        mcfg.ctx_run_cycles as f64 / mcfg.clock.timebase_divider as f64;
+    let true_skew_ticks = mcfg.ctx_run_cycles as f64 / mcfg.clock.timebase_divider as f64;
     let mean_est = if est.is_empty() {
         0.0
     } else {

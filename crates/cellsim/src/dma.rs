@@ -185,12 +185,10 @@ pub enum TagWaitMode {
 }
 
 /// Per-SPE bookkeeping of outstanding commands per tag group.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TagGroups {
     outstanding: [u32; 32],
 }
-
 
 impl TagGroups {
     /// Creates an empty tag-group table.

@@ -1,9 +1,8 @@
 //! Error-path and misc-API coverage for the machine.
 
 use cellsim::{
-    LsAddr, Machine, MachineConfig, PpeAction, PpeEnv, PpeProgram, PpeScript, PpeThreadId,
-    PpeWake, SimError, SpeJob, SpmdDriver, SpuAction, SpuEnv, SpuProgram, SpuScript, SpuWake,
-    TagId,
+    LsAddr, Machine, MachineConfig, PpeAction, PpeEnv, PpeProgram, PpeScript, PpeThreadId, PpeWake,
+    SimError, SpeJob, SpmdDriver, SpuAction, SpuEnv, SpuProgram, SpuScript, SpuWake, TagId,
 };
 
 fn machine(n: usize) -> Machine {
@@ -112,7 +111,11 @@ fn timebase_and_user_events_on_the_ppe() {
                 PpeWake::Timebase(tb) => {
                     let delta = tb - self.first.unwrap();
                     assert!((995..=1005).contains(&delta), "delta {delta}");
-                    PpeAction::UserEvent { id: 3, a0: 0, a1: 0 }
+                    PpeAction::UserEvent {
+                        id: 3,
+                        a0: 0,
+                        a1: 0,
+                    }
                 }
                 PpeWake::UserDone => PpeAction::Halt,
                 other => panic!("unexpected {other:?}"),
@@ -139,7 +142,10 @@ fn ctx_names_are_recorded() {
     assert_eq!(m.ctx_name(cellsim::CtxId::new(1)), Some("beta"));
     assert_eq!(m.ctx_name(cellsim::CtxId::new(9)), None);
     // The SPEs report their contexts and stop codes.
-    assert_eq!(m.spe(cellsim::SpeId::new(0)).context(), Some(cellsim::CtxId::new(0)));
+    assert_eq!(
+        m.spe(cellsim::SpeId::new(0)).context(),
+        Some(cellsim::CtxId::new(0))
+    );
     assert_eq!(m.spe(cellsim::SpeId::new(0)).stop_code(), Some(0));
 }
 

@@ -4,10 +4,10 @@
 //! does.
 
 use cellsim::{
-    CoreId, DmaKind, DmaOrigin, FlushRequest, LocalStore, LsAddr, Machine,
-    MachineConfig, PpeAction, PpeEnv, PpeProgram, PpeThreadId, PpeWake, RuntimeEvent, SimError,
-    SpeId, SpeJob, SpeTracer, SpmdDriver, SpuAction, SpuEnv, SpuProgram, SpuScript, SpuWake, TagId,
-    TagWaitMode, TraceCost,
+    CoreId, DmaKind, DmaOrigin, FlushRequest, LocalStore, LsAddr, Machine, MachineConfig,
+    PpeAction, PpeEnv, PpeProgram, PpeThreadId, PpeWake, RuntimeEvent, SimError, SpeId, SpeJob,
+    SpeTracer, SpmdDriver, SpuAction, SpuEnv, SpuProgram, SpuScript, SpuWake, TagId, TagWaitMode,
+    TraceCost,
 };
 
 fn machine(n_spes: usize) -> Machine {

@@ -73,6 +73,49 @@ impl TraceStream {
     pub fn records(&self) -> Result<Vec<TraceRecord>, (usize, RecordError)> {
         decode_stream(&self.bytes)
     }
+
+    /// Encoded record bytes in this stream.
+    pub fn len_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Upper bound on the record count, from the 16-byte granularity
+    /// (exact when every record is a single granule). Lets a decoder
+    /// pre-size its output without walking the stream.
+    pub fn max_records(&self) -> usize {
+        self.bytes.len() / 16
+    }
+}
+
+/// Location of one core's stream inside a serialized trace image.
+///
+/// [`TraceFile::scan_stream_table`] produces these from the stream
+/// directory alone — no record bytes are copied or decoded — so a
+/// parallel reader can hand each worker a disjoint
+/// `&image[offset..offset + len]` slice without a serial pre-scan of
+/// the record data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamMeta {
+    /// The producing core.
+    pub core: TraceCore,
+    /// Byte offset of the stream's first record within the image.
+    pub offset: usize,
+    /// Encoded record bytes.
+    pub len: usize,
+    /// Records the tracer dropped on this stream.
+    pub dropped: u64,
+}
+
+impl StreamMeta {
+    /// The stream's record bytes within `image`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` is not the buffer this metadata was scanned
+    /// from (range out of bounds).
+    pub fn slice<'a>(&self, image: &'a [u8]) -> &'a [u8] {
+        &image[self.offset..self.offset + self.len]
+    }
 }
 
 /// A complete trace.
@@ -195,81 +238,145 @@ impl TraceFile {
         TraceFile::from_bytes(&bytes).map_err(std::io::Error::other)
     }
 
+    /// Parses only the header of a serialized trace image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] on bad magic, version or truncation.
+    pub fn scan_header(image: &[u8]) -> Result<TraceHeader, FormatError> {
+        let mut buf = image;
+        parse_header(&mut buf)
+    }
+
+    /// Scans only the header and stream directory of a serialized
+    /// trace image, returning each stream's [`StreamMeta`] without
+    /// copying or decoding any record bytes. A parallel reader uses
+    /// this to slice `image` into per-worker stream windows in O(number
+    /// of streams) rather than O(file size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] on structural corruption of the header
+    /// or directory (the name table past the streams is not visited).
+    pub fn scan_stream_table(image: &[u8]) -> Result<Vec<StreamMeta>, FormatError> {
+        let mut buf = image;
+        parse_header(&mut buf)?;
+        parse_stream_directory(image, &mut buf)
+    }
+
+    /// Parses the context-name table of a serialized trace image,
+    /// skipping over the stream bytes without copying them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] on structural corruption.
+    pub fn scan_ctx_names(image: &[u8]) -> Result<Vec<(u32, String)>, FormatError> {
+        let mut buf = image;
+        parse_header(&mut buf)?;
+        parse_stream_directory(image, &mut buf)?;
+        parse_ctx_names(&mut buf)
+    }
+
     /// Parses the on-disk byte layout.
     ///
     /// # Errors
     ///
     /// Returns [`FormatError`] on structural corruption. Record-level
     /// corruption is reported later by [`TraceStream::records`].
-    pub fn from_bytes(mut buf: &[u8]) -> Result<TraceFile, FormatError> {
-        fn need(buf: &[u8], n: usize, what: &'static str) -> Result<(), FormatError> {
-            if buf.len() < n {
-                Err(FormatError::Truncated { reading: what })
-            } else {
-                Ok(())
-            }
-        }
-        need(buf, 4, "magic")?;
-        if &buf[..4] != MAGIC {
-            return Err(FormatError::BadMagic);
-        }
-        buf.advance(4);
-        need(buf, 2 + 1 + 1 + 8 + 8 + 4 + 4 + 4 + 4, "header")?;
-        let version = buf.get_u16_le();
-        if version != VERSION {
-            return Err(FormatError::BadVersion { found: version });
-        }
-        let num_ppe_threads = buf.get_u8();
-        let num_spes = buf.get_u8();
-        let core_hz = buf.get_u64_le();
-        let timebase_divider = buf.get_u64_le();
-        let dec_start = buf.get_u32_le();
-        let group_mask = buf.get_u32_le();
-        let spe_buffer_bytes = buf.get_u32_le();
-        let n_streams = buf.get_u32_le();
-        let mut streams = Vec::with_capacity(n_streams as usize);
-        for _ in 0..n_streams {
-            need(buf, 4 + 8 + 8, "stream header")?;
-            let core = TraceCore::from_tag(buf.get_u8());
-            buf.advance(3);
-            let len = buf.get_u64_le() as usize;
-            let dropped = buf.get_u64_le();
-            need(buf, len, "stream bytes")?;
-            let bytes = buf[..len].to_vec();
-            buf.advance(len);
-            streams.push(TraceStream {
-                core,
-                bytes,
-                dropped,
-            });
-        }
-        need(buf, 4, "name table")?;
-        let n_names = buf.get_u32_le();
-        let mut ctx_names = Vec::with_capacity(n_names as usize);
-        for _ in 0..n_names {
-            need(buf, 8, "name entry")?;
-            let ctx = buf.get_u32_le();
-            let len = buf.get_u32_le() as usize;
-            need(buf, len, "name bytes")?;
-            let name = String::from_utf8(buf[..len].to_vec()).map_err(|_| FormatError::BadName)?;
-            buf.advance(len);
-            ctx_names.push((ctx, name));
-        }
+    pub fn from_bytes(image: &[u8]) -> Result<TraceFile, FormatError> {
+        let mut buf = image;
+        let header = parse_header(&mut buf)?;
+        let metas = parse_stream_directory(image, &mut buf)?;
+        let ctx_names = parse_ctx_names(&mut buf)?;
+        let streams = metas
+            .into_iter()
+            .map(|m| TraceStream {
+                core: m.core,
+                bytes: m.slice(image).to_vec(),
+                dropped: m.dropped,
+            })
+            .collect();
         Ok(TraceFile {
-            header: TraceHeader {
-                version,
-                num_ppe_threads,
-                num_spes,
-                core_hz,
-                timebase_divider,
-                dec_start,
-                group_mask,
-                spe_buffer_bytes,
-            },
+            header,
             streams,
             ctx_names,
         })
     }
+}
+
+fn need(buf: &[u8], n: usize, what: &'static str) -> Result<(), FormatError> {
+    if buf.len() < n {
+        Err(FormatError::Truncated { reading: what })
+    } else {
+        Ok(())
+    }
+}
+
+/// Parses the magic + header, advancing `buf` past them.
+fn parse_header(buf: &mut &[u8]) -> Result<TraceHeader, FormatError> {
+    need(buf, 4, "magic")?;
+    if &buf[..4] != MAGIC {
+        return Err(FormatError::BadMagic);
+    }
+    buf.advance(4);
+    need(buf, 2 + 1 + 1 + 8 + 8 + 4 + 4 + 4, "header")?;
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(FormatError::BadVersion { found: version });
+    }
+    Ok(TraceHeader {
+        version,
+        num_ppe_threads: buf.get_u8(),
+        num_spes: buf.get_u8(),
+        core_hz: buf.get_u64_le(),
+        timebase_divider: buf.get_u64_le(),
+        dec_start: buf.get_u32_le(),
+        group_mask: buf.get_u32_le(),
+        spe_buffer_bytes: buf.get_u32_le(),
+    })
+}
+
+/// Walks the stream directory (header already consumed), recording
+/// each stream's location in `image` and advancing `buf` past the
+/// record bytes without copying them.
+fn parse_stream_directory(image: &[u8], buf: &mut &[u8]) -> Result<Vec<StreamMeta>, FormatError> {
+    need(buf, 4, "stream count")?;
+    let n_streams = buf.get_u32_le();
+    let mut metas = Vec::with_capacity(n_streams as usize);
+    for _ in 0..n_streams {
+        need(buf, 4 + 8 + 8, "stream header")?;
+        let core = TraceCore::from_tag(buf.get_u8());
+        buf.advance(3);
+        let len = buf.get_u64_le() as usize;
+        let dropped = buf.get_u64_le();
+        need(buf, len, "stream bytes")?;
+        let offset = image.len() - buf.len();
+        buf.advance(len);
+        metas.push(StreamMeta {
+            core,
+            offset,
+            len,
+            dropped,
+        });
+    }
+    Ok(metas)
+}
+
+/// Parses the context-name table (directory already consumed).
+fn parse_ctx_names(buf: &mut &[u8]) -> Result<Vec<(u32, String)>, FormatError> {
+    need(buf, 4, "name table")?;
+    let n_names = buf.get_u32_le();
+    let mut ctx_names = Vec::with_capacity(n_names as usize);
+    for _ in 0..n_names {
+        need(buf, 8, "name entry")?;
+        let ctx = buf.get_u32_le();
+        let len = buf.get_u32_le() as usize;
+        need(buf, len, "name bytes")?;
+        let name = String::from_utf8(buf[..len].to_vec()).map_err(|_| FormatError::BadName)?;
+        buf.advance(len);
+        ctx_names.push((ctx, name));
+    }
+    Ok(ctx_names)
 }
 
 #[cfg(test)]
@@ -365,6 +472,34 @@ mod tests {
             let r = TraceFile::from_bytes(&bytes[..cut]);
             assert!(r.is_err(), "cut at {cut} must fail");
         }
+    }
+
+    #[test]
+    fn stream_table_scan_matches_full_parse() {
+        let f = sample();
+        let bytes = f.to_bytes();
+        let metas = TraceFile::scan_stream_table(&bytes).unwrap();
+        assert_eq!(metas.len(), f.streams.len());
+        for (meta, stream) in metas.iter().zip(&f.streams) {
+            assert_eq!(meta.core, stream.core);
+            assert_eq!(meta.len, stream.bytes.len());
+            assert_eq!(meta.dropped, stream.dropped);
+            assert_eq!(meta.slice(&bytes), stream.bytes.as_slice());
+        }
+        assert_eq!(TraceFile::scan_header(&bytes).unwrap(), f.header);
+        assert_eq!(TraceFile::scan_ctx_names(&bytes).unwrap(), f.ctx_names);
+    }
+
+    #[test]
+    fn stream_table_scan_rejects_corruption() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(
+            TraceFile::scan_stream_table(&bytes),
+            Err(FormatError::BadMagic)
+        );
+        let bytes = sample().to_bytes();
+        assert!(TraceFile::scan_stream_table(&bytes[..41]).is_err());
     }
 
     #[test]

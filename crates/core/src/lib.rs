@@ -92,7 +92,7 @@ pub mod spe_tracer;
 pub use buffer::{BufferStats, SpeTraceBuffer, WriteOutcome};
 pub use config::{TracingConfig, TracingConfigError, TracingConfigRepr};
 pub use event::{encode_event, EncodedEvent, EventCode};
-pub use format::{FormatError, TraceFile, TraceHeader, TraceStream, MAGIC, VERSION};
+pub use format::{FormatError, StreamMeta, TraceFile, TraceHeader, TraceStream, MAGIC, VERSION};
 pub use group::{EventGroup, GroupMask};
 pub use overhead::OverheadModel;
 pub use ppe_tracer::PdtPpeTracer;

@@ -33,13 +33,44 @@ impl TraceSession {
     ///
     /// # Errors
     ///
-    /// Returns [`TracingConfigError`] if the configuration is invalid
-    /// or the trace regions do not fit in the machine's main memory.
+    /// Returns [`TracingConfigError`] if the configuration is invalid,
+    /// the per-SPE trace regions overlap (the region layout wraps the
+    /// address space), a region start violates the MFC DMA alignment
+    /// rule (flush targets must share the local-store buffer's low 4
+    /// address bits, i.e. be 16-byte aligned), or the regions do not
+    /// fit in the machine's main memory.
     pub fn install(cfg: TracingConfig, machine: &mut Machine) -> Result<Self, TracingConfigError> {
+        // Every flush DMA targets region_base + i * region_per_spe +
+        // offset from a 16-byte-aligned LS half-buffer; the MFC
+        // requires EA and LSA to agree in their low 4 bits, so both
+        // the base and the stride must be 16-byte aligned.
+        if !cfg.region_base.is_multiple_of(16) {
+            return Err(TracingConfigError::new(format!(
+                "region_base {:#x} violates the MFC DMA alignment rule (16-byte)",
+                cfg.region_base
+            )));
+        }
+        if !cfg.region_per_spe.is_multiple_of(16) {
+            return Err(TracingConfigError::new(format!(
+                "region_per_spe {:#x} violates the MFC DMA alignment rule (16-byte)",
+                cfg.region_per_spe
+            )));
+        }
         cfg.validate()?;
         let mcfg = machine.config();
         let num_spes = mcfg.num_spes;
-        let end = cfg.region_base + cfg.region_per_spe * num_spes as u64;
+        // Checked layout arithmetic: if base + per_spe * num_spes wraps
+        // the u64 address space, later regions alias earlier ones.
+        let end = cfg
+            .region_per_spe
+            .checked_mul(num_spes as u64)
+            .and_then(|total| cfg.region_base.checked_add(total))
+            .ok_or_else(|| {
+                TracingConfigError::new(format!(
+                    "per-SPE trace regions overlap: {:#x} + {} * {:#x} wraps the address space",
+                    cfg.region_base, num_spes, cfg.region_per_spe
+                ))
+            })?;
         if end > mcfg.mem_size {
             return Err(TracingConfigError::new(format!(
                 "trace regions [{:#x}, {:#x}) exceed main memory of {:#x} bytes",
@@ -226,6 +257,40 @@ mod tests {
         .unwrap();
         let err = TraceSession::install(TracingConfig::default(), &mut m).unwrap_err();
         assert!(err.to_string().contains("exceed main memory"));
+    }
+
+    #[test]
+    fn session_rejects_overlapping_region_layout() {
+        // base + per_spe * num_spes wraps u64, so SPE1's region would
+        // alias low memory (and SPE0's region).
+        let mut m = Machine::new(MachineConfig::default().with_num_spes(2)).unwrap();
+        let cfg = TracingConfig {
+            region_base: 0x1000,
+            region_per_spe: (u64::MAX / 2 + 1) & !0xf,
+            ..TracingConfig::default()
+        };
+        let err = TraceSession::install(cfg, &mut m).unwrap_err();
+        assert!(err.to_string().contains("overlap"), "got: {err}");
+    }
+
+    #[test]
+    fn session_rejects_dma_misaligned_regions() {
+        let mut m = Machine::new(MachineConfig::default().with_num_spes(2)).unwrap();
+        // Base breaks the low-4-bit congruence with the 16-byte-aligned
+        // LS half-buffers.
+        let cfg = TracingConfig {
+            region_base: 0x0800_0008,
+            ..TracingConfig::default()
+        };
+        let err = TraceSession::install(cfg, &mut m).unwrap_err();
+        assert!(err.to_string().contains("alignment"), "got: {err}");
+        // A misaligned stride breaks it for every SPE past the first.
+        let cfg = TracingConfig {
+            region_per_spe: 4 * 1024 * 1024 + 8,
+            ..TracingConfig::default()
+        };
+        let err = TraceSession::install(cfg, &mut m).unwrap_err();
+        assert!(err.to_string().contains("alignment"), "got: {err}");
     }
 
     #[test]

@@ -150,6 +150,12 @@ impl std::error::Error for AnalyzeError {}
 
 /// Reconstructs the global timeline from a trace file.
 ///
+/// This is the serial reference path. New code should prefer the
+/// [`Analysis`](crate::session::Analysis) session, which ingests in
+/// parallel and memoizes every derived product; this function remains
+/// for compatibility and as the equivalence oracle the parallel engine
+/// is tested against.
+///
 /// # Errors
 ///
 /// Returns [`AnalyzeError`] on corrupt records or missing sync anchors.

@@ -177,13 +177,12 @@ pub fn estimate_skew(trace: &AnalyzedTrace) -> Vec<SkewEstimate> {
         let earlier = &trace.events[e.earlier];
         let later = &trace.events[e.later];
         match (earlier.core, later.core) {
-            (TraceCore::Ppe(_), TraceCore::Spe(s))
-                if later.time_tb < earlier.time_tb => {
-                    let m = earlier.time_tb - later.time_tb;
-                    let entry = needed.entry(s).or_insert((0, 0));
-                    entry.0 = entry.0.max(m);
-                    entry.1 += 1;
-                }
+            (TraceCore::Ppe(_), TraceCore::Spe(s)) if later.time_tb < earlier.time_tb => {
+                let m = earlier.time_tb - later.time_tb;
+                let entry = needed.entry(s).or_insert((0, 0));
+                entry.0 = entry.0.max(m);
+                entry.1 += 1;
+            }
             (TraceCore::Spe(s), TraceCore::Ppe(_)) => {
                 let slack = later.time_tb.saturating_sub(earlier.time_tb);
                 let a = allowed.entry(s).or_insert(u64::MAX);

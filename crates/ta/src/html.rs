@@ -8,7 +8,9 @@ use crate::svg::{render_svg, SvgOptions};
 use crate::timeline::build_timeline;
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders a self-contained HTML report for a trace.

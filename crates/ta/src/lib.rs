@@ -7,22 +7,30 @@
 //!
 //! Pipeline:
 //!
-//! 1. [`mod@analyze`] — decode the per-core streams, reconstruct global
-//!    time from decrementer snapshots + the `PpeCtxRun` sync records
-//!    (wrap-safe), and merge everything into one ordered event list.
-//! 2. [`intervals`] — turn begin/end event pairs into activity
+//! 1. [`session`] — the front door: [`Analysis`] ingests a trace once
+//!    (in parallel, via [`mod@parallel`]) and memoizes every derived
+//!    product behind typed accessors.
+//! 2. [`mod@analyze`] / [`mod@parallel`] — decode the per-core streams,
+//!    reconstruct global time from decrementer snapshots + the
+//!    `PpeCtxRun` sync records (wrap-safe), and merge everything into
+//!    one ordered event list. The parallel engine decodes streams
+//!    concurrently and k-way merges per-stream runs; its output is
+//!    byte-identical to the serial path.
+//! 3. [`reader`] — zero-copy ingestion of serialized trace images.
+//! 4. [`intervals`] — turn begin/end event pairs into activity
 //!    intervals (compute / DMA wait / mailbox wait / signal wait).
-//! 3. [`stats`] — per-SPE utilization and wait breakdowns, DMA traffic
+//! 5. [`stats`] — per-SPE utilization and wait breakdowns, DMA traffic
 //!    and observed-latency statistics, event counts.
-//! 4. [`timeline`] + [`svg`] / [`ascii`] — the Gantt views.
-//! 5. [`csv`], [`query`] — export and filtering.
-//! 6. [`mod@validate`] — fidelity checks against simulator ground truth.
+//! 6. [`timeline`] + [`svg`] / [`ascii`] — the Gantt views.
+//! 7. [`csv`], [`query`] — export and filtering.
+//! 8. [`mod@validate`] — fidelity checks against simulator ground truth.
 //!
 //! ## Example
 //!
 //! ```
 //! use cellsim::{Machine, MachineConfig, PpeThreadId, SpmdDriver, SpeJob, SpuScript, SpuAction};
 //! use pdt::{TraceSession, TracingConfig};
+//! use ta::Analysis;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut machine = Machine::new(MachineConfig::default().with_num_spes(1))?;
@@ -37,15 +45,38 @@
 //! machine.run()?;
 //! let trace = session.collect(&machine);
 //!
-//! let analyzed = ta::analyze(&trace)?;
-//! let stats = ta::compute_stats(&analyzed);
-//! let timeline = ta::build_timeline(&analyzed);
-//! let svg = ta::render_svg(&timeline, &ta::SvgOptions::default());
+//! let analysis = Analysis::of(&trace).threads(4).run()?;
+//! let svg = analysis.svg(&ta::SvgOptions::default());
 //! assert!(svg.contains("</svg>"));
-//! assert_eq!(stats.spes.len(), 1);
+//! assert_eq!(analysis.stats().spes.len(), 1);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Migrating from the free-function API
+//!
+//! Earlier versions drove the pipeline through free functions, each
+//! recomputing shared inputs:
+//!
+//! ```text
+//! let analyzed = ta::analyze(&trace)?;            // serial decode
+//! let stats    = ta::compute_stats(&analyzed);    // interval pass #1
+//! let timeline = ta::build_timeline(&analyzed);   // interval pass #2
+//! let svg      = ta::render_svg(&timeline, &opts);
+//! ```
+//!
+//! The [`Analysis`] session replaces that with one parallel ingestion
+//! and memoized accessors:
+//!
+//! ```text
+//! let a = ta::Analysis::of(&trace).threads(8).run()?;
+//! let stats = a.stats();          // intervals computed once,
+//! let svg   = a.svg(&opts);       // shared with the timeline
+//! ```
+//!
+//! The free functions remain available (and are used internally), so
+//! existing code keeps compiling unchanged; prefer the session in new
+//! code.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -57,10 +88,13 @@ pub mod compare;
 pub mod csv;
 pub mod histogram;
 pub mod html;
-pub mod occupancy;
 pub mod intervals;
+pub mod occupancy;
+pub mod parallel;
 pub mod phases;
 pub mod query;
+pub mod reader;
+pub mod session;
 pub mod stats;
 pub mod summary;
 pub mod svg;
@@ -77,10 +111,13 @@ pub use compare::{compare_stats, compare_traces, Comparison, SpeDelta};
 pub use csv::{activity_csv, events_csv, intervals_csv};
 pub use histogram::Log2Histogram;
 pub use html::html_report;
-pub use occupancy::{dma_occupancy, OccupancyStep, SpeOccupancy};
 pub use intervals::{build_intervals, ActivityKind, Interval, SpeIntervals};
+pub use occupancy::{dma_occupancy, OccupancyStep, SpeOccupancy};
+pub use parallel::analyze_parallel;
 pub use phases::{user_phases, PhaseReport, UserPhase};
 pub use query::EventFilter;
+pub use reader::TraceImage;
+pub use session::{Analysis, AnalysisBuilder};
 pub use stats::{compute_stats, DmaSummary, EventCounts, ObservedDma, SpeActivity, TraceStats};
 pub use summary::{render_summary, summary_report};
 pub use svg::{render_svg, SvgOptions};

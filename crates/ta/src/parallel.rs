@@ -1,0 +1,492 @@
+//! Parallel trace ingestion: concurrent per-stream decode and
+//! timestamp reconstruction, then a k-way merge.
+//!
+//! The serial [`analyze`](crate::analyze::analyze) path walks streams
+//! one after another and then sorts the combined event list. This
+//! module produces the *identical* result (same events, same order,
+//! same errors) by exploiting the trace's shape: records are already
+//! grouped per core, and within a stream the reconstruction is a local
+//! scan. The pipeline is:
+//!
+//! 1. **Decode** — every stream's records are decoded concurrently on
+//!    `crossbeam` scoped threads (streams are distributed round-robin
+//!    over the worker pool).
+//! 2. **Reconstruct** — each worker converts its streams' records to
+//!    [`GlobalEvent`]s: PPE records carry timebase timestamps directly;
+//!    SPE records get wrap-safe decrementer accumulation against their
+//!    [`SpeAnchor`]. Each per-stream run is then sorted by the global
+//!    key. (SPE runs are already in key order; the combined PPE stream
+//!    can interleave hardware threads at equal ticks, so the sort is
+//!    not a no-op there.)
+//! 3. **Merge** — a k-way heap merge zips the sorted runs into the
+//!    single globally ordered event list.
+//!
+//! Equivalence with the serial path is guaranteed because the sort key
+//! `(time_tb, core tag, stream_seq)` is unique within a stream, and
+//! ties across streams are broken by stream index — exactly the order
+//! the serial path's stable sort preserves. The property tests in
+//! `tests/prop_parallel.rs` assert byte-identical output for 1, 2 and
+//! 8 workers.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pdt::{decode_stream, EventCode, RecordError, TraceCore, TraceFile, TraceHeader, TraceRecord};
+
+use crate::analyze::{AnalyzeError, AnalyzedTrace, GlobalEvent, SpeAnchor};
+
+/// The sort key ordering the global event list.
+type SortKey = (u64, u8, u64);
+
+fn key(e: &GlobalEvent) -> SortKey {
+    (e.time_tb, e.core.tag(), e.stream_seq)
+}
+
+/// Reconstructs the global timeline using up to `threads` worker
+/// threads. Produces exactly the same [`AnalyzedTrace`] (events, order,
+/// anchors, errors) as the serial [`analyze`](crate::analyze::analyze).
+///
+/// `threads` is clamped to at least 1 and at most the stream count;
+/// with a single worker the whole pipeline runs on the calling thread.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] on corrupt records or missing sync
+/// anchors, with the same stream-order precedence as the serial path
+/// (all decode errors are reported before any anchor error).
+pub fn analyze_parallel(trace: &TraceFile, threads: usize) -> Result<AnalyzedTrace, AnalyzeError> {
+    let sources: Vec<(TraceCore, &[u8])> = trace
+        .streams
+        .iter()
+        .map(|s| (s.core, s.bytes.as_slice()))
+        .collect();
+    analyze_sources(
+        trace.header,
+        &sources,
+        trace.total_dropped(),
+        trace.ctx_names.clone(),
+        threads,
+    )
+}
+
+/// The stream-slice entry point behind [`analyze_parallel`]: the same
+/// pipeline over borrowed byte windows, used by the zero-copy
+/// [`reader`](crate::reader) so a serialized image never has its
+/// record bytes copied into a [`TraceFile`] first.
+pub(crate) fn analyze_sources(
+    header: TraceHeader,
+    sources: &[(TraceCore, &[u8])],
+    dropped: u64,
+    ctx_names: Vec<(u32, String)>,
+    threads: usize,
+) -> Result<AnalyzedTrace, AnalyzeError> {
+    let workers = threads.clamp(1, sources.len().max(1));
+    let decoded = decode_sources(sources, workers)?;
+    let anchors = harvest_anchors(&decoded);
+
+    // Anchor presence is checked serially, in stream order, so the
+    // error precedence matches the serial path exactly.
+    for (core, recs) in &decoded {
+        if let TraceCore::Spe(spe) = core {
+            if !recs.is_empty() && !anchors.iter().any(|a| a.spe == *spe) {
+                return Err(AnalyzeError::MissingAnchor { spe: *spe });
+            }
+        }
+    }
+
+    let runs = build_runs(decoded, &anchors, workers);
+    let events = merge_runs(runs);
+
+    Ok(AnalyzedTrace {
+        header,
+        events,
+        ctx_names,
+        anchors,
+        dropped,
+    })
+}
+
+type DecodeResult = Result<Vec<TraceRecord>, (usize, RecordError)>;
+
+/// Decodes every stream, round-robin across `workers` threads, and
+/// reports the first corrupt stream in *stream order* (not completion
+/// order).
+fn decode_sources(
+    sources: &[(TraceCore, &[u8])],
+    workers: usize,
+) -> Result<Vec<(TraceCore, Vec<TraceRecord>)>, AnalyzeError> {
+    let n = sources.len();
+    let mut slots: Vec<Option<DecodeResult>> = (0..n).map(|_| None).collect();
+
+    if workers <= 1 || n <= 1 {
+        for (i, (_, bytes)) in sources.iter().enumerate() {
+            slots[i] = Some(decode_stream(bytes));
+        }
+    } else {
+        let chunks = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    s.spawn(move |_| {
+                        let mut out = Vec::new();
+                        let mut i = w;
+                        while i < n {
+                            out.push((i, decode_stream(sources[i].1)));
+                            i += workers;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("decode worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("decode scope panicked");
+        for chunk in chunks {
+            for (i, r) in chunk {
+                slots[i] = Some(r);
+            }
+        }
+    }
+
+    let mut decoded = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        let core = sources[i].0;
+        let recs = slot
+            .expect("every stream decoded")
+            .map_err(|(offset, cause)| AnalyzeError::Record {
+                core,
+                offset,
+                cause,
+            })?;
+        decoded.push((core, recs));
+    }
+    Ok(decoded)
+}
+
+/// Harvests `PpeCtxRun` sync anchors from the PPE streams, first
+/// anchor per SPE winning, in stream order — same policy as the serial
+/// path.
+fn harvest_anchors(decoded: &[(TraceCore, Vec<TraceRecord>)]) -> Vec<SpeAnchor> {
+    let mut anchors: Vec<SpeAnchor> = Vec::new();
+    for (core, recs) in decoded {
+        if core.is_spe() {
+            continue;
+        }
+        for r in recs {
+            if r.code == EventCode::PpeCtxRun {
+                let spe = r.params[1] as u8;
+                if !anchors.iter().any(|a| a.spe == spe) {
+                    anchors.push(SpeAnchor {
+                        spe,
+                        ctx: r.params[0] as u32,
+                        run_tb: r.timestamp,
+                        dec_start: r.params[2] as u32,
+                    });
+                }
+            }
+        }
+    }
+    anchors
+}
+
+/// Converts each stream's records into a key-sorted run of
+/// [`GlobalEvent`]s, distributing streams round-robin over `workers`
+/// threads. Anchors for every nonempty SPE stream must already be
+/// verified present.
+fn build_runs(
+    decoded: Vec<(TraceCore, Vec<TraceRecord>)>,
+    anchors: &[SpeAnchor],
+    workers: usize,
+) -> Vec<Vec<GlobalEvent>> {
+    let n = decoded.len();
+    if workers <= 1 || n <= 1 {
+        return decoded
+            .into_iter()
+            .map(|(core, recs)| build_one_run(core, recs, anchors))
+            .collect();
+    }
+
+    let mut slots: Vec<Option<Vec<GlobalEvent>>> = (0..n).map(|_| None).collect();
+    // Hand each worker ownership of its streams' records up front so
+    // the scoped threads move disjoint data.
+    let mut per_worker: Vec<Vec<(usize, TraceCore, Vec<TraceRecord>)>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (i, (core, recs)) in decoded.into_iter().enumerate() {
+        per_worker[i % workers].push((i, core, recs));
+    }
+
+    let chunks = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .map(|batch| {
+                s.spawn(move |_| {
+                    batch
+                        .into_iter()
+                        .map(|(i, core, recs)| (i, build_one_run(core, recs, anchors)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reconstruction worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("reconstruction scope panicked");
+    for chunk in chunks {
+        for (i, run) in chunk {
+            slots[i] = Some(run);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every stream reconstructed"))
+        .collect()
+}
+
+/// Timestamp reconstruction for one stream, mirroring the serial
+/// path's per-stream loop, followed by a key sort of the run.
+fn build_one_run(
+    core: TraceCore,
+    recs: Vec<TraceRecord>,
+    anchors: &[SpeAnchor],
+) -> Vec<GlobalEvent> {
+    let mut run = Vec::with_capacity(recs.len());
+    match core {
+        TraceCore::Ppe(_) => {
+            for (i, r) in recs.into_iter().enumerate() {
+                run.push(GlobalEvent {
+                    time_tb: r.timestamp,
+                    core: r.core, // records carry per-thread tags
+                    code: r.code,
+                    params: r.params,
+                    stream_seq: i as u64,
+                });
+            }
+        }
+        TraceCore::Spe(spe) => {
+            if recs.is_empty() {
+                return run;
+            }
+            let anchor = anchors
+                .iter()
+                .find(|a| a.spe == spe)
+                .copied()
+                .expect("anchor presence checked before reconstruction");
+            let mut elapsed: u64 = 0;
+            let mut prev_dec = anchor.dec_start;
+            for (i, r) in recs.into_iter().enumerate() {
+                let dec = r.timestamp as u32;
+                elapsed += prev_dec.wrapping_sub(dec) as u64;
+                prev_dec = dec;
+                run.push(GlobalEvent {
+                    time_tb: anchor.run_tb + elapsed,
+                    core,
+                    code: r.code,
+                    params: r.params,
+                    stream_seq: i as u64,
+                });
+            }
+        }
+    }
+    // SPE runs are already nondecreasing in time with a constant core
+    // tag, so this is a near-no-op there; the combined PPE stream can
+    // interleave thread tags at equal ticks and genuinely needs it.
+    run.sort_unstable_by_key(key);
+    run
+}
+
+/// K-way merge of key-sorted runs. Ties across runs are broken by run
+/// (stream) index, which is what the serial path's stable sort yields.
+fn merge_runs(runs: Vec<Vec<GlobalEvent>>) -> Vec<GlobalEvent> {
+    let total = runs.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<GlobalEvent>> =
+        runs.into_iter().map(Vec::into_iter).collect();
+    let mut heap: BinaryHeap<Reverse<(SortKey, usize)>> = BinaryHeap::with_capacity(iters.len());
+    let mut heads: Vec<Option<GlobalEvent>> =
+        iters.iter_mut().map(std::iter::Iterator::next).collect();
+    for (i, head) in heads.iter().enumerate() {
+        if let Some(e) = head {
+            heap.push(Reverse((key(e), i)));
+        }
+    }
+    let mut events = Vec::with_capacity(total);
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let e = heads[i].take().expect("head present while queued");
+        events.push(e);
+        if let Some(next) = iters[i].next() {
+            heap.push(Reverse((key(&next), i)));
+            heads[i] = Some(next);
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use pdt::{TraceHeader, TraceStream, VERSION};
+
+    fn header(num_spes: u8) -> TraceHeader {
+        TraceHeader {
+            version: VERSION,
+            num_ppe_threads: 2,
+            num_spes,
+            core_hz: 3_200_000_000,
+            timebase_divider: 120,
+            dec_start: u32::MAX,
+            group_mask: u32::MAX,
+            spe_buffer_bytes: 2048,
+        }
+    }
+
+    fn encode(recs: &[TraceRecord]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for r in recs {
+            r.encode_into(&mut bytes);
+        }
+        bytes
+    }
+
+    /// A trace whose PPE stream interleaves two hardware threads at
+    /// equal ticks *against* tag order, so per-run sorting matters.
+    fn interleaved_trace(spes: u8) -> TraceFile {
+        let mut ppe = Vec::new();
+        for spe in 0..spes {
+            ppe.push(TraceRecord {
+                core: TraceCore::Ppe(1),
+                code: EventCode::PpeUser,
+                timestamp: 50,
+                params: vec![spe as u64, 0, 0],
+            });
+            ppe.push(TraceRecord {
+                core: TraceCore::Ppe(0),
+                code: EventCode::PpeCtxRun,
+                timestamp: 50,
+                params: vec![spe as u64, spe as u64, u32::MAX as u64],
+            });
+        }
+        let mut streams = vec![TraceStream {
+            core: TraceCore::Ppe(0),
+            bytes: encode(&ppe),
+            dropped: 1,
+        }];
+        for spe in 0..spes {
+            let mut dec = u32::MAX;
+            let mut recs = vec![TraceRecord {
+                core: TraceCore::Spe(spe),
+                code: EventCode::SpeCtxStart,
+                timestamp: dec as u64,
+                params: vec![spe as u64],
+            }];
+            for k in 0..40u32 {
+                dec = dec.wrapping_sub(100 + k * spe as u32);
+                recs.push(TraceRecord {
+                    core: TraceCore::Spe(spe),
+                    code: if k % 2 == 0 {
+                        EventCode::SpeDmaGet
+                    } else {
+                        EventCode::SpeTagWaitEnd
+                    },
+                    timestamp: dec as u64,
+                    params: if k % 2 == 0 {
+                        vec![0x1000, 0x100000, 4096, 3]
+                    } else {
+                        vec![8]
+                    },
+                });
+            }
+            dec = dec.wrapping_sub(7);
+            recs.push(TraceRecord {
+                core: TraceCore::Spe(spe),
+                code: EventCode::SpeStop,
+                timestamp: dec as u64,
+                params: vec![0],
+            });
+            streams.push(TraceStream {
+                core: TraceCore::Spe(spe),
+                bytes: encode(&recs),
+                dropped: spe as u64,
+            });
+        }
+        TraceFile {
+            header: header(spes),
+            streams,
+            ctx_names: (0..spes as u32).map(|c| (c, format!("k{c}"))).collect(),
+        }
+    }
+
+    #[test]
+    fn matches_serial_for_all_thread_counts() {
+        let trace = interleaved_trace(6);
+        let serial = analyze(&trace).unwrap();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = analyze_parallel(&trace, threads).unwrap();
+            assert_eq!(par.events, serial.events, "threads={threads}");
+            assert_eq!(par.anchors, serial.anchors);
+            assert_eq!(par.dropped, serial.dropped);
+            assert_eq!(par.header, serial.header);
+            assert_eq!(par.ctx_names, serial.ctx_names);
+        }
+    }
+
+    #[test]
+    fn ppe_equal_tick_interleave_is_ordered_like_serial() {
+        let trace = interleaved_trace(2);
+        let par = analyze_parallel(&trace, 4).unwrap();
+        // At tick 50 the PPE(0) records sort before PPE(1) despite the
+        // PPE(1) records being recorded first.
+        let tags: Vec<u8> = par
+            .events
+            .iter()
+            .filter(|e| e.time_tb == 50 && !e.core.is_spe())
+            .map(|e| e.core.tag())
+            .collect();
+        let mut sorted = tags.clone();
+        sorted.sort_unstable();
+        assert_eq!(tags, sorted);
+    }
+
+    #[test]
+    fn decode_errors_report_first_stream_in_order() {
+        let mut trace = interleaved_trace(4);
+        // Corrupt two streams; the error must cite the earlier one even
+        // though a later worker may hit the other first.
+        trace.streams[3].bytes[0] = 0; // zero granule count
+        trace.streams[1].bytes[0] = 0;
+        let err = analyze_parallel(&trace, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            AnalyzeError::Record {
+                core: TraceCore::Spe(0),
+                offset: 0,
+                ..
+            }
+        ));
+        assert_eq!(err, analyze(&trace).unwrap_err());
+    }
+
+    #[test]
+    fn missing_anchor_matches_serial() {
+        let mut trace = interleaved_trace(2);
+        trace.streams[0].bytes.clear(); // drop the PPE sync records
+        let err = analyze_parallel(&trace, 4).unwrap_err();
+        assert_eq!(err, AnalyzeError::MissingAnchor { spe: 0 });
+        assert_eq!(err, analyze(&trace).unwrap_err());
+    }
+
+    #[test]
+    fn empty_trace_yields_no_events() {
+        let trace = TraceFile {
+            header: header(0),
+            streams: vec![],
+            ctx_names: vec![],
+        };
+        let par = analyze_parallel(&trace, 8).unwrap();
+        assert!(par.events.is_empty());
+        assert!(par.anchors.is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! Zero-copy ingestion of serialized trace images.
+//!
+//! [`TraceImage`] parses a serialized PDT image (the byte format
+//! written by [`TraceFile::to_bytes`]) without copying any record
+//! bytes: only the header, the stream directory and the context-name
+//! table are materialized, while every stream's records stay borrowed
+//! windows into the caller's buffer. Analysis then feeds those windows
+//! straight into the parallel decode workers, so a trace loaded from
+//! disk is decoded exactly once, in place.
+//!
+//! For small traces the copy saved is negligible; for the multi-SPE
+//! captures the analyzer targets it removes the single largest
+//! allocation of the load path.
+
+use pdt::{FormatError, StreamMeta, TraceCore, TraceFile, TraceHeader, TraceStream};
+
+use crate::analyze::{AnalyzeError, AnalyzedTrace};
+use crate::parallel::analyze_sources;
+
+/// A parsed view over a serialized trace image. Record bytes are
+/// borrowed from the underlying buffer, never copied.
+#[derive(Debug, Clone)]
+pub struct TraceImage<'a> {
+    image: &'a [u8],
+    header: TraceHeader,
+    metas: Vec<StreamMeta>,
+    ctx_names: Vec<(u32, String)>,
+}
+
+impl<'a> TraceImage<'a> {
+    /// Parses the image's header, stream directory and context-name
+    /// table, validating the overall layout. Record bytes are not
+    /// inspected — corrupt records surface later, from
+    /// [`analyze`](Self::analyze).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] if the image is truncated or its
+    /// header, directory or name table is malformed.
+    pub fn parse(image: &'a [u8]) -> Result<Self, FormatError> {
+        let header = TraceFile::scan_header(image)?;
+        let metas = TraceFile::scan_stream_table(image)?;
+        let ctx_names = TraceFile::scan_ctx_names(image)?;
+        Ok(Self {
+            image,
+            header,
+            metas,
+            ctx_names,
+        })
+    }
+
+    /// The trace header.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Per-stream directory entries, in image order.
+    pub fn streams(&self) -> &[StreamMeta] {
+        &self.metas
+    }
+
+    /// The context-name table.
+    pub fn ctx_names(&self) -> &[(u32, String)] {
+        &self.ctx_names
+    }
+
+    /// The record bytes of stream `index`, borrowed from the image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn stream_bytes(&self, index: usize) -> &'a [u8] {
+        self.metas[index].slice(self.image)
+    }
+
+    /// Records dropped across all streams.
+    pub fn total_dropped(&self) -> u64 {
+        self.metas.iter().map(|m| m.dropped).sum()
+    }
+
+    /// Reconstructs the global timeline directly from the borrowed
+    /// stream windows, using up to `threads` decode workers. The
+    /// result is identical to `analyze(&TraceFile::from_bytes(image)?)`
+    /// — same events, same order, same errors — without the
+    /// intermediate per-stream copies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyzeError`] on corrupt records or missing sync
+    /// anchors, with the serial path's stream-order precedence.
+    pub fn analyze(&self, threads: usize) -> Result<AnalyzedTrace, AnalyzeError> {
+        let sources: Vec<(TraceCore, &[u8])> = self
+            .metas
+            .iter()
+            .map(|m| (m.core, m.slice(self.image)))
+            .collect();
+        analyze_sources(
+            self.header,
+            &sources,
+            self.total_dropped(),
+            self.ctx_names.clone(),
+            threads,
+        )
+    }
+
+    /// Materializes an owned [`TraceFile`], copying the record bytes.
+    /// Useful when the backing buffer cannot outlive the trace.
+    pub fn to_trace_file(&self) -> TraceFile {
+        TraceFile {
+            header: self.header,
+            streams: self
+                .metas
+                .iter()
+                .map(|m| TraceStream {
+                    core: m.core,
+                    bytes: m.slice(self.image).to_vec(),
+                    dropped: m.dropped,
+                })
+                .collect(),
+            ctx_names: self.ctx_names.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use pdt::{EventCode, TraceRecord, TraceStream, VERSION};
+
+    fn trace(spes: u8) -> TraceFile {
+        let mut ppe = Vec::new();
+        for spe in 0..spes {
+            TraceRecord {
+                core: TraceCore::Ppe(0),
+                code: EventCode::PpeCtxRun,
+                timestamp: 10 + spe as u64,
+                params: vec![spe as u64, spe as u64, u32::MAX as u64],
+            }
+            .encode_into(&mut ppe);
+        }
+        let mut streams = vec![TraceStream {
+            core: TraceCore::Ppe(0),
+            bytes: ppe,
+            dropped: 1,
+        }];
+        for spe in 0..spes {
+            let mut bytes = Vec::new();
+            let mut dec = u32::MAX;
+            for (code, step, params) in [
+                (EventCode::SpeCtxStart, 0u32, vec![spe as u64]),
+                (EventCode::SpeDmaGet, 100, vec![0x1000, 0x100000, 4096, 1]),
+                (EventCode::SpeStop, 900, vec![0]),
+            ] {
+                dec = dec.wrapping_sub(step);
+                TraceRecord {
+                    core: TraceCore::Spe(spe),
+                    code,
+                    timestamp: dec as u64,
+                    params,
+                }
+                .encode_into(&mut bytes);
+            }
+            streams.push(TraceStream {
+                core: TraceCore::Spe(spe),
+                bytes,
+                dropped: 0,
+            });
+        }
+        TraceFile {
+            header: TraceHeader {
+                version: VERSION,
+                num_ppe_threads: 1,
+                num_spes: spes,
+                core_hz: 3_200_000_000,
+                timebase_divider: 120,
+                dec_start: u32::MAX,
+                group_mask: u32::MAX,
+                spe_buffer_bytes: 2048,
+            },
+            streams,
+            ctx_names: (0..spes as u32).map(|c| (c, format!("k{c}"))).collect(),
+        }
+    }
+
+    #[test]
+    fn image_analysis_matches_owned_path() {
+        let t = trace(4);
+        let bytes = t.to_bytes();
+        let image = TraceImage::parse(&bytes).unwrap();
+        assert_eq!(image.header(), &t.header);
+        assert_eq!(image.streams().len(), t.streams.len());
+        assert_eq!(image.ctx_names(), t.ctx_names.as_slice());
+        assert_eq!(image.total_dropped(), t.total_dropped());
+
+        let serial = analyze(&t).unwrap();
+        for threads in [1, 2, 8] {
+            let got = image.analyze(threads).unwrap();
+            assert_eq!(got.events, serial.events);
+            assert_eq!(got.anchors, serial.anchors);
+            assert_eq!(got.dropped, serial.dropped);
+        }
+    }
+
+    #[test]
+    fn stream_bytes_are_borrowed_windows() {
+        let t = trace(2);
+        let bytes = t.to_bytes();
+        let image = TraceImage::parse(&bytes).unwrap();
+        let base = bytes.as_ptr() as usize;
+        for (i, s) in t.streams.iter().enumerate() {
+            let window = image.stream_bytes(i);
+            assert_eq!(window, s.bytes.as_slice());
+            let addr = window.as_ptr() as usize;
+            assert!(addr >= base && addr + window.len() <= base + bytes.len());
+        }
+    }
+
+    #[test]
+    fn to_trace_file_round_trips() {
+        let t = trace(3);
+        let bytes = t.to_bytes();
+        let image = TraceImage::parse(&bytes).unwrap();
+        assert_eq!(image.to_trace_file(), t);
+    }
+
+    #[test]
+    fn truncated_image_is_rejected_at_parse() {
+        let t = trace(2);
+        let bytes = t.to_bytes();
+        assert!(TraceImage::parse(&bytes[..bytes.len() - 1]).is_err());
+        assert!(TraceImage::parse(&bytes[..10]).is_err());
+    }
+}

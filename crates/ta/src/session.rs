@@ -1,0 +1,320 @@
+//! The analysis session: one ingestion, every product.
+//!
+//! [`Analysis`] is the analyzer's front door. It owns a reconstructed
+//! trace and memoizes every derived product — intervals, statistics,
+//! timeline, DMA occupancy, user phases — so each is computed at most
+//! once per session no matter how many views ask for it. Ingestion
+//! runs through the parallel engine
+//! ([`analyze_parallel`](crate::parallel::analyze_parallel)), which
+//! produces output identical to the serial path.
+//!
+//! ```
+//! use cellsim::{Machine, MachineConfig, PpeThreadId, SpmdDriver, SpeJob, SpuScript, SpuAction};
+//! use pdt::{TraceSession, TracingConfig};
+//! use ta::Analysis;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut machine = Machine::new(MachineConfig::default().with_num_spes(2))?;
+//! let session = TraceSession::install(TracingConfig::default(), &mut machine)?;
+//! machine.set_ppe_program(
+//!     PpeThreadId::new(0),
+//!     Box::new(SpmdDriver::new(vec![
+//!         SpeJob::new("a", Box::new(SpuScript::new(vec![SpuAction::Compute(50_000)]))),
+//!         SpeJob::new("b", Box::new(SpuScript::new(vec![SpuAction::Compute(80_000)]))),
+//!     ])),
+//! );
+//! machine.run()?;
+//! let trace = session.collect(&machine);
+//!
+//! let analysis = Analysis::of(&trace).threads(4).run()?;
+//! assert_eq!(analysis.stats().spes.len(), 2);
+//! assert!(analysis.svg(&ta::SvgOptions::default()).contains("</svg>"));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::OnceLock;
+
+use pdt::TraceFile;
+
+use crate::analyze::{AnalyzeError, AnalyzedTrace, GlobalEvent};
+use crate::html::html_report;
+use crate::intervals::{build_intervals, SpeIntervals};
+use crate::occupancy::{dma_occupancy, SpeOccupancy};
+use crate::parallel::analyze_parallel;
+use crate::phases::{user_phases, PhaseReport};
+use crate::query::EventFilter;
+use crate::stats::{compute_stats_with, TraceStats};
+use crate::summary::render_summary;
+use crate::svg::{render_svg, SvgOptions};
+use crate::timeline::{build_timeline_with, Timeline};
+
+/// Configures and launches an [`Analysis`]; created by
+/// [`Analysis::of`].
+#[derive(Debug)]
+pub struct AnalysisBuilder<'t> {
+    trace: &'t TraceFile,
+    threads: Option<usize>,
+    filter: Option<EventFilter>,
+}
+
+impl AnalysisBuilder<'_> {
+    /// Sets the ingestion worker count. Defaults to the machine's
+    /// available parallelism; clamped to the trace's stream count at
+    /// run time.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Restricts the session to events passing `filter`. Applied after
+    /// timestamp reconstruction, before any product is derived, so
+    /// every accessor sees the filtered view.
+    pub fn filter(mut self, filter: EventFilter) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// Ingests the trace and returns the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyzeError`] on corrupt records or missing sync
+    /// anchors — the same errors, in the same precedence, as the
+    /// serial [`analyze`](crate::analyze::analyze).
+    pub fn run(self) -> Result<Analysis, AnalyzeError> {
+        let threads = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        let mut analyzed = analyze_parallel(self.trace, threads)?;
+        if let Some(f) = &self.filter {
+            analyzed.events.retain(|e| f.matches(e));
+        }
+        Ok(Analysis::from_analyzed(analyzed))
+    }
+}
+
+/// An analysis session over one trace: parallel ingestion up front,
+/// memoized products on demand.
+#[derive(Debug)]
+pub struct Analysis {
+    analyzed: AnalyzedTrace,
+    intervals: OnceLock<Vec<SpeIntervals>>,
+    stats: OnceLock<TraceStats>,
+    timeline: OnceLock<Timeline>,
+    occupancy: OnceLock<Vec<SpeOccupancy>>,
+    phases: OnceLock<PhaseReport>,
+}
+
+impl Analysis {
+    /// Starts building an analysis of `trace`.
+    pub fn of(trace: &TraceFile) -> AnalysisBuilder<'_> {
+        AnalysisBuilder {
+            trace,
+            threads: None,
+            filter: None,
+        }
+    }
+
+    /// Wraps an already-reconstructed trace in a session, so code
+    /// holding an [`AnalyzedTrace`] (e.g. from the serial path) gets
+    /// the memoized accessors too.
+    pub fn from_analyzed(analyzed: AnalyzedTrace) -> Self {
+        Self {
+            analyzed,
+            intervals: OnceLock::new(),
+            stats: OnceLock::new(),
+            timeline: OnceLock::new(),
+            occupancy: OnceLock::new(),
+            phases: OnceLock::new(),
+        }
+    }
+
+    /// The reconstructed trace.
+    pub fn analyzed(&self) -> &AnalyzedTrace {
+        &self.analyzed
+    }
+
+    /// The globally ordered event list.
+    pub fn events(&self) -> &[GlobalEvent] {
+        &self.analyzed.events
+    }
+
+    /// Per-SPE activity intervals (computed once, shared by
+    /// [`stats`](Self::stats) and [`timeline`](Self::timeline)).
+    pub fn intervals(&self) -> &[SpeIntervals] {
+        self.intervals
+            .get_or_init(|| build_intervals(&self.analyzed))
+    }
+
+    /// Per-SPE utilization, DMA traffic and event-count statistics.
+    pub fn stats(&self) -> &TraceStats {
+        self.stats
+            .get_or_init(|| compute_stats_with(&self.analyzed, self.intervals()))
+    }
+
+    /// The Gantt timeline model.
+    pub fn timeline(&self) -> &Timeline {
+        self.timeline
+            .get_or_init(|| build_timeline_with(&self.analyzed, self.intervals()))
+    }
+
+    /// Outstanding-DMA occupancy per SPE.
+    pub fn occupancy(&self) -> &[SpeOccupancy] {
+        self.occupancy.get_or_init(|| dma_occupancy(&self.analyzed))
+    }
+
+    /// User-marked phase report.
+    pub fn phases(&self) -> &PhaseReport {
+        self.phases.get_or_init(|| user_phases(&self.analyzed))
+    }
+
+    /// Renders the timeline as SVG.
+    pub fn svg(&self, opts: &SvgOptions) -> String {
+        render_svg(self.timeline(), opts)
+    }
+
+    /// Renders the timeline as ASCII art, `width` columns wide.
+    pub fn ascii(&self, width: usize) -> String {
+        crate::ascii::render_ascii(self.timeline(), width)
+    }
+
+    /// Renders the plain-text summary report.
+    pub fn summary(&self) -> String {
+        render_summary(&self.analyzed, self.stats())
+    }
+
+    /// Renders the standalone HTML report.
+    pub fn html(&self, title: &str) -> String {
+        html_report(&self.analyzed, title)
+    }
+
+    /// Consumes the session, returning the reconstructed trace.
+    pub fn into_analyzed(self) -> AnalyzedTrace {
+        self.analyzed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::stats::compute_stats;
+    use crate::timeline::build_timeline;
+    use pdt::{EventCode, TraceCore, TraceHeader, TraceRecord, TraceStream, VERSION};
+
+    fn trace(spes: u8) -> TraceFile {
+        let mut ppe = Vec::new();
+        for spe in 0..spes {
+            TraceRecord {
+                core: TraceCore::Ppe(0),
+                code: EventCode::PpeCtxRun,
+                timestamp: 100 + spe as u64,
+                params: vec![spe as u64, spe as u64, u32::MAX as u64],
+            }
+            .encode_into(&mut ppe);
+        }
+        let mut streams = vec![TraceStream {
+            core: TraceCore::Ppe(0),
+            bytes: ppe,
+            dropped: 0,
+        }];
+        for spe in 0..spes {
+            let mut bytes = Vec::new();
+            let mut dec = u32::MAX;
+            for (code, step, params) in [
+                (EventCode::SpeCtxStart, 0u32, vec![spe as u64]),
+                (EventCode::SpeDmaGet, 500, vec![0x1000, 0x100000, 4096, 1]),
+                (EventCode::SpeTagWaitBegin, 10, vec![2, 0]),
+                (EventCode::SpeTagWaitEnd, 800, vec![2]),
+                (EventCode::SpeUser, 100, vec![7, 1, 0]),
+                (EventCode::SpeStop, 1000, vec![0]),
+            ] {
+                dec = dec.wrapping_sub(step);
+                TraceRecord {
+                    core: TraceCore::Spe(spe),
+                    code,
+                    timestamp: dec as u64,
+                    params,
+                }
+                .encode_into(&mut bytes);
+            }
+            streams.push(TraceStream {
+                core: TraceCore::Spe(spe),
+                bytes,
+                dropped: 0,
+            });
+        }
+        TraceFile {
+            header: TraceHeader {
+                version: VERSION,
+                num_ppe_threads: 1,
+                num_spes: spes,
+                core_hz: 3_200_000_000,
+                timebase_divider: 120,
+                dec_start: u32::MAX,
+                group_mask: u32::MAX,
+                spe_buffer_bytes: 2048,
+            },
+            streams,
+            ctx_names: (0..spes as u32).map(|c| (c, format!("k{c}"))).collect(),
+        }
+    }
+
+    #[test]
+    fn session_products_match_free_functions() {
+        let t = trace(3);
+        let a = Analysis::of(&t).threads(4).run().unwrap();
+        let serial = analyze(&t).unwrap();
+        assert_eq!(a.events(), serial.events.as_slice());
+        assert_eq!(a.intervals(), build_intervals(&serial).as_slice());
+        let stats = compute_stats(&serial);
+        assert_eq!(a.stats().spes, stats.spes);
+        assert_eq!(a.stats().duration_tb, stats.duration_tb);
+        assert_eq!(a.timeline(), &build_timeline(&serial));
+    }
+
+    #[test]
+    fn products_are_memoized() {
+        let t = trace(2);
+        let a = Analysis::of(&t).run().unwrap();
+        let first: *const _ = a.stats();
+        let second: *const _ = a.stats();
+        assert_eq!(first, second);
+        let iv1: *const _ = a.intervals();
+        let iv2: *const _ = a.intervals();
+        assert_eq!(iv1, iv2);
+    }
+
+    #[test]
+    fn filter_restricts_every_product() {
+        let t = trace(2);
+        let full = Analysis::of(&t).run().unwrap();
+        let only_spe0 = Analysis::of(&t)
+            .filter(EventFilter::new().on_core(TraceCore::Spe(0)))
+            .run()
+            .unwrap();
+        assert!(only_spe0.events().len() < full.events().len());
+        assert!(only_spe0
+            .events()
+            .iter()
+            .all(|e| e.core == TraceCore::Spe(0)));
+        assert_eq!(only_spe0.stats().spes.len(), 1);
+    }
+
+    #[test]
+    fn renders_through_session() {
+        let t = trace(1);
+        let a = Analysis::of(&t).run().unwrap();
+        assert!(a.svg(&SvgOptions::default()).ends_with("</svg>\n"));
+        assert!(a.ascii(60).contains("legend"));
+        assert!(a.summary().contains("SPE"));
+        assert!(a.html("t").contains("<html"));
+        assert!(!a.occupancy().is_empty());
+        let _ = a.phases();
+        let analyzed = a.into_analyzed();
+        assert!(!analyzed.events.is_empty());
+    }
+}

@@ -72,7 +72,7 @@ impl ObservedDma {
 }
 
 /// DMA traffic summary for the whole trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DmaSummary {
     /// GET commands.
     pub gets: u64,
@@ -107,7 +107,7 @@ impl DmaSummary {
 }
 
 /// Event counts per code.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EventCounts {
     counts: HashMap<EventCode, u64>,
 }
@@ -132,7 +132,7 @@ impl EventCounts {
 }
 
 /// The full statistics bundle.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
     /// Per-SPE activity.
     pub spes: Vec<SpeActivity>,
@@ -176,8 +176,19 @@ impl TraceStats {
 }
 
 /// Computes the statistics bundle for a trace.
+///
+/// New code should prefer [`Analysis::stats`](crate::session::Analysis::stats),
+/// which shares one interval pass with the timeline and memoizes the
+/// result; this function remains for compatibility.
 pub fn compute_stats(trace: &AnalyzedTrace) -> TraceStats {
-    let intervals = build_intervals(trace);
+    compute_stats_with(trace, &build_intervals(trace))
+}
+
+/// Computes the statistics bundle from already-built intervals, so a
+/// caller deriving several products (stats, timeline, …) from one
+/// trace pays the interval pass once. [`compute_stats`] is this with a
+/// fresh interval build.
+pub fn compute_stats_with(trace: &AnalyzedTrace, intervals: &[SpeIntervals]) -> TraceStats {
     let spes = intervals.iter().map(SpeActivity::from_intervals).collect();
 
     let mut counts = EventCounts::default();

@@ -7,7 +7,7 @@
 use pdt::{EventCode, TraceCore};
 
 use crate::analyze::AnalyzedTrace;
-use crate::intervals::{build_intervals, ActivityKind};
+use crate::intervals::{build_intervals, ActivityKind, SpeIntervals};
 
 /// A colored activity segment on a lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,7 +72,18 @@ fn is_marker(core: TraceCore, code: EventCode) -> bool {
 }
 
 /// Builds the timeline model from an analyzed trace.
+///
+/// New code should prefer [`Analysis::timeline`](crate::session::Analysis::timeline),
+/// which shares one interval pass with the statistics and memoizes the
+/// result; this function remains for compatibility.
 pub fn build_timeline(trace: &AnalyzedTrace) -> Timeline {
+    build_timeline_with(trace, &build_intervals(trace))
+}
+
+/// Builds the timeline model from already-built intervals, so a caller
+/// deriving several products from one trace pays the interval pass
+/// once. [`build_timeline`] is this with a fresh interval build.
+pub fn build_timeline_with(trace: &AnalyzedTrace, intervals: &[SpeIntervals]) -> Timeline {
     let start_tb = trace.start_tb();
     let end_tb = trace.end_tb();
     let mut lanes = Vec::new();
@@ -105,8 +116,7 @@ pub fn build_timeline(trace: &AnalyzedTrace) -> Timeline {
     }
 
     // SPE lanes from intervals.
-    let intervals = build_intervals(trace);
-    for iv in &intervals {
+    for iv in intervals {
         let core = TraceCore::Spe(iv.spe);
         let ctx = trace
             .anchors

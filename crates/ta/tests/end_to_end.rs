@@ -403,10 +403,7 @@ fn clock_alignment_recovers_the_anchor_skew_on_a_real_trace() {
         }
     }
 
-    let mut m = cellsim::Machine::new(
-        cellsim::MachineConfig::default().with_num_spes(1),
-    )
-    .unwrap();
+    let mut m = cellsim::Machine::new(cellsim::MachineConfig::default().with_num_spes(1)).unwrap();
     let session = TraceSession::install(TracingConfig::default(), &mut m).unwrap();
     m.set_ppe_program(PpeThreadId::new(0), Box::new(Sender { ctx: None }));
     m.run().unwrap();

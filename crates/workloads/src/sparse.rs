@@ -192,7 +192,10 @@ impl SparseWorkload {
             cfg.rows.is_multiple_of(cfg.rows_per_chunk),
             "rows % rows_per_chunk != 0"
         );
-        assert!(cfg.rows_per_chunk.is_multiple_of(4), "rows_per_chunk % 4 != 0");
+        assert!(
+            cfg.rows_per_chunk.is_multiple_of(4),
+            "rows_per_chunk % 4 != 0"
+        );
         assert!(cfg.rows * 4 <= 64 * 1024, "x vector must fit the LS budget");
         let matrix = generate_matrix(&cfg);
         let mut g = DataGen::new(cfg.seed ^ 0x5eed);

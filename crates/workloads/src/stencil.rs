@@ -101,7 +101,10 @@ impl StencilWorkload {
     ///
     /// Panics on invalid dimensions.
     pub fn new(cfg: StencilConfig) -> Self {
-        assert!(cfg.n.is_multiple_of(cfg.spes), "n must divide over the SPEs");
+        assert!(
+            cfg.n.is_multiple_of(cfg.spes),
+            "n must divide over the SPEs"
+        );
         assert!(cfg.n * 4 <= 16 * 1024, "a row must fit one DMA");
         assert!(cfg.rows_per_spe() >= 2, "bands need at least two rows");
         assert!(
@@ -342,7 +345,12 @@ struct StencilKernel {
 }
 
 impl StencilKernel {
-    fn new(cfg: StencilConfig, band: usize, up: Option<Neighbour>, down: Option<Neighbour>) -> Self {
+    fn new(
+        cfg: StencilConfig,
+        band: usize,
+        up: Option<Neighbour>,
+        down: Option<Neighbour>,
+    ) -> Self {
         StencilKernel {
             cfg,
             band,
@@ -517,24 +525,22 @@ impl SpuProgram for StencilKernel {
                         value: SIG_FROM_DOWN, // we are *below* them
                     };
                 }
-                KPhase::SendDown => {
-                    match self.down {
-                        Some(nb) => {
-                            self.phase = KPhase::SendDownWait;
-                            let last_row = (self.rows() - 1) as u32;
-                            return SpuAction::DmaPut {
-                                lsa: self.band_buf.offset(last_row * rb),
-                                ea: nb.halo_ea,
-                                size: rb,
-                                tag: TagId::new(TAG).unwrap(),
-                            };
-                        }
-                        None => {
-                            self.phase = KPhase::AwaitHalos;
-                            continue;
-                        }
+                KPhase::SendDown => match self.down {
+                    Some(nb) => {
+                        self.phase = KPhase::SendDownWait;
+                        let last_row = (self.rows() - 1) as u32;
+                        return SpuAction::DmaPut {
+                            lsa: self.band_buf.offset(last_row * rb),
+                            ea: nb.halo_ea,
+                            size: rb,
+                            tag: TagId::new(TAG).unwrap(),
+                        };
                     }
-                }
+                    None => {
+                        self.phase = KPhase::AwaitHalos;
+                        continue;
+                    }
+                },
                 KPhase::SendDownWait => {
                     if matches!(wake, SpuWake::TagsDone(_)) {
                         self.phase = KPhase::SignalDown;

@@ -414,9 +414,7 @@ impl SpuProgram for DoubleBufferKernel {
                     mode: TagWaitMode::All,
                 }
             }
-            DoublePhase::DrainWait => {
-                SpuAction::Stop(0)
-            }
+            DoublePhase::DrainWait => SpuAction::Stop(0),
         }
     }
 }

@@ -10,7 +10,7 @@
 use cell_pdt::prelude::*;
 use cellsim::MachineConfig;
 
-fn run(label: &str, mcfg: MachineConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn run(label: &str, mcfg: MachineConfig) -> Result<(), Error> {
     let workload = StreamWorkload::new(StreamConfig {
         blocks: 48,
         block_bytes: 16 * 1024,
@@ -20,8 +20,8 @@ fn run(label: &str, mcfg: MachineConfig) -> Result<(), Box<dyn std::error::Error
         ..StreamConfig::default()
     });
     let result = run_workload(&workload, mcfg, Some(TracingConfig::default()))?;
-    let analyzed = analyze(result.trace.as_ref().expect("traced"))?;
-    let stats = compute_stats(&analyzed);
+    let analysis = Analysis::of(result.trace.as_ref().expect("traced")).run()?;
+    let stats = analysis.stats();
     let dma_frac: f64 = stats
         .spes
         .iter()
@@ -32,15 +32,21 @@ fn run(label: &str, mcfg: MachineConfig) -> Result<(), Box<dyn std::error::Error
         "{label:<28} {:>9} cycles   mean dma-wait {:>5.1}%   observed latency {:>6.2} µs",
         result.report.cycles,
         dma_frac * 100.0,
-        analyzed.tb_to_ns(stats.dma.latency_ticks.mean().round() as u64) / 1000.0
+        analysis
+            .analyzed()
+            .tb_to_ns(stats.dma.latency_ticks.mean().round() as u64)
+            / 1000.0
     );
     Ok(())
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     println!("streaming triad on four machine variants:\n");
 
-    run("stock 3.2 GHz blade", MachineConfig::default().with_num_spes(4))?;
+    run(
+        "stock 3.2 GHz blade",
+        MachineConfig::default().with_num_spes(4),
+    )?;
 
     let mut slow_mem = MachineConfig::default().with_num_spes(4);
     slow_mem.mem_latency_ns = 360.0; // 4x the XDR latency

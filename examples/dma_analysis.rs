@@ -8,7 +8,7 @@
 
 use cell_pdt::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     println!("observed GET latency and bandwidth vs transfer size (one SPE):\n");
     println!("{:>8}  {:>12}  {:>10}", "size B", "latency µs", "GB/s");
     for size in [128u32, 512, 2048, 8192, 16384] {
@@ -23,9 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             MachineConfig::default().with_num_spes(1),
             Some(TracingConfig::default().with_groups(GroupMask::dma_only())),
         )?;
-        let analyzed = analyze(result.trace.as_ref().expect("traced"))?;
-        let stats = compute_stats(&analyzed);
-        let lat_ns = analyzed.tb_to_ns(stats.dma.latency_ticks.mean().round() as u64);
+        let analysis = Analysis::of(result.trace.as_ref().expect("traced")).run()?;
+        let stats = analysis.stats();
+        let lat_ns = analysis
+            .analyzed()
+            .tb_to_ns(stats.dma.latency_ticks.mean().round() as u64);
         let gbps = size as f64 / lat_ns;
         println!("{size:>8}  {:>12.2}  {gbps:>10.2}", lat_ns / 1000.0);
     }
@@ -42,8 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         MachineConfig::default(),
         Some(TracingConfig::default().with_groups(GroupMask::dma_only())),
     )?;
-    let analyzed = analyze(result.trace.as_ref().expect("traced"))?;
-    let stats = compute_stats(&analyzed);
+    let analysis = Analysis::of(result.trace.as_ref().expect("traced")).run()?;
+    let stats = analysis.stats();
     println!(
         "\n8 SPEs × 128 GETs of 4 KiB — contention at the memory interface:\n\n{}",
         stats
@@ -56,7 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "mean per-transfer bandwidth under contention: {:.2} GB/s\n\
          aggregate bandwidth over the run: {:.2} GB/s (MIC cap is 25.6 GB/s)",
         stats.dma.observed_bytes_per_tick()
-            * (analyzed.header.core_hz as f64 / analyzed.header.timebase_divider as f64)
+            * (analysis.analyzed().header.core_hz as f64
+                / analysis.analyzed().header.timebase_divider as f64)
             / 1e9,
         aggregate_gbps
     );

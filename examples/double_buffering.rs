@@ -9,7 +9,7 @@
 
 use cell_pdt::prelude::*;
 
-fn run(buffering: Buffering) -> Result<(u64, f64, String), Box<dyn std::error::Error>> {
+fn run(buffering: Buffering) -> Result<(u64, f64, String), Error> {
     let workload = StreamWorkload::new(StreamConfig {
         blocks: 64,
         block_bytes: 16 * 1024,
@@ -23,15 +23,14 @@ fn run(buffering: Buffering) -> Result<(u64, f64, String), Box<dyn std::error::E
         MachineConfig::default().with_num_spes(1),
         Some(TracingConfig::default().with_groups(GroupMask::dma_only())),
     )?;
-    let analyzed = analyze(result.trace.as_ref().expect("traced run"))?;
-    let stats = compute_stats(&analyzed);
-    let spe0 = stats.spe(0).expect("SPE0 ran");
+    let analysis = Analysis::of(result.trace.as_ref().expect("traced run")).run()?;
+    let spe0 = analysis.stats().spe(0).expect("SPE0 ran");
     let dma_frac = spe0.dma_wait_tb as f64 / spe0.active_tb as f64;
-    let svg = render_svg(&build_timeline(&analyzed), &SvgOptions::default());
+    let svg = analysis.svg(&SvgOptions::default());
     Ok((result.report.cycles, dma_frac, svg))
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     let (single_cycles, single_dma, single_svg) = run(Buffering::Single)?;
     let (double_cycles, double_dma, double_svg) = run(Buffering::Double)?;
 

@@ -10,7 +10,7 @@ use cell_pdt::prelude::*;
 /// (total cycles, per-SPE compute milliseconds, imbalance factor)
 type RunOutcome = (u64, Vec<(u8, f64)>, f64);
 
-fn run(schedule: Schedule) -> Result<RunOutcome, Box<dyn std::error::Error>> {
+fn run(schedule: Schedule) -> Result<RunOutcome, Error> {
     let workload = SparseWorkload::new(SparseConfig {
         rows: 2048,
         rows_per_chunk: 64,
@@ -26,17 +26,17 @@ fn run(schedule: Schedule) -> Result<RunOutcome, Box<dyn std::error::Error>> {
         MachineConfig::default().with_num_spes(4),
         Some(TracingConfig::default()),
     )?;
-    let analyzed = analyze(result.trace.as_ref().expect("traced"))?;
-    let stats = compute_stats(&analyzed);
+    let analysis = Analysis::of(result.trace.as_ref().expect("traced")).run()?;
+    let stats = analysis.stats();
     let per_spe = stats
         .spes
         .iter()
-        .map(|a| (a.spe, analyzed.tb_to_ns(a.compute_tb) / 1e6))
+        .map(|a| (a.spe, analysis.analyzed().tb_to_ns(a.compute_tb) / 1e6))
         .collect();
     Ok((result.report.cycles, per_spe, stats.imbalance()))
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     println!("sparse y = A·x with density clustered in the leading rows\n");
     let (static_cycles, static_spe, static_imb) = run(Schedule::StaticContiguous)?;
     println!("static contiguous chunks (imbalance {static_imb:.2}):");

@@ -75,7 +75,7 @@ impl SpuProgram for MarkedKernel {
     }
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     let mut machine = Machine::new(MachineConfig::default().with_num_spes(1))?;
     let session = TraceSession::install(TracingConfig::default(), &mut machine)?;
     machine.set_ppe_program(
@@ -91,8 +91,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     trace.write_to("phase_markers.pdt")?;
     println!("trace saved to phase_markers.pdt\n");
 
-    let analyzed = analyze(&trace)?;
-    let report = ta::user_phases(&analyzed);
+    let analysis = Analysis::of(&trace).run()?;
+    let report = analysis.phases();
     println!("reconstructed user phases:");
     for p in &report.phases {
         let name = match p.id {
@@ -104,11 +104,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {:>8} on {}: {:>6.2} µs",
             name,
             p.core,
-            analyzed.tb_to_ns(p.ticks()) / 1000.0
+            analysis.analyzed().tb_to_ns(p.ticks()) / 1000.0
         );
     }
-    let load = analyzed.tb_to_ns(report.total_ticks(PHASE_LOAD)) / 1000.0;
-    let compute = analyzed.tb_to_ns(report.total_ticks(PHASE_COMPUTE)) / 1000.0;
+    let load = analysis.analyzed().tb_to_ns(report.total_ticks(PHASE_LOAD)) / 1000.0;
+    let compute = analysis
+        .analyzed()
+        .tb_to_ns(report.total_ticks(PHASE_COMPUTE))
+        / 1000.0;
     println!("\ntotals: load {load:.2} µs, compute {compute:.2} µs");
     println!(
         "compute/load ratio {:.2} — the application-level view the\n\

@@ -7,7 +7,7 @@
 
 use cell_pdt::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     // A 4-SPE Cell machine with a PDT tracing session attached.
     let mut machine = Machine::new(MachineConfig::default().with_num_spes(4))?;
     let session = TraceSession::install(TracingConfig::default(), &mut machine)?;
@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     machine.set_ppe_program(PpeThreadId::new(0), driver);
 
     let report = machine.run()?;
-    workload.verify(&machine).map_err(std::io::Error::other)?;
+    workload.verify(&machine)?;
     println!(
         "simulated {} cycles ({:.3} ms of Cell time); results verified\n",
         report.cycles,
@@ -40,8 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.total_dropped()
     );
 
-    let analyzed = analyze(&trace)?;
-    let stats = compute_stats(&analyzed);
+    let analysis = Analysis::of(&trace).run()?;
+    let stats = analysis.stats();
     println!("per-SPE activity (from the trace alone):");
     for a in &stats.spes {
         println!(
@@ -57,11 +57,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.dma.gets,
         stats.dma.puts,
         stats.dma.bytes / 1024,
-        analyzed.tb_to_ns(stats.dma.latency_ticks.mean().round() as u64) / 1000.0
+        analysis
+            .analyzed()
+            .tb_to_ns(stats.dma.latency_ticks.mean().round() as u64)
+            / 1000.0
     );
 
     println!("\ntimeline:\n");
-    let timeline = build_timeline(&analyzed);
-    print!("{}", render_ascii(&timeline, 100));
+    print!("{}", analysis.ascii(100));
     Ok(())
 }

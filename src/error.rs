@@ -1,0 +1,130 @@
+//! The umbrella error type.
+//!
+//! Every stage of the simulate → trace → analyze pipeline has its own
+//! error type; [`Error`] unifies them so an application (or a doctest)
+//! can thread the whole pipeline with `?` and return one type:
+//!
+//! ```text
+//! fn main() -> Result<(), cell_pdt::Error> {
+//!     let mut machine = Machine::new(cfg)?;          // SimError
+//!     let session = TraceSession::install(tc, &mut machine)?; // TracingConfigError
+//!     machine.run()?;                                // SimError
+//!     workload.verify(&machine)?;                    // String -> Verify
+//!     let analysis = Analysis::of(&session.collect(&machine)).run()?; // AnalyzeError
+//!     Ok(())
+//! }
+//! ```
+
+use std::fmt;
+
+/// Any error from the simulate → trace → analyze pipeline.
+#[derive(Debug)]
+pub enum Error {
+    /// Simulator errors (machine construction, run, DMA, memory).
+    Sim(cellsim::SimError),
+    /// Tracing-session configuration or installation errors.
+    TracingConfig(pdt::TracingConfigError),
+    /// Serialized-trace parsing errors.
+    Format(pdt::FormatError),
+    /// Trace decode / timestamp-reconstruction errors.
+    Analyze(ta::AnalyzeError),
+    /// Workload result-verification failures.
+    Verify(String),
+    /// Host I/O errors (reading or writing trace files).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Sim(e) => write!(f, "simulation: {e}"),
+            Error::TracingConfig(e) => write!(f, "tracing: {e}"),
+            Error::Format(e) => write!(f, "trace format: {e}"),
+            Error::Analyze(e) => write!(f, "analysis: {e}"),
+            Error::Verify(msg) => write!(f, "workload verification failed: {msg}"),
+            Error::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Sim(e) => Some(e),
+            Error::TracingConfig(e) => Some(e),
+            Error::Format(e) => Some(e),
+            Error::Analyze(e) => Some(e),
+            Error::Verify(_) => None,
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<cellsim::SimError> for Error {
+    fn from(e: cellsim::SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+impl From<pdt::TracingConfigError> for Error {
+    fn from(e: pdt::TracingConfigError) -> Self {
+        Error::TracingConfig(e)
+    }
+}
+
+impl From<pdt::FormatError> for Error {
+    fn from(e: pdt::FormatError) -> Self {
+        Error::Format(e)
+    }
+}
+
+impl From<ta::AnalyzeError> for Error {
+    fn from(e: ta::AnalyzeError) -> Self {
+        Error::Analyze(e)
+    }
+}
+
+/// Workload verification reports failures as `String`; `?` lifts them
+/// into [`Error::Verify`].
+impl From<String> for Error {
+    fn from(msg: String) -> Self {
+        Error::Verify(msg)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_strings_lift_into_error() {
+        fn verify() -> Result<(), String> {
+            Err("SPE2 output mismatch".into())
+        }
+        fn pipeline() -> Result<(), Error> {
+            verify()?;
+            Ok(())
+        }
+        let err = pipeline().unwrap_err();
+        assert!(matches!(err, Error::Verify(_)));
+        assert!(err.to_string().contains("SPE2 output mismatch"));
+    }
+
+    #[test]
+    fn component_errors_convert_and_chain() {
+        let e: Error = pdt::TraceFile::from_bytes(&[0u8; 3]).unwrap_err().into();
+        assert!(matches!(e, Error::Format(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().starts_with("trace format:"));
+
+        let bad = cellsim::MachineConfig::default().with_num_spes(0);
+        let e: Error = cellsim::Machine::new(bad).unwrap_err().into();
+        assert!(matches!(e, Error::Sim(_)));
+    }
+}

@@ -19,7 +19,7 @@
 //! ```
 //! use cell_pdt::prelude::*;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), cell_pdt::Error> {
 //! // Build a 2-SPE machine and attach a PDT tracing session.
 //! let mut machine = Machine::new(MachineConfig::default().with_num_spes(2))?;
 //! let session = TraceSession::install(TracingConfig::default(), &mut machine)?;
@@ -33,26 +33,31 @@
 //! let driver = workload.stage(&mut machine);
 //! machine.set_ppe_program(PpeThreadId::new(0), driver);
 //! machine.run()?;
-//! workload.verify(&machine).map_err(std::io::Error::other)?;
+//! workload.verify(&machine)?;
 //!
-//! // Analyze the trace the PDT collected.
+//! // Analyze the trace the PDT collected: one parallel ingestion,
+//! // memoized products behind the session's accessors.
 //! let trace = session.collect(&machine);
-//! let analyzed = analyze(&trace)?;
-//! let stats = compute_stats(&analyzed);
-//! assert_eq!(stats.spes.len(), 2);
+//! let analysis = Analysis::of(&trace).run()?;
+//! assert_eq!(analysis.stats().spes.len(), 2);
 //! # Ok(())
 //! # }
 //! ```
 
 #![warn(missing_docs)]
 
+mod error;
+
 pub use cellsim;
 pub use pdt;
 pub use ta;
 pub use workloads;
 
+pub use error::Error;
+
 /// The most common imports, for examples and quick experiments.
 pub mod prelude {
+    pub use crate::Error;
     pub use cellsim::{
         CoreId, Machine, MachineConfig, PpeAction, PpeProgram, PpeThreadId, PpeWake, SpeId, SpeJob,
         SpmdDriver, SpuAction, SpuProgram, SpuScript, SpuWake, TagId, TagWaitMode,
@@ -60,12 +65,12 @@ pub mod prelude {
     pub use pdt::{EventGroup, GroupMask, TraceCore, TraceFile, TraceSession, TracingConfig};
     pub use ta::{
         analyze, build_intervals, build_timeline, compute_stats, render_ascii, render_svg,
-        validate, ActivityKind, EventFilter, SvgOptions,
+        validate, ActivityKind, Analysis, AnalysisBuilder, EventFilter, SvgOptions, TraceImage,
     };
     pub use workloads::{
         run_workload, Buffering, DmaSweepConfig, DmaSweepWorkload, EventRateConfig,
         EventRateWorkload, FftConfig, FftWorkload, MatmulConfig, MatmulWorkload, PipelineConfig,
-        PipelineWorkload, Schedule, SparseConfig, SparseWorkload, StencilConfig,
-        StencilWorkload, StreamConfig, StreamWorkload, Workload,
+        PipelineWorkload, Schedule, SparseConfig, SparseWorkload, StencilConfig, StencilWorkload,
+        StreamConfig, StreamWorkload, Workload,
     };
 }

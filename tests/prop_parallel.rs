@@ -1,0 +1,112 @@
+//! Property-based equivalence of the parallel ingestion engine:
+//! whatever the machine shape and workload, analyzing with 1, 2 or 8
+//! worker threads must produce exactly the serial analyzer's output —
+//! same events in the same order, same intervals, same statistics.
+
+use proptest::prelude::*;
+
+use cell_pdt::prelude::*;
+
+/// A generatable, always-terminating SPU action.
+#[derive(Debug, Clone)]
+enum Step {
+    Compute(u64),
+    DmaRound { size_class: u8, tag: u8 },
+    User(u32),
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u64..20_000).prop_map(Step::Compute),
+        ((0u8..4), (0u8..4)).prop_map(|(size_class, tag)| Step::DmaRound { size_class, tag }),
+        (0u32..100).prop_map(Step::User),
+    ]
+}
+
+fn to_actions(steps: &[Step]) -> Vec<SpuAction> {
+    let mut out = Vec::new();
+    for s in steps {
+        match s {
+            Step::Compute(n) => out.push(SpuAction::Compute(*n)),
+            Step::DmaRound { size_class, tag } => {
+                let size = 128u32 << (2 * *size_class as u32); // 128..8192
+                let tag = TagId::new(*tag).unwrap();
+                out.push(SpuAction::DmaGet {
+                    lsa: cellsim::LsAddr::new(0x10000),
+                    ea: 0x100000,
+                    size,
+                    tag,
+                });
+                out.push(SpuAction::WaitTags {
+                    mask: tag.mask_bit(),
+                    mode: TagWaitMode::All,
+                });
+            }
+            Step::User(id) => out.push(SpuAction::UserEvent {
+                id: *id,
+                a0: 1,
+                a1: 2,
+            }),
+        }
+    }
+    out
+}
+
+fn traced_run(programs: &[Vec<Step>], buffer_bytes: u32) -> TraceFile {
+    let spes = programs.len();
+    let mut m = Machine::new(MachineConfig::default().with_num_spes(spes)).unwrap();
+    let session = TraceSession::install(
+        TracingConfig::default().with_buffer_bytes(buffer_bytes),
+        &mut m,
+    )
+    .unwrap();
+    let jobs: Vec<SpeJob> = programs
+        .iter()
+        .enumerate()
+        .map(|(i, steps)| SpeJob::new(format!("p{i}"), Box::new(SpuScript::new(to_actions(steps)))))
+        .collect();
+    m.set_ppe_program(PpeThreadId::new(0), Box::new(SpmdDriver::new(jobs)));
+    m.run().expect("scripted programs always terminate");
+    session.collect(&m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_ingestion_is_byte_identical_to_serial(
+        programs in prop::collection::vec(prop::collection::vec(arb_step(), 0..24), 1..6),
+        buffer_bytes in prop_oneof![Just(512u32), Just(2048u32), Just(8192u32)],
+    ) {
+        let trace = traced_run(&programs, buffer_bytes);
+        let serial = analyze(&trace).expect("trace analyzes");
+        let serial_intervals = build_intervals(&serial);
+        let serial_stats = compute_stats(&serial);
+
+        for threads in [1usize, 2, 8] {
+            let par = ta::analyze_parallel(&trace, threads).expect("parallel analyzes");
+            prop_assert_eq!(&par.events, &serial.events, "event order, {} threads", threads);
+            prop_assert_eq!(&par.anchors, &serial.anchors, "anchors, {} threads", threads);
+            prop_assert_eq!(par.dropped, serial.dropped);
+
+            let analysis = Analysis::of(&trace).threads(threads).run().unwrap();
+            prop_assert_eq!(analysis.intervals(), serial_intervals.as_slice());
+            prop_assert_eq!(analysis.stats(), &serial_stats, "stats, {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn zero_copy_image_matches_serial(
+        programs in prop::collection::vec(prop::collection::vec(arb_step(), 0..12), 1..4),
+    ) {
+        let trace = traced_run(&programs, 2048);
+        let bytes = trace.to_bytes();
+        let image = TraceImage::parse(&bytes).expect("image parses");
+        let serial = analyze(&trace).expect("trace analyzes");
+        for threads in [1usize, 8] {
+            let par = image.analyze(threads).expect("image analyzes");
+            prop_assert_eq!(&par.events, &serial.events);
+            prop_assert_eq!(&par.anchors, &serial.anchors);
+        }
+    }
+}

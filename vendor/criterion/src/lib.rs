@@ -1,0 +1,233 @@
+//! Minimal offline subset of `criterion`: the group/bencher API this
+//! workspace's benches use, timed with `std::time::Instant` and
+//! reported to stdout. No statistical machinery — mean/min/max over a
+//! fixed sample count — but the calling convention and the relative
+//! numbers are what the benches need.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimizer barrier, as the real crate provides.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (ignored by this harness; every
+/// batch is one iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh input per iteration.
+    PerIteration,
+    /// Small inputs, batched by the real crate; per-iteration here.
+    SmallInput,
+    /// Large inputs, batched by the real crate; per-iteration here.
+    LargeInput,
+}
+
+/// Work-per-iteration, used to report a rate next to the time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            samples: 0,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.default_samples, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sample count and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Declares work-per-iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let samples = if self.samples == 0 { 20 } else { self.samples };
+        run_bench(&full, samples, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine()); // warmup
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.timings.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` on inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warmup
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.timings.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_bench<F>(id: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples,
+        timings: Vec::with_capacity(samples),
+    };
+    f(&mut b);
+    if b.timings.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let total: Duration = b.timings.iter().sum();
+    let mean = total / b.timings.len() as u32;
+    let min = *b.timings.iter().min().unwrap();
+    let max = *b.timings.iter().max().unwrap();
+    let mut line = format!(
+        "{id:<40} time: [{} {} {}]",
+        fmt_dur(min),
+        fmt_dur(mean),
+        fmt_dur(max)
+    );
+    if let Some(t) = throughput {
+        let per_sec = |n: u64| n as f64 / mean.as_secs_f64();
+        match t {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt: {:.3} Melem/s", per_sec(n) / 1e6));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  thrpt: {:.3} MiB/s", per_sec(n) / (1 << 20) as f64));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(calls, 4); // 1 warmup + 3 samples
+    }
+}

@@ -1,0 +1,91 @@
+//! Minimal offline subset of `crossbeam`: scoped threads with the
+//! crossbeam 0.8 calling convention (`scope(|s| { s.spawn(|_| ..) })`
+//! returning `thread::Result`), backed by `std::thread::scope`.
+
+/// Scoped thread spawning.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The result of a scope or a join: `Err` carries the panic
+    /// payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle; threads spawned through it may borrow from the
+    /// enclosing stack frame.
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; joining returns the closure's value
+    /// or the panic payload.
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the
+        /// closure receives the scope so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its value, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope; all threads spawned in it are joined before
+    /// `scope` returns. Returns `Err` if the closure (or an unjoined
+    /// child, which `std` propagates into the closure's unwinding)
+    /// panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panics_become_err() {
+        let r = thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Minimal offline subset of `rand` 0.8: `StdRng` seeded by
+//! `seed_from_u64` and `Rng::gen_range` over half-open ranges. The
+//! generator is SplitMix64 — deterministic and statistically fine for
+//! workload data generation, which is all this workspace needs.
+
+use std::ops::Range;
+
+/// Core source of randomness.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods (blanket-implemented for every
+/// [`RngCore`], as in the real crate).
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range a uniform sample can be drawn from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one sample.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f32 {
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f32 = a.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            assert_eq!(x, b.gen_range(-1.0f32..1.0));
+        }
+        for _ in 0..1000 {
+            let n = a.gen_range(3usize..17);
+            assert!((3..17).contains(&n));
+            let f = a.gen_range(0.05f64..1.0);
+            assert!((0.05..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Minimal offline subset of `serde`: marker traits plus the derive
+//! re-exports. Nothing in this workspace actually serializes — the
+//! derives exist so config types advertise serializability — so the
+//! traits carry no methods.
+
+/// Marker: the type could be serialized.
+pub trait Serialize {}
+
+/// Marker: the type could be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,42 @@
+//! No-op derive macros for the offline `serde` stub. The stub traits
+//! are pure markers, so the derives only need to name the type and
+//! emit empty impls.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union`
+/// keyword. Only plain (non-generic) types are supported, which is all
+/// this workspace derives on.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tok in input {
+        if let TokenTree::Ident(id) = tok {
+            let s = id.to_string();
+            if saw_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_kw = true;
+            }
+        }
+    }
+    panic!("serde stub derive: no struct/enum name found");
+}
+
+/// Derives the marker `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Derives the marker `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
