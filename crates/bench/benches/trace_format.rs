@@ -99,10 +99,12 @@ fn bench_analyze(c: &mut Criterion) {
         )
     });
     g.bench_function("timeline_svg", |b| {
-        let a = ta::analyze(&trace).unwrap();
+        let a = ta::Analysis::from_analyzed(ta::analyze(&trace).unwrap());
         b.iter(|| {
-            let tl = ta::build_timeline(&a);
-            black_box(ta::render_svg(&tl, &ta::SvgOptions::default()).len())
+            black_box(
+                a.render(ta::ReportKind::Svg, &ta::RenderOptions::default())
+                    .len(),
+            )
         })
     });
     g.finish();

@@ -1,4 +1,4 @@
-//! Experiment driver: `experiments [all|e1..e10] [--full] [--out DIR]`.
+//! Experiment driver: `experiments [all|e1..e12] [--full] [--out DIR]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,7 +22,7 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: experiments [all|e1..e10 ...] [--full] [--out DIR]");
+                println!("usage: experiments [all|e1..e12 ...] [--full] [--out DIR]");
                 return ExitCode::SUCCESS;
             }
             id => ids.push(id.to_string()),

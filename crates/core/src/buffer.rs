@@ -23,6 +23,24 @@ pub struct BufferStats {
     pub flushes: u64,
 }
 
+impl BufferStats {
+    /// Records the tracer attempted to write (accepted + dropped).
+    pub fn attempted(&self) -> u64 {
+        self.records + self.dropped
+    }
+
+    /// Fraction of attempted records that were dropped, in `0.0..=1.0`
+    /// (zero when nothing was attempted).
+    pub fn drop_fraction(&self) -> f64 {
+        let attempted = self.attempted();
+        if attempted == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / attempted as f64
+        }
+    }
+}
+
 /// Outcome of a record write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WriteOutcome {

@@ -23,7 +23,9 @@
 
 use bytes::{Buf, BufMut};
 
-use crate::record::{decode_stream, RecordError, TraceCore, TraceRecord};
+use crate::record::{
+    decode_stream, decode_stream_lossy, LossyDecode, RecordError, TraceCore, TraceRecord,
+};
 
 /// Trace-file magic bytes.
 pub const MAGIC: &[u8; 4] = b"PDT1";
@@ -72,6 +74,12 @@ impl TraceStream {
     /// Returns the offset and cause of the first corrupt record.
     pub fn records(&self) -> Result<Vec<TraceRecord>, (usize, RecordError)> {
         decode_stream(&self.bytes)
+    }
+
+    /// Decodes the stream's records, resynchronizing past corruption
+    /// instead of failing; skipped ranges are reported as gaps.
+    pub fn records_lossy(&self) -> LossyDecode {
+        decode_stream_lossy(&self.bytes, Some(self.core))
     }
 
     /// Encoded record bytes in this stream.

@@ -100,6 +100,25 @@ pub enum RecordError {
         /// Claimed granules.
         granules: u8,
     },
+    /// Record's core tag does not belong to the stream it was read from.
+    CoreMismatch {
+        /// Core tag the stream directory claims.
+        expect: u8,
+        /// Core tag found in the record.
+        found: u8,
+    },
+    /// SPE timestamp wider than the 32-bit decrementer.
+    TimestampWide {
+        /// The raw timestamp.
+        raw: u64,
+    },
+    /// Decrementer stepped backwards (or jumped) beyond wrap tolerance.
+    TimestampJump {
+        /// Previous in-stream decrementer snapshot.
+        prev: u64,
+        /// Offending snapshot.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for RecordError {
@@ -113,6 +132,17 @@ impl std::fmt::Display for RecordError {
             RecordError::BadParamCount { params, granules } => write!(
                 f,
                 "parameter count {params} does not fit {granules} granules"
+            ),
+            RecordError::CoreMismatch { expect, found } => write!(
+                f,
+                "record core tag {found:#04x} does not match stream core tag {expect:#04x}"
+            ),
+            RecordError::TimestampWide { raw } => {
+                write!(f, "SPE timestamp {raw:#x} exceeds the 32-bit decrementer")
+            }
+            RecordError::TimestampJump { prev, found } => write!(
+                f,
+                "decrementer jumped from {prev:#x} to {found:#x} beyond wrap tolerance"
             ),
         }
     }
@@ -226,6 +256,157 @@ pub fn decode_stream(bytes: &[u8]) -> Result<Vec<TraceRecord>, (usize, RecordErr
     Ok(out)
 }
 
+/// Decrementer steps at or above this are treated as corruption rather
+/// than normal wrap progress. Half the 32-bit wrap period: any backwards
+/// jump (the decrementer counting *up*) lands in the upper half when
+/// interpreted as forward progress.
+pub const DEFAULT_WRAP_TOLERANCE: u32 = 1 << 31;
+
+/// A contiguous byte range the lossy decoder skipped over after failing
+/// to decode a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeGap {
+    /// Byte offset of the gap within the stream.
+    pub offset: usize,
+    /// Gap length in bytes.
+    pub len: usize,
+    /// Estimated number of records lost in the gap (16-byte-granule
+    /// upper bound, at least one).
+    pub est_records: u64,
+    /// The decode error that opened the gap.
+    pub cause: RecordError,
+}
+
+/// Output of [`decode_stream_lossy`]: the records that survived plus the
+/// gaps skipped around corruption.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LossyDecode {
+    /// Successfully decoded records, in stream order.
+    pub records: Vec<TraceRecord>,
+    /// Byte ranges skipped, in stream order.
+    pub gaps: Vec<DecodeGap>,
+}
+
+impl LossyDecode {
+    /// Total bytes covered by gaps.
+    pub fn gap_bytes(&self) -> u64 {
+        self.gaps.iter().map(|g| g.len as u64).sum()
+    }
+
+    /// Total estimated records lost to gaps.
+    pub fn est_lost_records(&self) -> u64 {
+        self.gaps.iter().map(|g| g.est_records).sum()
+    }
+
+    /// True when the stream decoded without a single gap.
+    pub fn is_clean(&self) -> bool {
+        self.gaps.is_empty()
+    }
+}
+
+/// Decodes one record and applies the stream-invariant checks used for
+/// resynchronization: the record's core tag must belong to the stream,
+/// and SPE timestamps must fit the 32-bit decrementer and step forward
+/// (downward counts) within `wrap_tol` of the previous good snapshot.
+///
+/// Traces produced by an intact tracer always satisfy these invariants,
+/// so on clean input the checked decode accepts exactly what
+/// [`TraceRecord::decode`] accepts.
+fn decode_checked(
+    buf: &[u8],
+    stream_core: Option<TraceCore>,
+    prev_dec: Option<u32>,
+    wrap_tol: u32,
+) -> Result<(TraceRecord, usize), RecordError> {
+    let (rec, used) = TraceRecord::decode(buf)?;
+    if let Some(expect) = stream_core {
+        let matches = match expect {
+            // The PPE stream multiplexes hardware threads.
+            TraceCore::Ppe(_) => !rec.core.is_spe(),
+            TraceCore::Spe(_) => rec.core == expect,
+        };
+        if !matches {
+            return Err(RecordError::CoreMismatch {
+                expect: expect.tag(),
+                found: rec.core.tag(),
+            });
+        }
+        if expect.is_spe() {
+            if rec.timestamp > u64::from(u32::MAX) {
+                return Err(RecordError::TimestampWide { raw: rec.timestamp });
+            }
+            if let Some(prev) = prev_dec {
+                let step = prev.wrapping_sub(rec.timestamp as u32);
+                if step >= wrap_tol {
+                    return Err(RecordError::TimestampJump {
+                        prev: u64::from(prev),
+                        found: rec.timestamp,
+                    });
+                }
+            }
+        }
+    }
+    Ok((rec, used))
+}
+
+/// Decodes a byte stream, resynchronizing past corruption instead of
+/// failing.
+///
+/// On a malformed record the decoder scans forward in 16-byte steps
+/// (the record granule size, so an intact suffix stays aligned) until a
+/// record decodes *and* satisfies the stream invariants — core tag
+/// matching `stream_core`, SPE decrementer snapshots fitting `u32` and
+/// stepping monotonically within [`DEFAULT_WRAP_TOLERANCE`] — then
+/// emits a [`DecodeGap`] covering the skipped range and continues.
+///
+/// On uncorrupted input the output records are exactly those of
+/// [`decode_stream`] and `gaps` is empty.
+pub fn decode_stream_lossy(bytes: &[u8], stream_core: Option<TraceCore>) -> LossyDecode {
+    let wrap_tol = DEFAULT_WRAP_TOLERANCE;
+    let mut out = LossyDecode::default();
+    let mut off = 0usize;
+    // Last good decrementer snapshot on SPE streams; survives gaps (the
+    // decrementer keeps counting down through lost records).
+    let mut prev_dec: Option<u32> = None;
+    let is_spe_stream = stream_core.is_some_and(|c| c.is_spe());
+    while off < bytes.len() {
+        match decode_checked(&bytes[off..], stream_core, prev_dec, wrap_tol) {
+            Ok((rec, used)) => {
+                if is_spe_stream {
+                    prev_dec = Some(rec.timestamp as u32);
+                }
+                out.records.push(rec);
+                off += used;
+            }
+            Err(cause) => {
+                let gap_start = off;
+                // Resynchronize: candidate headers live on the 16-byte
+                // grid of the original stream.
+                let mut cand = off + 16;
+                loop {
+                    if cand >= bytes.len() {
+                        cand = bytes.len();
+                        break;
+                    }
+                    if decode_checked(&bytes[cand..], stream_core, prev_dec, wrap_tol).is_ok() {
+                        break;
+                    }
+                    cand += 16;
+                }
+                let len = cand - gap_start;
+                out.gaps.push(DecodeGap {
+                    offset: gap_start,
+                    len,
+                    est_records: (len as u64).div_ceil(16).max(1),
+                    cause,
+                });
+                off = cand;
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +496,124 @@ mod tests {
         assert!(TraceCore::Spe(2).is_spe());
         assert!(!TraceCore::Ppe(0).is_spe());
         assert_eq!(TraceCore::Spe(4).to_string(), "SPE4");
+    }
+
+    fn spe_rec(dec: u64, nparams: usize) -> TraceRecord {
+        TraceRecord {
+            core: TraceCore::Spe(3),
+            code: EventCode::SpeDmaGet,
+            timestamp: dec,
+            params: (0..nparams as u64).collect(),
+        }
+    }
+
+    fn spe_stream(decs: &[u64]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for (i, &d) in decs.iter().enumerate() {
+            spe_rec(d, i % 3).encode_into(&mut bytes);
+        }
+        bytes
+    }
+
+    #[test]
+    fn lossy_matches_strict_on_clean_stream() {
+        let bytes = spe_stream(&[5000, 4800, 4700, 4100, 4099]);
+        let strict = decode_stream(&bytes).unwrap();
+        let lossy = decode_stream_lossy(&bytes, Some(TraceCore::Spe(3)));
+        assert!(lossy.is_clean());
+        assert_eq!(lossy.gap_bytes(), 0);
+        assert_eq!(lossy.est_lost_records(), 0);
+        assert_eq!(lossy.records, strict);
+        // Also with no stream-core hint.
+        assert_eq!(decode_stream_lossy(&bytes, None).records, strict);
+    }
+
+    #[test]
+    fn lossy_resyncs_past_header_corruption() {
+        let bytes = spe_stream(&[5000, 4800, 4700, 4100, 4099]);
+        let mut damaged = bytes.clone();
+        // Record 1 starts at 16 (record 0 has 0 params = 1 granule).
+        damaged[16] = 0; // zero granule count
+        let lossy = decode_stream_lossy(&damaged, Some(TraceCore::Spe(3)));
+        assert_eq!(lossy.gaps.len(), 1);
+        assert_eq!(lossy.gaps[0].offset, 16);
+        assert!(matches!(lossy.gaps[0].cause, RecordError::ZeroLength));
+        assert!(lossy.gap_bytes() > 0);
+        assert!(lossy.est_lost_records() >= 1);
+        // Records before and after the gap survive.
+        assert_eq!(lossy.records.first().unwrap().timestamp, 5000);
+        assert_eq!(lossy.records.last().unwrap().timestamp, 4099);
+        assert!(lossy.records.len() < 5);
+    }
+
+    #[test]
+    fn lossy_reports_torn_tail() {
+        let mut bytes = spe_stream(&[5000, 4800]);
+        let full = bytes.len();
+        bytes.truncate(full - 7); // torn flush: partial final granule
+        let lossy = decode_stream_lossy(&bytes, Some(TraceCore::Spe(3)));
+        assert_eq!(lossy.records.len(), 1);
+        assert_eq!(lossy.gaps.len(), 1);
+        assert!(matches!(
+            lossy.gaps[0].cause,
+            RecordError::Truncated { .. } | RecordError::BadParamCount { .. }
+        ));
+        assert!(lossy.gaps[0].est_records >= 1);
+    }
+
+    #[test]
+    fn lossy_rejects_core_mismatch_and_backward_decrementer() {
+        // A record from another SPE spliced into SPE3's stream.
+        let mut bytes = spe_stream(&[5000, 4800]);
+        bytes[16 + 1] = TraceCore::Spe(7).tag();
+        let lossy = decode_stream_lossy(&bytes, Some(TraceCore::Spe(3)));
+        assert_eq!(lossy.records.len(), 1);
+        assert!(matches!(
+            lossy.gaps[0].cause,
+            RecordError::CoreMismatch { .. }
+        ));
+
+        // Decrementer jumping upward (duplicated flush window).
+        let bytes = spe_stream(&[5000, 4800, 5000, 4800]);
+        let lossy = decode_stream_lossy(&bytes, Some(TraceCore::Spe(3)));
+        assert!(lossy
+            .gaps
+            .iter()
+            .any(|g| matches!(g.cause, RecordError::TimestampJump { .. })));
+
+        // Timestamp wider than the 32-bit decrementer.
+        let bytes = spe_stream(&[5000, u64::from(u32::MAX) + 10]);
+        let lossy = decode_stream_lossy(&bytes, Some(TraceCore::Spe(3)));
+        assert!(lossy
+            .gaps
+            .iter()
+            .any(|g| matches!(g.cause, RecordError::TimestampWide { .. })));
+    }
+
+    #[test]
+    fn lossy_ppe_stream_accepts_any_thread_tag() {
+        let mut bytes = Vec::new();
+        for t in 0..3u8 {
+            TraceRecord {
+                core: TraceCore::Ppe(t),
+                code: EventCode::PpeUser,
+                timestamp: 1000 + u64::from(t),
+                params: vec![1, 2],
+            }
+            .encode_into(&mut bytes);
+        }
+        let lossy = decode_stream_lossy(&bytes, Some(TraceCore::Ppe(0)));
+        assert!(lossy.is_clean());
+        assert_eq!(lossy.records.len(), 3);
+    }
+
+    #[test]
+    fn lossy_terminates_on_pure_garbage() {
+        let bytes = vec![0xa5u8; 16 * 9 + 3];
+        let lossy = decode_stream_lossy(&bytes, Some(TraceCore::Spe(0)));
+        assert!(lossy.records.is_empty());
+        assert_eq!(lossy.gap_bytes(), bytes.len() as u64);
+        assert!(lossy.est_lost_records() >= 1);
     }
 
     #[test]

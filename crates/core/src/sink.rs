@@ -21,6 +21,15 @@ pub struct SpeStreamShared {
     pub region_used: u64,
 }
 
+impl SpeStreamShared {
+    /// True when the tracer lost records for this stream — the
+    /// instrumentation-side counterpart to decoder gaps, folded into
+    /// the analyzer's loss accounting.
+    pub fn lost_records(&self) -> bool {
+        self.stats.dropped > 0
+    }
+}
+
 /// PPE-side stream state: trace bytes live host-side (they model a
 /// main-memory buffer whose writes cost only the charged cycles).
 #[derive(Debug, Clone, Default)]

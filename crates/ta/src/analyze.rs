@@ -18,6 +18,8 @@
 
 use pdt::{EventCode, RecordError, TraceCore, TraceFile, TraceHeader, TraceRecord};
 
+use crate::loss::{LossReport, StreamLoss};
+
 /// A record placed on the global timeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GlobalEvent {
@@ -258,6 +260,127 @@ pub fn analyze(trace: &TraceFile) -> Result<AnalyzedTrace, AnalyzeError> {
 
 fn core_key(c: TraceCore) -> u8 {
     c.tag()
+}
+
+/// Reconstructs the global timeline from a trace file, resynchronizing
+/// past corruption instead of failing.
+///
+/// This is the serial reference for the lossy path: malformed records
+/// open [`pdt::DecodeGap`]s (see [`pdt::decode_stream_lossy`]), SPE
+/// streams whose `PpeCtxRun` sync anchor was lost are discarded whole,
+/// and everything skipped is quantified in the returned [`LossReport`].
+/// On an uncorrupted trace the [`AnalyzedTrace`] is byte-identical to
+/// the strict [`analyze`] and the report is clean.
+///
+/// The parallel counterpart is
+/// [`analyze_parallel_lossy`](crate::parallel::analyze_parallel_lossy),
+/// which produces identical output.
+pub fn analyze_lossy(trace: &TraceFile) -> (AnalyzedTrace, LossReport) {
+    // Decode every stream up front, recording gaps instead of erroring.
+    let mut decoded: Vec<(TraceCore, pdt::LossyDecode, u64)> = Vec::new();
+    for s in &trace.streams {
+        decoded.push((s.core, s.records_lossy(), s.dropped));
+    }
+
+    // Harvest sync anchors from the PPE records that survived.
+    let anchor_view: Vec<(TraceCore, &[TraceRecord])> = decoded
+        .iter()
+        .map(|(core, d, _)| (*core, d.records.as_slice()))
+        .collect();
+    let anchors = harvest_anchors_from(&anchor_view);
+
+    let mut events: Vec<GlobalEvent> = Vec::new();
+    let mut losses: Vec<StreamLoss> = Vec::new();
+    for (core, lossy, dropped) in decoded {
+        let mut unanchored = false;
+        let decoded_records = lossy.records.len() as u64;
+        match core {
+            TraceCore::Ppe(_) => {
+                for (i, r) in lossy.records.into_iter().enumerate() {
+                    events.push(GlobalEvent {
+                        time_tb: r.timestamp,
+                        core: r.core, // records carry per-thread tags
+                        code: r.code,
+                        params: r.params,
+                        stream_seq: i as u64,
+                    });
+                }
+            }
+            TraceCore::Spe(spe) => {
+                match anchors.iter().find(|a| a.spe == spe).copied() {
+                    Some(anchor) if !lossy.records.is_empty() => {
+                        let mut elapsed: u64 = 0;
+                        let mut prev_dec = anchor.dec_start;
+                        for (i, r) in lossy.records.into_iter().enumerate() {
+                            let dec = r.timestamp as u32;
+                            elapsed += prev_dec.wrapping_sub(dec) as u64;
+                            prev_dec = dec;
+                            events.push(GlobalEvent {
+                                time_tb: anchor.run_tb + elapsed,
+                                core,
+                                code: r.code,
+                                params: r.params,
+                                stream_seq: i as u64,
+                            });
+                        }
+                    }
+                    Some(_) => {} // empty stream, nothing to place
+                    None => unanchored = !lossy.records.is_empty(),
+                }
+            }
+        }
+        losses.push(StreamLoss {
+            core,
+            decoded_records,
+            tracer_dropped: dropped,
+            gaps: lossy.gaps,
+            unanchored,
+        });
+    }
+
+    events.sort_by(|a, b| {
+        (a.time_tb, core_key(a.core), a.stream_seq).cmp(&(
+            b.time_tb,
+            core_key(b.core),
+            b.stream_seq,
+        ))
+    });
+
+    (
+        AnalyzedTrace {
+            header: trace.header,
+            events,
+            ctx_names: trace.ctx_names.clone(),
+            anchors,
+            dropped: trace.total_dropped(),
+        },
+        LossReport { streams: losses },
+    )
+}
+
+/// Harvests `PpeCtxRun` sync anchors from PPE streams, first anchor per
+/// SPE winning, in stream order. Shared by the strict and lossy paths.
+pub(crate) fn harvest_anchors_from(decoded: &[(TraceCore, &[TraceRecord])]) -> Vec<SpeAnchor> {
+    let mut anchors: Vec<SpeAnchor> = Vec::new();
+    for (core, recs) in decoded {
+        if core.is_spe() {
+            continue;
+        }
+        for r in *recs {
+            if r.code == EventCode::PpeCtxRun && r.params.len() >= 3 {
+                let spe = r.params[1] as u8;
+                if !anchors.iter().any(|a| a.spe == spe) {
+                    anchors.push(SpeAnchor {
+                        spe,
+                        ctx: r.params[0] as u32,
+                        run_tb: r.timestamp,
+                        dec_start: r.params[2] as u32,
+                    });
+                }
+            }
+        }
+    }
+    anchors
 }
 
 #[cfg(test)]

@@ -22,7 +22,16 @@ fn glyph(kind: ActivityKind) -> char {
 
 /// Renders a timeline as fixed-width text, `width` columns of chart per
 /// lane.
+///
+/// Deprecated front door: prefer
+/// [`Analysis::render`](crate::session::Analysis::render) with
+/// [`ReportKind::Ascii`](crate::report::ReportKind::Ascii).
+#[deprecated(note = "use `Analysis::render(ReportKind::Ascii, &opts)` instead")]
 pub fn render_ascii(timeline: &Timeline, width: usize) -> String {
+    render_ascii_impl(timeline, width)
+}
+
+pub(crate) fn render_ascii_impl(timeline: &Timeline, width: usize) -> String {
     let width = width.max(10);
     let label_w = timeline
         .lanes
@@ -114,7 +123,7 @@ mod tests {
 
     #[test]
     fn rows_show_expected_glyphs() {
-        let s = render_ascii(&timeline(), 20);
+        let s = render_ascii_impl(&timeline(), 20);
         let lines: Vec<&str> = s.lines().collect();
         assert!(lines[0].contains("timeline 0..100"));
         assert!(lines[1].starts_with("PPE.0"));
@@ -129,13 +138,13 @@ mod tests {
 
     #[test]
     fn legend_is_present() {
-        let s = render_ascii(&timeline(), 30);
+        let s = render_ascii_impl(&timeline(), 30);
         assert!(s.contains("legend:"));
     }
 
     #[test]
     fn narrow_width_is_clamped() {
-        let s = render_ascii(&timeline(), 1);
+        let s = render_ascii_impl(&timeline(), 1);
         assert!(s.lines().count() >= 3);
     }
 }

@@ -9,21 +9,29 @@
 //! ta-cli phases   TRACE              user-defined phase intervals
 //! ta-cli compare  BEFORE AFTER       before/after comparison
 //! ta-cli report   TRACE OUT.html     self-contained HTML report
+//! ta-cli loss     TRACE              decode-gap / drop accounting (CSV)
 //! ta-cli occupancy TRACE             MFC queue depth per SPE
 //! ta-cli causality TRACE             cross-core order check + skew estimate
 //! ```
+//!
+//! Ingestion is lossy by default: corrupt records become accounted
+//! decode gaps instead of hard errors, and `summary` flags SPEs whose
+//! statistics span gaps. Pass `--strict` to fail on the first
+//! malformed record instead.
 
 use std::process::ExitCode;
 
 use pdt::{TraceCore, TraceFile};
 use ta::{
-    analyze, build_timeline, compare_traces, events_csv, render_ascii, render_svg, summary_report,
-    user_phases, EventFilter, SvgOptions,
+    compare_traces, user_phases, Analysis, CsvTable, EventFilter, RenderOptions, ReportKind,
+    SvgOptions,
 };
 
-fn load(path: &str) -> Result<ta::AnalyzedTrace, String> {
+fn load(path: &str, strict: bool) -> Result<Analysis, String> {
     let trace = TraceFile::read_from(path).map_err(|e| format!("{path}: {e}"))?;
-    analyze(&trace).map_err(|e| format!("{path}: {e}"))
+    let builder = Analysis::of(&trace);
+    let builder = if strict { builder.strict() } else { builder };
+    builder.run().map_err(|e| format!("{path}: {e}"))
 }
 
 fn parse_core(s: &str) -> Result<TraceCore, String> {
@@ -43,46 +51,65 @@ fn parse_core(s: &str) -> Result<TraceCore, String> {
 }
 
 fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: ta-cli <summary|timeline|events|phases|compare|report|occupancy|causality> TRACE [...]";
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let strict = args.iter().any(|a| a == "--strict");
+    args.retain(|a| a != "--strict");
+    let usage = "usage: ta-cli <summary|timeline|events|phases|compare|report|loss|occupancy|causality> TRACE [...] [--strict]";
     let cmd = args.first().ok_or(usage)?;
     match cmd.as_str() {
         "summary" => {
             let path = args.get(1).ok_or(usage)?;
-            print!("{}", summary_report(&load(path)?));
+            print!("{}", load(path, strict)?.summary());
         }
         "timeline" => {
             let path = args.get(1).ok_or(usage)?;
-            let analyzed = load(path)?;
-            let tl = build_timeline(&analyzed);
+            let a = load(path, strict)?;
             match args.iter().position(|a| a == "--svg") {
                 Some(i) => {
                     let out = args.get(i + 1).ok_or("--svg requires a path")?;
-                    std::fs::write(out, render_svg(&tl, &SvgOptions::default()))
+                    std::fs::write(out, a.render(ReportKind::Svg, &RenderOptions::default()))
                         .map_err(|e| e.to_string())?;
                     println!("wrote {out}");
                 }
-                None => print!("{}", render_ascii(&tl, 120)),
+                None => print!(
+                    "{}",
+                    a.render(
+                        ReportKind::Ascii,
+                        &RenderOptions::default().with_ascii_width(120)
+                    )
+                ),
             }
         }
         "events" => {
             let path = args.get(1).ok_or(usage)?;
-            let analyzed = load(path)?;
+            let a = load(path, strict)?;
             match args.iter().position(|a| a == "--core") {
                 Some(i) => {
                     let core = parse_core(args.get(i + 1).ok_or("--core requires a core")?)?;
                     let filter = EventFilter::new().on_core(core);
-                    for e in filter.apply(&analyzed) {
+                    for e in filter.apply(a.analyzed()) {
                         println!("{},{},{},{:?}", e.time_tb, e.core, e.code.name(), e.params);
                     }
                 }
-                None => print!("{}", events_csv(&analyzed)),
+                None => print!("{}", a.render(ReportKind::Csv, &RenderOptions::default())),
             }
+        }
+        "loss" => {
+            let path = args.get(1).ok_or(usage)?;
+            let a = load(path, strict)?;
+            print!(
+                "{}",
+                a.render(
+                    ReportKind::Csv,
+                    &RenderOptions::default().with_csv(CsvTable::Loss)
+                )
+            );
         }
         "phases" => {
             let path = args.get(1).ok_or(usage)?;
-            let analyzed = load(path)?;
-            let report = user_phases(&analyzed);
+            let a = load(path, strict)?;
+            let analyzed = a.analyzed();
+            let report = user_phases(analyzed);
             if report.phases.is_empty() {
                 println!("no user phases recorded");
             }
@@ -105,10 +132,10 @@ fn run() -> Result<(), String> {
         }
         "causality" => {
             let path = args.get(1).ok_or(usage)?;
-            let analyzed = load(path)?;
-            let v = ta::violations(&analyzed);
+            let a = load(path, strict)?;
+            let v = ta::violations(a.analyzed());
             println!("{} provable edges violated", v.len());
-            for est in ta::estimate_skew(&analyzed) {
+            for est in ta::estimate_skew(a.analyzed()) {
                 println!(
                     "SPE{}: shift +{} ticks (forced by {} edges, {} allowed)",
                     est.spe, est.shift_tb, est.forced_by, est.allowed_tb
@@ -117,8 +144,8 @@ fn run() -> Result<(), String> {
         }
         "occupancy" => {
             let path = args.get(1).ok_or(usage)?;
-            let analyzed = load(path)?;
-            for o in ta::dma_occupancy(&analyzed) {
+            let a = load(path, strict)?;
+            for o in a.occupancy() {
                 println!(
                     "SPE{}: peak {} outstanding, mean {:.2}, >=2 outstanding {:.1}% of the time",
                     o.spe,
@@ -131,14 +158,26 @@ fn run() -> Result<(), String> {
         "report" => {
             let path = args.get(1).ok_or(usage)?;
             let out = args.get(2).ok_or("report needs an output path")?;
-            let analyzed = load(path)?;
-            std::fs::write(out, ta::html_report(&analyzed, path)).map_err(|e| e.to_string())?;
+            let a = load(path, strict)?;
+            let html = a.render(
+                ReportKind::Html,
+                &RenderOptions::default()
+                    .with_title(path)
+                    .with_svg(SvgOptions {
+                        width: 1100,
+                        ..SvgOptions::default()
+                    }),
+            );
+            std::fs::write(out, html).map_err(|e| e.to_string())?;
             println!("wrote {out}");
         }
         "compare" => {
             let before = args.get(1).ok_or(usage)?;
             let after = args.get(2).ok_or(usage)?;
-            let c = compare_traces(&load(before)?, &load(after)?);
+            let c = compare_traces(
+                load(before, strict)?.analyzed(),
+                load(after, strict)?.analyzed(),
+            );
             print!("{}", c.render());
         }
         "--help" | "-h" => println!("{usage}"),

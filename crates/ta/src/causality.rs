@@ -372,6 +372,122 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_interval_edge_is_not_a_violation() {
+        let mut t = skewed_trace();
+        // Collapse the inbound pair onto one instant: write and
+        // read-end at the same tick. "Not later" is fine; only a
+        // strictly earlier consumer is a violation.
+        for e in &mut t.events {
+            if e.code == EventCode::SpeMboxReadEnd {
+                e.time_tb = 100;
+            }
+        }
+        assert!(violations(&t).is_empty());
+        assert!(estimate_skew(&t).is_empty());
+        let (fixed, est) = align_clocks(&t);
+        assert!(est.is_empty());
+        assert_eq!(fixed.events.len(), t.events.len());
+    }
+
+    #[test]
+    fn identical_timestamps_across_spes_resolve_independently() {
+        use EventCode::*;
+        let ppe = TraceCore::Ppe(0);
+        let mut t = skewed_trace();
+        // A second SPE whose events all collide with SPE0's timestamps.
+        // Only SPE1's read-end is reversed; SPE0 stays clean at t=100.
+        for e in &mut t.events {
+            if e.code == SpeMboxReadEnd {
+                e.time_tb = 100;
+            }
+        }
+        t.header.num_spes = 2;
+        let spe1 = TraceCore::Spe(1);
+        t.events.extend([
+            ev(50, ppe, PpeCtxRun, vec![1, 1, u32::MAX as u64], 3),
+            ev(50, spe1, SpeCtxStart, vec![1], 0),
+            ev(80, spe1, SpeMboxReadEnd, vec![7], 1),
+            ev(100, ppe, PpeMboxWrite, vec![1, 7], 4),
+            ev(220, spe1, SpeStop, vec![1], 2),
+        ]);
+        t.anchors.push(SpeAnchor {
+            spe: 1,
+            ctx: 1,
+            run_tb: 50,
+            dec_start: u32::MAX,
+        });
+        t.events.sort_by_key(|e| (e.time_tb, e.core, e.stream_seq));
+        let v = violations(&t);
+        assert_eq!(v.len(), 1, "{v:?}");
+        let est = estimate_skew(&t);
+        assert_eq!(est.len(), 1);
+        assert_eq!(est[0].spe, 1, "only the skewed SPE gets a shift");
+        assert_eq!(est[0].shift_tb, 20);
+        let (fixed, _) = align_clocks(&t);
+        assert!(violations(&fixed).is_empty());
+        // SPE0's colliding events were not disturbed.
+        let spe0_read = fixed
+            .events
+            .iter()
+            .find(|e| e.core == TraceCore::Spe(0) && e.code == SpeMboxReadEnd)
+            .unwrap();
+        assert_eq!(spe0_read.time_tb, 100);
+    }
+
+    #[test]
+    fn single_event_streams_produce_no_edges() {
+        use EventCode::*;
+        let t = AnalyzedTrace {
+            header: skewed_trace().header,
+            events: vec![
+                ev(
+                    50,
+                    TraceCore::Ppe(0),
+                    PpeCtxRun,
+                    vec![0, 0, u32::MAX as u64],
+                    0,
+                ),
+                ev(60, TraceCore::Spe(0), SpeUser, vec![1], 0),
+            ],
+            ctx_names: vec![],
+            anchors: vec![SpeAnchor {
+                spe: 0,
+                ctx: 0,
+                run_tb: 50,
+                dec_start: u32::MAX,
+            }],
+            dropped: 0,
+        };
+        // No SpeCtxStart, no mailbox pairs: nothing is provable.
+        assert!(causal_edges(&t).is_empty());
+        assert!(violations(&t).is_empty());
+        assert!(estimate_skew(&t).is_empty());
+        let (fixed, est) = align_clocks(&t);
+        assert!(est.is_empty());
+        assert_eq!(fixed.events, t.events);
+    }
+
+    #[test]
+    fn unmatched_mailbox_traffic_is_ignored() {
+        use EventCode::*;
+        let mut t = skewed_trace();
+        // Three extra PPE writes with no matching SPE reads: FIFO
+        // pairing must only produce edges for consumed words.
+        let n = t.events.len() as u64;
+        for k in 0..3 {
+            t.events.push(ev(
+                300 + k,
+                TraceCore::Ppe(0),
+                PpeMboxWrite,
+                vec![0, 40 + k],
+                n + k,
+            ));
+        }
+        let edges = causal_edges(&t);
+        assert_eq!(edges.len(), 3, "unconsumed writes add no edges");
+    }
+
+    #[test]
     fn needed_beyond_allowed_is_clamped() {
         let mut t = skewed_trace();
         // Make the outbound edge tight: PPE read at 155 (slack 5).

@@ -2,10 +2,21 @@
 
 use crate::analyze::AnalyzedTrace;
 use crate::intervals::SpeIntervals;
+use crate::loss::LossReport;
 use crate::stats::TraceStats;
 
 /// Exports every event as `time_tb,time_ns,core,event,params`.
+///
+/// Deprecated front door: prefer
+/// [`Analysis::render`](crate::session::Analysis::render) with
+/// [`ReportKind::Csv`](crate::report::ReportKind::Csv) and
+/// [`CsvTable::Events`](crate::report::CsvTable::Events).
+#[deprecated(note = "use `Analysis::render(ReportKind::Csv, &opts)` with `CsvTable::Events`")]
 pub fn events_csv(trace: &AnalyzedTrace) -> String {
+    events_csv_impl(trace)
+}
+
+pub(crate) fn events_csv_impl(trace: &AnalyzedTrace) -> String {
     let mut out = String::from("time_tb,time_ns,core,event,params\n");
     for e in &trace.events {
         let params = e
@@ -27,7 +38,16 @@ pub fn events_csv(trace: &AnalyzedTrace) -> String {
 }
 
 /// Exports intervals as `spe,kind,start_tb,end_tb,ticks`.
+///
+/// Deprecated front door: prefer
+/// [`Analysis::render`](crate::session::Analysis::render) with
+/// [`CsvTable::Intervals`](crate::report::CsvTable::Intervals).
+#[deprecated(note = "use `Analysis::render(ReportKind::Csv, &opts)` with `CsvTable::Intervals`")]
 pub fn intervals_csv(intervals: &[SpeIntervals]) -> String {
+    intervals_csv_impl(intervals)
+}
+
+pub(crate) fn intervals_csv_impl(intervals: &[SpeIntervals]) -> String {
     let mut out = String::from("spe,kind,start_tb,end_tb,ticks\n");
     for s in intervals {
         for i in &s.intervals {
@@ -46,7 +66,16 @@ pub fn intervals_csv(intervals: &[SpeIntervals]) -> String {
 
 /// Exports per-SPE activity as
 /// `spe,active_tb,compute_tb,dma_wait_tb,mbox_wait_tb,signal_wait_tb,utilization`.
+///
+/// Deprecated front door: prefer
+/// [`Analysis::render`](crate::session::Analysis::render) with
+/// [`CsvTable::Activity`](crate::report::CsvTable::Activity).
+#[deprecated(note = "use `Analysis::render(ReportKind::Csv, &opts)` with `CsvTable::Activity`")]
 pub fn activity_csv(stats: &TraceStats) -> String {
+    activity_csv_impl(stats)
+}
+
+pub(crate) fn activity_csv_impl(stats: &TraceStats) -> String {
     let mut out = String::from(
         "spe,active_tb,compute_tb,dma_wait_tb,mbox_wait_tb,signal_wait_tb,utilization\n",
     );
@@ -60,6 +89,26 @@ pub fn activity_csv(stats: &TraceStats) -> String {
             s.mbox_wait_tb,
             s.signal_wait_tb,
             s.utilization
+        ));
+    }
+    out
+}
+
+/// Exports loss accounting as
+/// `stream,decoded,gaps,gap_bytes,est_lost,tracer_dropped,unanchored`.
+pub fn loss_csv(report: &LossReport) -> String {
+    let mut out =
+        String::from("stream,decoded,gaps,gap_bytes,est_lost,tracer_dropped,unanchored\n");
+    for s in &report.streams {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            s.core,
+            s.decoded_records,
+            s.gaps.len(),
+            s.gap_bytes(),
+            s.est_lost_records(),
+            s.tracer_dropped,
+            s.unanchored
         ));
     }
     out
@@ -99,7 +148,7 @@ mod tests {
 
     #[test]
     fn events_csv_has_header_and_rows() {
-        let csv = events_csv(&trace());
+        let csv = events_csv_impl(&trace());
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("time_tb,"));
@@ -118,14 +167,49 @@ mod tests {
                 kind: ActivityKind::Compute,
             }],
         }];
-        let csv = intervals_csv(&iv);
+        let csv = intervals_csv_impl(&iv);
         assert!(csv.contains("2,compute,0,100,100"));
     }
 
     #[test]
     fn activity_csv_rows() {
         let stats = crate::stats::compute_stats(&trace());
-        let csv = activity_csv(&stats);
+        let csv = activity_csv_impl(&stats);
         assert!(csv.starts_with("spe,active_tb"));
+    }
+
+    #[test]
+    fn loss_csv_rows() {
+        let report = LossReport {
+            streams: vec![crate::loss::StreamLoss {
+                core: TraceCore::Spe(1),
+                decoded_records: 12,
+                tracer_dropped: 3,
+                gaps: vec![pdt::DecodeGap {
+                    offset: 16,
+                    len: 32,
+                    est_records: 2,
+                    cause: pdt::RecordError::ZeroLength,
+                }],
+                unanchored: false,
+            }],
+        };
+        let csv = loss_csv(&report);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "stream,decoded,gaps,gap_bytes,est_lost,tracer_dropped,unanchored"
+        );
+        assert_eq!(lines[1], "SPE1,12,1,32,5,3,false");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_impls() {
+        let t = trace();
+        assert_eq!(events_csv(&t), events_csv_impl(&t));
+        let stats = crate::stats::compute_stats(&t);
+        assert_eq!(activity_csv(&stats), activity_csv_impl(&stats));
+        assert_eq!(intervals_csv(&[]), intervals_csv_impl(&[]));
     }
 }

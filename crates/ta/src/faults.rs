@@ -1,0 +1,397 @@
+//! Deterministic fault injection for trace images.
+//!
+//! The resilient decoder ([`pdt::decode_stream_lossy`]) exists because
+//! real trace captures get damaged: DMA races tear tail records,
+//! ring-buffer wraps overwrite headers mid-flush, partial flushes
+//! truncate streams. This module manufactures that damage on demand —
+//! reproducibly, from a seed — so tests and benches can quantify how
+//! much of a trace survives each corruption mode.
+//!
+//! ```
+//! use ta::faults::{FaultInjector, FaultKind};
+//! # use pdt::{EventCode, TraceCore, TraceFile, TraceHeader, TraceRecord, TraceStream, VERSION};
+//! # let mut spe = Vec::new();
+//! # let mut dec = u32::MAX;
+//! # for i in 0..20u32 {
+//! #     dec = dec.wrapping_sub(50);
+//! #     TraceRecord { core: TraceCore::Spe(0), code: EventCode::SpeUser,
+//! #         timestamp: dec as u64, params: vec![i as u64] }.encode_into(&mut spe);
+//! # }
+//! # let mut trace = TraceFile {
+//! #     header: TraceHeader { version: VERSION, num_ppe_threads: 1, num_spes: 1,
+//! #         core_hz: 3_200_000_000, timebase_divider: 120, dec_start: u32::MAX,
+//! #         group_mask: u32::MAX, spe_buffer_bytes: 2048 },
+//! #     streams: vec![TraceStream { core: TraceCore::Spe(0), bytes: spe, dropped: 0 }],
+//! #     ctx_names: vec![],
+//! # };
+//! let mut injector = FaultInjector::new(42);
+//! let log = injector.inject(&mut trace, &[FaultKind::HeaderBitFlip]);
+//! assert_eq!(log.len(), 1);
+//! // Same seed, same trace, same plan → identical damage.
+//! ```
+
+use pdt::{TraceCore, TraceFile};
+
+/// One corruption mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flips a bit in the granule-count byte of one record header,
+    /// desynchronizing the decoder's framing.
+    HeaderBitFlip,
+    /// Cuts the stream at a non-record boundary (partial flush).
+    Truncate,
+    /// Overwrites the timestamp half of the final record with garbage
+    /// (a flush torn mid-record by a DMA race).
+    TornTail,
+    /// Duplicates a window of records (a flush window written twice);
+    /// on SPE streams the replayed decrementer values violate
+    /// monotonicity and surface as a gap.
+    DuplicateWindow,
+    /// Overwrites a window mid-stream with zero-granule garbage (a
+    /// ring-buffer wrap clobbering records before they were drained).
+    WrapOverwrite,
+}
+
+impl FaultKind {
+    /// All corruption modes, in a fixed order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::HeaderBitFlip,
+        FaultKind::Truncate,
+        FaultKind::TornTail,
+        FaultKind::DuplicateWindow,
+        FaultKind::WrapOverwrite,
+    ];
+}
+
+/// One applied fault, for asserting loss accounting against the damage
+/// actually dealt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// What was done.
+    pub kind: FaultKind,
+    /// Index into [`TraceFile::streams`].
+    pub stream: usize,
+    /// The damaged stream's core.
+    pub core: TraceCore,
+    /// Byte offset of the damage within the stream.
+    pub offset: usize,
+    /// Bytes written, removed or duplicated.
+    pub len: usize,
+}
+
+/// Seeded, deterministic trace mutator.
+///
+/// Two injectors built from the same seed, applied to equal traces
+/// with equal fault plans, deal byte-identical damage. Damage targets
+/// real record boundaries (found by walking granule counts), so every
+/// mode breaks *framing* or a decoder-checkable invariant rather than
+/// silently corrupting parameter payloads. Streams too short for a
+/// mode are skipped rather than made undecodable, so a plan may apply
+/// fewer faults than requested — the returned log is the source of
+/// truth.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    state: u64,
+}
+
+impl FaultInjector {
+    /// A new injector from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            // splitmix64 recommends avoiding the all-zero state.
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next pseudo-random u64 (splitmix64).
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (n > 0).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    /// Picks a stream with at least `min_records` records, restricted
+    /// to SPE streams when `spe_only` (modes whose damage is only
+    /// *detectable* through decrementer invariants). Returns the
+    /// stream index and its record-header byte offsets.
+    fn pick_stream(
+        &mut self,
+        trace: &TraceFile,
+        min_records: usize,
+        spe_only: bool,
+    ) -> Option<(usize, Vec<usize>)> {
+        let eligible: Vec<(usize, Vec<usize>)> = trace
+            .streams
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !spe_only || s.core.is_spe())
+            .filter_map(|(i, s)| {
+                let offs = record_offsets(&s.bytes);
+                (offs.len() >= min_records).then_some((i, offs))
+            })
+            .collect();
+        if eligible.is_empty() {
+            None
+        } else {
+            let i = self.below(eligible.len());
+            Some(eligible[i].clone())
+        }
+    }
+
+    /// Applies one fault of each requested kind to `trace`, in plan
+    /// order, and returns the log of damage actually dealt.
+    pub fn inject(&mut self, trace: &mut TraceFile, plan: &[FaultKind]) -> Vec<InjectedFault> {
+        let mut log = Vec::new();
+        for &kind in plan {
+            if let Some(f) = self.inject_one(trace, kind) {
+                log.push(f);
+            }
+        }
+        log
+    }
+
+    fn inject_one(&mut self, trace: &mut TraceFile, kind: FaultKind) -> Option<InjectedFault> {
+        match kind {
+            FaultKind::HeaderBitFlip => {
+                // Skip record 0: SPE streams need their first record
+                // intact to stay anchored, and the point of this mode
+                // is a mid-stream resync, not a discarded stream. Any
+                // flip of the granule byte breaks the granule/param
+                // cross-check (or zeroes the length), so the damage is
+                // always detectable.
+                let (si, offs) = self.pick_stream(trace, 3, false)?;
+                let off = offs[1 + self.below(offs.len() - 1)];
+                let bit = self.below(8);
+                trace.streams[si].bytes[off] ^= 1 << bit;
+                Some(InjectedFault {
+                    kind,
+                    stream: si,
+                    core: trace.streams[si].core,
+                    offset: off,
+                    len: 1,
+                })
+            }
+            FaultKind::Truncate => {
+                // Cut inside the final record, off the granule grid, so
+                // the tail is torn rather than cleanly shortened.
+                let (si, offs) = self.pick_stream(trace, 3, false)?;
+                let last = *offs.last().unwrap();
+                let len = trace.streams[si].bytes.len();
+                let cut = (last + 1 + self.below(14)).min(len - 1);
+                let removed = len - cut;
+                trace.streams[si].bytes.truncate(cut);
+                Some(InjectedFault {
+                    kind,
+                    stream: si,
+                    core: trace.streams[si].core,
+                    offset: cut,
+                    len: removed,
+                })
+            }
+            FaultKind::TornTail => {
+                // Garbage in the final record's timestamp field. Only
+                // SPE streams can prove the damage (the decrementer
+                // must fit in 32 bits); a torn PPE timebase value is
+                // indistinguishable from a real one.
+                let (si, offs) = self.pick_stream(trace, 3, true)?;
+                let off = offs.last().unwrap() + 8;
+                let garbage = self.next() | (0xffu64 << 56);
+                trace.streams[si].bytes[off..off + 8].copy_from_slice(&garbage.to_le_bytes());
+                Some(InjectedFault {
+                    kind,
+                    stream: si,
+                    core: trace.streams[si].core,
+                    offset: off,
+                    len: 8,
+                })
+            }
+            FaultKind::DuplicateWindow => {
+                // Replays a window of >= 2 whole records. The first
+                // replayed decrementer value jumps backward past the
+                // wrap tolerance, which only SPE streams can prove.
+                let (si, offs) = self.pick_stream(trace, 4, true)?;
+                let start = 1 + self.below(offs.len() - 2);
+                let win = 2 + self.below(offs.len() - start - 1);
+                let a = offs[start];
+                let b = offs
+                    .get(start + win)
+                    .copied()
+                    .unwrap_or(trace.streams[si].bytes.len());
+                let window = trace.streams[si].bytes[a..b].to_vec();
+                let wlen = window.len();
+                trace.streams[si].bytes.splice(b..b, window);
+                Some(InjectedFault {
+                    kind,
+                    stream: si,
+                    core: trace.streams[si].core,
+                    offset: b,
+                    len: wlen,
+                })
+            }
+            FaultKind::WrapOverwrite => {
+                // Zeroes whole records mid-stream: the first clobbered
+                // granule byte reads back as a zero-length record.
+                let (si, offs) = self.pick_stream(trace, 4, false)?;
+                let start = 1 + self.below(offs.len() - 2);
+                let win = 1 + self.below(offs.len() - start - 1);
+                let a = offs[start];
+                let b = offs
+                    .get(start + win)
+                    .copied()
+                    .unwrap_or(trace.streams[si].bytes.len());
+                for byte in &mut trace.streams[si].bytes[a..b] {
+                    *byte = 0;
+                }
+                Some(InjectedFault {
+                    kind,
+                    stream: si,
+                    core: trace.streams[si].core,
+                    offset: a,
+                    len: b - a,
+                })
+            }
+        }
+    }
+}
+
+/// Byte offsets of record headers, found by walking granule counts.
+/// Stops at the first structurally impossible header, so damage
+/// already present does not derail boundary discovery.
+fn record_offsets(bytes: &[u8]) -> Vec<usize> {
+    let mut offs = Vec::new();
+    let mut off = 0;
+    while off + 16 <= bytes.len() {
+        let granules = bytes[off] as usize;
+        if granules == 0 || off + granules * 16 > bytes.len() {
+            break;
+        }
+        offs.push(off);
+        off += granules * 16;
+    }
+    offs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt::{EventCode, TraceHeader, TraceRecord, TraceStream, VERSION};
+
+    fn trace() -> TraceFile {
+        let mut ppe = Vec::new();
+        TraceRecord {
+            core: TraceCore::Ppe(0),
+            code: EventCode::PpeCtxRun,
+            timestamp: 10,
+            params: vec![0, 0, u32::MAX as u64],
+        }
+        .encode_into(&mut ppe);
+        let mut spe = Vec::new();
+        let mut dec = u32::MAX;
+        for i in 0..32u32 {
+            dec = dec.wrapping_sub(50);
+            TraceRecord {
+                core: TraceCore::Spe(0),
+                code: EventCode::SpeUser,
+                timestamp: dec as u64,
+                params: vec![i as u64],
+            }
+            .encode_into(&mut spe);
+        }
+        TraceFile {
+            header: TraceHeader {
+                version: VERSION,
+                num_ppe_threads: 1,
+                num_spes: 1,
+                core_hz: 3_200_000_000,
+                timebase_divider: 120,
+                dec_start: u32::MAX,
+                group_mask: u32::MAX,
+                spe_buffer_bytes: 2048,
+            },
+            streams: vec![
+                TraceStream {
+                    core: TraceCore::Ppe(0),
+                    bytes: ppe,
+                    dropped: 0,
+                },
+                TraceStream {
+                    core: TraceCore::Spe(0),
+                    bytes: spe,
+                    dropped: 0,
+                },
+            ],
+            ctx_names: vec![],
+        }
+    }
+
+    #[test]
+    fn same_seed_same_damage() {
+        let (mut a, mut b) = (trace(), trace());
+        let la = FaultInjector::new(7).inject(&mut a, &FaultKind::ALL);
+        let lb = FaultInjector::new(7).inject(&mut b, &FaultKind::ALL);
+        assert_eq!(la, lb);
+        assert_eq!(a.streams[0].bytes, b.streams[0].bytes);
+        assert_eq!(a.streams[1].bytes, b.streams[1].bytes);
+        assert!(!la.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let (mut a, mut b) = (trace(), trace());
+        FaultInjector::new(1).inject(&mut a, &FaultKind::ALL);
+        FaultInjector::new(2).inject(&mut b, &FaultKind::ALL);
+        assert_ne!(
+            (a.streams[0].bytes.clone(), a.streams[1].bytes.clone()),
+            (b.streams[0].bytes.clone(), b.streams[1].bytes.clone())
+        );
+    }
+
+    #[test]
+    fn every_mode_applies_and_mutates() {
+        for kind in FaultKind::ALL {
+            let clean = trace();
+            let mut t = trace();
+            let log = FaultInjector::new(99).inject(&mut t, &[kind]);
+            assert_eq!(log.len(), 1, "{kind:?} applied");
+            assert_eq!(log[0].kind, kind);
+            let mutated = t
+                .streams
+                .iter()
+                .zip(&clean.streams)
+                .any(|(d, c)| d.bytes != c.bytes);
+            assert!(mutated, "{kind:?} changed the trace");
+        }
+    }
+
+    #[test]
+    fn truncate_tears_the_tail() {
+        let mut t = trace();
+        let log = FaultInjector::new(3).inject(&mut t, &[FaultKind::Truncate]);
+        let f = &log[0];
+        assert!(t.streams[f.stream].bytes.len() % 16 != 0, "cut mid-record");
+    }
+
+    #[test]
+    fn tiny_streams_are_skipped() {
+        let mut t = trace();
+        t.streams[1].bytes.truncate(16); // one record: too short for any mode
+        t.streams[0].bytes.truncate(16);
+        let log = FaultInjector::new(5).inject(&mut t, &FaultKind::ALL);
+        assert!(log.is_empty());
+        assert_eq!(t.streams[0].bytes.len(), 16, "untouched");
+    }
+
+    #[test]
+    fn duplicate_window_targets_spe_streams() {
+        let mut t = trace();
+        let log = FaultInjector::new(11).inject(&mut t, &[FaultKind::DuplicateWindow]);
+        assert!(log[0].core.is_spe());
+    }
+}

@@ -3,9 +3,9 @@
 //! original Trace Analyzer's GUI this reproduction ships.
 
 use crate::analyze::AnalyzedTrace;
-use crate::stats::compute_stats;
-use crate::svg::{render_svg, SvgOptions};
-use crate::timeline::build_timeline;
+use crate::report::RenderOptions;
+use crate::session::Analysis;
+use crate::svg::{render_svg_impl, SvgOptions};
 
 fn escape(s: &str) -> String {
     s.replace('&', "&amp;")
@@ -14,16 +14,37 @@ fn escape(s: &str) -> String {
 }
 
 /// Renders a self-contained HTML report for a trace.
+///
+/// Deprecated front door: prefer
+/// [`Analysis::render`](crate::session::Analysis::render) with
+/// [`ReportKind::Html`](crate::report::ReportKind::Html).
+#[deprecated(note = "use `Analysis::render(ReportKind::Html, &opts)` instead")]
 pub fn html_report(trace: &AnalyzedTrace, title: &str) -> String {
-    let stats = compute_stats(trace);
-    let timeline = build_timeline(trace);
-    let svg = render_svg(
-        &timeline,
-        &SvgOptions {
+    let a = Analysis::from_analyzed(trace.clone());
+    let opts = RenderOptions::default()
+        .with_title(title)
+        .with_svg(SvgOptions {
             width: 1100,
             ..SvgOptions::default()
-        },
-    );
+        });
+    html_report_impl(&a, &opts)
+}
+
+pub(crate) fn html_report_impl(a: &Analysis, opts: &RenderOptions) -> String {
+    let trace = a.analyzed();
+    let stats = a.stats();
+    let title = opts.title.as_str();
+    let svg = render_svg_impl(a.timeline(), &opts.svg);
+
+    // Degraded-analysis section: present whenever loss accounting ran.
+    let loss = if a.loss().streams.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "<h2>Loss accounting</h2>\n<pre>{}</pre>\n",
+            escape(&a.loss().render())
+        )
+    };
 
     let mut rows = String::new();
     for a in &stats.spes {
@@ -110,7 +131,8 @@ span {span_ms:.3} ms · core {ghz:.2} GHz, timebase {tb_mhz:.2} MHz</p>
 <h2>Event counts</h2>
 <table><tr><th>event</th><th>count</th></tr>
 {counts}</table>
-</body></html>
+
+{loss}</body></html>
 "#,
         title = escape(title),
         spes = stats.spes.len(),
@@ -128,6 +150,7 @@ span {span_ms:.3} ms · core {ghz:.2} GHz, timebase {tb_mhz:.2} MHz</p>
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::analyze::{GlobalEvent, SpeAnchor};

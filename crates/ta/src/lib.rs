@@ -86,14 +86,17 @@ pub mod ascii;
 pub mod causality;
 pub mod compare;
 pub mod csv;
+pub mod faults;
 pub mod histogram;
 pub mod html;
 pub mod intervals;
+pub mod loss;
 pub mod occupancy;
 pub mod parallel;
 pub mod phases;
 pub mod query;
 pub mod reader;
+pub mod report;
 pub mod session;
 pub mod stats;
 pub mod summary;
@@ -101,25 +104,36 @@ pub mod svg;
 pub mod timeline;
 pub mod validate;
 
-pub use analyze::{analyze, AnalyzeError, AnalyzedTrace, GlobalEvent, SpeAnchor};
+pub use analyze::{analyze, analyze_lossy, AnalyzeError, AnalyzedTrace, GlobalEvent, SpeAnchor};
+#[allow(deprecated)]
 pub use ascii::render_ascii;
 pub use causality::{
     align_clocks, apply_skew, causal_edges, estimate_skew, violations, CausalEdge, EdgeKind,
     SkewEstimate, Violation,
 };
 pub use compare::{compare_stats, compare_traces, Comparison, SpeDelta};
+pub use csv::loss_csv;
+#[allow(deprecated)]
 pub use csv::{activity_csv, events_csv, intervals_csv};
+pub use faults::{FaultInjector, FaultKind, InjectedFault};
 pub use histogram::Log2Histogram;
+#[allow(deprecated)]
 pub use html::html_report;
 pub use intervals::{build_intervals, ActivityKind, Interval, SpeIntervals};
+pub use loss::{DecodePolicy, LossReport, StreamLoss};
 pub use occupancy::{dma_occupancy, OccupancyStep, SpeOccupancy};
-pub use parallel::analyze_parallel;
+pub use parallel::{analyze_parallel, analyze_parallel_lossy};
 pub use phases::{user_phases, PhaseReport, UserPhase};
 pub use query::EventFilter;
 pub use reader::TraceImage;
+pub use report::{
+    AsciiReport, CsvReport, CsvTable, HtmlReport, RenderOptions, Report, ReportKind, SvgReport,
+};
 pub use session::{Analysis, AnalysisBuilder};
 pub use stats::{compute_stats, DmaSummary, EventCounts, ObservedDma, SpeActivity, TraceStats};
-pub use summary::{render_summary, summary_report};
-pub use svg::{render_svg, SvgOptions};
+pub use summary::{render_summary, render_summary_with, summary_report};
+#[allow(deprecated)]
+pub use svg::render_svg;
+pub use svg::SvgOptions;
 pub use timeline::{build_timeline, Lane, Marker, Segment, Timeline};
-pub use validate::{rel_err, validate, SpeValidation, ValidationReport};
+pub use validate::{rel_err, validate, validate_with_loss, SpeValidation, ValidationReport};

@@ -31,9 +31,13 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use pdt::{decode_stream, EventCode, RecordError, TraceCore, TraceFile, TraceHeader, TraceRecord};
+use pdt::{
+    decode_stream, decode_stream_lossy, EventCode, LossyDecode, RecordError, TraceCore, TraceFile,
+    TraceHeader, TraceRecord,
+};
 
-use crate::analyze::{AnalyzeError, AnalyzedTrace, GlobalEvent, SpeAnchor};
+use crate::analyze::{harvest_anchors_from, AnalyzeError, AnalyzedTrace, GlobalEvent, SpeAnchor};
+use crate::loss::{LossReport, StreamLoss};
 
 /// The sort key ordering the global event list.
 type SortKey = (u64, u8, u64);
@@ -104,6 +108,127 @@ pub(crate) fn analyze_sources(
         anchors,
         dropped,
     })
+}
+
+/// The lossy counterpart of [`analyze_parallel`]: resynchronizes past
+/// corruption, never fails, and quantifies everything skipped in a
+/// [`LossReport`]. Output (events, order, anchors, report) is identical
+/// to the serial [`analyze_lossy`](crate::analyze::analyze_lossy) for
+/// every worker count, and identical to the strict paths on
+/// uncorrupted input.
+pub fn analyze_parallel_lossy(trace: &TraceFile, threads: usize) -> (AnalyzedTrace, LossReport) {
+    let sources: Vec<(TraceCore, &[u8], u64)> = trace
+        .streams
+        .iter()
+        .map(|s| (s.core, s.bytes.as_slice(), s.dropped))
+        .collect();
+    analyze_sources_lossy(trace.header, &sources, trace.ctx_names.clone(), threads)
+}
+
+/// The stream-slice entry point behind [`analyze_parallel_lossy`]:
+/// sources carry `(core, record bytes, tracer-dropped count)`.
+pub(crate) fn analyze_sources_lossy(
+    header: TraceHeader,
+    sources: &[(TraceCore, &[u8], u64)],
+    ctx_names: Vec<(u32, String)>,
+    threads: usize,
+) -> (AnalyzedTrace, LossReport) {
+    let workers = threads.clamp(1, sources.len().max(1));
+    let decoded = decode_sources_lossy(sources, workers);
+
+    let anchor_view: Vec<(TraceCore, &[TraceRecord])> = decoded
+        .iter()
+        .map(|(core, d)| (*core, d.records.as_slice()))
+        .collect();
+    let anchors = harvest_anchors_from(&anchor_view);
+
+    // Split loss accounting from the records serially, in stream
+    // order; SPE streams whose anchor was lost contribute no events.
+    let mut losses = Vec::with_capacity(decoded.len());
+    let mut run_input: Vec<(TraceCore, Vec<TraceRecord>)> = Vec::with_capacity(decoded.len());
+    for (i, (core, lossy)) in decoded.into_iter().enumerate() {
+        let LossyDecode { records, gaps } = lossy;
+        let decoded_records = records.len() as u64;
+        let mut unanchored = false;
+        let records = match core {
+            TraceCore::Spe(spe) if !records.is_empty() && !anchors.iter().any(|a| a.spe == spe) => {
+                unanchored = true;
+                Vec::new()
+            }
+            _ => records,
+        };
+        losses.push(StreamLoss {
+            core,
+            decoded_records,
+            tracer_dropped: sources[i].2,
+            gaps,
+            unanchored,
+        });
+        run_input.push((core, records));
+    }
+
+    let runs = build_runs(run_input, &anchors, workers);
+    let events = merge_runs(runs);
+    let dropped = sources.iter().map(|s| s.2).sum();
+
+    (
+        AnalyzedTrace {
+            header,
+            events,
+            ctx_names,
+            anchors,
+            dropped,
+        },
+        LossReport { streams: losses },
+    )
+}
+
+/// Lossily decodes every stream, round-robin across `workers` threads.
+/// Never fails; corruption becomes per-stream gaps.
+fn decode_sources_lossy(
+    sources: &[(TraceCore, &[u8], u64)],
+    workers: usize,
+) -> Vec<(TraceCore, LossyDecode)> {
+    let n = sources.len();
+    let mut slots: Vec<Option<LossyDecode>> = (0..n).map(|_| None).collect();
+
+    if workers <= 1 || n <= 1 {
+        for (i, (core, bytes, _)) in sources.iter().enumerate() {
+            slots[i] = Some(decode_stream_lossy(bytes, Some(*core)));
+        }
+    } else {
+        let chunks = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    s.spawn(move |_| {
+                        let mut out = Vec::new();
+                        let mut i = w;
+                        while i < n {
+                            out.push((i, decode_stream_lossy(sources[i].1, Some(sources[i].0))));
+                            i += workers;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("decode worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("decode scope panicked");
+        for chunk in chunks {
+            for (i, r) in chunk {
+                slots[i] = Some(r);
+            }
+        }
+    }
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| (sources[i].0, slot.expect("every stream decoded")))
+        .collect()
 }
 
 type DecodeResult = Result<Vec<TraceRecord>, (usize, RecordError)>;
@@ -476,6 +601,58 @@ mod tests {
         let err = analyze_parallel(&trace, 4).unwrap_err();
         assert_eq!(err, AnalyzeError::MissingAnchor { spe: 0 });
         assert_eq!(err, analyze(&trace).unwrap_err());
+    }
+
+    #[test]
+    fn lossy_matches_strict_on_clean_trace_all_thread_counts() {
+        let trace = interleaved_trace(4);
+        let strict = analyze(&trace).unwrap();
+        for threads in [1, 2, 8] {
+            let (lossy, report) = analyze_parallel_lossy(&trace, threads);
+            assert_eq!(lossy.events, strict.events, "threads={threads}");
+            assert_eq!(lossy.anchors, strict.anchors);
+            assert_eq!(lossy.dropped, strict.dropped);
+            // Streams 1..4 carry a synthetic nonzero `dropped`, so the
+            // report is not clean, but there must be no decode gaps.
+            assert_eq!(report.total_gaps(), 0);
+            assert_eq!(report.total_gap_bytes(), 0);
+            assert_eq!(report.tracer_dropped(), trace.total_dropped());
+        }
+    }
+
+    #[test]
+    fn lossy_parallel_matches_lossy_serial_on_damaged_trace() {
+        let mut trace = interleaved_trace(4);
+        trace.streams[2].bytes[0] = 0; // zero granule count
+        let tail = trace.streams[3].bytes.len() - 5;
+        trace.streams[3].bytes.truncate(tail); // torn tail
+        let (serial, serial_report) = crate::analyze::analyze_lossy(&trace);
+        for threads in [1, 2, 8] {
+            let (par, par_report) = analyze_parallel_lossy(&trace, threads);
+            assert_eq!(par.events, serial.events, "threads={threads}");
+            assert_eq!(par.anchors, serial.anchors);
+            assert_eq!(par_report, serial_report);
+        }
+        assert!(serial_report.total_gaps() >= 2);
+        assert!(serial_report.total_gap_bytes() > 0);
+        assert!(serial_report.total_est_lost() > 0);
+        assert!(serial_report.suspect(1));
+        assert!(serial_report.suspect(2));
+    }
+
+    #[test]
+    fn lossy_discards_unanchored_spe_stream_deterministically() {
+        let mut trace = interleaved_trace(2);
+        trace.streams[0].bytes.clear(); // lose every PPE sync record
+        let (serial, serial_report) = crate::analyze::analyze_lossy(&trace);
+        assert!(serial.events.iter().all(|e| !e.core.is_spe()));
+        assert!(serial_report.streams[1].unanchored);
+        assert!(serial_report.total_est_lost() > 0);
+        for threads in [1, 2, 8] {
+            let (par, par_report) = analyze_parallel_lossy(&trace, threads);
+            assert_eq!(par.events, serial.events);
+            assert_eq!(par_report, serial_report);
+        }
     }
 
     #[test]

@@ -15,7 +15,8 @@
 use pdt::{FormatError, StreamMeta, TraceCore, TraceFile, TraceHeader, TraceStream};
 
 use crate::analyze::{AnalyzeError, AnalyzedTrace};
-use crate::parallel::analyze_sources;
+use crate::loss::LossReport;
+use crate::parallel::{analyze_sources, analyze_sources_lossy};
 
 /// A parsed view over a serialized trace image. Record bytes are
 /// borrowed from the underlying buffer, never copied.
@@ -101,6 +102,20 @@ impl<'a> TraceImage<'a> {
             self.ctx_names.clone(),
             threads,
         )
+    }
+
+    /// Reconstructs the global timeline from the borrowed windows,
+    /// resynchronizing past corrupt records instead of failing. Lost
+    /// ranges, tracer drops and discarded streams are quantified in the
+    /// returned [`LossReport`]. On an uncorrupted image the trace is
+    /// byte-identical to [`analyze`](Self::analyze).
+    pub fn analyze_lossy(&self, threads: usize) -> (AnalyzedTrace, LossReport) {
+        let sources: Vec<(TraceCore, &[u8], u64)> = self
+            .metas
+            .iter()
+            .map(|m| (m.core, m.slice(self.image), m.dropped))
+            .collect();
+        analyze_sources_lossy(self.header, &sources, self.ctx_names.clone(), threads)
     }
 
     /// Materializes an owned [`TraceFile`], copying the record bytes.
@@ -200,6 +215,18 @@ mod tests {
             assert_eq!(got.anchors, serial.anchors);
             assert_eq!(got.dropped, serial.dropped);
         }
+    }
+
+    #[test]
+    fn image_lossy_analysis_matches_strict_when_clean() {
+        let t = trace(3);
+        let bytes = t.to_bytes();
+        let image = TraceImage::parse(&bytes).unwrap();
+        let strict = image.analyze(4).unwrap();
+        let (lossy, report) = image.analyze_lossy(4);
+        assert_eq!(lossy.events, strict.events);
+        assert_eq!(report.total_gaps(), 0);
+        assert_eq!(report.tracer_dropped(), t.total_dropped());
     }
 
     #[test]

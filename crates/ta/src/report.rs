@@ -1,0 +1,282 @@
+//! The unified exporter interface.
+//!
+//! The analyzer historically grew four exporters — [`crate::csv`],
+//! [`crate::svg`], [`crate::html`] and [`crate::ascii`] — each with its
+//! own free-function signature and option set. This module puts them
+//! behind one [`Report`] trait with one shared [`RenderOptions`]
+//! struct; [`Analysis::render`] is the front door. The old free
+//! functions remain as thin deprecated shims.
+//!
+//! ```
+//! use ta::{Analysis, RenderOptions, ReportKind};
+//! # use pdt::{EventCode, TraceCore, TraceFile, TraceHeader, TraceRecord, TraceStream, VERSION};
+//! # let mut ppe = Vec::new();
+//! # TraceRecord { core: TraceCore::Ppe(0), code: EventCode::PpeCtxRun, timestamp: 10,
+//! #     params: vec![0, 0, u32::MAX as u64] }.encode_into(&mut ppe);
+//! # let trace = TraceFile {
+//! #     header: TraceHeader { version: VERSION, num_ppe_threads: 1, num_spes: 0,
+//! #         core_hz: 3_200_000_000, timebase_divider: 120, dec_start: u32::MAX,
+//! #         group_mask: u32::MAX, spe_buffer_bytes: 2048 },
+//! #     streams: vec![TraceStream { core: TraceCore::Ppe(0), bytes: ppe, dropped: 0 }],
+//! #     ctx_names: vec![],
+//! # };
+//! let a = Analysis::of(&trace).run().unwrap();
+//! let svg = a.render(ReportKind::Svg, &RenderOptions::default());
+//! assert!(svg.contains("</svg>"));
+//! ```
+
+use crate::session::Analysis;
+use crate::svg::SvgOptions;
+
+/// Which exporter [`Analysis::render`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportKind {
+    /// CSV table selected by [`RenderOptions::csv`].
+    Csv,
+    /// SVG timeline.
+    Svg,
+    /// Self-contained HTML report.
+    Html,
+    /// Fixed-width ASCII timeline.
+    Ascii,
+}
+
+/// Which table the CSV exporter emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CsvTable {
+    /// Every event: `time_tb,time_ns,core,event,params`.
+    #[default]
+    Events,
+    /// Activity intervals: `spe,kind,start_tb,end_tb,ticks`.
+    Intervals,
+    /// Per-SPE activity totals.
+    Activity,
+    /// Loss accounting (gaps, estimated drops) per stream.
+    Loss,
+}
+
+/// Options shared by every exporter. Each exporter reads the fields it
+/// needs and ignores the rest, so one `RenderOptions` value can drive
+/// all four report kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderOptions {
+    /// Report title (used by the HTML exporter).
+    pub title: String,
+    /// Timeline geometry for SVG output, including the SVG embedded in
+    /// the HTML report.
+    pub svg: SvgOptions,
+    /// Chart width in columns for ASCII output.
+    pub ascii_width: usize,
+    /// Which CSV table to emit.
+    pub csv: CsvTable,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            title: "trace".into(),
+            svg: SvgOptions::default(),
+            ascii_width: 100,
+            csv: CsvTable::default(),
+        }
+    }
+}
+
+impl RenderOptions {
+    /// Sets the report title.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = title.into();
+        self
+    }
+
+    /// Sets the SVG timeline geometry.
+    pub fn with_svg(mut self, svg: SvgOptions) -> Self {
+        self.svg = svg;
+        self
+    }
+
+    /// Sets the ASCII chart width.
+    pub fn with_ascii_width(mut self, width: usize) -> Self {
+        self.ascii_width = width;
+        self
+    }
+
+    /// Selects the CSV table.
+    pub fn with_csv(mut self, table: CsvTable) -> Self {
+        self.csv = table;
+        self
+    }
+}
+
+/// One exporter behind the unified interface.
+pub trait Report {
+    /// Renders `a` to this exporter's output format.
+    fn render(&self, a: &Analysis, opts: &RenderOptions) -> String;
+}
+
+/// The CSV exporter; [`RenderOptions::csv`] selects the table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CsvReport;
+
+/// The SVG timeline exporter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SvgReport;
+
+/// The self-contained HTML report exporter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HtmlReport;
+
+/// The fixed-width ASCII timeline exporter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AsciiReport;
+
+impl Report for CsvReport {
+    fn render(&self, a: &Analysis, opts: &RenderOptions) -> String {
+        match opts.csv {
+            CsvTable::Events => crate::csv::events_csv_impl(a.analyzed()),
+            CsvTable::Intervals => crate::csv::intervals_csv_impl(a.intervals()),
+            CsvTable::Activity => crate::csv::activity_csv_impl(a.stats()),
+            CsvTable::Loss => crate::csv::loss_csv(a.loss()),
+        }
+    }
+}
+
+impl Report for SvgReport {
+    fn render(&self, a: &Analysis, opts: &RenderOptions) -> String {
+        crate::svg::render_svg_impl(a.timeline(), &opts.svg)
+    }
+}
+
+impl Report for HtmlReport {
+    fn render(&self, a: &Analysis, opts: &RenderOptions) -> String {
+        crate::html::html_report_impl(a, opts)
+    }
+}
+
+impl Report for AsciiReport {
+    fn render(&self, a: &Analysis, opts: &RenderOptions) -> String {
+        crate::ascii::render_ascii_impl(a.timeline(), opts.ascii_width)
+    }
+}
+
+impl ReportKind {
+    /// The exporter implementing this kind.
+    pub fn report(self) -> Box<dyn Report> {
+        match self {
+            ReportKind::Csv => Box::new(CsvReport),
+            ReportKind::Svg => Box::new(SvgReport),
+            ReportKind::Html => Box::new(HtmlReport),
+            ReportKind::Ascii => Box::new(AsciiReport),
+        }
+    }
+}
+
+impl std::fmt::Debug for dyn Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Report")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt::{EventCode, TraceCore, TraceFile, TraceHeader, TraceRecord, TraceStream, VERSION};
+
+    fn trace() -> TraceFile {
+        let mut ppe = Vec::new();
+        TraceRecord {
+            core: TraceCore::Ppe(0),
+            code: EventCode::PpeCtxRun,
+            timestamp: 10,
+            params: vec![0, 0, u32::MAX as u64],
+        }
+        .encode_into(&mut ppe);
+        let mut spe = Vec::new();
+        let mut dec = u32::MAX;
+        for (code, step, params) in [
+            (EventCode::SpeCtxStart, 0u32, vec![0]),
+            (EventCode::SpeDmaGet, 100, vec![0x1000, 0x100000, 4096, 1]),
+            (EventCode::SpeTagWaitBegin, 10, vec![2, 0]),
+            (EventCode::SpeTagWaitEnd, 400, vec![2]),
+            (EventCode::SpeStop, 500, vec![0]),
+        ] {
+            dec = dec.wrapping_sub(step);
+            TraceRecord {
+                core: TraceCore::Spe(0),
+                code,
+                timestamp: dec as u64,
+                params,
+            }
+            .encode_into(&mut spe);
+        }
+        TraceFile {
+            header: TraceHeader {
+                version: VERSION,
+                num_ppe_threads: 1,
+                num_spes: 1,
+                core_hz: 3_200_000_000,
+                timebase_divider: 120,
+                dec_start: u32::MAX,
+                group_mask: u32::MAX,
+                spe_buffer_bytes: 2048,
+            },
+            streams: vec![
+                TraceStream {
+                    core: TraceCore::Ppe(0),
+                    bytes: ppe,
+                    dropped: 0,
+                },
+                TraceStream {
+                    core: TraceCore::Spe(0),
+                    bytes: spe,
+                    dropped: 0,
+                },
+            ],
+            ctx_names: vec![(0, "k0".into())],
+        }
+    }
+
+    #[test]
+    fn all_four_kinds_render_through_the_trait() {
+        let t = trace();
+        let a = Analysis::of(&t).run().unwrap();
+        let opts = RenderOptions::default();
+        for (kind, needle) in [
+            (ReportKind::Csv, "time_tb,"),
+            (ReportKind::Svg, "</svg>"),
+            (ReportKind::Html, "</html>"),
+            (ReportKind::Ascii, "legend"),
+        ] {
+            let out = kind.report().render(&a, &opts);
+            assert!(out.contains(needle), "{kind:?} missing {needle:?}");
+            assert_eq!(out, a.render(kind, &opts), "front door matches trait");
+        }
+    }
+
+    #[test]
+    fn csv_table_selection() {
+        let t = trace();
+        let a = Analysis::of(&t).run().unwrap();
+        let render = |table| a.render(ReportKind::Csv, &RenderOptions::default().with_csv(table));
+        assert!(render(CsvTable::Events).starts_with("time_tb,"));
+        assert!(render(CsvTable::Intervals).starts_with("spe,kind,"));
+        assert!(render(CsvTable::Activity).starts_with("spe,active_tb"));
+        assert!(render(CsvTable::Loss).starts_with("stream,"));
+    }
+
+    #[test]
+    fn options_builders_chain() {
+        let o = RenderOptions::default()
+            .with_title("t")
+            .with_ascii_width(44)
+            .with_csv(CsvTable::Loss)
+            .with_svg(SvgOptions {
+                width: 500,
+                ..SvgOptions::default()
+            });
+        assert_eq!(o.title, "t");
+        assert_eq!(o.ascii_width, 44);
+        assert_eq!(o.csv, CsvTable::Loss);
+        assert_eq!(o.svg.width, 500);
+    }
+}

@@ -38,15 +38,16 @@ use std::sync::OnceLock;
 use pdt::TraceFile;
 
 use crate::analyze::{AnalyzeError, AnalyzedTrace, GlobalEvent};
-use crate::html::html_report;
 use crate::intervals::{build_intervals, SpeIntervals};
+use crate::loss::{DecodePolicy, LossReport};
 use crate::occupancy::{dma_occupancy, SpeOccupancy};
-use crate::parallel::analyze_parallel;
+use crate::parallel::{analyze_parallel, analyze_parallel_lossy};
 use crate::phases::{user_phases, PhaseReport};
 use crate::query::EventFilter;
+use crate::report::{RenderOptions, ReportKind};
 use crate::stats::{compute_stats_with, TraceStats};
-use crate::summary::render_summary;
-use crate::svg::{render_svg, SvgOptions};
+use crate::summary::render_summary_with;
+use crate::svg::SvgOptions;
 use crate::timeline::{build_timeline_with, Timeline};
 
 /// Configures and launches an [`Analysis`]; created by
@@ -56,6 +57,7 @@ pub struct AnalysisBuilder<'t> {
     trace: &'t TraceFile,
     threads: Option<usize>,
     filter: Option<EventFilter>,
+    policy: DecodePolicy,
 }
 
 impl AnalysisBuilder<'_> {
@@ -75,24 +77,49 @@ impl AnalysisBuilder<'_> {
         self
     }
 
+    /// Aborts the analysis on the first malformed record instead of
+    /// resynchronizing past it (the pre-loss-accounting behavior).
+    pub fn strict(mut self) -> Self {
+        self.policy = DecodePolicy::Strict;
+        self
+    }
+
+    /// Resynchronizes past corrupt records and quantifies what was
+    /// skipped in the session's [`LossReport`]. This is the default.
+    pub fn lossy(mut self) -> Self {
+        self.policy = DecodePolicy::Lossy;
+        self
+    }
+
     /// Ingests the trace and returns the session.
     ///
     /// # Errors
     ///
-    /// Returns [`AnalyzeError`] on corrupt records or missing sync
-    /// anchors — the same errors, in the same precedence, as the
-    /// serial [`analyze`](crate::analyze::analyze).
+    /// Under the default [lossy](Self::lossy) policy this never fails:
+    /// corruption becomes decode gaps in the session's [`LossReport`].
+    /// Under [`strict`](Self::strict) it returns [`AnalyzeError`] on
+    /// corrupt records or missing sync anchors — the same errors, in
+    /// the same precedence, as the serial
+    /// [`analyze`](crate::analyze::analyze).
     pub fn run(self) -> Result<Analysis, AnalyzeError> {
         let threads = self.threads.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
         });
-        let mut analyzed = analyze_parallel(self.trace, threads)?;
+        let (mut analyzed, loss) = match self.policy {
+            DecodePolicy::Strict => (
+                analyze_parallel(self.trace, threads)?,
+                LossReport::default(),
+            ),
+            DecodePolicy::Lossy => analyze_parallel_lossy(self.trace, threads),
+        };
         if let Some(f) = &self.filter {
             analyzed.events.retain(|e| f.matches(e));
         }
-        Ok(Analysis::from_analyzed(analyzed))
+        let mut a = Analysis::from_analyzed(analyzed);
+        a.loss = loss;
+        Ok(a)
     }
 }
 
@@ -101,6 +128,7 @@ impl AnalysisBuilder<'_> {
 #[derive(Debug)]
 pub struct Analysis {
     analyzed: AnalyzedTrace,
+    loss: LossReport,
     intervals: OnceLock<Vec<SpeIntervals>>,
     stats: OnceLock<TraceStats>,
     timeline: OnceLock<Timeline>,
@@ -115,6 +143,7 @@ impl Analysis {
             trace,
             threads: None,
             filter: None,
+            policy: DecodePolicy::default(),
         }
     }
 
@@ -124,6 +153,7 @@ impl Analysis {
     pub fn from_analyzed(analyzed: AnalyzedTrace) -> Self {
         Self {
             analyzed,
+            loss: LossReport::default(),
             intervals: OnceLock::new(),
             stats: OnceLock::new(),
             timeline: OnceLock::new(),
@@ -135,6 +165,13 @@ impl Analysis {
     /// The reconstructed trace.
     pub fn analyzed(&self) -> &AnalyzedTrace {
         &self.analyzed
+    }
+
+    /// Loss accounting from ingestion. Populated by the (default)
+    /// lossy decode policy; empty under [`strict`](AnalysisBuilder::strict)
+    /// or when the session was built from an [`AnalyzedTrace`].
+    pub fn loss(&self) -> &LossReport {
+        &self.loss
     }
 
     /// The globally ordered event list.
@@ -171,24 +208,48 @@ impl Analysis {
         self.phases.get_or_init(|| user_phases(&self.analyzed))
     }
 
-    /// Renders the timeline as SVG.
+    /// Renders the session through the unified [`Report`] interface —
+    /// the front door to all four exporters.
+    ///
+    /// [`Report`]: crate::report::Report
+    pub fn render(&self, kind: ReportKind, opts: &RenderOptions) -> String {
+        kind.report().render(self, opts)
+    }
+
+    /// Renders the timeline as SVG. Convenience for
+    /// [`render`](Self::render) with [`ReportKind::Svg`].
     pub fn svg(&self, opts: &SvgOptions) -> String {
-        render_svg(self.timeline(), opts)
+        self.render(ReportKind::Svg, &RenderOptions::default().with_svg(*opts))
     }
 
     /// Renders the timeline as ASCII art, `width` columns wide.
+    /// Convenience for [`render`](Self::render) with
+    /// [`ReportKind::Ascii`].
     pub fn ascii(&self, width: usize) -> String {
-        crate::ascii::render_ascii(self.timeline(), width)
+        self.render(
+            ReportKind::Ascii,
+            &RenderOptions::default().with_ascii_width(width),
+        )
     }
 
-    /// Renders the plain-text summary report.
+    /// Renders the plain-text summary report, including the loss
+    /// section when loss accounting ran.
     pub fn summary(&self) -> String {
-        render_summary(&self.analyzed, self.stats())
+        render_summary_with(&self.analyzed, self.stats(), Some(&self.loss))
     }
 
-    /// Renders the standalone HTML report.
+    /// Renders the standalone HTML report. Convenience for
+    /// [`render`](Self::render) with [`ReportKind::Html`].
     pub fn html(&self, title: &str) -> String {
-        html_report(&self.analyzed, title)
+        self.render(
+            ReportKind::Html,
+            &RenderOptions::default()
+                .with_title(title)
+                .with_svg(SvgOptions {
+                    width: 1100,
+                    ..SvgOptions::default()
+                }),
+        )
     }
 
     /// Consumes the session, returning the reconstructed trace.

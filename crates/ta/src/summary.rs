@@ -4,6 +4,7 @@
 use pdt::TraceCore;
 
 use crate::analyze::AnalyzedTrace;
+use crate::loss::LossReport;
 use crate::stats::{compute_stats, TraceStats};
 
 /// Renders the full summary report for a trace.
@@ -14,6 +15,17 @@ pub fn summary_report(trace: &AnalyzedTrace) -> String {
 
 /// Renders the summary from precomputed statistics.
 pub fn render_summary(trace: &AnalyzedTrace, stats: &TraceStats) -> String {
+    render_summary_with(trace, stats, None)
+}
+
+/// Renders the summary with loss accounting: SPE rows whose statistics
+/// may be skewed by trace damage are marked `*`, and a `-- loss --`
+/// section quantifies gaps and estimated drops per stream.
+pub fn render_summary_with(
+    trace: &AnalyzedTrace,
+    stats: &TraceStats,
+    loss: Option<&LossReport>,
+) -> String {
     let mut out = String::new();
     let h = &trace.header;
     out.push_str("== PDT trace summary ==\n");
@@ -59,9 +71,10 @@ pub fn render_summary(trace: &AnalyzedTrace, stats: &TraceStats) -> String {
                 tb as f64 / a.active_tb as f64 * 100.0
             }
         };
+        let suspect = loss.is_some_and(|l| l.suspect(a.spe));
+        let label = format!("SPE{}{}", a.spe, if suspect { "*" } else { "" });
         out.push_str(&format!(
-            "SPE{:<2} {:>10.3} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>6.1}%\n",
-            a.spe,
+            "{label:<5} {:>10.3} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>6.1}%\n",
             trace.tb_to_ns(a.active_tb) / 1e6,
             f(a.compute_tb),
             f(a.dma_wait_tb),
@@ -106,6 +119,16 @@ pub fn render_summary(trace: &AnalyzedTrace, stats: &TraceStats) -> String {
     for core in cores {
         let n = trace.events.iter().filter(|e| e.core == core).count();
         out.push_str(&format!("{core}: {n} events\n"));
+    }
+
+    if let Some(l) = loss {
+        if !l.streams.is_empty() {
+            out.push_str("\n-- loss --\n");
+            out.push_str(&l.render());
+            if !l.is_clean() {
+                out.push_str("(* = per-SPE statistics may be skewed by trace damage)\n");
+            }
+        }
     }
     out
 }

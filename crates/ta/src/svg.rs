@@ -45,7 +45,16 @@ fn escape(s: &str) -> String {
 }
 
 /// Renders a timeline to an SVG document string.
+///
+/// Deprecated front door: prefer
+/// [`Analysis::render`](crate::session::Analysis::render) with
+/// [`ReportKind::Svg`](crate::report::ReportKind::Svg).
+#[deprecated(note = "use `Analysis::render(ReportKind::Svg, &opts)` instead")]
 pub fn render_svg(timeline: &Timeline, opts: &SvgOptions) -> String {
+    render_svg_impl(timeline, opts)
+}
+
+pub(crate) fn render_svg_impl(timeline: &Timeline, opts: &SvgOptions) -> String {
     let n = timeline.lanes.len() as u32;
     let axis_h = 28u32;
     let legend_h = 22u32;
@@ -183,7 +192,7 @@ mod tests {
 
     #[test]
     fn svg_is_structurally_sound() {
-        let svg = render_svg(&timeline(), &SvgOptions::default());
+        let svg = render_svg_impl(&timeline(), &SvgOptions::default());
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));
         // One rect per segment, with the right colors.
@@ -202,7 +211,7 @@ mod tests {
             width: 1000,
             ..SvgOptions::default()
         };
-        let svg = render_svg(&timeline(), &opts);
+        let svg = render_svg_impl(&timeline(), &opts);
         // Compute segment: 40% of 1000 px = 400 px wide at x=gutter.
         assert!(svg.contains(r#"width="400.0""#), "svg: {svg}");
     }
@@ -214,7 +223,7 @@ mod tests {
             end_tb: 0,
             lanes: vec![],
         };
-        let svg = render_svg(&t, &SvgOptions::default());
+        let svg = render_svg_impl(&t, &SvgOptions::default());
         assert!(svg.contains("</svg>"));
     }
 }

@@ -9,6 +9,7 @@
 use cellsim::{CoreId, RunReport, SpeId};
 
 use crate::analyze::AnalyzedTrace;
+use crate::loss::LossReport;
 use crate::stats::TraceStats;
 
 /// Comparison of one SPE's trace-derived and ground-truth numbers, in
@@ -34,6 +35,10 @@ pub struct SpeValidation {
     /// Tracing overhead cycles from ground truth (invisible to the TA,
     /// which folds them into compute).
     pub gt_trace_overhead_ns: f64,
+    /// True when the trace-derived side spans decode gaps — the
+    /// numbers are lower bounds, not measurements, and a large relative
+    /// error is expected rather than a fidelity defect.
+    pub suspect: bool,
 }
 
 impl SpeValidation {
@@ -48,9 +53,14 @@ impl SpeValidation {
     }
 }
 
-/// Relative error |a - b| / max(b, ε).
+/// Relative error |a - b| / max(|b|, ε).
+///
+/// The denominator clamps on the *magnitude* of the ground truth:
+/// clamping on the signed value would turn every negative `b` into a
+/// huge spurious error (ε denominator) instead of a sensible relative
+/// one.
 pub fn rel_err(a: f64, b: f64) -> f64 {
-    (a - b).abs() / b.max(1e-9)
+    (a - b).abs() / b.abs().max(1e-9)
 }
 
 /// The full validation report.
@@ -77,15 +87,27 @@ impl ValidationReport {
             .fold(0.0, f64::max)
     }
 
+    /// Largest active-time relative error over SPEs whose trace-side
+    /// numbers do *not* span decode gaps. The fidelity headline for
+    /// damaged traces: suspect SPEs are expected to diverge.
+    pub fn max_trusted_active_rel_err(&self) -> f64 {
+        self.spes
+            .iter()
+            .filter(|s| !s.suspect)
+            .map(SpeValidation::active_rel_err)
+            .fold(0.0, f64::max)
+    }
+
     /// Renders a comparison table.
     pub fn render(&self) -> String {
         let mut out = String::from(
             "spe  active(ta/gt) ns        dma-wait(ta/gt) ns      blocked(ta/gt) ns       trace-ovh ns\n",
         );
         for s in &self.spes {
+            let label = format!("{}{}", s.spe, if s.suspect { "*" } else { "" });
             out.push_str(&format!(
                 "{:<4} {:>10.0}/{:<10.0} {:>10.0}/{:<10.0} {:>10.0}/{:<10.0} {:>10.0}\n",
-                s.spe,
+                label,
                 s.ta_active_ns,
                 s.gt_active_ns,
                 s.ta_dma_wait_ns,
@@ -94,6 +116,9 @@ impl ValidationReport {
                 s.gt_blocked_ns,
                 s.gt_trace_overhead_ns
             ));
+        }
+        if self.spes.iter().any(|s| s.suspect) {
+            out.push_str("(* trace-side numbers span decode gaps; treat as lower bounds)\n");
         }
         out
     }
@@ -106,6 +131,18 @@ pub fn validate(
     stats: &TraceStats,
     report: &RunReport,
     clock_hz: u64,
+) -> ValidationReport {
+    validate_with_loss(trace, stats, report, clock_hz, None)
+}
+
+/// [`validate`], additionally marking SPEs whose trace-side numbers
+/// span decode gaps (per `loss`) as [`suspect`](SpeValidation::suspect).
+pub fn validate_with_loss(
+    trace: &AnalyzedTrace,
+    stats: &TraceStats,
+    report: &RunReport,
+    clock_hz: u64,
+    loss: Option<&LossReport>,
 ) -> ValidationReport {
     let cyc_ns = 1e9 / clock_hz as f64;
     let mut spes = Vec::new();
@@ -123,6 +160,7 @@ pub fn validate(
             ta_blocked_ns: trace.tb_to_ns(a.mbox_wait_tb + a.signal_wait_tb),
             gt_blocked_ns: (b.mbox_wait + b.signal_wait) as f64 * cyc_ns,
             gt_trace_overhead_ns: b.trace_overhead as f64 * cyc_ns,
+            suspect: loss.is_some_and(|l| l.suspect(a.spe)),
         });
     }
     ValidationReport { spes }
@@ -140,6 +178,14 @@ mod tests {
     }
 
     #[test]
+    fn rel_err_handles_negative_ground_truth() {
+        // |(-90) - (-100)| / 100 = 0.1 — the old signed clamp blew this
+        // up to 1e10 by dividing by epsilon.
+        assert!((rel_err(-90.0, -100.0) - 0.1).abs() < 1e-12);
+        assert!((rel_err(-100.0, -100.0)).abs() < 1e-12);
+    }
+
+    #[test]
     fn report_aggregates_max_errors() {
         let r = ValidationReport {
             spes: vec![
@@ -152,6 +198,7 @@ mod tests {
                     ta_blocked_ns: 0.0,
                     gt_blocked_ns: 0.0,
                     gt_trace_overhead_ns: 5.0,
+                    suspect: false,
                 },
                 SpeValidation {
                     spe: 1,
@@ -162,13 +209,20 @@ mod tests {
                     ta_blocked_ns: 0.0,
                     gt_blocked_ns: 0.0,
                     gt_trace_overhead_ns: 0.0,
+                    suspect: true,
                 },
             ],
         };
         assert!((r.max_active_rel_err() - 0.1).abs() < 1e-12);
         assert!((r.max_dma_wait_rel_err() - 0.25).abs() < 1e-12);
+        assert!(
+            r.max_trusted_active_rel_err().abs() < 1e-12,
+            "suspect SPE1 excluded from the trusted maximum"
+        );
         let txt = r.render();
         assert!(txt.contains("spe"));
-        assert_eq!(txt.lines().count(), 3);
+        assert!(txt.contains("1*"), "suspect row is starred: {txt}");
+        assert!(txt.contains("lower bounds"));
+        assert_eq!(txt.lines().count(), 4);
     }
 }

@@ -8,8 +8,8 @@ use cellsim::{
 };
 use pdt::{TraceCore, TraceFile, TraceSession, TracingConfig};
 use ta::{
-    analyze, build_intervals, build_timeline, compute_stats, render_ascii, render_svg, validate,
-    ActivityKind, SvgOptions,
+    analyze, build_intervals, build_timeline, compute_stats, validate, ActivityKind, Analysis,
+    RenderOptions, ReportKind,
 };
 
 fn tag(t: u8) -> TagId {
@@ -139,11 +139,15 @@ fn renderers_produce_output_for_a_real_trace() {
     let tl = build_timeline(&a);
     assert!(tl.lanes.len() >= 2, "PPE lane + SPE lane");
 
-    let svg = render_svg(&tl, &SvgOptions::default());
+    let sess = Analysis::from_analyzed(a.clone());
+    let svg = sess.render(ReportKind::Svg, &RenderOptions::default());
     assert!(svg.contains("SPE0 (draw)"));
     assert!(svg.matches("<rect").count() > 5);
 
-    let txt = render_ascii(&tl, 80);
+    let txt = sess.render(
+        ReportKind::Ascii,
+        &RenderOptions::default().with_ascii_width(80),
+    );
     assert!(txt.contains("SPE0"));
     assert!(txt.contains('='), "compute glyphs present: \n{txt}");
     assert!(txt.contains('d'), "dma-wait glyphs present: \n{txt}");

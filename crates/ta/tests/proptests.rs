@@ -144,12 +144,66 @@ proptest! {
             prop_assert_eq!(sum, iv.active());
         }
         // The renderers accept whatever came out.
-        let tl = ta::build_timeline(&analyzed);
-        prop_assert!(ta::render_svg(&tl, &ta::SvgOptions::default()).ends_with("</svg>\n"));
-        prop_assert!(ta::render_ascii(&tl, 40).contains("legend"));
+        let sess = ta::Analysis::from_analyzed(analyzed.clone());
+        prop_assert!(sess
+            .render(ta::ReportKind::Svg, &ta::RenderOptions::default())
+            .ends_with("</svg>\n"));
+        prop_assert!(sess
+            .render(
+                ta::ReportKind::Ascii,
+                &ta::RenderOptions::default().with_ascii_width(40)
+            )
+            .contains("legend"));
         // Round-trip through bytes is lossless.
         let again = TraceFile::from_bytes(&trace.to_bytes()).unwrap();
         prop_assert_eq!(again, trace);
+    }
+
+    #[test]
+    fn lossy_decode_is_identical_to_strict_on_clean_traces(trace in arb_trace()) {
+        let strict = analyze(&trace).expect("valid traces analyze");
+        let (serial, loss) = ta::analyze_lossy(&trace);
+        prop_assert_eq!(&serial.events, &strict.events, "serial lossy == strict");
+        prop_assert!(loss.is_clean(), "no gaps on a clean trace: {}", loss.render());
+        prop_assert_eq!(loss.total_est_lost(), 0);
+        for threads in [1usize, 2, 8] {
+            let (par, ploss) = ta::analyze_parallel_lossy(&trace, threads);
+            prop_assert_eq!(&par.events, &strict.events, "parallel({}) lossy == strict", threads);
+            prop_assert!(ploss.is_clean());
+        }
+    }
+
+    #[test]
+    fn fault_injected_traces_always_analyze_with_loss_accounted(
+        trace in arb_trace(),
+        seed in 0u64..1_000,
+        nmodes in 0usize..=5,
+    ) {
+        let mut damaged = trace.clone();
+        let plan = &ta::FaultKind::ALL[..nmodes];
+        let log = ta::FaultInjector::new(seed).inject(&mut damaged, plan);
+        // Terminates without panic whatever the damage.
+        let (serial, loss) = ta::analyze_lossy(&damaged);
+        // Serial and parallel agree on damaged input too.
+        for threads in [1usize, 2, 8] {
+            let (par, ploss) = ta::analyze_parallel_lossy(&damaged, threads);
+            prop_assert_eq!(&par.events, &serial.events, "parallel({}) == serial on damage", threads);
+            prop_assert_eq!(&ploss, &loss);
+        }
+        if log.is_empty() {
+            // No fault applied (empty plan or streams too small):
+            // must match strict exactly.
+            prop_assert!(loss.is_clean(), "undamaged yet lossy: {}", loss.render());
+            prop_assert_eq!(&serial.events, &analyze(&trace).unwrap().events);
+        } else {
+            // Damage was dealt: the accounting must notice it.
+            prop_assert!(
+                !loss.is_clean() || loss.total_est_lost() > 0,
+                "damage {:?} left no trace in the loss report: {}",
+                log,
+                loss.render()
+            );
+        }
     }
 
     #[test]

@@ -13,4 +13,10 @@ cargo clippy --workspace -- -D warnings
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
+echo "== fault-injection smoke (3 seeds) =="
+# Injects every corruption mode into a real trace and asserts the lossy
+# decoder terminates, serial == parallel, and the loss accounting
+# matches the damage dealt (fault_smoke exits nonzero otherwise).
+cargo run -q -p bench --bin fault_smoke -- 1 2 3
+
 echo "all checks passed"

@@ -111,10 +111,19 @@ fn every_workload_traces_and_analyzes() {
             v.max_active_rel_err(),
             v.render()
         );
-        // Renderers accept the real trace.
+        // Renderers accept the real trace, via the unified Report API.
         let tl = build_timeline(&analyzed);
-        assert!(render_svg(&tl, &SvgOptions::default()).contains("</svg>"));
-        assert!(render_ascii(&tl, 60).contains("legend"));
+        assert!(tl.lanes.len() >= spes, "{}: lanes present", w.name());
+        let a = Analysis::from_analyzed(analyzed);
+        assert!(a
+            .render(ReportKind::Svg, &RenderOptions::default())
+            .contains("</svg>"));
+        assert!(a
+            .render(
+                ReportKind::Ascii,
+                &RenderOptions::default().with_ascii_width(60)
+            )
+            .contains("legend"));
     }
 }
 
@@ -206,16 +215,18 @@ fn csv_exports_are_consistent() {
         ..StreamConfig::default()
     });
     let (_, trace) = traced(&w, 1, TracingConfig::default());
-    let analyzed = analyze(&trace).unwrap();
-    let events_csv = ta::events_csv(&analyzed);
+    let a = Analysis::of(&trace).run().unwrap();
+    let events_csv = a.render(ReportKind::Csv, &RenderOptions::default());
     assert_eq!(
         events_csv.lines().count(),
-        analyzed.events.len() + 1,
+        a.analyzed().events.len() + 1,
         "one CSV row per event plus header"
     );
-    let intervals = build_intervals(&analyzed);
-    let iv_csv = ta::intervals_csv(&intervals);
-    let n_intervals: usize = intervals.iter().map(|s| s.intervals.len()).sum();
+    let iv_csv = a.render(
+        ReportKind::Csv,
+        &RenderOptions::default().with_csv(CsvTable::Intervals),
+    );
+    let n_intervals: usize = a.intervals().iter().map(|s| s.intervals.len()).sum();
     assert_eq!(iv_csv.lines().count(), n_intervals + 1);
 }
 
