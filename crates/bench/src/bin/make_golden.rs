@@ -1,0 +1,132 @@
+//! Regenerates the golden differential-test corpus under `tests/golden/`.
+//!
+//! ```text
+//! make_golden [OUT_DIR]       default: tests/golden
+//! ```
+//!
+//! Produces four small seeded traces, one per workload family plus one
+//! fault-injected variant, that `tests/golden_queries.rs` replays
+//! through both the trace index and the naive-scan oracle:
+//!
+//! - `matmul.pdt`    blocked matrix multiply, 2 SPEs
+//! - `stream.pdt`    double-buffered streaming copy, 2 SPEs
+//! - `pipeline.pdt`  producer/consumer pipeline, 1 pair (2 SPEs)
+//! - `stream_faulted.pdt`  the stream trace with one fault of every
+//!   mode injected at seed 41 — exercises the gap-suspicion path
+//!
+//! The simulator is deterministic, so reruns write byte-identical
+//! files; the tool fails if an existing golden file would change, to
+//! catch accidental behavioral drift. Pass `--force` to overwrite.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use cellsim::MachineConfig;
+use pdt::{TraceFile, TracingConfig};
+use ta::{FaultInjector, FaultKind};
+use workloads::{
+    run_workload, Buffering, MatmulConfig, MatmulWorkload, PipelineConfig, PipelineWorkload,
+    StreamConfig, StreamWorkload, Workload,
+};
+
+/// Seed for the injected faults in `stream_faulted.pdt`. Chosen so
+/// every fault mode lands inside the stream trace (checked below).
+const FAULT_SEED: u64 = 41;
+
+fn trace_of(w: &dyn Workload, spes: usize) -> Result<TraceFile, String> {
+    let r = run_workload(
+        w,
+        MachineConfig::default().with_num_spes(spes),
+        Some(TracingConfig::default()),
+    )
+    .map_err(|e| format!("workload: {e}"))?;
+    r.trace.ok_or_else(|| "tracing produced no trace".into())
+}
+
+fn corpus() -> Result<Vec<(&'static str, TraceFile)>, String> {
+    let matmul = trace_of(
+        &MatmulWorkload::new(MatmulConfig {
+            n: 128,
+            spes: 2,
+            seed: 7,
+        }),
+        2,
+    )?;
+    let stream = trace_of(
+        &StreamWorkload::new(StreamConfig {
+            blocks: 16,
+            block_bytes: 4096,
+            buffering: Buffering::Double,
+            spes: 2,
+            ..StreamConfig::default()
+        }),
+        2,
+    )?;
+    let pipeline = trace_of(
+        &PipelineWorkload::new(PipelineConfig {
+            blocks: 8,
+            block_bytes: 4096,
+            pairs: 1,
+            stage_cycles: 2000,
+            seed: 23,
+        }),
+        2,
+    )?;
+
+    let mut faulted = stream.clone();
+    let log = FaultInjector::new(FAULT_SEED).inject(&mut faulted, &FaultKind::ALL);
+    if log.is_empty() {
+        return Err("fault injector applied no faults to the stream trace".into());
+    }
+
+    Ok(vec![
+        ("matmul.pdt", matmul),
+        ("stream.pdt", stream),
+        ("pipeline.pdt", pipeline),
+        ("stream_faulted.pdt", faulted),
+    ])
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let force = args.iter().any(|a| a == "--force");
+    let out_dir = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("tests/golden");
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("{out_dir}: {e}"))?;
+
+    for (name, trace) in corpus()? {
+        let path = Path::new(out_dir).join(name);
+        let bytes = trace.to_bytes();
+        if let Ok(existing) = std::fs::read(&path) {
+            if existing == bytes {
+                println!("unchanged {} ({} bytes)", path.display(), bytes.len());
+                continue;
+            }
+            if !force {
+                return Err(format!(
+                    "{} would change ({} -> {} bytes); simulator output drifted. \
+                     Rerun with --force only if the change is intentional.",
+                    path.display(),
+                    existing.len(),
+                    bytes.len()
+                ));
+            }
+        }
+        std::fs::write(&path, &bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote {} ({} bytes)", path.display(), bytes.len());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

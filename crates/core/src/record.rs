@@ -273,6 +273,12 @@ pub struct DecodeGap {
     /// Estimated number of records lost in the gap (16-byte-granule
     /// upper bound, at least one).
     pub est_records: u64,
+    /// How many records of this stream decoded successfully *before*
+    /// the gap opened. Lets an analyzer bracket the gap in time: the
+    /// gap falls between the stream's record `records_before - 1` and
+    /// record `records_before` (counting surviving records in stream
+    /// order).
+    pub records_before: u64,
     /// The decode error that opened the gap.
     pub cause: RecordError,
 }
@@ -398,6 +404,7 @@ pub fn decode_stream_lossy(bytes: &[u8], stream_core: Option<TraceCore>) -> Loss
                     offset: gap_start,
                     len,
                     est_records: (len as u64).div_ceil(16).max(1),
+                    records_before: out.records.len() as u64,
                     cause,
                 });
                 off = cand;
@@ -540,6 +547,9 @@ mod tests {
         assert!(matches!(lossy.gaps[0].cause, RecordError::ZeroLength));
         assert!(lossy.gap_bytes() > 0);
         assert!(lossy.est_lost_records() >= 1);
+        // One record survived before the gap, so the gap sits between
+        // surviving records 0 and 1.
+        assert_eq!(lossy.gaps[0].records_before, 1);
         // Records before and after the gap survive.
         assert_eq!(lossy.records.first().unwrap().timestamp, 5000);
         assert_eq!(lossy.records.last().unwrap().timestamp, 4099);

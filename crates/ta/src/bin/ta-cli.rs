@@ -12,7 +12,17 @@
 //! ta-cli loss     TRACE              decode-gap / drop accounting (CSV)
 //! ta-cli occupancy TRACE             MFC queue depth per SPE
 //! ta-cli causality TRACE             cross-core order check + skew estimate
+//! ta-cli query    TRACE [--from T] [--to T] [--core C]... [--code E]...
+//!                 [--group G]... [--summary]
+//!                                    indexed window/filter query
 //! ```
+//!
+//! `query` runs through the session's trace index, so window and core
+//! restrictions resolve by binary search rather than a full rescan.
+//! Without `--summary` it lists the matching events; with it, it
+//! prints the window's pre-aggregated per-core event counts and
+//! per-SPE activity occupancy, flagging windows that overlap decode
+//! gaps as suspect.
 //!
 //! Ingestion is lossy by default: corrupt records become accounted
 //! decode gaps instead of hard errors, and `summary` flags SPEs whose
@@ -50,11 +60,39 @@ fn parse_core(s: &str) -> Result<TraceCore, String> {
     Err(format!("bad core {s:?} (expected speN or ppeN)"))
 }
 
+fn parse_code(s: &str) -> Result<pdt::EventCode, String> {
+    (0..=u16::MAX)
+        .filter_map(pdt::EventCode::from_raw)
+        .find(|c| c.name() == s)
+        .ok_or_else(|| format!("unknown event code {s:?}"))
+}
+
+fn parse_group(s: &str) -> Result<pdt::EventGroup, String> {
+    pdt::EventGroup::ALL
+        .into_iter()
+        .find(|g| g.name() == s)
+        .ok_or_else(|| format!("unknown event group {s:?}"))
+}
+
+/// Collects every value of a repeatable `--flag VALUE` option,
+/// removing the consumed arguments.
+fn take_values(args: &mut Vec<String>, flag: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    while let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} requires a value"));
+        }
+        out.push(args.remove(i + 1));
+        args.remove(i);
+    }
+    Ok(out)
+}
+
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let strict = args.iter().any(|a| a == "--strict");
     args.retain(|a| a != "--strict");
-    let usage = "usage: ta-cli <summary|timeline|events|phases|compare|report|loss|occupancy|causality> TRACE [...] [--strict]";
+    let usage = "usage: ta-cli <summary|timeline|events|phases|compare|report|loss|occupancy|causality|query> TRACE [...] [--strict]";
     let cmd = args.first().ok_or(usage)?;
     match cmd.as_str() {
         "summary" => {
@@ -87,7 +125,7 @@ fn run() -> Result<(), String> {
                 Some(i) => {
                     let core = parse_core(args.get(i + 1).ok_or("--core requires a core")?)?;
                     let filter = EventFilter::new().on_core(core);
-                    for e in filter.apply(a.analyzed()) {
+                    for e in filter.apply(&a) {
                         println!("{},{},{},{:?}", e.time_tb, e.core, e.code.name(), e.params);
                     }
                 }
@@ -179,6 +217,70 @@ fn run() -> Result<(), String> {
                 load(after, strict)?.analyzed(),
             );
             print!("{}", c.render());
+        }
+        "query" => {
+            let summary = args.iter().any(|a| a == "--summary");
+            args.retain(|a| a != "--summary");
+            let from = take_values(&mut args, "--from")?
+                .last()
+                .map(|v| v.parse::<u64>().map_err(|_| format!("bad --from {v:?}")))
+                .transpose()?;
+            let to = take_values(&mut args, "--to")?
+                .last()
+                .map(|v| v.parse::<u64>().map_err(|_| format!("bad --to {v:?}")))
+                .transpose()?;
+            let cores = take_values(&mut args, "--core")?;
+            let codes = take_values(&mut args, "--code")?;
+            let groups = take_values(&mut args, "--group")?;
+            let path = args.get(1).ok_or(usage)?;
+            let a = load(path, strict)?;
+
+            let (t0, t1) = (
+                from.unwrap_or(0),
+                to.unwrap_or_else(|| a.index().end_tb().saturating_add(1)),
+            );
+            if summary {
+                let s = a.summarize(t0, t1);
+                println!(
+                    "window [{}, {}) over trace [{}, {}]{}",
+                    s.start_tb,
+                    s.end_tb,
+                    a.index().start_tb(),
+                    a.index().end_tb(),
+                    if s.suspect {
+                        "  ** SUSPECT: window overlaps decode loss **"
+                    } else {
+                        ""
+                    }
+                );
+                println!("{} event(s)", s.total_events());
+                for (core, n) in &s.events {
+                    println!("  {core}: {n}");
+                }
+                for w in &s.activity {
+                    let line = ta::ActivityKind::ALL
+                        .iter()
+                        .map(|&k| format!("{} {}", k.label(), w.ticks_of(k)))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    println!("  SPE{} activity (ticks): {line}", w.spe);
+                }
+                return Ok(());
+            }
+
+            let mut filter = EventFilter::new().in_window(t0, t1);
+            for c in cores {
+                filter = filter.on_core(parse_core(&c)?);
+            }
+            for c in codes {
+                filter = filter.with_code(parse_code(&c)?);
+            }
+            for g in groups {
+                filter = filter.in_group(parse_group(&g)?);
+            }
+            for e in filter.apply(&a) {
+                println!("{},{},{},{:?}", e.time_tb, e.core, e.code.name(), e.params);
+            }
         }
         "--help" | "-h" => println!("{usage}"),
         other => return Err(format!("unknown command {other:?}\n{usage}")),

@@ -17,8 +17,23 @@ pub fn events_csv(trace: &AnalyzedTrace) -> String {
 }
 
 pub(crate) fn events_csv_impl(trace: &AnalyzedTrace) -> String {
+    events_csv_rows(trace, &trace.events)
+}
+
+/// Events CSV restricted to `[t0, t1)`, rows extracted through the
+/// session's index instead of a full rescan.
+pub(crate) fn events_csv_window_impl(a: &crate::session::Analysis, t0: u64, t1: u64) -> String {
+    let trace = a.analyzed();
+    let range = a.index().global_range(&trace.events, t0, t1);
+    events_csv_rows(trace, &trace.events[range])
+}
+
+fn events_csv_rows<'a>(
+    trace: &AnalyzedTrace,
+    events: impl IntoIterator<Item = &'a crate::analyze::GlobalEvent>,
+) -> String {
     let mut out = String::from("time_tb,time_ns,core,event,params\n");
-    for e in &trace.events {
+    for e in events {
         let params = e
             .params
             .iter()
@@ -89,6 +104,29 @@ pub(crate) fn activity_csv_impl(stats: &TraceStats) -> String {
             s.mbox_wait_tb,
             s.signal_wait_tb,
             s.utilization
+        ));
+    }
+    out
+}
+
+/// Activity CSV computed from already-clipped interval sets (the
+/// windowed path): same columns as [`activity_csv_impl`], totals and
+/// utilization over each clipped window.
+pub(crate) fn activity_csv_window_impl(clipped: &[SpeIntervals]) -> String {
+    use crate::intervals::ActivityKind;
+    let mut out = String::from(
+        "spe,active_tb,compute_tb,dma_wait_tb,mbox_wait_tb,signal_wait_tb,utilization\n",
+    );
+    for s in clipped {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:.4}\n",
+            s.spe,
+            s.active(),
+            s.total(ActivityKind::Compute),
+            s.total(ActivityKind::DmaWait),
+            s.total(ActivityKind::MboxWait),
+            s.total(ActivityKind::SignalWait),
+            s.utilization()
         ));
     }
     out
@@ -189,6 +227,7 @@ mod tests {
                     offset: 16,
                     len: 32,
                     est_records: 2,
+                    records_before: 1,
                     cause: pdt::RecordError::ZeroLength,
                 }],
                 unanchored: false,

@@ -375,7 +375,10 @@ mod tests {
         let mut t = trace();
         let log = FaultInjector::new(3).inject(&mut t, &[FaultKind::Truncate]);
         let f = &log[0];
-        assert!(t.streams[f.stream].bytes.len() % 16 != 0, "cut mid-record");
+        assert!(
+            !t.streams[f.stream].bytes.len().is_multiple_of(16),
+            "cut mid-record"
+        );
     }
 
     #[test]

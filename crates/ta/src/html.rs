@@ -34,7 +34,10 @@ pub(crate) fn html_report_impl(a: &Analysis, opts: &RenderOptions) -> String {
     let trace = a.analyzed();
     let stats = a.stats();
     let title = opts.title.as_str();
-    let svg = render_svg_impl(a.timeline(), &opts.svg);
+    let svg = match opts.window {
+        Some((t0, t1)) => render_svg_impl(&a.timeline_window(t0, t1), &opts.svg),
+        None => render_svg_impl(a.timeline(), &opts.svg),
+    };
 
     // Degraded-analysis section: present whenever loss accounting ran.
     let loss = if a.loss().streams.is_empty() {

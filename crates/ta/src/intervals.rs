@@ -31,6 +31,26 @@ pub enum ActivityKind {
 }
 
 impl ActivityKind {
+    /// Every kind, in a stable order (the index into
+    /// [`ActivityKind::index`]-keyed tables).
+    pub const ALL: [ActivityKind; 4] = [
+        ActivityKind::Compute,
+        ActivityKind::DmaWait,
+        ActivityKind::MboxWait,
+        ActivityKind::SignalWait,
+    ];
+
+    /// Position of this kind in [`ActivityKind::ALL`]; a stable small
+    /// index for per-kind accumulator tables.
+    pub fn index(self) -> usize {
+        match self {
+            ActivityKind::Compute => 0,
+            ActivityKind::DmaWait => 1,
+            ActivityKind::MboxWait => 2,
+            ActivityKind::SignalWait => 3,
+        }
+    }
+
     /// Stable short label.
     pub fn label(self) -> &'static str {
         match self {

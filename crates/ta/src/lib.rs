@@ -89,6 +89,7 @@ pub mod csv;
 pub mod faults;
 pub mod histogram;
 pub mod html;
+pub mod index;
 pub mod intervals;
 pub mod loss;
 pub mod occupancy;
@@ -119,6 +120,10 @@ pub use faults::{FaultInjector, FaultKind, InjectedFault};
 pub use histogram::Log2Histogram;
 #[allow(deprecated)]
 pub use html::html_report;
+pub use index::{
+    compute_suspect_ranges, SuspectRange, TraceIndex, WindowActivity, WindowSummary,
+    MAX_BASE_BUCKETS,
+};
 pub use intervals::{build_intervals, ActivityKind, Interval, SpeIntervals};
 pub use loss::{DecodePolicy, LossReport, StreamLoss};
 pub use occupancy::{dma_occupancy, OccupancyStep, SpeOccupancy};

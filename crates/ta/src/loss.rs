@@ -172,6 +172,7 @@ mod tests {
             offset,
             len,
             est_records: (len as u64).div_ceil(16).max(1),
+            records_before: (offset / 16) as u64,
             cause: RecordError::ZeroLength,
         }
     }

@@ -36,6 +36,47 @@ pub struct SpeOccupancy {
 }
 
 impl SpeOccupancy {
+    /// Builds the summary (peak, time-weighted mean) from a step
+    /// series. The mean weights each step by the time to the next
+    /// step, so it covers the span from the first to the last step.
+    pub fn from_steps(spe: u8, steps: Vec<OccupancyStep>) -> SpeOccupancy {
+        let peak = steps.iter().map(|s| s.outstanding).max().unwrap_or(0);
+        let (mut area, mut span) = (0f64, 0u64);
+        for w in steps.windows(2) {
+            let dt = w[1].time_tb - w[0].time_tb;
+            area += w[0].outstanding as f64 * dt as f64;
+            span += dt;
+        }
+        let mean = if span == 0 { 0.0 } else { area / span as f64 };
+        SpeOccupancy {
+            spe,
+            steps,
+            peak,
+            mean,
+        }
+    }
+
+    /// Restricts the series to the half-open window `[t0, t1)` by
+    /// binary search, with a carry-in step at `t0` holding the
+    /// outstanding count in force when the window opens. Peak and mean
+    /// are recomputed over the windowed series.
+    pub fn window(&self, t0: u64, t1: u64) -> SpeOccupancy {
+        let t1 = t1.max(t0);
+        let lo = self.steps.partition_point(|s| s.time_tb < t0);
+        let hi = self.steps.partition_point(|s| s.time_tb < t1);
+        let mut steps = Vec::with_capacity(hi - lo + 1);
+        let opens_mid_series = lo > 0 && t1 > t0;
+        let first_is_at_t0 = self.steps.get(lo).is_some_and(|s| s.time_tb == t0) && lo < hi;
+        if opens_mid_series && !first_is_at_t0 {
+            steps.push(OccupancyStep {
+                time_tb: t0,
+                outstanding: self.steps[lo - 1].outstanding,
+            });
+        }
+        steps.extend_from_slice(&self.steps[lo..hi]);
+        Self::from_steps(self.spe, steps)
+    }
+
     /// Fraction of the observed span with at least `k` commands
     /// outstanding.
     pub fn fraction_at_least(&self, k: u32) -> f64 {
@@ -90,20 +131,8 @@ pub fn dma_occupancy(trace: &AnalyzedTrace) -> Vec<SpeOccupancy> {
         if steps.is_empty() {
             continue;
         }
-        // Time-weighted mean.
-        let (mut area, mut span) = (0f64, 0u64);
-        for w in steps.windows(2) {
-            let dt = w[1].time_tb - w[0].time_tb;
-            area += w[0].outstanding as f64 * dt as f64;
-            span += dt;
-        }
-        let mean = if span == 0 { 0.0 } else { area / span as f64 };
-        out.push(SpeOccupancy {
-            spe,
-            steps,
-            peak,
-            mean,
-        });
+        debug_assert_eq!(peak, steps.iter().map(|s| s.outstanding).max().unwrap_or(0));
+        out.push(SpeOccupancy::from_steps(spe, steps));
     }
     out
 }
@@ -163,6 +192,50 @@ mod tests {
         assert!((s.mean - 1.5).abs() < 1e-12);
         assert!((s.fraction_at_least(2) - 0.5).abs() < 1e-12);
         assert!((s.fraction_at_least(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_carries_in_the_outstanding_count() {
+        use EventCode::*;
+        let t = trace(vec![
+            ev(0, SpeDmaGet, vec![0, 0, 4096, 0]),
+            ev(10, SpeDmaGet, vec![0, 0, 4096, 1]),
+            ev(20, SpeTagWaitEnd, vec![0b01]),
+            ev(30, SpeDmaPut, vec![0, 0, 4096, 1]),
+            ev(40, SpeTagWaitEnd, vec![0b10]),
+        ]);
+        let full = &dma_occupancy(&t)[0];
+        // Window opening mid-series: carry-in step at t0 with the
+        // count in force (2 from the step at t=10).
+        let w = full.window(15, 40);
+        let series: Vec<(u64, u32)> = w.steps.iter().map(|x| (x.time_tb, x.outstanding)).collect();
+        assert_eq!(series, vec![(15, 2), (20, 1), (30, 2)]);
+        assert_eq!(w.peak, 2);
+        // Window starting exactly on a step: no duplicate carry-in.
+        let exact = full.window(10, 40);
+        assert_eq!(
+            exact.steps[0],
+            OccupancyStep {
+                time_tb: 10,
+                outstanding: 2
+            }
+        );
+        assert_eq!(exact.steps.len(), 3);
+        // Degenerate windows are empty.
+        assert!(full.window(15, 15).steps.is_empty());
+        assert!(full.window(30, 20).steps.is_empty());
+        // Past the series end the last count (0 here) carries forward.
+        let past = full.window(100, 200);
+        assert_eq!(
+            past.steps,
+            vec![OccupancyStep {
+                time_tb: 100,
+                outstanding: 0
+            }]
+        );
+        assert_eq!(past.peak, 0);
+        // Full-span window reproduces the series.
+        assert_eq!(full.window(0, u64::MAX), *full);
     }
 
     #[test]

@@ -2,13 +2,22 @@
 //!
 //! The Trace Analyzer's interactive views are zoom-and-filter
 //! operations over the event list; [`EventFilter`] is the programmatic
-//! equivalent.
+//! equivalent. Application routes through the session's
+//! [`TraceIndex`](crate::index::TraceIndex), so window and core
+//! restrictions resolve by binary search instead of a full rescan; the
+//! historical linear scan survives as the deprecated, feature-gated
+//! [`apply_scan`](EventFilter::apply_scan) oracle.
 
 use pdt::{EventCode, EventGroup, TraceCore};
 
-use crate::analyze::{AnalyzedTrace, GlobalEvent};
+use crate::analyze::GlobalEvent;
+use crate::session::Analysis;
 
-/// A composable event filter (builder style; all criteria are ANDed).
+#[cfg(feature = "scan-oracle")]
+use crate::analyze::AnalyzedTrace;
+
+/// A composable event filter (builder style; all criteria are ANDed,
+/// repeated values within one criterion are ORed).
 #[derive(Debug, Clone, Default)]
 pub struct EventFilter {
     window: Option<(u64, u64)>,
@@ -47,7 +56,28 @@ impl EventFilter {
         self
     }
 
-    /// Whether `event` passes the filter.
+    /// The half-open time window, if restricted.
+    pub fn window(&self) -> Option<(u64, u64)> {
+        self.window
+    }
+
+    /// The core restriction, if any.
+    pub fn cores(&self) -> Option<&[TraceCore]> {
+        self.cores.as_deref()
+    }
+
+    /// The event-code restriction, if any.
+    pub fn codes(&self) -> Option<&[EventCode]> {
+        self.codes.as_deref()
+    }
+
+    /// The event-group restriction, if any.
+    pub fn groups(&self) -> Option<&[EventGroup]> {
+        self.groups.as_deref()
+    }
+
+    /// Whether `event` passes the filter. The window is half-open:
+    /// `start_tb` is included, `end_tb` is not.
     pub fn matches(&self, event: &GlobalEvent) -> bool {
         if let Some((s, e)) = self.window {
             if event.time_tb < s || event.time_tb >= e {
@@ -72,8 +102,20 @@ impl EventFilter {
         true
     }
 
-    /// Applies the filter to a trace, preserving order.
-    pub fn apply<'a>(&self, trace: &'a AnalyzedTrace) -> Vec<&'a GlobalEvent> {
+    /// Applies the filter through the session's
+    /// [`TraceIndex`](crate::index::TraceIndex), preserving global
+    /// order: window bounds resolve by binary search and core
+    /// restrictions walk only the named cores' offset lists, so cost
+    /// is O(log n + matches) rather than O(trace).
+    pub fn apply<'a>(&self, analysis: &'a Analysis) -> Vec<&'a GlobalEvent> {
+        analysis.query(self)
+    }
+
+    /// Applies the filter by linear scan — the pre-index behavior,
+    /// kept as the differential oracle for the indexed path.
+    #[cfg(feature = "scan-oracle")]
+    #[deprecated(note = "use `EventFilter::apply` (index-backed) or `Analysis::query`")]
+    pub fn apply_scan<'a>(&self, trace: &'a AnalyzedTrace) -> Vec<&'a GlobalEvent> {
         trace.events.iter().filter(|e| self.matches(e)).collect()
     }
 }
@@ -81,6 +123,7 @@ impl EventFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analyze::AnalyzedTrace;
     use pdt::{TraceHeader, VERSION};
 
     fn trace() -> AnalyzedTrace {
@@ -116,47 +159,94 @@ mod tests {
         }
     }
 
+    fn session() -> Analysis {
+        Analysis::from_analyzed(trace())
+    }
+
     #[test]
     fn window_is_half_open() {
-        let t = trace();
-        let got = EventFilter::new().in_window(10, 30).apply(&t);
+        let a = session();
+        let got = EventFilter::new().in_window(10, 30).apply(&a);
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].time_tb, 10);
         assert_eq!(got[1].time_tb, 20);
     }
 
     #[test]
+    fn window_edges_include_start_exclude_end() {
+        // Regression: an event exactly at `end_tb` must be excluded
+        // and one exactly at `start_tb` included, on both paths.
+        let a = session();
+        let f = EventFilter::new().in_window(10, 50);
+        let indexed = f.apply(&a);
+        assert!(indexed.iter().any(|e| e.time_tb == 10), "start included");
+        assert!(indexed.iter().all(|e| e.time_tb != 50), "end excluded");
+        assert_eq!(indexed.len(), 3);
+        #[cfg(feature = "scan-oracle")]
+        {
+            #[allow(deprecated)]
+            let scanned = f.apply_scan(a.analyzed());
+            assert_eq!(indexed, scanned);
+            assert!(scanned.iter().any(|e| e.time_tb == 10));
+            assert!(scanned.iter().all(|e| e.time_tb != 50));
+        }
+    }
+
+    #[test]
     fn core_filter_composes_with_group() {
-        let t = trace();
+        let a = session();
         let got = EventFilter::new()
             .on_core(TraceCore::Spe(1))
             .in_group(EventGroup::SpeMbox)
-            .apply(&t);
+            .apply(&a);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].time_tb, 30);
     }
 
     #[test]
     fn code_filter_exact() {
-        let t = trace();
-        let got = EventFilter::new().with_code(EventCode::SpeUser).apply(&t);
+        let a = session();
+        let got = EventFilter::new().with_code(EventCode::SpeUser).apply(&a);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].core, TraceCore::Spe(1));
     }
 
     #[test]
     fn empty_filter_matches_all() {
-        let t = trace();
-        assert_eq!(EventFilter::new().apply(&t).len(), t.events.len());
+        let a = session();
+        assert_eq!(EventFilter::new().apply(&a).len(), a.events().len());
     }
 
     #[test]
     fn multiple_cores_are_ored() {
-        let t = trace();
+        let a = session();
         let got = EventFilter::new()
             .on_core(TraceCore::Spe(0))
             .on_core(TraceCore::Spe(1))
-            .apply(&t);
+            .apply(&a);
         assert_eq!(got.len(), 4);
+    }
+
+    #[cfg(feature = "scan-oracle")]
+    #[test]
+    #[allow(deprecated)]
+    fn indexed_apply_equals_scan_for_every_filter_shape() {
+        let a = session();
+        for f in [
+            EventFilter::new(),
+            EventFilter::new().in_window(0, 0),
+            EventFilter::new().in_window(50, 10),
+            EventFilter::new().in_window(0, u64::MAX),
+            EventFilter::new()
+                .in_window(11, 30)
+                .on_core(TraceCore::Spe(0)),
+            EventFilter::new()
+                .on_core(TraceCore::Ppe(0))
+                .on_core(TraceCore::Spe(1))
+                .in_group(EventGroup::SpeMbox),
+            EventFilter::new().with_code(EventCode::SpeMboxReadBegin),
+        ] {
+            assert_eq!(f.apply(&a), f.apply_scan(a.analyzed()), "filter {f:?}");
+        }
     }
 }

@@ -69,6 +69,11 @@ pub struct RenderOptions {
     pub ascii_width: usize,
     /// Which CSV table to emit.
     pub csv: CsvTable,
+    /// Optional half-open time window `[start_tb, end_tb)`. When set,
+    /// every exporter renders only that window, resolved through the
+    /// session's [`TraceIndex`](crate::index::TraceIndex) (the loss
+    /// table, which is per-stream rather than per-time, ignores it).
+    pub window: Option<(u64, u64)>,
 }
 
 impl Default for RenderOptions {
@@ -78,6 +83,7 @@ impl Default for RenderOptions {
             svg: SvgOptions::default(),
             ascii_width: 100,
             csv: CsvTable::default(),
+            window: None,
         }
     }
 }
@@ -106,6 +112,12 @@ impl RenderOptions {
         self.csv = table;
         self
     }
+
+    /// Restricts rendering to the half-open window `[start_tb, end_tb)`.
+    pub fn with_window(mut self, start_tb: u64, end_tb: u64) -> Self {
+        self.window = Some((start_tb, end_tb));
+        self
+    }
 }
 
 /// One exporter behind the unified interface.
@@ -132,18 +144,28 @@ pub struct AsciiReport;
 
 impl Report for CsvReport {
     fn render(&self, a: &Analysis, opts: &RenderOptions) -> String {
-        match opts.csv {
-            CsvTable::Events => crate::csv::events_csv_impl(a.analyzed()),
-            CsvTable::Intervals => crate::csv::intervals_csv_impl(a.intervals()),
-            CsvTable::Activity => crate::csv::activity_csv_impl(a.stats()),
-            CsvTable::Loss => crate::csv::loss_csv(a.loss()),
+        match (opts.csv, opts.window) {
+            (CsvTable::Events, None) => crate::csv::events_csv_impl(a.analyzed()),
+            (CsvTable::Events, Some((t0, t1))) => crate::csv::events_csv_window_impl(a, t0, t1),
+            (CsvTable::Intervals, None) => crate::csv::intervals_csv_impl(a.intervals()),
+            (CsvTable::Intervals, Some((t0, t1))) => {
+                crate::csv::intervals_csv_impl(&a.intervals_window(t0, t1))
+            }
+            (CsvTable::Activity, None) => crate::csv::activity_csv_impl(a.stats()),
+            (CsvTable::Activity, Some((t0, t1))) => {
+                crate::csv::activity_csv_window_impl(&a.intervals_window(t0, t1))
+            }
+            (CsvTable::Loss, _) => crate::csv::loss_csv(a.loss()),
         }
     }
 }
 
 impl Report for SvgReport {
     fn render(&self, a: &Analysis, opts: &RenderOptions) -> String {
-        crate::svg::render_svg_impl(a.timeline(), &opts.svg)
+        match opts.window {
+            Some((t0, t1)) => crate::svg::render_svg_impl(&a.timeline_window(t0, t1), &opts.svg),
+            None => crate::svg::render_svg_impl(a.timeline(), &opts.svg),
+        }
     }
 }
 
@@ -155,7 +177,12 @@ impl Report for HtmlReport {
 
 impl Report for AsciiReport {
     fn render(&self, a: &Analysis, opts: &RenderOptions) -> String {
-        crate::ascii::render_ascii_impl(a.timeline(), opts.ascii_width)
+        match opts.window {
+            Some((t0, t1)) => {
+                crate::ascii::render_ascii_impl(&a.timeline_window(t0, t1), opts.ascii_width)
+            }
+            None => crate::ascii::render_ascii_impl(a.timeline(), opts.ascii_width),
+        }
     }
 }
 

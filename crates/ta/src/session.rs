@@ -38,6 +38,7 @@ use std::sync::OnceLock;
 use pdt::TraceFile;
 
 use crate::analyze::{AnalyzeError, AnalyzedTrace, GlobalEvent};
+use crate::index::{TraceIndex, WindowSummary};
 use crate::intervals::{build_intervals, SpeIntervals};
 use crate::loss::{DecodePolicy, LossReport};
 use crate::occupancy::{dma_occupancy, SpeOccupancy};
@@ -46,9 +47,12 @@ use crate::phases::{user_phases, PhaseReport};
 use crate::query::EventFilter;
 use crate::report::{RenderOptions, ReportKind};
 use crate::stats::{compute_stats_with, TraceStats};
+use crate::stats::{observe_dma_over, DmaSummary};
 use crate::summary::render_summary_with;
 use crate::svg::SvgOptions;
-use crate::timeline::{build_timeline_with, Timeline};
+use crate::timeline::{build_timeline_where, build_timeline_with, Timeline};
+
+use pdt::TraceCore;
 
 /// Configures and launches an [`Analysis`]; created by
 /// [`Analysis::of`].
@@ -119,6 +123,7 @@ impl AnalysisBuilder<'_> {
         }
         let mut a = Analysis::from_analyzed(analyzed);
         a.loss = loss;
+        a.threads = threads;
         Ok(a)
     }
 }
@@ -129,11 +134,13 @@ impl AnalysisBuilder<'_> {
 pub struct Analysis {
     analyzed: AnalyzedTrace,
     loss: LossReport,
+    threads: usize,
     intervals: OnceLock<Vec<SpeIntervals>>,
     stats: OnceLock<TraceStats>,
     timeline: OnceLock<Timeline>,
     occupancy: OnceLock<Vec<SpeOccupancy>>,
     phases: OnceLock<PhaseReport>,
+    index: OnceLock<TraceIndex>,
 }
 
 impl Analysis {
@@ -154,11 +161,13 @@ impl Analysis {
         Self {
             analyzed,
             loss: LossReport::default(),
+            threads: 1,
             intervals: OnceLock::new(),
             stats: OnceLock::new(),
             timeline: OnceLock::new(),
             occupancy: OnceLock::new(),
             phases: OnceLock::new(),
+            index: OnceLock::new(),
         }
     }
 
@@ -206,6 +215,67 @@ impl Analysis {
     /// User-marked phase report.
     pub fn phases(&self) -> &PhaseReport {
         self.phases.get_or_init(|| user_phases(&self.analyzed))
+    }
+
+    /// The query index: per-core binary-searchable event offsets, an
+    /// interval tree per SPE and the zoom pyramid of pre-aggregated
+    /// buckets. Built once (in parallel, with the session's ingestion
+    /// worker count) and memoized like the other products.
+    pub fn index(&self) -> &TraceIndex {
+        self.index.get_or_init(|| {
+            TraceIndex::build_parallel(&self.analyzed, self.intervals(), &self.loss, self.threads)
+        })
+    }
+
+    /// Applies `filter` through the [index](Self::index): window
+    /// bounds resolve by binary search and core restrictions walk only
+    /// the named cores' offset lists. Result order and content are
+    /// identical to a linear scan.
+    pub fn query(&self, filter: &EventFilter) -> Vec<&GlobalEvent> {
+        self.index().query(&self.analyzed, filter)
+    }
+
+    /// Exact aggregate of the half-open window `[start_tb, end_tb)`:
+    /// per-core event counts, per-SPE activity occupancy and the
+    /// gap-suspicion flag, resolved from ~O(levels) pyramid bucket
+    /// reads plus two exact edge buckets.
+    pub fn summarize(&self, start_tb: u64, end_tb: u64) -> WindowSummary {
+        self.index().summarize(&self.analyzed, start_tb, end_tb)
+    }
+
+    /// Every SPE's activity intervals clipped to `[start_tb, end_tb)`
+    /// via the interval tree — identical to
+    /// [`SpeIntervals::clip`] on the full sets.
+    pub fn intervals_window(&self, start_tb: u64, end_tb: u64) -> Vec<SpeIntervals> {
+        self.index().clip_all(start_tb, end_tb)
+    }
+
+    /// The timeline model restricted to `[start_tb, end_tb)`: the same
+    /// lane set as [`timeline`](Self::timeline), with segments clipped
+    /// by the interval tree and markers extracted by binary search.
+    pub fn timeline_window(&self, start_tb: u64, end_tb: u64) -> Timeline {
+        build_timeline_where(&self.analyzed, self.index(), start_tb, end_tb)
+    }
+
+    /// Outstanding-DMA occupancy restricted to `[start_tb, end_tb)`,
+    /// derived from the memoized full series by binary search with a
+    /// carry-in step at the window start.
+    pub fn occupancy_window(&self, start_tb: u64, end_tb: u64) -> Vec<SpeOccupancy> {
+        self.occupancy()
+            .iter()
+            .map(|o| o.window(start_tb, end_tb))
+            .collect()
+    }
+
+    /// DMA traffic observed within `[start_tb, end_tb)`: commands
+    /// issued in the window, completions only when the covering tag
+    /// wait also falls inside it. Events are extracted through the
+    /// index.
+    pub fn dma_window(&self, start_tb: u64, end_tb: u64) -> DmaSummary {
+        let idx = self.index();
+        observe_dma_over(self.analyzed.spes(), |spe| {
+            idx.core_events_in(&self.analyzed.events, TraceCore::Spe(spe), start_tb, end_tb)
+        })
     }
 
     /// Renders the session through the unified [`Report`] interface —
@@ -363,6 +433,108 @@ mod tests {
             .iter()
             .all(|e| e.core == TraceCore::Spe(0)));
         assert_eq!(only_spe0.stats().spes.len(), 1);
+    }
+
+    #[test]
+    fn index_is_memoized_and_query_matches_scan() {
+        let t = trace(3);
+        let a = Analysis::of(&t).threads(4).run().unwrap();
+        let i1: *const _ = a.index();
+        let i2: *const _ = a.index();
+        assert_eq!(i1, i2);
+        let f = EventFilter::new()
+            .in_window(0, u64::MAX)
+            .on_core(TraceCore::Spe(1));
+        let indexed = a.query(&f);
+        let scanned: Vec<_> = a.events().iter().filter(|e| f.matches(e)).collect();
+        assert_eq!(indexed, scanned);
+        assert_eq!(f.apply(&a), scanned);
+    }
+
+    #[test]
+    fn windowed_products_agree_with_full_recomputation() {
+        let t = trace(2);
+        let a = Analysis::of(&t).run().unwrap();
+        let (t0, t1) = {
+            let s = a.index().start_tb();
+            let e = a.index().end_tb();
+            (s + (e - s) / 4, s + 3 * (e - s) / 4)
+        };
+
+        // Clipped intervals equal SpeIntervals::clip on the full sets.
+        let clipped = a.intervals_window(t0, t1);
+        let expect: Vec<_> = a.intervals().iter().map(|iv| iv.clip(t0, t1)).collect();
+        assert_eq!(clipped, expect);
+
+        // The windowed timeline keeps the lane set and clips content.
+        let tl = a.timeline_window(t0, t1);
+        assert_eq!(tl.lanes.len(), a.timeline().lanes.len());
+        assert_eq!((tl.start_tb, tl.end_tb), (t0, t1));
+        for (lane, full) in tl.lanes.iter().zip(&a.timeline().lanes) {
+            assert_eq!(lane.label, full.label);
+            assert!(lane
+                .markers
+                .iter()
+                .all(|m| m.time_tb >= t0 && m.time_tb < t1));
+            assert!(lane
+                .segments
+                .iter()
+                .all(|s| s.start_tb >= t0 && s.end_tb <= t1));
+        }
+
+        // Windowed summary equals the brute-force oracle.
+        #[cfg(feature = "scan-oracle")]
+        {
+            let oracle = crate::index::oracle::window_summary(
+                a.analyzed(),
+                a.intervals(),
+                a.index().suspect_ranges(),
+                t0,
+                t1,
+            );
+            assert_eq!(a.summarize(t0, t1), oracle);
+        }
+
+        // Windowed DMA equals the matcher run over scan-filtered events.
+        let dma = a.dma_window(t0, t1);
+        let scan_dma = crate::stats::observe_dma_over(a.analyzed().spes(), |spe| {
+            a.events()
+                .iter()
+                .filter(move |e| e.core == TraceCore::Spe(spe) && e.time_tb >= t0 && e.time_tb < t1)
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(dma, scan_dma);
+
+        // Windowed occupancy derives from the memoized full series.
+        let occ = a.occupancy_window(t0, t1);
+        assert_eq!(occ.len(), a.occupancy().len());
+        for (w, full) in occ.iter().zip(a.occupancy()) {
+            assert_eq!(*w, full.window(t0, t1));
+        }
+    }
+
+    #[test]
+    fn windowed_renders_dispatch_through_reports() {
+        let t = trace(2);
+        let a = Analysis::of(&t).run().unwrap();
+        let (s, e) = (a.index().start_tb(), a.index().end_tb());
+        let mid = (s + e) / 2;
+        let opts = RenderOptions::default().with_window(s, mid);
+        // Windowed events CSV holds exactly the in-window rows.
+        let csv = a.render(ReportKind::Csv, &opts);
+        let full_csv = a.render(ReportKind::Csv, &RenderOptions::default());
+        assert!(csv.lines().count() < full_csv.lines().count());
+        let in_window = a.query(&EventFilter::new().in_window(s, mid)).len();
+        assert_eq!(csv.lines().count(), in_window + 1, "header + rows");
+        // The other exporters accept the window too.
+        assert!(a
+            .render(
+                ReportKind::Svg,
+                &opts.clone().with_svg(SvgOptions::default())
+            )
+            .contains("</svg>"));
+        assert!(a.render(ReportKind::Html, &opts).contains("</html>"));
+        assert!(!a.render(ReportKind::Ascii, &opts).is_empty());
     }
 
     #[test]

@@ -208,11 +208,24 @@ pub fn compute_stats_with(trace: &AnalyzedTrace, intervals: &[SpeIntervals]) -> 
 /// Matches DMA issue records to the tag waits that observe their
 /// completion.
 pub fn observe_dma(trace: &AnalyzedTrace) -> DmaSummary {
+    observe_dma_over(trace.spes(), |spe| trace.core_events(TraceCore::Spe(spe)))
+}
+
+/// [`observe_dma`] generalized over the event source, so the full-
+/// trace path and the index-backed windowed path
+/// ([`Analysis::dma_window`](crate::session::Analysis::dma_window))
+/// share one matching algorithm: `events_of(spe)` yields that SPE's
+/// events in time order, and only what it yields is observed.
+pub fn observe_dma_over<'a, S, I>(spes: S, mut events_of: impl FnMut(u8) -> I) -> DmaSummary
+where
+    S: IntoIterator<Item = u8>,
+    I: IntoIterator<Item = &'a crate::analyze::GlobalEvent>,
+{
     let mut summary = DmaSummary::default();
-    for spe in trace.spes() {
+    for spe in spes {
         // Outstanding command indices per tag.
         let mut outstanding: HashMap<u8, Vec<usize>> = HashMap::new();
-        for e in trace.core_events(TraceCore::Spe(spe)) {
+        for e in events_of(spe) {
             match e.code {
                 EventCode::SpeDmaGet | EventCode::SpeDmaPut => {
                     let is_get = e.code == EventCode::SpeDmaGet;

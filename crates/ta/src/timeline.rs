@@ -7,6 +7,7 @@
 use pdt::{EventCode, TraceCore};
 
 use crate::analyze::AnalyzedTrace;
+use crate::index::TraceIndex;
 use crate::intervals::{build_intervals, ActivityKind, SpeIntervals};
 
 /// A colored activity segment on a lane.
@@ -61,7 +62,7 @@ impl Timeline {
 }
 
 /// Which point events become markers.
-fn is_marker(core: TraceCore, code: EventCode) -> bool {
+pub(crate) fn is_marker(core: TraceCore, code: EventCode) -> bool {
     match core {
         TraceCore::Ppe(_) => true, // every PPE call is a marker
         TraceCore::Spe(_) => matches!(
@@ -153,6 +154,81 @@ pub fn build_timeline_with(trace: &AnalyzedTrace, intervals: &[SpeIntervals]) ->
     Timeline {
         start_tb,
         end_tb,
+        lanes,
+    }
+}
+
+/// Builds the timeline model restricted to the half-open window
+/// `[t0, t1)`, extracting markers and clipping segments through the
+/// session's [`TraceIndex`] instead of rescanning the trace. The lane
+/// set and labels match [`build_timeline_with`] on the full trace;
+/// only each lane's content is windowed.
+pub(crate) fn build_timeline_where(
+    trace: &AnalyzedTrace,
+    index: &TraceIndex,
+    t0: u64,
+    t1: u64,
+) -> Timeline {
+    let mut lanes = Vec::new();
+    let marker_of = |e: &crate::analyze::GlobalEvent| Marker {
+        time_tb: e.time_tb,
+        code: e.code,
+    };
+
+    let mut ppe_threads: Vec<u8> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e.core {
+            TraceCore::Ppe(t) => Some(t),
+            TraceCore::Spe(_) => None,
+        })
+        .collect();
+    ppe_threads.sort_unstable();
+    ppe_threads.dedup();
+    for t in ppe_threads {
+        let core = TraceCore::Ppe(t);
+        lanes.push(Lane {
+            label: format!("PPE.{t}"),
+            core,
+            segments: Vec::new(),
+            markers: index
+                .core_events_in(&trace.events, core, t0, t1)
+                .map(marker_of)
+                .collect(),
+        });
+    }
+
+    for spe in index.spes().collect::<Vec<_>>() {
+        let core = TraceCore::Spe(spe);
+        let ctx = trace.anchors.iter().find(|a| a.spe == spe).map(|a| a.ctx);
+        let label = match ctx.and_then(|c| trace.ctx_name(c)) {
+            Some(name) => format!("SPE{spe} ({name})"),
+            None => format!("SPE{spe}"),
+        };
+        let clipped = index.clip(spe, t0, t1).expect("lane exists");
+        lanes.push(Lane {
+            label,
+            core,
+            segments: clipped
+                .intervals
+                .iter()
+                .map(|i| Segment {
+                    start_tb: i.start_tb,
+                    end_tb: i.end_tb,
+                    kind: i.kind,
+                })
+                .collect(),
+            markers: index
+                .core_events_in(&trace.events, core, t0, t1)
+                .filter(|e| is_marker(core, e.code))
+                .map(marker_of)
+                .collect(),
+        });
+    }
+
+    Timeline {
+        start_tb: t0,
+        end_tb: t1.max(t0),
         lanes,
     }
 }

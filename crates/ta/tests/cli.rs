@@ -117,6 +117,84 @@ fn summary_timeline_events_phases_and_compare() {
 }
 
 #[test]
+fn query_lists_summarizes_and_filters() {
+    let dir = std::env::temp_dir().join(format!("ta-cli-query-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("q.pdt");
+    make_trace(&trace, 40_000);
+    let path = trace.to_str().unwrap();
+
+    // Unbounded query lists every event, one CSV-ish line each.
+    let (ok, all) = cli(&["query", path]);
+    assert!(ok, "{all}");
+    let total = all.lines().count();
+    assert!(total > 10, "suspiciously few events:\n{all}");
+    assert!(all.contains("SPE0"), "{all}");
+    assert!(all.contains("SPE1"), "{all}");
+
+    // --core restricts to that core's events only.
+    let (ok, spe1) = cli(&["query", path, "--core", "spe1"]);
+    assert!(ok, "{spe1}");
+    assert!(spe1.lines().count() < total, "{spe1}");
+    assert!(!spe1.contains("SPE0"), "{spe1}");
+
+    // --from/--to give a half-open window: splitting the span at an
+    // event's timestamp puts that event in the right half only.
+    let probe: u64 = all
+        .lines()
+        .nth(total / 2)
+        .and_then(|l| l.split(',').next())
+        .and_then(|t| t.parse().ok())
+        .expect("event line starts with a timestamp");
+    let (ok, lo) = cli(&["query", path, "--to", &probe.to_string()]);
+    assert!(ok, "{lo}");
+    let (ok, hi) = cli(&["query", path, "--from", &probe.to_string()]);
+    assert!(ok, "{hi}");
+    assert!(
+        !lo.lines().any(|l| l.starts_with(&format!("{probe},"))),
+        "{lo}"
+    );
+    assert!(
+        hi.lines().any(|l| l.starts_with(&format!("{probe},"))),
+        "{hi}"
+    );
+    assert_eq!(lo.lines().count() + hi.lines().count(), total);
+
+    // --code keeps only the named event code.
+    let (ok, user) = cli(&["query", path, "--code", "spe-user"]);
+    assert!(ok, "{user}");
+    assert!(user.lines().count() > 0, "{user}");
+    assert!(user.lines().all(|l| l.contains("spe-user")), "{user}");
+
+    // --summary prints aggregated counts and per-SPE activity; this
+    // trace decodes clean, so no suspect marker.
+    let (ok, sum) = cli(&["query", path, "--summary"]);
+    assert!(ok, "{sum}");
+    assert!(sum.contains("event(s)"), "{sum}");
+    assert!(sum.contains("activity (ticks)"), "{sum}");
+    assert!(!sum.contains("SUSPECT"), "{sum}");
+    let counted: u64 = sum
+        .lines()
+        .find_map(|l| {
+            l.trim()
+                .strip_suffix(" event(s)")
+                .and_then(|n| n.parse().ok())
+        })
+        .expect("summary total line");
+    assert_eq!(counted as usize, total, "{sum}");
+
+    // Bad flags fail with a useful message.
+    let (ok, text) = cli(&["query", path, "--core", "gpu0"]);
+    assert!(!ok);
+    assert!(text.contains("bad core"), "{text}");
+    let (ok, text) = cli(&["query", path, "--code", "NOT_A_CODE"]);
+    assert!(!ok);
+    assert!(text.contains("unknown event code"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_reports_errors_cleanly() {
     let (ok, text) = cli(&["summary", "/nonexistent/trace.pdt"]);
     assert!(!ok);

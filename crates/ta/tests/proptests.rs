@@ -206,6 +206,107 @@ proptest! {
         }
     }
 
+    #[cfg(feature = "scan-oracle")]
+    #[test]
+    fn index_queries_equal_brute_force(
+        trace in arb_trace(),
+        windows in prop::collection::vec((0u64..40_000, 0u64..40_000), 1..8),
+        stabs in prop::collection::vec(0u64..40_000, 1..8),
+    ) {
+        let a = ta::Analysis::of(&trace).run().unwrap();
+        let idx = a.index();
+        let intervals = a.intervals();
+        let suspects = idx.suspect_ranges();
+        let end = idx.end_tb();
+        // Deliberately include degenerate shapes alongside the random
+        // ones: zero-length windows, windows past the trace end, and
+        // the full span.
+        let mut cases: Vec<(u64, u64)> = windows;
+        cases.extend([
+            (0, 0),
+            (end / 2, end / 2),
+            (end + 1, end + 10_000),
+            (0, u64::MAX),
+            (end, end + 1),
+        ]);
+        for (t0, t1) in cases {
+            // Aggregation: pyramid + exact edges == full rescan.
+            let fast = a.summarize(t0, t1);
+            let slow = ta::index::oracle::window_summary(
+                a.analyzed(), intervals, suspects, t0, t1,
+            );
+            prop_assert_eq!(&fast, &slow, "summary [{}, {})", t0, t1);
+            // Filtered extraction == linear scan, windowed and per-core.
+            let f = ta::EventFilter::new().in_window(t0, t1);
+            let scan: Vec<_> = a.events().iter().filter(|e| f.matches(e)).collect();
+            prop_assert_eq!(a.query(&f), scan, "query [{}, {})", t0, t1);
+            for spe in a.analyzed().spes() {
+                let fc = ta::EventFilter::new().in_window(t0, t1).on_core(TraceCore::Spe(spe));
+                let scan: Vec<_> = a.events().iter().filter(|e| fc.matches(e)).collect();
+                prop_assert_eq!(a.query(&fc), scan, "query spe{} [{}, {})", spe, t0, t1);
+            }
+            // Range clipping through the tree == SpeIntervals::clip.
+            let clipped = a.intervals_window(t0, t1);
+            let expect: Vec<_> = intervals.iter().map(|iv| iv.clip(t0, t1)).collect();
+            prop_assert_eq!(clipped, expect, "clip [{}, {})", t0, t1);
+        }
+        // Stabbing == linear search of the full interval sets.
+        for t in stabs {
+            for iv in intervals {
+                prop_assert_eq!(
+                    idx.stab(iv.spe, t),
+                    ta::index::oracle::stab(intervals, iv.spe, t),
+                    "stab spe{} @ {}", iv.spe, t
+                );
+            }
+        }
+    }
+
+    #[cfg(feature = "scan-oracle")]
+    #[test]
+    fn index_queries_equal_brute_force_on_damaged_traces(
+        trace in arb_trace(),
+        seed in 0u64..1_000,
+        nmodes in 1usize..=5,
+        windows in prop::collection::vec((0u64..40_000, 0u64..40_000), 1..6),
+    ) {
+        let mut damaged = trace.clone();
+        ta::FaultInjector::new(seed).inject(&mut damaged, &ta::FaultKind::ALL[..nmodes]);
+        let a = ta::Analysis::of(&damaged).run().unwrap();
+        let idx = a.index();
+        let intervals = a.intervals();
+        let suspects = idx.suspect_ranges();
+        // Gap-derived suspect ranges bracket real time: each sits
+        // inside the (extended) trace span.
+        for r in suspects {
+            prop_assert!(r.start_tb < r.end_tb);
+            prop_assert!(r.end_tb <= idx.end_tb().saturating_add(1));
+        }
+        let end = idx.end_tb();
+        let mut cases: Vec<(u64, u64)> = windows;
+        // Gap-spanning windows: one window per suspect range that
+        // straddles it, plus degenerate shapes.
+        cases.extend(
+            suspects
+                .iter()
+                .map(|r| (r.start_tb.saturating_sub(1), r.end_tb.saturating_add(1))),
+        );
+        cases.extend([(0, 0), (0, u64::MAX), (end + 1, end + 5)]);
+        for (t0, t1) in cases {
+            let fast = a.summarize(t0, t1);
+            let slow = ta::index::oracle::window_summary(
+                a.analyzed(), intervals, suspects, t0, t1,
+            );
+            prop_assert_eq!(&fast, &slow, "summary [{}, {}) on damaged trace", t0, t1);
+            // A window overlapping a suspect range must be flagged.
+            let overlap = suspects.iter().any(|r| r.overlaps(t0, t1));
+            prop_assert_eq!(fast.suspect, overlap);
+            let f = ta::EventFilter::new().in_window(t0, t1);
+            let scan: Vec<_> = a.events().iter().filter(|e| f.matches(e)).collect();
+            prop_assert_eq!(a.query(&f), scan);
+        }
+    }
+
     #[test]
     fn window_clipping_conserves_ticks(
         trace in arb_trace(),

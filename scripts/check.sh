@@ -13,10 +13,22 @@ cargo clippy --workspace -- -D warnings
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
+echo "== golden differential suite =="
+# Replays the seeded corpus in tests/golden/ through the trace index
+# and the naive-scan oracle; any divergence (including the suspect
+# flag on the fault-injected trace) fails the gate.
+cargo test -q --test golden_queries
+
 echo "== fault-injection smoke (3 seeds) =="
 # Injects every corruption mode into a real trace and asserts the lossy
 # decoder terminates, serial == parallel, and the loss accounting
 # matches the damage dealt (fault_smoke exits nonzero otherwise).
 cargo run -q -p bench --bin fault_smoke -- 1 2 3
+
+echo "== indexed-query smoke (1 size point) =="
+# Asserts index == oracle on a window matrix and that the indexed
+# window query beats the naive rescan by >= 5x (exits nonzero on
+# divergence or a speedup miss).
+cargo run -q --release -p bench --bin query_smoke
 
 echo "all checks passed"

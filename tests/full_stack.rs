@@ -142,14 +142,10 @@ fn group_masks_filter_the_trace() {
         1,
         TracingConfig::default().with_groups(GroupMask::dma_only()),
     );
-    let analyzed = analyze(&trace).unwrap();
-    let mbox = EventFilter::new()
-        .in_group(EventGroup::SpeMbox)
-        .apply(&analyzed);
+    let a = Analysis::of(&trace).run().unwrap();
+    let mbox = EventFilter::new().in_group(EventGroup::SpeMbox).apply(&a);
     assert!(mbox.is_empty(), "mailbox events must be filtered out");
-    let dma = EventFilter::new()
-        .in_group(EventGroup::SpeDma)
-        .apply(&analyzed);
+    let dma = EventFilter::new().in_group(EventGroup::SpeDma).apply(&a);
     assert!(!dma.is_empty(), "dma events must be present");
 }
 
