@@ -1,0 +1,177 @@
+//! Lint-engine smoke check: `lint_smoke`.
+//!
+//! Runs fresh (in-memory, not golden) traces through `ta::lint` and
+//! asserts the engine's end-to-end contract:
+//!
+//! - the deliberately racy stream kernel produces firm `dma-race`,
+//!   `unwaited-tag-group` and `wait-without-dma` findings;
+//! - the clean double-buffered stream and matmul workloads produce
+//!   zero firm error-severity diagnostics;
+//! - a fault-injected racy trace still reports, with the damaged
+//!   stream's findings downgraded to suspect, never panicking;
+//! - all three renderers produce non-empty, structurally sane output.
+//!
+//! Exits nonzero on the first violated invariant, so CI can run it as
+//! a cheap gate (`scripts/check.sh` does).
+
+use std::process::ExitCode;
+
+use cellsim::MachineConfig;
+use pdt::{TraceFile, TracingConfig};
+use ta::{Analysis, FaultInjector, FaultKind, Severity};
+use workloads::{
+    run_workload, Buffering, MatmulConfig, MatmulWorkload, StreamConfig, StreamWorkload, Workload,
+};
+
+fn trace_of(w: &dyn Workload, spes: usize) -> Result<TraceFile, String> {
+    let r = run_workload(
+        w,
+        MachineConfig::default().with_num_spes(spes),
+        Some(TracingConfig::default()),
+    )
+    .map_err(|e| format!("workload: {e}"))?;
+    r.trace.ok_or_else(|| "tracing produced no trace".into())
+}
+
+fn stream(buffering: Buffering) -> StreamWorkload {
+    StreamWorkload::new(StreamConfig {
+        blocks: 8,
+        block_bytes: 4096,
+        buffering,
+        spes: 2,
+        ..StreamConfig::default()
+    })
+}
+
+/// Checks `{}`/`[]` nesting ignoring string literal contents (a
+/// diagnostic message may legitimately contain `[LS 0x800..0x1800)`).
+fn balanced_outside_strings(s: &str) -> bool {
+    let (mut braces, mut brackets) = (0i64, 0i64);
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_str {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => braces += 1,
+            '}' => braces -= 1,
+            '[' => brackets += 1,
+            ']' => brackets -= 1,
+            _ => {}
+        }
+        if braces < 0 || brackets < 0 {
+            return false;
+        }
+    }
+    braces == 0 && brackets == 0 && !in_str
+}
+
+fn check() -> Result<(), String> {
+    // The seeded-racy kernel must produce firm errors of the seeded
+    // kinds — and only warns besides them.
+    let racy = trace_of(&stream(Buffering::RacyDouble), 2)?;
+    let a = Analysis::of(&racy).run().map_err(|e| e.to_string())?;
+    let report = a.lint();
+    for rule in ["dma-race", "unwaited-tag-group"] {
+        let n = report.of_rule(rule).filter(|d| d.is_firm_error()).count();
+        if n == 0 {
+            return Err(format!(
+                "racy trace: no firm {rule} findings\n{}",
+                report.render_text()
+            ));
+        }
+    }
+    if report.of_rule("wait-without-dma").count() == 0 {
+        return Err("racy trace: missing wait-without-dma warning".into());
+    }
+    if report.is_clean() {
+        return Err("racy trace: lint came back clean".into());
+    }
+
+    // Renderers: non-empty, balanced, and carrying the rule ids.
+    let (text, json, sarif) = (report.render_text(), report.to_json(), report.to_sarif());
+    for (name, out) in [("text", &text), ("json", &json), ("sarif", &sarif)] {
+        if !out.contains("dma-race") {
+            return Err(format!("{name} rendering lost the dma-race findings"));
+        }
+    }
+    for (name, out) in [("json", &json), ("sarif", &sarif)] {
+        if !balanced_outside_strings(out) {
+            return Err(format!("{name} rendering is unbalanced:\n{out}"));
+        }
+    }
+
+    // Clean workloads gate green.
+    for (name, trace) in [
+        ("stream/double", trace_of(&stream(Buffering::Double), 2)?),
+        (
+            "matmul",
+            trace_of(
+                &MatmulWorkload::new(MatmulConfig {
+                    n: 64,
+                    spes: 2,
+                    seed: 9,
+                }),
+                2,
+            )?,
+        ),
+    ] {
+        let a = Analysis::of(&trace).run().map_err(|e| e.to_string())?;
+        let report = a.lint();
+        if !report.is_clean() {
+            return Err(format!(
+                "{name}: clean workload failed the lint gate:\n{}",
+                report.render_text()
+            ));
+        }
+    }
+
+    // Damage the racy trace: the linter must neither panic nor let the
+    // damaged evidence gate as firm on suspect streams.
+    let mut damaged = racy.clone();
+    let log = FaultInjector::new(3).inject(&mut damaged, &FaultKind::ALL);
+    if log.is_empty() {
+        return Err("fault injector applied nothing".into());
+    }
+    let a = Analysis::of(&damaged).run().map_err(|e| e.to_string())?;
+    let report = a.lint();
+    let dmg = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    if dmg == 0 {
+        return Err("damaged racy trace: all error findings vanished".into());
+    }
+    for d in report.firm_errors() {
+        let anchor = d.anchor.ok_or("firm error without anchor")?;
+        if a.loss().suspect(match anchor.core {
+            pdt::TraceCore::Spe(s) => s,
+            pdt::TraceCore::Ppe(_) => u8::MAX,
+        }) {
+            return Err(format!("firm error on a suspect stream: {d:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match check() {
+        Ok(()) => {
+            println!("lint_smoke: all invariants hold");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lint_smoke: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -13,6 +13,9 @@
 //! - `pipeline.pdt`  producer/consumer pipeline, 1 pair (2 SPEs)
 //! - `stream_faulted.pdt`  the stream trace with one fault of every
 //!   mode injected at seed 41 — exercises the gap-suspicion path
+//! - `stream_racy.pdt`  the deliberately broken racy double-buffer
+//!   variant — seeds the `dma-race` / `unwaited-tag-group` /
+//!   `wait-without-dma` findings `tests/golden_lints.rs` pins
 //!
 //! The simulator is deterministic, so reruns write byte-identical
 //! files; the tool fails if an existing golden file would change, to
@@ -79,11 +82,23 @@ fn corpus() -> Result<Vec<(&'static str, TraceFile)>, String> {
         return Err("fault injector applied no faults to the stream trace".into());
     }
 
+    let racy = trace_of(
+        &StreamWorkload::new(StreamConfig {
+            blocks: 6,
+            block_bytes: 4096,
+            buffering: Buffering::RacyDouble,
+            spes: 2,
+            ..StreamConfig::default()
+        }),
+        2,
+    )?;
+
     Ok(vec![
         ("matmul.pdt", matmul),
         ("stream.pdt", stream),
         ("pipeline.pdt", pipeline),
         ("stream_faulted.pdt", faulted),
+        ("stream_racy.pdt", racy),
     ])
 }
 

@@ -15,7 +15,17 @@
 //! ta-cli query    TRACE [--from T] [--to T] [--core C]... [--code E]...
 //!                 [--group G]... [--summary]
 //!                                    indexed window/filter query
+//! ta-cli lint     TRACE [--format text|json|sarif] [--deny RULE]...
+//!                 [--allow RULE]... [--config PATH]
+//!                                    rule-based static analysis
 //! ```
+//!
+//! `lint` runs the [`ta::lint`] rule registry (DMA races, tag-group
+//! misuse, mailbox deadlock shapes, ...) and exits nonzero when any
+//! firm (non-suspect) error-severity diagnostic survives. A
+//! `.talint.toml` in the current directory is loaded as the baseline
+//! unless `--config` names one explicitly; `--allow` skips rules and
+//! `--deny` promotes their diagnostics to errors.
 //!
 //! `query` runs through the session's trace index, so window and core
 //! restrictions resolve by binary search rather than a full rescan.
@@ -33,8 +43,8 @@ use std::process::ExitCode;
 
 use pdt::{TraceCore, TraceFile};
 use ta::{
-    compare_traces, user_phases, Analysis, CsvTable, EventFilter, RenderOptions, ReportKind,
-    SvgOptions,
+    compare_traces, user_phases, Analysis, CsvTable, EventFilter, LintConfig, RenderOptions,
+    ReportKind, SvgOptions,
 };
 
 fn load(path: &str, strict: bool) -> Result<Analysis, String> {
@@ -92,7 +102,7 @@ fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let strict = args.iter().any(|a| a == "--strict");
     args.retain(|a| a != "--strict");
-    let usage = "usage: ta-cli <summary|timeline|events|phases|compare|report|loss|occupancy|causality|query> TRACE [...] [--strict]";
+    let usage = "usage: ta-cli <summary|timeline|events|phases|compare|report|loss|occupancy|causality|query|lint> TRACE [...] [--strict]";
     let cmd = args.first().ok_or(usage)?;
     match cmd.as_str() {
         "summary" => {
@@ -280,6 +290,42 @@ fn run() -> Result<(), String> {
             }
             for e in filter.apply(&a) {
                 println!("{},{},{},{:?}", e.time_tb, e.core, e.code.name(), e.params);
+            }
+        }
+        "lint" => {
+            let format = take_values(&mut args, "--format")?
+                .last()
+                .cloned()
+                .unwrap_or_else(|| "text".into());
+            let deny = take_values(&mut args, "--deny")?;
+            let allow = take_values(&mut args, "--allow")?;
+            let config_path = take_values(&mut args, "--config")?.last().cloned();
+            let path = args.get(1).ok_or(usage)?;
+
+            let mut config = match &config_path {
+                Some(p) => {
+                    let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+                    LintConfig::from_toml_str(&text).map_err(|e| e.to_string())?
+                }
+                None => match std::fs::read_to_string(".talint.toml") {
+                    Ok(text) => LintConfig::from_toml_str(&text).map_err(|e| e.to_string())?,
+                    Err(_) => LintConfig::default(),
+                },
+            };
+            config.deny.extend(deny);
+            config.allow.extend(allow);
+
+            let a = load(path, strict)?;
+            let report = a.lint_with(&config);
+            match format.as_str() {
+                "text" => print!("{}", report.render_text()),
+                "json" => print!("{}", report.to_json()),
+                "sarif" => print!("{}", report.to_sarif()),
+                other => return Err(format!("unknown --format {other:?} (text|json|sarif)")),
+            }
+            let firm = report.firm_errors().count();
+            if firm > 0 {
+                return Err(format!("lint: {firm} firm error(s)"));
             }
         }
         "--help" | "-h" => println!("{usage}"),

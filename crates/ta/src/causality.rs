@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use pdt::{EventCode, TraceCore};
 
 use crate::analyze::AnalyzedTrace;
+use crate::loss::LossReport;
 
 /// What kind of proof an edge rests on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,6 +54,12 @@ pub struct Violation {
     pub edge: CausalEdge,
     /// By how many ticks the order is reversed.
     pub margin_tb: u64,
+    /// Per-stream sequence number of the edge's earlier event, so the
+    /// offending record can be located without re-deriving global
+    /// indices.
+    pub earlier_seq: u64,
+    /// Per-stream sequence number of the edge's later event.
+    pub later_seq: u64,
 }
 
 /// Per-SPE skew estimate.
@@ -72,8 +79,26 @@ fn ctx_to_spe(trace: &AnalyzedTrace) -> HashMap<u32, u8> {
     trace.anchors.iter().map(|a| (a.ctx, a.spe)).collect()
 }
 
-/// Extracts the provable happens-before edges from a trace.
+/// Extracts the provable happens-before edges from a trace, assuming
+/// no records were lost.
+///
+/// Equivalent to [`causal_edges_with_loss`] with an empty
+/// [`LossReport`]; prefer the loss-aware variant when ingestion ran
+/// with accounting.
 pub fn causal_edges(trace: &AnalyzedTrace) -> Vec<CausalEdge> {
+    causal_edges_with_loss(trace, &LossReport::default())
+}
+
+/// Extracts the provable happens-before edges, refusing to fabricate
+/// mailbox pairings across trace damage.
+///
+/// FIFO pairing matches the k-th consume to the k-th produce — but a
+/// decode gap can swallow a write or a read, shifting k and pairing
+/// unrelated events. So for any SPE whose reconstruction is suspect
+/// (its own stream lost records, or a PPE stream has gaps that may
+/// hide mailbox writes), mailbox edges are dropped entirely.
+/// `CtxStart` edges survive: they pair by context id, not by count.
+pub fn causal_edges_with_loss(trace: &AnalyzedTrace, loss: &LossReport) -> Vec<CausalEdge> {
     let ctx_spe = ctx_to_spe(trace);
     let mut edges = Vec::new();
 
@@ -127,6 +152,9 @@ pub fn causal_edges(trace: &AnalyzedTrace) -> Vec<CausalEdge> {
     // global sort is stable on stream order, so index order in each
     // queue is the k order.)
     for (spe, writes) in &in_writes {
+        if loss.suspect(*spe) {
+            continue;
+        }
         if let Some(reads) = in_reads.get(spe) {
             for (w, r) in writes.iter().zip(reads) {
                 edges.push(CausalEdge {
@@ -138,6 +166,9 @@ pub fn causal_edges(trace: &AnalyzedTrace) -> Vec<CausalEdge> {
         }
     }
     for (spe, writes) in &out_writes {
+        if loss.suspect(*spe) {
+            continue;
+        }
         if let Some(reads) = out_reads.get(spe) {
             for (w, r) in writes.iter().zip(reads) {
                 edges.push(CausalEdge {
@@ -156,11 +187,13 @@ pub fn violations(trace: &AnalyzedTrace) -> Vec<Violation> {
     causal_edges(trace)
         .into_iter()
         .filter_map(|edge| {
-            let t_early = trace.events[edge.earlier].time_tb;
-            let t_late = trace.events[edge.later].time_tb;
-            (t_late < t_early).then(|| Violation {
+            let early = &trace.events[edge.earlier];
+            let late = &trace.events[edge.later];
+            (late.time_tb < early.time_tb).then(|| Violation {
                 edge,
-                margin_tb: t_early - t_late,
+                margin_tb: early.time_tb - late.time_tb,
+                earlier_seq: early.stream_seq,
+                later_seq: late.stream_seq,
             })
         })
         .collect()
@@ -305,6 +338,54 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].edge.kind, EdgeKind::InboundMbox);
         assert_eq!(v[0].margin_tb, 20);
+        // The violation names both offending records by their
+        // per-stream sequence numbers.
+        assert_eq!(v[0].earlier_seq, 1, "PPE write is its stream's record 1");
+        assert_eq!(v[0].later_seq, 2, "SPE read-end is its stream's record 2");
+    }
+
+    #[test]
+    fn decode_gaps_drop_mailbox_edges_but_keep_ctx_start() {
+        use crate::loss::StreamLoss;
+        use pdt::{DecodeGap, RecordError};
+        let t = skewed_trace();
+        let lossy = |core| StreamLoss {
+            core,
+            decoded_records: 4,
+            tracer_dropped: 0,
+            gaps: vec![DecodeGap {
+                offset: 16,
+                len: 32,
+                est_records: 2,
+                records_before: 1,
+                cause: RecordError::ZeroLength,
+            }],
+            unanchored: false,
+        };
+        // A gap in SPE0's own stream: its mailbox pairings may be
+        // off-by-k, so only the ctx-start edge (paired by context id,
+        // not count) survives.
+        let loss = LossReport {
+            streams: vec![lossy(TraceCore::Spe(0))],
+        };
+        let edges = causal_edges_with_loss(&t, &loss);
+        assert_eq!(edges.len(), 1, "{edges:?}");
+        assert_eq!(edges[0].kind, EdgeKind::CtxStart);
+        // A gap in a PPE stream may hide mailbox writes for any SPE:
+        // same result.
+        let loss = LossReport {
+            streams: vec![lossy(TraceCore::Ppe(0))],
+        };
+        let edges = causal_edges_with_loss(&t, &loss);
+        assert_eq!(edges.len(), 1, "{edges:?}");
+        assert_eq!(edges[0].kind, EdgeKind::CtxStart);
+        // A gap in some *other* SPE's stream taints nothing here.
+        let loss = LossReport {
+            streams: vec![lossy(TraceCore::Spe(5))],
+        };
+        assert_eq!(causal_edges_with_loss(&t, &loss).len(), 3);
+        // And the unaware helper is the empty-loss special case.
+        assert_eq!(causal_edges(&t).len(), 3);
     }
 
     #[test]
@@ -465,6 +546,47 @@ mod tests {
         let (fixed, est) = align_clocks(&t);
         assert!(est.is_empty());
         assert_eq!(fixed.events, t.events);
+    }
+
+    #[test]
+    fn single_event_spe_with_reversed_anchor_gets_unclamped_shift() {
+        use EventCode::*;
+        // The SPE's entire stream is one SpeCtxStart that lands 20
+        // ticks *before* the PpeCtxRun that launched it. With no
+        // outgoing (SPE → PPE) edges, the allowed slack is unbounded
+        // and the shift is exactly the violation margin.
+        let t = AnalyzedTrace {
+            header: skewed_trace().header,
+            events: vec![
+                ev(
+                    50,
+                    TraceCore::Ppe(0),
+                    PpeCtxRun,
+                    vec![0, 0, u32::MAX as u64],
+                    0,
+                ),
+                ev(30, TraceCore::Spe(0), SpeCtxStart, vec![0], 0),
+            ],
+            ctx_names: vec![],
+            anchors: vec![SpeAnchor {
+                spe: 0,
+                ctx: 0,
+                run_tb: 50,
+                dec_start: u32::MAX,
+            }],
+            dropped: 0,
+        };
+        let v = violations(&t);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].edge.kind, EdgeKind::CtxStart);
+        assert_eq!(v[0].margin_tb, 20);
+        assert_eq!((v[0].earlier_seq, v[0].later_seq), (0, 0));
+        let est = estimate_skew(&t);
+        assert_eq!(est.len(), 1);
+        assert_eq!(est[0].shift_tb, 20);
+        assert_eq!(est[0].allowed_tb, u64::MAX, "no outgoing edge to clamp");
+        let (fixed, _) = align_clocks(&t);
+        assert!(violations(&fixed).is_empty());
     }
 
     #[test]

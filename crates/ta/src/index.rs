@@ -133,51 +133,66 @@ pub fn compute_suspect_ranges(trace: &AnalyzedTrace, loss: &LossReport) -> Vec<S
 // Interval tree
 // ---------------------------------------------------------------------------
 
-/// A static augmented interval tree: intervals sorted by start, with
-/// an implicit balanced-BST layout over the sorted array and a
-/// subtree-max-end augmentation per node. Stabbing and range queries
-/// are O(log n + k); the structure is immutable after construction.
+/// Anything with a half-open `[start_tb, end_tb)` extent on the
+/// timebase axis. Lets [`IntervalTree`] index activity segments here
+/// and DMA transfer lifetimes in `ta::lint` with one implementation.
+pub(crate) trait Span: Copy {
+    /// The half-open `(start_tb, end_tb)` extent.
+    fn span(&self) -> (u64, u64);
+}
+
+impl Span for Interval {
+    fn span(&self) -> (u64, u64) {
+        (self.start_tb, self.end_tb)
+    }
+}
+
+/// A static augmented interval tree over any [`Span`] payload: spans
+/// sorted by start, with an implicit balanced-BST layout over the
+/// sorted array and a subtree-max-end augmentation per node. Stabbing
+/// and range queries are O(log n + k); the structure is immutable
+/// after construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct IntervalTree {
-    /// Sorted by `start_tb`.
-    nodes: Vec<Interval>,
-    /// `max_end[i]` = max `end_tb` in the subtree rooted at `i` (the
+pub(crate) struct IntervalTree<T: Span> {
+    /// Sorted by `(start, end)`.
+    nodes: Vec<T>,
+    /// `max_end[i]` = max span end in the subtree rooted at `i` (the
     /// midpoint of its implicit `[lo, hi)` slice).
     max_end: Vec<u64>,
 }
 
-impl IntervalTree {
-    fn new(mut intervals: Vec<Interval>) -> Self {
-        intervals.sort_by_key(|i| (i.start_tb, i.end_tb));
-        let mut max_end = vec![0u64; intervals.len()];
-        fn augment(nodes: &[Interval], max_end: &mut [u64], lo: usize, hi: usize) -> u64 {
+impl<T: Span> IntervalTree<T> {
+    pub(crate) fn new(mut spans: Vec<T>) -> Self {
+        spans.sort_by_key(|i| i.span());
+        let mut max_end = vec![0u64; spans.len()];
+        fn augment<T: Span>(nodes: &[T], max_end: &mut [u64], lo: usize, hi: usize) -> u64 {
             if lo >= hi {
                 return 0;
             }
             let mid = lo + (hi - lo) / 2;
-            let mut m = nodes[mid].end_tb;
+            let mut m = nodes[mid].span().1;
             m = m.max(augment(nodes, max_end, lo, mid));
             m = m.max(augment(nodes, max_end, mid + 1, hi));
             max_end[mid] = m;
             m
         }
-        let n = intervals.len();
-        augment(&intervals, &mut max_end, 0, n);
+        let n = spans.len();
+        augment(&spans, &mut max_end, 0, n);
         IntervalTree {
-            nodes: intervals,
+            nodes: spans,
             max_end,
         }
     }
 
-    /// Intervals `i` with `i.end_tb > t0 && i.start_tb < t1`, in start
-    /// order — the same overlap predicate as [`SpeIntervals::clip`].
-    fn range(&self, t0: u64, t1: u64) -> Vec<Interval> {
+    /// Spans `i` with `i.end > t0 && i.start < t1`, in start order —
+    /// the same overlap predicate as [`SpeIntervals::clip`].
+    pub(crate) fn range(&self, t0: u64, t1: u64) -> Vec<T> {
         let mut out = Vec::new();
         self.visit(0, self.nodes.len(), t0, t1, &mut out);
         out
     }
 
-    fn visit(&self, lo: usize, hi: usize, t0: u64, t1: u64, out: &mut Vec<Interval>) {
+    fn visit(&self, lo: usize, hi: usize, t0: u64, t1: u64, out: &mut Vec<T>) {
         if lo >= hi {
             return;
         }
@@ -188,13 +203,14 @@ impl IntervalTree {
         }
         self.visit(lo, mid, t0, t1, out);
         let node = self.nodes[mid];
-        if node.start_tb < t1 {
-            if node.end_tb > t0 {
+        let (start, end) = node.span();
+        if start < t1 {
+            if end > t0 {
                 out.push(node);
             }
             self.visit(mid + 1, hi, t0, t1, out);
         }
-        // node.start_tb >= t1: every right-subtree start is >= too.
+        // start >= t1: every right-subtree start is >= too.
     }
 }
 
@@ -254,7 +270,7 @@ struct SpeLane {
     spe: u8,
     start_tb: u64,
     stop_tb: u64,
-    tree: IntervalTree,
+    tree: IntervalTree<Interval>,
 }
 
 /// Exact aggregate of a half-open window, resolved from the zoom

@@ -24,6 +24,9 @@
 //! 6. [`timeline`] + [`svg`] / [`ascii`] — the Gantt views.
 //! 7. [`csv`], [`query`] — export and filtering.
 //! 8. [`mod@validate`] — fidelity checks against simulator ground truth.
+//! 9. [`mod@lint`] — rule-based static analysis over the reconstructed
+//!    trace: DMA races, tag-group misuse, mailbox deadlock shapes and
+//!    more, as structured event-anchored diagnostics.
 //!
 //! ## Example
 //!
@@ -91,6 +94,7 @@ pub mod histogram;
 pub mod html;
 pub mod index;
 pub mod intervals;
+pub mod lint;
 pub mod loss;
 pub mod occupancy;
 pub mod parallel;
@@ -109,8 +113,8 @@ pub use analyze::{analyze, analyze_lossy, AnalyzeError, AnalyzedTrace, GlobalEve
 #[allow(deprecated)]
 pub use ascii::render_ascii;
 pub use causality::{
-    align_clocks, apply_skew, causal_edges, estimate_skew, violations, CausalEdge, EdgeKind,
-    SkewEstimate, Violation,
+    align_clocks, apply_skew, causal_edges, causal_edges_with_loss, estimate_skew, violations,
+    CausalEdge, EdgeKind, SkewEstimate, Violation,
 };
 pub use compare::{compare_stats, compare_traces, Comparison, SpeDelta};
 pub use csv::loss_csv;
@@ -125,6 +129,10 @@ pub use index::{
     MAX_BASE_BUCKETS,
 };
 pub use intervals::{build_intervals, ActivityKind, Interval, SpeIntervals};
+pub use lint::{
+    lint_trace, Anchor, ConfigError, Diagnostic, Lint, LintConfig, LintContext, LintReport,
+    RuleInfo, Severity, Suppression,
+};
 pub use loss::{DecodePolicy, LossReport, StreamLoss};
 pub use occupancy::{dma_occupancy, OccupancyStep, SpeOccupancy};
 pub use parallel::{analyze_parallel, analyze_parallel_lossy};
@@ -136,7 +144,9 @@ pub use report::{
 };
 pub use session::{Analysis, AnalysisBuilder};
 pub use stats::{compute_stats, DmaSummary, EventCounts, ObservedDma, SpeActivity, TraceStats};
-pub use summary::{render_summary, render_summary_with, summary_report};
+pub use summary::render_summary_with;
+#[allow(deprecated)]
+pub use summary::{render_summary, summary_report};
 #[allow(deprecated)]
 pub use svg::render_svg;
 pub use svg::SvgOptions;

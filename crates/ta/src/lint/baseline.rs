@@ -1,0 +1,293 @@
+//! `.talint.toml` baseline files: a hand-rolled parser for the small
+//! TOML subset the lint engine accepts (the workspace vendors no TOML
+//! library).
+//!
+//! Accepted grammar, line-oriented:
+//!
+//! ```toml
+//! # comments and blank lines
+//! overhead-threshold = 0.4            # float
+//! min-overhead-ticks = 512            # integer
+//! allow = ["wait-without-dma"]        # string array
+//! deny  = ["unbalanced-intervals"]
+//!
+//! [[suppress]]                        # one table per suppression
+//! rule = "dma-race"
+//! core = "spe1"                       # optional: "spe<N>" or "ppe<N>"
+//! reason = "double-buffer slack is proven elsewhere"
+//! ```
+//!
+//! Keys may be spelled with `-` or `_`. Anything outside this subset
+//! (nested tables, multi-line values, non-string arrays) is a
+//! [`ConfigError`] naming the line, not a silent skip.
+
+use pdt::TraceCore;
+
+use super::{LintConfig, Suppression};
+
+/// A `.talint.toml` parse failure, carrying the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line the error was detected on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, ".talint.toml line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Strips a trailing `# comment` that is not inside a string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a `"..."` literal, returning the content.
+fn parse_string(raw: &str, line: usize) -> Result<String, ConfigError> {
+    let raw = raw.trim();
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| err(line, format!("expected a \"string\", got `{raw}`")))?;
+    if inner.contains('"') {
+        return Err(err(line, "escapes inside strings are not supported"));
+    }
+    Ok(inner.to_string())
+}
+
+/// Parses `["a", "b"]` into its elements.
+fn parse_string_array(raw: &str, line: usize) -> Result<Vec<String>, ConfigError> {
+    let raw = raw.trim();
+    let inner = raw
+        .strip_prefix('[')
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or_else(|| {
+            err(
+                line,
+                format!("expected a [\"string\", ...] array, got `{raw}`"),
+            )
+        })?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|item| parse_string(item, line))
+        .collect()
+}
+
+/// Parses `"spe3"` / `"ppe0"` into a [`TraceCore`].
+fn parse_core(s: &str, line: usize) -> Result<TraceCore, ConfigError> {
+    let lower = s.to_ascii_lowercase();
+    let parsed = lower
+        .strip_prefix("spe")
+        .map(|n| (true, n))
+        .or_else(|| lower.strip_prefix("ppe").map(|n| (false, n)));
+    if let Some((is_spe, digits)) = parsed {
+        if let Ok(n) = digits.parse::<u8>() {
+            return Ok(if is_spe {
+                TraceCore::Spe(n)
+            } else {
+                TraceCore::Ppe(n)
+            });
+        }
+    }
+    Err(err(
+        line,
+        format!("expected a core like \"spe1\" or \"ppe0\", got `{s}`"),
+    ))
+}
+
+/// A `[[suppress]]` table under construction.
+#[derive(Default)]
+struct PartialSuppression {
+    start_line: usize,
+    rule: Option<String>,
+    core: Option<TraceCore>,
+    reason: Option<String>,
+}
+
+impl PartialSuppression {
+    fn finish(self) -> Result<Suppression, ConfigError> {
+        let rule = self
+            .rule
+            .ok_or_else(|| err(self.start_line, "[[suppress]] entry is missing `rule`"))?;
+        let reason = self
+            .reason
+            .filter(|r| !r.trim().is_empty())
+            .ok_or_else(|| {
+                err(
+                self.start_line,
+                "[[suppress]] entry needs a non-empty `reason` (baselines must stay reviewable)",
+            )
+            })?;
+        Ok(Suppression {
+            rule,
+            core: self.core,
+            reason,
+        })
+    }
+}
+
+pub(super) fn parse(text: &str) -> Result<LintConfig, ConfigError> {
+    let mut config = LintConfig::default();
+    let mut current: Option<PartialSuppression> = None;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            if line != "[[suppress]]" {
+                return Err(err(
+                    lineno,
+                    format!("unknown section `{line}` (only [[suppress]] is accepted)"),
+                ));
+            }
+            if let Some(prev) = current.take() {
+                config.suppress.push(prev.finish()?);
+            }
+            current = Some(PartialSuppression {
+                start_line: lineno,
+                ..Default::default()
+            });
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err(lineno, format!("expected `key = value`, got `{line}`")))?;
+        let key = key.trim().replace('-', "_");
+        let value = value.trim();
+        if let Some(sup) = current.as_mut() {
+            match key.as_str() {
+                "rule" => sup.rule = Some(parse_string(value, lineno)?),
+                "core" => sup.core = Some(parse_core(&parse_string(value, lineno)?, lineno)?),
+                "reason" => sup.reason = Some(parse_string(value, lineno)?),
+                other => return Err(err(lineno, format!("unknown [[suppress]] key `{other}`"))),
+            }
+        } else {
+            match key.as_str() {
+                "allow" => config.allow = parse_string_array(value, lineno)?,
+                "deny" => config.deny = parse_string_array(value, lineno)?,
+                "overhead_threshold" => {
+                    config.overhead_threshold = value
+                        .parse::<f64>()
+                        .map_err(|_| err(lineno, format!("expected a float, got `{value}`")))?;
+                    if !(0.0..=1.0).contains(&config.overhead_threshold) {
+                        return Err(err(lineno, "overhead-threshold must be in [0, 1]"));
+                    }
+                }
+                "min_overhead_ticks" => {
+                    config.min_overhead_ticks = value
+                        .parse::<u64>()
+                        .map_err(|_| err(lineno, format!("expected an integer, got `{value}`")))?;
+                }
+                other => return Err(err(lineno, format!("unknown key `{other}`"))),
+            }
+        }
+    }
+    if let Some(prev) = current.take() {
+        config.suppress.push(prev.finish()?);
+    }
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_example_round_trips() {
+        let text = r#"
+            # baseline for the racy demo trace
+            overhead-threshold = 0.4
+            min_overhead_ticks = 512      # underscore spelling works too
+            allow = ["wait-without-dma", "overhead-hotspot"]
+            deny = []
+
+            [[suppress]]
+            rule = "dma-race"
+            core = "spe1"
+            reason = "seeded by the racy workload on purpose"
+
+            [[suppress]]
+            rule = "unbalanced-intervals"
+            reason = "kernel tail is cut by design"
+        "#;
+        let c = LintConfig::from_toml_str(text).unwrap();
+        assert_eq!(c.overhead_threshold, 0.4);
+        assert_eq!(c.min_overhead_ticks, 512);
+        assert_eq!(c.allow, vec!["wait-without-dma", "overhead-hotspot"]);
+        assert!(c.deny.is_empty());
+        assert_eq!(c.suppress.len(), 2);
+        assert_eq!(c.suppress[0].rule, "dma-race");
+        assert_eq!(c.suppress[0].core, Some(TraceCore::Spe(1)));
+        assert_eq!(c.suppress[1].core, None);
+    }
+
+    #[test]
+    fn empty_and_comment_only_inputs_yield_defaults() {
+        let c = LintConfig::from_toml_str("# nothing here\n\n").unwrap();
+        assert_eq!(c, LintConfig::default());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = LintConfig::from_toml_str("allow = [\"x\"]\nbogus = 3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown key `bogus`"));
+
+        let e = LintConfig::from_toml_str("overhead-threshold = \"high\"").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("expected a float"));
+
+        let e = LintConfig::from_toml_str("overhead-threshold = 1.5").unwrap_err();
+        assert!(e.message.contains("[0, 1]"));
+    }
+
+    #[test]
+    fn suppress_requires_rule_and_reason() {
+        let e = LintConfig::from_toml_str("[[suppress]]\nrule = \"dma-race\"\n").unwrap_err();
+        assert!(e.message.contains("non-empty `reason`"));
+        assert_eq!(e.line, 1);
+
+        let e = LintConfig::from_toml_str("[[suppress]]\nreason = \"why\"\n").unwrap_err();
+        assert!(e.message.contains("missing `rule`"));
+
+        let e = LintConfig::from_toml_str(
+            "[[suppress]]\nrule = \"r\"\ncore = \"gpu0\"\nreason = \"x\"\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("expected a core"));
+    }
+
+    #[test]
+    fn unknown_sections_and_bare_words_are_rejected() {
+        let e = LintConfig::from_toml_str("[general]\n").unwrap_err();
+        assert!(e.message.contains("unknown section"));
+        let e = LintConfig::from_toml_str("allow\n").unwrap_err();
+        assert!(e.message.contains("key = value"));
+    }
+}

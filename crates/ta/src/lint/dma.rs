@@ -1,0 +1,518 @@
+//! DMA transfer-lifetime reconstruction and the three tag-group rules.
+//!
+//! A transfer's *unsynchronized window* runs from its issue event to
+//! the first `SpeTagWaitEnd` whose completed mask covers its tag (the
+//! only point the program is allowed to assume the data moved). Two
+//! transfers whose windows overlap are concurrent from the program's
+//! point of view; if they also overlap in local store, sit in
+//! different tag groups (the MFC orders nothing across groups) and at
+//! least one writes local store (a GET), the access pattern is a race.
+//! Concurrency resolution reuses the [`IntervalTree`] from `ta::index`
+//! over the per-SPE transfer windows, so the sweep is
+//! O(n log n + conflicts) rather than all-pairs.
+
+use pdt::{EventCode, TraceCore};
+
+use crate::index::{IntervalTree, Span};
+
+use super::{Anchor, Diagnostic, Lint, LintContext, Severity};
+
+/// Direction of a reconstructed transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    /// GET: main storage → local store (writes LS).
+    Get,
+    /// PUT: local store → main storage (reads LS).
+    Put,
+}
+
+/// One reconstructed DMA transfer on one SPE.
+#[derive(Debug, Clone)]
+struct Transfer {
+    dir: Dir,
+    lsa: u64,
+    bytes: u64,
+    tag: u8,
+    /// Issue tick.
+    start_tb: u64,
+    /// First covering tag-wait end, or the lane's last tick when the
+    /// transfer was never waited.
+    end_tb: u64,
+    waited: bool,
+    anchor: Anchor,
+}
+
+impl Transfer {
+    fn ls_overlaps(&self, other: &Transfer) -> bool {
+        self.lsa < other.lsa + other.bytes && other.lsa < self.lsa + self.bytes
+    }
+}
+
+/// A transfer's unsynchronized window plus its index in the history,
+/// the payload the interval tree carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TransferSpan {
+    start_tb: u64,
+    end_tb: u64,
+    idx: u32,
+}
+
+impl Span for TransferSpan {
+    fn span(&self) -> (u64, u64) {
+        (self.start_tb, self.end_tb)
+    }
+}
+
+/// One SPE's reconstructed DMA history.
+#[derive(Debug)]
+struct SpeDmaHistory {
+    spe: u8,
+    transfers: Vec<Transfer>,
+    /// `SpeTagWaitBegin` events whose mask covered zero outstanding
+    /// transfers, with the offending mask.
+    vacuous_waits: Vec<(Anchor, u32)>,
+}
+
+/// Replays one SPE's stream, tracking transfer lifetimes against the
+/// tag-wait events. Shared by all three DMA rules so the lifetime
+/// semantics have exactly one definition.
+fn sweep(ctx: &LintContext<'_>, spe: u8) -> SpeDmaHistory {
+    let mut transfers: Vec<Transfer> = Vec::new();
+    let mut pending: Vec<usize> = Vec::new();
+    let mut vacuous_waits = Vec::new();
+    let mut last_tb = 0u64;
+    for e in ctx.trace.core_events(TraceCore::Spe(spe)) {
+        last_tb = last_tb.max(e.time_tb);
+        match e.code {
+            EventCode::SpeDmaGet | EventCode::SpeDmaPut => {
+                if e.params.len() < 4 {
+                    continue;
+                }
+                transfers.push(Transfer {
+                    dir: if e.code == EventCode::SpeDmaGet {
+                        Dir::Get
+                    } else {
+                        Dir::Put
+                    },
+                    lsa: e.params[1],
+                    bytes: e.params[2],
+                    tag: (e.params[3] & 0xff) as u8,
+                    start_tb: e.time_tb,
+                    end_tb: u64::MAX,
+                    waited: false,
+                    anchor: Anchor::at(e),
+                });
+                pending.push(transfers.len() - 1);
+            }
+            EventCode::SpeTagWaitBegin => {
+                let mask = e.params.first().copied().unwrap_or(0) as u32;
+                let covers_any = pending
+                    .iter()
+                    .any(|&i| mask & (1u32 << transfers[i].tag) != 0);
+                if !covers_any {
+                    vacuous_waits.push((Anchor::at(e), mask));
+                }
+            }
+            EventCode::SpeTagWaitEnd => {
+                let completed = e.params.first().copied().unwrap_or(0) as u32;
+                pending.retain(|&i| {
+                    if completed & (1u32 << transfers[i].tag) != 0 {
+                        transfers[i].end_tb = e.time_tb;
+                        transfers[i].waited = true;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            _ => {}
+        }
+    }
+    // Transfers never covered by a wait stay open past the lane's end.
+    for &i in &pending {
+        transfers[i].end_tb = last_tb.max(transfers[i].start_tb).saturating_add(1);
+    }
+    // Guard degenerate clocks: a window is never empty.
+    for t in &mut transfers {
+        t.end_tb = t.end_tb.max(t.start_tb + 1);
+    }
+    SpeDmaHistory {
+        spe,
+        transfers,
+        vacuous_waits,
+    }
+}
+
+/// `dma-race`: concurrent transfers overlapping in local store from
+/// different tag groups, at least one a GET.
+pub(super) struct DmaRace;
+
+impl Lint for DmaRace {
+    fn id(&self) -> &'static str {
+        "dma-race"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn docs(&self) -> &'static str {
+        "Two DMA transfers whose unsynchronized windows overlap touch the same \
+         local-store byte range from different tag groups with at least one \
+         write (GET). The MFC orders nothing across tag groups, so the final \
+         local-store contents depend on transfer timing."
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for spe in ctx.trace.spes() {
+            let hist = sweep(ctx, spe);
+            if hist.transfers.len() < 2 {
+                continue;
+            }
+            // The unsynchronized windows, indexed by the shared tree.
+            let tree = IntervalTree::new(
+                hist.transfers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| TransferSpan {
+                        start_tb: t.start_tb,
+                        end_tb: t.end_tb,
+                        idx: i as u32,
+                    })
+                    .collect(),
+            );
+            for (i, t) in hist.transfers.iter().enumerate() {
+                for span in tree.range(t.start_tb, t.end_tb) {
+                    let j = span.idx as usize;
+                    // Each unordered pair once, reported at the later issue.
+                    if j >= i {
+                        continue;
+                    }
+                    let o = &hist.transfers[j];
+                    if o.tag != t.tag
+                        && t.ls_overlaps(o)
+                        && (t.dir == Dir::Get || o.dir == Dir::Get)
+                    {
+                        out.push(Diagnostic {
+                            rule: self.id(),
+                            severity: self.severity(),
+                            suspect: false,
+                            anchor: Some(t.anchor),
+                            related: vec![o.anchor],
+                            message: format!(
+                                "SPE{}: {} tag {} [LS {:#x}..{:#x}) races {} tag {} \
+                                 [LS {:#x}..{:#x}) — no tag wait orders them",
+                                hist.spe,
+                                dir_name(t.dir),
+                                t.tag,
+                                t.lsa,
+                                t.lsa + t.bytes,
+                                dir_name(o.dir),
+                                o.tag,
+                                o.lsa,
+                                o.lsa + o.bytes,
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn dir_name(d: Dir) -> &'static str {
+    match d {
+        Dir::Get => "GET",
+        Dir::Put => "PUT",
+    }
+}
+
+/// `unwaited-tag-group`: DMA issued but never covered by a tag wait.
+pub(super) struct UnwaitedTagGroup;
+
+impl Lint for UnwaitedTagGroup {
+    fn id(&self) -> &'static str {
+        "unwaited-tag-group"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn docs(&self) -> &'static str {
+        "A DMA transfer was issued but no subsequent tag wait ever covered its \
+         tag group, so the program never learned whether the data moved — \
+         reads of the target are unordered with the transfer."
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for spe in ctx.trace.spes() {
+            let hist = sweep(ctx, spe);
+            // One diagnostic per (spe, tag): anchored at the first
+            // unwaited issue, the rest related.
+            let mut tags: Vec<u8> = hist
+                .transfers
+                .iter()
+                .filter(|t| !t.waited)
+                .map(|t| t.tag)
+                .collect();
+            tags.sort_unstable();
+            tags.dedup();
+            for tag in tags {
+                let unwaited: Vec<&Transfer> = hist
+                    .transfers
+                    .iter()
+                    .filter(|t| !t.waited && t.tag == tag)
+                    .collect();
+                let first = unwaited[0];
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: self.severity(),
+                    suspect: false,
+                    anchor: Some(first.anchor),
+                    related: unwaited.iter().skip(1).take(4).map(|t| t.anchor).collect(),
+                    message: format!(
+                        "SPE{}: {} transfer(s) on tag {} issued but never waited \
+                         (first: {} of {} bytes at LS {:#x})",
+                        hist.spe,
+                        unwaited.len(),
+                        tag,
+                        dir_name(first.dir),
+                        first.bytes,
+                        first.lsa,
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// `wait-without-dma`: tag wait naming only tags with zero outstanding
+/// transfers — the paper's misused-tag-group case.
+pub(super) struct WaitWithoutDma;
+
+impl Lint for WaitWithoutDma {
+    fn id(&self) -> &'static str {
+        "wait-without-dma"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn docs(&self) -> &'static str {
+        "A tag wait's mask covered no outstanding transfer, so it completed \
+         vacuously. Usually a wrong mask (waiting on the tag the program \
+         meant to use, not the one it did) or a stale wait left over from \
+         refactoring."
+    }
+
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for spe in ctx.trace.spes() {
+            let hist = sweep(ctx, spe);
+            for (anchor, mask) in &hist.vacuous_waits {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: self.severity(),
+                    suspect: false,
+                    anchor: Some(*anchor),
+                    related: Vec::new(),
+                    message: format!(
+                        "SPE{}: tag wait on mask {:#x} with zero outstanding \
+                         transfers on those tags — the wait is vacuous",
+                        hist.spe, mask,
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+// The sweep itself is covered through the rule tests in
+// `tests/golden_lints.rs` and the synthetic-trace tests in
+// `lint::tests` (mod.rs side), which exercise every lifetime case:
+// waited, never-waited, partial completion masks, and vacuous waits.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{AnalyzedTrace, GlobalEvent};
+    use crate::loss::LossReport;
+    use pdt::{TraceHeader, VERSION};
+
+    fn header() -> TraceHeader {
+        TraceHeader {
+            version: VERSION,
+            num_ppe_threads: 1,
+            num_spes: 1,
+            core_hz: 3_200_000_000,
+            timebase_divider: 120,
+            dec_start: u32::MAX,
+            group_mask: u32::MAX,
+            spe_buffer_bytes: 2048,
+        }
+    }
+
+    fn ev(t: u64, code: EventCode, params: Vec<u64>, seq: u64) -> GlobalEvent {
+        GlobalEvent {
+            time_tb: t,
+            core: TraceCore::Spe(0),
+            code,
+            params,
+            stream_seq: seq,
+        }
+    }
+
+    fn dma(t: u64, code: EventCode, lsa: u64, size: u64, tag: u64, seq: u64) -> GlobalEvent {
+        ev(t, code, vec![0x100000, lsa, size, tag], seq)
+    }
+
+    fn trace_of(events: Vec<GlobalEvent>) -> AnalyzedTrace {
+        AnalyzedTrace {
+            header: header(),
+            events,
+            ctx_names: vec![],
+            anchors: vec![],
+            dropped: 0,
+        }
+    }
+
+    fn run_rule(rule: &dyn Lint, t: &AnalyzedTrace) -> Vec<Diagnostic> {
+        let loss = LossReport::default();
+        let config = super::super::LintConfig::default();
+        let ctx = LintContext {
+            trace: t,
+            intervals: &[],
+            loss: &loss,
+            suspects: &[],
+            config: &config,
+        };
+        rule.check(&ctx)
+    }
+
+    #[test]
+    fn overlapping_gets_on_different_tags_race() {
+        use EventCode::*;
+        let t = trace_of(vec![
+            ev(0, SpeCtxStart, vec![0], 0),
+            dma(10, SpeDmaGet, 0x1000, 4096, 0, 1),
+            dma(20, SpeDmaGet, 0x1800, 4096, 1, 2), // overlaps [0x1800,0x2000)
+            ev(30, SpeTagWaitBegin, vec![0b11, 0], 3),
+            ev(40, SpeTagWaitEnd, vec![0b11], 4),
+            ev(50, SpeStop, vec![0], 5),
+        ]);
+        let d = run_rule(&DmaRace, &t);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].anchor.unwrap().seq, 2, "anchored at the later issue");
+        assert_eq!(d[0].related[0].seq, 1);
+    }
+
+    #[test]
+    fn wait_between_transfers_orders_them() {
+        use EventCode::*;
+        let t = trace_of(vec![
+            dma(10, SpeDmaGet, 0x1000, 4096, 0, 0),
+            ev(20, SpeTagWaitBegin, vec![0b1, 0], 1),
+            ev(30, SpeTagWaitEnd, vec![0b1], 2),
+            dma(40, SpeDmaGet, 0x1000, 4096, 1, 3),
+            ev(50, SpeTagWaitBegin, vec![0b10, 0], 4),
+            ev(60, SpeTagWaitEnd, vec![0b10], 5),
+        ]);
+        assert!(run_rule(&DmaRace, &t).is_empty());
+    }
+
+    #[test]
+    fn same_tag_overlap_is_not_a_race() {
+        use EventCode::*;
+        let t = trace_of(vec![
+            dma(10, SpeDmaGet, 0x1000, 4096, 0, 0),
+            dma(20, SpeDmaGet, 0x1000, 4096, 0, 1),
+            ev(30, SpeTagWaitBegin, vec![0b1, 0], 2),
+            ev(40, SpeTagWaitEnd, vec![0b1], 3),
+        ]);
+        assert!(run_rule(&DmaRace, &t).is_empty());
+    }
+
+    #[test]
+    fn concurrent_puts_do_not_race() {
+        use EventCode::*;
+        // Two PUTs read local store; without a write there is no race.
+        let t = trace_of(vec![
+            dma(10, SpeDmaPut, 0x1000, 4096, 0, 0),
+            dma(20, SpeDmaPut, 0x1000, 4096, 1, 1),
+            ev(30, SpeTagWaitBegin, vec![0b11, 0], 2),
+            ev(40, SpeTagWaitEnd, vec![0b11], 3),
+        ]);
+        assert!(run_rule(&DmaRace, &t).is_empty());
+        // A PUT against a concurrent overlapping GET does race.
+        let t = trace_of(vec![
+            dma(10, SpeDmaPut, 0x1000, 4096, 0, 0),
+            dma(20, SpeDmaGet, 0x1000, 4096, 1, 1),
+            ev(30, SpeTagWaitBegin, vec![0b11, 0], 2),
+            ev(40, SpeTagWaitEnd, vec![0b11], 3),
+        ]);
+        assert_eq!(run_rule(&DmaRace, &t).len(), 1);
+    }
+
+    #[test]
+    fn disjoint_ls_ranges_do_not_race() {
+        use EventCode::*;
+        let t = trace_of(vec![
+            dma(10, SpeDmaGet, 0x1000, 0x800, 0, 0),
+            dma(20, SpeDmaGet, 0x1800, 0x800, 1, 1), // adjacent, no overlap
+            ev(30, SpeTagWaitBegin, vec![0b11, 0], 2),
+            ev(40, SpeTagWaitEnd, vec![0b11], 3),
+        ]);
+        assert!(run_rule(&DmaRace, &t).is_empty());
+    }
+
+    #[test]
+    fn unwaited_transfers_group_per_tag() {
+        use EventCode::*;
+        let t = trace_of(vec![
+            dma(10, SpeDmaGet, 0x1000, 256, 3, 0),
+            dma(20, SpeDmaGet, 0x2000, 256, 3, 1),
+            dma(30, SpeDmaPut, 0x3000, 256, 4, 2),
+            ev(40, SpeTagWaitBegin, vec![1 << 4, 0], 3),
+            ev(50, SpeTagWaitEnd, vec![1 << 4], 4),
+            ev(60, SpeStop, vec![0], 5),
+        ]);
+        let d = run_rule(&UnwaitedTagGroup, &t);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("2 transfer(s) on tag 3"));
+        assert_eq!(d[0].anchor.unwrap().seq, 0);
+        assert_eq!(d[0].related.len(), 1);
+    }
+
+    #[test]
+    fn partial_completion_mask_releases_only_named_tags() {
+        use EventCode::*;
+        // Wait-any completes tag 0 but leaves tag 1 outstanding.
+        let t = trace_of(vec![
+            dma(10, SpeDmaGet, 0x1000, 256, 0, 0),
+            dma(20, SpeDmaGet, 0x2000, 256, 1, 1),
+            ev(30, SpeTagWaitBegin, vec![0b11, 1], 2),
+            ev(40, SpeTagWaitEnd, vec![0b01], 3),
+            ev(50, SpeStop, vec![0], 4),
+        ]);
+        let d = run_rule(&UnwaitedTagGroup, &t);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("tag 1"));
+    }
+
+    #[test]
+    fn vacuous_wait_is_flagged() {
+        use EventCode::*;
+        let t = trace_of(vec![
+            dma(10, SpeDmaGet, 0x1000, 256, 0, 0),
+            ev(20, SpeTagWaitBegin, vec![1 << 5, 0], 1), // wrong tag
+            ev(30, SpeTagWaitEnd, vec![1 << 5], 2),
+            ev(40, SpeTagWaitBegin, vec![1, 0], 3), // right tag
+            ev(50, SpeTagWaitEnd, vec![1], 4),
+        ]);
+        let d = run_rule(&WaitWithoutDma, &t);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].anchor.unwrap().seq, 1);
+        assert!(d[0].message.contains("0x20"));
+    }
+}

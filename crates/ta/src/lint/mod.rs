@@ -1,0 +1,415 @@
+//! The trace lint engine: rule-based static analysis over decoded
+//! traces.
+//!
+//! The paper's central claim is that a PDT trace is enough to find
+//! bugs *after the fact* — misused tag groups, serialization stalls,
+//! racy double-buffering — without rerunning the workload. This module
+//! is that workflow made mechanical: a registry of [`Lint`] rules runs
+//! over an [`AnalyzedTrace`] (pure inspection, no re-execution) and
+//! emits structured, event-anchored [`Diagnostic`]s.
+//!
+//! ## Rules
+//!
+//! | id | severity | detects |
+//! |----|----------|---------|
+//! | `dma-race` | error | concurrent DMA transfers overlapping in local store, different tag groups, ≥1 write |
+//! | `unwaited-tag-group` | error | DMA issued but never covered by a tag wait |
+//! | `wait-without-dma` | warn | tag wait naming only tags with zero outstanding transfers |
+//! | `unbalanced-intervals` | warn | begin without end / end without begin per core |
+//! | `mailbox-deadlock-shape` | error | cyclic blocked-on-mailbox/signal wait chains across SPEs |
+//! | `overhead-hotspot` | warn | instrumentation overhead above a threshold fraction of an interval |
+//!
+//! ## Gap awareness
+//!
+//! Rules are downgraded, not silenced, by trace damage: a diagnostic
+//! whose anchor falls inside a decode-gap [`SuspectRange`], or whose
+//! stream lost records, keeps its severity but gains
+//! [`Diagnostic::suspect`] — CI gating counts only *firm* diagnostics,
+//! so a truncated trace never fails a build over an artifact of the
+//! truncation. A [`.talint.toml`](LintConfig::from_toml_str) baseline
+//! file can further allow/deny rules and suppress known findings.
+
+mod dma;
+mod mailbox;
+mod overhead;
+mod render;
+mod structure;
+
+mod baseline;
+
+use pdt::TraceCore;
+
+use crate::analyze::{AnalyzedTrace, GlobalEvent};
+use crate::index::{compute_suspect_ranges, SuspectRange};
+use crate::intervals::SpeIntervals;
+use crate::loss::LossReport;
+
+pub use baseline::ConfigError;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth a look, not actionable by itself.
+    Info,
+    /// Suspicious pattern; may be benign.
+    Warn,
+    /// A defect the trace proves (up to reconstruction fidelity).
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase label (`"error"`, `"warn"`, `"info"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// A position in the trace a diagnostic points at: the producing core,
+/// the event's per-stream sequence number and its reconstructed
+/// timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Anchor {
+    /// The core whose stream recorded the event.
+    pub core: TraceCore,
+    /// The event's sequence number within its stream.
+    pub seq: u64,
+    /// The reconstructed timebase tick.
+    pub time_tb: u64,
+}
+
+impl Anchor {
+    /// Anchors at `event`.
+    pub fn at(event: &GlobalEvent) -> Self {
+        Anchor {
+            core: event.core,
+            seq: event.stream_seq,
+            time_tb: event.time_tb,
+        }
+    }
+}
+
+/// One finding: a rule id, a severity, a primary anchor (plus related
+/// events) and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The reporting rule's id.
+    pub rule: &'static str,
+    /// Effective severity (after any `--deny` promotion).
+    pub severity: Severity,
+    /// True when the finding may be an artifact of trace damage: the
+    /// anchor falls in a decode-gap [`SuspectRange`] or the anchored
+    /// stream lost records. Suspect diagnostics never gate CI.
+    pub suspect: bool,
+    /// The primary event the finding points at, when one exists.
+    pub anchor: Option<Anchor>,
+    /// Secondary events involved (e.g. the other half of a race).
+    pub related: Vec<Anchor>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic for `rule` anchored at `event`.
+    pub fn new(
+        rule: &'static str,
+        severity: Severity,
+        event: &GlobalEvent,
+        message: String,
+    ) -> Self {
+        Diagnostic {
+            rule,
+            severity,
+            suspect: false,
+            anchor: Some(Anchor::at(event)),
+            related: Vec::new(),
+            message,
+        }
+    }
+
+    /// Same, without an anchor (trace-level findings).
+    pub fn unanchored(rule: &'static str, severity: Severity, message: String) -> Self {
+        Diagnostic {
+            rule,
+            severity,
+            suspect: false,
+            anchor: None,
+            related: Vec::new(),
+            message,
+        }
+    }
+
+    /// Adds a related event.
+    pub fn with_related(mut self, event: &GlobalEvent) -> Self {
+        self.related.push(Anchor::at(event));
+        self
+    }
+
+    /// True for a firm (non-suspect) error — the kind that gates CI.
+    pub fn is_firm_error(&self) -> bool {
+        self.severity == Severity::Error && !self.suspect
+    }
+}
+
+/// A known finding to drop from the report (the `[[suppress]]` entries
+/// of a `.talint.toml`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule id to suppress.
+    pub rule: String,
+    /// Restrict the suppression to diagnostics anchored on this core
+    /// (`None` suppresses the rule everywhere).
+    pub core: Option<TraceCore>,
+    /// Why the finding is acceptable — required, so baselines stay
+    /// reviewable.
+    pub reason: String,
+}
+
+/// Tunables and baseline state for a lint run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintConfig {
+    /// Rule ids to skip entirely.
+    pub allow: Vec<String>,
+    /// Rule ids whose diagnostics are promoted to [`Severity::Error`].
+    pub deny: Vec<String>,
+    /// `overhead-hotspot` fires when instrumentation overhead exceeds
+    /// this fraction of an interval.
+    pub overhead_threshold: f64,
+    /// Intervals shorter than this many ticks are ignored by
+    /// `overhead-hotspot` (tiny denominators make noisy ratios).
+    pub min_overhead_ticks: u64,
+    /// Baseline suppressions.
+    pub suppress: Vec<Suppression>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            allow: Vec::new(),
+            deny: Vec::new(),
+            overhead_threshold: 0.25,
+            min_overhead_ticks: 256,
+            suppress: Vec::new(),
+        }
+    }
+}
+
+impl LintConfig {
+    /// Parses a `.talint.toml` baseline file (a small TOML subset; see
+    /// the crate docs for the accepted grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the offending line on syntax or
+    /// type errors.
+    pub fn from_toml_str(text: &str) -> Result<Self, ConfigError> {
+        baseline::parse(text)
+    }
+
+    fn suppresses(&self, d: &Diagnostic) -> bool {
+        self.suppress.iter().any(|s| {
+            s.rule == d.rule
+                && match (s.core, &d.anchor) {
+                    (None, _) => true,
+                    (Some(c), Some(a)) => a.core == c,
+                    (Some(_), None) => false,
+                }
+        })
+    }
+}
+
+/// A lint rule: stable id, default severity, one-paragraph docs, and
+/// the check itself.
+pub trait Lint {
+    /// Stable kebab-case id (`"dma-race"`).
+    fn id(&self) -> &'static str;
+    /// Default severity of this rule's diagnostics.
+    fn severity(&self) -> Severity;
+    /// What the rule detects and why it matters — rendered into SARIF
+    /// rule metadata.
+    fn docs(&self) -> &'static str;
+    /// Runs the rule, returning its diagnostics (unsorted; the runner
+    /// orders and post-processes them).
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic>;
+}
+
+impl std::fmt::Debug for dyn Lint + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Lint({})", self.id())
+    }
+}
+
+/// Everything a rule may inspect.
+#[derive(Debug)]
+pub struct LintContext<'a> {
+    /// The reconstructed trace.
+    pub trace: &'a AnalyzedTrace,
+    /// Reconstructed per-SPE activity intervals.
+    pub intervals: &'a [SpeIntervals],
+    /// Ingestion loss accounting (empty when none ran).
+    pub loss: &'a LossReport,
+    /// Decode-gap time ranges derived from `loss`.
+    pub suspects: &'a [SuspectRange],
+    /// The run's configuration.
+    pub config: &'a LintConfig,
+}
+
+impl LintContext<'_> {
+    /// Whether findings anchored on `core` should be downgraded to
+    /// suspect: the core's stream (or, for SPEs, the PPE stream its
+    /// reconstruction depends on) lost records, or the tracer dropped
+    /// records trace-wide.
+    pub fn stream_truncated(&self, core: TraceCore) -> bool {
+        if self.trace.dropped > 0 {
+            return true;
+        }
+        match core {
+            TraceCore::Spe(s) => self.loss.suspect(s),
+            TraceCore::Ppe(_) => self
+                .loss
+                .streams
+                .iter()
+                .any(|l| !l.core.is_spe() && !l.is_clean()),
+        }
+    }
+
+    /// Whether `t` falls inside any decode-gap suspect range.
+    pub fn tick_suspect(&self, t: u64) -> bool {
+        self.suspects
+            .iter()
+            .any(|r| r.overlaps(t, t.saturating_add(1)))
+    }
+}
+
+/// Metadata of a rule that ran (for report renderers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// The rule id.
+    pub id: &'static str,
+    /// Its default severity.
+    pub severity: Severity,
+    /// Its documentation string.
+    pub docs: &'static str,
+}
+
+/// The outcome of a lint run: ordered diagnostics plus the rule set
+/// that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintReport {
+    /// All surviving diagnostics, most severe first, then by anchor
+    /// time.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The rules that ran (allow-listed rules are absent).
+    pub rules: Vec<RuleInfo>,
+    /// Diagnostics dropped by baseline suppressions.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// Firm (non-suspect) error-severity diagnostics — what a CI gate
+    /// should count.
+    pub fn firm_errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.is_firm_error())
+    }
+
+    /// True when no firm error survived.
+    pub fn is_clean(&self) -> bool {
+        self.firm_errors().next().is_none()
+    }
+
+    /// Diagnostics of one rule.
+    pub fn of_rule<'a>(&'a self, rule: &'a str) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.rule == rule)
+    }
+
+    /// Plain-text rendering, one line per diagnostic.
+    pub fn render_text(&self) -> String {
+        render::to_text(self)
+    }
+
+    /// Machine-readable JSON rendering.
+    pub fn to_json(&self) -> String {
+        render::to_json(self)
+    }
+
+    /// SARIF 2.1.0 rendering, for CI code-scanning upload.
+    pub fn to_sarif(&self) -> String {
+        render::to_sarif(self)
+    }
+}
+
+/// The built-in rule registry, in documentation order.
+pub fn default_rules() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(dma::DmaRace),
+        Box::new(dma::UnwaitedTagGroup),
+        Box::new(dma::WaitWithoutDma),
+        Box::new(structure::UnbalancedIntervals),
+        Box::new(mailbox::MailboxDeadlockShape),
+        Box::new(overhead::OverheadHotspot),
+    ]
+}
+
+/// Runs the default rule registry over a reconstructed trace.
+///
+/// `intervals` must be the trace's reconstructed activity intervals
+/// and `loss` its ingestion loss accounting (use
+/// [`LossReport::default`] when none ran). Prefer
+/// [`Analysis::lint`](crate::Analysis::lint), which wires the session's
+/// memoized products in.
+pub fn lint_trace(
+    trace: &AnalyzedTrace,
+    intervals: &[SpeIntervals],
+    loss: &LossReport,
+    config: &LintConfig,
+) -> LintReport {
+    let suspects = compute_suspect_ranges(trace, loss);
+    let ctx = LintContext {
+        trace,
+        intervals,
+        loss,
+        suspects: &suspects,
+        config,
+    };
+    let mut diagnostics = Vec::new();
+    let mut rules = Vec::new();
+    let mut suppressed = 0usize;
+    for rule in default_rules() {
+        if config.allow.iter().any(|a| a == rule.id()) {
+            continue;
+        }
+        rules.push(RuleInfo {
+            id: rule.id(),
+            severity: rule.severity(),
+            docs: rule.docs(),
+        });
+        for mut d in rule.check(&ctx) {
+            if config.deny.iter().any(|a| a == d.rule) {
+                d.severity = Severity::Error;
+            }
+            if let Some(a) = &d.anchor {
+                d.suspect |= ctx.tick_suspect(a.time_tb) || ctx.stream_truncated(a.core);
+            }
+            if config.suppresses(&d) {
+                suppressed += 1;
+                continue;
+            }
+            diagnostics.push(d);
+        }
+    }
+    diagnostics.sort_by_key(|d| {
+        (
+            std::cmp::Reverse(d.severity),
+            d.anchor.map(|a| (a.time_tb, a.core.tag(), a.seq)),
+            d.rule,
+        )
+    });
+    LintReport {
+        diagnostics,
+        rules,
+        suppressed,
+    }
+}

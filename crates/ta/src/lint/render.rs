@@ -1,0 +1,235 @@
+//! Text, JSON and SARIF renderings of a [`LintReport`].
+//!
+//! Both machine formats are emitted by hand (the workspace vendors no
+//! JSON library): strings go through a strict escaper, numbers are
+//! emitted as decimal, and the SARIF output follows the minimal 2.1.0
+//! shape code-scanning services ingest — `tool.driver.rules` carrying
+//! the rule metadata, one `result` per diagnostic, anchors expressed
+//! as logical locations (a trace has no files to point at).
+
+use super::{Anchor, Diagnostic, LintReport, Severity};
+
+/// Escapes `s` into a JSON string literal (without the quotes).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn anchor_json(a: &Anchor) -> String {
+    format!(
+        "{{\"core\":\"{}\",\"seq\":{},\"time_tb\":{}}}",
+        esc(&a.core.to_string()),
+        a.seq,
+        a.time_tb
+    )
+}
+
+pub(super) fn to_text(r: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &r.diagnostics {
+        let suspect = if d.suspect {
+            " (suspect: trace damage)"
+        } else {
+            ""
+        };
+        let at = match &d.anchor {
+            Some(a) => format!(" [{} seq {} @{}]", a.core, a.seq, a.time_tb),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "{}[{}]{}: {}{}\n",
+            d.severity.label(),
+            d.rule,
+            at,
+            d.message,
+            suspect
+        ));
+    }
+    let firm = r.firm_errors().count();
+    out.push_str(&format!(
+        "{} diagnostic(s), {} firm error(s), {} suppressed\n",
+        r.diagnostics.len(),
+        firm,
+        r.suppressed
+    ));
+    out
+}
+
+pub(super) fn to_json(r: &LintReport) -> String {
+    let diags: Vec<String> = r
+        .diagnostics
+        .iter()
+        .map(|d: &Diagnostic| {
+            let anchor = d
+                .anchor
+                .as_ref()
+                .map(anchor_json)
+                .unwrap_or_else(|| "null".into());
+            let related: Vec<String> = d.related.iter().map(anchor_json).collect();
+            format!(
+                "{{\"rule\":\"{}\",\"severity\":\"{}\",\"suspect\":{},\"anchor\":{},\
+                 \"related\":[{}],\"message\":\"{}\"}}",
+                esc(d.rule),
+                d.severity.label(),
+                d.suspect,
+                anchor,
+                related.join(","),
+                esc(&d.message)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"version\":1,\"firm_errors\":{},\"suppressed\":{},\"diagnostics\":[{}]}}\n",
+        r.firm_errors().count(),
+        r.suppressed,
+        diags.join(",")
+    )
+}
+
+fn sarif_level(s: Severity) -> &'static str {
+    match s {
+        Severity::Error => "error",
+        Severity::Warn => "warning",
+        Severity::Info => "note",
+    }
+}
+
+pub(super) fn to_sarif(r: &LintReport) -> String {
+    let rules: Vec<String> = r
+        .rules
+        .iter()
+        .map(|ri| {
+            format!(
+                "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\
+                 \"defaultConfiguration\":{{\"level\":\"{}\"}}}}",
+                esc(ri.id),
+                esc(ri.docs),
+                sarif_level(ri.severity)
+            )
+        })
+        .collect();
+    let results: Vec<String> = r
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let locations = d
+                .anchor
+                .iter()
+                .chain(d.related.iter())
+                .map(|a| {
+                    format!(
+                        "{{\"logicalLocations\":[{{\"name\":\"{}\"}}],\
+                         \"properties\":{{\"seq\":{},\"time_tb\":{}}}}}",
+                        esc(&a.core.to_string()),
+                        a.seq,
+                        a.time_tb
+                    )
+                })
+                .collect::<Vec<_>>();
+            format!(
+                "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{}],\"properties\":{{\"suspect\":{}}}}}",
+                esc(d.rule),
+                sarif_level(d.severity),
+                esc(&d.message),
+                locations.join(","),
+                d.suspect
+            )
+        })
+        .collect();
+    format!(
+        "{{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"talint\",\
+         \"informationUri\":\"https://example.invalid/talint\",\"rules\":[{}]}}}},\
+         \"results\":[{}]}}]}}\n",
+        rules.join(","),
+        results.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::RuleInfo;
+    use pdt::TraceCore;
+
+    fn report() -> LintReport {
+        LintReport {
+            diagnostics: vec![
+                Diagnostic {
+                    rule: "dma-race",
+                    severity: Severity::Error,
+                    suspect: false,
+                    anchor: Some(Anchor {
+                        core: TraceCore::Spe(0),
+                        seq: 7,
+                        time_tb: 1234,
+                    }),
+                    related: vec![Anchor {
+                        core: TraceCore::Spe(0),
+                        seq: 5,
+                        time_tb: 1200,
+                    }],
+                    message: "a \"quoted\" race\nsecond line".into(),
+                },
+                Diagnostic {
+                    rule: "wait-without-dma",
+                    severity: Severity::Warn,
+                    suspect: true,
+                    anchor: None,
+                    related: vec![],
+                    message: "vacuous".into(),
+                },
+            ],
+            rules: vec![RuleInfo {
+                id: "dma-race",
+                severity: Severity::Error,
+                docs: "races",
+            }],
+            suppressed: 1,
+        }
+    }
+
+    #[test]
+    fn text_lists_every_diagnostic_and_totals() {
+        let t = to_text(&report());
+        assert!(t.contains("error[dma-race] [SPE0 seq 7 @1234]"));
+        assert!(t.contains("(suspect: trace damage)"));
+        assert!(t.contains("2 diagnostic(s), 1 firm error(s), 1 suppressed"));
+    }
+
+    #[test]
+    fn json_escapes_and_anchors() {
+        let j = to_json(&report());
+        assert!(j.contains("\\\"quoted\\\" race\\nsecond line"));
+        assert!(j.contains("\"anchor\":{\"core\":\"SPE0\",\"seq\":7,\"time_tb\":1234}"));
+        assert!(j.contains("\"anchor\":null"));
+        assert!(j.contains("\"firm_errors\":1"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn sarif_has_rules_and_results() {
+        let s = to_sarif(&report());
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"name\":\"talint\""));
+        assert!(s.contains("\"ruleId\":\"dma-race\""));
+        assert!(s.contains("\"level\":\"warning\""));
+        assert!(s.contains("\"suspect\":true"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+}

@@ -40,6 +40,7 @@ use pdt::TraceFile;
 use crate::analyze::{AnalyzeError, AnalyzedTrace, GlobalEvent};
 use crate::index::{TraceIndex, WindowSummary};
 use crate::intervals::{build_intervals, SpeIntervals};
+use crate::lint::{lint_trace, LintConfig, LintReport};
 use crate::loss::{DecodePolicy, LossReport};
 use crate::occupancy::{dma_occupancy, SpeOccupancy};
 use crate::parallel::{analyze_parallel, analyze_parallel_lossy};
@@ -141,6 +142,7 @@ pub struct Analysis {
     occupancy: OnceLock<Vec<SpeOccupancy>>,
     phases: OnceLock<PhaseReport>,
     index: OnceLock<TraceIndex>,
+    lint: OnceLock<LintReport>,
 }
 
 impl Analysis {
@@ -168,6 +170,7 @@ impl Analysis {
             occupancy: OnceLock::new(),
             phases: OnceLock::new(),
             index: OnceLock::new(),
+            lint: OnceLock::new(),
         }
     }
 
@@ -225,6 +228,29 @@ impl Analysis {
         self.index.get_or_init(|| {
             TraceIndex::build_parallel(&self.analyzed, self.intervals(), &self.loss, self.threads)
         })
+    }
+
+    /// Runs the default lint rule registry with the default
+    /// [`LintConfig`], memoized like the other products. The rules see
+    /// the session's memoized intervals and its ingestion
+    /// [`LossReport`], so diagnostics anchored in damaged regions are
+    /// downgraded to suspect rather than reported firm.
+    pub fn lint(&self) -> &LintReport {
+        self.lint.get_or_init(|| {
+            lint_trace(
+                &self.analyzed,
+                self.intervals(),
+                &self.loss,
+                &LintConfig::default(),
+            )
+        })
+    }
+
+    /// Runs the lint rules with a caller-provided configuration
+    /// (baseline suppressions, allow/deny lists, thresholds). Not
+    /// memoized — each call re-runs the rules with `config`.
+    pub fn lint_with(&self, config: &LintConfig) -> LintReport {
+        lint_trace(&self.analyzed, self.intervals(), &self.loss, config)
     }
 
     /// Applies `filter` through the [index](Self::index): window

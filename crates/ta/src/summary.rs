@@ -8,12 +8,14 @@ use crate::loss::LossReport;
 use crate::stats::{compute_stats, TraceStats};
 
 /// Renders the full summary report for a trace.
+#[deprecated(note = "use `Analysis::summary`, which includes loss accounting")]
 pub fn summary_report(trace: &AnalyzedTrace) -> String {
     let stats = compute_stats(trace);
-    render_summary(trace, &stats)
+    render_summary_with(trace, &stats, None)
 }
 
 /// Renders the summary from precomputed statistics.
+#[deprecated(note = "use `Analysis::summary`, which includes loss accounting")]
 pub fn render_summary(trace: &AnalyzedTrace, stats: &TraceStats) -> String {
     render_summary_with(trace, stats, None)
 }
@@ -179,6 +181,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn summary_contains_all_sections() {
         let s = summary_report(&trace());
         for needle in [
@@ -201,6 +204,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn empty_trace_summary_does_not_panic() {
         let mut t = trace();
         t.events.clear();

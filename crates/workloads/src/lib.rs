@@ -41,4 +41,4 @@ pub use matmul::{MatmulConfig, MatmulWorkload};
 pub use pipeline::{PipelineConfig, PipelineWorkload};
 pub use sparse::{Schedule, SparseConfig, SparseWorkload};
 pub use stencil::{jacobi_reference, StencilConfig, StencilWorkload};
-pub use stream::{Buffering, StreamConfig, StreamWorkload};
+pub use stream::{Buffering, RacyDoubleBufferKernel, StreamConfig, StreamWorkload};

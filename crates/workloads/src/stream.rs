@@ -28,6 +28,13 @@ pub enum Buffering {
     Single,
     /// Two input and two output buffers; transfers overlap compute.
     Double,
+    /// A *deliberately broken* double-buffer: the prefetch GET lands in
+    /// the same LS buffer as the in-flight GET, on a tag group that is
+    /// never waited, and the kernel opens with a wait on an unused tag.
+    /// Exists to seed `ta-cli lint` findings (`dma-race`,
+    /// `unwaited-tag-group`, `wait-without-dma`); its output is
+    /// unspecified and not verified.
+    RacyDouble,
 }
 
 /// Streaming workload parameters.
@@ -120,6 +127,9 @@ impl Workload for StreamWorkload {
                 let kernel: Box<dyn SpuProgram> = match self.cfg.buffering {
                     Buffering::Single => Box::new(SingleBufferKernel::new(self.cfg, first, count)),
                     Buffering::Double => Box::new(DoubleBufferKernel::new(self.cfg, first, count)),
+                    Buffering::RacyDouble => {
+                        Box::new(RacyDoubleBufferKernel::new(self.cfg, first, count))
+                    }
                 };
                 SpeJob::new(format!("stream{s}"), kernel)
             })
@@ -128,6 +138,13 @@ impl Workload for StreamWorkload {
     }
 
     fn verify(&self, machine: &Machine) -> Result<(), String> {
+        if self.cfg.buffering == Buffering::RacyDouble {
+            // The racy kernel overwrites its input buffer while a
+            // transfer into it is still in flight; whatever it computed
+            // is unspecified by construction. The run itself (no
+            // simulator fault) is the only thing to verify.
+            return Ok(());
+        }
         let n = self.cfg.blocks * self.cfg.elems_per_block();
         let input = self.input();
         let got = machine
@@ -419,6 +436,158 @@ impl SpuProgram for DoubleBufferKernel {
     }
 }
 
+// ---------------------------------------------------------------------
+// Racy double-buffered kernel (deliberately broken, for the linter)
+// ---------------------------------------------------------------------
+
+/// The tag the racy kernel's never-waited prefetches go out on.
+const RACY_PREFETCH_TAG: u8 = 1;
+/// The unused tag the racy kernel pointlessly waits on at startup.
+const RACY_BOGUS_TAG: u8 = 5;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RacyPhase {
+    Init,
+    BogusWaitIssued,
+    GetIssued,
+    PrefetchIssued,
+    InWaitDone,
+    ComputeDone,
+    PutIssued,
+    PutDone,
+}
+
+/// A naive "double buffer" that forgot the second buffer: block *k+1*
+/// is prefetched into the **same** LS buffer the in-flight GET of
+/// block *k* targets, on tag [`RACY_PREFETCH_TAG`] — which is never
+/// waited. Every anti-pattern here is intentional; the lint golden
+/// tests pin the diagnostics this kernel seeds:
+///
+/// - `dma-race`: the prefetch GET overlaps the primary GET in time and
+///   LS range, on different tag groups, and both write local store.
+/// - `unwaited-tag-group`: no tag wait ever covers the prefetch tag.
+/// - `wait-without-dma`: the startup wait on [`RACY_BOGUS_TAG`] names
+///   a tag with zero outstanding transfers.
+#[derive(Debug)]
+pub struct RacyDoubleBufferKernel {
+    cfg: StreamConfig,
+    first: usize,
+    count: usize,
+    k: usize,
+    phase: RacyPhase,
+    in_buf: LsAddr,
+    out_buf: LsAddr,
+}
+
+impl RacyDoubleBufferKernel {
+    /// Kernel over blocks `[first, first+count)`.
+    pub fn new(cfg: StreamConfig, first: usize, count: usize) -> Self {
+        RacyDoubleBufferKernel {
+            cfg,
+            first,
+            count,
+            k: 0,
+            phase: RacyPhase::Init,
+            in_buf: LsAddr::new(0),
+            out_buf: LsAddr::new(0),
+        }
+    }
+
+    fn block_ea(&self, base: u64, k: usize) -> u64 {
+        base + (self.first + k) as u64 * self.cfg.block_bytes as u64
+    }
+
+    fn get_into_shared_buf(&self, k: usize, tag: u8) -> SpuAction {
+        SpuAction::DmaGet {
+            lsa: self.in_buf,
+            ea: self.block_ea(self.cfg.in_base(), k),
+            size: self.cfg.block_bytes,
+            tag: TagId::new(tag).unwrap(),
+        }
+    }
+}
+
+impl SpuProgram for RacyDoubleBufferKernel {
+    fn resume(&mut self, _wake: SpuWake, mut env: SpuEnv<'_>) -> SpuAction {
+        let bytes = self.cfg.block_bytes;
+        match self.phase {
+            RacyPhase::Init => {
+                self.in_buf = env.ls.alloc(bytes, 128, "in").unwrap();
+                self.out_buf = env.ls.alloc(bytes, 128, "out").unwrap();
+                // Bug #1: wait on a tag nothing was ever issued on.
+                self.phase = RacyPhase::BogusWaitIssued;
+                SpuAction::WaitTags {
+                    mask: 1 << RACY_BOGUS_TAG,
+                    mode: TagWaitMode::All,
+                }
+            }
+            RacyPhase::BogusWaitIssued => {
+                if self.count == 0 {
+                    return SpuAction::Stop(0);
+                }
+                self.phase = RacyPhase::GetIssued;
+                self.get_into_shared_buf(self.k, IN_TAG)
+            }
+            RacyPhase::GetIssued => {
+                // Bug #2: "prefetch" the next block into the SAME
+                // buffer, on a tag group that is never waited.
+                if self.k + 1 < self.count {
+                    self.phase = RacyPhase::PrefetchIssued;
+                    return self.get_into_shared_buf(self.k + 1, RACY_PREFETCH_TAG);
+                }
+                self.phase = RacyPhase::InWaitDone;
+                SpuAction::WaitTags {
+                    mask: 1 << IN_TAG,
+                    mode: TagWaitMode::All,
+                }
+            }
+            RacyPhase::PrefetchIssued => {
+                self.phase = RacyPhase::InWaitDone;
+                SpuAction::WaitTags {
+                    mask: 1 << IN_TAG,
+                    mode: TagWaitMode::All,
+                }
+            }
+            RacyPhase::InWaitDone => {
+                transform(
+                    &mut env,
+                    self.in_buf,
+                    self.out_buf,
+                    self.cfg.elems_per_block(),
+                    self.cfg.a,
+                    self.cfg.b,
+                );
+                self.phase = RacyPhase::ComputeDone;
+                SpuAction::Compute(self.cfg.compute_cycles_per_block)
+            }
+            RacyPhase::ComputeDone => {
+                self.phase = RacyPhase::PutIssued;
+                SpuAction::DmaPut {
+                    lsa: self.out_buf,
+                    ea: self.block_ea(self.cfg.out_base(), self.k),
+                    size: bytes,
+                    tag: TagId::new(OUT_TAG).unwrap(),
+                }
+            }
+            RacyPhase::PutIssued => {
+                self.phase = RacyPhase::PutDone;
+                SpuAction::WaitTags {
+                    mask: 1 << OUT_TAG,
+                    mode: TagWaitMode::All,
+                }
+            }
+            RacyPhase::PutDone => {
+                self.k += 1;
+                if self.k >= self.count {
+                    return SpuAction::Stop(0);
+                }
+                self.phase = RacyPhase::GetIssued;
+                self.get_into_shared_buf(self.k, IN_TAG)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,6 +603,15 @@ mod tests {
             spes,
             ..StreamConfig::default()
         }
+    }
+
+    #[test]
+    fn racy_double_buffer_runs_to_completion() {
+        // Output is unspecified (that's the point), but the simulator
+        // must not fault and the run must terminate.
+        let w = StreamWorkload::new(small(Buffering::RacyDouble, 2));
+        let r = run_workload(&w, MachineConfig::default().with_num_spes(2), None).unwrap();
+        assert!(r.report.cycles > 0);
     }
 
     #[test]

@@ -7,8 +7,8 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== cargo clippy --workspace -- -D warnings =="
-cargo clippy --workspace -- -D warnings
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
@@ -18,6 +18,27 @@ echo "== golden differential suite =="
 # and the naive-scan oracle; any divergence (including the suspect
 # flag on the fault-injected trace) fails the gate.
 cargo test -q --test golden_queries
+
+echo "== golden lint suite =="
+# Pins the exact lint findings on the seeded-racy golden and requires
+# every clean golden (including the fault-injected one, via the
+# suspect downgrade) to gate green.
+cargo test -q --test golden_lints
+
+echo "== lint-engine smoke =="
+# Fresh traces through ta::lint: the racy kernel must produce firm
+# dma-race/unwaited-tag-group findings, clean workloads must gate
+# green, and a damaged trace must degrade to suspect, not panic.
+cargo run -q -p bench --bin lint_smoke
+
+echo "== ta-cli lint gate semantics =="
+# The CLI must exit nonzero on the seeded-racy golden and zero on a
+# clean one.
+if cargo run -q -p ta --bin ta-cli -- lint tests/golden/stream_racy.pdt > /dev/null 2>&1; then
+  echo "ta-cli lint accepted the seeded-racy golden" >&2
+  exit 1
+fi
+cargo run -q -p ta --bin ta-cli -- lint tests/golden/stream.pdt > /dev/null
 
 echo "== fault-injection smoke (3 seeds) =="
 # Injects every corruption mode into a real trace and asserts the lossy

@@ -1,0 +1,219 @@
+//! Golden-trace lint suite: runs the `ta::lint` rule registry over the
+//! seeded corpus in `tests/golden/` and pins the exact findings.
+//!
+//! `stream_racy.pdt` is generated from the deliberately broken
+//! [`Buffering::RacyDouble`] stream kernel, so its defects are known by
+//! construction: the prefetch GET lands in the same LS buffer as the
+//! in-flight GET on a never-waited tag group, and the kernel opens
+//! with a wait on an unused tag. The clean goldens must produce zero
+//! firm (non-suspect) error-severity diagnostics — including the
+//! fault-injected trace, whose truncation artifacts must be downgraded
+//! to suspect rather than reported firm.
+//!
+//! Regenerate the corpus with `cargo run -p bench --bin make_golden`.
+
+use std::path::PathBuf;
+
+use pdt::{TraceCore, TraceFile};
+use ta::{Analysis, LintConfig, Severity};
+
+const CLEAN: [&str; 4] = [
+    "matmul.pdt",
+    "stream.pdt",
+    "pipeline.pdt",
+    "stream_faulted.pdt",
+];
+
+fn golden(name: &str) -> TraceFile {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    TraceFile::read_from(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nregenerate the corpus with `cargo run -p bench --bin make_golden`",
+            path.display()
+        )
+    })
+}
+
+fn analysis(name: &str) -> Analysis {
+    Analysis::of(&golden(name)).threads(2).run().unwrap()
+}
+
+#[test]
+fn racy_stream_reports_the_seeded_defects_exactly() {
+    let a = analysis("stream_racy.pdt");
+    let report = a.lint();
+
+    // The seeded race: every tag-0 GET overlaps an outstanding tag-1
+    // prefetch into the same buffer. 3 blocks per SPE → 5 race pairs
+    // per SPE, each reported once, anchored at the later issue.
+    let races: Vec<_> = report.of_rule("dma-race").collect();
+    assert_eq!(races.len(), 10, "{races:#?}");
+    for spe in [0u8, 1] {
+        let anchors: Vec<u64> = races
+            .iter()
+            .filter(|d| d.anchor.unwrap().core == TraceCore::Spe(spe))
+            .map(|d| d.anchor.unwrap().seq)
+            .collect();
+        assert_eq!(anchors, [4, 10, 11, 17, 17], "SPE{spe} race anchors");
+    }
+    for d in &races {
+        assert_eq!(d.severity, Severity::Error);
+        assert!(!d.suspect, "clean trace: races must be firm");
+        assert_eq!(d.related.len(), 1, "each race names the other half: {d:#?}");
+    }
+
+    // The never-waited prefetch tag: one finding per (SPE, tag),
+    // anchored at the first unwaited issue — the tag-1 GET at seq 4.
+    let unwaited: Vec<_> = report.of_rule("unwaited-tag-group").collect();
+    assert_eq!(unwaited.len(), 2, "{unwaited:#?}");
+    for (d, spe) in unwaited.iter().zip([0u8, 1]) {
+        let a = d.anchor.unwrap();
+        assert_eq!((a.core, a.seq), (TraceCore::Spe(spe), 4));
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("tag 1"), "{}", d.message);
+    }
+
+    // The gratuitous startup wait on tag 5 (mask 0x20), seq 1 on each
+    // SPE — warn severity, not a CI gate.
+    let vacuous: Vec<_> = report.of_rule("wait-without-dma").collect();
+    assert_eq!(vacuous.len(), 2, "{vacuous:#?}");
+    for (d, spe) in vacuous.iter().zip([0u8, 1]) {
+        let a = d.anchor.unwrap();
+        assert_eq!((a.core, a.seq), (TraceCore::Spe(spe), 1));
+        assert_eq!(d.severity, Severity::Warn);
+        assert!(d.message.contains("0x20"), "{}", d.message);
+    }
+
+    // Nothing else fires, and the gate counts exactly the errors.
+    assert_eq!(report.diagnostics.len(), 14, "{report:#?}");
+    assert_eq!(report.firm_errors().count(), 12);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn racy_timestamps_are_pinned_to_the_golden_bytes() {
+    // The corpus is committed, so reconstructed anchor times are
+    // stable; pin the first race per SPE to catch silent drift in
+    // timestamp reconstruction or sweep windowing.
+    let a = analysis("stream_racy.pdt");
+    let report = a.lint();
+    let first: Vec<(TraceCore, u64, u64)> = report
+        .of_rule("dma-race")
+        .map(|d| d.anchor.unwrap())
+        .map(|a| (a.core, a.seq, a.time_tb))
+        .take(2)
+        .collect();
+    assert_eq!(
+        first,
+        [(TraceCore::Spe(0), 4, 75), (TraceCore::Spe(0), 10, 127),]
+    );
+}
+
+#[test]
+fn clean_goldens_produce_no_firm_errors() {
+    for name in CLEAN {
+        let a = analysis(name);
+        let report = a.lint();
+        let firm: Vec<_> = report.firm_errors().collect();
+        assert!(firm.is_empty(), "{name}: {firm:#?}");
+        assert!(report.is_clean(), "{name}");
+    }
+}
+
+#[test]
+fn faulted_stream_downgrades_truncation_artifacts_to_suspect() {
+    // The fault-injected trace cuts SPE0's stream mid-flight, leaving
+    // PUTs without their covering waits. Those ARE unwaited tag
+    // groups on the evidence — but the loss report explains them, so
+    // they must come back suspect, never firm.
+    let a = analysis("stream_faulted.pdt");
+    let report = a.lint();
+    let unwaited: Vec<_> = report.of_rule("unwaited-tag-group").collect();
+    assert!(!unwaited.is_empty(), "truncation should strand transfers");
+    for d in &unwaited {
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.suspect, "must be downgraded: {d:#?}");
+    }
+    // And the downgrade is the only thing standing between the trace
+    // and a gate failure.
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.severity == Severity::Error));
+    assert_eq!(report.firm_errors().count(), 0);
+}
+
+#[test]
+fn baseline_config_suppresses_and_gates() {
+    let a = analysis("stream_racy.pdt");
+
+    // Suppress the races on SPE0 only: 5 fewer diagnostics.
+    let config = LintConfig::from_toml_str(
+        r#"
+        [[suppress]]
+        rule = "dma-race"
+        core = "spe0"
+        reason = "seeded on purpose; SPE0 covered by kernel review"
+        "#,
+    )
+    .unwrap();
+    let report = a.lint_with(&config);
+    assert_eq!(report.suppressed, 5);
+    assert_eq!(report.of_rule("dma-race").count(), 5);
+    assert!(report
+        .of_rule("dma-race")
+        .all(|d| d.anchor.unwrap().core == TraceCore::Spe(1)));
+
+    // Allow-listing a rule removes it from the run entirely.
+    let config =
+        LintConfig::from_toml_str(r#"allow = ["dma-race", "unwaited-tag-group"]"#).unwrap();
+    let report = a.lint_with(&config);
+    assert_eq!(report.of_rule("dma-race").count(), 0);
+    assert!(!report.rules.iter().any(|r| r.id == "dma-race"));
+    assert!(report.is_clean(), "only warns remain");
+
+    // Denying a warn-level rule promotes it to a gating error.
+    let config = LintConfig::from_toml_str(
+        r#"
+        allow = ["dma-race", "unwaited-tag-group"]
+        deny = ["wait-without-dma"]
+        "#,
+    )
+    .unwrap();
+    let report = a.lint_with(&config);
+    assert!(!report.is_clean());
+    assert!(report
+        .of_rule("wait-without-dma")
+        .all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn renderers_cover_the_racy_report() {
+    let a = analysis("stream_racy.pdt");
+    let report = a.lint();
+
+    let text = report.render_text();
+    assert!(text.contains("error[dma-race]"));
+    assert!(text.contains("12 firm error(s)"));
+
+    let json = report.to_json();
+    assert!(json.contains("\"firm_errors\":12"));
+    assert!(json.contains("\"rule\":\"unwaited-tag-group\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+    let sarif = report.to_sarif();
+    assert!(sarif.contains("\"version\":\"2.1.0\""));
+    assert!(sarif.contains("\"ruleId\":\"dma-race\""));
+    assert!(sarif.contains("\"name\":\"SPE0\""));
+    assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
+}
+
+#[test]
+fn session_lint_is_memoized() {
+    let a = analysis("stream_racy.pdt");
+    let first: *const _ = a.lint();
+    let second: *const _ = a.lint();
+    assert_eq!(first, second);
+}

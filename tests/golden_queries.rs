@@ -13,11 +13,12 @@ use std::path::PathBuf;
 use pdt::{EventGroup, TraceCore, TraceFile};
 use ta::{index::oracle, Analysis, EventFilter};
 
-const GOLDEN: [&str; 4] = [
+const GOLDEN: [&str; 5] = [
     "matmul.pdt",
     "stream.pdt",
     "pipeline.pdt",
     "stream_faulted.pdt",
+    "stream_racy.pdt",
 ];
 
 fn golden(name: &str) -> TraceFile {
