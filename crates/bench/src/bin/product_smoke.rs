@@ -1,0 +1,278 @@
+//! Parallel-product smoke gate: `product_smoke [EVENTS_PER_SPE]`.
+//!
+//! Guards the columnar product pipeline two ways, exiting nonzero on
+//! the first violation so `scripts/check.sh` can run it as a cheap
+//! tier-1 gate:
+//!
+//! - **Parity is fatal.** On every golden trace, all seven derived
+//!   products built by `products_parallel(4)` must be identical to the
+//!   products a serial session computes one accessor at a time.
+//! - **The columnar pipeline must actually be fast.** On a large storm
+//!   trace (default 12k events on each of 8 SPEs), the full product
+//!   set built off shared columns must beat the serial row path — each
+//!   product rescanning the row `Vec<GlobalEvent>` — by ≥ 2x with four
+//!   workers and ≥ 1.3x with one.
+//!
+//! Emits `BENCH_products.json` and `BENCH_ingest.json` at the repo
+//! root (stable schema: name, events_per_sec, wall_ms, threads) for
+//! the tracked perf trajectory.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bench::{peak_rss_kb, repo_root, write_bench_json, BenchRecord};
+use cellsim::{MachineConfig, PpeThreadId, SpeJob, SpmdDriver, SpuAction, SpuScript};
+use pdt::{TraceFile, TraceSession, TracingConfig};
+use ta::lint::LintConfig;
+use ta::{analyze_lossy, Analysis, AnalyzedTrace, ColumnarTrace, LossReport};
+
+const SPES: usize = 8;
+const MIN_SPEEDUP_4T: f64 = 2.0;
+const MIN_SPEEDUP_1T: f64 = 1.3;
+
+const GOLDEN: [&str; 5] = [
+    "matmul.pdt",
+    "stream.pdt",
+    "pipeline.pdt",
+    "stream_faulted.pdt",
+    "stream_racy.pdt",
+];
+
+fn storm_trace(events_per_spe: usize) -> TraceFile {
+    let mut m = cellsim::Machine::new(MachineConfig::default().with_num_spes(SPES)).unwrap();
+    let session = TraceSession::install(TracingConfig::default(), &mut m).unwrap();
+    let jobs = (0..SPES)
+        .map(|i| {
+            let mut actions = Vec::with_capacity(2 * events_per_spe);
+            for k in 0..events_per_spe {
+                actions.push(SpuAction::UserEvent {
+                    id: (k % 50) as u32,
+                    a0: k as u64,
+                    a1: i as u64,
+                });
+                actions.push(SpuAction::Compute(200));
+            }
+            SpeJob::new(format!("storm{i}"), Box::new(SpuScript::new(actions)))
+        })
+        .collect();
+    m.set_ppe_program(PpeThreadId::new(0), Box::new(SpmdDriver::new(jobs)));
+    m.run().unwrap();
+    session.collect(&m)
+}
+
+/// Parallel product builds must be indistinguishable from serial ones
+/// on every golden trace.
+fn check_parity() -> Result<(), String> {
+    let dir = repo_root().join("tests/golden");
+    for name in GOLDEN {
+        let path = dir.join(name);
+        let trace = TraceFile::read_from(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let serial = Analysis::of(&trace)
+            .run()
+            .map_err(|e| format!("{name}: {e}"))?;
+        let parallel = Analysis::of(&trace)
+            .run()
+            .map_err(|e| format!("{name}: {e}"))?;
+        parallel.products_parallel(4);
+        let bad = |what: &str| Err(format!("{name}: parallel {what} diverged from serial"));
+        if parallel.intervals() != serial.intervals() {
+            return bad("intervals");
+        }
+        if parallel.stats() != serial.stats() {
+            return bad("stats");
+        }
+        if parallel.timeline() != serial.timeline() {
+            return bad("timeline");
+        }
+        if parallel.occupancy() != serial.occupancy() {
+            return bad("occupancy");
+        }
+        if parallel.phases() != serial.phases() {
+            return bad("phases");
+        }
+        if parallel.index() != serial.index() {
+            return bad("index");
+        }
+        if parallel.lint() != serial.lint() {
+            return bad("lint");
+        }
+    }
+    Ok(())
+}
+
+/// Best (minimum) wall time of `f` over `reps` runs, in ms — the
+/// noise-robust estimator for CPU-bound work on a shared box.
+fn best_ms(reps: usize, mut f: impl FnMut() -> usize) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos() as f64 / 1e6
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The pre-columnar serial product path: every product built from the
+/// row `Vec<GlobalEvent>` by the free functions, one after another.
+fn row_products(rows: &AnalyzedTrace, loss: &LossReport, cfg: &LintConfig) -> usize {
+    let iv = ta::intervals::build_intervals(rows);
+    let st = ta::stats::compute_stats_with(rows, &iv);
+    let tl = ta::timeline::build_timeline_with(rows, &iv);
+    let oc = ta::occupancy::dma_occupancy(rows);
+    let ph = ta::phases::user_phases(rows);
+    let ix = ta::index::TraceIndex::build_parallel(rows, &iv, loss, 1);
+    let li = ta::lint::lint_trace(rows, &iv, loss, cfg);
+    std::hint::black_box((&st, &tl, &oc, &ph, &ix));
+    iv.len() + li.diagnostics.len()
+}
+
+fn run() -> Result<(), String> {
+    let events_per_spe: usize = std::env::args()
+        .nth(1)
+        .map(|v| v.parse().map_err(|_| format!("bad size {v:?}")))
+        .transpose()?
+        .unwrap_or(12_000);
+
+    check_parity()?;
+    println!(
+        "golden parity: OK (7 products, serial == parallel on {} traces)",
+        GOLDEN.len()
+    );
+
+    let trace = storm_trace(events_per_spe);
+    let (rows, loss) = analyze_lossy(&trace);
+    let cfg = LintConfig::default();
+    let n = rows.events.len();
+    println!("trace: {n} global events over {SPES} SPEs");
+
+    // Ingest (decode) throughput at several worker counts.
+    let mut ingest = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let ms = best_ms(5, || {
+            Analysis::of(&trace)
+                .threads(threads)
+                .run()
+                .map(|a| a.events().len())
+                .unwrap_or(0)
+        });
+        ingest.push(BenchRecord {
+            name: format!("ingest_decode_{threads}t"),
+            events_per_sec: n as f64 / (ms / 1e3),
+            wall_ms: ms,
+            threads,
+        });
+    }
+
+    // Full product set: serial row path vs columnar pipeline. Both
+    // sides read the same ingested rows; the columnar side pays its
+    // row->columns conversion inside the timed region.
+    let reps = 7;
+    let row_ms = best_ms(reps, || row_products(&rows, &loss, &cfg));
+    let mut records = vec![BenchRecord {
+        name: "products_row_serial".into(),
+        events_per_sec: n as f64 / (row_ms / 1e3),
+        wall_ms: row_ms,
+        threads: 1,
+    }];
+
+    let mut col_ms = [0.0f64; 3];
+    for (i, threads) in [1usize, 2, 4].into_iter().enumerate() {
+        let ms = best_ms(reps, || {
+            let a = Analysis::from_columns(ColumnarTrace::from_analyzed(&rows));
+            a.products_parallel(threads);
+            a.intervals().len() + a.lint().diagnostics.len()
+        });
+        col_ms[i] = ms;
+        records.push(BenchRecord {
+            name: format!("products_columnar_{threads}t"),
+            events_per_sec: n as f64 / (ms / 1e3),
+            wall_ms: ms,
+            threads,
+        });
+    }
+
+    // Per-product build times over a shared, pre-built column store.
+    let cols = ColumnarTrace::from_analyzed(&rows);
+    let iv = ta::intervals::build_intervals_columns(&cols);
+    let each: [(&str, &dyn Fn() -> usize); 7] = [
+        ("product_intervals", &|| {
+            ta::intervals::build_intervals_columns(&cols).len()
+        }),
+        ("product_stats", &|| {
+            ta::stats::compute_stats_columns(&cols, &iv).spes.len()
+        }),
+        ("product_timeline", &|| {
+            ta::timeline::build_timeline_columns(&cols, &iv).lanes.len()
+        }),
+        ("product_occupancy", &|| {
+            ta::occupancy::dma_occupancy_columns(&cols).len()
+        }),
+        ("product_phases", &|| {
+            ta::phases::user_phases_columns(&cols).phases.len()
+        }),
+        ("product_index", &|| {
+            ta::index::TraceIndex::build_columns(&cols, &iv, &loss, 1)
+                .cores()
+                .count()
+        }),
+        ("product_lint", &|| {
+            ta::lint::lint_columns(&cols, &iv, &loss, &cfg)
+                .diagnostics
+                .len()
+        }),
+    ];
+    for (name, f) in each {
+        let ms = best_ms(reps, f);
+        records.push(BenchRecord {
+            name: name.into(),
+            events_per_sec: n as f64 / (ms / 1e3),
+            wall_ms: ms,
+            threads: 1,
+        });
+    }
+
+    let speedup_1t = row_ms / col_ms[0];
+    let speedup_4t = row_ms / col_ms[2];
+    let rss = peak_rss_kb();
+    println!(
+        "products: row serial {row_ms:.2} ms, columnar 1t {:.2} ms ({speedup_1t:.2}x), \
+         4t {:.2} ms ({speedup_4t:.2}x), peak RSS {rss} kB",
+        col_ms[0], col_ms[2]
+    );
+
+    let meta = [
+        ("events", n as f64),
+        ("peak_rss_kb", rss as f64),
+        ("speedup_1t", speedup_1t),
+        ("speedup_4t", speedup_4t),
+    ];
+    let p = write_bench_json("BENCH_products.json", &records, &meta).map_err(|e| e.to_string())?;
+    println!("wrote {}", p.display());
+    let p = write_bench_json("BENCH_ingest.json", &ingest, &[("events", n as f64)])
+        .map_err(|e| e.to_string())?;
+    println!("wrote {}", p.display());
+
+    if speedup_4t < MIN_SPEEDUP_4T {
+        return Err(format!(
+            "4-thread product build only {speedup_4t:.2}x faster than the serial row path \
+             (need {MIN_SPEEDUP_4T}x)"
+        ));
+    }
+    if speedup_1t < MIN_SPEEDUP_1T {
+        return Err(format!(
+            "1-thread columnar build only {speedup_1t:.2}x faster than the serial row path \
+             (need {MIN_SPEEDUP_1T}x)"
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("product_smoke: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

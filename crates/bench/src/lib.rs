@@ -15,4 +15,7 @@ pub mod runner;
 
 pub use chart::{line_chart, ChartOptions, Series};
 pub use exp::{run_all, run_one, ExperimentOutput};
-pub use runner::{overhead_pair, pct, OverheadPair, Scale, Table};
+pub use runner::{
+    bench_json, overhead_pair, pct, peak_rss_kb, repo_root, write_bench_json, BenchRecord,
+    OverheadPair, Scale, Table,
+};

@@ -139,6 +139,98 @@ pub fn pct(x: f64) -> String {
     format!("{:.2}%", x * 100.0)
 }
 
+/// One benchmark measurement destined for a machine-readable
+/// `BENCH_*.json` at the repo root. The schema is stable:
+/// `{"name", "events_per_sec", "wall_ms", "threads"}` per record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Stable benchmark identifier (e.g. `products_row_serial`).
+    pub name: String,
+    /// Throughput in events per second over the measured span.
+    pub events_per_sec: f64,
+    /// Median wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Worker threads the measurement used.
+    pub threads: usize,
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders records (plus free-form numeric metadata) as the
+/// `BENCH_*.json` document. JSON is written by hand — the vendored
+/// serde is a stub.
+pub fn bench_json(records: &[BenchRecord], meta: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"bench-v1\",\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events_per_sec\": {:.1}, \"wall_ms\": {:.3}, \"threads\": {}}}{}\n",
+            json_escape(&r.name),
+            r.events_per_sec,
+            r.wall_ms,
+            r.threads,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"meta\": {");
+    for (i, (k, v)) in meta.iter().enumerate() {
+        out.push_str(&format!(
+            "{}\"{}\": {:.1}",
+            if i == 0 { "" } else { ", " },
+            json_escape(k),
+            v
+        ));
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// The workspace root (two levels above the bench crate).
+pub fn repo_root() -> std::path::PathBuf {
+    let here = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    here.join("../..").canonicalize().unwrap_or(here)
+}
+
+/// Writes `BENCH_<file_name>` (records + metadata) to the repo root
+/// and returns the path.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_bench_json(
+    file_name: &str,
+    records: &[BenchRecord],
+    meta: &[(&str, f64)],
+) -> std::io::Result<std::path::PathBuf> {
+    let path = repo_root().join(file_name);
+    std::fs::write(&path, bench_json(records, meta))?;
+    Ok(path)
+}
+
+/// Reads `VmHWM` (peak resident set, kB) from `/proc/self/status` —
+/// the cheap peak-RSS proxy the product benchmarks record. Returns 0
+/// where procfs is unavailable.
+pub fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")
+                    .and_then(|r| r.trim().trim_end_matches(" kB").trim().parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

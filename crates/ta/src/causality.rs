@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use pdt::{EventCode, TraceCore};
 
 use crate::analyze::AnalyzedTrace;
+use crate::columns::ColumnarTrace;
 use crate::loss::LossReport;
 
 /// What kind of proof an edge rests on.
@@ -151,6 +152,91 @@ pub fn causal_edges_with_loss(trace: &AnalyzedTrace, loss: &LossReport) -> Vec<C
     // (Events within one core are already in recording order, and the
     // global sort is stable on stream order, so index order in each
     // queue is the k order.)
+    for (spe, writes) in &in_writes {
+        if loss.suspect(*spe) {
+            continue;
+        }
+        if let Some(reads) = in_reads.get(spe) {
+            for (w, r) in writes.iter().zip(reads) {
+                edges.push(CausalEdge {
+                    earlier: *w,
+                    later: *r,
+                    kind: EdgeKind::InboundMbox,
+                });
+            }
+        }
+    }
+    for (spe, writes) in &out_writes {
+        if loss.suspect(*spe) {
+            continue;
+        }
+        if let Some(reads) = out_reads.get(spe) {
+            for (w, r) in writes.iter().zip(reads) {
+                edges.push(CausalEdge {
+                    earlier: *w,
+                    later: *r,
+                    kind: EdgeKind::OutboundMbox,
+                });
+            }
+        }
+    }
+    edges
+}
+
+/// [`causal_edges_with_loss`] over the columnar store: the same
+/// single-pass queue construction and FIFO pairing, reading the core /
+/// code / params columns directly. Edge indices point into the global
+/// event order, which is shared by the columns and any materialized
+/// row vector. The lint rules use this path; the row function remains
+/// the differential oracle.
+pub fn causal_edges_columns(trace: &ColumnarTrace, loss: &LossReport) -> Vec<CausalEdge> {
+    let ctx_spe: HashMap<u32, u8> = trace.anchors.iter().map(|a| (a.ctx, a.spe)).collect();
+    let mut edges = Vec::new();
+
+    let mut run_by_spe: HashMap<u8, usize> = HashMap::new();
+    let mut in_writes: HashMap<u8, Vec<usize>> = HashMap::new();
+    let mut in_reads: HashMap<u8, Vec<usize>> = HashMap::new();
+    let mut out_writes: HashMap<u8, Vec<usize>> = HashMap::new();
+    let mut out_reads: HashMap<u8, Vec<usize>> = HashMap::new();
+    let mut starts: HashMap<u8, usize> = HashMap::new();
+
+    for (i, v) in trace.events.iter().enumerate() {
+        match (v.core, v.code) {
+            (TraceCore::Ppe(_), EventCode::PpeCtxRun) => {
+                run_by_spe.insert(v.params[1] as u8, i);
+            }
+            (TraceCore::Spe(s), EventCode::SpeCtxStart) => {
+                starts.insert(s, i);
+            }
+            (TraceCore::Ppe(_), EventCode::PpeMboxWrite) => {
+                if let Some(spe) = ctx_spe.get(&(v.params[0] as u32)) {
+                    in_writes.entry(*spe).or_default().push(i);
+                }
+            }
+            (TraceCore::Spe(s), EventCode::SpeMboxReadEnd) => {
+                in_reads.entry(s).or_default().push(i);
+            }
+            (TraceCore::Spe(s), EventCode::SpeMboxWrite) => {
+                out_writes.entry(s).or_default().push(i);
+            }
+            (TraceCore::Ppe(_), EventCode::PpeMboxRead) => {
+                if let Some(spe) = ctx_spe.get(&(v.params[0] as u32)) {
+                    out_reads.entry(*spe).or_default().push(i);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for (spe, start) in &starts {
+        if let Some(run) = run_by_spe.get(spe) {
+            edges.push(CausalEdge {
+                earlier: *run,
+                later: *start,
+                kind: EdgeKind::CtxStart,
+            });
+        }
+    }
     for (spe, writes) in &in_writes {
         if loss.suspect(*spe) {
             continue;
@@ -386,6 +472,47 @@ mod tests {
         assert_eq!(causal_edges_with_loss(&t, &loss).len(), 3);
         // And the unaware helper is the empty-loss special case.
         assert_eq!(causal_edges(&t).len(), 3);
+    }
+
+    #[test]
+    fn columnar_edges_match_row_edges() {
+        use crate::columns::ColumnarTrace;
+        // Edge order depends on HashMap iteration, so compare as sets.
+        let key = |e: &CausalEdge| {
+            let k = match e.kind {
+                EdgeKind::CtxStart => 0u8,
+                EdgeKind::InboundMbox => 1,
+                EdgeKind::OutboundMbox => 2,
+            };
+            (e.earlier, e.later, k)
+        };
+        let sorted = |mut v: Vec<CausalEdge>| {
+            v.sort_by_key(key);
+            v
+        };
+        let t = skewed_trace();
+        let cols = ColumnarTrace::from_analyzed(&t);
+        let empty = LossReport::default();
+        assert_eq!(
+            sorted(causal_edges_columns(&cols, &empty)),
+            sorted(causal_edges_with_loss(&t, &empty))
+        );
+        // With a lossy SPE stream the mailbox pairings drop on both
+        // representations alike.
+        use crate::loss::StreamLoss;
+        let loss = LossReport {
+            streams: vec![StreamLoss {
+                core: TraceCore::Spe(0),
+                decoded_records: 4,
+                tracer_dropped: 3,
+                gaps: vec![],
+                unanchored: false,
+            }],
+        };
+        assert_eq!(
+            sorted(causal_edges_columns(&cols, &loss)),
+            sorted(causal_edges_with_loss(&t, &loss))
+        );
     }
 
     #[test]

@@ -1,0 +1,638 @@
+//! The columnar event store: struct-of-arrays event storage plus a
+//! string interner, the zero-allocation hot path under every derived
+//! product.
+//!
+//! The row representation ([`GlobalEvent`]) carries a heap-allocated
+//! `Vec<u64>` per event and owned `String`s for context names, so a
+//! product pass over a large trace walks millions of small
+//! allocations. [`EventColumns`] packs the same data as parallel
+//! columns — one `Vec` per field, parameter words flattened into a
+//! single buffer addressed by an offsets column — and [`Interner`]
+//! replaces repeated strings with `u32` symbol ids resolved through
+//! one table. [`ColumnarTrace`] wraps the columns with the trace
+//! header, anchors and interned context names, memoizes the per-core
+//! offset lists every product shares, and can
+//! [`materialize`](ColumnarTrace::materialize) the original row form
+//! byte-identically so the public API is unchanged.
+//!
+//! Layout (`n` events, half-open offset ranges):
+//!
+//! ```text
+//! time_tb    [u64; n]     sorted (global event order)
+//! core       [TraceCore; n]
+//! code       [EventCode; n]
+//! stream_seq [u64; n]
+//! params_off [u32; n + 1] event i's params = params_buf[off[i]..off[i+1]]
+//! params_buf [u64; sum]   flattened parameter words
+//! ```
+//!
+//! Interning rules: symbols are created only while the store is built
+//! (single-threaded); afterwards the table is immutable and resolving
+//! a [`Sym`] is a shared read, safe under the concurrent product
+//! builds of [`products_parallel`](crate::session::Analysis::products_parallel).
+//! Equal strings always intern to the same symbol (dedup), and
+//! materialization returns the exact original strings in the exact
+//! original order.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use pdt::{EventCode, EventGroup, TraceCore, TraceHeader};
+
+use crate::analyze::{AnalyzedTrace, GlobalEvent, SpeAnchor};
+
+/// An interned string id: an index into one [`Interner`] table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The raw table index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A deduplicating string table: equal strings intern to equal
+/// [`Sym`]s. Mutation happens only during store construction; resolve
+/// is a shared read.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<String>,
+    lookup: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning the existing symbol when the string was
+    /// seen before.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&i) = self.lookup.get(s) {
+            return Sym(i);
+        }
+        let i = u32::try_from(self.strings.len()).expect("interner table exceeds u32");
+        self.strings.push(s.to_owned());
+        self.lookup.insert(s.to_owned(), i);
+        Sym(i)
+    }
+
+    /// The string behind `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` came from a different interner with more
+    /// entries.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// The symbol `s` interned to, if it was interned.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.lookup.get(s).map(|&i| Sym(i))
+    }
+
+    /// Number of distinct strings in the table.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// A borrowed view of one event: the columnar counterpart of
+/// [`GlobalEvent`], with the parameter words as a slice into the
+/// shared flat buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventView<'a> {
+    /// Reconstructed time in timebase ticks.
+    pub time_tb: u64,
+    /// Producing core.
+    pub core: TraceCore,
+    /// Event code.
+    pub code: EventCode,
+    /// Parameter words.
+    pub params: &'a [u64],
+    /// Per-core recording sequence number.
+    pub stream_seq: u64,
+}
+
+impl EventView<'_> {
+    /// Copies the view into an owned row event.
+    pub fn to_event(&self) -> GlobalEvent {
+        GlobalEvent {
+            time_tb: self.time_tb,
+            core: self.core,
+            code: self.code,
+            params: self.params.to_vec(),
+            stream_seq: self.stream_seq,
+        }
+    }
+}
+
+/// Struct-of-arrays event storage. Field columns are parallel; the
+/// parameter words of all events share one flat buffer addressed by
+/// the `params_off` offsets column (`n + 1` entries).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EventColumns {
+    time_tb: Vec<u64>,
+    core: Vec<TraceCore>,
+    code: Vec<EventCode>,
+    stream_seq: Vec<u64>,
+    params_off: Vec<u32>,
+    params_buf: Vec<u64>,
+}
+
+impl EventColumns {
+    /// An empty store with capacity for `n` events.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut params_off = Vec::with_capacity(n + 1);
+        params_off.push(0);
+        EventColumns {
+            time_tb: Vec::with_capacity(n),
+            core: Vec::with_capacity(n),
+            code: Vec::with_capacity(n),
+            stream_seq: Vec::with_capacity(n),
+            params_off,
+            params_buf: Vec::new(),
+        }
+    }
+
+    /// Appends one event.
+    pub fn push(
+        &mut self,
+        time_tb: u64,
+        core: TraceCore,
+        code: EventCode,
+        params: &[u64],
+        stream_seq: u64,
+    ) {
+        if self.params_off.is_empty() {
+            self.params_off.push(0);
+        }
+        self.time_tb.push(time_tb);
+        self.core.push(core);
+        self.code.push(code);
+        self.stream_seq.push(stream_seq);
+        self.params_buf.extend_from_slice(params);
+        let end = u32::try_from(self.params_buf.len()).expect("params buffer exceeds u32 offsets");
+        self.params_off.push(end);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.time_tb.len()
+    }
+
+    /// Whether the store holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.time_tb.is_empty()
+    }
+
+    /// The timestamp column.
+    pub fn times(&self) -> &[u64] {
+        &self.time_tb
+    }
+
+    /// The core column.
+    pub fn cores(&self) -> &[TraceCore] {
+        &self.core
+    }
+
+    /// The event-code column.
+    pub fn codes(&self) -> &[EventCode] {
+        &self.code
+    }
+
+    /// The per-stream sequence-number column.
+    pub fn seqs(&self) -> &[u64] {
+        &self.stream_seq
+    }
+
+    /// Event `i`'s parameter words.
+    pub fn params(&self, i: usize) -> &[u64] {
+        let lo = self.params_off[i] as usize;
+        let hi = self.params_off[i + 1] as usize;
+        &self.params_buf[lo..hi]
+    }
+
+    /// A borrowed view of event `i`.
+    pub fn view(&self, i: usize) -> EventView<'_> {
+        EventView {
+            time_tb: self.time_tb[i],
+            core: self.core[i],
+            code: self.code[i],
+            params: self.params(i),
+            stream_seq: self.stream_seq[i],
+        }
+    }
+
+    /// Views of every event, in global order.
+    pub fn iter(&self) -> impl Iterator<Item = EventView<'_>> {
+        (0..self.len()).map(move |i| self.view(i))
+    }
+}
+
+/// A fully reconstructed trace in columnar form: the drop-in
+/// counterpart of [`AnalyzedTrace`] that every memoized product
+/// iterates, with context names interned and the per-core offset
+/// lists memoized once for all products.
+#[derive(Debug)]
+pub struct ColumnarTrace {
+    /// Header copied from the trace file.
+    pub header: TraceHeader,
+    /// All events, sorted by `(time_tb, core, stream_seq)`.
+    pub events: EventColumns,
+    /// Per-SPE sync anchors.
+    pub anchors: Vec<SpeAnchor>,
+    /// Records the tracers dropped (from stream metadata).
+    pub dropped: u64,
+    interner: Interner,
+    /// `(ctx, name)` pairs in original file order, names interned.
+    ctx_syms: Vec<(u32, Sym)>,
+    core_offsets: OnceLock<Vec<(TraceCore, Vec<u32>)>>,
+    /// OR of [`EventGroup`] bits observed per core tag (256 slots).
+    group_masks: OnceLock<Vec<u32>>,
+}
+
+impl ColumnarTrace {
+    /// Builds the columnar form from a borrowed row trace.
+    pub fn from_analyzed(t: &AnalyzedTrace) -> Self {
+        let mut events = EventColumns::with_capacity(t.events.len());
+        for e in &t.events {
+            events.push(e.time_tb, e.core, e.code, &e.params, e.stream_seq);
+        }
+        let mut interner = Interner::new();
+        let ctx_syms = t
+            .ctx_names
+            .iter()
+            .map(|(c, n)| (*c, interner.intern(n)))
+            .collect();
+        ColumnarTrace {
+            header: t.header,
+            events,
+            anchors: t.anchors.clone(),
+            dropped: t.dropped,
+            interner,
+            ctx_syms,
+            core_offsets: OnceLock::new(),
+            group_masks: OnceLock::new(),
+        }
+    }
+
+    /// Builds the columnar form by consuming a row trace, freeing each
+    /// per-event parameter allocation as it is flattened.
+    pub fn from_rows(t: AnalyzedTrace) -> Self {
+        let mut events = EventColumns::with_capacity(t.events.len());
+        for e in t.events {
+            events.push(e.time_tb, e.core, e.code, &e.params, e.stream_seq);
+        }
+        let mut interner = Interner::new();
+        let ctx_syms = t
+            .ctx_names
+            .iter()
+            .map(|(c, n)| (*c, interner.intern(n)))
+            .collect();
+        ColumnarTrace {
+            header: t.header,
+            events,
+            anchors: t.anchors,
+            dropped: t.dropped,
+            interner,
+            ctx_syms,
+            core_offsets: OnceLock::new(),
+            group_masks: OnceLock::new(),
+        }
+    }
+
+    /// Materializes the row form: an [`AnalyzedTrace`] byte-identical
+    /// to the one the store was built from (same event values, same
+    /// context names in the same order).
+    pub fn materialize(&self) -> AnalyzedTrace {
+        AnalyzedTrace {
+            header: self.header,
+            events: self.events.iter().map(|v| v.to_event()).collect(),
+            ctx_names: self
+                .ctx_syms
+                .iter()
+                .map(|&(c, s)| (c, self.interner.resolve(s).to_owned()))
+                .collect(),
+            anchors: self.anchors.clone(),
+            dropped: self.dropped,
+        }
+    }
+
+    /// Keeps only events passing `pred`, preserving order. Invalidates
+    /// the memoized per-core offsets.
+    pub fn retain_views(&mut self, mut pred: impl FnMut(&EventView<'_>) -> bool) {
+        let mut kept = EventColumns::with_capacity(self.events.len());
+        for v in self.events.iter() {
+            if pred(&v) {
+                kept.push(v.time_tb, v.core, v.code, v.params, v.stream_seq);
+            }
+        }
+        self.events = kept;
+        self.core_offsets = OnceLock::new();
+        self.group_masks = OnceLock::new();
+    }
+
+    /// The string table context names resolve through.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// `(ctx, name)` pairs in original file order.
+    pub fn ctx_entries(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.ctx_syms
+            .iter()
+            .map(move |&(c, s)| (c, self.interner.resolve(s)))
+    }
+
+    /// The name of context `ctx`, if recorded (first match wins, as in
+    /// [`AnalyzedTrace::ctx_name`]).
+    pub fn ctx_name(&self, ctx: u32) -> Option<&str> {
+        self.ctx_syms
+            .iter()
+            .find(|(c, _)| *c == ctx)
+            .map(|&(_, s)| self.interner.resolve(s))
+    }
+
+    /// Per-core ascending offset lists into the global event order,
+    /// cores tag-sorted. Computed in one pass over the core column on
+    /// first use and shared by every product.
+    pub fn core_offsets(&self) -> &[(TraceCore, Vec<u32>)] {
+        self.core_offsets.get_or_init(|| {
+            assert!(
+                self.events.len() <= u32::MAX as usize,
+                "trace exceeds u32 offset space"
+            );
+            let mut slots: Vec<Vec<u32>> = vec![Vec::new(); 256];
+            for (i, c) in self.events.cores().iter().enumerate() {
+                slots[c.tag() as usize].push(i as u32);
+            }
+            slots
+                .into_iter()
+                .enumerate()
+                .filter(|(_, offs)| !offs.is_empty())
+                .map(|(tag, offs)| (TraceCore::from_tag(tag as u8), offs))
+                .collect()
+        })
+    }
+
+    /// OR of the [`EventGroup`] bits `core` ever recorded. Computed in
+    /// one pass over the core and code columns on first use; lets
+    /// per-core scans (lint rules especially) skip cores that cannot
+    /// contain the codes they match.
+    pub fn core_group_mask(&self, core: TraceCore) -> u32 {
+        let masks = self.group_masks.get_or_init(|| {
+            let mut m = vec![0u32; 256];
+            let cores = self.events.cores();
+            let codes = self.events.codes();
+            for i in 0..self.events.len() {
+                m[cores[i].tag() as usize] |= codes[i].group() as u32;
+            }
+            m
+        });
+        masks[core.tag() as usize]
+    }
+
+    /// Whether `core` recorded any event in `group`.
+    pub fn core_has_group(&self, core: TraceCore, group: EventGroup) -> bool {
+        self.core_group_mask(core) & group as u32 != 0
+    }
+
+    /// `core`'s offsets into the global event order (empty when the
+    /// core produced nothing).
+    pub fn core_slice(&self, core: TraceCore) -> &[u32] {
+        self.core_offsets()
+            .iter()
+            .find(|(c, _)| *c == core)
+            .map_or(&[], |(_, offs)| offs.as_slice())
+    }
+
+    /// Views of `core`'s events, in time order — the columnar
+    /// counterpart of [`AnalyzedTrace::core_events`], walking the
+    /// memoized offset list instead of filtering the whole trace.
+    pub fn core_events(&self, core: TraceCore) -> impl Iterator<Item = EventView<'_>> {
+        self.core_slice(core)
+            .iter()
+            .map(move |&o| self.events.view(o as usize))
+    }
+
+    /// The SPE indices that produced events, ascending.
+    pub fn spes(&self) -> Vec<u8> {
+        self.core_offsets()
+            .iter()
+            .filter_map(|(c, _)| match c {
+                TraceCore::Spe(i) => Some(*i),
+                TraceCore::Ppe(_) => None,
+            })
+            .collect()
+    }
+
+    /// The first timestamp in the trace (ticks). The event columns are
+    /// globally sorted, so this is the head of the time column.
+    pub fn start_tb(&self) -> u64 {
+        self.events.times().first().copied().unwrap_or(0)
+    }
+
+    /// The last timestamp in the trace (ticks).
+    pub fn end_tb(&self) -> u64 {
+        self.events.times().last().copied().unwrap_or(0)
+    }
+
+    /// Converts timebase ticks to nanoseconds using the header clocks.
+    pub fn tb_to_ns(&self, tb: u64) -> f64 {
+        tb as f64 * self.header.timebase_divider as f64 * 1e9 / self.header.core_hz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdt::VERSION;
+
+    fn header() -> TraceHeader {
+        TraceHeader {
+            version: VERSION,
+            num_ppe_threads: 1,
+            num_spes: 2,
+            core_hz: 3_200_000_000,
+            timebase_divider: 120,
+            dec_start: u32::MAX,
+            group_mask: u32::MAX,
+            spe_buffer_bytes: 2048,
+        }
+    }
+
+    fn sample() -> AnalyzedTrace {
+        use EventCode::*;
+        let ev = |t: u64, core, code, params: Vec<u64>, seq| GlobalEvent {
+            time_tb: t,
+            core,
+            code,
+            params,
+            stream_seq: seq,
+        };
+        let mut events = vec![
+            ev(5, TraceCore::Ppe(0), PpeCtxRun, vec![0, 0, 99], 0),
+            ev(10, TraceCore::Spe(0), SpeCtxStart, vec![0], 0),
+            ev(
+                20,
+                TraceCore::Spe(0),
+                SpeDmaGet,
+                vec![0x100, 0x2000, 4096, 3],
+                1,
+            ),
+            ev(25, TraceCore::Spe(1), SpeCtxStart, vec![1], 0),
+            ev(30, TraceCore::Spe(0), SpeTagWaitEnd, vec![1 << 3], 2),
+            ev(40, TraceCore::Spe(0), SpeStop, vec![], 3),
+            ev(50, TraceCore::Spe(1), SpeStop, vec![0], 1),
+        ];
+        events.sort_by_key(|e| (e.time_tb, e.core.tag(), e.stream_seq));
+        AnalyzedTrace {
+            header: header(),
+            events,
+            ctx_names: vec![
+                (0, "alpha".into()),
+                (1, "beta".into()),
+                (2, "alpha2".into()),
+            ],
+            anchors: vec![SpeAnchor {
+                spe: 0,
+                ctx: 0,
+                run_tb: 5,
+                dec_start: 99,
+            }],
+            dropped: 3,
+        }
+    }
+
+    #[test]
+    fn interner_round_trips_and_dedups() {
+        let mut i = Interner::new();
+        let a = i.intern("spe_kernel");
+        let b = i.intern("other");
+        let a2 = i.intern("spe_kernel");
+        assert_eq!(a, a2, "equal strings intern to equal symbols");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "spe_kernel");
+        assert_eq!(i.resolve(b), "other");
+        assert_eq!(i.get("other"), Some(b));
+        assert_eq!(i.get("missing"), None);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn materialize_is_byte_identical() {
+        let t = sample();
+        for cols in [
+            ColumnarTrace::from_analyzed(&t),
+            ColumnarTrace::from_rows(t.clone()),
+        ] {
+            let back = cols.materialize();
+            assert_eq!(back.events, t.events);
+            assert_eq!(back.ctx_names, t.ctx_names);
+            assert_eq!(back.anchors, t.anchors);
+            assert_eq!(back.dropped, t.dropped);
+            assert_eq!(back.header, t.header);
+        }
+    }
+
+    #[test]
+    fn views_project_rows_exactly() {
+        let t = sample();
+        let cols = ColumnarTrace::from_analyzed(&t);
+        assert_eq!(cols.events.len(), t.events.len());
+        for (i, e) in t.events.iter().enumerate() {
+            let v = cols.events.view(i);
+            assert_eq!(v.time_tb, e.time_tb);
+            assert_eq!(v.core, e.core);
+            assert_eq!(v.code, e.code);
+            assert_eq!(v.params, e.params.as_slice());
+            assert_eq!(v.stream_seq, e.stream_seq);
+            assert_eq!(v.to_event(), *e);
+        }
+    }
+
+    #[test]
+    fn core_accessors_match_row_trace() {
+        let t = sample();
+        let cols = ColumnarTrace::from_analyzed(&t);
+        assert_eq!(cols.spes(), t.spes());
+        assert_eq!(cols.start_tb(), t.start_tb());
+        assert_eq!(cols.end_tb(), t.end_tb());
+        assert_eq!(cols.tb_to_ns(100), t.tb_to_ns(100));
+        for core in [
+            TraceCore::Ppe(0),
+            TraceCore::Spe(0),
+            TraceCore::Spe(1),
+            TraceCore::Spe(7),
+        ] {
+            let via_cols: Vec<GlobalEvent> = cols.core_events(core).map(|v| v.to_event()).collect();
+            let via_rows: Vec<GlobalEvent> = t.core_events(core).cloned().collect();
+            assert_eq!(via_cols, via_rows, "core {core}");
+        }
+        for ctx in [0u32, 1, 2, 9] {
+            assert_eq!(cols.ctx_name(ctx), t.ctx_name(ctx), "ctx {ctx}");
+        }
+    }
+
+    #[test]
+    fn group_masks_reflect_per_core_codes() {
+        let t = sample();
+        let mut cols = ColumnarTrace::from_analyzed(&t);
+        assert!(cols.core_has_group(TraceCore::Spe(0), EventGroup::SpeDma));
+        assert!(cols.core_has_group(TraceCore::Spe(0), EventGroup::SpeLifecycle));
+        assert!(!cols.core_has_group(TraceCore::Spe(1), EventGroup::SpeDma));
+        assert!(cols.core_has_group(TraceCore::Ppe(0), EventGroup::PpeLifecycle));
+        assert_eq!(cols.core_group_mask(TraceCore::Spe(7)), 0);
+        // Retain invalidates the memo: dropping the DMA events must
+        // drop the bit.
+        cols.retain_views(|v| v.code.group() != EventGroup::SpeDma);
+        assert!(!cols.core_has_group(TraceCore::Spe(0), EventGroup::SpeDma));
+        assert!(cols.core_has_group(TraceCore::Spe(0), EventGroup::SpeLifecycle));
+    }
+
+    #[test]
+    fn retain_preserves_order_and_invalidates_offsets() {
+        let t = sample();
+        let mut cols = ColumnarTrace::from_analyzed(&t);
+        let _ = cols.core_offsets();
+        cols.retain_views(|v| v.core == TraceCore::Spe(0));
+        assert!(cols.events.iter().all(|v| v.core == TraceCore::Spe(0)));
+        assert_eq!(cols.spes(), vec![0]);
+        let times: Vec<u64> = cols.events.times().to_vec();
+        let want: Vec<u64> = t
+            .events
+            .iter()
+            .filter(|e| e.core == TraceCore::Spe(0))
+            .map(|e| e.time_tb)
+            .collect();
+        assert_eq!(times, want);
+    }
+
+    #[test]
+    fn empty_store_is_well_behaved() {
+        let t = AnalyzedTrace {
+            header: header(),
+            events: vec![],
+            ctx_names: vec![],
+            anchors: vec![],
+            dropped: 0,
+        };
+        let cols = ColumnarTrace::from_analyzed(&t);
+        assert!(cols.events.is_empty());
+        assert_eq!(cols.start_tb(), 0);
+        assert_eq!(cols.end_tb(), 0);
+        assert!(cols.spes().is_empty());
+        assert_eq!(cols.core_events(TraceCore::Spe(0)).count(), 0);
+        let back = cols.materialize();
+        assert!(back.events.is_empty());
+    }
+}

@@ -44,6 +44,7 @@
 use pdt::TraceCore;
 
 use crate::analyze::{AnalyzedTrace, GlobalEvent};
+use crate::columns::ColumnarTrace;
 use crate::intervals::{ActivityKind, Interval, SpeIntervals};
 use crate::loss::LossReport;
 use crate::query::EventFilter;
@@ -116,6 +117,56 @@ pub fn compute_suspect_ranges(trace: &AnalyzedTrace, loss: &LossReport) -> Vec<S
                 .filter(from_stream)
                 .find(|e| e.stream_seq == g.records_before)
                 .map_or(end, |e| e.time_tb);
+            out.push(SuspectRange {
+                start_tb: before,
+                end_tb: after.max(before).saturating_add(1),
+                stream: s.core,
+            });
+        }
+        if s.unanchored || s.tracer_dropped > 0 {
+            out.push(whole(s.core));
+        }
+    }
+    out
+}
+
+/// [`compute_suspect_ranges`] over the columnar store: the same
+/// bracketing rule, reading the core/seq/time columns directly. The
+/// session's columnar index build uses this path; the row function
+/// remains the differential oracle.
+pub fn compute_suspect_ranges_columns(
+    trace: &ColumnarTrace,
+    loss: &LossReport,
+) -> Vec<SuspectRange> {
+    let (start, end) = (trace.start_tb(), trace.end_tb());
+    let cores = trace.events.cores();
+    let seqs = trace.events.seqs();
+    let times = trace.events.times();
+    let whole = |stream| SuspectRange {
+        start_tb: start,
+        end_tb: end.saturating_add(1),
+        stream,
+    };
+    let mut out = Vec::new();
+    for s in &loss.streams {
+        let from_stream = |i: &usize| match s.core {
+            TraceCore::Spe(_) => cores[*i] == s.core,
+            TraceCore::Ppe(_) => !cores[*i].is_spe(),
+        };
+        for g in &s.gaps {
+            let before = g
+                .records_before
+                .checked_sub(1)
+                .and_then(|seq| {
+                    (0..cores.len())
+                        .filter(from_stream)
+                        .find(|&i| seqs[i] == seq)
+                })
+                .map_or(start, |i| times[i]);
+            let after = (0..cores.len())
+                .filter(from_stream)
+                .find(|&i| seqs[i] == g.records_before)
+                .map_or(end, |i| times[i]);
             out.push(SuspectRange {
                 start_tb: before,
                 end_tb: after.max(before).saturating_add(1),
@@ -367,7 +418,74 @@ impl TraceIndex {
 
         let workers = threads.max(1);
         let per_core_offsets = extract_offsets(&trace.events, &cores, &slot_of, workers);
+        let events = &trace.events;
+        Self::finish_build(
+            start_tb,
+            end_tb,
+            events.len(),
+            cores,
+            per_core_offsets,
+            &|o| events[o as usize].time_tb,
+            intervals,
+            suspects,
+            workers,
+        )
+    }
 
+    /// Builds the index over the columnar store: per-core offsets come
+    /// from the store's memoized shared pass and bucket counting reads
+    /// the time column directly. Output is identical to
+    /// [`build_parallel`](Self::build_parallel) on the materialized
+    /// row trace (the differential suites assert it).
+    pub fn build_columns(
+        trace: &ColumnarTrace,
+        intervals: &[SpeIntervals],
+        loss: &LossReport,
+        threads: usize,
+    ) -> Self {
+        assert!(
+            trace.events.len() <= u32::MAX as usize,
+            "trace exceeds u32 offset space"
+        );
+        let start_tb = trace.start_tb();
+        let end_tb = trace.end_tb();
+        let suspects = compute_suspect_ranges_columns(trace, loss);
+        let workers = threads.max(1);
+        let (cores, per_core_offsets): (Vec<TraceCore>, Vec<Vec<u32>>) = trace
+            .core_offsets()
+            .iter()
+            .map(|(c, offs)| (*c, offs.to_vec()))
+            .unzip();
+        let times = trace.events.times();
+        Self::finish_build(
+            start_tb,
+            end_tb,
+            trace.events.len(),
+            cores,
+            per_core_offsets,
+            &|o| times[o as usize],
+            intervals,
+            suspects,
+            workers,
+        )
+    }
+
+    /// The shared back half of index construction: pyramid geometry,
+    /// bucket counting, lane building and level merging. `time_of`
+    /// resolves a global offset to its timestamp, abstracting the row
+    /// vector and the time column behind one lookup.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_build(
+        start_tb: u64,
+        end_tb: u64,
+        n_events: usize,
+        cores: Vec<TraceCore>,
+        per_core_offsets: Vec<Vec<u32>>,
+        time_of: &(dyn Fn(u32) -> u64 + Sync),
+        intervals: &[SpeIntervals],
+        suspects: Vec<SuspectRange>,
+        workers: usize,
+    ) -> Self {
         // Pyramid geometry: smallest power-of-two bucket width keeping
         // the base level at or under the cap. Span covers the last
         // event inclusively.
@@ -384,7 +502,7 @@ impl TraceIndex {
         // Level-0 event counts: one pass per core, cores distributed
         // round-robin over the workers.
         let counts0 = count_buckets(
-            &trace.events,
+            time_of,
             &per_core_offsets,
             start_tb,
             shift,
@@ -446,7 +564,7 @@ impl TraceIndex {
         TraceIndex {
             start_tb,
             end_tb,
-            n_events: trace.events.len(),
+            n_events,
             per_core: cores
                 .into_iter()
                 .zip(per_core_offsets)
@@ -799,9 +917,10 @@ fn extract_offsets(
 }
 
 /// Level-0 event-count buckets, one core per task, round-robin over
-/// the workers.
+/// the workers. `time_of` resolves a global offset to its timestamp
+/// (row vector or time column).
 fn count_buckets(
-    events: &[GlobalEvent],
+    time_of: &(dyn Fn(u32) -> u64 + Sync),
     per_core: &[Vec<u32>],
     base_tb: u64,
     shift: u32,
@@ -812,7 +931,7 @@ fn count_buckets(
     let count_one = |offsets: &Vec<u32>| {
         let mut buckets = vec![0u64; n_base];
         for &o in offsets {
-            buckets[((events[o as usize].time_tb - base_tb) >> shift) as usize] += 1;
+            buckets[((time_of(o) - base_tb) >> shift) as usize] += 1;
         }
         buckets
     };
@@ -883,7 +1002,7 @@ fn build_lanes(
                 spe: iv.spe,
                 start_tb: iv.start_tb,
                 stop_tb: iv.stop_tb,
-                tree: IntervalTree::new(iv.intervals.clone()),
+                tree: IntervalTree::new(iv.intervals.to_vec()),
             },
             buckets,
         )
@@ -1173,6 +1292,59 @@ mod tests {
         for threads in [2usize, 4, 8] {
             assert_eq!(one, TraceIndex::build_parallel(&t, &iv, &loss, threads));
         }
+    }
+
+    #[test]
+    fn columnar_build_is_identical_to_row_build() {
+        let t = trace();
+        let iv = build_intervals(&t);
+        let loss = LossReport::default();
+        let cols = ColumnarTrace::from_analyzed(&t);
+        let row = TraceIndex::build_parallel(&t, &iv, &loss, 1);
+        for threads in [1usize, 2, 4] {
+            assert_eq!(row, TraceIndex::build_columns(&cols, &iv, &loss, threads));
+        }
+    }
+
+    #[test]
+    fn columnar_suspect_ranges_match_row_ranges() {
+        use pdt::{DecodeGap, RecordError};
+        let t = trace();
+        let cols = ColumnarTrace::from_analyzed(&t);
+        let loss = LossReport {
+            streams: vec![
+                crate::loss::StreamLoss {
+                    core: TraceCore::Spe(0),
+                    decoded_records: 4,
+                    tracer_dropped: 1,
+                    gaps: vec![DecodeGap {
+                        offset: 32,
+                        len: 16,
+                        est_records: 1,
+                        records_before: 2,
+                        cause: RecordError::ZeroLength,
+                    }],
+                    unanchored: false,
+                },
+                crate::loss::StreamLoss {
+                    core: TraceCore::Ppe(0),
+                    decoded_records: 3,
+                    tracer_dropped: 0,
+                    gaps: vec![DecodeGap {
+                        offset: 0,
+                        len: 8,
+                        est_records: 1,
+                        records_before: 1,
+                        cause: RecordError::Truncated { have: 4, need: 8 },
+                    }],
+                    unanchored: true,
+                },
+            ],
+        };
+        assert_eq!(
+            compute_suspect_ranges_columns(&cols, &loss),
+            compute_suspect_ranges(&t, &loss)
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use pdt::{EventCode, TraceCore};
 
 use crate::analyze::AnalyzedTrace;
+use crate::columns::ColumnarTrace;
 
 /// What an SPE was doing during an interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -237,6 +238,83 @@ pub fn build_intervals(trace: &AnalyzedTrace) -> Vec<SpeIntervals> {
     out
 }
 
+/// [`build_intervals`] over the columnar store: identical state
+/// machine, walking each SPE's memoized offset slice instead of
+/// filtering the whole event vector per SPE. The session uses this
+/// path; the row function remains the differential oracle.
+pub fn build_intervals_columns(trace: &ColumnarTrace) -> Vec<SpeIntervals> {
+    let mut out = Vec::new();
+    for spe in trace.spes() {
+        let core = TraceCore::Spe(spe);
+        let Some(start) = trace
+            .core_events(core)
+            .find(|v| v.code == EventCode::SpeCtxStart)
+            .map(|v| v.time_tb)
+        else {
+            continue;
+        };
+        let Some(stop) = trace
+            .core_events(core)
+            .find(|v| v.code == EventCode::SpeStop)
+            .map(|v| v.time_tb)
+        else {
+            continue;
+        };
+        let mut intervals = Vec::new();
+        let mut cursor = start;
+        let mut open: Option<(u64, ActivityKind)> = None;
+        for v in trace.core_events(core) {
+            if let Some(kind) = wait_kind(v.code) {
+                if open.is_none() {
+                    if v.time_tb > cursor {
+                        intervals.push(Interval {
+                            start_tb: cursor,
+                            end_tb: v.time_tb,
+                            kind: ActivityKind::Compute,
+                        });
+                    }
+                    open = Some((v.time_tb, kind));
+                }
+            } else if wait_end(v.code) {
+                if let Some((begin, kind)) = open.take() {
+                    if v.time_tb > begin {
+                        intervals.push(Interval {
+                            start_tb: begin,
+                            end_tb: v.time_tb,
+                            kind,
+                        });
+                    }
+                    cursor = v.time_tb.max(begin);
+                }
+            }
+        }
+        if let Some((begin, kind)) = open.take() {
+            if stop > begin {
+                intervals.push(Interval {
+                    start_tb: begin,
+                    end_tb: stop,
+                    kind,
+                });
+            }
+            cursor = stop;
+        }
+        if stop > cursor {
+            intervals.push(Interval {
+                start_tb: cursor,
+                end_tb: stop,
+                kind: ActivityKind::Compute,
+            });
+        }
+        out.push(SpeIntervals {
+            spe,
+            start_tb: start,
+            stop_tb: stop,
+            intervals,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +418,28 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(ActivityKind::DmaWait.label(), "dma-wait");
         assert_eq!(ActivityKind::Compute.label(), "compute");
+    }
+
+    #[test]
+    fn columnar_intervals_match_row_intervals() {
+        use EventCode::*;
+        for events in [
+            vec![
+                (100, SpeCtxStart),
+                (110, SpeTagWaitBegin),
+                (150, SpeTagWaitEnd),
+                (180, SpeMboxReadBegin),
+                (200, SpeMboxReadEnd),
+                (300, SpeStop),
+            ],
+            vec![(0, SpeCtxStart), (10, SpeSignalReadBegin), (90, SpeStop)],
+            vec![(10, SpeUser)],
+            vec![],
+        ] {
+            let t = trace_of(events);
+            let cols = crate::columns::ColumnarTrace::from_analyzed(&t);
+            assert_eq!(build_intervals_columns(&cols), build_intervals(&t));
+        }
     }
 
     #[test]

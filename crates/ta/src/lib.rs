@@ -87,6 +87,7 @@
 pub mod analyze;
 pub mod ascii;
 pub mod causality;
+pub mod columns;
 pub mod compare;
 pub mod csv;
 pub mod faults;
@@ -116,6 +117,7 @@ pub use causality::{
     align_clocks, apply_skew, causal_edges, causal_edges_with_loss, estimate_skew, violations,
     CausalEdge, EdgeKind, SkewEstimate, Violation,
 };
+pub use columns::{ColumnarTrace, EventColumns, EventView, Interner, Sym};
 pub use compare::{compare_stats, compare_traces, Comparison, SpeDelta};
 pub use csv::loss_csv;
 #[allow(deprecated)]
@@ -130,8 +132,8 @@ pub use index::{
 };
 pub use intervals::{build_intervals, ActivityKind, Interval, SpeIntervals};
 pub use lint::{
-    lint_trace, Anchor, ConfigError, Diagnostic, Lint, LintConfig, LintContext, LintReport,
-    RuleInfo, Severity, Suppression,
+    lint_columns, lint_trace, Anchor, ConfigError, Diagnostic, Lint, LintConfig, LintContext,
+    LintReport, RuleInfo, Severity, Suppression,
 };
 pub use loss::{DecodePolicy, LossReport, StreamLoss};
 pub use occupancy::{dma_occupancy, OccupancyStep, SpeOccupancy};
@@ -145,8 +147,6 @@ pub use report::{
 pub use session::{Analysis, AnalysisBuilder};
 pub use stats::{compute_stats, DmaSummary, EventCounts, ObservedDma, SpeActivity, TraceStats};
 pub use summary::render_summary_with;
-#[allow(deprecated)]
-pub use summary::{render_summary, summary_report};
 #[allow(deprecated)]
 pub use svg::render_svg;
 pub use svg::SvgOptions;

@@ -77,47 +77,60 @@ struct SpeDmaHistory {
 /// tag-wait events. Shared by all three DMA rules so the lifetime
 /// semantics have exactly one definition.
 fn sweep(ctx: &LintContext<'_>, spe: u8) -> SpeDmaHistory {
+    // The group mask knows whether this SPE recorded any DMA or
+    // tag-wait event at all; when it did not, the replay below cannot
+    // produce anything, so skip the scan.
+    if !ctx
+        .trace
+        .core_has_group(TraceCore::Spe(spe), pdt::EventGroup::SpeDma)
+    {
+        return SpeDmaHistory {
+            spe,
+            transfers: Vec::new(),
+            vacuous_waits: Vec::new(),
+        };
+    }
     let mut transfers: Vec<Transfer> = Vec::new();
     let mut pending: Vec<usize> = Vec::new();
     let mut vacuous_waits = Vec::new();
     let mut last_tb = 0u64;
-    for e in ctx.trace.core_events(TraceCore::Spe(spe)) {
-        last_tb = last_tb.max(e.time_tb);
-        match e.code {
+    for v in ctx.trace.core_events(TraceCore::Spe(spe)) {
+        last_tb = last_tb.max(v.time_tb);
+        match v.code {
             EventCode::SpeDmaGet | EventCode::SpeDmaPut => {
-                if e.params.len() < 4 {
+                if v.params.len() < 4 {
                     continue;
                 }
                 transfers.push(Transfer {
-                    dir: if e.code == EventCode::SpeDmaGet {
+                    dir: if v.code == EventCode::SpeDmaGet {
                         Dir::Get
                     } else {
                         Dir::Put
                     },
-                    lsa: e.params[1],
-                    bytes: e.params[2],
-                    tag: (e.params[3] & 0xff) as u8,
-                    start_tb: e.time_tb,
+                    lsa: v.params[1],
+                    bytes: v.params[2],
+                    tag: (v.params[3] & 0xff) as u8,
+                    start_tb: v.time_tb,
                     end_tb: u64::MAX,
                     waited: false,
-                    anchor: Anchor::at(e),
+                    anchor: Anchor::at_view(&v),
                 });
                 pending.push(transfers.len() - 1);
             }
             EventCode::SpeTagWaitBegin => {
-                let mask = e.params.first().copied().unwrap_or(0) as u32;
+                let mask = v.params.first().copied().unwrap_or(0) as u32;
                 let covers_any = pending
                     .iter()
                     .any(|&i| mask & (1u32 << transfers[i].tag) != 0);
                 if !covers_any {
-                    vacuous_waits.push((Anchor::at(e), mask));
+                    vacuous_waits.push((Anchor::at_view(&v), mask));
                 }
             }
             EventCode::SpeTagWaitEnd => {
-                let completed = e.params.first().copied().unwrap_or(0) as u32;
+                let completed = v.params.first().copied().unwrap_or(0) as u32;
                 pending.retain(|&i| {
                     if completed & (1u32 << transfers[i].tag) != 0 {
-                        transfers[i].end_tb = e.time_tb;
+                        transfers[i].end_tb = v.time_tb;
                         transfers[i].waited = true;
                         false
                     } else {
@@ -378,10 +391,11 @@ mod tests {
     }
 
     fn run_rule(rule: &dyn Lint, t: &AnalyzedTrace) -> Vec<Diagnostic> {
+        let cols = crate::columns::ColumnarTrace::from_analyzed(t);
         let loss = LossReport::default();
         let config = super::super::LintConfig::default();
         let ctx = LintContext {
-            trace: t,
+            trace: &cols,
             intervals: &[],
             loss: &loss,
             suspects: &[],

@@ -24,8 +24,8 @@ use std::collections::HashMap;
 
 use pdt::{EventCode, TraceCore};
 
-use crate::analyze::GlobalEvent;
-use crate::causality::{causal_edges_with_loss, EdgeKind};
+use crate::causality::{causal_edges_columns, EdgeKind};
+use crate::columns::EventView;
 
 use super::{Anchor, Diagnostic, Lint, LintContext, Severity};
 
@@ -43,20 +43,20 @@ struct Blocked {
 }
 
 /// Finds the open read at the end of one SPE's stream, if any.
-fn blocked_wait(events: Vec<&GlobalEvent>) -> Option<Blocked> {
+fn blocked_wait<'a>(events: impl Iterator<Item = EventView<'a>>) -> Option<Blocked> {
     let mut open: Option<Blocked> = None;
     for e in events {
         match e.code {
             EventCode::SpeMboxReadBegin => {
                 open = Some(Blocked {
                     kind: BlockKind::Mbox,
-                    begin: Anchor::at(e),
+                    begin: Anchor::at_view(&e),
                 });
             }
             EventCode::SpeSignalReadBegin => {
                 open = Some(Blocked {
                     kind: BlockKind::Signal,
-                    begin: Anchor::at(e),
+                    begin: Anchor::at_view(&e),
                 });
             }
             EventCode::SpeMboxReadEnd | EventCode::SpeSignalReadEnd | EventCode::SpeStop => {
@@ -89,7 +89,7 @@ impl Lint for MailboxDeadlockShape {
         // SPEs ending the trace inside an open mailbox/signal read.
         let mut blocked: HashMap<u8, Blocked> = HashMap::new();
         for spe in trace.spes() {
-            if let Some(b) = blocked_wait(trace.core_events(TraceCore::Spe(spe)).collect()) {
+            if let Some(b) = blocked_wait(trace.core_events(TraceCore::Spe(spe))) {
                 blocked.insert(spe, b);
             }
         }
@@ -99,13 +99,13 @@ impl Lint for MailboxDeadlockShape {
 
         // In-flight words rule out starvation: count unconsumed
         // producer events via the FIFO pairing of causal_edges.
-        let edges = causal_edges_with_loss(trace, ctx.loss);
+        let edges = causal_edges_columns(trace, ctx.loss);
         let ctx_spe: HashMap<u32, u8> = trace.anchors.iter().map(|a| (a.ctx, a.spe)).collect();
         let paired_inbound: HashMap<u8, usize> = edges
             .iter()
             .filter(|e| e.kind == EdgeKind::InboundMbox)
             .fold(HashMap::new(), |mut m, e| {
-                if let TraceCore::Spe(s) = trace.events[e.later].core {
+                if let TraceCore::Spe(s) = trace.events.cores()[e.later] {
                     *m.entry(s).or_default() += 1;
                 }
                 m
@@ -116,7 +116,7 @@ impl Lint for MailboxDeadlockShape {
         // PPE relay attribution: last SPE the PPE read a word from.
         let mut last_ppe_read: Option<u8> = None;
         let mut relay_producers: HashMap<u8, Vec<u8>> = HashMap::new();
-        for e in &trace.events {
+        for e in trace.events.iter() {
             match (e.core, e.code) {
                 (TraceCore::Ppe(_), EventCode::PpeMboxRead)
                 | (TraceCore::Ppe(_), EventCode::PpeIntrMboxRead) => {
@@ -243,7 +243,7 @@ impl Lint for MailboxDeadlockShape {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analyze::{AnalyzedTrace, SpeAnchor};
+    use crate::analyze::{AnalyzedTrace, GlobalEvent, SpeAnchor};
     use pdt::{TraceHeader, VERSION};
 
     fn header(spes: u8) -> TraceHeader {
@@ -270,10 +270,11 @@ mod tests {
     }
 
     fn run(t: &AnalyzedTrace) -> Vec<Diagnostic> {
+        let cols = crate::columns::ColumnarTrace::from_analyzed(t);
         let loss = crate::loss::LossReport::default();
         let config = super::super::LintConfig::default();
         let ctx = LintContext {
-            trace: t,
+            trace: &cols,
             intervals: &[],
             loss: &loss,
             suspects: &[],

@@ -40,7 +40,8 @@ mod baseline;
 use pdt::TraceCore;
 
 use crate::analyze::{AnalyzedTrace, GlobalEvent};
-use crate::index::{compute_suspect_ranges, SuspectRange};
+use crate::columns::{ColumnarTrace, EventView};
+use crate::index::{compute_suspect_ranges_columns, SuspectRange};
 use crate::intervals::SpeIntervals;
 use crate::loss::LossReport;
 
@@ -88,6 +89,15 @@ impl Anchor {
             core: event.core,
             seq: event.stream_seq,
             time_tb: event.time_tb,
+        }
+    }
+
+    /// Anchors at a columnar event view.
+    pub fn at_view(view: &EventView<'_>) -> Self {
+        Anchor {
+            core: view.core,
+            seq: view.stream_seq,
+            time_tb: view.time_tb,
         }
     }
 }
@@ -245,8 +255,10 @@ impl std::fmt::Debug for dyn Lint + '_ {
 /// Everything a rule may inspect.
 #[derive(Debug)]
 pub struct LintContext<'a> {
-    /// The reconstructed trace.
-    pub trace: &'a AnalyzedTrace,
+    /// The reconstructed trace, in columnar form: rules iterate
+    /// [`EventView`]s off the shared column slices rather than
+    /// row structs.
+    pub trace: &'a ColumnarTrace,
     /// Reconstructed per-SPE activity intervals.
     pub intervals: &'a [SpeIntervals],
     /// Ingestion loss accounting (empty when none ran).
@@ -366,7 +378,24 @@ pub fn lint_trace(
     loss: &LossReport,
     config: &LintConfig,
 ) -> LintReport {
-    let suspects = compute_suspect_ranges(trace, loss);
+    lint_columns(
+        &ColumnarTrace::from_analyzed(trace),
+        intervals,
+        loss,
+        config,
+    )
+}
+
+/// [`lint_trace`] over the columnar store — the engine proper. The
+/// row entry point converts and delegates here; the session calls this
+/// directly so linting shares the columns with every other product.
+pub fn lint_columns(
+    trace: &ColumnarTrace,
+    intervals: &[SpeIntervals],
+    loss: &LossReport,
+    config: &LintConfig,
+) -> LintReport {
+    let suspects = compute_suspect_ranges_columns(trace, loss);
     let ctx = LintContext {
         trace,
         intervals,

@@ -10,7 +10,6 @@
 
 use pdt::{OverheadModel, TraceCore};
 
-use crate::analyze::GlobalEvent;
 use crate::intervals::ActivityKind;
 
 use super::{Anchor, Diagnostic, Lint, LintContext, Severity};
@@ -35,16 +34,17 @@ impl Lint for OverheadHotspot {
         let divider = ctx.trace.header.timebase_divider.max(1) as f64;
         let mut out = Vec::new();
         for lane in ctx.intervals {
-            let events: Vec<&GlobalEvent> =
-                ctx.trace.core_events(TraceCore::Spe(lane.spe)).collect();
+            let cols = &ctx.trace.events;
+            let offs = ctx.trace.core_slice(TraceCore::Spe(lane.spe));
             // Prefix sums of per-event cost in ticks, over the lane's
             // time-sorted events, so each interval resolves with two
-            // binary searches.
-            let times: Vec<u64> = events.iter().map(|e| e.time_tb).collect();
-            let mut prefix = Vec::with_capacity(events.len() + 1);
+            // binary searches. Reads the time and params columns
+            // directly — no per-event view materialization.
+            let times: Vec<u64> = offs.iter().map(|&o| cols.times()[o as usize]).collect();
+            let mut prefix = Vec::with_capacity(offs.len() + 1);
             prefix.push(0f64);
-            for e in &events {
-                let cycles = model.spe_cost(e.params.len(), false);
+            for &o in offs {
+                let cycles = model.spe_cost(cols.params(o as usize).len(), false);
                 prefix.push(prefix.last().unwrap() + cycles as f64 / divider);
             }
             for iv in &lane.intervals {
@@ -60,11 +60,14 @@ impl Lint for OverheadHotspot {
                 let overhead_tb = prefix[hi] - prefix[lo];
                 let frac = overhead_tb / len as f64;
                 if frac > ctx.config.overhead_threshold {
-                    let anchor = events.get(lo).map(|e| Anchor::at(e)).unwrap_or(Anchor {
-                        core: TraceCore::Spe(lane.spe),
-                        seq: 0,
-                        time_tb: iv.start_tb,
-                    });
+                    let anchor = offs
+                        .get(lo)
+                        .map(|&o| Anchor::at_view(&cols.view(o as usize)))
+                        .unwrap_or(Anchor {
+                            core: TraceCore::Spe(lane.spe),
+                            seq: 0,
+                            time_tb: iv.start_tb,
+                        });
                     out.push(Diagnostic {
                         rule: self.id(),
                         severity: self.severity(),
@@ -92,7 +95,7 @@ impl Lint for OverheadHotspot {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analyze::AnalyzedTrace;
+    use crate::analyze::{AnalyzedTrace, GlobalEvent};
     use crate::intervals::{Interval, SpeIntervals};
     use pdt::{EventCode, TraceHeader, VERSION};
 
@@ -129,9 +132,10 @@ mod tests {
         lanes: &[SpeIntervals],
         config: &super::super::LintConfig,
     ) -> Vec<Diagnostic> {
+        let cols = crate::columns::ColumnarTrace::from_analyzed(t);
         let loss = crate::loss::LossReport::default();
         let ctx = LintContext {
-            trace: t,
+            trace: &cols,
             intervals: lanes,
             loss: &loss,
             suspects: &[],

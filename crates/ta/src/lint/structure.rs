@@ -10,7 +10,7 @@
 
 use pdt::{EventCode, TraceCore};
 
-use crate::analyze::GlobalEvent;
+use crate::columns::EventView;
 
 use super::{Anchor, Diagnostic, Lint, LintContext, Severity};
 
@@ -51,7 +51,29 @@ impl Lint for UnbalancedIntervals {
     fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for spe in ctx.trace.spes() {
-            let events: Vec<&GlobalEvent> = ctx.trace.core_events(TraceCore::Spe(spe)).collect();
+            // Only pairing-relevant codes matter below; pre-filter on
+            // the code column so dense traces (user-event storms) do
+            // not materialize a view per event.
+            let cols = &ctx.trace.events;
+            let events: Vec<EventView<'_>> = ctx
+                .trace
+                .core_slice(TraceCore::Spe(spe))
+                .iter()
+                .filter(|&&o| {
+                    matches!(
+                        cols.codes()[o as usize],
+                        EventCode::SpeTagWaitBegin
+                            | EventCode::SpeTagWaitEnd
+                            | EventCode::SpeMboxReadBegin
+                            | EventCode::SpeMboxReadEnd
+                            | EventCode::SpeSignalReadBegin
+                            | EventCode::SpeSignalReadEnd
+                            | EventCode::SpeCtxStart
+                            | EventCode::SpeStop
+                    )
+                })
+                .map(|&o| cols.view(o as usize))
+                .collect();
             for (name, begin, end) in FAMILIES {
                 let mut open: Option<Anchor> = None;
                 for e in &events {
@@ -67,11 +89,11 @@ impl Lint for UnbalancedIntervals {
                                 ),
                             ));
                         }
-                        open = Some(Anchor::at(e));
+                        open = Some(Anchor::at_view(e));
                     } else if e.code == end && open.take().is_none() {
                         out.push(self.diag(
                             spe,
-                            Anchor::at(e),
+                            Anchor::at_view(e),
                             format!("SPE{spe}: {name} end at seq {} has no begin", e.stream_seq),
                         ));
                     }
@@ -100,12 +122,12 @@ impl Lint for UnbalancedIntervals {
                 (Some(_), Some(_)) | (None, None) => {}
                 (Some(s), None) => out.push(self.diag(
                     spe,
-                    Anchor::at(s),
+                    Anchor::at_view(s),
                     format!("SPE{spe}: context started but never stopped"),
                 )),
                 (None, Some(s)) => out.push(self.diag(
                     spe,
-                    Anchor::at(s),
+                    Anchor::at_view(s),
                     format!("SPE{spe}: stop recorded without a context start"),
                 )),
             }
@@ -130,7 +152,7 @@ impl UnbalancedIntervals {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analyze::AnalyzedTrace;
+    use crate::analyze::{AnalyzedTrace, GlobalEvent};
     use pdt::{TraceHeader, VERSION};
 
     fn ev(t: u64, code: EventCode, params: Vec<u64>, seq: u64) -> GlobalEvent {
@@ -163,10 +185,11 @@ mod tests {
     }
 
     fn run(t: &AnalyzedTrace) -> Vec<Diagnostic> {
+        let cols = crate::columns::ColumnarTrace::from_analyzed(t);
         let loss = crate::loss::LossReport::default();
         let config = super::super::LintConfig::default();
         let ctx = LintContext {
-            trace: t,
+            trace: &cols,
             intervals: &[],
             loss: &loss,
             suspects: &[],

@@ -12,6 +12,7 @@
 use pdt::{EventCode, TraceCore};
 
 use crate::analyze::AnalyzedTrace;
+use crate::columns::ColumnarTrace;
 
 /// A step in an occupancy time series.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +138,47 @@ pub fn dma_occupancy(trace: &AnalyzedTrace) -> Vec<SpeOccupancy> {
     out
 }
 
+/// [`dma_occupancy`] over the columnar store: the same issue/retire
+/// state machine, walking each SPE's memoized offset slice. The
+/// session uses this path; the row function remains the differential
+/// oracle.
+pub fn dma_occupancy_columns(trace: &ColumnarTrace) -> Vec<SpeOccupancy> {
+    let mut out = Vec::new();
+    for spe in trace.spes() {
+        let mut per_tag = [0u32; 32];
+        let mut outstanding = 0u32;
+        let mut steps = Vec::new();
+        for v in trace.core_events(TraceCore::Spe(spe)) {
+            match v.code {
+                EventCode::SpeDmaGet | EventCode::SpeDmaPut => {
+                    let tag = (v.params[3] & 0xff) as usize % 32;
+                    per_tag[tag] += 1;
+                    outstanding += 1;
+                }
+                EventCode::SpeTagWaitEnd => {
+                    let mask = v.params[0] as u32;
+                    for (t, count) in per_tag.iter_mut().enumerate() {
+                        if mask & (1 << t) != 0 {
+                            outstanding -= *count;
+                            *count = 0;
+                        }
+                    }
+                }
+                _ => continue,
+            }
+            steps.push(OccupancyStep {
+                time_tb: v.time_tb,
+                outstanding,
+            });
+        }
+        if steps.is_empty() {
+            continue;
+        }
+        out.push(SpeOccupancy::from_steps(spe, steps));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +278,22 @@ mod tests {
         assert_eq!(past.peak, 0);
         // Full-span window reproduces the series.
         assert_eq!(full.window(0, u64::MAX), *full);
+    }
+
+    #[test]
+    fn columnar_occupancy_matches_row_occupancy() {
+        use EventCode::*;
+        let t = trace(vec![
+            ev(0, SpeDmaGet, vec![0, 0, 4096, 0]),
+            ev(10, SpeDmaGet, vec![0, 0, 4096, 1]),
+            ev(20, SpeTagWaitEnd, vec![0b01]),
+            ev(30, SpeDmaPut, vec![0, 0, 4096, 1]),
+            ev(40, SpeTagWaitEnd, vec![0b10]),
+        ]);
+        let cols = ColumnarTrace::from_analyzed(&t);
+        assert_eq!(dma_occupancy_columns(&cols), dma_occupancy(&t));
+        let empty = ColumnarTrace::from_analyzed(&trace(vec![]));
+        assert!(dma_occupancy_columns(&empty).is_empty());
     }
 
     #[test]

@@ -14,6 +14,7 @@ use pdt::markers::{PHASE_BEGIN, PHASE_END};
 use pdt::{EventCode, TraceCore};
 
 use crate::analyze::AnalyzedTrace;
+use crate::columns::ColumnarTrace;
 
 /// One reconstructed user phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +87,37 @@ pub fn user_phases(trace: &AnalyzedTrace) -> PhaseReport {
                     id,
                     start_tb,
                     end_tb: e.time_tb,
+                }),
+                None => report.unmatched_ends += 1,
+            }
+        }
+    }
+    report.unmatched_begins = open.values().map(|v| v.len() as u64).sum();
+    report.phases.sort_by_key(|p| (p.start_tb, p.id));
+    report
+}
+
+/// [`user_phases`] over the columnar store: one pass over the code /
+/// params columns with the same LIFO pairing. The session uses this
+/// path; the row function remains the differential oracle.
+pub fn user_phases_columns(trace: &ColumnarTrace) -> PhaseReport {
+    let mut open: HashMap<(TraceCore, u32), Vec<u64>> = HashMap::new();
+    let mut report = PhaseReport::default();
+    for v in trace.events.iter() {
+        if !matches!(v.code, EventCode::SpeUser | EventCode::PpeUser) {
+            continue;
+        }
+        let id = v.params[0] as u32;
+        let marker = v.params.get(1).copied().unwrap_or(0);
+        if marker == PHASE_BEGIN {
+            open.entry((v.core, id)).or_default().push(v.time_tb);
+        } else if marker == PHASE_END {
+            match open.get_mut(&(v.core, id)).and_then(Vec::pop) {
+                Some(start_tb) => report.phases.push(UserPhase {
+                    core: v.core,
+                    id,
+                    start_tb,
+                    end_tb: v.time_tb,
                 }),
                 None => report.unmatched_ends += 1,
             }
@@ -188,6 +220,23 @@ mod tests {
         assert_eq!(r.phases[0].core, ppe);
         assert_eq!(r.unmatched_begins, 1); // SPE0's begin
         assert_eq!(r.unmatched_ends, 1); // SPE1's end
+    }
+
+    #[test]
+    fn columnar_phases_match_row_phases() {
+        let s0 = TraceCore::Spe(0);
+        let ppe = TraceCore::Ppe(0);
+        let t = trace(vec![
+            user(0, s0, 7, PHASE_BEGIN),
+            user(5, ppe, 1, PHASE_BEGIN),
+            user(10, s0, 7, PHASE_BEGIN),
+            user(20, s0, 7, PHASE_END),
+            user(30, ppe, 1, PHASE_END),
+            user(40, s0, 7, PHASE_END),
+            user(50, s0, 9, PHASE_END), // unmatched end
+        ]);
+        let cols = ColumnarTrace::from_analyzed(&t);
+        assert_eq!(user_phases_columns(&cols), user_phases(&t));
     }
 
     #[test]

@@ -79,23 +79,33 @@ impl EventFilter {
     /// Whether `event` passes the filter. The window is half-open:
     /// `start_tb` is included, `end_tb` is not.
     pub fn matches(&self, event: &GlobalEvent) -> bool {
+        self.passes(event.time_tb, event.core, event.code)
+    }
+
+    /// [`matches`](Self::matches) for a columnar [`EventView`] — the
+    /// same predicate, evaluated without materializing a row.
+    pub fn matches_view(&self, view: &crate::columns::EventView<'_>) -> bool {
+        self.passes(view.time_tb, view.core, view.code)
+    }
+
+    fn passes(&self, time_tb: u64, core: TraceCore, code: EventCode) -> bool {
         if let Some((s, e)) = self.window {
-            if event.time_tb < s || event.time_tb >= e {
+            if time_tb < s || time_tb >= e {
                 return false;
             }
         }
         if let Some(cores) = &self.cores {
-            if !cores.contains(&event.core) {
+            if !cores.contains(&core) {
                 return false;
             }
         }
         if let Some(codes) = &self.codes {
-            if !codes.contains(&event.code) {
+            if !codes.contains(&code) {
                 return false;
             }
         }
         if let Some(groups) = &self.groups {
-            if !groups.contains(&event.code.group()) {
+            if !groups.contains(&code.group()) {
                 return false;
             }
         }
@@ -215,6 +225,28 @@ mod tests {
     fn empty_filter_matches_all() {
         let a = session();
         assert_eq!(EventFilter::new().apply(&a).len(), a.events().len());
+    }
+
+    #[test]
+    fn view_matching_agrees_with_row_matching() {
+        let t = trace();
+        let cols = crate::columns::ColumnarTrace::from_analyzed(&t);
+        let filters = [
+            EventFilter::new(),
+            EventFilter::new().in_window(10, 30),
+            EventFilter::new().on_core(TraceCore::Spe(1)),
+            EventFilter::new().with_code(EventCode::SpeUser),
+            EventFilter::new().in_group(EventGroup::SpeMbox),
+            EventFilter::new()
+                .in_window(0, 40)
+                .on_core(TraceCore::Spe(1))
+                .in_group(EventGroup::SpeMbox),
+        ];
+        for f in &filters {
+            for (e, v) in t.events.iter().zip(cols.events.iter()) {
+                assert_eq!(f.matches(e), f.matches_view(&v), "{f:?} on {e:?}");
+            }
+        }
     }
 
     #[test]

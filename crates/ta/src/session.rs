@@ -38,20 +38,21 @@ use std::sync::OnceLock;
 use pdt::TraceFile;
 
 use crate::analyze::{AnalyzeError, AnalyzedTrace, GlobalEvent};
+use crate::columns::ColumnarTrace;
 use crate::index::{TraceIndex, WindowSummary};
-use crate::intervals::{build_intervals, SpeIntervals};
-use crate::lint::{lint_trace, LintConfig, LintReport};
+use crate::intervals::{build_intervals_columns, SpeIntervals};
+use crate::lint::{lint_columns, LintConfig, LintReport};
 use crate::loss::{DecodePolicy, LossReport};
-use crate::occupancy::{dma_occupancy, SpeOccupancy};
+use crate::occupancy::{dma_occupancy_columns, SpeOccupancy};
 use crate::parallel::{analyze_parallel, analyze_parallel_lossy};
-use crate::phases::{user_phases, PhaseReport};
+use crate::phases::{user_phases_columns, PhaseReport};
 use crate::query::EventFilter;
 use crate::report::{RenderOptions, ReportKind};
-use crate::stats::{compute_stats_with, TraceStats};
+use crate::stats::{compute_stats_columns, TraceStats};
 use crate::stats::{observe_dma_over, DmaSummary};
 use crate::summary::render_summary_with;
 use crate::svg::SvgOptions;
-use crate::timeline::{build_timeline_where, build_timeline_with, Timeline};
+use crate::timeline::{build_timeline_columns, build_timeline_where, Timeline};
 
 use pdt::TraceCore;
 
@@ -131,9 +132,18 @@ impl AnalysisBuilder<'_> {
 
 /// An analysis session over one trace: parallel ingestion up front,
 /// memoized products on demand.
+///
+/// Internally the session is columnar: the ingested rows are
+/// transposed once into a [`ColumnarTrace`] (struct-of-arrays event
+/// columns plus a string interner for context names), every derived
+/// product iterates those shared columns, and the row-oriented
+/// [`AnalyzedTrace`] is materialized lazily only when an accessor
+/// actually needs `&[GlobalEvent]` — so row-free workloads never pay
+/// for per-event `Vec` allocations.
 #[derive(Debug)]
 pub struct Analysis {
-    analyzed: AnalyzedTrace,
+    columns: ColumnarTrace,
+    rows: OnceLock<AnalyzedTrace>,
     loss: LossReport,
     threads: usize,
     intervals: OnceLock<Vec<SpeIntervals>>,
@@ -160,8 +170,15 @@ impl Analysis {
     /// holding an [`AnalyzedTrace`] (e.g. from the serial path) gets
     /// the memoized accessors too.
     pub fn from_analyzed(analyzed: AnalyzedTrace) -> Self {
+        Self::from_columns(ColumnarTrace::from_rows(analyzed))
+    }
+
+    /// Wraps an already-built columnar store in a session — the
+    /// zero-copy entry point for code that interns its own columns.
+    pub fn from_columns(columns: ColumnarTrace) -> Self {
         Self {
-            analyzed,
+            columns,
+            rows: OnceLock::new(),
             loss: LossReport::default(),
             threads: 1,
             intervals: OnceLock::new(),
@@ -174,9 +191,15 @@ impl Analysis {
         }
     }
 
-    /// The reconstructed trace.
+    /// The reconstructed trace as rows. Materialized from the columns
+    /// on first call and memoized; products never depend on it.
     pub fn analyzed(&self) -> &AnalyzedTrace {
-        &self.analyzed
+        self.rows.get_or_init(|| self.columns.materialize())
+    }
+
+    /// The columnar event store every product is derived from.
+    pub fn columns(&self) -> &ColumnarTrace {
+        &self.columns
     }
 
     /// Loss accounting from ingestion. Populated by the (default)
@@ -186,38 +209,96 @@ impl Analysis {
         &self.loss
     }
 
-    /// The globally ordered event list.
+    /// The globally ordered event list, materialized from the columns
+    /// on first call (see [`analyzed`](Self::analyzed)).
     pub fn events(&self) -> &[GlobalEvent] {
-        &self.analyzed.events
+        &self.analyzed().events
     }
 
     /// Per-SPE activity intervals (computed once, shared by
     /// [`stats`](Self::stats) and [`timeline`](Self::timeline)).
     pub fn intervals(&self) -> &[SpeIntervals] {
         self.intervals
-            .get_or_init(|| build_intervals(&self.analyzed))
+            .get_or_init(|| build_intervals_columns(&self.columns))
     }
 
     /// Per-SPE utilization, DMA traffic and event-count statistics.
     pub fn stats(&self) -> &TraceStats {
         self.stats
-            .get_or_init(|| compute_stats_with(&self.analyzed, self.intervals()))
+            .get_or_init(|| compute_stats_columns(&self.columns, self.intervals()))
     }
 
     /// The Gantt timeline model.
     pub fn timeline(&self) -> &Timeline {
         self.timeline
-            .get_or_init(|| build_timeline_with(&self.analyzed, self.intervals()))
+            .get_or_init(|| build_timeline_columns(&self.columns, self.intervals()))
     }
 
     /// Outstanding-DMA occupancy per SPE.
     pub fn occupancy(&self) -> &[SpeOccupancy] {
-        self.occupancy.get_or_init(|| dma_occupancy(&self.analyzed))
+        self.occupancy
+            .get_or_init(|| dma_occupancy_columns(&self.columns))
     }
 
     /// User-marked phase report.
     pub fn phases(&self) -> &PhaseReport {
-        self.phases.get_or_init(|| user_phases(&self.analyzed))
+        self.phases
+            .get_or_init(|| user_phases_columns(&self.columns))
+    }
+
+    /// Builds the independent memoized products concurrently on up to
+    /// `threads` workers, then returns the session for chaining. One
+    /// warm-up pass builds the intervals and the per-core offset lists
+    /// (the dependencies everything shares), after which index, lint,
+    /// stats, timeline, occupancy and phases derive from the same
+    /// columns in parallel — one logical pass over the store instead
+    /// of six serial rescans. Calling any accessor afterwards returns
+    /// the already-built product; results are identical to building
+    /// serially.
+    pub fn products_parallel(&self, threads: usize) -> &Self {
+        // Shared dependencies first, so workers don't block each other
+        // inside get_or_init: intervals feed stats/timeline/index, and
+        // touching them warms the memoized per-core offsets.
+        let _ = self.intervals();
+        let tasks: [&(dyn Fn() + Sync); 6] = [
+            &|| {
+                let _ = self.index();
+            },
+            &|| {
+                let _ = self.lint();
+            },
+            &|| {
+                let _ = self.stats();
+            },
+            &|| {
+                let _ = self.timeline();
+            },
+            &|| {
+                let _ = self.occupancy();
+            },
+            &|| {
+                let _ = self.phases();
+            },
+        ];
+        let workers = threads.clamp(1, tasks.len());
+        if workers == 1 {
+            for t in &tasks {
+                t();
+            }
+            return self;
+        }
+        crossbeam::thread::scope(|s| {
+            for w in 0..workers {
+                let tasks = &tasks;
+                s.spawn(move |_| {
+                    for t in tasks.iter().skip(w).step_by(workers) {
+                        t();
+                    }
+                });
+            }
+        })
+        .expect("product workers do not panic");
+        self
     }
 
     /// The query index: per-core binary-searchable event offsets, an
@@ -226,7 +307,7 @@ impl Analysis {
     /// worker count) and memoized like the other products.
     pub fn index(&self) -> &TraceIndex {
         self.index.get_or_init(|| {
-            TraceIndex::build_parallel(&self.analyzed, self.intervals(), &self.loss, self.threads)
+            TraceIndex::build_columns(&self.columns, self.intervals(), &self.loss, self.threads)
         })
     }
 
@@ -237,8 +318,8 @@ impl Analysis {
     /// downgraded to suspect rather than reported firm.
     pub fn lint(&self) -> &LintReport {
         self.lint.get_or_init(|| {
-            lint_trace(
-                &self.analyzed,
+            lint_columns(
+                &self.columns,
                 self.intervals(),
                 &self.loss,
                 &LintConfig::default(),
@@ -250,7 +331,7 @@ impl Analysis {
     /// (baseline suppressions, allow/deny lists, thresholds). Not
     /// memoized — each call re-runs the rules with `config`.
     pub fn lint_with(&self, config: &LintConfig) -> LintReport {
-        lint_trace(&self.analyzed, self.intervals(), &self.loss, config)
+        lint_columns(&self.columns, self.intervals(), &self.loss, config)
     }
 
     /// Applies `filter` through the [index](Self::index): window
@@ -258,7 +339,7 @@ impl Analysis {
     /// the named cores' offset lists. Result order and content are
     /// identical to a linear scan.
     pub fn query(&self, filter: &EventFilter) -> Vec<&GlobalEvent> {
-        self.index().query(&self.analyzed, filter)
+        self.index().query(self.analyzed(), filter)
     }
 
     /// Exact aggregate of the half-open window `[start_tb, end_tb)`:
@@ -266,7 +347,7 @@ impl Analysis {
     /// gap-suspicion flag, resolved from ~O(levels) pyramid bucket
     /// reads plus two exact edge buckets.
     pub fn summarize(&self, start_tb: u64, end_tb: u64) -> WindowSummary {
-        self.index().summarize(&self.analyzed, start_tb, end_tb)
+        self.index().summarize(self.analyzed(), start_tb, end_tb)
     }
 
     /// Every SPE's activity intervals clipped to `[start_tb, end_tb)`
@@ -280,7 +361,7 @@ impl Analysis {
     /// lane set as [`timeline`](Self::timeline), with segments clipped
     /// by the interval tree and markers extracted by binary search.
     pub fn timeline_window(&self, start_tb: u64, end_tb: u64) -> Timeline {
-        build_timeline_where(&self.analyzed, self.index(), start_tb, end_tb)
+        build_timeline_where(self.analyzed(), self.index(), start_tb, end_tb)
     }
 
     /// Outstanding-DMA occupancy restricted to `[start_tb, end_tb)`,
@@ -299,8 +380,9 @@ impl Analysis {
     /// index.
     pub fn dma_window(&self, start_tb: u64, end_tb: u64) -> DmaSummary {
         let idx = self.index();
-        observe_dma_over(self.analyzed.spes(), |spe| {
-            idx.core_events_in(&self.analyzed.events, TraceCore::Spe(spe), start_tb, end_tb)
+        let rows = self.analyzed();
+        observe_dma_over(rows.spes(), |spe| {
+            idx.core_events_in(&rows.events, TraceCore::Spe(spe), start_tb, end_tb)
         })
     }
 
@@ -331,7 +413,7 @@ impl Analysis {
     /// Renders the plain-text summary report, including the loss
     /// section when loss accounting ran.
     pub fn summary(&self) -> String {
-        render_summary_with(&self.analyzed, self.stats(), Some(&self.loss))
+        render_summary_with(self.analyzed(), self.stats(), Some(&self.loss))
     }
 
     /// Renders the standalone HTML report. Convenience for
@@ -348,9 +430,12 @@ impl Analysis {
         )
     }
 
-    /// Consumes the session, returning the reconstructed trace.
+    /// Consumes the session, returning the reconstructed trace (the
+    /// memoized row materialization when one exists, otherwise a fresh
+    /// one).
     pub fn into_analyzed(self) -> AnalyzedTrace {
-        self.analyzed
+        let Self { columns, rows, .. } = self;
+        rows.into_inner().unwrap_or_else(|| columns.materialize())
     }
 }
 
@@ -358,6 +443,7 @@ impl Analysis {
 mod tests {
     use super::*;
     use crate::analyze::analyze;
+    use crate::intervals::build_intervals;
     use crate::stats::compute_stats;
     use crate::timeline::build_timeline;
     use pdt::{EventCode, TraceCore, TraceHeader, TraceRecord, TraceStream, VERSION};
@@ -561,6 +647,61 @@ mod tests {
             .contains("</svg>"));
         assert!(a.render(ReportKind::Html, &opts).contains("</html>"));
         assert!(!a.render(ReportKind::Ascii, &opts).is_empty());
+    }
+
+    #[test]
+    fn parallel_products_equal_serial_products() {
+        let t = trace(4);
+        let serial = Analysis::of(&t).threads(1).run().unwrap();
+        serial.products_parallel(1);
+        for workers in [2, 4, 8] {
+            let parallel = Analysis::of(&t).threads(1).run().unwrap();
+            parallel.products_parallel(workers);
+            assert_eq!(parallel.intervals(), serial.intervals());
+            assert_eq!(parallel.stats(), serial.stats());
+            assert_eq!(parallel.timeline(), serial.timeline());
+            assert_eq!(parallel.occupancy(), serial.occupancy());
+            assert_eq!(parallel.phases(), serial.phases());
+            assert_eq!(parallel.index(), serial.index());
+            assert_eq!(parallel.lint(), serial.lint());
+            assert_eq!(parallel.events(), serial.events());
+        }
+    }
+
+    #[test]
+    fn products_parallel_memoizes_like_serial_access() {
+        let t = trace(2);
+        let a = Analysis::of(&t).run().unwrap();
+        a.products_parallel(4);
+        // Accessors now return the already-built products.
+        let s1: *const _ = a.stats();
+        let i1: *const _ = a.index();
+        a.products_parallel(4); // idempotent
+        assert_eq!(s1, a.stats() as *const _);
+        assert_eq!(i1, a.index() as *const _);
+    }
+
+    #[test]
+    fn interner_dedups_under_concurrent_product_builds() {
+        // Two contexts share one name: the interner holds a single
+        // symbol for it, and concurrent product builds (which resolve
+        // labels through the shared interner) see consistent strings.
+        let mut t = trace(3);
+        t.ctx_names = vec![(0, "kern".into()), (1, "kern".into()), (2, "other".into())];
+        let a = Analysis::of(&t).run().unwrap();
+        a.products_parallel(4);
+        assert_eq!(a.columns().interner().len(), 2);
+        assert_eq!(a.columns().ctx_name(0), Some("kern"));
+        assert_eq!(a.columns().ctx_name(1), Some("kern"));
+        assert_eq!(a.columns().ctx_name(2), Some("other"));
+        let labels: Vec<&str> = a
+            .timeline()
+            .lanes
+            .iter()
+            .map(|l| l.label.as_str())
+            .collect();
+        assert!(labels.contains(&"SPE0 (kern)"), "{labels:?}");
+        assert!(labels.contains(&"SPE2 (other)"), "{labels:?}");
     }
 
     #[test]

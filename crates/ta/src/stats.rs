@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use pdt::{EventCode, TraceCore};
 
 use crate::analyze::AnalyzedTrace;
+use crate::columns::ColumnarTrace;
 use crate::histogram::Log2Histogram;
 use crate::intervals::{build_intervals, ActivityKind, SpeIntervals};
 
@@ -205,6 +206,78 @@ pub fn compute_stats_with(trace: &AnalyzedTrace, intervals: &[SpeIntervals]) -> 
     }
 }
 
+/// [`compute_stats_with`] over the columnar store: event counts come
+/// from one walk of the code column and the DMA matcher iterates
+/// per-SPE offset slices, with no per-event allocation. The session
+/// uses this path; the row functions remain the differential oracles.
+pub fn compute_stats_columns(trace: &ColumnarTrace, intervals: &[SpeIntervals]) -> TraceStats {
+    let spes = intervals.iter().map(SpeActivity::from_intervals).collect();
+
+    let mut counts = EventCounts::default();
+    for code in trace.events.codes() {
+        *counts.counts.entry(*code).or_insert(0) += 1;
+    }
+
+    let dma = observe_dma_columns(trace);
+    TraceStats {
+        spes,
+        dma,
+        counts,
+        duration_tb: trace.end_tb().saturating_sub(trace.start_tb()),
+    }
+}
+
+/// [`observe_dma`] over the columnar store: the same matching
+/// algorithm, driven by per-SPE [`EventView`](crate::columns::EventView)s.
+pub fn observe_dma_columns(trace: &ColumnarTrace) -> DmaSummary {
+    let mut summary = DmaSummary::default();
+    for spe in trace.spes() {
+        let mut outstanding: HashMap<u8, Vec<usize>> = HashMap::new();
+        for v in trace.core_events(TraceCore::Spe(spe)) {
+            match v.code {
+                EventCode::SpeDmaGet | EventCode::SpeDmaPut => {
+                    let is_get = v.code == EventCode::SpeDmaGet;
+                    let bytes = v.params[2];
+                    let tag = (v.params[3] & 0xff) as u8;
+                    let idx = summary.commands.len();
+                    summary.commands.push(ObservedDma {
+                        spe,
+                        is_get,
+                        bytes,
+                        issue_tb: v.time_tb,
+                        complete_tb: None,
+                    });
+                    outstanding.entry(tag).or_default().push(idx);
+                    if is_get {
+                        summary.gets += 1;
+                    } else {
+                        summary.puts += 1;
+                    }
+                    summary.bytes += bytes;
+                    summary.sizes.add(bytes);
+                }
+                EventCode::SpeTagWaitEnd => {
+                    let mask = v.params[0] as u32;
+                    for tag in 0..32u8 {
+                        if mask & (1 << tag) != 0 {
+                            if let Some(idxs) = outstanding.remove(&tag) {
+                                for i in idxs {
+                                    summary.commands[i].complete_tb = Some(v.time_tb);
+                                    if let Some(l) = summary.commands[i].latency_tb() {
+                                        summary.latency_ticks.add(l);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    summary
+}
+
 /// Matches DMA issue records to the tag waits that observe their
 /// completion.
 pub fn observe_dma(trace: &AnalyzedTrace) -> DmaSummary {
@@ -367,6 +440,26 @@ mod tests {
         assert_eq!(s.duration_tb, 100);
         assert_eq!(s.counts.get(SpeCtxStart), 2);
         assert_eq!(s.counts.total(), 6);
+    }
+
+    #[test]
+    fn columnar_stats_match_row_stats() {
+        use EventCode::*;
+        let t = trace(vec![
+            ev(0, 0, SpeCtxStart, vec![0]),
+            ev(10, 0, SpeDmaGet, vec![0x1000, 0, 4096, 2]),
+            ev(12, 0, SpeDmaPut, vec![0x2000, 0, 128, 3]),
+            ev(20, 0, SpeTagWaitBegin, vec![0b1100, 0]),
+            ev(50, 0, SpeTagWaitEnd, vec![0b1100]),
+            ev(90, 0, SpeStop, vec![0]),
+            ev(0, 1, SpeCtxStart, vec![1]),
+            ev(30, 1, SpeDmaGet, vec![0, 0, 2048, 5]),
+            ev(100, 1, SpeStop, vec![0]),
+        ]);
+        let cols = ColumnarTrace::from_analyzed(&t);
+        let iv = build_intervals(&t);
+        assert_eq!(compute_stats_columns(&cols, &iv), compute_stats(&t));
+        assert_eq!(observe_dma_columns(&cols), observe_dma(&t));
     }
 
     #[test]

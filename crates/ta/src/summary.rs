@@ -5,20 +5,7 @@ use pdt::TraceCore;
 
 use crate::analyze::AnalyzedTrace;
 use crate::loss::LossReport;
-use crate::stats::{compute_stats, TraceStats};
-
-/// Renders the full summary report for a trace.
-#[deprecated(note = "use `Analysis::summary`, which includes loss accounting")]
-pub fn summary_report(trace: &AnalyzedTrace) -> String {
-    let stats = compute_stats(trace);
-    render_summary_with(trace, &stats, None)
-}
-
-/// Renders the summary from precomputed statistics.
-#[deprecated(note = "use `Analysis::summary`, which includes loss accounting")]
-pub fn render_summary(trace: &AnalyzedTrace, stats: &TraceStats) -> String {
-    render_summary_with(trace, stats, None)
-}
+use crate::stats::TraceStats;
 
 /// Renders the summary with loss accounting: SPE rows whose statistics
 /// may be skewed by trace damage are marked `*`, and a `-- loss --`
@@ -181,9 +168,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn summary_contains_all_sections() {
-        let s = summary_report(&trace());
+        let t = trace();
+        let s = render_summary_with(&t, &crate::stats::compute_stats(&t), None);
         for needle in [
             "PDT trace summary",
             "1 SPE(s)",
@@ -204,12 +191,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn empty_trace_summary_does_not_panic() {
         let mut t = trace();
         t.events.clear();
         t.anchors.clear();
-        let s = summary_report(&t);
+        let s = render_summary_with(&t, &crate::stats::compute_stats(&t), None);
         assert!(s.contains("0 events"));
     }
 }

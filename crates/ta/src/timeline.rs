@@ -7,6 +7,7 @@
 use pdt::{EventCode, TraceCore};
 
 use crate::analyze::AnalyzedTrace;
+use crate::columns::ColumnarTrace;
 use crate::index::TraceIndex;
 use crate::intervals::{build_intervals, ActivityKind, SpeIntervals};
 
@@ -146,6 +147,76 @@ pub fn build_timeline_with(trace: &AnalyzedTrace, intervals: &[SpeIntervals]) ->
                 .map(|e| Marker {
                     time_tb: e.time_tb,
                     code: e.code,
+                })
+                .collect(),
+        });
+    }
+
+    Timeline {
+        start_tb,
+        end_tb,
+        lanes,
+    }
+}
+
+/// [`build_timeline_with`] over the columnar store: lane discovery
+/// reads the memoized per-core offsets, markers come from per-core
+/// offset slices, and SPE labels resolve through the string interner.
+/// The session uses this path; the row function remains the
+/// differential oracle.
+pub fn build_timeline_columns(trace: &ColumnarTrace, intervals: &[SpeIntervals]) -> Timeline {
+    let start_tb = trace.start_tb();
+    let end_tb = trace.end_tb();
+    let mut lanes = Vec::new();
+
+    // PPE lanes: the memoized core offsets are tag-sorted, so PPE
+    // threads come out ascending without a scan over the events.
+    for (core, _) in trace.core_offsets() {
+        let TraceCore::Ppe(t) = *core else { continue };
+        lanes.push(Lane {
+            label: format!("PPE.{t}"),
+            core: *core,
+            segments: Vec::new(),
+            markers: trace
+                .core_events(*core)
+                .map(|v| Marker {
+                    time_tb: v.time_tb,
+                    code: v.code,
+                })
+                .collect(),
+        });
+    }
+
+    // SPE lanes from intervals, labels resolved through the interner.
+    for iv in intervals {
+        let core = TraceCore::Spe(iv.spe);
+        let ctx = trace
+            .anchors
+            .iter()
+            .find(|a| a.spe == iv.spe)
+            .map(|a| a.ctx);
+        let label = match ctx.and_then(|c| trace.ctx_name(c)) {
+            Some(name) => format!("SPE{} ({name})", iv.spe),
+            None => format!("SPE{}", iv.spe),
+        };
+        lanes.push(Lane {
+            label,
+            core,
+            segments: iv
+                .intervals
+                .iter()
+                .map(|i| Segment {
+                    start_tb: i.start_tb,
+                    end_tb: i.end_tb,
+                    kind: i.kind,
+                })
+                .collect(),
+            markers: trace
+                .core_events(core)
+                .filter(|v| is_marker(core, v.code))
+                .map(|v| Marker {
+                    time_tb: v.time_tb,
+                    code: v.code,
                 })
                 .collect(),
         });
@@ -302,6 +373,14 @@ mod tests {
             .markers
             .iter()
             .any(|m| m.code == EventCode::SpeUser && m.time_tb == 80));
+    }
+
+    #[test]
+    fn columnar_timeline_matches_row_timeline() {
+        let t = trace();
+        let cols = ColumnarTrace::from_analyzed(&t);
+        let iv = build_intervals(&t);
+        assert_eq!(build_timeline_columns(&cols, &iv), build_timeline(&t));
     }
 
     #[test]

@@ -308,6 +308,36 @@ proptest! {
     }
 
     #[test]
+    fn columnar_materialization_is_lossless(
+        trace in arb_trace(),
+        seed in 0u64..1_000,
+        nmodes in 0usize..=5,
+    ) {
+        // Row → columns → row is the identity on a clean trace, field
+        // by field (AnalyzedTrace carries no PartialEq).
+        let clean = analyze(&trace).expect("valid traces analyze");
+        let cols = ta::ColumnarTrace::from_analyzed(&clean);
+        let back = cols.materialize();
+        prop_assert_eq!(&back.events, &clean.events);
+        prop_assert_eq!(&back.ctx_names, &clean.ctx_names);
+        prop_assert_eq!(&back.anchors, &clean.anchors);
+        prop_assert_eq!(back.header, clean.header);
+        prop_assert_eq!(back.dropped, clean.dropped);
+        // Same through the consuming constructor on a fault-injected
+        // trace: whatever survives lossy decode round-trips exactly.
+        let mut damaged = trace.clone();
+        ta::FaultInjector::new(seed).inject(&mut damaged, &ta::FaultKind::ALL[..nmodes]);
+        let (rows, _loss) = ta::analyze_lossy(&damaged);
+        let cols = ta::ColumnarTrace::from_rows(rows.clone());
+        let back = cols.materialize();
+        prop_assert_eq!(&back.events, &rows.events);
+        prop_assert_eq!(&back.ctx_names, &rows.ctx_names);
+        prop_assert_eq!(&back.anchors, &rows.anchors);
+        prop_assert_eq!(back.header, rows.header);
+        prop_assert_eq!(back.dropped, rows.dropped);
+    }
+
+    #[test]
     fn window_clipping_conserves_ticks(
         trace in arb_trace(),
         cut in 0u64..10_000,

@@ -10,6 +10,11 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== clippy redundant_clone over ta =="
+# The columnar hot path must stay clone-free; redundant_clone is
+# nursery-grade so it gates only the analysis crate.
+cargo clippy -p ta --all-targets -- -D warnings -D clippy::redundant_clone
+
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
@@ -51,5 +56,12 @@ echo "== indexed-query smoke (1 size point) =="
 # window query beats the naive rescan by >= 5x (exits nonzero on
 # divergence or a speedup miss).
 cargo run -q --release -p bench --bin query_smoke
+
+echo "== parallel-product smoke (1 size point) =="
+# Asserts parallel products identical to serial products on all
+# goldens, and that the columnar pipeline beats the serial row path by
+# >= 2x at 4 workers and >= 1.3x at 1 on the large storm trace; emits
+# BENCH_products.json / BENCH_ingest.json at the repo root.
+cargo run -q --release -p bench --bin product_smoke
 
 echo "all checks passed"
