@@ -1,0 +1,307 @@
+//! Streaming-ingestion smoke gate: `stream_smoke [EVENTS_PER_SPE]`.
+//!
+//! Guards the incremental ingestion path two ways, exiting nonzero on
+//! the first violation so `scripts/check.sh` can run it as a tier-1
+//! gate:
+//!
+//! - **Parity is fatal.** On every golden trace, feeding the `.pdt`
+//!   image to [`ta::ImageIngest`] in chunks (small and page-sized)
+//!   must produce a snapshot identical to the one-shot
+//!   [`Analysis::of`] in events, loss accounting, statistics and
+//!   index.
+//! - **Ingestion must actually be incremental.** On a large synthetic
+//!   trace, appending the final ~1% of each SPE stream after a
+//!   snapshot must extend the maintained index, not rebuild it:
+//!   at most 5% of index blocks may be rebuilt.
+//!
+//! Also measures live-tail latency — the cost of taking a fresh
+//! snapshot after each appended chunk, across chunk sizes — and emits
+//! `BENCH_stream.json` at the repo root (stable schema: name,
+//! events_per_sec, wall_ms, threads) for the tracked perf trajectory.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bench::{repo_root, write_bench_json, BenchRecord};
+use pdt::{EventCode, TraceCore, TraceFile, TraceHeader, TraceRecord, TraceStream, VERSION};
+use ta::{Analysis, ImageIngest, IngestSession, StreamId};
+
+const MAX_REBUILT_FRACTION: f64 = 0.05;
+
+const GOLDEN: [&str; 5] = [
+    "matmul.pdt",
+    "stream.pdt",
+    "pipeline.pdt",
+    "stream_faulted.pdt",
+    "stream_racy.pdt",
+];
+
+/// A deterministic storm trace built directly from records: one PPE
+/// anchor stream, then per SPE a lifecycle whose tail (`SpeUser`
+/// events after `SpeStop`) extends the timeline without changing any
+/// activity interval — the shape a live tracer appends.
+fn storm_trace(spes: u8, users_per_spe: usize) -> TraceFile {
+    let header = TraceHeader {
+        version: VERSION,
+        num_ppe_threads: 1,
+        num_spes: spes,
+        core_hz: 3_200_000_000,
+        timebase_divider: 120,
+        dec_start: u32::MAX,
+        group_mask: u32::MAX,
+        spe_buffer_bytes: 2048,
+    };
+    let mut ppe = Vec::new();
+    for spe in 0..spes {
+        TraceRecord {
+            core: TraceCore::Ppe(0),
+            code: EventCode::PpeCtxRun,
+            timestamp: 100 + spe as u64,
+            params: vec![spe as u64, spe as u64, u32::MAX as u64],
+        }
+        .encode_into(&mut ppe);
+    }
+    let mut streams = vec![TraceStream {
+        core: TraceCore::Ppe(0),
+        bytes: ppe,
+        dropped: 0,
+    }];
+    for spe in 0..spes {
+        let mut bytes = Vec::new();
+        let mut dec = u32::MAX;
+        let mut emit = |code, step: u32, params: Vec<u64>, bytes: &mut Vec<u8>| {
+            dec = dec.wrapping_sub(step);
+            TraceRecord {
+                core: TraceCore::Spe(spe),
+                code,
+                timestamp: dec as u64,
+                params,
+            }
+            .encode_into(bytes);
+        };
+        emit(EventCode::SpeCtxStart, 0, vec![spe as u64], &mut bytes);
+        emit(
+            EventCode::SpeDmaGet,
+            40,
+            vec![0x1000, 0x100000, 4096, 1],
+            &mut bytes,
+        );
+        emit(EventCode::SpeTagWaitBegin, 10, vec![2, 0], &mut bytes);
+        emit(EventCode::SpeTagWaitEnd, 300, vec![2], &mut bytes);
+        emit(EventCode::SpeStop, 1000, vec![0], &mut bytes);
+        for k in 0..users_per_spe {
+            emit(
+                EventCode::SpeUser,
+                3,
+                vec![(k % 50) as u64, k as u64, spe as u64],
+                &mut bytes,
+            );
+        }
+        streams.push(TraceStream {
+            core: TraceCore::Spe(spe),
+            bytes,
+            dropped: 0,
+        });
+    }
+    TraceFile {
+        header,
+        streams,
+        ctx_names: (0..spes as u32).map(|c| (c, format!("storm{c}"))).collect(),
+    }
+}
+
+/// Chunked image ingestion must be indistinguishable from the
+/// one-shot analysis on every golden trace.
+fn check_parity() -> Result<(), String> {
+    let dir = repo_root().join("tests/golden");
+    for name in GOLDEN {
+        let path = dir.join(name);
+        let image = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let trace = TraceFile::read_from(&path).map_err(|e| format!("{name}: {e}"))?;
+        let one = Analysis::of(&trace)
+            .threads(2)
+            .run()
+            .map_err(|e| format!("{name}: {e}"))?;
+        for chunk in [137usize, 4096] {
+            let mut ing = ImageIngest::new().with_threads(2);
+            for piece in image.chunks(chunk) {
+                ing.push(piece).map_err(|e| format!("{name}: {e}"))?;
+            }
+            ing.finish().map_err(|e| format!("{name}: {e}"))?;
+            let snap = ing
+                .snapshot()
+                .ok_or_else(|| format!("{name}: no snapshot"))?;
+            let bad =
+                |what: &str| Err(format!("{name}: chunked {what} diverged ({chunk}B chunks)"));
+            if snap.analyzed().events != one.analyzed().events {
+                return bad("events");
+            }
+            if snap.loss() != one.loss() {
+                return bad("loss");
+            }
+            if snap.stats() != one.stats() {
+                return bad("stats");
+            }
+            if snap.index() != one.index() {
+                return bad("index");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Appending the last ~1% of every SPE stream after a snapshot must
+/// extend the committed index, not rebuild it.
+fn check_incremental_bound(trace: &TraceFile) -> Result<(f64, usize, usize), String> {
+    let mut s = IngestSession::new(trace.header).with_threads(2);
+    let ids: Vec<StreamId> = trace
+        .streams
+        .iter()
+        .map(|st| s.add_stream(st.core, st.dropped))
+        .collect();
+    s.set_ctx_names(trace.ctx_names.clone());
+    s.append(ids[0], &trace.streams[0].bytes);
+    s.close_stream(ids[0]);
+    let head = |bytes: &[u8]| bytes.len() * 99 / 100;
+    for (i, st) in trace.streams.iter().enumerate().skip(1) {
+        s.append(ids[i], &st.bytes[..head(&st.bytes)]);
+    }
+    let _ = s.snapshot(); // builds the committed index over ~99%
+    for (i, st) in trace.streams.iter().enumerate().skip(1) {
+        s.append(ids[i], &st.bytes[head(&st.bytes)..]);
+    }
+    s.finish();
+    let snap = s.snapshot();
+    let one = Analysis::of(trace)
+        .threads(2)
+        .run()
+        .map_err(|e| e.to_string())?;
+    if snap.analyzed().events != one.analyzed().events || snap.index() != one.index() {
+        return Err("tail-appended session diverged from one-shot".into());
+    }
+    let delta = s.last_delta().ok_or("no index delta recorded")?;
+    if delta.full_rebuild {
+        return Err("appending a 1% tail triggered a full index rebuild".into());
+    }
+    let frac = delta.rebuilt_fraction();
+    if frac > MAX_REBUILT_FRACTION {
+        return Err(format!(
+            "appending a 1% tail rebuilt {:.1}% of index blocks ({}/{}, max {:.0}%)",
+            frac * 100.0,
+            delta.blocks_rebuilt,
+            delta.blocks_total,
+            MAX_REBUILT_FRACTION * 100.0
+        ));
+    }
+    Ok((frac, delta.blocks_rebuilt, delta.blocks_total))
+}
+
+/// Live-tail cost: ingest the image in `chunk`-byte pieces, taking a
+/// fresh snapshot after every piece. Returns (total wall ms, mean
+/// per-snapshot ms, snapshot count).
+fn live_tail(image: &[u8], chunk: usize, threads: usize) -> (f64, f64, usize) {
+    let mut ing = ImageIngest::new().with_threads(threads);
+    let mut snap_ns = 0u128;
+    let mut snaps = 0usize;
+    let start = Instant::now();
+    for piece in image.chunks(chunk) {
+        ing.push(piece).unwrap();
+        let t = Instant::now();
+        if ing.snapshot().is_some() {
+            snaps += 1;
+        }
+        snap_ns += t.elapsed().as_nanos();
+    }
+    ing.finish().unwrap();
+    let total_ms = start.elapsed().as_nanos() as f64 / 1e6;
+    (total_ms, snap_ns as f64 / 1e6 / snaps.max(1) as f64, snaps)
+}
+
+fn run() -> Result<(), String> {
+    let users_per_spe: usize = std::env::args()
+        .nth(1)
+        .map(|v| v.parse().map_err(|_| format!("bad size {v:?}")))
+        .transpose()?
+        .unwrap_or(4_000);
+
+    check_parity()?;
+    println!(
+        "golden parity: OK (chunked ImageIngest == one-shot on {} traces)",
+        GOLDEN.len()
+    );
+
+    let trace = storm_trace(8, users_per_spe);
+    let n = Analysis::of(&trace)
+        .threads(2)
+        .run()
+        .map_err(|e| e.to_string())?
+        .events()
+        .len();
+    let (frac, rebuilt, total) = check_incremental_bound(&trace)?;
+    println!(
+        "incremental bound: OK (1% tail rebuilt {rebuilt}/{total} blocks = {:.2}%, max 5%)",
+        frac * 100.0
+    );
+
+    let image = trace.to_bytes();
+    println!(
+        "live-tail trace: {n} events, {} KiB image",
+        image.len() / 1024
+    );
+    let mut records = Vec::new();
+
+    // One-shot baseline: the whole image in a single push.
+    let oneshot_ms = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            let mut ing = ImageIngest::new().with_threads(4);
+            ing.push(&image).unwrap();
+            ing.finish().unwrap();
+            std::hint::black_box(ing.snapshot().map(|a| a.events().len()));
+            t.elapsed().as_nanos() as f64 / 1e6
+        })
+        .fold(f64::INFINITY, f64::min);
+    records.push(BenchRecord {
+        name: "stream_oneshot".into(),
+        events_per_sec: n as f64 / (oneshot_ms / 1e3),
+        wall_ms: oneshot_ms,
+        threads: 4,
+    });
+
+    let mut meta: Vec<(String, f64)> = vec![
+        ("events".into(), n as f64),
+        ("image_bytes".into(), image.len() as f64),
+        ("tail_rebuilt_pct".into(), frac * 100.0),
+        ("tail_blocks_total".into(), total as f64),
+    ];
+    for chunk_kib in [4usize, 16, 64] {
+        let (total_ms, mean_snap_ms, snaps) = live_tail(&image, chunk_kib * 1024, 4);
+        println!(
+            "live-tail {chunk_kib:>2} KiB chunks: {snaps} snapshots, \
+             mean {mean_snap_ms:.3} ms/snapshot, {total_ms:.1} ms total"
+        );
+        records.push(BenchRecord {
+            name: format!("stream_tail_{chunk_kib}k"),
+            events_per_sec: n as f64 / (total_ms / 1e3),
+            wall_ms: total_ms,
+            threads: 4,
+        });
+        meta.push((format!("snapshot_ms_{chunk_kib}k"), mean_snap_ms));
+    }
+
+    let meta_refs: Vec<(&str, f64)> = meta.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let path =
+        write_bench_json("BENCH_stream.json", &records, &meta_refs).map_err(|e| e.to_string())?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("stream_smoke: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

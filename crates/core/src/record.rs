@@ -414,6 +414,252 @@ pub fn decode_stream_lossy(bytes: &[u8], stream_core: Option<TraceCore>) -> Loss
     out
 }
 
+/// A resync scan that is still in progress when the available bytes run
+/// out: the gap has opened but its end is not yet known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct OpenGap {
+    /// Absolute stream offset where the gap opened.
+    start: usize,
+    /// The decode error that opened the gap.
+    cause: RecordError,
+    /// Records decoded before the gap opened.
+    records_before: u64,
+    /// Absolute offset of the next resync candidate to test.
+    cand: usize,
+}
+
+/// Incremental counterpart of [`decode_stream_lossy`]: feed a stream's
+/// bytes in arbitrary chunks and get the identical records and gaps.
+///
+/// The cursor carries every piece of decoder state across chunk
+/// boundaries — the partial record at the tail of a chunk, the last
+/// good decrementer snapshot, and (crucially) an in-progress resync
+/// scan. A gap that spans a chunk boundary therefore stays *open* until
+/// its true end is found and is reported exactly once, where a naive
+/// per-chunk decode would re-enter it at the next buffer start and
+/// double-count it.
+///
+/// A record (or resync candidate) that fails only because bytes are
+/// missing is held back, not treated as corrupt, until [`finish`] marks
+/// the stream complete — truncation at a chunk boundary is expected,
+/// truncation at end-of-stream is a torn flush. After `finish`, the
+/// concatenation of everything [`take_output`] returned equals
+/// `decode_stream_lossy` over the whole stream, byte for byte, for
+/// every possible chunking.
+///
+/// The cursor buffers only the undecodable tail (at most one maximal
+/// record), so memory stays bounded no matter how the stream is
+/// chunked.
+///
+/// [`finish`]: LossyCursor::finish
+/// [`take_output`]: LossyCursor::take_output
+#[derive(Debug, Clone)]
+pub struct LossyCursor {
+    stream_core: Option<TraceCore>,
+    wrap_tol: u32,
+    /// Undecoded carry bytes; `buf[0]` sits at absolute offset `base`.
+    buf: Vec<u8>,
+    base: usize,
+    prev_dec: Option<u32>,
+    records: Vec<TraceRecord>,
+    gaps: Vec<DecodeGap>,
+    open_gap: Option<OpenGap>,
+    finished: bool,
+    records_total: u64,
+}
+
+impl LossyCursor {
+    /// Creates a cursor for a stream claimed to come from `stream_core`
+    /// (the same hint [`decode_stream_lossy`] takes), using
+    /// [`DEFAULT_WRAP_TOLERANCE`].
+    pub fn new(stream_core: Option<TraceCore>) -> LossyCursor {
+        LossyCursor {
+            stream_core,
+            wrap_tol: DEFAULT_WRAP_TOLERANCE,
+            buf: Vec::new(),
+            base: 0,
+            prev_dec: None,
+            records: Vec::new(),
+            gaps: Vec::new(),
+            open_gap: None,
+            finished: false,
+            records_total: 0,
+        }
+    }
+
+    /// Appends the next chunk of stream bytes and decodes as far as the
+    /// data allows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor was already [`finish`](LossyCursor::finish)ed.
+    pub fn push(&mut self, chunk: &[u8]) {
+        assert!(!self.finished, "push after finish");
+        self.buf.extend_from_slice(chunk);
+        self.drain();
+    }
+
+    /// Marks the stream complete: a held-back partial record becomes a
+    /// torn-tail gap and an in-progress resync scan runs to the end,
+    /// exactly as the one-shot decoder would at end of input. Idempotent.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.drain();
+        debug_assert!(self.buf.is_empty(), "finish consumes every byte");
+        debug_assert!(self.open_gap.is_none(), "finish closes any open gap");
+    }
+
+    /// True once [`finish`](LossyCursor::finish) has been called.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Total records decoded so far (including ones already taken).
+    pub fn decoded_total(&self) -> u64 {
+        self.records_total
+    }
+
+    /// Absolute stream offset of the first byte not yet fully decoded.
+    pub fn offset(&self) -> usize {
+        match &self.open_gap {
+            Some(g) => g.start,
+            None => self.base,
+        }
+    }
+
+    /// Takes the records and gaps decoded since the last take, in
+    /// stream order. Gap offsets are absolute within the stream.
+    pub fn take_output(&mut self) -> LossyDecode {
+        LossyDecode {
+            records: std::mem::take(&mut self.records),
+            gaps: std::mem::take(&mut self.gaps),
+        }
+    }
+
+    /// What [`finish`](LossyCursor::finish) would emit *beyond* output
+    /// already produced, without consuming the cursor: the cursor can
+    /// keep accepting chunks afterwards. Used to build exact
+    /// point-in-time snapshots of a stream still being appended.
+    pub fn finish_preview(&self) -> LossyDecode {
+        if self.finished {
+            return LossyDecode::default();
+        }
+        let mut probe = self.clone();
+        probe.records = Vec::new();
+        probe.gaps = Vec::new();
+        probe.finish();
+        probe.take_output()
+    }
+
+    /// Decodes as much of `buf` as the data (and `finished`) allows,
+    /// then discards the consumed prefix so the carry stays bounded.
+    fn drain(&mut self) {
+        // Relative offset of the scan position within `buf`.
+        let mut rel = match &self.open_gap {
+            Some(g) => g.cand - self.base,
+            None => 0,
+        };
+        let is_spe_stream = self.stream_core.is_some_and(TraceCore::is_spe);
+        'outer: loop {
+            if self.open_gap.is_some() {
+                // Resync scan: candidate headers live on the 16-byte
+                // grid of the original stream.
+                loop {
+                    if rel >= self.buf.len() {
+                        if !self.finished {
+                            self.open_gap.as_mut().expect("scan state").cand = self.base + rel;
+                            break 'outer;
+                        }
+                        let g = self.open_gap.take().expect("scan state");
+                        rel = self.buf.len();
+                        self.close_gap(g, self.base + rel);
+                        break 'outer;
+                    }
+                    match decode_checked(
+                        &self.buf[rel..],
+                        self.stream_core,
+                        self.prev_dec,
+                        self.wrap_tol,
+                    ) {
+                        Ok(_) => {
+                            let g = self.open_gap.take().expect("scan state");
+                            self.close_gap(g, self.base + rel);
+                            break; // resume normal decoding at `rel`
+                        }
+                        // A candidate that fails only for lack of bytes
+                        // may succeed once more arrive: pause *at* it.
+                        Err(RecordError::Truncated { .. }) if !self.finished => {
+                            self.open_gap.as_mut().expect("scan state").cand = self.base + rel;
+                            break 'outer;
+                        }
+                        Err(_) => rel += 16,
+                    }
+                }
+            }
+            // Normal decoding.
+            loop {
+                if rel >= self.buf.len() {
+                    break 'outer;
+                }
+                match decode_checked(
+                    &self.buf[rel..],
+                    self.stream_core,
+                    self.prev_dec,
+                    self.wrap_tol,
+                ) {
+                    Ok((rec, used)) => {
+                        if is_spe_stream {
+                            self.prev_dec = Some(rec.timestamp as u32);
+                        }
+                        self.records.push(rec);
+                        self.records_total += 1;
+                        rel += used;
+                    }
+                    // A partial record at the chunk tail: wait for more
+                    // bytes. At end-of-stream the same error is a torn
+                    // flush and falls through to open a gap.
+                    Err(RecordError::Truncated { .. }) if !self.finished => break 'outer,
+                    Err(cause) => {
+                        self.open_gap = Some(OpenGap {
+                            start: self.base + rel,
+                            cause,
+                            records_before: self.records_total,
+                            cand: self.base + rel + 16,
+                        });
+                        rel += 16;
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        // Discard everything before the live position: decoded records,
+        // and (when a gap is open) its interior — only offsets matter.
+        let keep_abs = match &self.open_gap {
+            Some(g) => g.cand,
+            None => self.base + rel,
+        };
+        let keep_rel = keep_abs - self.base;
+        if keep_rel > 0 {
+            self.buf.drain(..keep_rel);
+            self.base = keep_abs;
+        }
+    }
+
+    fn close_gap(&mut self, g: OpenGap, end: usize) {
+        let len = end - g.start;
+        self.gaps.push(DecodeGap {
+            offset: g.start,
+            len,
+            est_records: (len as u64).div_ceil(16).max(1),
+            records_before: g.records_before,
+            cause: g.cause,
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -633,5 +879,150 @@ mod tests {
         assert_eq!(granules_for(2), 2);
         assert_eq!(granules_for(3), 3);
         assert_eq!(granules_for(4), 3);
+    }
+
+    /// Runs `bytes` through a cursor split at the given points and
+    /// returns the concatenated output.
+    fn chunked(bytes: &[u8], core: Option<TraceCore>, splits: &[usize]) -> LossyDecode {
+        let mut cur = LossyCursor::new(core);
+        let mut out = LossyDecode::default();
+        let mut prev = 0;
+        for &s in splits {
+            cur.push(&bytes[prev..s]);
+            let d = cur.take_output();
+            out.records.extend(d.records);
+            out.gaps.extend(d.gaps);
+            prev = s;
+        }
+        cur.push(&bytes[prev..]);
+        cur.finish();
+        assert!(cur.is_finished());
+        let d = cur.take_output();
+        out.records.extend(d.records);
+        out.gaps.extend(d.gaps);
+        assert_eq!(cur.decoded_total(), out.records.len() as u64);
+        out
+    }
+
+    /// Asserts cursor == one-shot at every single split point and under
+    /// 1-byte chunking.
+    fn assert_chunking_invariant(bytes: &[u8], core: Option<TraceCore>) {
+        let oneshot = decode_stream_lossy(bytes, core);
+        for split in 0..=bytes.len() {
+            assert_eq!(
+                chunked(bytes, core, &[split]),
+                oneshot,
+                "split at {split} of {}",
+                bytes.len()
+            );
+        }
+        let every_byte: Vec<usize> = (1..bytes.len()).collect();
+        assert_eq!(chunked(bytes, core, &every_byte), oneshot, "1-byte chunks");
+    }
+
+    #[test]
+    fn cursor_matches_oneshot_on_clean_stream() {
+        let bytes = spe_stream(&[5000, 4800, 4700, 4100, 4099]);
+        assert_chunking_invariant(&bytes, Some(TraceCore::Spe(3)));
+        assert_chunking_invariant(&bytes, None);
+    }
+
+    #[test]
+    fn cursor_matches_oneshot_on_header_corruption() {
+        let mut bytes = spe_stream(&[5000, 4800, 4700, 4100, 4099]);
+        bytes[16] = 0; // zero granule count on record 1
+        assert_chunking_invariant(&bytes, Some(TraceCore::Spe(3)));
+    }
+
+    #[test]
+    fn cursor_matches_oneshot_on_torn_tail() {
+        let mut bytes = spe_stream(&[5000, 4800, 4700]);
+        let full = bytes.len();
+        bytes.truncate(full - 7);
+        assert_chunking_invariant(&bytes, Some(TraceCore::Spe(3)));
+    }
+
+    #[test]
+    fn cursor_matches_oneshot_on_invariant_violations() {
+        // Core mismatch, decrementer jump, wide timestamp, garbage run.
+        let mut spliced = spe_stream(&[5000, 4800, 4600]);
+        spliced[16 + 1] = TraceCore::Spe(7).tag();
+        assert_chunking_invariant(&spliced, Some(TraceCore::Spe(3)));
+
+        let dup = spe_stream(&[5000, 4800, 5000, 4800]);
+        assert_chunking_invariant(&dup, Some(TraceCore::Spe(3)));
+
+        let wide = spe_stream(&[5000, u64::from(u32::MAX) + 10, 4800]);
+        assert_chunking_invariant(&wide, Some(TraceCore::Spe(3)));
+
+        let garbage = vec![0xa5u8; 16 * 9 + 3];
+        assert_chunking_invariant(&garbage, Some(TraceCore::Spe(0)));
+
+        let mut mixed = spe_stream(&[5000, 4800, 4700, 4600, 4500]);
+        for b in &mut mixed[40..56] {
+            *b ^= 0x5a;
+        }
+        assert_chunking_invariant(&mixed, Some(TraceCore::Spe(3)));
+    }
+
+    #[test]
+    fn gap_spanning_chunk_boundary_is_counted_once() {
+        let bytes = spe_stream(&[5000, 4800, 4700, 4100, 4099]);
+        let mut damaged = bytes.clone();
+        // Corrupt records 1 and 2 into one contiguous gap.
+        damaged[16] = 0;
+        damaged[32] = 0;
+        let oneshot = decode_stream_lossy(&damaged, Some(TraceCore::Spe(3)));
+        assert_eq!(oneshot.gaps.len(), 1, "one contiguous gap");
+        // Split right in the middle of the gap: a per-chunk decoder
+        // would report the gap once per chunk; the cursor must not.
+        let split = 24;
+        let got = chunked(&damaged, Some(TraceCore::Spe(3)), &[split]);
+        assert_eq!(got.gaps.len(), 1, "gap re-entered at a chunk boundary");
+        assert_eq!(got, oneshot);
+    }
+
+    #[test]
+    fn cursor_finish_preview_is_nondestructive() {
+        let mut bytes = spe_stream(&[5000, 4800, 4700]);
+        let tail = bytes.split_off(20); // mid-record split
+        let mut cur = LossyCursor::new(Some(TraceCore::Spe(3)));
+        cur.push(&bytes);
+        let early = cur.take_output();
+        assert_eq!(early.records.len(), 1, "only the complete record");
+
+        // Previewing a finish reports the held-back partial record as a
+        // torn tail without disturbing the cursor.
+        let preview = cur.finish_preview();
+        assert_eq!(preview.records.len(), 0);
+        assert_eq!(preview.gaps.len(), 1);
+        assert!(matches!(
+            preview.gaps[0].cause,
+            RecordError::Truncated { .. }
+        ));
+        assert!(!cur.is_finished());
+
+        // The real stream continues and the preview left no residue.
+        cur.push(&tail);
+        cur.finish();
+        let rest = cur.take_output();
+        assert_eq!(rest.records.len(), 2);
+        assert!(rest.gaps.is_empty());
+        assert_eq!(cur.finish_preview(), LossyDecode::default());
+    }
+
+    #[test]
+    fn cursor_empty_pushes_are_harmless() {
+        let bytes = spe_stream(&[5000, 4800]);
+        let mut cur = LossyCursor::new(Some(TraceCore::Spe(3)));
+        cur.push(&[]);
+        cur.push(&bytes);
+        cur.push(&[]);
+        cur.finish();
+        cur.finish(); // idempotent
+        assert_eq!(
+            cur.take_output(),
+            decode_stream_lossy(&bytes, Some(TraceCore::Spe(3)))
+        );
     }
 }

@@ -21,16 +21,9 @@ fn glyph(kind: ActivityKind) -> char {
 }
 
 /// Renders a timeline as fixed-width text, `width` columns of chart per
-/// lane.
-///
-/// Deprecated front door: prefer
+/// lane. Front door:
 /// [`Analysis::render`](crate::session::Analysis::render) with
 /// [`ReportKind::Ascii`](crate::report::ReportKind::Ascii).
-#[deprecated(note = "use `Analysis::render(ReportKind::Ascii, &opts)` instead")]
-pub fn render_ascii(timeline: &Timeline, width: usize) -> String {
-    render_ascii_impl(timeline, width)
-}
-
 pub(crate) fn render_ascii_impl(timeline: &Timeline, width: usize) -> String {
     let width = width.max(10);
     let label_w = timeline

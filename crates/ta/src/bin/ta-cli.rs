@@ -18,7 +18,15 @@
 //! ta-cli lint     TRACE [--format text|json|sarif] [--deny RULE]...
 //!                 [--allow RULE]... [--config PATH]
 //!                                    rule-based static analysis
+//! ta-cli follow   TRACE [--poll MS] [--max-polls N]
+//!                                    live-tail a growing trace file
 //! ```
+//!
+//! `follow` streams a trace that is still being written: each poll
+//! ingests only the file's grown suffix through [`ta::ImageIngest`],
+//! prints a progress line from an immutable snapshot, and renders the
+//! full summary once the image completes. A file that shrinks mid-tail
+//! is an error (the writer restarted; re-run `follow`).
 //!
 //! `lint` runs the [`ta::lint`] rule registry (DMA races, tag-group
 //! misuse, mailbox deadlock shapes, ...) and exits nonzero when any
@@ -102,7 +110,7 @@ fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let strict = args.iter().any(|a| a == "--strict");
     args.retain(|a| a != "--strict");
-    let usage = "usage: ta-cli <summary|timeline|events|phases|compare|report|loss|occupancy|causality|query|lint> TRACE [...] [--strict]";
+    let usage = "usage: ta-cli <summary|timeline|events|phases|compare|report|loss|occupancy|causality|query|lint|follow> TRACE [...] [--strict]";
     let cmd = args.first().ok_or(usage)?;
     match cmd.as_str() {
         "summary" => {
@@ -327,6 +335,58 @@ fn run() -> Result<(), String> {
             if firm > 0 {
                 return Err(format!("lint: {firm} firm error(s)"));
             }
+        }
+        "follow" => {
+            let poll_ms = take_values(&mut args, "--poll")?
+                .last()
+                .map(|v| v.parse::<u64>().map_err(|_| format!("bad --poll {v:?}")))
+                .transpose()?
+                .unwrap_or(200);
+            let max_polls = take_values(&mut args, "--max-polls")?
+                .last()
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| format!("bad --max-polls {v:?}"))
+                })
+                .transpose()?
+                .unwrap_or(0);
+            let path = args.get(1).ok_or(usage)?;
+            let mut ingest = ta::ImageIngest::new().with_threads(4);
+            let mut polls = 0u64;
+            loop {
+                let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+                let consumed = ingest.bytes_consumed() as usize;
+                if data.len() < consumed {
+                    return Err(format!(
+                        "{path} shrank below the {consumed} bytes already ingested"
+                    ));
+                }
+                if data.len() > consumed {
+                    ingest
+                        .push(&data[consumed..])
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    let events = ingest.snapshot().map_or(0, |a| a.events().len());
+                    eprintln!(
+                        "{} bytes, {events} event(s){}",
+                        ingest.bytes_consumed(),
+                        if ingest.is_complete() {
+                            ", complete"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                if ingest.is_complete() {
+                    break;
+                }
+                polls += 1;
+                if max_polls != 0 && polls >= max_polls {
+                    return Err(format!("{path}: still incomplete after {polls} poll(s)"));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+            }
+            let snap = ingest.snapshot().ok_or("trace completed with no events")?;
+            print!("{}", snap.summary());
         }
         "--help" | "-h" => println!("{usage}"),
         other => return Err(format!("unknown command {other:?}\n{usage}")),

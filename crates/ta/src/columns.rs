@@ -236,13 +236,43 @@ impl EventColumns {
     pub fn iter(&self) -> impl Iterator<Item = EventView<'_>> {
         (0..self.len()).map(move |i| self.view(i))
     }
+
+    /// Inserts one event at position `i`, shifting later events. The
+    /// slow path of streaming ingestion — used only when a late event
+    /// sorts before already-committed ones (corrupt non-monotone
+    /// input); ordinary appends go through [`push`](EventColumns::push).
+    pub fn insert(
+        &mut self,
+        i: usize,
+        time_tb: u64,
+        core: TraceCore,
+        code: EventCode,
+        params: &[u64],
+        stream_seq: u64,
+    ) {
+        if self.params_off.is_empty() {
+            self.params_off.push(0);
+        }
+        self.time_tb.insert(i, time_tb);
+        self.core.insert(i, core);
+        self.code.insert(i, code);
+        self.stream_seq.insert(i, stream_seq);
+        let lo = self.params_off[i] as usize;
+        self.params_buf.splice(lo..lo, params.iter().copied());
+        let nw = u32::try_from(params.len()).expect("params fit u32");
+        self.params_off.insert(i + 1, self.params_off[i] + nw);
+        for off in &mut self.params_off[i + 2..] {
+            *off += nw;
+        }
+        let _ = u32::try_from(self.params_buf.len()).expect("params buffer exceeds u32 offsets");
+    }
 }
 
 /// A fully reconstructed trace in columnar form: the drop-in
 /// counterpart of [`AnalyzedTrace`] that every memoized product
 /// iterates, with context names interned and the per-core offset
 /// lists memoized once for all products.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ColumnarTrace {
     /// Header copied from the trace file.
     pub header: TraceHeader,
@@ -339,6 +369,85 @@ impl ColumnarTrace {
         self.events = kept;
         self.core_offsets = OnceLock::new();
         self.group_masks = OnceLock::new();
+    }
+
+    /// An empty store carrying only the header — the starting point of
+    /// streaming ingestion, grown with
+    /// [`push_event`](ColumnarTrace::push_event).
+    pub(crate) fn empty(header: TraceHeader) -> Self {
+        ColumnarTrace {
+            header,
+            events: EventColumns::with_capacity(0),
+            anchors: Vec::new(),
+            dropped: 0,
+            interner: Interner::new(),
+            ctx_syms: Vec::new(),
+            core_offsets: OnceLock::new(),
+            group_masks: OnceLock::new(),
+        }
+    }
+
+    /// Appends one event in global order, updating the memoized
+    /// per-core offsets and group masks in place when they are already
+    /// built — the tail-only growth path of streaming ingestion.
+    pub(crate) fn push_event(
+        &mut self,
+        time_tb: u64,
+        core: TraceCore,
+        code: EventCode,
+        params: &[u64],
+        stream_seq: u64,
+    ) {
+        let i = self.events.len();
+        self.events.push(time_tb, core, code, params, stream_seq);
+        if let Some(offsets) = self.core_offsets.get_mut() {
+            let off = u32::try_from(i).expect("trace exceeds u32 offset space");
+            match offsets.binary_search_by_key(&core.tag(), |(c, _)| c.tag()) {
+                Ok(slot) => offsets[slot].1.push(off),
+                Err(slot) => offsets.insert(slot, (core, vec![off])),
+            }
+        }
+        if let Some(masks) = self.group_masks.get_mut() {
+            masks[core.tag() as usize] |= code.group() as u32;
+        }
+    }
+
+    /// Inserts one event out of order (the non-monotone slow path),
+    /// invalidating both memos.
+    pub(crate) fn insert_event(
+        &mut self,
+        i: usize,
+        time_tb: u64,
+        core: TraceCore,
+        code: EventCode,
+        params: &[u64],
+        stream_seq: u64,
+    ) {
+        self.events
+            .insert(i, time_tb, core, code, params, stream_seq);
+        self.core_offsets = OnceLock::new();
+        self.group_masks = OnceLock::new();
+    }
+
+    /// Replaces the anchor list (anchors can gain entries as streaming
+    /// ingestion discovers `PpeCtxRun` records).
+    pub(crate) fn set_anchors(&mut self, anchors: Vec<SpeAnchor>) {
+        self.anchors = anchors;
+    }
+
+    /// Replaces the tracer-dropped total from stream metadata.
+    pub(crate) fn set_dropped(&mut self, dropped: u64) {
+        self.dropped = dropped;
+    }
+
+    /// Replaces the context-name table (the name table arrives at the
+    /// end of a streamed trace image).
+    pub(crate) fn set_ctx_names(&mut self, names: &[(u32, String)]) {
+        self.interner = Interner::new();
+        self.ctx_syms = names
+            .iter()
+            .map(|(c, n)| (*c, self.interner.intern(n)))
+            .collect();
     }
 
     /// The string table context names resolve through.

@@ -6,16 +6,8 @@ use crate::loss::LossReport;
 use crate::stats::TraceStats;
 
 /// Exports every event as `time_tb,time_ns,core,event,params`.
-///
-/// Deprecated front door: prefer
-/// [`Analysis::render`](crate::session::Analysis::render) with
-/// [`ReportKind::Csv`](crate::report::ReportKind::Csv) and
-/// [`CsvTable::Events`](crate::report::CsvTable::Events).
-#[deprecated(note = "use `Analysis::render(ReportKind::Csv, &opts)` with `CsvTable::Events`")]
-pub fn events_csv(trace: &AnalyzedTrace) -> String {
-    events_csv_impl(trace)
-}
-
+/// Front door: [`Analysis::render`](crate::session::Analysis::render)
+/// with [`CsvTable::Events`](crate::report::CsvTable::Events).
 pub(crate) fn events_csv_impl(trace: &AnalyzedTrace) -> String {
     events_csv_rows(trace, &trace.events)
 }
@@ -53,15 +45,8 @@ fn events_csv_rows<'a>(
 }
 
 /// Exports intervals as `spe,kind,start_tb,end_tb,ticks`.
-///
-/// Deprecated front door: prefer
-/// [`Analysis::render`](crate::session::Analysis::render) with
-/// [`CsvTable::Intervals`](crate::report::CsvTable::Intervals).
-#[deprecated(note = "use `Analysis::render(ReportKind::Csv, &opts)` with `CsvTable::Intervals`")]
-pub fn intervals_csv(intervals: &[SpeIntervals]) -> String {
-    intervals_csv_impl(intervals)
-}
-
+/// Front door: [`Analysis::render`](crate::session::Analysis::render)
+/// with [`CsvTable::Intervals`](crate::report::CsvTable::Intervals).
 pub(crate) fn intervals_csv_impl(intervals: &[SpeIntervals]) -> String {
     let mut out = String::from("spe,kind,start_tb,end_tb,ticks\n");
     for s in intervals {
@@ -81,15 +66,8 @@ pub(crate) fn intervals_csv_impl(intervals: &[SpeIntervals]) -> String {
 
 /// Exports per-SPE activity as
 /// `spe,active_tb,compute_tb,dma_wait_tb,mbox_wait_tb,signal_wait_tb,utilization`.
-///
-/// Deprecated front door: prefer
-/// [`Analysis::render`](crate::session::Analysis::render) with
-/// [`CsvTable::Activity`](crate::report::CsvTable::Activity).
-#[deprecated(note = "use `Analysis::render(ReportKind::Csv, &opts)` with `CsvTable::Activity`")]
-pub fn activity_csv(stats: &TraceStats) -> String {
-    activity_csv_impl(stats)
-}
-
+/// Front door: [`Analysis::render`](crate::session::Analysis::render)
+/// with [`CsvTable::Activity`](crate::report::CsvTable::Activity).
 pub(crate) fn activity_csv_impl(stats: &TraceStats) -> String {
     let mut out = String::from(
         "spe,active_tb,compute_tb,dma_wait_tb,mbox_wait_tb,signal_wait_tb,utilization\n",
@@ -240,15 +218,5 @@ mod tests {
             "stream,decoded,gaps,gap_bytes,est_lost,tracer_dropped,unanchored"
         );
         assert_eq!(lines[1], "SPE1,12,1,32,5,3,false");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_impls() {
-        let t = trace();
-        assert_eq!(events_csv(&t), events_csv_impl(&t));
-        let stats = crate::stats::compute_stats(&t);
-        assert_eq!(activity_csv(&stats), activity_csv_impl(&stats));
-        assert_eq!(intervals_csv(&[]), intervals_csv_impl(&[]));
     }
 }

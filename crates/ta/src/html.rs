@@ -2,10 +2,9 @@
 //! histogram in one self-contained file — the closest thing to the
 //! original Trace Analyzer's GUI this reproduction ships.
 
-use crate::analyze::AnalyzedTrace;
 use crate::report::RenderOptions;
 use crate::session::Analysis;
-use crate::svg::{render_svg_impl, SvgOptions};
+use crate::svg::render_svg_impl;
 
 fn escape(s: &str) -> String {
     s.replace('&', "&amp;")
@@ -13,23 +12,9 @@ fn escape(s: &str) -> String {
         .replace('>', "&gt;")
 }
 
-/// Renders a self-contained HTML report for a trace.
-///
-/// Deprecated front door: prefer
+/// Renders a self-contained HTML report for a session. Front door:
 /// [`Analysis::render`](crate::session::Analysis::render) with
 /// [`ReportKind::Html`](crate::report::ReportKind::Html).
-#[deprecated(note = "use `Analysis::render(ReportKind::Html, &opts)` instead")]
-pub fn html_report(trace: &AnalyzedTrace, title: &str) -> String {
-    let a = Analysis::from_analyzed(trace.clone());
-    let opts = RenderOptions::default()
-        .with_title(title)
-        .with_svg(SvgOptions {
-            width: 1100,
-            ..SvgOptions::default()
-        });
-    html_report_impl(&a, &opts)
-}
-
 pub(crate) fn html_report_impl(a: &Analysis, opts: &RenderOptions) -> String {
     let trace = a.analyzed();
     let stats = a.stats();
@@ -153,10 +138,10 @@ span {span_ms:.3} ms · core {ghz:.2} GHz, timebase {tb_mhz:.2} MHz</p>
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::analyze::{GlobalEvent, SpeAnchor};
+    use crate::analyze::{AnalyzedTrace, GlobalEvent, SpeAnchor};
+    use crate::svg::SvgOptions;
     use pdt::{EventCode, TraceCore, TraceHeader, VERSION};
 
     fn trace() -> AnalyzedTrace {
@@ -198,9 +183,20 @@ mod tests {
         }
     }
 
+    fn render(t: &AnalyzedTrace, title: &str) -> String {
+        let a = Analysis::from_analyzed(t.clone());
+        let opts = RenderOptions::default()
+            .with_title(title)
+            .with_svg(SvgOptions {
+                width: 1100,
+                ..SvgOptions::default()
+            });
+        html_report_impl(&a, &opts)
+    }
+
     #[test]
     fn report_is_complete_html() {
-        let html = html_report(&trace(), "unit <test>");
+        let html = render(&trace(), "unit <test>");
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.trim_end().ends_with("</html>"));
         assert!(html.contains("unit &lt;test&gt;"), "title escaped");
@@ -217,7 +213,7 @@ mod tests {
     fn empty_trace_renders() {
         let mut t = trace();
         t.events.clear();
-        let html = html_report(&t, "empty");
+        let html = render(&t, "empty");
         assert!(html.contains("0 events"));
         assert!(html.contains("</html>"));
     }

@@ -659,10 +659,9 @@ impl TraceIndex {
     }
 
     /// Applies `filter`, returning matches in global order — the
-    /// index-backed equivalent of the deprecated linear
-    /// `EventFilter::apply_scan`. Window bounds resolve by binary
-    /// search; core restrictions iterate only the named cores' offset
-    /// lists.
+    /// index-backed engine behind [`EventFilter::apply`]. Window
+    /// bounds resolve by binary search; core restrictions iterate only
+    /// the named cores' offset lists.
     pub fn query<'a>(
         &self,
         trace: &'a AnalyzedTrace,
@@ -874,6 +873,337 @@ impl TraceIndex {
     pub fn bucket_geometry(&self) -> (usize, u64) {
         (self.pyramid.n_base(), self.pyramid.bucket_width())
     }
+
+    /// Total pyramid buckets across every level — the block count
+    /// incremental updates are measured against.
+    pub fn total_blocks(&self) -> usize {
+        self.pyramid.levels.iter().map(|l| l.buckets).sum()
+    }
+
+    /// Grows the index in place to cover `trace`, which must extend the
+    /// indexed event prefix by appending events at the tail (the
+    /// streaming-ingestion contract). The result is identical to a
+    /// fresh [`build_columns`](Self::build_columns) over the grown
+    /// trace; only the work is incremental:
+    ///
+    /// - per-core offset lists get the appended offsets pushed,
+    /// - appended events *add* into their base buckets (bucket counts
+    ///   are sums, so the boundary bucket needs no recount),
+    /// - upper pyramid levels recompute only the suffix reachable from
+    ///   touched base buckets,
+    /// - a span that outgrows [`MAX_BASE_BUCKETS`] coarsens by
+    ///   *dropping* base levels (level `k` of the old pyramid is
+    ///   exactly the base of the pyramid with `shift + k`), rewriting
+    ///   nothing,
+    /// - an SPE lane whose interval set is unchanged keeps its tree and
+    ///   activity cells; a changed lane is rebuilt.
+    ///
+    /// Suspect ranges and flags are recomputed wholesale (loss
+    /// bracketing can move *interior* ranges when a gap's "after"
+    /// record arrives); they are cheap booleans and do not count as
+    /// rebuilt blocks. Falls back to a full rebuild — reported in the
+    /// returned [`IndexDelta`] — when the update is not a pure tail
+    /// append (new first event, new core, or a changed lane set).
+    pub fn extend_columns(
+        &mut self,
+        trace: &ColumnarTrace,
+        intervals: &[SpeIntervals],
+        loss: &LossReport,
+        threads: usize,
+    ) -> IndexDelta {
+        assert!(
+            trace.events.len() <= u32::MAX as usize,
+            "trace exceeds u32 offset space"
+        );
+        let n_new = trace.events.len();
+        let from_ev = self.n_events;
+        assert!(n_new >= from_ev, "extend_columns requires an appended tail");
+        let appended_events = n_new - from_ev;
+
+        let full_rebuild = |slf: &mut Self| {
+            *slf = Self::build_columns(trace, intervals, loss, threads);
+            let blocks = slf.total_blocks();
+            IndexDelta {
+                appended_events,
+                blocks_total: blocks,
+                blocks_rebuilt: blocks,
+                lanes_total: slf.lanes.len(),
+                lanes_rebuilt: slf.lanes.len(),
+                coarsened: false,
+                full_rebuild: true,
+            }
+        };
+
+        // A tail append never moves the first event; anything else
+        // (first build, out-of-order splice repair) rebuilds.
+        if from_ev == 0 || trace.start_tb() != self.start_tb {
+            return full_rebuild(self);
+        }
+        // Appends can surface a brand-new core or SPE lane; both change
+        // the flat accumulator strides, so rebuild.
+        let same_cores = {
+            let offs = trace.core_offsets();
+            offs.len() == self.per_core.len()
+                && offs
+                    .iter()
+                    .zip(&self.per_core)
+                    .all(|((c, _), pc)| *c == pc.core)
+        };
+        let same_lanes = intervals.len() == self.lanes.len()
+            && intervals
+                .iter()
+                .zip(&self.lanes)
+                .all(|(iv, l)| iv.spe == l.spe);
+        if !same_cores || !same_lanes {
+            return full_rebuild(self);
+        }
+
+        let end_tb = trace.end_tb();
+        let span = end_tb.saturating_sub(self.start_tb).saturating_add(1);
+
+        // Coarsen: the span may need a wider base bucket. Level k of
+        // the current pyramid *is* the base level of the pyramid with
+        // `shift + k` (ceil-division composes), so coarsening is a
+        // prefix drop, not a rebuild.
+        let mut coarsened = false;
+        {
+            let p = &mut self.pyramid;
+            let mut new_shift = p.shift;
+            while (span >> new_shift) as u128 + u128::from(span & ((1u64 << new_shift) - 1) != 0)
+                > MAX_BASE_BUCKETS as u128
+            {
+                new_shift += 1;
+            }
+            let k = (new_shift - p.shift) as usize;
+            if k > 0 {
+                if k >= p.levels.len() {
+                    return full_rebuild(self);
+                }
+                p.levels.drain(..k);
+                p.shift = new_shift;
+                coarsened = true;
+            }
+        }
+
+        let shift = self.pyramid.shift;
+        let width = 1u64 << shift;
+        let n_base = (span.div_ceil(width).max(1)) as usize;
+        let n_cores = self.pyramid.n_cores;
+        let n_lanes = self.pyramid.n_lanes;
+        let old_n_base = self.pyramid.levels[0].buckets;
+
+        // Grow the base level with zeroed buckets for the new span.
+        {
+            let base = &mut self.pyramid.levels[0];
+            base.buckets = n_base;
+            base.counts.resize(n_base * n_cores, 0);
+            base.activity.resize(n_base * n_lanes * 4, 0);
+            base.suspect.resize(n_base, false);
+        }
+
+        // Append per-core offsets and add the new events into their
+        // base buckets.
+        let mut slot_of = [usize::MAX; 256];
+        for (i, pc) in self.per_core.iter().enumerate() {
+            slot_of[pc.core.tag() as usize] = i;
+        }
+        let times = trace.events.times();
+        let cores = trace.events.cores();
+        let base_tb = self.pyramid.base_tb;
+        {
+            let counts = &mut self.pyramid.levels[0].counts;
+            for i in from_ev..n_new {
+                let slot = slot_of[cores[i].tag() as usize];
+                self.per_core[slot].offsets.push(i as u32);
+                let b = ((times[i] - base_tb) >> shift) as usize;
+                counts[b * n_cores + slot] += 1;
+            }
+        }
+
+        // Lanes: reuse a lane whose interval set is unchanged (the
+        // tree build is deterministic, so equal inputs mean an equal
+        // tree); rebuild a changed lane's tree and redistribute its
+        // activity cells from scratch.
+        let mut lanes_rebuilt = 0usize;
+        let mut lane_changed = false;
+        for (li, (lane, iv)) in self.lanes.iter_mut().zip(intervals).enumerate() {
+            let unchanged = lane.start_tb == iv.start_tb
+                && lane.stop_tb == iv.stop_tb
+                && lane.tree.nodes == iv.intervals;
+            if unchanged {
+                continue;
+            }
+            lane.start_tb = iv.start_tb;
+            lane.stop_tb = iv.stop_tb;
+            lane.tree = IntervalTree::new(iv.intervals.to_vec());
+            let activity = &mut self.pyramid.levels[0].activity;
+            for b in 0..n_base {
+                for k in 0..4 {
+                    activity[(b * n_lanes + li) * 4 + k] = 0;
+                }
+            }
+            for i in &iv.intervals {
+                if i.end_tb <= i.start_tb {
+                    continue;
+                }
+                let b_from = ((i.start_tb - base_tb) >> shift) as usize;
+                let b_to = ((i.end_tb - 1 - base_tb) >> shift) as usize;
+                for b in b_from..=b_to {
+                    let bs = base_tb + b as u64 * width;
+                    let overlap = i.end_tb.min(bs + width) - i.start_tb.max(bs);
+                    activity[(b * n_lanes + li) * 4 + i.kind.index()] += overlap;
+                }
+            }
+            lanes_rebuilt += 1;
+            lane_changed = true;
+        }
+
+        // Suspicion is recomputed wholesale: bracketing can move
+        // interior ranges as a gap's "after" record arrives.
+        self.suspects = compute_suspect_ranges_columns(trace, loss);
+        {
+            let base = &mut self.pyramid.levels[0];
+            base.suspect.iter_mut().for_each(|s| *s = false);
+            for r in &self.suspects {
+                if r.end_tb <= self.start_tb || r.start_tb >= self.start_tb + width * n_base as u64
+                {
+                    continue;
+                }
+                let lo = (r.start_tb.max(self.start_tb) - self.start_tb) >> shift;
+                let hi = (r
+                    .end_tb
+                    .saturating_sub(1)
+                    .max(r.start_tb.max(self.start_tb))
+                    - self.start_tb)
+                    >> shift;
+                for b in lo..=hi.min(n_base as u64 - 1) {
+                    base.suspect[b as usize] = true;
+                }
+            }
+        }
+
+        // Upper levels: recompute only the suffix reachable from
+        // touched base buckets (everything, when a lane changed).
+        // Including the last *old* bucket covers the parent that gains
+        // its first sibling child when the base grows.
+        let first_touched = if lane_changed {
+            0
+        } else if appended_events > 0 {
+            (((times[from_ev] - base_tb) >> shift) as usize).min(old_n_base.saturating_sub(1))
+        } else {
+            old_n_base.saturating_sub(1)
+        };
+        let mut blocks_rebuilt = n_base - first_touched;
+        self.rebuild_upper_levels(first_touched, &mut blocks_rebuilt);
+
+        self.end_tb = end_tb;
+        self.n_events = n_new;
+
+        IndexDelta {
+            appended_events,
+            blocks_total: self.total_blocks(),
+            blocks_rebuilt,
+            lanes_total: self.lanes.len(),
+            lanes_rebuilt,
+            coarsened,
+            full_rebuild: false,
+        }
+    }
+
+    /// Recomputes pyramid levels above the base from bucket
+    /// `from >> 1` per level upward, resizing levels for a grown base
+    /// and adding or dropping top levels as needed. Suspect flags are
+    /// recomputed over whole levels (cheap booleans); counts and
+    /// activity only over the suffix, whose rebuilt-bucket count is
+    /// added to `blocks_rebuilt`.
+    fn rebuild_upper_levels(&mut self, first_touched: usize, blocks_rebuilt: &mut usize) {
+        let p = &mut self.pyramid;
+        let n_cores = p.n_cores;
+        let n_lanes = p.n_lanes;
+        let mut from = first_touched;
+        let mut li = 0usize;
+        loop {
+            let child_buckets = p.levels[li].buckets;
+            if child_buckets <= 1 {
+                p.levels.truncate(li + 1);
+                break;
+            }
+            let nb = child_buckets.div_ceil(2);
+            let pfrom = from >> 1;
+            let mut counts_sfx = vec![0u64; (nb - pfrom) * n_cores];
+            let mut act_sfx = vec![0u64; (nb - pfrom) * n_lanes * 4];
+            let mut suspect = vec![false; nb];
+            {
+                let child = &p.levels[li];
+                for b in 0..child_buckets {
+                    let parent = b / 2;
+                    suspect[parent] |= child.suspect[b];
+                    if parent < pfrom {
+                        continue;
+                    }
+                    let pp = parent - pfrom;
+                    for c in 0..n_cores {
+                        counts_sfx[pp * n_cores + c] += child.counts[b * n_cores + c];
+                    }
+                    for k in 0..n_lanes * 4 {
+                        act_sfx[pp * n_lanes * 4 + k] += child.activity[b * n_lanes * 4 + k];
+                    }
+                }
+            }
+            if li + 1 >= p.levels.len() {
+                p.levels.push(PyramidLevel {
+                    buckets: 0,
+                    counts: Vec::new(),
+                    activity: Vec::new(),
+                    suspect: Vec::new(),
+                });
+            }
+            let parent = &mut p.levels[li + 1];
+            parent.buckets = nb;
+            parent.counts.resize(nb * n_cores, 0);
+            parent.activity.resize(nb * n_lanes * 4, 0);
+            parent.counts[pfrom * n_cores..].copy_from_slice(&counts_sfx);
+            parent.activity[pfrom * n_lanes * 4..].copy_from_slice(&act_sfx);
+            parent.suspect = suspect;
+            *blocks_rebuilt += nb - pfrom;
+            from = pfrom;
+            li += 1;
+        }
+    }
+}
+
+/// What [`TraceIndex::extend_columns`] did: how much of the index the
+/// update touched, for incremental-cost accounting and the
+/// `stream_smoke` bound (appending a small tail must rebuild a
+/// proportionally small share of blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexDelta {
+    /// Events appended by this update.
+    pub appended_events: usize,
+    /// Total pyramid buckets across every level, after the update.
+    pub blocks_total: usize,
+    /// Buckets whose count/activity accumulators were written.
+    pub blocks_rebuilt: usize,
+    /// SPE lanes in the index.
+    pub lanes_total: usize,
+    /// Lanes whose interval set changed and were rebuilt.
+    pub lanes_rebuilt: usize,
+    /// Whether the span outgrew the bucket cap and the base coarsened
+    /// (a level drop — no accumulators rewritten).
+    pub coarsened: bool,
+    /// Whether the update fell back to a full rebuild.
+    pub full_rebuild: bool,
+}
+
+impl IndexDelta {
+    /// Rebuilt share of the pyramid, `0.0..=1.0`.
+    pub fn rebuilt_fraction(&self) -> f64 {
+        if self.blocks_total == 0 {
+            0.0
+        } else {
+            self.blocks_rebuilt as f64 / self.blocks_total as f64
+        }
+    }
 }
 
 /// Chunked per-core offset extraction: the event vector is split into
@@ -1057,8 +1387,8 @@ fn build_lanes(
 pub mod oracle {
     use super::*;
 
-    /// Linear-scan filter application: the exact behavior of the
-    /// deprecated `EventFilter::apply_scan`.
+    /// Linear-scan filter application: the brute-force reference for
+    /// the index-backed [`EventFilter::apply`].
     pub fn filter_events<'a>(
         trace: &'a AnalyzedTrace,
         filter: &EventFilter,

@@ -77,9 +77,18 @@
 //! let svg   = a.svg(&opts);       // shared with the timeline
 //! ```
 //!
-//! The free functions remain available (and are used internally), so
-//! existing code keeps compiling unchanged; prefer the session in new
-//! code.
+//! The deprecated render/export shims (`render_svg`, `render_ascii`,
+//! `html_report`, `events_csv`, `intervals_csv`, `activity_csv`,
+//! `EventFilter::apply_scan`) have been removed; route rendering
+//! through [`Analysis::render`] / [`Analysis::svg`] and queries
+//! through [`Analysis::query`] or [`EventFilter::apply`]. The
+//! analysis-stage functions (`analyze`, `compute_stats`,
+//! `build_timeline`, `build_intervals`) remain public building blocks.
+//!
+//! For traces that arrive incrementally — a file still being written,
+//! a socket — use [`IngestSession`] / [`ImageIngest`] from
+//! [`mod@stream`]: append byte chunks as they land and take immutable
+//! [`Analysis`] snapshots at any point.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -105,14 +114,13 @@ pub mod reader;
 pub mod report;
 pub mod session;
 pub mod stats;
+pub mod stream;
 pub mod summary;
 pub mod svg;
 pub mod timeline;
 pub mod validate;
 
 pub use analyze::{analyze, analyze_lossy, AnalyzeError, AnalyzedTrace, GlobalEvent, SpeAnchor};
-#[allow(deprecated)]
-pub use ascii::render_ascii;
 pub use causality::{
     align_clocks, apply_skew, causal_edges, causal_edges_with_loss, estimate_skew, violations,
     CausalEdge, EdgeKind, SkewEstimate, Violation,
@@ -120,12 +128,8 @@ pub use causality::{
 pub use columns::{ColumnarTrace, EventColumns, EventView, Interner, Sym};
 pub use compare::{compare_stats, compare_traces, Comparison, SpeDelta};
 pub use csv::loss_csv;
-#[allow(deprecated)]
-pub use csv::{activity_csv, events_csv, intervals_csv};
 pub use faults::{FaultInjector, FaultKind, InjectedFault};
 pub use histogram::Log2Histogram;
-#[allow(deprecated)]
-pub use html::html_report;
 pub use index::{
     compute_suspect_ranges, SuspectRange, TraceIndex, WindowActivity, WindowSummary,
     MAX_BASE_BUCKETS,
@@ -146,9 +150,8 @@ pub use report::{
 };
 pub use session::{Analysis, AnalysisBuilder};
 pub use stats::{compute_stats, DmaSummary, EventCounts, ObservedDma, SpeActivity, TraceStats};
+pub use stream::{ImageIngest, IngestSession, StreamId};
 pub use summary::render_summary_with;
-#[allow(deprecated)]
-pub use svg::render_svg;
 pub use svg::SvgOptions;
 pub use timeline::{build_timeline, Lane, Marker, Segment, Timeline};
 pub use validate::{rel_err, validate, validate_with_loss, SpeValidation, ValidationReport};

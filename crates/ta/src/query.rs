@@ -4,17 +4,16 @@
 //! operations over the event list; [`EventFilter`] is the programmatic
 //! equivalent. Application routes through the session's
 //! [`TraceIndex`](crate::index::TraceIndex), so window and core
-//! restrictions resolve by binary search instead of a full rescan; the
-//! historical linear scan survives as the deprecated, feature-gated
-//! [`apply_scan`](EventFilter::apply_scan) oracle.
+//! restrictions resolve by binary search instead of a full rescan. The
+//! historical linear scan lives on only as the feature-gated
+//! differential oracle in [`crate::index`]; the old `apply_scan`
+//! entry point is gone — filter with [`EventFilter::apply`] or
+//! [`Analysis::query`].
 
 use pdt::{EventCode, EventGroup, TraceCore};
 
 use crate::analyze::GlobalEvent;
 use crate::session::Analysis;
-
-#[cfg(feature = "scan-oracle")]
-use crate::analyze::AnalyzedTrace;
 
 /// A composable event filter (builder style; all criteria are ANDed,
 /// repeated values within one criterion are ORed).
@@ -120,14 +119,6 @@ impl EventFilter {
     pub fn apply<'a>(&self, analysis: &'a Analysis) -> Vec<&'a GlobalEvent> {
         analysis.query(self)
     }
-
-    /// Applies the filter by linear scan — the pre-index behavior,
-    /// kept as the differential oracle for the indexed path.
-    #[cfg(feature = "scan-oracle")]
-    #[deprecated(note = "use `EventFilter::apply` (index-backed) or `Analysis::query`")]
-    pub fn apply_scan<'a>(&self, trace: &'a AnalyzedTrace) -> Vec<&'a GlobalEvent> {
-        trace.events.iter().filter(|e| self.matches(e)).collect()
-    }
 }
 
 #[cfg(test)]
@@ -192,14 +183,13 @@ mod tests {
         assert!(indexed.iter().any(|e| e.time_tb == 10), "start included");
         assert!(indexed.iter().all(|e| e.time_tb != 50), "end excluded");
         assert_eq!(indexed.len(), 3);
-        #[cfg(feature = "scan-oracle")]
-        {
-            #[allow(deprecated)]
-            let scanned = f.apply_scan(a.analyzed());
-            assert_eq!(indexed, scanned);
-            assert!(scanned.iter().any(|e| e.time_tb == 10));
-            assert!(scanned.iter().all(|e| e.time_tb != 50));
-        }
+        let scanned: Vec<_> = a
+            .analyzed()
+            .events
+            .iter()
+            .filter(|e| f.matches(e))
+            .collect();
+        assert_eq!(indexed, scanned);
     }
 
     #[test]
@@ -259,9 +249,7 @@ mod tests {
         assert_eq!(got.len(), 4);
     }
 
-    #[cfg(feature = "scan-oracle")]
     #[test]
-    #[allow(deprecated)]
     fn indexed_apply_equals_scan_for_every_filter_shape() {
         let a = session();
         for f in [
@@ -278,7 +266,13 @@ mod tests {
                 .in_group(EventGroup::SpeMbox),
             EventFilter::new().with_code(EventCode::SpeMboxReadBegin),
         ] {
-            assert_eq!(f.apply(&a), f.apply_scan(a.analyzed()), "filter {f:?}");
+            let scanned: Vec<_> = a
+                .analyzed()
+                .events
+                .iter()
+                .filter(|e| f.matches(e))
+                .collect();
+            assert_eq!(f.apply(&a), scanned, "filter {f:?}");
         }
     }
 }

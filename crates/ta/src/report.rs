@@ -4,8 +4,8 @@
 //! [`crate::svg`], [`crate::html`] and [`crate::ascii`] — each with its
 //! own free-function signature and option set. This module puts them
 //! behind one [`Report`] trait with one shared [`RenderOptions`]
-//! struct; [`Analysis::render`] is the front door. The old free
-//! functions remain as thin deprecated shims.
+//! struct; [`Analysis::render`] is the front door and the old free
+//! functions are gone.
 //!
 //! ```
 //! use ta::{Analysis, RenderOptions, ReportKind};

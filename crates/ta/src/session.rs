@@ -33,7 +33,7 @@
 //! # }
 //! ```
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use pdt::TraceFile;
 
@@ -140,9 +140,14 @@ impl AnalysisBuilder<'_> {
 /// [`AnalyzedTrace`] is materialized lazily only when an accessor
 /// actually needs `&[GlobalEvent]` — so row-free workloads never pay
 /// for per-event `Vec` allocations.
+///
+/// The columns sit behind an [`Arc`] so a streaming
+/// [`IngestSession`](crate::stream::IngestSession) can hand out
+/// `Analysis` snapshots that share the committed store with the
+/// ingestion side instead of copying it per epoch.
 #[derive(Debug)]
 pub struct Analysis {
-    columns: ColumnarTrace,
+    columns: Arc<ColumnarTrace>,
     rows: OnceLock<AnalyzedTrace>,
     loss: LossReport,
     threads: usize,
@@ -176,11 +181,22 @@ impl Analysis {
     /// Wraps an already-built columnar store in a session — the
     /// zero-copy entry point for code that interns its own columns.
     pub fn from_columns(columns: ColumnarTrace) -> Self {
+        Self::from_shared(Arc::new(columns), LossReport::default(), 1)
+    }
+
+    /// Wraps a shared columnar store: the snapshot entry point used by
+    /// [`IngestSession`](crate::stream::IngestSession), which keeps the
+    /// committed store alive on its side of the `Arc`.
+    pub(crate) fn from_shared(
+        columns: Arc<ColumnarTrace>,
+        loss: LossReport,
+        threads: usize,
+    ) -> Self {
         Self {
             columns,
             rows: OnceLock::new(),
-            loss: LossReport::default(),
-            threads: 1,
+            loss,
+            threads,
             intervals: OnceLock::new(),
             stats: OnceLock::new(),
             timeline: OnceLock::new(),
@@ -189,6 +205,18 @@ impl Analysis {
             index: OnceLock::new(),
             lint: OnceLock::new(),
         }
+    }
+
+    /// Seeds the memoized intervals (snapshot reuse across epochs when
+    /// an SPE's events did not change). A no-op if already built.
+    pub(crate) fn preset_intervals(&self, intervals: Vec<SpeIntervals>) {
+        let _ = self.intervals.set(intervals);
+    }
+
+    /// Seeds the memoized query index (snapshot reuse of the
+    /// incrementally maintained index). A no-op if already built.
+    pub(crate) fn preset_index(&self, index: TraceIndex) {
+        let _ = self.index.set(index);
     }
 
     /// The reconstructed trace as rows. Materialized from the columns

@@ -1,0 +1,1429 @@
+//! Incremental streaming ingestion behind snapshot epochs.
+//!
+//! [`IngestSession`] accepts a trace as appended byte chunks — one
+//! [`LossyCursor`] per stream survives chunk boundaries, including
+//! resync scans across torn records — and grows a committed columnar
+//! store append-only. [`IngestSession::snapshot`] returns an immutable
+//! [`Analysis`] epoch behind an [`Arc`]: readers query it concurrently
+//! while ingestion continues, and a snapshot taken after
+//! [`finish`](IngestSession::finish) is byte-identical to the one-shot
+//! [`Analysis::of`] over the same trace, no matter how the bytes were
+//! chunked.
+//!
+//! ## Commit watermark
+//!
+//! Events enter a per-stream pending list as their records decode and
+//! are committed to the shared store only once no open stream can
+//! still produce an event that sorts before them. Each stream exposes
+//! a lower bound on its future sort keys — a PPE stream's last
+//! timestamp, an anchored SPE stream's reconstructed frontier — and
+//! the global watermark is the minimum `(bound, stream)` pair. An SPE
+//! stream whose sync anchor is not yet final bounds at zero and parks
+//! its records until every earlier PPE stream closes, because a future
+//! `PpeCtxRun` record could place its events anywhere. Corrupt input
+//! that violates a bound (a PPE timestamp running backwards) falls
+//! back to a sorted splice and a one-time index rebuild; the committed
+//! order is always exact.
+//!
+//! ## Epoch semantics
+//!
+//! The committed store sits behind an `Arc` and commits mutate it via
+//! [`Arc::make_mut`]: a snapshot pins its epoch, and the first commit
+//! after a snapshot copies the store once, leaving the epoch frozen.
+//! The maintained [`TraceIndex`] grows by
+//! [`extend_columns`](TraceIndex::extend_columns) — tail-only bucket
+//! and offset updates — and each snapshot's index is the committed
+//! index extended over the snapshot's uncommitted tail, so appending a
+//! small fraction of events rebuilds a comparably small fraction of
+//! index blocks (measured by [`IngestSession::last_delta`]).
+//!
+//! [`ImageIngest`] layers an incremental parser of the serialized
+//! `.pdt` image (header, stream directory, record bytes, name table)
+//! on top, so a growing trace file can be followed as it is written —
+//! the transport behind `ta-serve` and `ta-cli follow`.
+
+use std::sync::Arc;
+
+use pdt::{
+    DecodeGap, EventCode, FormatError, LossyCursor, TraceCore, TraceHeader, TraceRecord, MAGIC,
+    VERSION,
+};
+
+use crate::analyze::{GlobalEvent, SpeAnchor};
+use crate::columns::ColumnarTrace;
+use crate::index::{IndexDelta, TraceIndex};
+use crate::intervals::build_intervals_columns;
+use crate::loss::{LossReport, StreamLoss};
+use crate::session::Analysis;
+
+/// The global sort key: `(time_tb, core tag, stream_seq)`, ties across
+/// streams broken by stream index — the order the one-shot merge
+/// produces.
+type SortKey = (u64, u8, u64);
+
+fn key(e: &GlobalEvent) -> SortKey {
+    (e.time_tb, e.core.tag(), e.stream_seq)
+}
+
+/// Identifies a stream registered with [`IngestSession::add_stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamId(usize);
+
+/// A sync-anchor candidate: a `PpeCtxRun` record at `(stream, rec)`.
+/// The winner for an SPE is the candidate with the smallest position,
+/// which is exactly the first one the one-shot harvest encounters.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    stream: usize,
+    rec: u64,
+    anchor: SpeAnchor,
+}
+
+/// Timestamp-reconstruction state for one stream.
+#[derive(Debug, Clone)]
+enum Placement {
+    /// PPE records carry timebase timestamps directly; `last_time` is
+    /// the monotone lower bound on future keys.
+    Ppe { last_time: Option<u64> },
+    /// SPE records parked until the stream's sync anchor is final.
+    SpeWaiting { held: Vec<TraceRecord> },
+    /// SPE stream with a final anchor: wrap-safe decrementer
+    /// accumulation, exactly the one-shot per-stream loop.
+    SpeAnchored {
+        run_tb: u64,
+        elapsed: u64,
+        prev_dec: u32,
+    },
+    /// SPE stream that can never be anchored (every PPE stream closed
+    /// without a candidate): records decode but place no events.
+    SpeUnanchored,
+}
+
+/// Per-stream ingestion state.
+#[derive(Debug)]
+struct StreamState {
+    core: TraceCore,
+    dropped: u64,
+    closed: bool,
+    cursor: LossyCursor,
+    /// Decode gaps emitted so far (the cursor's output is drained).
+    gaps: Vec<DecodeGap>,
+    /// Records consumed from the cursor; doubles as the next
+    /// `stream_seq`.
+    rec_idx: u64,
+    place: Placement,
+    /// Placed events not yet committed, in arrival order.
+    pending: Vec<GlobalEvent>,
+    pending_sorted: bool,
+    bytes_in: u64,
+}
+
+impl StreamState {
+    /// Lower bound on the sort key of any event this stream has not
+    /// yet placed into `pending`, or `None` when no more can come.
+    fn future_bound(&self) -> Option<SortKey> {
+        match &self.place {
+            Placement::SpeUnanchored => None,
+            Placement::SpeWaiting { held } => {
+                if self.closed && held.is_empty() {
+                    None
+                } else {
+                    // A future anchor could place held/coming records
+                    // anywhere on the timeline.
+                    Some((0, 0, 0))
+                }
+            }
+            Placement::Ppe { last_time } => {
+                if self.closed {
+                    None
+                } else {
+                    Some((last_time.unwrap_or(0), 0, 0))
+                }
+            }
+            Placement::SpeAnchored {
+                run_tb, elapsed, ..
+            } => {
+                if self.closed {
+                    None
+                } else {
+                    Some((run_tb + elapsed, self.core.tag(), self.rec_idx))
+                }
+            }
+        }
+    }
+}
+
+/// An incremental ingestion session: feed record bytes per stream in
+/// arbitrary chunks, take [`Analysis`] snapshots at any point.
+///
+/// Construction mirrors the trace-file layout: declare the header,
+/// register streams in directory order, append each stream's record
+/// bytes as they arrive, and supply the context-name table whenever it
+/// is known (it arrives last in a streamed image). After
+/// [`finish`](Self::finish), a snapshot equals the one-shot analysis
+/// of the assembled trace exactly.
+#[derive(Debug)]
+pub struct IngestSession {
+    header: TraceHeader,
+    threads: usize,
+    streams: Vec<StreamState>,
+    /// Best anchor candidate per SPE seen so far (minimal position) —
+    /// the incremental form of the one-shot harvest.
+    best: Vec<Candidate>,
+    ctx_names: Vec<(u32, String)>,
+    /// Committed events: the frozen, globally sorted prefix shared
+    /// with snapshot epochs.
+    committed: Arc<ColumnarTrace>,
+    /// Source stream of each committed event (enables exact splices).
+    committed_src: Vec<u32>,
+    /// Incrementally maintained index over the committed store.
+    index: Option<TraceIndex>,
+    /// Set when a splice invalidated the committed index.
+    index_dirty: bool,
+    /// Cumulative delta of the last committed-index update.
+    last_delta: Option<IndexDelta>,
+    finished: bool,
+    dirty: bool,
+    cache: Option<Arc<Analysis>>,
+    epochs: u64,
+}
+
+impl IngestSession {
+    /// Starts a session for a trace with `header`.
+    pub fn new(header: TraceHeader) -> Self {
+        IngestSession {
+            header,
+            threads: 1,
+            streams: Vec::new(),
+            best: Vec::new(),
+            ctx_names: Vec::new(),
+            committed: Arc::new(ColumnarTrace::empty(header)),
+            committed_src: Vec::new(),
+            index: None,
+            index_dirty: false,
+            last_delta: None,
+            finished: false,
+            dirty: true,
+            cache: None,
+            epochs: 0,
+        }
+    }
+
+    /// Sets the worker count used for index builds in snapshots.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Registers the next stream in directory order. `dropped` is the
+    /// tracer-side drop count from the stream directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is finished.
+    pub fn add_stream(&mut self, core: TraceCore, dropped: u64) -> StreamId {
+        assert!(!self.finished, "add_stream after finish");
+        let place = if core.is_spe() {
+            Placement::SpeWaiting { held: Vec::new() }
+        } else {
+            Placement::Ppe { last_time: None }
+        };
+        self.streams.push(StreamState {
+            core,
+            dropped,
+            closed: false,
+            cursor: LossyCursor::new(Some(core)),
+            gaps: Vec::new(),
+            rec_idx: 0,
+            place,
+            pending: Vec::new(),
+            pending_sorted: true,
+            bytes_in: 0,
+        });
+        self.dirty = true;
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// Appends record bytes to `id`'s stream. Chunks may split records,
+    /// corrupt regions, even the resync scan itself, at any byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is closed or the session finished.
+    pub fn append(&mut self, id: StreamId, chunk: &[u8]) {
+        assert!(!self.finished, "append after finish");
+        let s = &mut self.streams[id.0];
+        assert!(!s.closed, "append to closed stream");
+        if chunk.is_empty() {
+            return;
+        }
+        s.bytes_in += chunk.len() as u64;
+        s.cursor.push(chunk);
+        self.drain_stream(id.0);
+        self.resolve_anchors();
+        self.dirty = true;
+    }
+
+    /// Marks `id`'s stream complete: a trailing partial record becomes
+    /// a decode gap, and the stream stops bounding the commit
+    /// watermark.
+    pub fn close_stream(&mut self, id: StreamId) {
+        let s = &mut self.streams[id.0];
+        if s.closed {
+            return;
+        }
+        s.cursor.finish();
+        s.closed = true;
+        self.drain_stream(id.0);
+        self.resolve_anchors();
+        self.dirty = true;
+    }
+
+    /// Replaces the context-name table (it arrives at the end of a
+    /// streamed image, but may be set at any time).
+    pub fn set_ctx_names(&mut self, names: Vec<(u32, String)>) {
+        self.ctx_names = names;
+        self.dirty = true;
+    }
+
+    /// Updates the tracer-dropped count for `id`'s stream.
+    pub fn set_dropped(&mut self, id: StreamId, dropped: u64) {
+        self.streams[id.0].dropped = dropped;
+        self.dirty = true;
+    }
+
+    /// Closes every stream and seals the session. Snapshots taken
+    /// afterwards share the fully committed store — no per-epoch copy.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        for i in 0..self.streams.len() {
+            self.close_stream(StreamId(i));
+        }
+        self.finished = true;
+        self.dirty = true;
+    }
+
+    /// Whether [`finish`](Self::finish) ran.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Streams registered so far.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Total record bytes appended over all streams.
+    pub fn bytes_ingested(&self) -> u64 {
+        self.streams.iter().map(|s| s.bytes_in).sum()
+    }
+
+    /// Events in the committed (epoch-shared) store.
+    pub fn committed_events(&self) -> usize {
+        self.committed.events.len()
+    }
+
+    /// Placed events still awaiting the commit watermark.
+    pub fn pending_events(&self) -> usize {
+        self.streams.iter().map(|s| s.pending.len()).sum()
+    }
+
+    /// Snapshot epochs taken so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The incremental work of the last committed-index update: how
+    /// many index blocks the most recent snapshot's commits rebuilt.
+    /// `None` until a snapshot has built the index.
+    pub fn last_delta(&self) -> Option<IndexDelta> {
+        self.last_delta
+    }
+
+    /// Pulls newly decoded records out of stream `i`'s cursor and
+    /// places them.
+    fn drain_stream(&mut self, i: usize) {
+        let out = self.streams[i].cursor.take_output();
+        self.streams[i].gaps.extend(out.gaps);
+        for r in out.records {
+            self.place_record(i, r);
+        }
+    }
+
+    /// Places one decoded record: PPE records become events (and offer
+    /// anchor candidates); SPE records accumulate decrementer time or
+    /// park until their anchor is final.
+    fn place_record(&mut self, i: usize, r: TraceRecord) {
+        let seq = self.streams[i].rec_idx;
+        self.streams[i].rec_idx += 1;
+        match &mut self.streams[i].place {
+            Placement::Ppe { last_time } => {
+                if r.code == EventCode::PpeCtxRun && r.params.len() >= 3 {
+                    let cand = Candidate {
+                        stream: i,
+                        rec: seq,
+                        anchor: SpeAnchor {
+                            spe: r.params[1] as u8,
+                            ctx: r.params[0] as u32,
+                            run_tb: r.timestamp,
+                            dec_start: r.params[2] as u32,
+                        },
+                    };
+                    offer(&mut self.best, cand);
+                }
+                *last_time = Some(r.timestamp);
+                let ev = GlobalEvent {
+                    time_tb: r.timestamp,
+                    core: r.core, // records carry per-thread tags
+                    code: r.code,
+                    params: r.params,
+                    stream_seq: seq,
+                };
+                push_pending(&mut self.streams[i], ev);
+            }
+            Placement::SpeWaiting { held } => held.push(r),
+            Placement::SpeAnchored {
+                run_tb,
+                elapsed,
+                prev_dec,
+            } => {
+                let dec = r.timestamp as u32;
+                *elapsed += prev_dec.wrapping_sub(dec) as u64;
+                *prev_dec = dec;
+                let ev = GlobalEvent {
+                    time_tb: *run_tb + *elapsed,
+                    core: self.streams[i].core,
+                    code: r.code,
+                    params: r.params,
+                    stream_seq: seq,
+                };
+                push_pending(&mut self.streams[i], ev);
+            }
+            Placement::SpeUnanchored => {} // decoded but unusable
+        }
+    }
+
+    /// Promotes waiting SPE streams whose anchor became final: the best
+    /// candidate wins once every PPE stream before it has closed (no
+    /// earlier candidate can appear), matching the one-shot
+    /// first-candidate harvest. With every PPE stream closed and no
+    /// candidate, the stream is unanchored and its records discarded —
+    /// also the one-shot rule.
+    fn resolve_anchors(&mut self) {
+        let all_ppe_closed = self.streams.iter().all(|s| s.core.is_spe() || s.closed);
+        for i in 0..self.streams.len() {
+            let TraceCore::Spe(spe) = self.streams[i].core else {
+                continue;
+            };
+            let Placement::SpeWaiting { .. } = self.streams[i].place else {
+                continue;
+            };
+            let winner = self.best.iter().find(|c| c.anchor.spe == spe).copied();
+            match winner {
+                Some(c)
+                    if self.streams[..c.stream]
+                        .iter()
+                        .all(|s| s.core.is_spe() || s.closed) =>
+                {
+                    let held = match std::mem::replace(
+                        &mut self.streams[i].place,
+                        Placement::SpeAnchored {
+                            run_tb: c.anchor.run_tb,
+                            elapsed: 0,
+                            prev_dec: c.anchor.dec_start,
+                        },
+                    ) {
+                        Placement::SpeWaiting { held } => held,
+                        _ => unreachable!(),
+                    };
+                    // Replay parked records through the now-final
+                    // anchor; their sequence numbers were assigned on
+                    // arrival, so reset the counter and let it advance
+                    // back through them.
+                    self.streams[i].rec_idx = 0;
+                    for r in held {
+                        self.place_record(i, r);
+                    }
+                }
+                None if all_ppe_closed => {
+                    self.streams[i].place = Placement::SpeUnanchored;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Commits every pending event below the watermark into the shared
+    /// store, splicing (and marking the index dirty) if corrupt input
+    /// violated a bound.
+    fn flush_commits(&mut self) {
+        let threshold: Option<(SortKey, usize)> = self
+            .streams
+            .iter()
+            .enumerate()
+            .filter_map(|(j, s)| s.future_bound().map(|b| (b, j)))
+            .min();
+        for s in &mut self.streams {
+            if !s.pending_sorted {
+                s.pending.sort_unstable_by_key(key);
+                s.pending_sorted = true;
+            }
+        }
+        let mut heads: Vec<usize> = vec![0; self.streams.len()];
+        loop {
+            let mut min: Option<((SortKey, usize), usize)> = None;
+            for (j, s) in self.streams.iter().enumerate() {
+                if let Some(e) = s.pending.get(heads[j]) {
+                    let pair = (key(e), j);
+                    if min.is_none_or(|(m, _)| pair < m) {
+                        min = Some((pair, j));
+                    }
+                }
+            }
+            let Some((pair, j)) = min else { break };
+            if threshold.is_some_and(|t| pair >= t) {
+                break;
+            }
+            let e = &self.streams[j].pending[heads[j]];
+            heads[j] += 1;
+            let cols = Arc::make_mut(&mut self.committed);
+            let n = cols.events.len();
+            let in_order = n == 0 || {
+                let last = (
+                    (
+                        cols.events.times()[n - 1],
+                        cols.events.cores()[n - 1].tag(),
+                        cols.events.seqs()[n - 1],
+                    ),
+                    self.committed_src[n - 1] as usize,
+                );
+                pair >= last
+            };
+            if in_order {
+                cols.push_event(e.time_tb, e.core, e.code, &e.params, e.stream_seq);
+                self.committed_src.push(j as u32);
+            } else {
+                // A bound was violated (non-monotone PPE timestamps):
+                // splice into the exact sorted position and rebuild
+                // the index once at the next snapshot.
+                let times = cols.events.times();
+                let cores = cols.events.cores();
+                let seqs = cols.events.seqs();
+                let src = &self.committed_src;
+                let (mut lo, mut hi) = (0usize, n);
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if ((times[mid], cores[mid].tag(), seqs[mid]), src[mid] as usize) < pair {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                let pos = lo;
+                cols.insert_event(pos, e.time_tb, e.core, e.code, &e.params, e.stream_seq);
+                self.committed_src.insert(pos, j as u32);
+                self.index_dirty = true;
+            }
+        }
+        for (j, s) in self.streams.iter_mut().enumerate() {
+            if heads[j] > 0 {
+                s.pending.drain(..heads[j]);
+            }
+        }
+    }
+
+    /// Takes an immutable snapshot epoch: the committed store plus a
+    /// preview of every open stream's undecoded carry, exactly what the
+    /// one-shot analysis of all bytes appended so far would produce.
+    /// Cheap when nothing changed (returns the cached epoch) and after
+    /// [`finish`](Self::finish) (shares the committed store).
+    pub fn snapshot(&mut self) -> Arc<Analysis> {
+        if !self.dirty {
+            if let Some(cached) = &self.cache {
+                return Arc::clone(cached);
+            }
+        }
+        self.flush_commits();
+
+        // Preview: finish a clone of each open cursor (cheap — only
+        // the undecoded carry bytes are cloned), then run the preview
+        // records through cloned placement state. Preview PPE
+        // candidates can anchor still-waiting SPE streams for this
+        // snapshot only.
+        let mut prev_records: Vec<Vec<TraceRecord>> = Vec::with_capacity(self.streams.len());
+        let mut prev_gaps: Vec<Vec<DecodeGap>> = Vec::with_capacity(self.streams.len());
+        for s in &self.streams {
+            if s.closed {
+                prev_records.push(Vec::new());
+                prev_gaps.push(Vec::new());
+            } else {
+                let p = s.cursor.finish_preview();
+                prev_records.push(p.records);
+                prev_gaps.push(p.gaps);
+            }
+        }
+        let mut merged: Vec<Candidate> = self.best.clone();
+        for (i, s) in self.streams.iter().enumerate() {
+            if s.core.is_spe() {
+                continue;
+            }
+            for (k, r) in prev_records[i].iter().enumerate() {
+                if r.code == EventCode::PpeCtxRun && r.params.len() >= 3 {
+                    offer(
+                        &mut merged,
+                        Candidate {
+                            stream: i,
+                            rec: s.rec_idx + k as u64,
+                            anchor: SpeAnchor {
+                                spe: r.params[1] as u8,
+                                ctx: r.params[0] as u32,
+                                run_tb: r.timestamp,
+                                dec_start: r.params[2] as u32,
+                            },
+                        },
+                    );
+                }
+            }
+        }
+        // Winners per SPE in discovery (candidate-position) order —
+        // the list the one-shot harvest builds.
+        let anchors: Vec<SpeAnchor> = {
+            let mut ordered = merged.clone();
+            ordered.sort_unstable_by_key(|c| (c.stream, c.rec));
+            ordered.into_iter().map(|c| c.anchor).collect()
+        };
+
+        // Place preview records through cloned state, assemble the
+        // snapshot tail and the per-stream loss accounting.
+        let mut tail: Vec<(SortKey, usize, GlobalEvent)> = Vec::new();
+        let mut losses: Vec<StreamLoss> = Vec::with_capacity(self.streams.len());
+        for (i, s) in self.streams.iter().enumerate() {
+            for e in &s.pending {
+                tail.push((key(e), i, e.clone()));
+            }
+            let total_records = s.cursor.decoded_total() + prev_records[i].len() as u64;
+            let mut unanchored = false;
+            match &s.place {
+                Placement::Ppe { .. } => {
+                    for (seq, r) in (s.rec_idx..).zip(prev_records[i].iter()) {
+                        let ev = GlobalEvent {
+                            time_tb: r.timestamp,
+                            core: r.core,
+                            code: r.code,
+                            params: r.params.clone(),
+                            stream_seq: seq,
+                        };
+                        tail.push((key(&ev), i, ev));
+                    }
+                }
+                Placement::SpeAnchored {
+                    run_tb,
+                    elapsed,
+                    prev_dec,
+                } => {
+                    let (mut elapsed, mut prev_dec) = (*elapsed, *prev_dec);
+                    for (seq, r) in (s.rec_idx..).zip(prev_records[i].iter()) {
+                        let dec = r.timestamp as u32;
+                        elapsed += prev_dec.wrapping_sub(dec) as u64;
+                        prev_dec = dec;
+                        let ev = GlobalEvent {
+                            time_tb: run_tb + elapsed,
+                            core: s.core,
+                            code: r.code,
+                            params: r.params.clone(),
+                            stream_seq: seq,
+                        };
+                        tail.push((key(&ev), i, ev));
+                    }
+                }
+                Placement::SpeWaiting { held } => {
+                    let TraceCore::Spe(spe) = s.core else {
+                        unreachable!("waiting placement is SPE-only")
+                    };
+                    match merged.iter().find(|c| c.anchor.spe == spe) {
+                        Some(c) => {
+                            let a = c.anchor;
+                            let (mut elapsed, mut prev_dec) = (0u64, a.dec_start);
+                            for (k, r) in held.iter().chain(prev_records[i].iter()).enumerate() {
+                                let dec = r.timestamp as u32;
+                                elapsed += prev_dec.wrapping_sub(dec) as u64;
+                                prev_dec = dec;
+                                let ev = GlobalEvent {
+                                    time_tb: a.run_tb + elapsed,
+                                    core: s.core,
+                                    code: r.code,
+                                    params: r.params.clone(),
+                                    stream_seq: k as u64,
+                                };
+                                tail.push((key(&ev), i, ev));
+                            }
+                        }
+                        None => unanchored = total_records > 0,
+                    }
+                }
+                Placement::SpeUnanchored => unanchored = total_records > 0,
+            }
+            losses.push(StreamLoss {
+                core: s.core,
+                decoded_records: total_records,
+                tracer_dropped: s.dropped,
+                gaps: {
+                    let mut g = s.gaps.clone();
+                    g.extend(prev_gaps[i].iter().cloned());
+                    g
+                },
+                unanchored,
+            });
+        }
+        tail.sort_unstable_by_key(|&(k, src, _)| (k, src));
+        let loss = LossReport { streams: losses };
+        let dropped_total: u64 = self.streams.iter().map(|s| s.dropped).sum();
+
+        // Refresh the committed store's metadata and grow its index
+        // incrementally; the delta is this epoch's incremental cost.
+        {
+            let cols = Arc::make_mut(&mut self.committed);
+            cols.set_anchors(anchors.clone());
+            cols.set_dropped(dropped_total);
+            cols.set_ctx_names(&self.ctx_names);
+        }
+        let committed_intervals = build_intervals_columns(&self.committed);
+        if self.index_dirty {
+            self.index = None;
+            self.index_dirty = false;
+        }
+        let delta = match &mut self.index {
+            Some(idx) => {
+                idx.extend_columns(&self.committed, &committed_intervals, &loss, self.threads)
+            }
+            None => {
+                let idx = TraceIndex::build_columns(
+                    &self.committed,
+                    &committed_intervals,
+                    &loss,
+                    self.threads,
+                );
+                let d = IndexDelta {
+                    appended_events: self.committed.events.len(),
+                    blocks_total: idx.total_blocks(),
+                    blocks_rebuilt: idx.total_blocks(),
+                    lanes_total: committed_intervals.len(),
+                    lanes_rebuilt: committed_intervals.len(),
+                    coarsened: false,
+                    full_rebuild: true,
+                };
+                self.index = Some(idx);
+                d
+            }
+        };
+        self.last_delta = Some(delta);
+
+        // Snapshot columns: share the committed store outright when
+        // there is no tail; otherwise clone it and append the tail
+        // (or, for corrupt non-monotone input whose tail interleaves
+        // with committed events, merge from scratch).
+        let n = self.committed.events.len();
+        let (snap_cols, can_extend) = if tail.is_empty() {
+            (Arc::clone(&self.committed), true)
+        } else {
+            let fast = n == 0 || {
+                let times = self.committed.events.times();
+                let cores = self.committed.events.cores();
+                let seqs = self.committed.events.seqs();
+                let last = (
+                    (times[n - 1], cores[n - 1].tag(), seqs[n - 1]),
+                    self.committed_src[n - 1] as usize,
+                );
+                (tail[0].0, tail[0].1) >= last
+            };
+            if fast {
+                let mut c = (*self.committed).clone();
+                for (_, _, e) in &tail {
+                    c.push_event(e.time_tb, e.core, e.code, &e.params, e.stream_seq);
+                }
+                (Arc::new(c), true)
+            } else {
+                let mut c = ColumnarTrace::empty(self.header);
+                c.set_anchors(anchors);
+                c.set_dropped(dropped_total);
+                c.set_ctx_names(&self.ctx_names);
+                let times = self.committed.events.times();
+                let cores = self.committed.events.cores();
+                let seqs = self.committed.events.seqs();
+                let (mut ci, mut ti) = (0usize, 0usize);
+                while ci < n || ti < tail.len() {
+                    let from_committed = match (ci < n, tail.get(ti)) {
+                        (true, Some(t)) => {
+                            (
+                                (times[ci], cores[ci].tag(), seqs[ci]),
+                                self.committed_src[ci] as usize,
+                            ) < (t.0, t.1)
+                        }
+                        (true, None) => true,
+                        (false, _) => false,
+                    };
+                    if from_committed {
+                        c.push_event(
+                            times[ci],
+                            cores[ci],
+                            self.committed.events.codes()[ci],
+                            self.committed.events.params(ci),
+                            seqs[ci],
+                        );
+                        ci += 1;
+                    } else {
+                        let (_, _, e) = &tail[ti];
+                        c.push_event(e.time_tb, e.core, e.code, &e.params, e.stream_seq);
+                        ti += 1;
+                    }
+                }
+                (Arc::new(c), false)
+            }
+        };
+
+        let snap_intervals = build_intervals_columns(&snap_cols);
+        let snap_index = can_extend.then(|| {
+            let mut idx = self.index.clone().expect("committed index built above");
+            let _ = idx.extend_columns(&snap_cols, &snap_intervals, &loss, self.threads);
+            idx
+        });
+        let analysis = Analysis::from_shared(Arc::clone(&snap_cols), loss, self.threads);
+        analysis.preset_intervals(snap_intervals);
+        if let Some(idx) = snap_index {
+            analysis.preset_index(idx);
+        }
+        let epoch = Arc::new(analysis);
+        self.cache = Some(Arc::clone(&epoch));
+        self.dirty = false;
+        self.epochs += 1;
+        epoch
+    }
+}
+
+/// Incremental-parse position within a serialized trace image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ImageState {
+    /// Waiting for magic + header (36 bytes).
+    Header,
+    /// Waiting for the u32 stream count.
+    StreamCount,
+    /// Waiting for the next 20-byte stream directory entry.
+    StreamHeader { left: u32 },
+    /// Streaming `left` record bytes into stream `id`.
+    StreamBytes {
+        id: StreamId,
+        left: u64,
+        streams_left: u32,
+    },
+    /// Waiting for the u32 name count.
+    NameCount,
+    /// Waiting for the next 8-byte name entry header.
+    NameHeader { left: u32 },
+    /// Waiting for `len` utf-8 name bytes.
+    NameBytes { ctx: u32, len: usize, left: u32 },
+    /// The image is structurally complete; the session is finished.
+    Done,
+}
+
+/// An incremental parser of the serialized `.pdt` image layout feeding
+/// an [`IngestSession`]: push byte chunks as a trace file grows and
+/// snapshot at any point. Record bytes pass straight through to the
+/// per-stream cursors without buffering; only the fixed-size header,
+/// directory and name-table pieces are carried across chunk
+/// boundaries.
+#[derive(Debug)]
+pub struct ImageIngest {
+    state: ImageState,
+    carry: Vec<u8>,
+    threads: usize,
+    session: Option<IngestSession>,
+    names: Vec<(u32, String)>,
+    consumed: u64,
+}
+
+impl Default for ImageIngest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ImageIngest {
+    /// Starts an empty image parse.
+    pub fn new() -> Self {
+        ImageIngest {
+            state: ImageState::Header,
+            carry: Vec::new(),
+            threads: 1,
+            session: None,
+            names: Vec::new(),
+            consumed: 0,
+        }
+    }
+
+    /// Sets the worker count for the inner session's index builds.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Total image bytes consumed so far.
+    pub fn bytes_consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Whether the full image (through the name table) has been parsed.
+    pub fn is_complete(&self) -> bool {
+        self.state == ImageState::Done
+    }
+
+    /// The inner session, once the header has arrived.
+    pub fn session(&self) -> Option<&IngestSession> {
+        self.session.as_ref()
+    }
+
+    /// Takes a snapshot of the inner session; `None` until the header
+    /// has arrived.
+    pub fn snapshot(&mut self) -> Option<Arc<Analysis>> {
+        self.session.as_mut().map(IngestSession::snapshot)
+    }
+
+    /// Consumes the next chunk of the image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] on structural corruption (bad magic,
+    /// unsupported version, non-utf-8 name). Truncation is not an
+    /// error here — the parser simply waits for more bytes; a
+    /// premature end is reported by [`finish`](Self::finish).
+    pub fn push(&mut self, mut chunk: &[u8]) -> Result<(), FormatError> {
+        self.consumed += chunk.len() as u64;
+        while !chunk.is_empty() {
+            match self.state {
+                ImageState::Header => {
+                    if !fill(&mut self.carry, 36, &mut chunk) {
+                        return Ok(());
+                    }
+                    if &self.carry[..4] != MAGIC {
+                        return Err(FormatError::BadMagic);
+                    }
+                    let version = u16::from_le_bytes([self.carry[4], self.carry[5]]);
+                    if version != VERSION {
+                        return Err(FormatError::BadVersion { found: version });
+                    }
+                    let header = TraceHeader {
+                        version,
+                        num_ppe_threads: self.carry[6],
+                        num_spes: self.carry[7],
+                        core_hz: le_u64(&self.carry[8..16]),
+                        timebase_divider: le_u64(&self.carry[16..24]),
+                        dec_start: le_u32(&self.carry[24..28]),
+                        group_mask: le_u32(&self.carry[28..32]),
+                        spe_buffer_bytes: le_u32(&self.carry[32..36]),
+                    };
+                    self.carry.clear();
+                    self.session = Some(IngestSession::new(header).with_threads(self.threads));
+                    self.state = ImageState::StreamCount;
+                }
+                ImageState::StreamCount => {
+                    if !fill(&mut self.carry, 4, &mut chunk) {
+                        return Ok(());
+                    }
+                    let n = le_u32(&self.carry[..4]);
+                    self.carry.clear();
+                    self.state = if n == 0 {
+                        ImageState::NameCount
+                    } else {
+                        ImageState::StreamHeader { left: n }
+                    };
+                }
+                ImageState::StreamHeader { left } => {
+                    if !fill(&mut self.carry, 20, &mut chunk) {
+                        return Ok(());
+                    }
+                    let core = TraceCore::from_tag(self.carry[0]);
+                    let len = le_u64(&self.carry[4..12]);
+                    let dropped = le_u64(&self.carry[12..20]);
+                    self.carry.clear();
+                    let session = self.session.as_mut().expect("header parsed");
+                    let id = session.add_stream(core, dropped);
+                    if len == 0 {
+                        session.close_stream(id);
+                        self.state = next_stream_state(left - 1);
+                    } else {
+                        self.state = ImageState::StreamBytes {
+                            id,
+                            left: len,
+                            streams_left: left - 1,
+                        };
+                    }
+                }
+                ImageState::StreamBytes {
+                    id,
+                    left,
+                    streams_left,
+                } => {
+                    let take = (left.min(chunk.len() as u64)) as usize;
+                    let session = self.session.as_mut().expect("header parsed");
+                    session.append(id, &chunk[..take]);
+                    chunk = &chunk[take..];
+                    let left = left - take as u64;
+                    if left == 0 {
+                        session.close_stream(id);
+                        self.state = next_stream_state(streams_left);
+                    } else {
+                        self.state = ImageState::StreamBytes {
+                            id,
+                            left,
+                            streams_left,
+                        };
+                    }
+                }
+                ImageState::NameCount => {
+                    if !fill(&mut self.carry, 4, &mut chunk) {
+                        return Ok(());
+                    }
+                    let n = le_u32(&self.carry[..4]);
+                    self.carry.clear();
+                    if n == 0 {
+                        self.complete();
+                    } else {
+                        self.state = ImageState::NameHeader { left: n };
+                    }
+                }
+                ImageState::NameHeader { left } => {
+                    if !fill(&mut self.carry, 8, &mut chunk) {
+                        return Ok(());
+                    }
+                    let ctx = le_u32(&self.carry[..4]);
+                    let len = le_u32(&self.carry[4..8]) as usize;
+                    self.carry.clear();
+                    if len == 0 {
+                        self.names.push((ctx, String::new()));
+                        if left == 1 {
+                            self.complete();
+                        } else {
+                            self.state = ImageState::NameHeader { left: left - 1 };
+                        }
+                    } else {
+                        self.state = ImageState::NameBytes { ctx, len, left };
+                    }
+                }
+                ImageState::NameBytes { ctx, len, left } => {
+                    if !fill(&mut self.carry, len, &mut chunk) {
+                        return Ok(());
+                    }
+                    let name = String::from_utf8(std::mem::take(&mut self.carry))
+                        .map_err(|_| FormatError::BadName)?;
+                    self.names.push((ctx, name));
+                    if left == 1 {
+                        self.complete();
+                    } else {
+                        self.state = ImageState::NameHeader { left: left - 1 };
+                    }
+                }
+                // Trailing bytes past the name table are ignored, as in
+                // the one-shot parser.
+                ImageState::Done => return Ok(()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Declares the image complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::Truncated`] naming the piece being read
+    /// if the bytes pushed so far do not form a whole image.
+    pub fn finish(&mut self) -> Result<(), FormatError> {
+        match self.state {
+            ImageState::Done => Ok(()),
+            ImageState::Header => Err(FormatError::Truncated { reading: "header" }),
+            ImageState::StreamCount => Err(FormatError::Truncated {
+                reading: "stream count",
+            }),
+            ImageState::StreamHeader { .. } => Err(FormatError::Truncated {
+                reading: "stream header",
+            }),
+            ImageState::StreamBytes { .. } => Err(FormatError::Truncated {
+                reading: "stream bytes",
+            }),
+            ImageState::NameCount => Err(FormatError::Truncated {
+                reading: "name table",
+            }),
+            ImageState::NameHeader { .. } => Err(FormatError::Truncated {
+                reading: "name entry",
+            }),
+            ImageState::NameBytes { .. } => Err(FormatError::Truncated {
+                reading: "name bytes",
+            }),
+        }
+    }
+
+    /// Seals the session once the name table has fully arrived.
+    fn complete(&mut self) {
+        let session = self.session.as_mut().expect("header parsed");
+        session.set_ctx_names(std::mem::take(&mut self.names));
+        session.finish();
+        self.state = ImageState::Done;
+    }
+}
+
+/// Moves bytes from `chunk` into `carry` until it holds `need` bytes;
+/// true when full.
+fn fill(carry: &mut Vec<u8>, need: usize, chunk: &mut &[u8]) -> bool {
+    let take = (need - carry.len()).min(chunk.len());
+    carry.extend_from_slice(&chunk[..take]);
+    *chunk = &chunk[take..];
+    carry.len() == need
+}
+
+fn next_stream_state(streams_left: u32) -> ImageState {
+    if streams_left == 0 {
+        ImageState::NameCount
+    } else {
+        ImageState::StreamHeader { left: streams_left }
+    }
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b.try_into().expect("4 bytes"))
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b.try_into().expect("8 bytes"))
+}
+
+/// Offers `cand` into a best-per-SPE list, keeping the minimal
+/// position per SPE.
+fn offer(best: &mut Vec<Candidate>, cand: Candidate) {
+    match best.iter_mut().find(|c| c.anchor.spe == cand.anchor.spe) {
+        Some(c) => {
+            if (cand.stream, cand.rec) < (c.stream, c.rec) {
+                *c = cand;
+            }
+        }
+        None => best.push(cand),
+    }
+}
+
+/// Appends `ev` to the stream's pending list, tracking sortedness.
+fn push_pending(s: &mut StreamState, ev: GlobalEvent) {
+    if let Some(last) = s.pending.last() {
+        if key(&ev) < key(last) {
+            s.pending_sorted = false;
+        }
+    }
+    s.pending.push(ev);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Analysis;
+    use pdt::{EventCode, TraceFile, TraceStream};
+
+    fn header(spes: u8) -> TraceHeader {
+        TraceHeader {
+            version: VERSION,
+            num_ppe_threads: 1,
+            num_spes: spes,
+            core_hz: 3_200_000_000,
+            timebase_divider: 120,
+            dec_start: u32::MAX,
+            group_mask: u32::MAX,
+            spe_buffer_bytes: 2048,
+        }
+    }
+
+    /// The session-test fixture: one PPE stream of anchors, one full
+    /// lifecycle per SPE.
+    fn trace(spes: u8) -> TraceFile {
+        let mut ppe = Vec::new();
+        for spe in 0..spes {
+            TraceRecord {
+                core: TraceCore::Ppe(0),
+                code: EventCode::PpeCtxRun,
+                timestamp: 100 + spe as u64,
+                params: vec![spe as u64, spe as u64, u32::MAX as u64],
+            }
+            .encode_into(&mut ppe);
+        }
+        let mut streams = vec![TraceStream {
+            core: TraceCore::Ppe(0),
+            bytes: ppe,
+            dropped: 0,
+        }];
+        for spe in 0..spes {
+            let mut bytes = Vec::new();
+            let mut dec = u32::MAX;
+            for (code, step, params) in [
+                (EventCode::SpeCtxStart, 0u32, vec![spe as u64]),
+                (EventCode::SpeDmaGet, 500, vec![0x1000, 0x100000, 4096, 1]),
+                (EventCode::SpeTagWaitBegin, 10, vec![2, 0]),
+                (EventCode::SpeTagWaitEnd, 800, vec![2]),
+                (EventCode::SpeUser, 100, vec![7, 1, 0]),
+                (EventCode::SpeStop, 1000, vec![0]),
+            ] {
+                dec = dec.wrapping_sub(step);
+                TraceRecord {
+                    core: TraceCore::Spe(spe),
+                    code,
+                    timestamp: dec as u64,
+                    params,
+                }
+                .encode_into(&mut bytes);
+            }
+            streams.push(TraceStream {
+                core: TraceCore::Spe(spe),
+                bytes,
+                dropped: 0,
+            });
+        }
+        TraceFile {
+            header: header(spes),
+            streams,
+            ctx_names: (0..spes as u32).map(|c| (c, format!("k{c}"))).collect(),
+        }
+    }
+
+    /// Ingests `t` in `chunk`-byte pieces per stream and finishes.
+    fn ingest_chunked(t: &TraceFile, chunk: usize) -> IngestSession {
+        let mut s = IngestSession::new(t.header).with_threads(2);
+        let ids: Vec<StreamId> = t
+            .streams
+            .iter()
+            .map(|st| s.add_stream(st.core, st.dropped))
+            .collect();
+        s.set_ctx_names(t.ctx_names.clone());
+        let mut offs = vec![0usize; t.streams.len()];
+        loop {
+            let mut progressed = false;
+            for (i, st) in t.streams.iter().enumerate() {
+                if offs[i] < st.bytes.len() {
+                    let end = (offs[i] + chunk).min(st.bytes.len());
+                    s.append(ids[i], &st.bytes[offs[i]..end]);
+                    offs[i] = end;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        s.finish();
+        s
+    }
+
+    /// Asserts a finished session's snapshot equals the one-shot
+    /// analysis of `t` in every observable product.
+    fn assert_matches_oneshot(s: &mut IngestSession, t: &TraceFile) {
+        let snap = s.snapshot();
+        let one = Analysis::of(t).threads(2).run().unwrap();
+        let (sa, oa) = (snap.analyzed(), one.analyzed());
+        assert_eq!(sa.events, oa.events);
+        assert_eq!(sa.anchors, oa.anchors);
+        assert_eq!(sa.ctx_names, oa.ctx_names);
+        assert_eq!(sa.dropped, oa.dropped);
+        assert_eq!(sa.header, oa.header);
+        assert_eq!(snap.loss(), one.loss());
+        assert_eq!(snap.intervals(), one.intervals());
+        assert_eq!(snap.index(), one.index());
+        assert_eq!(snap.stats(), one.stats());
+    }
+
+    #[test]
+    fn chunked_equals_oneshot_for_many_chunk_sizes() {
+        let t = trace(3);
+        for chunk in [1, 7, 16, 33, 4096] {
+            let mut s = ingest_chunked(&t, chunk);
+            assert_matches_oneshot(&mut s, &t);
+        }
+    }
+
+    #[test]
+    fn chunked_equals_oneshot_on_damaged_streams() {
+        let mut t = trace(3);
+        t.streams[1].bytes[16] = 0; // zero granule count mid-stream
+        let torn = t.streams[2].bytes.len() - 5;
+        t.streams[2].bytes.truncate(torn); // torn tail
+        t.streams[0].bytes[3] = 0xee; // corrupt a PPE record header
+        for chunk in [1, 5, 16, 64] {
+            let mut s = ingest_chunked(&t, chunk);
+            assert_matches_oneshot(&mut s, &t);
+        }
+    }
+
+    #[test]
+    fn unanchored_streams_match_oneshot() {
+        let mut t = trace(2);
+        t.streams[0].bytes.clear(); // no PPE sync records at all
+        for chunk in [1, 16, 1024] {
+            let mut s = ingest_chunked(&t, chunk);
+            assert_matches_oneshot(&mut s, &t);
+        }
+    }
+
+    #[test]
+    fn mid_stream_snapshots_equal_prefix_oneshot() {
+        let t = trace(2);
+        // Cut every stream at a few ragged byte positions; a snapshot
+        // of the open session must equal the one-shot analysis of the
+        // trace truncated to those prefixes.
+        for cuts in [[7usize, 23, 41], [16, 16, 16], [1, 96, 50]] {
+            let mut s = IngestSession::new(t.header).with_threads(2);
+            let ids: Vec<StreamId> = t
+                .streams
+                .iter()
+                .map(|st| s.add_stream(st.core, st.dropped))
+                .collect();
+            s.set_ctx_names(t.ctx_names.clone());
+            let mut prefix = t.clone();
+            for (i, st) in t.streams.iter().enumerate() {
+                let cut = cuts[i].min(st.bytes.len());
+                s.append(ids[i], &st.bytes[..cut]);
+                prefix.streams[i].bytes.truncate(cut);
+            }
+            let snap = s.snapshot();
+            let one = Analysis::of(&prefix).threads(2).run().unwrap();
+            assert_eq!(snap.analyzed().events, one.analyzed().events, "{cuts:?}");
+            assert_eq!(snap.analyzed().anchors, one.analyzed().anchors);
+            assert_eq!(snap.loss(), one.loss(), "{cuts:?}");
+            assert_eq!(snap.index(), one.index(), "{cuts:?}");
+            // The session keeps going: feed the rest and re-verify.
+            for (i, st) in t.streams.iter().enumerate() {
+                let cut = cuts[i].min(st.bytes.len());
+                s.append(ids[i], &st.bytes[cut..]);
+            }
+            s.finish();
+            assert_matches_oneshot(&mut s, &t);
+        }
+    }
+
+    #[test]
+    fn snapshots_are_frozen_epochs() {
+        let t = trace(2);
+        let mut s = IngestSession::new(t.header).with_threads(1);
+        let ids: Vec<StreamId> = t
+            .streams
+            .iter()
+            .map(|st| s.add_stream(st.core, st.dropped))
+            .collect();
+        s.set_ctx_names(t.ctx_names.clone());
+        s.append(ids[0], &t.streams[0].bytes);
+        s.close_stream(ids[0]);
+        s.append(ids[1], &t.streams[1].bytes[..32]);
+        let early = s.snapshot();
+        let early_events = early.analyzed().events.clone();
+        // Appending and snapshotting again must not disturb the pinned
+        // epoch.
+        s.append(ids[1], &t.streams[1].bytes[32..]);
+        s.append(ids[2], &t.streams[2].bytes);
+        s.finish();
+        let late = s.snapshot();
+        assert_eq!(early.analyzed().events, early_events);
+        assert!(late.analyzed().events.len() > early_events.len());
+    }
+
+    #[test]
+    fn snapshot_is_cached_until_new_bytes_arrive() {
+        let t = trace(1);
+        let mut s = ingest_chunked(&t, 16);
+        let a = s.snapshot();
+        let b = s.snapshot();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn image_ingest_matches_oneshot_at_every_chunk_size() {
+        let t = trace(2);
+        let image = t.to_bytes();
+        for chunk in [1usize, 3, 17, 256, image.len()] {
+            let mut ing = ImageIngest::new().with_threads(2);
+            for piece in image.chunks(chunk) {
+                ing.push(piece).unwrap();
+            }
+            assert!(ing.is_complete(), "chunk={chunk}");
+            ing.finish().unwrap();
+            let snap = ing.snapshot().unwrap();
+            let one = Analysis::of(&t).threads(2).run().unwrap();
+            assert_eq!(snap.analyzed().events, one.analyzed().events);
+            assert_eq!(snap.analyzed().ctx_names, one.analyzed().ctx_names);
+            assert_eq!(snap.loss(), one.loss());
+            assert_eq!(snap.index(), one.index());
+        }
+    }
+
+    #[test]
+    fn image_ingest_rejects_corruption_and_reports_truncation() {
+        let t = trace(1);
+        let image = t.to_bytes();
+        let mut bad = image.clone();
+        bad[0] = b'X';
+        assert_eq!(ImageIngest::new().push(&bad), Err(FormatError::BadMagic));
+        let mut ing = ImageIngest::new();
+        ing.push(&image[..image.len() - 1]).unwrap();
+        assert!(!ing.is_complete());
+        assert!(ing.finish().is_err());
+        ing.push(&image[image.len() - 1..]).unwrap();
+        assert!(ing.is_complete());
+        assert!(ing.finish().is_ok());
+    }
+
+    /// A trace whose tail (SpeUser records after SpeStop) changes no
+    /// intervals: the incremental-index bound is measurable.
+    fn tailable_trace(spes: u8, users: usize) -> TraceFile {
+        let mut t = trace(spes);
+        for st in t.streams.iter_mut().skip(1) {
+            // Continue the decrementer below the fixture's last value.
+            let mut dec = (u32::MAX - 2410) as u64;
+            for k in 0..users {
+                dec -= 3;
+                TraceRecord {
+                    core: st.core,
+                    code: EventCode::SpeUser,
+                    timestamp: dec,
+                    params: vec![9, (k % 2 + 1) as u64, 0],
+                }
+                .encode_into(&mut st.bytes);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn appending_a_small_tail_rebuilds_few_index_blocks() {
+        let t = tailable_trace(4, 600);
+        let mut s = IngestSession::new(t.header).with_threads(2);
+        let ids: Vec<StreamId> = t
+            .streams
+            .iter()
+            .map(|st| s.add_stream(st.core, st.dropped))
+            .collect();
+        s.set_ctx_names(t.ctx_names.clone());
+        s.append(ids[0], &t.streams[0].bytes);
+        s.close_stream(ids[0]);
+        for (i, st) in t.streams.iter().enumerate().skip(1) {
+            let head = st.bytes.len() * 99 / 100 / 16 * 16;
+            s.append(ids[i], &st.bytes[..head]);
+        }
+        let _ = s.snapshot(); // builds the committed index
+        for (i, st) in t.streams.iter().enumerate().skip(1) {
+            let head = st.bytes.len() * 99 / 100 / 16 * 16;
+            s.append(ids[i], &st.bytes[head..]);
+        }
+        s.finish();
+        assert_matches_oneshot(&mut s, &t);
+        let delta = s.last_delta().unwrap();
+        assert!(!delta.full_rebuild, "tail append must extend, not rebuild");
+        assert_eq!(delta.lanes_rebuilt, 0, "intervals unchanged");
+        assert!(
+            delta.rebuilt_fraction() <= 0.05,
+            "rebuilt {}/{} blocks",
+            delta.blocks_rebuilt,
+            delta.blocks_total
+        );
+    }
+}

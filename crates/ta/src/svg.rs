@@ -44,16 +44,9 @@ fn escape(s: &str) -> String {
         .replace('"', "&quot;")
 }
 
-/// Renders a timeline to an SVG document string.
-///
-/// Deprecated front door: prefer
+/// Renders a timeline to an SVG document string. Front door:
 /// [`Analysis::render`](crate::session::Analysis::render) with
 /// [`ReportKind::Svg`](crate::report::ReportKind::Svg).
-#[deprecated(note = "use `Analysis::render(ReportKind::Svg, &opts)` instead")]
-pub fn render_svg(timeline: &Timeline, opts: &SvgOptions) -> String {
-    render_svg_impl(timeline, opts)
-}
-
 pub(crate) fn render_svg_impl(timeline: &Timeline, opts: &SvgOptions) -> String {
     let n = timeline.lanes.len() as u32;
     let axis_h = 28u32;

@@ -64,4 +64,32 @@ echo "== parallel-product smoke (1 size point) =="
 # BENCH_products.json / BENCH_ingest.json at the repo root.
 cargo run -q --release -p bench --bin product_smoke
 
+echo "== streaming-ingestion differential suite =="
+# Every golden fed to ImageIngest as 1-byte, 4 KiB, and random-split
+# chunks must match the one-shot analysis in every product, and
+# snapshot epochs must stay frozen under concurrent reads.
+cargo test -q --test stream_differential
+
+echo "== streaming-ingestion smoke =="
+# Chunked-vs-oneshot parity on the goldens, plus the incremental
+# bound: appending a ~1% tail after a snapshot may rebuild at most 5%
+# of index blocks. Emits BENCH_stream.json at the repo root.
+cargo run -q --release -p bench --bin stream_smoke
+
+echo "== ta-serve / ta-cli follow smoke =="
+# The live-tail front ends must serve a golden end to end: ta-serve
+# answers the full command set over stdin, and ta-cli follow tails a
+# complete file to its summary.
+serve_out=$(printf 'open tests/golden/matmul.pdt\nsummary\nsummarize 0 4000\nloss\nevents 5\nquit\n' \
+  | cargo run -q --release -p ta --bin ta-serve)
+if printf '%s\n' "$serve_out" | grep -q '^err '; then
+  echo "ta-serve returned an error:" >&2
+  printf '%s\n' "$serve_out" | grep '^err ' >&2
+  exit 1
+fi
+printf '%s\n' "$serve_out" | grep -q 'complete=true' || { echo "ta-serve never completed the image" >&2; exit 1; }
+printf '%s\n' "$serve_out" | grep -q 'PDT trace summary' || { echo "ta-serve summary missing" >&2; exit 1; }
+cargo run -q --release -p ta --bin ta-cli -- follow tests/golden/stream.pdt --max-polls 2 \
+  | grep -q 'PDT trace summary' || { echo "ta-cli follow failed" >&2; exit 1; }
+
 echo "all checks passed"

@@ -65,8 +65,9 @@ pub mod prelude {
     pub use pdt::{EventGroup, GroupMask, TraceCore, TraceFile, TraceSession, TracingConfig};
     pub use ta::{
         analyze, build_intervals, build_timeline, compute_stats, validate, ActivityKind, Analysis,
-        AnalysisBuilder, CsvTable, DecodePolicy, EventFilter, FaultInjector, FaultKind, LossReport,
-        RenderOptions, Report, ReportKind, SvgOptions, TraceImage,
+        AnalysisBuilder, CsvTable, DecodePolicy, EventFilter, FaultInjector, FaultKind,
+        ImageIngest, IngestSession, LossReport, RenderOptions, Report, ReportKind, SvgOptions,
+        TraceImage,
     };
     pub use workloads::{
         run_workload, Buffering, DmaSweepConfig, DmaSweepWorkload, EventRateConfig,
