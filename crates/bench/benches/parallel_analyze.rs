@@ -8,7 +8,7 @@ use std::hint::black_box;
 
 use cellsim::{MachineConfig, PpeThreadId, SpeJob, SpmdDriver, SpuAction, SpuScript};
 use pdt::{TraceFile, TraceSession, TracingConfig};
-use ta::Analysis;
+use ta::{Analysis, Parallelism};
 
 /// An 8-SPE trace with every event group enabled and ≥100k records:
 /// each SPE fires a dense user-event storm (the event-rate workload
@@ -69,7 +69,10 @@ fn bench_parallel_analyze(c: &mut Criterion) {
     }
     g.bench_function("session_all_products", |b| {
         b.iter(|| {
-            let a = Analysis::of(black_box(&trace)).threads(8).run().unwrap();
+            let a = Analysis::of(black_box(&trace))
+                .parallelism(Parallelism::Workers(8))
+                .run()
+                .unwrap();
             black_box((a.stats().spes.len(), a.timeline().lanes.len()))
         })
     });

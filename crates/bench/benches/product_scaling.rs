@@ -5,7 +5,7 @@
 //! geometrically growing size have their complete product set built
 //! three ways: every product from the row `Vec<GlobalEvent>` by the
 //! serial free functions (the pre-columnar path), and off a shared
-//! columnar store via `products_parallel` with 1 and 4 workers. The
+//! columnar store via `build_products` with 1 and 4 workers. The
 //! row path rescans the event vector per product; the columnar path
 //! converts once and shares the memoized per-core offsets, so its
 //! cost per event drops as products are added. `product_smoke`
@@ -19,7 +19,7 @@ use std::hint::black_box;
 use cellsim::{MachineConfig, PpeThreadId, SpeJob, SpmdDriver, SpuAction, SpuScript};
 use pdt::{TraceFile, TraceSession, TracingConfig};
 use ta::lint::LintConfig;
-use ta::{analyze_lossy, Analysis, AnalyzedTrace, ColumnarTrace, LossReport};
+use ta::{analyze_lossy, Analysis, AnalyzedTrace, ColumnarTrace, LossReport, Parallelism};
 
 const SPES: usize = 8;
 
@@ -75,7 +75,7 @@ fn bench_product_scaling(c: &mut Criterion) {
             g.bench_function(format!("columnar_{workers}t"), |b| {
                 b.iter(|| {
                     let a = Analysis::from_columns(ColumnarTrace::from_analyzed(black_box(&rows)));
-                    a.products_parallel(workers);
+                    a.build_products(Parallelism::Workers(workers));
                     black_box(a.intervals().len() + a.lint().diagnostics.len())
                 })
             });

@@ -1,21 +1,30 @@
 //! Parallel-product smoke gate: `product_smoke [EVENTS_PER_SPE]`.
 //!
-//! Guards the columnar product pipeline two ways, exiting nonzero on
+//! Guards the columnar product pipeline three ways, exiting nonzero on
 //! the first violation so `scripts/check.sh` can run it as a cheap
 //! tier-1 gate:
 //!
 //! - **Parity is fatal.** On every golden trace, all seven derived
-//!   products built by `products_parallel(4)` must be identical to the
-//!   products a serial session computes one accessor at a time.
+//!   products built by `build_products(Parallelism::Workers(4))` must
+//!   be identical to the products a serial session computes one
+//!   accessor at a time.
 //! - **The columnar pipeline must actually be fast.** On a large storm
 //!   trace (default 12k events on each of 8 SPEs), the full product
 //!   set built off shared columns must beat the serial row path — each
 //!   product rescanning the row `Vec<GlobalEvent>` — by ≥ 2x with four
 //!   workers and ≥ 1.3x with one.
+//! - **Adding workers must never cost wall time.** The columnar build
+//!   is timed at 1, 2, 4, and 8 workers; each step up may be at most
+//!   5% slower than the previous one (scheduler overhead budget). On
+//!   hosts with ≥ 4 CPUs, 4 workers must additionally be ≥ 1.5x
+//!   faster than 1; on smaller hosts that gate is skipped and noted,
+//!   since wall-clock speedup is physically capped by the CPU count.
 //!
 //! Emits `BENCH_products.json` and `BENCH_ingest.json` at the repo
 //! root (stable schema: name, events_per_sec, wall_ms, threads) for
-//! the tracked perf trajectory.
+//! the tracked perf trajectory. `BENCH_products.json` meta carries
+//! `host_cpus` and the work-stealing scheduler counters (tasks,
+//! steals, injector pops) accumulated over the columnar runs.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -24,11 +33,17 @@ use bench::{peak_rss_kb, repo_root, write_bench_json, BenchRecord};
 use cellsim::{MachineConfig, PpeThreadId, SpeJob, SpmdDriver, SpuAction, SpuScript};
 use pdt::{TraceFile, TraceSession, TracingConfig};
 use ta::lint::LintConfig;
-use ta::{analyze_lossy, Analysis, AnalyzedTrace, ColumnarTrace, LossReport};
+use ta::{analyze_lossy, Analysis, AnalyzedTrace, ColumnarTrace, LossReport, Parallelism};
 
 const SPES: usize = 8;
 const MIN_SPEEDUP_4T: f64 = 2.0;
 const MIN_SPEEDUP_1T: f64 = 1.3;
+/// Each worker-count step may cost at most this factor in wall time
+/// over the previous one (covers timer noise + scheduler overhead).
+const MONOTONE_SLACK: f64 = 1.05;
+/// Required 4-worker-vs-1-worker speedup of the columnar build — only
+/// enforced when the host actually has ≥ 4 CPUs.
+const MIN_SCALING_4W: f64 = 1.5;
 
 const GOLDEN: [&str; 5] = [
     "matmul.pdt",
@@ -37,6 +52,8 @@ const GOLDEN: [&str; 5] = [
     "stream_faulted.pdt",
     "stream_racy.pdt",
 ];
+
+const WORKER_POINTS: [usize; 4] = [1, 2, 4, 8];
 
 fn storm_trace(events_per_spe: usize) -> TraceFile {
     let mut m = cellsim::Machine::new(MachineConfig::default().with_num_spes(SPES)).unwrap();
@@ -73,7 +90,7 @@ fn check_parity() -> Result<(), String> {
         let parallel = Analysis::of(&trace)
             .run()
             .map_err(|e| format!("{name}: {e}"))?;
-        parallel.products_parallel(4);
+        parallel.build_products(Parallelism::Workers(4));
         let bad = |what: &str| Err(format!("{name}: parallel {what} diverged from serial"));
         if parallel.intervals() != serial.intervals() {
             return bad("intervals");
@@ -133,6 +150,8 @@ fn run() -> Result<(), String> {
         .transpose()?
         .unwrap_or(12_000);
 
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
     check_parity()?;
     println!(
         "golden parity: OK (7 products, serial == parallel on {} traces)",
@@ -143,14 +162,14 @@ fn run() -> Result<(), String> {
     let (rows, loss) = analyze_lossy(&trace);
     let cfg = LintConfig::default();
     let n = rows.events.len();
-    println!("trace: {n} global events over {SPES} SPEs");
+    println!("trace: {n} global events over {SPES} SPEs, host has {host_cpus} CPUs");
 
     // Ingest (decode) throughput at several worker counts.
     let mut ingest = Vec::new();
     for threads in [1usize, 2, 4] {
         let ms = best_ms(5, || {
             Analysis::of(&trace)
-                .threads(threads)
+                .parallelism(Parallelism::from_threads(threads))
                 .run()
                 .map(|a| a.events().len())
                 .unwrap_or(0)
@@ -175,21 +194,23 @@ fn run() -> Result<(), String> {
         threads: 1,
     }];
 
-    let mut col_ms = [0.0f64; 3];
-    for (i, threads) in [1usize, 2, 4].into_iter().enumerate() {
+    let sched_before = ta::exec::pool().stats();
+    let mut col_ms = [0.0f64; WORKER_POINTS.len()];
+    for (i, workers) in WORKER_POINTS.into_iter().enumerate() {
         let ms = best_ms(reps, || {
             let a = Analysis::from_columns(ColumnarTrace::from_analyzed(&rows));
-            a.products_parallel(threads);
+            a.build_products(Parallelism::Workers(workers));
             a.intervals().len() + a.lint().diagnostics.len()
         });
         col_ms[i] = ms;
         records.push(BenchRecord {
-            name: format!("products_columnar_{threads}t"),
+            name: format!("products_columnar_{workers}t"),
             events_per_sec: n as f64 / (ms / 1e3),
             wall_ms: ms,
-            threads,
+            threads: workers,
         });
     }
+    let sched = ta::exec::pool().stats().since(&sched_before);
 
     // Per-product build times over a shared, pre-built column store.
     let cols = ColumnarTrace::from_analyzed(&rows);
@@ -233,11 +254,16 @@ fn run() -> Result<(), String> {
 
     let speedup_1t = row_ms / col_ms[0];
     let speedup_4t = row_ms / col_ms[2];
+    let scaling_4w = col_ms[0] / col_ms[2];
     let rss = peak_rss_kb();
     println!(
         "products: row serial {row_ms:.2} ms, columnar 1t {:.2} ms ({speedup_1t:.2}x), \
-         4t {:.2} ms ({speedup_4t:.2}x), peak RSS {rss} kB",
-        col_ms[0], col_ms[2]
+         2t {:.2} ms, 4t {:.2} ms ({speedup_4t:.2}x), 8t {:.2} ms, peak RSS {rss} kB",
+        col_ms[0], col_ms[1], col_ms[2], col_ms[3]
+    );
+    println!(
+        "scheduler: {} tasks, {} steals, {} injector pops over the columnar runs",
+        sched.tasks, sched.steals, sched.injector_pops
     );
 
     let meta = [
@@ -245,11 +271,20 @@ fn run() -> Result<(), String> {
         ("peak_rss_kb", rss as f64),
         ("speedup_1t", speedup_1t),
         ("speedup_4t", speedup_4t),
+        ("scaling_4w", scaling_4w),
+        ("host_cpus", host_cpus as f64),
+        ("sched_tasks", sched.tasks as f64),
+        ("sched_steals", sched.steals as f64),
+        ("sched_injector_pops", sched.injector_pops as f64),
     ];
     let p = write_bench_json("BENCH_products.json", &records, &meta).map_err(|e| e.to_string())?;
     println!("wrote {}", p.display());
-    let p = write_bench_json("BENCH_ingest.json", &ingest, &[("events", n as f64)])
-        .map_err(|e| e.to_string())?;
+    let p = write_bench_json(
+        "BENCH_ingest.json",
+        &ingest,
+        &[("events", n as f64), ("host_cpus", host_cpus as f64)],
+    )
+    .map_err(|e| e.to_string())?;
     println!("wrote {}", p.display());
 
     if speedup_4t < MIN_SPEEDUP_4T {
@@ -263,6 +298,33 @@ fn run() -> Result<(), String> {
             "1-thread columnar build only {speedup_1t:.2}x faster than the serial row path \
              (need {MIN_SPEEDUP_1T}x)"
         ));
+    }
+    // Monotone-scaling gate: each worker-count step must not regress
+    // wall time beyond the noise budget.
+    for i in 1..WORKER_POINTS.len() {
+        if col_ms[i] > col_ms[i - 1] * MONOTONE_SLACK {
+            return Err(format!(
+                "columnar build got slower with more workers: {}t {:.2} ms -> {}t {:.2} ms \
+                 (budget {MONOTONE_SLACK}x)",
+                WORKER_POINTS[i - 1],
+                col_ms[i - 1],
+                WORKER_POINTS[i],
+                col_ms[i]
+            ));
+        }
+    }
+    if host_cpus >= 4 {
+        if scaling_4w < MIN_SCALING_4W {
+            return Err(format!(
+                "4-worker columnar build only {scaling_4w:.2}x faster than 1-worker \
+                 (need {MIN_SCALING_4W}x on a {host_cpus}-CPU host)"
+            ));
+        }
+    } else {
+        println!(
+            "scaling gate: host has {host_cpus} CPUs (< 4) — wall-clock speedup is capped \
+             by the hardware; enforcing the no-regression budget only"
+        );
     }
     Ok(())
 }

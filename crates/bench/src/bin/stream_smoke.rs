@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use bench::{repo_root, write_bench_json, BenchRecord};
 use pdt::{EventCode, TraceCore, TraceFile, TraceHeader, TraceRecord, TraceStream, VERSION};
-use ta::{Analysis, ImageIngest, IngestSession, StreamId};
+use ta::{Analysis, ImageIngest, IngestSession, Parallelism, StreamId};
 
 const MAX_REBUILT_FRACTION: f64 = 0.05;
 
@@ -119,11 +119,11 @@ fn check_parity() -> Result<(), String> {
         let image = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
         let trace = TraceFile::read_from(&path).map_err(|e| format!("{name}: {e}"))?;
         let one = Analysis::of(&trace)
-            .threads(2)
+            .parallelism(Parallelism::Workers(2))
             .run()
             .map_err(|e| format!("{name}: {e}"))?;
         for chunk in [137usize, 4096] {
-            let mut ing = ImageIngest::new().with_threads(2);
+            let mut ing = ImageIngest::new().with_parallelism(Parallelism::Workers(2));
             for piece in image.chunks(chunk) {
                 ing.push(piece).map_err(|e| format!("{name}: {e}"))?;
             }
@@ -153,7 +153,7 @@ fn check_parity() -> Result<(), String> {
 /// Appending the last ~1% of every SPE stream after a snapshot must
 /// extend the committed index, not rebuild it.
 fn check_incremental_bound(trace: &TraceFile) -> Result<(f64, usize, usize), String> {
-    let mut s = IngestSession::new(trace.header).with_threads(2);
+    let mut s = IngestSession::new(trace.header).with_parallelism(Parallelism::Workers(2));
     let ids: Vec<StreamId> = trace
         .streams
         .iter()
@@ -173,7 +173,7 @@ fn check_incremental_bound(trace: &TraceFile) -> Result<(f64, usize, usize), Str
     s.finish();
     let snap = s.snapshot();
     let one = Analysis::of(trace)
-        .threads(2)
+        .parallelism(Parallelism::Workers(2))
         .run()
         .map_err(|e| e.to_string())?;
     if snap.analyzed().events != one.analyzed().events || snap.index() != one.index() {
@@ -200,7 +200,7 @@ fn check_incremental_bound(trace: &TraceFile) -> Result<(f64, usize, usize), Str
 /// fresh snapshot after every piece. Returns (total wall ms, mean
 /// per-snapshot ms, snapshot count).
 fn live_tail(image: &[u8], chunk: usize, threads: usize) -> (f64, f64, usize) {
-    let mut ing = ImageIngest::new().with_threads(threads);
+    let mut ing = ImageIngest::new().with_parallelism(Parallelism::from_threads(threads));
     let mut snap_ns = 0u128;
     let mut snaps = 0usize;
     let start = Instant::now();
@@ -232,7 +232,7 @@ fn run() -> Result<(), String> {
 
     let trace = storm_trace(8, users_per_spe);
     let n = Analysis::of(&trace)
-        .threads(2)
+        .parallelism(Parallelism::Workers(2))
         .run()
         .map_err(|e| e.to_string())?
         .events()
@@ -254,7 +254,7 @@ fn run() -> Result<(), String> {
     let oneshot_ms = (0..3)
         .map(|_| {
             let t = Instant::now();
-            let mut ing = ImageIngest::new().with_threads(4);
+            let mut ing = ImageIngest::new().with_parallelism(Parallelism::Workers(4));
             ing.push(&image).unwrap();
             ing.finish().unwrap();
             std::hint::black_box(ing.snapshot().map(|a| a.events().len()));

@@ -46,20 +46,37 @@
 //! decode gaps instead of hard errors, and `summary` flags SPEs whose
 //! statistics span gaps. Pass `--strict` to fail on the first
 //! malformed record instead.
+//!
+//! Concurrency is one knob: `-j N` (or `--parallelism N|serial|auto`,
+//! default `auto`) sets the [`ta::Parallelism`] used for ingestion and
+//! every derived product. `--exec-stats` prints the shared pool's
+//! scheduler counters (tasks run, steals, worker busy time) to stderr
+//! after the command completes.
 
 use std::process::ExitCode;
 
 use pdt::{TraceCore, TraceFile};
 use ta::{
-    compare_traces, user_phases, Analysis, CsvTable, EventFilter, LintConfig, RenderOptions,
-    ReportKind, SvgOptions,
+    compare_traces, user_phases, Analysis, CsvTable, EventFilter, LintConfig, Parallelism,
+    RenderOptions, ReportKind, SvgOptions,
 };
 
-fn load(path: &str, strict: bool) -> Result<Analysis, String> {
+fn load(path: &str, strict: bool, par: Parallelism) -> Result<Analysis, String> {
     let trace = TraceFile::read_from(path).map_err(|e| format!("{path}: {e}"))?;
-    let builder = Analysis::of(&trace);
+    let builder = Analysis::of(&trace).parallelism(par);
     let builder = if strict { builder.strict() } else { builder };
     builder.run().map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_parallelism(s: &str) -> Result<Parallelism, String> {
+    match s {
+        "serial" => Ok(Parallelism::Serial),
+        "auto" => Ok(Parallelism::Auto),
+        n => n
+            .parse::<usize>()
+            .map(Parallelism::from_threads)
+            .map_err(|_| format!("bad parallelism {s:?} (expected N, serial, or auto)")),
+    }
 }
 
 fn parse_core(s: &str) -> Result<TraceCore, String> {
@@ -110,16 +127,26 @@ fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let strict = args.iter().any(|a| a == "--strict");
     args.retain(|a| a != "--strict");
-    let usage = "usage: ta-cli <summary|timeline|events|phases|compare|report|loss|occupancy|causality|query|lint|follow> TRACE [...] [--strict]";
+    let exec_stats = args.iter().any(|a| a == "--exec-stats");
+    args.retain(|a| a != "--exec-stats");
+    let par = {
+        let mut vals = take_values(&mut args, "--parallelism")?;
+        vals.extend(take_values(&mut args, "-j")?);
+        match vals.last() {
+            Some(v) => parse_parallelism(v)?,
+            None => Parallelism::Auto,
+        }
+    };
+    let usage = "usage: ta-cli <summary|timeline|events|phases|compare|report|loss|occupancy|causality|query|lint|follow> TRACE [...] [--strict] [-j N|serial|auto] [--exec-stats]";
     let cmd = args.first().ok_or(usage)?;
     match cmd.as_str() {
         "summary" => {
             let path = args.get(1).ok_or(usage)?;
-            print!("{}", load(path, strict)?.summary());
+            print!("{}", load(path, strict, par)?.summary());
         }
         "timeline" => {
             let path = args.get(1).ok_or(usage)?;
-            let a = load(path, strict)?;
+            let a = load(path, strict, par)?;
             match args.iter().position(|a| a == "--svg") {
                 Some(i) => {
                     let out = args.get(i + 1).ok_or("--svg requires a path")?;
@@ -138,7 +165,7 @@ fn run() -> Result<(), String> {
         }
         "events" => {
             let path = args.get(1).ok_or(usage)?;
-            let a = load(path, strict)?;
+            let a = load(path, strict, par)?;
             match args.iter().position(|a| a == "--core") {
                 Some(i) => {
                     let core = parse_core(args.get(i + 1).ok_or("--core requires a core")?)?;
@@ -152,7 +179,7 @@ fn run() -> Result<(), String> {
         }
         "loss" => {
             let path = args.get(1).ok_or(usage)?;
-            let a = load(path, strict)?;
+            let a = load(path, strict, par)?;
             print!(
                 "{}",
                 a.render(
@@ -163,7 +190,7 @@ fn run() -> Result<(), String> {
         }
         "phases" => {
             let path = args.get(1).ok_or(usage)?;
-            let a = load(path, strict)?;
+            let a = load(path, strict, par)?;
             let analyzed = a.analyzed();
             let report = user_phases(analyzed);
             if report.phases.is_empty() {
@@ -188,7 +215,7 @@ fn run() -> Result<(), String> {
         }
         "causality" => {
             let path = args.get(1).ok_or(usage)?;
-            let a = load(path, strict)?;
+            let a = load(path, strict, par)?;
             let v = ta::violations(a.analyzed());
             println!("{} provable edges violated", v.len());
             for est in ta::estimate_skew(a.analyzed()) {
@@ -200,7 +227,7 @@ fn run() -> Result<(), String> {
         }
         "occupancy" => {
             let path = args.get(1).ok_or(usage)?;
-            let a = load(path, strict)?;
+            let a = load(path, strict, par)?;
             for o in a.occupancy() {
                 println!(
                     "SPE{}: peak {} outstanding, mean {:.2}, >=2 outstanding {:.1}% of the time",
@@ -214,7 +241,7 @@ fn run() -> Result<(), String> {
         "report" => {
             let path = args.get(1).ok_or(usage)?;
             let out = args.get(2).ok_or("report needs an output path")?;
-            let a = load(path, strict)?;
+            let a = load(path, strict, par)?;
             let html = a.render(
                 ReportKind::Html,
                 &RenderOptions::default()
@@ -231,8 +258,8 @@ fn run() -> Result<(), String> {
             let before = args.get(1).ok_or(usage)?;
             let after = args.get(2).ok_or(usage)?;
             let c = compare_traces(
-                load(before, strict)?.analyzed(),
-                load(after, strict)?.analyzed(),
+                load(before, strict, par)?.analyzed(),
+                load(after, strict, par)?.analyzed(),
             );
             print!("{}", c.render());
         }
@@ -251,7 +278,7 @@ fn run() -> Result<(), String> {
             let codes = take_values(&mut args, "--code")?;
             let groups = take_values(&mut args, "--group")?;
             let path = args.get(1).ok_or(usage)?;
-            let a = load(path, strict)?;
+            let a = load(path, strict, par)?;
 
             let (t0, t1) = (
                 from.unwrap_or(0),
@@ -323,7 +350,7 @@ fn run() -> Result<(), String> {
             config.deny.extend(deny);
             config.allow.extend(allow);
 
-            let a = load(path, strict)?;
+            let a = load(path, strict, par)?;
             let report = a.lint_with(&config);
             match format.as_str() {
                 "text" => print!("{}", report.render_text()),
@@ -351,7 +378,7 @@ fn run() -> Result<(), String> {
                 .transpose()?
                 .unwrap_or(0);
             let path = args.get(1).ok_or(usage)?;
-            let mut ingest = ta::ImageIngest::new().with_threads(4);
+            let mut ingest = ta::ImageIngest::new().with_parallelism(par);
             let mut polls = 0u64;
             loop {
                 let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
@@ -390,6 +417,17 @@ fn run() -> Result<(), String> {
         }
         "--help" | "-h" => println!("{usage}"),
         other => return Err(format!("unknown command {other:?}\n{usage}")),
+    }
+    if exec_stats {
+        let st = ta::exec::pool().stats();
+        eprintln!(
+            "exec: tasks={} steals={} injector_pops={} workers={} busy_ms={}",
+            st.tasks,
+            st.steals,
+            st.injector_pops,
+            st.workers,
+            st.busy_ns() / 1_000_000,
+        );
     }
     Ok(())
 }

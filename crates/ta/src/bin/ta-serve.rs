@@ -12,6 +12,7 @@
 //! summarize T0 T1    indexed window summary [T0, T1)
 //! loss               decode-gap / drop accounting (CSV)
 //! events N           the last N events of the current snapshot
+//! stats              scheduler counters of the shared execution pool
 //! quit               close the session
 //! ```
 //!
@@ -20,12 +21,14 @@
 //! script. `poll` only ever ingests the file's grown suffix — the
 //! server never re-decodes bytes it has already consumed, and a file
 //! that shrinks is reported as an error rather than silently
-//! reloaded.
+//! reloaded. `stats` reports the work-stealing pool behind every
+//! parallel product build — tasks run, steals, injector pops, spawned
+//! workers and cumulative busy time — as one `ok key=value` line.
 
 use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
 
-use ta::ImageIngest;
+use ta::{ImageIngest, Parallelism};
 
 /// One followed trace: its path and the incremental parser state.
 struct Follow {
@@ -74,6 +77,17 @@ impl Server {
                 }
             }
             "loss" => self.with_snapshot(|a| ta::loss_csv(a.loss())),
+            "stats" => {
+                let st = ta::exec::pool().stats();
+                Ok(format!(
+                    "ok tasks={} steals={} injector_pops={} workers={} busy_ms={}\n",
+                    st.tasks,
+                    st.steals,
+                    st.injector_pops,
+                    st.workers,
+                    st.busy_ns() / 1_000_000,
+                ))
+            }
             "events" => {
                 let n = parts.next().and_then(|v| v.parse::<usize>().ok());
                 match n {
@@ -118,7 +132,7 @@ impl Server {
         std::fs::metadata(path).map_err(|e| format!("{path}: {e}"))?;
         self.follow = Some(Follow {
             path: path.to_string(),
-            ingest: ImageIngest::new().with_threads(4),
+            ingest: ImageIngest::new().with_parallelism(Parallelism::Workers(4)),
         });
         self.poll()
     }

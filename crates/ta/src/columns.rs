@@ -29,7 +29,7 @@
 //! Interning rules: symbols are created only while the store is built
 //! (single-threaded); afterwards the table is immutable and resolving
 //! a [`Sym`] is a shared read, safe under the concurrent product
-//! builds of [`products_parallel`](crate::session::Analysis::products_parallel).
+//! builds of [`build_products`](crate::session::Analysis::build_products).
 //! Equal strings always intern to the same symbol (dedup), and
 //! materialization returns the exact original strings in the exact
 //! original order.

@@ -33,6 +33,29 @@ impl Log2Histogram {
         self.max = Some(self.max.map_or(v, |m| m.max(v)));
     }
 
+    /// Folds another histogram into this one. Every field is a
+    /// commutative reduction (bucket-wise sums, min/max), so merging
+    /// per-shard histograms yields exactly the histogram a single
+    /// sequential pass over all samples would have built.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (b, c) in other.counts.iter().enumerate() {
+            self.counts[b] += c;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.total

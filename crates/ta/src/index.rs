@@ -45,6 +45,7 @@ use pdt::TraceCore;
 
 use crate::analyze::{AnalyzedTrace, GlobalEvent};
 use crate::columns::ColumnarTrace;
+use crate::exec::{self, Parallelism};
 use crate::intervals::{ActivityKind, Interval, SpeIntervals};
 use crate::loss::LossReport;
 use crate::query::EventFilter;
@@ -1227,15 +1228,10 @@ fn extract_offsets(
         vec![scan(0, events)]
     } else {
         let chunk_len = events.len().div_ceil(workers);
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = events
-                .chunks(chunk_len)
-                .enumerate()
-                .map(|(ci, chunk)| s.spawn(move |_| scan(ci * chunk_len, chunk)))
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let chunks: Vec<&[GlobalEvent]> = events.chunks(chunk_len).collect();
+        exec::map_indexed(Parallelism::from_threads(workers), chunks.len(), |ci| {
+            scan(ci * chunk_len, chunks[ci])
         })
-        .unwrap()
     };
     let mut out: Vec<Vec<u32>> = vec![Vec::new(); n_cores];
     for run in chunk_runs {
@@ -1265,34 +1261,10 @@ fn count_buckets(
         }
         buckets
     };
-    let per_core_buckets: Vec<Vec<u64>> = if workers <= 1 || n_cores <= 1 {
-        per_core.iter().map(count_one).collect()
-    } else {
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers.min(n_cores))
-                .map(|w| {
-                    let count_one = &count_one;
-                    s.spawn(move |_| {
-                        let mut out = Vec::new();
-                        let mut i = w;
-                        while i < n_cores {
-                            out.push((i, count_one(&per_core[i])));
-                            i += workers.min(n_cores);
-                        }
-                        out
-                    })
-                })
-                .collect();
-            let mut slots: Vec<Option<Vec<u64>>> = vec![None; n_cores];
-            for h in handles {
-                for (i, b) in h.join().unwrap() {
-                    slots[i] = Some(b);
-                }
-            }
-            slots.into_iter().map(Option::unwrap).collect()
-        })
-        .unwrap()
-    };
+    let per_core_buckets: Vec<Vec<u64>> =
+        exec::map_indexed(Parallelism::from_threads(workers), n_cores, |i| {
+            count_one(&per_core[i])
+        });
     let mut counts = vec![0u64; n_base * n_cores];
     for (ci, buckets) in per_core_buckets.iter().enumerate() {
         for (b, &n) in buckets.iter().enumerate() {
@@ -1337,35 +1309,10 @@ fn build_lanes(
             buckets,
         )
     };
-    let built: Vec<(SpeLane, Vec<[u64; 4]>)> = if workers <= 1 || n_lanes <= 1 {
-        intervals.iter().map(build_one).collect()
-    } else {
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers.min(n_lanes))
-                .map(|w| {
-                    let build_one = &build_one;
-                    s.spawn(move |_| {
-                        let mut out = Vec::new();
-                        let mut i = w;
-                        while i < n_lanes {
-                            out.push((i, build_one(&intervals[i])));
-                            i += workers.min(n_lanes);
-                        }
-                        out
-                    })
-                })
-                .collect();
-            let mut slots: Vec<Option<(SpeLane, Vec<[u64; 4]>)>> =
-                (0..n_lanes).map(|_| None).collect();
-            for h in handles {
-                for (i, b) in h.join().unwrap() {
-                    slots[i] = Some(b);
-                }
-            }
-            slots.into_iter().map(Option::unwrap).collect()
-        })
-        .unwrap()
-    };
+    let built: Vec<(SpeLane, Vec<[u64; 4]>)> =
+        exec::map_indexed(Parallelism::from_threads(workers), n_lanes, |i| {
+            build_one(&intervals[i])
+        });
     let mut activity = vec![0u64; n_base * n_lanes * 4];
     let mut lanes = Vec::with_capacity(n_lanes);
     for (li, (lane, buckets)) in built.into_iter().enumerate() {

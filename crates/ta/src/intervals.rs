@@ -243,76 +243,77 @@ pub fn build_intervals(trace: &AnalyzedTrace) -> Vec<SpeIntervals> {
 /// filtering the whole event vector per SPE. The session uses this
 /// path; the row function remains the differential oracle.
 pub fn build_intervals_columns(trace: &ColumnarTrace) -> Vec<SpeIntervals> {
-    let mut out = Vec::new();
-    for spe in trace.spes() {
-        let core = TraceCore::Spe(spe);
-        let Some(start) = trace
-            .core_events(core)
-            .find(|v| v.code == EventCode::SpeCtxStart)
-            .map(|v| v.time_tb)
-        else {
-            continue;
-        };
-        let Some(stop) = trace
-            .core_events(core)
-            .find(|v| v.code == EventCode::SpeStop)
-            .map(|v| v.time_tb)
-        else {
-            continue;
-        };
-        let mut intervals = Vec::new();
-        let mut cursor = start;
-        let mut open: Option<(u64, ActivityKind)> = None;
-        for v in trace.core_events(core) {
-            if let Some(kind) = wait_kind(v.code) {
-                if open.is_none() {
-                    if v.time_tb > cursor {
-                        intervals.push(Interval {
-                            start_tb: cursor,
-                            end_tb: v.time_tb,
-                            kind: ActivityKind::Compute,
-                        });
-                    }
-                    open = Some((v.time_tb, kind));
+    trace
+        .spes()
+        .into_iter()
+        .filter_map(|spe| build_spe_intervals_columns(trace, spe))
+        .collect()
+}
+
+/// One SPE's lane of [`build_intervals_columns`]: the independent
+/// shard unit the parallel product scheduler fans out per SPE. `None`
+/// when the SPE lacks the `SpeCtxStart`/`SpeStop` lifecycle pair.
+pub(crate) fn build_spe_intervals_columns(trace: &ColumnarTrace, spe: u8) -> Option<SpeIntervals> {
+    let core = TraceCore::Spe(spe);
+    let start = trace
+        .core_events(core)
+        .find(|v| v.code == EventCode::SpeCtxStart)
+        .map(|v| v.time_tb)?;
+    let stop = trace
+        .core_events(core)
+        .find(|v| v.code == EventCode::SpeStop)
+        .map(|v| v.time_tb)?;
+    let mut intervals = Vec::new();
+    let mut cursor = start;
+    let mut open: Option<(u64, ActivityKind)> = None;
+    for v in trace.core_events(core) {
+        if let Some(kind) = wait_kind(v.code) {
+            if open.is_none() {
+                if v.time_tb > cursor {
+                    intervals.push(Interval {
+                        start_tb: cursor,
+                        end_tb: v.time_tb,
+                        kind: ActivityKind::Compute,
+                    });
                 }
-            } else if wait_end(v.code) {
-                if let Some((begin, kind)) = open.take() {
-                    if v.time_tb > begin {
-                        intervals.push(Interval {
-                            start_tb: begin,
-                            end_tb: v.time_tb,
-                            kind,
-                        });
-                    }
-                    cursor = v.time_tb.max(begin);
+                open = Some((v.time_tb, kind));
+            }
+        } else if wait_end(v.code) {
+            if let Some((begin, kind)) = open.take() {
+                if v.time_tb > begin {
+                    intervals.push(Interval {
+                        start_tb: begin,
+                        end_tb: v.time_tb,
+                        kind,
+                    });
                 }
+                cursor = v.time_tb.max(begin);
             }
         }
-        if let Some((begin, kind)) = open.take() {
-            if stop > begin {
-                intervals.push(Interval {
-                    start_tb: begin,
-                    end_tb: stop,
-                    kind,
-                });
-            }
-            cursor = stop;
-        }
-        if stop > cursor {
+    }
+    if let Some((begin, kind)) = open.take() {
+        if stop > begin {
             intervals.push(Interval {
-                start_tb: cursor,
+                start_tb: begin,
                 end_tb: stop,
-                kind: ActivityKind::Compute,
+                kind,
             });
         }
-        out.push(SpeIntervals {
-            spe,
-            start_tb: start,
-            stop_tb: stop,
-            intervals,
+        cursor = stop;
+    }
+    if stop > cursor {
+        intervals.push(Interval {
+            start_tb: cursor,
+            end_tb: stop,
+            kind: ActivityKind::Compute,
         });
     }
-    out
+    Some(SpeIntervals {
+        spe,
+        start_tb: start,
+        stop_tb: stop,
+        intervals,
+    })
 }
 
 #[cfg(test)]

@@ -48,7 +48,7 @@
 //! machine.run()?;
 //! let trace = session.collect(&machine);
 //!
-//! let analysis = Analysis::of(&trace).threads(4).run()?;
+//! let analysis = Analysis::of(&trace).parallelism(ta::Parallelism::Workers(4)).run()?;
 //! let svg = analysis.svg(&ta::SvgOptions::default());
 //! assert!(svg.contains("</svg>"));
 //! assert_eq!(analysis.stats().spes.len(), 1);
@@ -72,7 +72,7 @@
 //! and memoized accessors:
 //!
 //! ```text
-//! let a = ta::Analysis::of(&trace).threads(8).run()?;
+//! let a = ta::Analysis::of(&trace).parallelism(ta::Parallelism::Workers(8)).run()?;
 //! let stats = a.stats();          // intervals computed once,
 //! let svg   = a.svg(&opts);       // shared with the timeline
 //! ```
@@ -99,6 +99,7 @@ pub mod causality;
 pub mod columns;
 pub mod compare;
 pub mod csv;
+pub mod exec;
 pub mod faults;
 pub mod histogram;
 pub mod html;
@@ -128,6 +129,7 @@ pub use causality::{
 pub use columns::{ColumnarTrace, EventColumns, EventView, Interner, Sym};
 pub use compare::{compare_stats, compare_traces, Comparison, SpeDelta};
 pub use csv::loss_csv;
+pub use exec::{ExecPool, ExecStats, Parallelism};
 pub use faults::{FaultInjector, FaultKind, InjectedFault};
 pub use histogram::Log2Histogram;
 pub use index::{

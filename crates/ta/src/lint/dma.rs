@@ -15,7 +15,7 @@ use pdt::{EventCode, TraceCore};
 
 use crate::index::{IntervalTree, Span};
 
-use super::{Anchor, Diagnostic, Lint, LintContext, Severity};
+use super::{check_by_shards, spe_of_shard, Anchor, Diagnostic, Lint, LintContext, Severity};
 
 /// Direction of a reconstructed transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,57 +175,61 @@ impl Lint for DmaRace {
     }
 
     fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        check_by_shards(self, ctx)
+    }
+
+    fn shards(&self, ctx: &LintContext<'_>) -> usize {
+        ctx.trace.spes().len()
+    }
+
+    fn check_shard(&self, ctx: &LintContext<'_>, shard: usize) -> Vec<Diagnostic> {
+        let spe = spe_of_shard(ctx, shard);
+        let hist = sweep(ctx, spe);
         let mut out = Vec::new();
-        for spe in ctx.trace.spes() {
-            let hist = sweep(ctx, spe);
-            if hist.transfers.len() < 2 {
-                continue;
-            }
-            // The unsynchronized windows, indexed by the shared tree.
-            let tree = IntervalTree::new(
-                hist.transfers
-                    .iter()
-                    .enumerate()
-                    .map(|(i, t)| TransferSpan {
-                        start_tb: t.start_tb,
-                        end_tb: t.end_tb,
-                        idx: i as u32,
-                    })
-                    .collect(),
-            );
-            for (i, t) in hist.transfers.iter().enumerate() {
-                for span in tree.range(t.start_tb, t.end_tb) {
-                    let j = span.idx as usize;
-                    // Each unordered pair once, reported at the later issue.
-                    if j >= i {
-                        continue;
-                    }
-                    let o = &hist.transfers[j];
-                    if o.tag != t.tag
-                        && t.ls_overlaps(o)
-                        && (t.dir == Dir::Get || o.dir == Dir::Get)
-                    {
-                        out.push(Diagnostic {
-                            rule: self.id(),
-                            severity: self.severity(),
-                            suspect: false,
-                            anchor: Some(t.anchor),
-                            related: vec![o.anchor],
-                            message: format!(
-                                "SPE{}: {} tag {} [LS {:#x}..{:#x}) races {} tag {} \
-                                 [LS {:#x}..{:#x}) — no tag wait orders them",
-                                hist.spe,
-                                dir_name(t.dir),
-                                t.tag,
-                                t.lsa,
-                                t.lsa + t.bytes,
-                                dir_name(o.dir),
-                                o.tag,
-                                o.lsa,
-                                o.lsa + o.bytes,
-                            ),
-                        });
-                    }
+        if hist.transfers.len() < 2 {
+            return out;
+        }
+        // The unsynchronized windows, indexed by the shared tree.
+        let tree = IntervalTree::new(
+            hist.transfers
+                .iter()
+                .enumerate()
+                .map(|(i, t)| TransferSpan {
+                    start_tb: t.start_tb,
+                    end_tb: t.end_tb,
+                    idx: i as u32,
+                })
+                .collect(),
+        );
+        for (i, t) in hist.transfers.iter().enumerate() {
+            for span in tree.range(t.start_tb, t.end_tb) {
+                let j = span.idx as usize;
+                // Each unordered pair once, reported at the later issue.
+                if j >= i {
+                    continue;
+                }
+                let o = &hist.transfers[j];
+                if o.tag != t.tag && t.ls_overlaps(o) && (t.dir == Dir::Get || o.dir == Dir::Get) {
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        severity: self.severity(),
+                        suspect: false,
+                        anchor: Some(t.anchor),
+                        related: vec![o.anchor],
+                        message: format!(
+                            "SPE{}: {} tag {} [LS {:#x}..{:#x}) races {} tag {} \
+                             [LS {:#x}..{:#x}) — no tag wait orders them",
+                            hist.spe,
+                            dir_name(t.dir),
+                            t.tag,
+                            t.lsa,
+                            t.lsa + t.bytes,
+                            dir_name(o.dir),
+                            o.tag,
+                            o.lsa,
+                            o.lsa + o.bytes,
+                        ),
+                    });
                 }
             }
         }
@@ -257,44 +261,50 @@ impl Lint for UnwaitedTagGroup {
     }
 
     fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        check_by_shards(self, ctx)
+    }
+
+    fn shards(&self, ctx: &LintContext<'_>) -> usize {
+        ctx.trace.spes().len()
+    }
+
+    fn check_shard(&self, ctx: &LintContext<'_>, shard: usize) -> Vec<Diagnostic> {
+        let hist = sweep(ctx, spe_of_shard(ctx, shard));
         let mut out = Vec::new();
-        for spe in ctx.trace.spes() {
-            let hist = sweep(ctx, spe);
-            // One diagnostic per (spe, tag): anchored at the first
-            // unwaited issue, the rest related.
-            let mut tags: Vec<u8> = hist
+        // One diagnostic per (spe, tag): anchored at the first
+        // unwaited issue, the rest related.
+        let mut tags: Vec<u8> = hist
+            .transfers
+            .iter()
+            .filter(|t| !t.waited)
+            .map(|t| t.tag)
+            .collect();
+        tags.sort_unstable();
+        tags.dedup();
+        for tag in tags {
+            let unwaited: Vec<&Transfer> = hist
                 .transfers
                 .iter()
-                .filter(|t| !t.waited)
-                .map(|t| t.tag)
+                .filter(|t| !t.waited && t.tag == tag)
                 .collect();
-            tags.sort_unstable();
-            tags.dedup();
-            for tag in tags {
-                let unwaited: Vec<&Transfer> = hist
-                    .transfers
-                    .iter()
-                    .filter(|t| !t.waited && t.tag == tag)
-                    .collect();
-                let first = unwaited[0];
-                out.push(Diagnostic {
-                    rule: self.id(),
-                    severity: self.severity(),
-                    suspect: false,
-                    anchor: Some(first.anchor),
-                    related: unwaited.iter().skip(1).take(4).map(|t| t.anchor).collect(),
-                    message: format!(
-                        "SPE{}: {} transfer(s) on tag {} issued but never waited \
-                         (first: {} of {} bytes at LS {:#x})",
-                        hist.spe,
-                        unwaited.len(),
-                        tag,
-                        dir_name(first.dir),
-                        first.bytes,
-                        first.lsa,
-                    ),
-                });
-            }
+            let first = unwaited[0];
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: self.severity(),
+                suspect: false,
+                anchor: Some(first.anchor),
+                related: unwaited.iter().skip(1).take(4).map(|t| t.anchor).collect(),
+                message: format!(
+                    "SPE{}: {} transfer(s) on tag {} issued but never waited \
+                     (first: {} of {} bytes at LS {:#x})",
+                    hist.spe,
+                    unwaited.len(),
+                    tag,
+                    dir_name(first.dir),
+                    first.bytes,
+                    first.lsa,
+                ),
+            });
         }
         out
     }
@@ -319,23 +329,29 @@ impl Lint for WaitWithoutDma {
     }
 
     fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        check_by_shards(self, ctx)
+    }
+
+    fn shards(&self, ctx: &LintContext<'_>) -> usize {
+        ctx.trace.spes().len()
+    }
+
+    fn check_shard(&self, ctx: &LintContext<'_>, shard: usize) -> Vec<Diagnostic> {
+        let hist = sweep(ctx, spe_of_shard(ctx, shard));
         let mut out = Vec::new();
-        for spe in ctx.trace.spes() {
-            let hist = sweep(ctx, spe);
-            for (anchor, mask) in &hist.vacuous_waits {
-                out.push(Diagnostic {
-                    rule: self.id(),
-                    severity: self.severity(),
-                    suspect: false,
-                    anchor: Some(*anchor),
-                    related: Vec::new(),
-                    message: format!(
-                        "SPE{}: tag wait on mask {:#x} with zero outstanding \
-                         transfers on those tags — the wait is vacuous",
-                        hist.spe, mask,
-                    ),
-                });
-            }
+        for (anchor, mask) in &hist.vacuous_waits {
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: self.severity(),
+                suspect: false,
+                anchor: Some(*anchor),
+                related: Vec::new(),
+                message: format!(
+                    "SPE{}: tag wait on mask {:#x} with zero outstanding \
+                     transfers on those tags — the wait is vacuous",
+                    hist.spe, mask,
+                ),
+            });
         }
         out
     }

@@ -41,6 +41,7 @@ use pdt::TraceCore;
 
 use crate::analyze::{AnalyzedTrace, GlobalEvent};
 use crate::columns::{ColumnarTrace, EventView};
+use crate::exec::{self, Parallelism};
 use crate::index::{compute_suspect_ranges_columns, SuspectRange};
 use crate::intervals::SpeIntervals;
 use crate::loss::LossReport;
@@ -232,8 +233,9 @@ impl LintConfig {
 }
 
 /// A lint rule: stable id, default severity, one-paragraph docs, and
-/// the check itself.
-pub trait Lint {
+/// the check itself. Rules are stateless (`Send + Sync`) so the
+/// parallel runner can sweep shards of several rules concurrently.
+pub trait Lint: Send + Sync {
     /// Stable kebab-case id (`"dma-race"`).
     fn id(&self) -> &'static str;
     /// Default severity of this rule's diagnostics.
@@ -244,12 +246,46 @@ pub trait Lint {
     /// Runs the rule, returning its diagnostics (unsorted; the runner
     /// orders and post-processes them).
     fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic>;
+    /// How many independent shards [`Lint::check`] decomposes into for
+    /// parallel execution. Contract: concatenating the results of
+    /// `check_shard(ctx, 0..shards(ctx))` in shard order must equal
+    /// `check(ctx)` exactly. Whole-trace rules keep the default of 1.
+    fn shards(&self, ctx: &LintContext<'_>) -> usize {
+        let _ = ctx;
+        1
+    }
+    /// Runs one shard (see [`Lint::shards`]). Per-SPE rules map a
+    /// shard index to one SPE's sweep; the default delegates the only
+    /// shard to [`Lint::check`].
+    fn check_shard(&self, ctx: &LintContext<'_>, shard: usize) -> Vec<Diagnostic> {
+        debug_assert_eq!(shard, 0, "rules with one shard only have shard 0");
+        self.check(ctx)
+    }
 }
 
 impl std::fmt::Debug for dyn Lint + '_ {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Lint({})", self.id())
     }
+}
+
+/// The SPE a shard index denotes: shard `k` is the `k`-th SPE in the
+/// trace's stable SPE order, for every per-SPE-sharded rule.
+pub(super) fn spe_of_shard(ctx: &LintContext<'_>, shard: usize) -> u8 {
+    ctx.trace
+        .spes()
+        .into_iter()
+        .nth(shard)
+        .expect("shard index within the trace's SPE count")
+}
+
+/// The serial `check` of a sharded rule: concatenate the shards in
+/// shard order. The sharding contract makes this the definition of
+/// `check`, so serial and parallel runs share one code path.
+pub(super) fn check_by_shards(rule: &dyn Lint, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+    (0..rule.shards(ctx))
+        .flat_map(|s| rule.check_shard(ctx, s))
+        .collect()
 }
 
 /// Everything a rule may inspect.
@@ -439,6 +475,83 @@ pub fn lint_columns(
     LintReport {
         diagnostics,
         rules,
+        suppressed,
+    }
+}
+
+/// [`lint_columns`] with shard-parallel rule sweeps: every
+/// `(rule, shard)` pair — per-SPE sweeps for the DMA and structure
+/// rules, per-lane for `overhead-hotspot`, whole-trace for
+/// `mailbox-deadlock-shape` — becomes one task on the shared
+/// work-stealing pool. Shard results are assembled in `(rule, shard)`
+/// order, which is exactly the serial runner's push order, then
+/// post-processed (deny promotion, suspect downgrade, suppression)
+/// and sorted identically, so the report is byte-identical to
+/// [`lint_columns`] under every [`Parallelism`].
+pub(crate) fn lint_columns_sharded(
+    trace: &ColumnarTrace,
+    intervals: &[SpeIntervals],
+    loss: &LossReport,
+    config: &LintConfig,
+    par: Parallelism,
+) -> LintReport {
+    let suspects = compute_suspect_ranges_columns(trace, loss);
+    let ctx = LintContext {
+        trace,
+        intervals,
+        loss,
+        suspects: &suspects,
+        config,
+    };
+    let rules: Vec<Box<dyn Lint>> = default_rules()
+        .into_iter()
+        .filter(|r| !config.allow.iter().any(|a| a == r.id()))
+        .collect();
+    let pairs: Vec<(usize, usize)> = rules
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, r)| (0..r.shards(&ctx)).map(move |s| (ri, s)))
+        .collect();
+    let sweeps = exec::map_indexed(par, pairs.len(), |i| {
+        let (ri, shard) = pairs[i];
+        rules[ri].check_shard(&ctx, shard)
+    });
+
+    let rule_infos = rules
+        .iter()
+        .map(|r| RuleInfo {
+            id: r.id(),
+            severity: r.severity(),
+            docs: r.docs(),
+        })
+        .collect();
+    let mut diagnostics = Vec::new();
+    let mut suppressed = 0usize;
+    for sweep in sweeps {
+        for mut d in sweep {
+            if config.deny.iter().any(|a| a == d.rule) {
+                d.severity = Severity::Error;
+            }
+            if let Some(a) = &d.anchor {
+                d.suspect |= ctx.tick_suspect(a.time_tb) || ctx.stream_truncated(a.core);
+            }
+            if config.suppresses(&d) {
+                suppressed += 1;
+                continue;
+            }
+            diagnostics.push(d);
+        }
+    }
+    diagnostics.sort_by_key(|d| {
+        (
+            std::cmp::Reverse(d.severity),
+            d.anchor.map(|a| (a.time_tb, a.core.tag(), a.seq)),
+            d.rule,
+        )
+    });
+    LintReport {
+        diagnostics,
+        rules: rule_infos,
         suppressed,
     }
 }

@@ -12,7 +12,7 @@ use pdt::{OverheadModel, TraceCore};
 
 use crate::intervals::ActivityKind;
 
-use super::{Anchor, Diagnostic, Lint, LintContext, Severity};
+use super::{check_by_shards, Anchor, Diagnostic, Lint, LintContext, Severity};
 
 pub(super) struct OverheadHotspot;
 
@@ -30,10 +30,19 @@ impl Lint for OverheadHotspot {
     }
 
     fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        check_by_shards(self, ctx)
+    }
+
+    fn shards(&self, ctx: &LintContext<'_>) -> usize {
+        ctx.intervals.len()
+    }
+
+    fn check_shard(&self, ctx: &LintContext<'_>, shard: usize) -> Vec<Diagnostic> {
         let model = OverheadModel::default();
         let divider = ctx.trace.header.timebase_divider.max(1) as f64;
         let mut out = Vec::new();
-        for lane in ctx.intervals {
+        {
+            let lane = &ctx.intervals[shard];
             let cols = &ctx.trace.events;
             let offs = ctx.trace.core_slice(TraceCore::Spe(lane.spe));
             // Prefix sums of per-event cost in ticks, over the lane's

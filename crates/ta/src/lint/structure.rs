@@ -12,7 +12,7 @@ use pdt::{EventCode, TraceCore};
 
 use crate::columns::EventView;
 
-use super::{Anchor, Diagnostic, Lint, LintContext, Severity};
+use super::{check_by_shards, spe_of_shard, Anchor, Diagnostic, Lint, LintContext, Severity};
 
 /// The begin/end families tracked per SPE stream.
 const FAMILIES: [(&str, EventCode, EventCode); 3] = [
@@ -49,88 +49,95 @@ impl Lint for UnbalancedIntervals {
     }
 
     fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        check_by_shards(self, ctx)
+    }
+
+    fn shards(&self, ctx: &LintContext<'_>) -> usize {
+        ctx.trace.spes().len()
+    }
+
+    fn check_shard(&self, ctx: &LintContext<'_>, shard: usize) -> Vec<Diagnostic> {
+        let spe = spe_of_shard(ctx, shard);
         let mut out = Vec::new();
-        for spe in ctx.trace.spes() {
-            // Only pairing-relevant codes matter below; pre-filter on
-            // the code column so dense traces (user-event storms) do
-            // not materialize a view per event.
-            let cols = &ctx.trace.events;
-            let events: Vec<EventView<'_>> = ctx
-                .trace
-                .core_slice(TraceCore::Spe(spe))
-                .iter()
-                .filter(|&&o| {
-                    matches!(
-                        cols.codes()[o as usize],
-                        EventCode::SpeTagWaitBegin
-                            | EventCode::SpeTagWaitEnd
-                            | EventCode::SpeMboxReadBegin
-                            | EventCode::SpeMboxReadEnd
-                            | EventCode::SpeSignalReadBegin
-                            | EventCode::SpeSignalReadEnd
-                            | EventCode::SpeCtxStart
-                            | EventCode::SpeStop
-                    )
-                })
-                .map(|&o| cols.view(o as usize))
-                .collect();
-            for (name, begin, end) in FAMILIES {
-                let mut open: Option<Anchor> = None;
-                for e in &events {
-                    if e.code == begin {
-                        if let Some(prev) = open {
-                            out.push(self.diag(
-                                spe,
-                                prev,
-                                format!(
-                                    "SPE{spe}: {name} begin at seq {} has no end \
-                                     before the next begin",
-                                    prev.seq
-                                ),
-                            ));
-                        }
-                        open = Some(Anchor::at_view(e));
-                    } else if e.code == end && open.take().is_none() {
+        // Only pairing-relevant codes matter below; pre-filter on
+        // the code column so dense traces (user-event storms) do
+        // not materialize a view per event.
+        let cols = &ctx.trace.events;
+        let events: Vec<EventView<'_>> = ctx
+            .trace
+            .core_slice(TraceCore::Spe(spe))
+            .iter()
+            .filter(|&&o| {
+                matches!(
+                    cols.codes()[o as usize],
+                    EventCode::SpeTagWaitBegin
+                        | EventCode::SpeTagWaitEnd
+                        | EventCode::SpeMboxReadBegin
+                        | EventCode::SpeMboxReadEnd
+                        | EventCode::SpeSignalReadBegin
+                        | EventCode::SpeSignalReadEnd
+                        | EventCode::SpeCtxStart
+                        | EventCode::SpeStop
+                )
+            })
+            .map(|&o| cols.view(o as usize))
+            .collect();
+        for (name, begin, end) in FAMILIES {
+            let mut open: Option<Anchor> = None;
+            for e in &events {
+                if e.code == begin {
+                    if let Some(prev) = open {
                         out.push(self.diag(
                             spe,
-                            Anchor::at_view(e),
-                            format!("SPE{spe}: {name} end at seq {} has no begin", e.stream_seq),
+                            prev,
+                            format!(
+                                "SPE{spe}: {name} begin at seq {} has no end \
+                                 before the next begin",
+                                prev.seq
+                            ),
                         ));
                     }
-                }
-                // An open wait at a *stopped* SPE's end is a real
-                // imbalance; on a still-running (blocked) SPE it is the
-                // deadlock rule's business, and on a truncated stream
-                // the runner downgrades it to suspect anyway.
-                let stopped = events.iter().any(|e| e.code == EventCode::SpeStop);
-                if let (Some(prev), true) = (open, stopped) {
+                    open = Some(Anchor::at_view(e));
+                } else if e.code == end && open.take().is_none() {
                     out.push(self.diag(
                         spe,
-                        prev,
-                        format!(
-                            "SPE{spe}: {name} begin at seq {} still open at SPE stop",
-                            prev.seq
-                        ),
+                        Anchor::at_view(e),
+                        format!("SPE{spe}: {name} end at seq {} has no begin", e.stream_seq),
                     ));
                 }
             }
-            // Lifecycle pairing: a start without a stop (beyond
-            // truncation) or a stop without a start.
-            let start = events.iter().find(|e| e.code == EventCode::SpeCtxStart);
-            let stop = events.iter().find(|e| e.code == EventCode::SpeStop);
-            match (start, stop) {
-                (Some(_), Some(_)) | (None, None) => {}
-                (Some(s), None) => out.push(self.diag(
+            // An open wait at a *stopped* SPE's end is a real
+            // imbalance; on a still-running (blocked) SPE it is the
+            // deadlock rule's business, and on a truncated stream
+            // the runner downgrades it to suspect anyway.
+            let stopped = events.iter().any(|e| e.code == EventCode::SpeStop);
+            if let (Some(prev), true) = (open, stopped) {
+                out.push(self.diag(
                     spe,
-                    Anchor::at_view(s),
-                    format!("SPE{spe}: context started but never stopped"),
-                )),
-                (None, Some(s)) => out.push(self.diag(
-                    spe,
-                    Anchor::at_view(s),
-                    format!("SPE{spe}: stop recorded without a context start"),
-                )),
+                    prev,
+                    format!(
+                        "SPE{spe}: {name} begin at seq {} still open at SPE stop",
+                        prev.seq
+                    ),
+                ));
             }
+        }
+        // Lifecycle pairing: a start without a stop (beyond
+        // truncation) or a stop without a start.
+        let start = events.iter().find(|e| e.code == EventCode::SpeCtxStart);
+        let stop = events.iter().find(|e| e.code == EventCode::SpeStop);
+        match (start, stop) {
+            (Some(_), Some(_)) | (None, None) => {}
+            (Some(s), None) => out.push(self.diag(
+                spe,
+                Anchor::at_view(s),
+                format!("SPE{spe}: context started but never stopped"),
+            )),
+            (None, Some(s)) => out.push(self.diag(
+                spe,
+                Anchor::at_view(s),
+                format!("SPE{spe}: stop recorded without a context start"),
+            )),
         }
         out
     }

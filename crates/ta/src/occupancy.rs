@@ -143,40 +143,59 @@ pub fn dma_occupancy(trace: &AnalyzedTrace) -> Vec<SpeOccupancy> {
 /// session uses this path; the row function remains the differential
 /// oracle.
 pub fn dma_occupancy_columns(trace: &ColumnarTrace) -> Vec<SpeOccupancy> {
-    let mut out = Vec::new();
-    for spe in trace.spes() {
-        let mut per_tag = [0u32; 32];
-        let mut outstanding = 0u32;
-        let mut steps = Vec::new();
-        for v in trace.core_events(TraceCore::Spe(spe)) {
-            match v.code {
-                EventCode::SpeDmaGet | EventCode::SpeDmaPut => {
-                    let tag = (v.params[3] & 0xff) as usize % 32;
-                    per_tag[tag] += 1;
-                    outstanding += 1;
-                }
-                EventCode::SpeTagWaitEnd => {
-                    let mask = v.params[0] as u32;
-                    for (t, count) in per_tag.iter_mut().enumerate() {
-                        if mask & (1 << t) != 0 {
-                            outstanding -= *count;
-                            *count = 0;
-                        }
+    dma_occupancy_columns_par(trace, crate::exec::Parallelism::Serial)
+}
+
+/// [`dma_occupancy_columns`] with the per-SPE lanes fanned out on the
+/// shared pool; lanes assemble in SPE order, so the result equals the
+/// sequential build.
+pub(crate) fn dma_occupancy_columns_par(
+    trace: &ColumnarTrace,
+    par: crate::exec::Parallelism,
+) -> Vec<SpeOccupancy> {
+    let spes = trace.spes();
+    crate::exec::map_indexed(par, spes.len(), |i| {
+        spe_dma_occupancy_columns(trace, spes[i])
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// One SPE's lane of [`dma_occupancy_columns`]: the independent shard
+/// unit the parallel product scheduler fans out per SPE. `None` when
+/// the SPE issued no DMA or tag-wait events.
+pub(crate) fn spe_dma_occupancy_columns(trace: &ColumnarTrace, spe: u8) -> Option<SpeOccupancy> {
+    let mut per_tag = [0u32; 32];
+    let mut outstanding = 0u32;
+    let mut steps = Vec::new();
+    for v in trace.core_events(TraceCore::Spe(spe)) {
+        match v.code {
+            EventCode::SpeDmaGet | EventCode::SpeDmaPut => {
+                let tag = (v.params[3] & 0xff) as usize % 32;
+                per_tag[tag] += 1;
+                outstanding += 1;
+            }
+            EventCode::SpeTagWaitEnd => {
+                let mask = v.params[0] as u32;
+                for (t, count) in per_tag.iter_mut().enumerate() {
+                    if mask & (1 << t) != 0 {
+                        outstanding -= *count;
+                        *count = 0;
                     }
                 }
-                _ => continue,
             }
-            steps.push(OccupancyStep {
-                time_tb: v.time_tb,
-                outstanding,
-            });
+            _ => continue,
         }
-        if steps.is_empty() {
-            continue;
-        }
-        out.push(SpeOccupancy::from_steps(spe, steps));
+        steps.push(OccupancyStep {
+            time_tb: v.time_tb,
+            outstanding,
+        });
     }
-    out
+    if steps.is_empty() {
+        return None;
+    }
+    Some(SpeOccupancy::from_steps(spe, steps))
 }
 
 #[cfg(test)]

@@ -8,9 +8,9 @@
 //! grouped per core, and within a stream the reconstruction is a local
 //! scan. The pipeline is:
 //!
-//! 1. **Decode** — every stream's records are decoded concurrently on
-//!    `crossbeam` scoped threads (streams are distributed round-robin
-//!    over the worker pool).
+//! 1. **Decode** — every stream's records are decoded concurrently,
+//!    one shard task per stream on the shared work-stealing pool
+//!    ([`crate::exec`]); no threads are spawned per call.
 //! 2. **Reconstruct** — each worker converts its streams' records to
 //!    [`GlobalEvent`]s: PPE records carry timebase timestamps directly;
 //!    SPE records get wrap-safe decrementer accumulation against their
@@ -37,6 +37,7 @@ use pdt::{
 };
 
 use crate::analyze::{harvest_anchors_from, AnalyzeError, AnalyzedTrace, GlobalEvent, SpeAnchor};
+use crate::exec::{self, Parallelism};
 use crate::loss::{LossReport, StreamLoss};
 
 /// The sort key ordering the global event list.
@@ -183,108 +184,43 @@ pub(crate) fn analyze_sources_lossy(
     )
 }
 
-/// Lossily decodes every stream, round-robin across `workers` threads.
-/// Never fails; corruption becomes per-stream gaps.
+/// Lossily decodes every stream, one shard task per stream on the
+/// shared pool. Never fails; corruption becomes per-stream gaps.
 fn decode_sources_lossy(
     sources: &[(TraceCore, &[u8], u64)],
     workers: usize,
 ) -> Vec<(TraceCore, LossyDecode)> {
-    let n = sources.len();
-    let mut slots: Vec<Option<LossyDecode>> = (0..n).map(|_| None).collect();
-
-    if workers <= 1 || n <= 1 {
-        for (i, (core, bytes, _)) in sources.iter().enumerate() {
-            slots[i] = Some(decode_stream_lossy(bytes, Some(*core)));
-        }
-    } else {
-        let chunks = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    s.spawn(move |_| {
-                        let mut out = Vec::new();
-                        let mut i = w;
-                        while i < n {
-                            out.push((i, decode_stream_lossy(sources[i].1, Some(sources[i].0))));
-                            i += workers;
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("decode worker panicked"))
-                .collect::<Vec<_>>()
-        })
-        .expect("decode scope panicked");
-        for chunk in chunks {
-            for (i, r) in chunk {
-                slots[i] = Some(r);
-            }
-        }
-    }
-
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, slot)| (sources[i].0, slot.expect("every stream decoded")))
-        .collect()
+    let par = Parallelism::from_threads(workers);
+    exec::map_indexed(par, sources.len(), |i| {
+        decode_stream_lossy(sources[i].1, Some(sources[i].0))
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(i, d)| (sources[i].0, d))
+    .collect()
 }
 
 type DecodeResult = Result<Vec<TraceRecord>, (usize, RecordError)>;
 
-/// Decodes every stream, round-robin across `workers` threads, and
-/// reports the first corrupt stream in *stream order* (not completion
-/// order).
+/// Decodes every stream, one shard task per stream on the shared
+/// pool, and reports the first corrupt stream in *stream order* (not
+/// completion order).
 fn decode_sources(
     sources: &[(TraceCore, &[u8])],
     workers: usize,
 ) -> Result<Vec<(TraceCore, Vec<TraceRecord>)>, AnalyzeError> {
-    let n = sources.len();
-    let mut slots: Vec<Option<DecodeResult>> = (0..n).map(|_| None).collect();
+    let par = Parallelism::from_threads(workers);
+    let slots: Vec<DecodeResult> =
+        exec::map_indexed(par, sources.len(), |i| decode_stream(sources[i].1));
 
-    if workers <= 1 || n <= 1 {
-        for (i, (_, bytes)) in sources.iter().enumerate() {
-            slots[i] = Some(decode_stream(bytes));
-        }
-    } else {
-        let chunks = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    s.spawn(move |_| {
-                        let mut out = Vec::new();
-                        let mut i = w;
-                        while i < n {
-                            out.push((i, decode_stream(sources[i].1)));
-                            i += workers;
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("decode worker panicked"))
-                .collect::<Vec<_>>()
-        })
-        .expect("decode scope panicked");
-        for chunk in chunks {
-            for (i, r) in chunk {
-                slots[i] = Some(r);
-            }
-        }
-    }
-
-    let mut decoded = Vec::with_capacity(n);
+    let mut decoded = Vec::with_capacity(sources.len());
     for (i, slot) in slots.into_iter().enumerate() {
         let core = sources[i].0;
-        let recs = slot
-            .expect("every stream decoded")
-            .map_err(|(offset, cause)| AnalyzeError::Record {
-                core,
-                offset,
-                cause,
-            })?;
+        let recs = slot.map_err(|(offset, cause)| AnalyzeError::Record {
+            core,
+            offset,
+            cause,
+        })?;
         decoded.push((core, recs));
     }
     Ok(decoded)
@@ -317,58 +253,36 @@ fn harvest_anchors(decoded: &[(TraceCore, Vec<TraceRecord>)]) -> Vec<SpeAnchor> 
 }
 
 /// Converts each stream's records into a key-sorted run of
-/// [`GlobalEvent`]s, distributing streams round-robin over `workers`
-/// threads. Anchors for every nonempty SPE stream must already be
-/// verified present.
+/// [`GlobalEvent`]s, one shard task per stream on the shared pool.
+/// Anchors for every nonempty SPE stream must already be verified
+/// present.
 fn build_runs(
     decoded: Vec<(TraceCore, Vec<TraceRecord>)>,
     anchors: &[SpeAnchor],
     workers: usize,
 ) -> Vec<Vec<GlobalEvent>> {
-    let n = decoded.len();
-    if workers <= 1 || n <= 1 {
+    let par = Parallelism::from_threads(workers);
+    if par.workers() <= 1 || decoded.len() <= 1 {
         return decoded
             .into_iter()
             .map(|(core, recs)| build_one_run(core, recs, anchors))
             .collect();
     }
-
-    let mut slots: Vec<Option<Vec<GlobalEvent>>> = (0..n).map(|_| None).collect();
-    // Hand each worker ownership of its streams' records up front so
-    // the scoped threads move disjoint data.
-    let mut per_worker: Vec<Vec<(usize, TraceCore, Vec<TraceRecord>)>> =
-        (0..workers).map(|_| Vec::new()).collect();
-    for (i, (core, recs)) in decoded.into_iter().enumerate() {
-        per_worker[i % workers].push((i, core, recs));
-    }
-
-    let chunks = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = per_worker
-            .into_iter()
-            .map(|batch| {
-                s.spawn(move |_| {
-                    batch
-                        .into_iter()
-                        .map(|(i, core, recs)| (i, build_one_run(core, recs, anchors)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("reconstruction worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("reconstruction scope panicked");
-    for chunk in chunks {
-        for (i, run) in chunk {
-            slots[i] = Some(run);
-        }
-    }
-    slots
+    // Shard tasks take ownership of their stream's records through
+    // per-index cells, so tasks move disjoint data.
+    type StreamCell = std::sync::Mutex<Option<(TraceCore, Vec<TraceRecord>)>>;
+    let cells: Vec<StreamCell> = decoded
         .into_iter()
-        .map(|s| s.expect("every stream reconstructed"))
-        .collect()
+        .map(|d| std::sync::Mutex::new(Some(d)))
+        .collect();
+    exec::map_indexed(par, cells.len(), |i| {
+        let (core, recs) = cells[i]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("each stream reconstructed once");
+        build_one_run(core, recs, anchors)
+    })
 }
 
 /// Timestamp reconstruction for one stream, mirroring the serial

@@ -26,7 +26,7 @@
 //! machine.run()?;
 //! let trace = session.collect(&machine);
 //!
-//! let analysis = Analysis::of(&trace).threads(4).run()?;
+//! let analysis = Analysis::of(&trace).parallelism(ta::Parallelism::Workers(4)).run()?;
 //! assert_eq!(analysis.stats().spes.len(), 2);
 //! assert!(analysis.svg(&ta::SvgOptions::default()).contains("</svg>"));
 //! # Ok(())
@@ -39,16 +39,17 @@ use pdt::TraceFile;
 
 use crate::analyze::{AnalyzeError, AnalyzedTrace, GlobalEvent};
 use crate::columns::ColumnarTrace;
+use crate::exec::{self, Parallelism, Scope};
 use crate::index::{TraceIndex, WindowSummary};
-use crate::intervals::{build_intervals_columns, SpeIntervals};
-use crate::lint::{lint_columns, LintConfig, LintReport};
+use crate::intervals::{build_intervals_columns, build_spe_intervals_columns, SpeIntervals};
+use crate::lint::{lint_columns, lint_columns_sharded, LintConfig, LintReport};
 use crate::loss::{DecodePolicy, LossReport};
-use crate::occupancy::{dma_occupancy_columns, SpeOccupancy};
+use crate::occupancy::{dma_occupancy_columns, dma_occupancy_columns_par, SpeOccupancy};
 use crate::parallel::{analyze_parallel, analyze_parallel_lossy};
 use crate::phases::{user_phases_columns, PhaseReport};
 use crate::query::EventFilter;
 use crate::report::{RenderOptions, ReportKind};
-use crate::stats::{compute_stats_columns, TraceStats};
+use crate::stats::{compute_stats_columns, compute_stats_columns_par, TraceStats};
 use crate::stats::{observe_dma_over, DmaSummary};
 use crate::summary::render_summary_with;
 use crate::svg::SvgOptions;
@@ -61,18 +62,24 @@ use pdt::TraceCore;
 #[derive(Debug)]
 pub struct AnalysisBuilder<'t> {
     trace: &'t TraceFile,
-    threads: Option<usize>,
+    par: Parallelism,
     filter: Option<EventFilter>,
     policy: DecodePolicy,
 }
 
 impl AnalysisBuilder<'_> {
-    /// Sets the ingestion worker count. Defaults to the machine's
-    /// available parallelism; clamped to the trace's stream count at
-    /// run time.
-    pub fn threads(mut self, n: usize) -> Self {
-        self.threads = Some(n);
+    /// Sets the session's concurrency — the single knob covering both
+    /// ingestion fan-out and the product scheduler. Defaults to
+    /// [`Parallelism::Auto`] (the machine's available parallelism).
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
         self
+    }
+
+    /// Sets the ingestion worker count.
+    #[deprecated(since = "0.1.0", note = "use `parallelism(Parallelism::Workers(n))`")]
+    pub fn threads(self, n: usize) -> Self {
+        self.parallelism(Parallelism::from_threads(n))
     }
 
     /// Restricts the session to events passing `filter`. Applied after
@@ -108,11 +115,7 @@ impl AnalysisBuilder<'_> {
     /// the same precedence, as the serial
     /// [`analyze`](crate::analyze::analyze).
     pub fn run(self) -> Result<Analysis, AnalyzeError> {
-        let threads = self.threads.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        });
+        let threads = self.par.workers();
         let (mut analyzed, loss) = match self.policy {
             DecodePolicy::Strict => (
                 analyze_parallel(self.trace, threads)?,
@@ -125,7 +128,7 @@ impl AnalysisBuilder<'_> {
         }
         let mut a = Analysis::from_analyzed(analyzed);
         a.loss = loss;
-        a.threads = threads;
+        a.par = self.par;
         Ok(a)
     }
 }
@@ -150,7 +153,7 @@ pub struct Analysis {
     columns: Arc<ColumnarTrace>,
     rows: OnceLock<AnalyzedTrace>,
     loss: LossReport,
-    threads: usize,
+    par: Parallelism,
     intervals: OnceLock<Vec<SpeIntervals>>,
     stats: OnceLock<TraceStats>,
     timeline: OnceLock<Timeline>,
@@ -165,7 +168,7 @@ impl Analysis {
     pub fn of(trace: &TraceFile) -> AnalysisBuilder<'_> {
         AnalysisBuilder {
             trace,
-            threads: None,
+            par: Parallelism::Auto,
             filter: None,
             policy: DecodePolicy::default(),
         }
@@ -181,7 +184,11 @@ impl Analysis {
     /// Wraps an already-built columnar store in a session — the
     /// zero-copy entry point for code that interns its own columns.
     pub fn from_columns(columns: ColumnarTrace) -> Self {
-        Self::from_shared(Arc::new(columns), LossReport::default(), 1)
+        Self::from_shared(
+            Arc::new(columns),
+            LossReport::default(),
+            Parallelism::Serial,
+        )
     }
 
     /// Wraps a shared columnar store: the snapshot entry point used by
@@ -190,13 +197,13 @@ impl Analysis {
     pub(crate) fn from_shared(
         columns: Arc<ColumnarTrace>,
         loss: LossReport,
-        threads: usize,
+        par: Parallelism,
     ) -> Self {
         Self {
             columns,
             rows: OnceLock::new(),
             loss,
-            threads,
+            par,
             intervals: OnceLock::new(),
             stats: OnceLock::new(),
             timeline: OnceLock::new(),
@@ -274,68 +281,139 @@ impl Analysis {
             .get_or_init(|| user_phases_columns(&self.columns))
     }
 
-    /// Builds the independent memoized products concurrently on up to
-    /// `threads` workers, then returns the session for chaining. One
-    /// warm-up pass builds the intervals and the per-core offset lists
-    /// (the dependencies everything shares), after which index, lint,
-    /// stats, timeline, occupancy and phases derive from the same
-    /// columns in parallel — one logical pass over the store instead
-    /// of six serial rescans. Calling any accessor afterwards returns
-    /// the already-built product; results are identical to building
-    /// serially.
-    pub fn products_parallel(&self, threads: usize) -> &Self {
-        // Shared dependencies first, so workers don't block each other
-        // inside get_or_init: intervals feed stats/timeline/index, and
-        // touching them warms the memoized per-core offsets.
-        let _ = self.intervals();
-        let tasks: [&(dyn Fn() + Sync); 6] = [
-            &|| {
-                let _ = self.index();
-            },
-            &|| {
-                let _ = self.lint();
-            },
-            &|| {
-                let _ = self.stats();
-            },
-            &|| {
-                let _ = self.timeline();
-            },
-            &|| {
-                let _ = self.occupancy();
-            },
-            &|| {
-                let _ = self.phases();
-            },
-        ];
-        let workers = threads.clamp(1, tasks.len());
-        if workers == 1 {
-            for t in &tasks {
-                t();
-            }
+    /// Builds every memoized product through the shared work-stealing
+    /// pool ([`crate::exec`]) at the given [`Parallelism`], then
+    /// returns the session for chaining.
+    ///
+    /// The work is decomposed into fine-grained shard tasks — one
+    /// interval build per SPE, one DMA-occupancy lane per SPE, one
+    /// lint sweep per `(rule, shard)` pair, the index's chunked scans —
+    /// with a dependency layer on top: products that only need the
+    /// columns (phases, occupancy) start immediately, while the
+    /// interval shards count down a shared latch and the *last* shard
+    /// to finish assembles the lanes and releases the
+    /// interval-dependent products (stats, timeline, lint, index) into
+    /// the same pool scope. Every product is byte-identical to a
+    /// serial build; calling any accessor afterwards returns the
+    /// already-built value.
+    pub fn build_products(&self, par: Parallelism) -> &Self {
+        if par.workers() <= 1 {
+            // The serial warm-up, in plain accessor order.
+            let _ = self.intervals();
+            let _ = self.index();
+            let _ = self.lint();
+            let _ = self.stats();
+            let _ = self.timeline();
+            let _ = self.occupancy();
+            let _ = self.phases();
             return self;
         }
-        crossbeam::thread::scope(|s| {
-            for w in 0..workers {
-                let tasks = &tasks;
-                s.spawn(move |_| {
-                    for t in tasks.iter().skip(w).step_by(workers) {
-                        t();
+        exec::pool().scope(par, |s: &Scope<'_>| {
+            // Column-only products: no dependencies, start at once.
+            s.spawn(|_| {
+                let _ = self.phases();
+            });
+            s.spawn(move |_| {
+                let _ = self
+                    .occupancy
+                    .get_or_init(|| dma_occupancy_columns_par(&self.columns, par));
+            });
+            if self.intervals.get().is_some() {
+                // Seeded by a streaming snapshot — nothing gates the
+                // dependents.
+                self.spawn_interval_dependents(s, par);
+                return;
+            }
+            // Per-SPE interval shards; the countdown's final holder
+            // assembles the lanes in SPE order and releases the
+            // products that consume them.
+            let spes = self.columns.spes();
+            if spes.is_empty() {
+                let _ = self.intervals.set(Vec::new());
+                self.spawn_interval_dependents(s, par);
+                return;
+            }
+            let slots: Arc<Vec<std::sync::Mutex<Option<SpeIntervals>>>> =
+                Arc::new(spes.iter().map(|_| std::sync::Mutex::new(None)).collect());
+            let remaining = Arc::new(std::sync::atomic::AtomicUsize::new(spes.len()));
+            for (i, spe) in spes.into_iter().enumerate() {
+                let slots = Arc::clone(&slots);
+                let remaining = Arc::clone(&remaining);
+                s.spawn(move |s| {
+                    let lane = build_spe_intervals_columns(&self.columns, spe);
+                    if let Some(lane) = lane {
+                        *slots[i].lock().unwrap() = Some(lane);
+                    }
+                    if remaining.fetch_sub(1, std::sync::atomic::Ordering::AcqRel) == 1 {
+                        let intervals: Vec<SpeIntervals> = slots
+                            .iter()
+                            .filter_map(|c| c.lock().unwrap().take())
+                            .collect();
+                        let _ = self.intervals.set(intervals);
+                        self.spawn_interval_dependents(s, par);
                     }
                 });
             }
-        })
-        .expect("product workers do not panic");
+        });
         self
+    }
+
+    /// Spawns the interval-consuming products into `s` — the release
+    /// edge of the dependency layer. `self.intervals` must be set.
+    fn spawn_interval_dependents<'s>(&'s self, s: &Scope<'s>, par: Parallelism) {
+        s.spawn(move |_| {
+            let _ = self
+                .stats
+                .get_or_init(|| compute_stats_columns_par(&self.columns, self.intervals(), par));
+        });
+        s.spawn(|_| {
+            let _ = self.timeline();
+        });
+        s.spawn(move |_| {
+            let _ = self.lint.get_or_init(|| {
+                lint_columns_sharded(
+                    &self.columns,
+                    self.intervals(),
+                    &self.loss,
+                    &LintConfig::default(),
+                    par,
+                )
+            });
+        });
+        s.spawn(move |_| {
+            let _ = self.index.get_or_init(|| {
+                TraceIndex::build_columns(
+                    &self.columns,
+                    self.intervals(),
+                    &self.loss,
+                    par.workers(),
+                )
+            });
+        });
+    }
+
+    /// Builds the memoized products concurrently on up to `threads`
+    /// workers.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `build_products(Parallelism::Workers(n))`"
+    )]
+    pub fn products_parallel(&self, threads: usize) -> &Self {
+        self.build_products(Parallelism::from_threads(threads))
     }
 
     /// The query index: per-core binary-searchable event offsets, an
     /// interval tree per SPE and the zoom pyramid of pre-aggregated
-    /// buckets. Built once (in parallel, with the session's ingestion
-    /// worker count) and memoized like the other products.
+    /// buckets. Built once (in parallel, with the session's
+    /// [`Parallelism`]) and memoized like the other products.
     pub fn index(&self) -> &TraceIndex {
         self.index.get_or_init(|| {
-            TraceIndex::build_columns(&self.columns, self.intervals(), &self.loss, self.threads)
+            TraceIndex::build_columns(
+                &self.columns,
+                self.intervals(),
+                &self.loss,
+                self.par.workers(),
+            )
         })
     }
 
@@ -537,7 +615,10 @@ mod tests {
     #[test]
     fn session_products_match_free_functions() {
         let t = trace(3);
-        let a = Analysis::of(&t).threads(4).run().unwrap();
+        let a = Analysis::of(&t)
+            .parallelism(Parallelism::Workers(4))
+            .run()
+            .unwrap();
         let serial = analyze(&t).unwrap();
         assert_eq!(a.events(), serial.events.as_slice());
         assert_eq!(a.intervals(), build_intervals(&serial).as_slice());
@@ -578,7 +659,10 @@ mod tests {
     #[test]
     fn index_is_memoized_and_query_matches_scan() {
         let t = trace(3);
-        let a = Analysis::of(&t).threads(4).run().unwrap();
+        let a = Analysis::of(&t)
+            .parallelism(Parallelism::Workers(4))
+            .run()
+            .unwrap();
         let i1: *const _ = a.index();
         let i2: *const _ = a.index();
         assert_eq!(i1, i2);
@@ -680,11 +764,17 @@ mod tests {
     #[test]
     fn parallel_products_equal_serial_products() {
         let t = trace(4);
-        let serial = Analysis::of(&t).threads(1).run().unwrap();
-        serial.products_parallel(1);
+        let serial = Analysis::of(&t)
+            .parallelism(Parallelism::Serial)
+            .run()
+            .unwrap();
+        serial.build_products(Parallelism::Serial);
         for workers in [2, 4, 8] {
-            let parallel = Analysis::of(&t).threads(1).run().unwrap();
-            parallel.products_parallel(workers);
+            let parallel = Analysis::of(&t)
+                .parallelism(Parallelism::Serial)
+                .run()
+                .unwrap();
+            parallel.build_products(Parallelism::Workers(workers));
             assert_eq!(parallel.intervals(), serial.intervals());
             assert_eq!(parallel.stats(), serial.stats());
             assert_eq!(parallel.timeline(), serial.timeline());
@@ -700,11 +790,11 @@ mod tests {
     fn products_parallel_memoizes_like_serial_access() {
         let t = trace(2);
         let a = Analysis::of(&t).run().unwrap();
-        a.products_parallel(4);
+        a.build_products(Parallelism::Workers(4));
         // Accessors now return the already-built products.
         let s1: *const _ = a.stats();
         let i1: *const _ = a.index();
-        a.products_parallel(4); // idempotent
+        a.build_products(Parallelism::Workers(4)); // idempotent
         assert_eq!(s1, a.stats() as *const _);
         assert_eq!(i1, a.index() as *const _);
     }
@@ -717,7 +807,7 @@ mod tests {
         let mut t = trace(3);
         t.ctx_names = vec![(0, "kern".into()), (1, "kern".into()), (2, "other".into())];
         let a = Analysis::of(&t).run().unwrap();
-        a.products_parallel(4);
+        a.build_products(Parallelism::Workers(4));
         assert_eq!(a.columns().interner().len(), 2);
         assert_eq!(a.columns().ctx_name(0), Some("kern"));
         assert_eq!(a.columns().ctx_name(1), Some("kern"));
@@ -730,6 +820,47 @@ mod tests {
             .collect();
         assert!(labels.contains(&"SPE0 (kern)"), "{labels:?}");
         assert!(labels.contains(&"SPE2 (other)"), "{labels:?}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_thread_shims_still_work() {
+        // One-release compatibility: `threads(n)` / `products_parallel(n)`
+        // route through the Parallelism API and produce identical output.
+        let t = trace(2);
+        let old = Analysis::of(&t).threads(4).run().unwrap();
+        old.products_parallel(4);
+        let new = Analysis::of(&t)
+            .parallelism(Parallelism::Workers(4))
+            .run()
+            .unwrap();
+        new.build_products(Parallelism::Workers(4));
+        assert_eq!(old.stats(), new.stats());
+        assert_eq!(old.lint(), new.lint());
+        let streamed = crate::stream::IngestSession::new(t.header).with_threads(2);
+        assert!(format!("{streamed:?}").contains("Workers(2)"));
+    }
+
+    #[test]
+    fn build_products_serial_and_parallel_agree_with_accessors() {
+        let t = trace(3);
+        let a = Analysis::of(&t)
+            .parallelism(Parallelism::Serial)
+            .run()
+            .unwrap();
+        a.build_products(Parallelism::Serial);
+        let b = Analysis::of(&t)
+            .parallelism(Parallelism::Serial)
+            .run()
+            .unwrap();
+        b.build_products(Parallelism::Workers(4));
+        assert_eq!(a.intervals(), b.intervals());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.timeline(), b.timeline());
+        assert_eq!(a.occupancy(), b.occupancy());
+        assert_eq!(a.phases(), b.phases());
+        assert_eq!(a.index(), b.index());
+        assert_eq!(a.lint(), b.lint());
     }
 
     #[test]

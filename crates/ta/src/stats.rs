@@ -91,6 +91,20 @@ pub struct DmaSummary {
 }
 
 impl DmaSummary {
+    /// Appends another summary, preserving command order: per-SPE
+    /// shard summaries absorbed in ascending SPE order reproduce the
+    /// exact summary one sequential pass over all SPEs builds (the
+    /// command list is a per-SPE concatenation; counters and
+    /// histograms are commutative reductions).
+    pub(crate) fn absorb(&mut self, mut other: DmaSummary) {
+        self.gets += other.gets;
+        self.puts += other.puts;
+        self.bytes += other.bytes;
+        self.commands.append(&mut other.commands);
+        self.latency_ticks.merge(&other.latency_ticks);
+        self.sizes.merge(&other.sizes);
+    }
+
     /// Aggregate observed bandwidth in bytes per tick: total bytes of
     /// completed commands divided by the sum of their latencies.
     pub fn observed_bytes_per_tick(&self) -> f64 {
@@ -211,6 +225,18 @@ pub fn compute_stats_with(trace: &AnalyzedTrace, intervals: &[SpeIntervals]) -> 
 /// per-SPE offset slices, with no per-event allocation. The session
 /// uses this path; the row functions remain the differential oracles.
 pub fn compute_stats_columns(trace: &ColumnarTrace, intervals: &[SpeIntervals]) -> TraceStats {
+    compute_stats_columns_par(trace, intervals, crate::exec::Parallelism::Serial)
+}
+
+/// [`compute_stats_columns`] with the DMA observer's per-SPE shards
+/// fanned out on the shared pool. The counts walk stays sequential
+/// (one pass over the code column); the result is byte-identical to
+/// the serial build.
+pub(crate) fn compute_stats_columns_par(
+    trace: &ColumnarTrace,
+    intervals: &[SpeIntervals],
+    par: crate::exec::Parallelism,
+) -> TraceStats {
     let spes = intervals.iter().map(SpeActivity::from_intervals).collect();
 
     let mut counts = EventCounts::default();
@@ -218,7 +244,7 @@ pub fn compute_stats_columns(trace: &ColumnarTrace, intervals: &[SpeIntervals]) 
         *counts.counts.entry(*code).or_insert(0) += 1;
     }
 
-    let dma = observe_dma_columns(trace);
+    let dma = observe_dma_columns_par(trace, par);
     TraceStats {
         spes,
         dma,
@@ -230,49 +256,73 @@ pub fn compute_stats_columns(trace: &ColumnarTrace, intervals: &[SpeIntervals]) 
 /// [`observe_dma`] over the columnar store: the same matching
 /// algorithm, driven by per-SPE [`EventView`](crate::columns::EventView)s.
 pub fn observe_dma_columns(trace: &ColumnarTrace) -> DmaSummary {
+    observe_dma_columns_par(trace, crate::exec::Parallelism::Serial)
+}
+
+/// [`observe_dma_columns`] with the per-SPE shards fanned out on the
+/// shared pool; partial summaries are absorbed in SPE order, so the
+/// result is byte-identical to the sequential observer.
+pub(crate) fn observe_dma_columns_par(
+    trace: &ColumnarTrace,
+    par: crate::exec::Parallelism,
+) -> DmaSummary {
+    let spes = trace.spes();
+    let parts =
+        crate::exec::map_indexed(par, spes.len(), |i| observe_spe_dma_columns(trace, spes[i]));
     let mut summary = DmaSummary::default();
-    for spe in trace.spes() {
-        let mut outstanding: HashMap<u8, Vec<usize>> = HashMap::new();
-        for v in trace.core_events(TraceCore::Spe(spe)) {
-            match v.code {
-                EventCode::SpeDmaGet | EventCode::SpeDmaPut => {
-                    let is_get = v.code == EventCode::SpeDmaGet;
-                    let bytes = v.params[2];
-                    let tag = (v.params[3] & 0xff) as u8;
-                    let idx = summary.commands.len();
-                    summary.commands.push(ObservedDma {
-                        spe,
-                        is_get,
-                        bytes,
-                        issue_tb: v.time_tb,
-                        complete_tb: None,
-                    });
-                    outstanding.entry(tag).or_default().push(idx);
-                    if is_get {
-                        summary.gets += 1;
-                    } else {
-                        summary.puts += 1;
-                    }
-                    summary.bytes += bytes;
-                    summary.sizes.add(bytes);
+    for p in parts {
+        summary.absorb(p);
+    }
+    summary
+}
+
+/// One SPE's shard of [`observe_dma_columns`]: the DMA matcher is
+/// entirely stream-local (tags never cross SPEs), so per-SPE partial
+/// summaries absorbed in SPE order rebuild the whole-trace summary
+/// byte-for-byte. The independent shard unit the parallel product
+/// scheduler fans out per SPE.
+pub(crate) fn observe_spe_dma_columns(trace: &ColumnarTrace, spe: u8) -> DmaSummary {
+    let mut summary = DmaSummary::default();
+    let mut outstanding: HashMap<u8, Vec<usize>> = HashMap::new();
+    for v in trace.core_events(TraceCore::Spe(spe)) {
+        match v.code {
+            EventCode::SpeDmaGet | EventCode::SpeDmaPut => {
+                let is_get = v.code == EventCode::SpeDmaGet;
+                let bytes = v.params[2];
+                let tag = (v.params[3] & 0xff) as u8;
+                let idx = summary.commands.len();
+                summary.commands.push(ObservedDma {
+                    spe,
+                    is_get,
+                    bytes,
+                    issue_tb: v.time_tb,
+                    complete_tb: None,
+                });
+                outstanding.entry(tag).or_default().push(idx);
+                if is_get {
+                    summary.gets += 1;
+                } else {
+                    summary.puts += 1;
                 }
-                EventCode::SpeTagWaitEnd => {
-                    let mask = v.params[0] as u32;
-                    for tag in 0..32u8 {
-                        if mask & (1 << tag) != 0 {
-                            if let Some(idxs) = outstanding.remove(&tag) {
-                                for i in idxs {
-                                    summary.commands[i].complete_tb = Some(v.time_tb);
-                                    if let Some(l) = summary.commands[i].latency_tb() {
-                                        summary.latency_ticks.add(l);
-                                    }
+                summary.bytes += bytes;
+                summary.sizes.add(bytes);
+            }
+            EventCode::SpeTagWaitEnd => {
+                let mask = v.params[0] as u32;
+                for tag in 0..32u8 {
+                    if mask & (1 << tag) != 0 {
+                        if let Some(idxs) = outstanding.remove(&tag) {
+                            for i in idxs {
+                                summary.commands[i].complete_tb = Some(v.time_tb);
+                                if let Some(l) = summary.commands[i].latency_tb() {
+                                    summary.latency_ticks.add(l);
                                 }
                             }
                         }
                     }
                 }
-                _ => {}
             }
+            _ => {}
         }
     }
     summary

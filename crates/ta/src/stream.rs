@@ -51,6 +51,7 @@ use pdt::{
 
 use crate::analyze::{GlobalEvent, SpeAnchor};
 use crate::columns::ColumnarTrace;
+use crate::exec::Parallelism;
 use crate::index::{IndexDelta, TraceIndex};
 use crate::intervals::build_intervals_columns;
 use crate::loss::{LossReport, StreamLoss};
@@ -165,7 +166,7 @@ impl StreamState {
 #[derive(Debug)]
 pub struct IngestSession {
     header: TraceHeader,
-    threads: usize,
+    par: Parallelism,
     streams: Vec<StreamState>,
     /// Best anchor candidate per SPE seen so far (minimal position) —
     /// the incremental form of the one-shot harvest.
@@ -193,7 +194,7 @@ impl IngestSession {
     pub fn new(header: TraceHeader) -> Self {
         IngestSession {
             header,
-            threads: 1,
+            par: Parallelism::Serial,
             streams: Vec::new(),
             best: Vec::new(),
             ctx_names: Vec::new(),
@@ -209,10 +210,19 @@ impl IngestSession {
         }
     }
 
-    /// Sets the worker count used for index builds in snapshots.
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+    /// Sets the [`Parallelism`] used for index builds in snapshots.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
         self
+    }
+
+    /// Sets the worker count used for index builds in snapshots.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_parallelism(Parallelism::Workers(n))`"
+    )]
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_parallelism(Parallelism::from_threads(threads))
     }
 
     /// Registers the next stream in directory order. `dropped` is the
@@ -695,15 +705,18 @@ impl IngestSession {
             self.index_dirty = false;
         }
         let delta = match &mut self.index {
-            Some(idx) => {
-                idx.extend_columns(&self.committed, &committed_intervals, &loss, self.threads)
-            }
+            Some(idx) => idx.extend_columns(
+                &self.committed,
+                &committed_intervals,
+                &loss,
+                self.par.workers(),
+            ),
             None => {
                 let idx = TraceIndex::build_columns(
                     &self.committed,
                     &committed_intervals,
                     &loss,
-                    self.threads,
+                    self.par.workers(),
                 );
                 let d = IndexDelta {
                     appended_events: self.committed.events.len(),
@@ -786,10 +799,10 @@ impl IngestSession {
         let snap_intervals = build_intervals_columns(&snap_cols);
         let snap_index = can_extend.then(|| {
             let mut idx = self.index.clone().expect("committed index built above");
-            let _ = idx.extend_columns(&snap_cols, &snap_intervals, &loss, self.threads);
+            let _ = idx.extend_columns(&snap_cols, &snap_intervals, &loss, self.par.workers());
             idx
         });
-        let analysis = Analysis::from_shared(Arc::clone(&snap_cols), loss, self.threads);
+        let analysis = Analysis::from_shared(Arc::clone(&snap_cols), loss, self.par);
         analysis.preset_intervals(snap_intervals);
         if let Some(idx) = snap_index {
             analysis.preset_index(idx);
@@ -837,7 +850,7 @@ enum ImageState {
 pub struct ImageIngest {
     state: ImageState,
     carry: Vec<u8>,
-    threads: usize,
+    par: Parallelism,
     session: Option<IngestSession>,
     names: Vec<(u32, String)>,
     consumed: u64,
@@ -855,17 +868,26 @@ impl ImageIngest {
         ImageIngest {
             state: ImageState::Header,
             carry: Vec::new(),
-            threads: 1,
+            par: Parallelism::Serial,
             session: None,
             names: Vec::new(),
             consumed: 0,
         }
     }
 
-    /// Sets the worker count for the inner session's index builds.
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+    /// Sets the [`Parallelism`] for the inner session's index builds.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
         self
+    }
+
+    /// Sets the worker count for the inner session's index builds.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_parallelism(Parallelism::Workers(n))`"
+    )]
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_parallelism(Parallelism::from_threads(threads))
     }
 
     /// Total image bytes consumed so far.
@@ -923,7 +945,7 @@ impl ImageIngest {
                         spe_buffer_bytes: le_u32(&self.carry[32..36]),
                     };
                     self.carry.clear();
-                    self.session = Some(IngestSession::new(header).with_threads(self.threads));
+                    self.session = Some(IngestSession::new(header).with_parallelism(self.par));
                     self.state = ImageState::StreamCount;
                 }
                 ImageState::StreamCount => {
@@ -1191,7 +1213,7 @@ mod tests {
 
     /// Ingests `t` in `chunk`-byte pieces per stream and finishes.
     fn ingest_chunked(t: &TraceFile, chunk: usize) -> IngestSession {
-        let mut s = IngestSession::new(t.header).with_threads(2);
+        let mut s = IngestSession::new(t.header).with_parallelism(Parallelism::Workers(2));
         let ids: Vec<StreamId> = t
             .streams
             .iter()
@@ -1221,7 +1243,10 @@ mod tests {
     /// analysis of `t` in every observable product.
     fn assert_matches_oneshot(s: &mut IngestSession, t: &TraceFile) {
         let snap = s.snapshot();
-        let one = Analysis::of(t).threads(2).run().unwrap();
+        let one = Analysis::of(t)
+            .parallelism(Parallelism::Workers(2))
+            .run()
+            .unwrap();
         let (sa, oa) = (snap.analyzed(), one.analyzed());
         assert_eq!(sa.events, oa.events);
         assert_eq!(sa.anchors, oa.anchors);
@@ -1273,7 +1298,7 @@ mod tests {
         // of the open session must equal the one-shot analysis of the
         // trace truncated to those prefixes.
         for cuts in [[7usize, 23, 41], [16, 16, 16], [1, 96, 50]] {
-            let mut s = IngestSession::new(t.header).with_threads(2);
+            let mut s = IngestSession::new(t.header).with_parallelism(Parallelism::Workers(2));
             let ids: Vec<StreamId> = t
                 .streams
                 .iter()
@@ -1287,7 +1312,10 @@ mod tests {
                 prefix.streams[i].bytes.truncate(cut);
             }
             let snap = s.snapshot();
-            let one = Analysis::of(&prefix).threads(2).run().unwrap();
+            let one = Analysis::of(&prefix)
+                .parallelism(Parallelism::Workers(2))
+                .run()
+                .unwrap();
             assert_eq!(snap.analyzed().events, one.analyzed().events, "{cuts:?}");
             assert_eq!(snap.analyzed().anchors, one.analyzed().anchors);
             assert_eq!(snap.loss(), one.loss(), "{cuts:?}");
@@ -1305,7 +1333,7 @@ mod tests {
     #[test]
     fn snapshots_are_frozen_epochs() {
         let t = trace(2);
-        let mut s = IngestSession::new(t.header).with_threads(1);
+        let mut s = IngestSession::new(t.header).with_parallelism(Parallelism::Serial);
         let ids: Vec<StreamId> = t
             .streams
             .iter()
@@ -1341,14 +1369,17 @@ mod tests {
         let t = trace(2);
         let image = t.to_bytes();
         for chunk in [1usize, 3, 17, 256, image.len()] {
-            let mut ing = ImageIngest::new().with_threads(2);
+            let mut ing = ImageIngest::new().with_parallelism(Parallelism::Workers(2));
             for piece in image.chunks(chunk) {
                 ing.push(piece).unwrap();
             }
             assert!(ing.is_complete(), "chunk={chunk}");
             ing.finish().unwrap();
             let snap = ing.snapshot().unwrap();
-            let one = Analysis::of(&t).threads(2).run().unwrap();
+            let one = Analysis::of(&t)
+                .parallelism(Parallelism::Workers(2))
+                .run()
+                .unwrap();
             assert_eq!(snap.analyzed().events, one.analyzed().events);
             assert_eq!(snap.analyzed().ctx_names, one.analyzed().ctx_names);
             assert_eq!(snap.loss(), one.loss());
@@ -1396,7 +1427,7 @@ mod tests {
     #[test]
     fn appending_a_small_tail_rebuilds_few_index_blocks() {
         let t = tailable_trace(4, 600);
-        let mut s = IngestSession::new(t.header).with_threads(2);
+        let mut s = IngestSession::new(t.header).with_parallelism(Parallelism::Workers(2));
         let ids: Vec<StreamId> = t
             .streams
             .iter()

@@ -59,10 +59,20 @@ cargo run -q --release -p bench --bin query_smoke
 
 echo "== parallel-product smoke (1 size point) =="
 # Asserts parallel products identical to serial products on all
-# goldens, and that the columnar pipeline beats the serial row path by
-# >= 2x at 4 workers and >= 1.3x at 1 on the large storm trace; emits
-# BENCH_products.json / BENCH_ingest.json at the repo root.
+# goldens; that the columnar pipeline beats the serial row path by
+# >= 2x at 4 workers and >= 1.3x at 1 on the large storm trace; and
+# that the work-stealing pool scales monotonically (each step of the
+# 1/2/4/8-worker curve within a 5% no-regression budget, plus a 1.5x
+# 4-vs-1-worker floor on hosts with >= 4 CPUs). Emits
+# BENCH_products.json (with host_cpus + scheduler counters in meta)
+# and BENCH_ingest.json at the repo root.
 cargo run -q --release -p bench --bin product_smoke
+
+echo "== scheduler-determinism suite =="
+# Every derived product must be byte-identical across Serial,
+# Workers(2), Workers(4), Auto and repeated runs, on all goldens,
+# through both the one-shot and streaming paths.
+cargo test -q --test determinism
 
 echo "== streaming-ingestion differential suite =="
 # Every golden fed to ImageIngest as 1-byte, 4 KiB, and random-split

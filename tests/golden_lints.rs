@@ -15,7 +15,7 @@
 use std::path::PathBuf;
 
 use pdt::{TraceCore, TraceFile};
-use ta::{Analysis, LintConfig, Severity};
+use ta::{Analysis, LintConfig, Parallelism, Severity};
 
 const CLEAN: [&str; 4] = [
     "matmul.pdt",
@@ -37,7 +37,10 @@ fn golden(name: &str) -> TraceFile {
 }
 
 fn analysis(name: &str) -> Analysis {
-    Analysis::of(&golden(name)).threads(2).run().unwrap()
+    Analysis::of(&golden(name))
+        .parallelism(Parallelism::Workers(2))
+        .run()
+        .unwrap()
 }
 
 #[test]

@@ -1,6 +1,6 @@
 //! Golden-trace differential suite for the columnar product pipeline:
 //! every derived product built by an [`Analysis`] session — off the
-//! columnar event store, serially or via `products_parallel` — must be
+//! columnar event store, serially or via `build_products` — must be
 //! identical to the product the untouched row-oriented free functions
 //! compute from the same ingestion. Runs over the full seeded corpus,
 //! including the fault-injected and racy traces.
@@ -8,7 +8,7 @@
 use std::path::PathBuf;
 
 use pdt::TraceFile;
-use ta::{analyze_lossy, build_intervals, dma_occupancy, user_phases, Analysis};
+use ta::{analyze_lossy, build_intervals, dma_occupancy, user_phases, Analysis, Parallelism};
 
 const GOLDEN: [&str; 5] = [
     "matmul.pdt",
@@ -38,8 +38,11 @@ fn columnar_products_match_row_products_on_goldens() {
         let trace = golden(name);
         let (rows, loss) = analyze_lossy(&trace);
 
-        let a = Analysis::of(&trace).threads(2).run().unwrap();
-        a.products_parallel(4);
+        let a = Analysis::of(&trace)
+            .parallelism(Parallelism::Workers(2))
+            .run()
+            .unwrap();
+        a.build_products(Parallelism::Workers(4));
 
         // The materialize-on-demand rows are byte-identical to the
         // direct row ingestion.
@@ -73,7 +76,7 @@ fn columnar_products_match_row_products_on_goldens() {
     }
 }
 
-/// `products_parallel` at several worker counts returns the same
+/// `build_products` at several worker counts returns the same
 /// products as plain serial accessor calls on a separate session.
 #[test]
 fn parallel_and_serial_sessions_agree_on_goldens() {
@@ -82,7 +85,7 @@ fn parallel_and_serial_sessions_agree_on_goldens() {
         let serial = Analysis::of(&trace).run().unwrap();
         for workers in [1usize, 2, 4] {
             let parallel = Analysis::of(&trace).run().unwrap();
-            parallel.products_parallel(workers);
+            parallel.build_products(Parallelism::Workers(workers));
             assert_eq!(parallel.intervals(), serial.intervals(), "{name}@{workers}");
             assert_eq!(parallel.stats(), serial.stats(), "{name}@{workers}");
             assert_eq!(parallel.timeline(), serial.timeline(), "{name}@{workers}");

@@ -89,7 +89,10 @@ proptest! {
             prop_assert_eq!(&par.anchors, &serial.anchors, "anchors, {} threads", threads);
             prop_assert_eq!(par.dropped, serial.dropped);
 
-            let analysis = Analysis::of(&trace).threads(threads).run().unwrap();
+            let analysis = Analysis::of(&trace)
+                .parallelism(ta::Parallelism::from_threads(threads))
+                .run()
+                .unwrap();
             prop_assert_eq!(analysis.intervals(), serial_intervals.as_slice());
             prop_assert_eq!(analysis.stats(), &serial_stats, "stats, {} threads", threads);
         }

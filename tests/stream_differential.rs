@@ -13,7 +13,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use pdt::TraceFile;
-use ta::{Analysis, ImageIngest};
+use ta::{Analysis, ImageIngest, Parallelism};
 
 const GOLDEN: [&str; 5] = [
     "matmul.pdt",
@@ -33,13 +33,16 @@ fn oneshot(name: &str) -> Analysis {
     let trace = TraceFile::read_from(golden_path(name)).unwrap_or_else(|e| {
         panic!("{name}: {e}\nregenerate with `cargo run -p bench --bin make_golden`")
     });
-    Analysis::of(&trace).threads(2).run().unwrap()
+    Analysis::of(&trace)
+        .parallelism(Parallelism::Workers(2))
+        .run()
+        .unwrap()
 }
 
 /// Feeds `image` to a fresh ingest in pieces whose sizes come from
 /// `splits` (cycled), returning the final snapshot.
 fn ingest_split(image: &[u8], splits: &[usize]) -> Arc<Analysis> {
-    let mut ing = ImageIngest::new().with_threads(2);
+    let mut ing = ImageIngest::new().with_parallelism(Parallelism::Workers(2));
     let mut off = 0;
     let mut i = 0;
     while off < image.len() {
@@ -122,7 +125,7 @@ fn random_split_points_match_oneshot() {
 #[test]
 fn intermediate_snapshots_are_frozen_and_monotone() {
     let image = std::fs::read(golden_path("stream_faulted.pdt")).unwrap();
-    let mut ing = ImageIngest::new().with_threads(2);
+    let mut ing = ImageIngest::new().with_parallelism(Parallelism::Workers(2));
     let mut epochs: Vec<(Arc<Analysis>, Vec<u64>)> = Vec::new();
     for piece in image.chunks(293) {
         ing.push(piece).unwrap();
@@ -176,7 +179,7 @@ fn concurrent_readers_during_ingest() {
         seen
     });
 
-    let mut ing = ImageIngest::new().with_threads(2);
+    let mut ing = ImageIngest::new().with_parallelism(Parallelism::Workers(2));
     for piece in image.chunks(173) {
         ing.push(piece).unwrap();
         if let Some(snap) = ing.snapshot() {

@@ -1,6 +1,9 @@
 //! Minimal offline subset of `crossbeam`: scoped threads with the
 //! crossbeam 0.8 calling convention (`scope(|s| { s.spawn(|_| ..) })`
-//! returning `thread::Result`), backed by `std::thread::scope`.
+//! returning `thread::Result`), backed by `std::thread::scope`, and
+//! the `deque` work-stealing primitives (`Worker`/`Stealer`/
+//! `Injector`) with the crossbeam-deque 0.8 API, backed by mutexed
+//! ring buffers rather than lock-free arrays.
 
 /// Scoped thread spawning.
 pub mod thread {
@@ -61,8 +64,176 @@ pub mod thread {
     }
 }
 
+/// Work-stealing double-ended queues with the `crossbeam-deque` 0.8
+/// calling convention. The owner pushes and pops one end of its
+/// [`deque::Worker`]; other threads batch-free [`deque::Stealer`]s
+/// take from the opposite end; a shared [`deque::Injector`] is the
+/// global FIFO. This offline subset trades the lock-free arrays for a
+/// `Mutex<VecDeque>`, which preserves the API and the scheduling
+/// semantics (LIFO owner / FIFO thief) at task granularities where
+/// lock contention is negligible.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    #[derive(Debug)]
+    enum Flavor {
+        Fifo,
+        Lifo,
+    }
+
+    /// The owner's end of a work-stealing deque.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        /// A deque whose owner pops oldest-first.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Fifo,
+            }
+        }
+
+        /// A deque whose owner pops newest-first (the classic
+        /// work-stealing flavor: hot tasks stay with the owner).
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Lifo,
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Pops a task from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.queue.lock().unwrap();
+            match self.flavor {
+                Flavor::Fifo => q.pop_front(),
+                Flavor::Lifo => q.pop_back(),
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
+        /// A handle other threads use to steal from this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A thief's handle onto some [`Worker`]'s deque; steals take the
+    /// oldest task (the end opposite a LIFO owner).
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal the oldest task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+    }
+
+    /// A shared FIFO task queue every worker can push to and steal
+    /// from — the global entry point of a work-stealing pool.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task at the back.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Attempts to take the task at the front.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the injector is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::deque::{Injector, Steal, Worker};
     use super::thread;
 
     #[test]
@@ -77,6 +248,49 @@ mod tests {
         })
         .unwrap();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn lifo_owner_fifo_thief() {
+        let w: Worker<u32> = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3)); // owner: newest first
+        assert_eq!(s.steal(), Steal::Success(1)); // thief: oldest first
+        assert_eq!(w.pop(), Some(2));
+        assert!(w.is_empty() && s.is_empty());
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_is_fifo_across_threads() {
+        let inj: Injector<usize> = Injector::new();
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let drained = thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|_| {
+                        let mut got = Vec::new();
+                        while let Steal::Success(t) = inj.steal() {
+                            got.push(t);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let mut all: Vec<usize> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            all
+        })
+        .unwrap();
+        assert_eq!(drained, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
