@@ -17,9 +17,14 @@
 //!   variant — seeds the `dma-race` / `unwaited-tag-group` /
 //!   `wait-without-dma` findings `tests/golden_lints.rs` pins
 //!
-//! The simulator is deterministic, so reruns write byte-identical
-//! files; the tool fails if an existing golden file would change, to
-//! catch accidental behavioral drift. Pass `--force` to overwrite.
+//! Each trace is also emitted as a blocked, compressed v2 container
+//! (`<name>.pdt2`, small blocks so every golden spans several) for the
+//! v2 differential and corruption suites and for CLI demos.
+//!
+//! The simulator and the v2 codec are deterministic, so reruns write
+//! byte-identical files; the tool fails if an existing golden file
+//! would change, to catch accidental behavioral drift. Pass `--force`
+//! to overwrite.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -35,6 +40,12 @@ use workloads::{
 /// Seed for the injected faults in `stream_faulted.pdt`. Chosen so
 /// every fault mode lands inside the stream trace (checked below).
 const FAULT_SEED: u64 = 41;
+
+/// Records per block for the `.pdt2` goldens. Small enough that every
+/// golden stream spans several blocks, so the on-disk corpus exercises
+/// block boundaries and footer-directory skipping, not just the happy
+/// single-block path.
+const GOLDEN_BLOCK_RECORDS: usize = 8;
 
 fn trace_of(w: &dyn Workload, spes: usize) -> Result<TraceFile, String> {
     let r = run_workload(
@@ -113,26 +124,35 @@ fn run() -> Result<(), String> {
     std::fs::create_dir_all(out_dir).map_err(|e| format!("{out_dir}: {e}"))?;
 
     for (name, trace) in corpus()? {
-        let path = Path::new(out_dir).join(name);
-        let bytes = trace.to_bytes();
-        if let Ok(existing) = std::fs::read(&path) {
-            if existing == bytes {
-                println!("unchanged {} ({} bytes)", path.display(), bytes.len());
-                continue;
-            }
-            if !force {
-                return Err(format!(
-                    "{} would change ({} -> {} bytes); simulator output drifted. \
-                     Rerun with --force only if the change is intentional.",
-                    path.display(),
-                    existing.len(),
-                    bytes.len()
-                ));
-            }
-        }
-        std::fs::write(&path, &bytes).map_err(|e| format!("{}: {e}", path.display()))?;
-        println!("wrote {} ({} bytes)", path.display(), bytes.len());
+        write_golden(&Path::new(out_dir).join(name), &trace.to_bytes(), force)?;
+        let v2_name = name.replace(".pdt", ".pdt2");
+        let v2_bytes = pdt::pack(&trace, GOLDEN_BLOCK_RECORDS);
+        write_golden(&Path::new(out_dir).join(v2_name), &v2_bytes, force)?;
     }
+    Ok(())
+}
+
+/// Writes one golden file, refusing to silently change an existing one
+/// unless `force` is set — drift in either container format is a
+/// behavioral change that must be deliberate.
+fn write_golden(path: &Path, bytes: &[u8], force: bool) -> Result<(), String> {
+    if let Ok(existing) = std::fs::read(path) {
+        if existing == bytes {
+            println!("unchanged {} ({} bytes)", path.display(), bytes.len());
+            return Ok(());
+        }
+        if !force {
+            return Err(format!(
+                "{} would change ({} -> {} bytes); codec or simulator output \
+                 drifted. Rerun with --force only if the change is intentional.",
+                path.display(),
+                existing.len(),
+                bytes.len()
+            ));
+        }
+    }
+    std::fs::write(path, bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("wrote {} ({} bytes)", path.display(), bytes.len());
     Ok(())
 }
 

@@ -1,0 +1,344 @@
+//! Trace-volume smoke gate: `volume_smoke [EVENTS]`.
+//!
+//! Guards the v2 container's reason to exist — smaller traces that
+//! still decode fast in bounded memory — exiting nonzero on the first
+//! violation so `scripts/check.sh` can run it as a tier-1 gate:
+//!
+//! - **Density is fatal.** Packing the dense goldens (`stream.pdt`,
+//!   `pipeline.pdt`) at the default block size must cost at most
+//!   6 bytes/event against 16 for a raw minimal record, and the
+//!   ≥10M-event synthetic must hit the same target.
+//! - **Memory is fatal.** The synthetic is written through
+//!   [`V2Writer`] and decoded through [`ta::V2Ingest`] in 1 MiB
+//!   chunks; peak RSS (`VmHWM`) must stay under a fixed budget, so the
+//!   decode path can never regress into buffering the whole image.
+//! - **Drift is fatal.** If a previous `BENCH_volume.json` exists, any
+//!   bytes/event figure more than 5% worse than the recorded one fails
+//!   the gate (the codec is deterministic, so this never flakes).
+//!
+//! Decode throughput (events/s) is measured and recorded for the perf
+//! trajectory. Emits `BENCH_volume.json` at the repo root.
+
+use std::io;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bench::{peak_rss_kb, repo_root, write_bench_json, BenchRecord};
+use pdt::v2::V2Writer;
+use pdt::{
+    pack, EventCode, TraceCore, TraceFile, TraceHeader, TraceRecord, DEFAULT_BLOCK_RECORDS, VERSION,
+};
+use ta::{Parallelism, V2Ingest, V2Trace};
+
+/// Dense traces must pack to at most this many bytes per event
+/// (a raw minimal record is 16).
+const DENSE_MAX_BYTES_PER_EVENT: f64 = 6.0;
+
+/// Goldens dense enough for the absolute density gate; the others
+/// (tiny or gap-ridden) are reported but not gated, since fixed
+/// per-stream overhead dominates a 130-record trace.
+const DENSE_GOLDEN: [&str; 2] = ["stream.pdt", "pipeline.pdt"];
+
+const GOLDEN: [&str; 5] = [
+    "matmul.pdt",
+    "stream.pdt",
+    "pipeline.pdt",
+    "stream_faulted.pdt",
+    "stream_racy.pdt",
+];
+
+/// Peak-RSS ceiling for generating + decoding the 10M-event synthetic.
+/// Sized ~2x the measured footprint of the decoded analysis (the
+/// columnar event store necessarily holds every event); the headroom
+/// catches a decode path that starts buffering whole streams.
+const RSS_BUDGET_MIB: u64 = 2048;
+
+/// Worse-than-recorded tolerance for deterministic volume figures.
+const MAX_REGRESSION: f64 = 0.05;
+
+/// Writes a ≥`events`-event synthetic trace straight through the
+/// streaming [`V2Writer`] — it never exists as a raw v1 byte buffer.
+/// Returns the container image, the event count and the raw
+/// (v1-equivalent) byte size.
+fn write_synthetic(events: usize) -> io::Result<(Vec<u8>, usize, u64)> {
+    let spes: u8 = 8;
+    let header = TraceHeader {
+        version: VERSION,
+        num_ppe_threads: 1,
+        num_spes: spes,
+        core_hz: 3_200_000_000,
+        timebase_divider: 120,
+        dec_start: u32::MAX,
+        group_mask: u32::MAX,
+        spe_buffer_bytes: 2048,
+    };
+    let mut w = V2Writer::new(io::Cursor::new(Vec::new()), header, DEFAULT_BLOCK_RECORDS)?;
+    let mut total = 0usize;
+    let mut raw = 0u64;
+
+    // PPE stream first: one sync anchor per SPE.
+    w.begin_stream(TraceCore::Ppe(0), 0)?;
+    for spe in 0..spes {
+        let rec = TraceRecord {
+            core: TraceCore::Ppe(0),
+            code: EventCode::PpeCtxRun,
+            timestamp: 100 + u64::from(spe),
+            params: vec![u64::from(spe), u64::from(spe), u64::from(u32::MAX)],
+        };
+        raw += 16 + 8 * rec.params.len() as u64;
+        w.push(&rec)?;
+        total += 1;
+    }
+    w.end_stream()?;
+
+    // SPE streams: a DMA/wait burst every 16 records, user markers in
+    // between — varying deltas and params so compression is honest.
+    let per_spe = events / spes as usize + 1;
+    for spe in 0..spes {
+        w.begin_stream(TraceCore::Spe(spe), 0)?;
+        let mut dec: u32 = u32::MAX;
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15 ^ u64::from(spe);
+        for k in 0..per_spe {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            dec = dec.wrapping_sub(20 + ((x >> 33) % 200) as u32);
+            let (code, params) = match k % 16 {
+                0 => (
+                    EventCode::SpeDmaGet,
+                    vec![
+                        0x1000 + (k as u64 % 64) * 4096,
+                        0x10_0000,
+                        4096,
+                        k as u64 % 16,
+                    ],
+                ),
+                1 => (EventCode::SpeTagWaitBegin, vec![1 << (k % 16), 0]),
+                2 => (EventCode::SpeTagWaitEnd, vec![1 << ((k - 1) % 16)]),
+                _ => (EventCode::SpeUser, vec![(x >> 40) % 50]),
+            };
+            let rec = TraceRecord {
+                core: TraceCore::Spe(spe),
+                code,
+                timestamp: u64::from(dec),
+                params,
+            };
+            raw += 16 + 8 * rec.params.len() as u64;
+            w.push(&rec)?;
+            total += 1;
+        }
+        w.end_stream()?;
+    }
+    let cursor = w.finish(
+        &(0..u32::from(spes))
+            .map(|c| (c, format!("vol{c}")))
+            .collect::<Vec<_>>(),
+    )?;
+    Ok((cursor.into_inner(), total, raw))
+}
+
+/// Bytes/event of each golden packed at the default block size.
+fn golden_density() -> Result<Vec<(&'static str, f64)>, String> {
+    let dir = repo_root().join("tests/golden");
+    let mut out = Vec::new();
+    for name in GOLDEN {
+        let path = dir.join(name);
+        let trace = TraceFile::read_from(&path).map_err(|e| format!("{name}: {e}"))?;
+        let records: usize = trace.streams.iter().map(|s| s.bytes.len() / 16).sum();
+        let packed = pack(&trace, DEFAULT_BLOCK_RECORDS).len();
+        out.push((name, packed as f64 / records as f64));
+    }
+    Ok(out)
+}
+
+/// Pulls `"key": <number>` out of a previous `BENCH_volume.json` —
+/// enough of a parser for the flat meta object this tool writes.
+fn prior_metric(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{key}\":"))?;
+    let rest = &json[at + key.len() + 3..];
+    let num: String = rest
+        .chars()
+        .skip_while(|c| *c == ' ')
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// Fails if `new` is more than 5% worse (bigger) than the figure the
+/// previous `BENCH_volume.json` recorded for `key`.
+fn check_regression(prior: Option<&str>, key: &str, new: f64) -> Result<(), String> {
+    if let Some(old) = prior.and_then(|j| prior_metric(j, key)) {
+        if old > 0.0 && new > old * (1.0 + MAX_REGRESSION) {
+            return Err(format!(
+                "{key} regressed {old:.2} -> {new:.2} B/event (max +{:.0}%)",
+                MAX_REGRESSION * 100.0
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let events: usize = std::env::args()
+        .nth(1)
+        .map(|v| v.parse().map_err(|_| format!("bad size {v:?}")))
+        .transpose()?
+        .unwrap_or(10_000_000);
+    let prior = std::fs::read_to_string(repo_root().join("BENCH_volume.json")).ok();
+
+    // Golden density.
+    let density = golden_density()?;
+    for (name, bpe) in &density {
+        let gated = DENSE_GOLDEN.contains(name);
+        println!(
+            "golden {name:<20} {bpe:.2} B/event (raw 16){}",
+            if gated { "  [gated <= 6]" } else { "" }
+        );
+        if gated && *bpe > DENSE_MAX_BYTES_PER_EVENT {
+            return Err(format!(
+                "{name}: {bpe:.2} B/event exceeds the {DENSE_MAX_BYTES_PER_EVENT} B/event target"
+            ));
+        }
+    }
+
+    // Synthetic volume: bounded-memory write, then bounded-memory
+    // chunked decode.
+    let t = Instant::now();
+    let (image, total, raw) = write_synthetic(events).map_err(|e| e.to_string())?;
+    let write_ms = t.elapsed().as_nanos() as f64 / 1e6;
+    let bpe = image.len() as f64 / total as f64;
+    let raw_bpe = raw as f64 / total as f64;
+    println!(
+        "synthetic: {total} events, raw {:.1} MiB ({raw_bpe:.1} B/event) -> \
+         packed {:.1} MiB ({bpe:.2} B/event, {:.2}x) in {write_ms:.0} ms",
+        raw as f64 / (1 << 20) as f64,
+        image.len() as f64 / (1 << 20) as f64,
+        raw as f64 / image.len() as f64,
+    );
+    if total < events {
+        return Err(format!("synthetic produced {total} < {events} events"));
+    }
+    if bpe > DENSE_MAX_BYTES_PER_EVENT {
+        return Err(format!(
+            "synthetic: {bpe:.2} B/event exceeds the {DENSE_MAX_BYTES_PER_EVENT} B/event target"
+        ));
+    }
+
+    let t = Instant::now();
+    let mut ing = V2Ingest::new().with_parallelism(Parallelism::Workers(4));
+    for chunk in image.chunks(1 << 20) {
+        ing.push(chunk).map_err(|e| e.to_string())?;
+    }
+    ing.finish().map_err(|e| e.to_string())?;
+    let snap = ing.snapshot().ok_or("no snapshot after finish")?;
+    let decode_ms = t.elapsed().as_nanos() as f64 / 1e6;
+    let stats = ing.stats();
+    if stats.blocks_corrupt != 0 {
+        return Err(format!(
+            "{} corrupt blocks in a clean image",
+            stats.blocks_corrupt
+        ));
+    }
+    if snap.events().len() != total {
+        return Err(format!(
+            "decode returned {} of {total} events",
+            snap.events().len()
+        ));
+    }
+    let evps = total as f64 / (decode_ms / 1e3);
+    println!(
+        "decode: {} blocks, {total} events in {decode_ms:.0} ms ({:.2} M events/s)",
+        stats.blocks_decoded,
+        evps / 1e6
+    );
+
+    // Block-skip win: a window covering ~1% of the trace span must
+    // touch only the footer-overlapping blocks, not the whole file.
+    let ev = snap.events();
+    let (lo, hi) = (ev.first().unwrap().time_tb, ev.last().unwrap().time_tb);
+    let (mid, half) = (lo + (hi - lo) / 2, (hi - lo) / 200);
+    let t = Instant::now();
+    let v2 = V2Trace::parse(&image).map_err(|e| e.to_string())?;
+    let wq = v2.window_events(mid - half, mid + half);
+    let window_ms = t.elapsed().as_nanos() as f64 / 1e6;
+    let total_blocks = v2.file().total_blocks();
+    println!(
+        "1% window: {} events, {} of {total_blocks} blocks decoded in {window_ms:.1} ms",
+        wq.events.len(),
+        wq.stats.blocks_decoded,
+    );
+    if wq.suspect || wq.events.is_empty() {
+        return Err("1% window suspect or empty on a clean image".into());
+    }
+    if wq.stats.blocks_decoded * 20 > total_blocks {
+        return Err(format!(
+            "1% window decoded {} of {total_blocks} blocks (max 5%)",
+            wq.stats.blocks_decoded
+        ));
+    }
+
+    let rss_mib = peak_rss_kb() / 1024;
+    println!("peak RSS: {rss_mib} MiB (budget {RSS_BUDGET_MIB})");
+    if rss_mib > RSS_BUDGET_MIB {
+        return Err(format!(
+            "peak RSS {rss_mib} MiB over the {RSS_BUDGET_MIB} MiB budget"
+        ));
+    }
+
+    // Deterministic figures may not drift against the recorded run.
+    check_regression(prior.as_deref(), "bytes_per_event_10m", bpe)?;
+    for (name, v) in &density {
+        let key = format!("bytes_per_event_{}", name.trim_end_matches(".pdt"));
+        check_regression(prior.as_deref(), &key, *v)?;
+    }
+
+    let records = [
+        BenchRecord {
+            name: "volume_decode_10m".into(),
+            events_per_sec: evps,
+            wall_ms: decode_ms,
+            threads: 4,
+        },
+        BenchRecord {
+            name: "volume_window_1pct".into(),
+            events_per_sec: wq.events.len() as f64 / (window_ms / 1e3),
+            wall_ms: window_ms,
+            threads: 1,
+        },
+    ];
+    let mut meta: Vec<(String, f64)> = vec![
+        ("events_10m".into(), total as f64),
+        ("image_bytes_10m".into(), image.len() as f64),
+        ("raw_bytes_10m".into(), raw as f64),
+        ("bytes_per_event_10m".into(), bpe),
+        ("raw_bytes_per_event_10m".into(), raw_bpe),
+        ("write_ms_10m".into(), write_ms),
+        ("peak_rss_mib".into(), rss_mib as f64),
+        (
+            "window_blocks_decoded".into(),
+            wq.stats.blocks_decoded as f64,
+        ),
+        ("total_blocks".into(), total_blocks as f64),
+    ];
+    for (name, v) in &density {
+        meta.push((
+            format!("bytes_per_event_{}", name.trim_end_matches(".pdt")),
+            *v,
+        ));
+    }
+    let meta_refs: Vec<(&str, f64)> = meta.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let path =
+        write_bench_json("BENCH_volume.json", &records, &meta_refs).map_err(|e| e.to_string())?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("volume_smoke: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -88,6 +88,7 @@ pub mod record;
 pub mod session;
 pub mod sink;
 pub mod spe_tracer;
+pub mod v2;
 
 pub use buffer::{BufferStats, SpeTraceBuffer, WriteOutcome};
 pub use config::{TracingConfig, TracingConfigError, TracingConfigRepr};
@@ -102,3 +103,7 @@ pub use record::{
 };
 pub use session::TraceSession;
 pub use spe_tracer::PdtSpeTracer;
+pub use v2::{
+    pack, unpack, Anchoring, BlockEntry, BlockIter, BlockKind, BlockPrefix, CodecStats, SyncAnchor,
+    V2Error, V2File, V2StreamMeta, V2Writer, DEFAULT_BLOCK_RECORDS, MAGIC2, VERSION2,
+};

@@ -20,7 +20,18 @@
 //!                                    rule-based static analysis
 //! ta-cli follow   TRACE [--poll MS] [--max-polls N]
 //!                                    live-tail a growing trace file
+//! ta-cli pack     IN OUT.pdt2 [--block-records N]
+//!                                    convert to the blocked, compressed v2 container
+//! ta-cli unpack   IN.pdt2 OUT.pdt   convert a v2 container back to raw v1
 //! ```
+//!
+//! Every analysis command sniffs the container by magic: `.pdt` (v1,
+//! raw granules) and `.pdt2` (v2, blocked + compressed with per-block
+//! footers) images are both accepted. On a v2 image, a windowed
+//! `query` listing decodes only the blocks whose footer time range
+//! overlaps the window and reports the decode/skip counters on
+//! stderr; truncated v2 images degrade to loss accounting through the
+//! streaming reader instead of failing.
 //!
 //! `follow` streams a trace that is still being written: each poll
 //! ingests only the file's grown suffix through [`ta::ImageIngest`],
@@ -54,18 +65,42 @@
 //! after the command completes.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use pdt::{TraceCore, TraceFile};
+use pdt::{TraceCore, TraceFile, DEFAULT_BLOCK_RECORDS};
 use ta::{
-    compare_traces, user_phases, Analysis, CsvTable, EventFilter, LintConfig, Parallelism,
-    RenderOptions, ReportKind, SvgOptions,
+    analyze_v2, compare_traces, is_v2_image, user_phases, Analysis, CsvTable, EventFilter,
+    LintConfig, Parallelism, RenderOptions, ReportKind, SvgOptions, V2Trace,
 };
 
-fn load(path: &str, strict: bool, par: Parallelism) -> Result<Analysis, String> {
-    let trace = TraceFile::read_from(path).map_err(|e| format!("{path}: {e}"))?;
+/// Loads a trace image, sniffing the container by magic: `PDT1`
+/// images take the v1 path, `PDT2` images decode through the blocked
+/// v2 reader (falling back to the lossy streaming reader when the
+/// container is truncated).
+fn load(path: &str, strict: bool, par: Parallelism) -> Result<Arc<Analysis>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if is_v2_image(&bytes) {
+        if strict {
+            // Strict mode reconstructs the exact v1 bytes first, so a
+            // damaged block fails the run like a malformed v1 record.
+            let trace = pdt::unpack(&bytes).map_err(|e| format!("{path}: {e}"))?;
+            let a = Analysis::of(&trace)
+                .parallelism(par)
+                .strict()
+                .run()
+                .map_err(|e| format!("{path}: {e}"))?;
+            return Ok(Arc::new(a));
+        }
+        let (a, _) = analyze_v2(&bytes, par).map_err(|e| format!("{path}: {e}"))?;
+        return Ok(a);
+    }
+    let trace = TraceFile::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
     let builder = Analysis::of(&trace).parallelism(par);
     let builder = if strict { builder.strict() } else { builder };
-    builder.run().map_err(|e| format!("{path}: {e}"))
+    builder
+        .run()
+        .map(Arc::new)
+        .map_err(|e| format!("{path}: {e}"))
 }
 
 fn parse_parallelism(s: &str) -> Result<Parallelism, String> {
@@ -137,7 +172,7 @@ fn run() -> Result<(), String> {
             None => Parallelism::Auto,
         }
     };
-    let usage = "usage: ta-cli <summary|timeline|events|phases|compare|report|loss|occupancy|causality|query|lint|follow> TRACE [...] [--strict] [-j N|serial|auto] [--exec-stats]";
+    let usage = "usage: ta-cli <summary|timeline|events|phases|compare|report|loss|occupancy|causality|query|lint|follow|pack|unpack> TRACE [...] [--strict] [-j N|serial|auto] [--exec-stats]";
     let cmd = args.first().ok_or(usage)?;
     match cmd.as_str() {
         "summary" => {
@@ -263,6 +298,47 @@ fn run() -> Result<(), String> {
             );
             print!("{}", c.render());
         }
+        "pack" => {
+            let block_records = take_values(&mut args, "--block-records")?
+                .last()
+                .map(|v| {
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|n| (1..=1 << 20).contains(n))
+                        .ok_or(format!("bad --block-records {v:?} (expected 1..=1048576)"))
+                })
+                .transpose()?
+                .unwrap_or(DEFAULT_BLOCK_RECORDS);
+            let input = args.get(1).ok_or("pack needs IN.pdt and OUT.pdt2")?;
+            let out = args.get(2).ok_or("pack needs IN.pdt and OUT.pdt2")?;
+            let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+            // A v2 input is accepted too: unpack + repack re-blocks it.
+            let trace = if is_v2_image(&bytes) {
+                pdt::unpack(&bytes).map_err(|e| format!("{input}: {e}"))?
+            } else {
+                TraceFile::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?
+            };
+            let image = pdt::pack(&trace, block_records);
+            std::fs::write(out, &image).map_err(|e| format!("{out}: {e}"))?;
+            println!(
+                "wrote {out}: {} -> {} bytes ({:.2}x, {block_records} records/block)",
+                bytes.len(),
+                image.len(),
+                bytes.len() as f64 / image.len().max(1) as f64,
+            );
+        }
+        "unpack" => {
+            let input = args.get(1).ok_or("unpack needs IN.pdt2 and OUT.pdt")?;
+            let out = args.get(2).ok_or("unpack needs IN.pdt2 and OUT.pdt")?;
+            let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+            if !is_v2_image(&bytes) {
+                return Err(format!("{input}: not a PDT2 image"));
+            }
+            let trace = pdt::unpack(&bytes).map_err(|e| format!("{input}: {e}"))?;
+            let v1 = trace.to_bytes();
+            std::fs::write(out, &v1).map_err(|e| format!("{out}: {e}"))?;
+            println!("wrote {out}: {} -> {} bytes", bytes.len(), v1.len());
+        }
         "query" => {
             let summary = args.iter().any(|a| a == "--summary");
             args.retain(|a| a != "--summary");
@@ -278,6 +354,47 @@ fn run() -> Result<(), String> {
             let codes = take_values(&mut args, "--code")?;
             let groups = take_values(&mut args, "--group")?;
             let path = args.get(1).ok_or(usage)?;
+
+            // On an intact v2 container, a listing query takes the
+            // block-skip path: only packed blocks whose footer time
+            // range overlaps the window are decoded at all.
+            if !summary && !strict {
+                let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+                if is_v2_image(&data) {
+                    if let Ok(v2) = V2Trace::parse(&data) {
+                        let (t0, t1) = (from.unwrap_or(0), to.unwrap_or(u64::MAX));
+                        let mut filter = EventFilter::new().in_window(t0, t1);
+                        for c in &cores {
+                            filter = filter.on_core(parse_core(c)?);
+                        }
+                        for c in &codes {
+                            filter = filter.with_code(parse_code(c)?);
+                        }
+                        for g in &groups {
+                            filter = filter.in_group(parse_group(g)?);
+                        }
+                        let wq = v2.window_events(t0, t1);
+                        for e in wq.events.iter().filter(|e| filter.matches(e)) {
+                            println!("{},{},{},{:?}", e.time_tb, e.core, e.code.name(), e.params);
+                        }
+                        if wq.suspect {
+                            eprintln!(
+                                "warning: window overlaps damaged or unplaced blocks; \
+                                 the listing may be incomplete"
+                            );
+                        }
+                        eprintln!(
+                            "codec: {} of {} block(s) decoded, {} skipped, {} corrupt, {} payload bytes read",
+                            wq.stats.blocks_decoded,
+                            v2.file().total_blocks(),
+                            wq.stats.blocks_skipped,
+                            wq.stats.blocks_corrupt,
+                            wq.stats.payload_bytes_read,
+                        );
+                        return Ok(());
+                    }
+                }
+            }
             let a = load(path, strict, par)?;
 
             let (t0, t1) = (

@@ -119,6 +119,7 @@ pub mod stream;
 pub mod summary;
 pub mod svg;
 pub mod timeline;
+pub mod v2read;
 pub mod validate;
 
 pub use analyze::{analyze, analyze_lossy, AnalyzeError, AnalyzedTrace, GlobalEvent, SpeAnchor};
@@ -156,4 +157,5 @@ pub use stream::{ImageIngest, IngestSession, StreamId};
 pub use summary::render_summary_with;
 pub use svg::SvgOptions;
 pub use timeline::{build_timeline, Lane, Marker, Segment, Timeline};
+pub use v2read::{analyze_v2, is_v2_image, V2Ingest, V2Trace, WindowQuery};
 pub use validate::{rel_err, validate, validate_with_loss, SpeValidation, ValidationReport};

@@ -1,0 +1,847 @@
+//! Readers for the blocked, compressed v2 (`PDT2`) trace container.
+//!
+//! Two decode paths plug the [`pdt::v2`] codec into the analysis
+//! pipeline, mirroring the split between [`crate::stream::ImageIngest`]
+//! (chunked) and one-shot analysis of a complete image:
+//!
+//! * [`V2Trace`] — random access over a complete, structurally intact
+//!   image. `analyze` walks the block regions via the inline prefixes
+//!   while cross-checking every footer directory entry, so a flipped
+//!   footer byte surfaces as a corrupt block (zero-filled → one
+//!   `DecodeGap` in the [`crate::LossReport`]) instead of being
+//!   silently trusted. `window_events` is the skip path: it decodes
+//!   only packed blocks whose footer `[min_tb, max_tb]` overlaps the
+//!   query window and reconstructs global time from the footer's
+//!   `entry_dec`/`entry_elapsed`/`entry_seq` resume state without
+//!   touching any predecessor block.
+//! * [`V2Ingest`] — incremental chunk-at-a-time parser with bounded
+//!   memory (it buffers at most one block payload plus a fixed-size
+//!   header carry). It is prefix-driven — the footer directory
+//!   arrives *after* the payloads, so the streaming path verifies
+//!   the inline prefix and payload CRC only. [`V2Ingest::finish_lossy`]
+//!   force-closes a truncated image: the missing tail of each
+//!   promised stream is zero-filled, which the lossy v1 decoder
+//!   accounts as a trailing `DecodeGap` — truncation degrades to loss
+//!   accounting, never a panic.
+//!
+//! Both paths feed reconstructed v1 record bytes through
+//! [`IngestSession`], so products, loss accounting and resync
+//! behaviour are byte-identical to analyzing the v1 image the
+//! container was packed from — the differential suites in
+//! `tests/v2_differential.rs` pin this on every golden. Decode effort
+//! is reported via [`CodecStats`].
+
+use std::sync::Arc;
+
+use pdt::v2::{
+    crc32, decode_packed_payload, records_to_bytes, Anchoring, BlockEntry, BlockKind, BlockPrefix,
+    CodecStats, V2Error, V2File, FLAG_UNPLACED, MAGIC2, PREFIX_BYTES, VERSION2,
+};
+use pdt::{TraceCore, TraceHeader, TraceRecord, VERSION};
+
+use crate::analyze::GlobalEvent;
+use crate::exec::Parallelism;
+use crate::session::Analysis;
+use crate::stream::{IngestSession, StreamId};
+
+/// True when `bytes` starts with the v2 container magic — the sniff
+/// used by `ta-cli` to route `.pdt` vs `.pdt2` images.
+pub fn is_v2_image(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && &bytes[..4] == MAGIC2
+}
+
+const ZEROS: [u8; 4096] = [0; 4096];
+
+/// Clamps a stream header's claimed raw length to what its block
+/// region could honestly expand to (the packed codec never exceeds
+/// 16 bytes out per payload byte in; 160× leaves a 10× margin), plus
+/// an absolute ceiling so a corrupted length field can never make the
+/// zero-fill stand-in unbounded. The budget only limits damage
+/// stand-ins — clean blocks append their real bytes regardless.
+fn raw_fill_budget(raw_len: u64, payloads_len: u64) -> u64 {
+    raw_len
+        .min(payloads_len.saturating_mul(160).saturating_add(4096))
+        .min(1 << 26)
+}
+
+/// Appends `len` zero bytes to a stream in bounded chunks. The lossy
+/// v1 decoder turns the run into a single `ZeroLength` gap.
+fn append_zeros(session: &mut IngestSession, id: StreamId, mut len: u64) {
+    while len > 0 {
+        let n = len.min(ZEROS.len() as u64) as usize;
+        session.append(id, &ZEROS[..n]);
+        len -= n as u64;
+    }
+}
+
+/// Feeds one block into the session: CRC-verify, decode (packed) or
+/// pass through (raw), zero-fill on any damage. `trusted_ok` carries
+/// the caller's extra integrity verdict (the one-shot path's footer
+/// cross-check); the streaming path passes `true`.
+fn emit_block(
+    session: &mut IngestSession,
+    id: StreamId,
+    prefix: &BlockPrefix,
+    payload: &[u8],
+    trusted_ok: bool,
+    raw_left: &mut u64,
+    stats: &mut CodecStats,
+) {
+    let good = trusted_ok && crc32(payload) == prefix.payload_crc;
+    if good {
+        match prefix.kind {
+            BlockKind::Packed => {
+                if let Ok(records) = decode_packed_payload(payload, prefix.n_records) {
+                    let raw = records_to_bytes(&records);
+                    if raw.len() == prefix.raw_len as usize {
+                        session.append(id, &raw);
+                        stats.blocks_decoded += 1;
+                        stats.records_decoded += u64::from(prefix.n_records);
+                        stats.payload_bytes_read += payload.len() as u64;
+                        stats.raw_bytes_out += raw.len() as u64;
+                        *raw_left = raw_left.saturating_sub(raw.len() as u64);
+                        return;
+                    }
+                }
+            }
+            BlockKind::Raw => {
+                if prefix.raw_len == prefix.payload_len {
+                    session.append(id, payload);
+                    stats.blocks_decoded += 1;
+                    stats.payload_bytes_read += payload.len() as u64;
+                    stats.raw_bytes_out += payload.len() as u64;
+                    *raw_left = raw_left.saturating_sub(payload.len() as u64);
+                    return;
+                }
+            }
+        }
+    }
+    // Damaged block: stand in a zero range for the bytes it claimed to
+    // cover, capped by what the stream header still owes us so a lying
+    // length field cannot inflate the fill.
+    let fill = u64::from(prefix.raw_len).min(*raw_left);
+    append_zeros(session, id, fill);
+    stats.blocks_corrupt += 1;
+    stats.raw_bytes_out += fill;
+    *raw_left -= fill;
+}
+
+// ---------------------------------------------------------------------
+// One-shot reader.
+// ---------------------------------------------------------------------
+
+/// Result of a footer-skipping windowed query on a v2 container.
+#[derive(Debug, Clone)]
+pub struct WindowQuery {
+    /// Events with reconstructed global time in `[start_tb, end_tb)`,
+    /// in the analyzer's global order.
+    pub events: Vec<GlobalEvent>,
+    /// True when damage or unplaced data overlapping the window means
+    /// the event list may be incomplete (gap blocks bracketing the
+    /// window, corrupt footers/payloads, unanchored streams with
+    /// records).
+    pub suspect: bool,
+    /// What the query actually decoded vs skipped.
+    pub stats: CodecStats,
+}
+
+/// A complete v2 image opened for random access: one-shot analysis
+/// with footer cross-checking, and windowed queries that skip
+/// non-overlapping blocks without decoding them.
+#[derive(Debug, Clone)]
+pub struct V2Trace<'a> {
+    file: V2File<'a>,
+}
+
+impl<'a> V2Trace<'a> {
+    /// Parses the container structure (no payload is decoded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V2Error`] when the image is not structurally a v2
+    /// container (bad magic/version, truncated framing). A truncated
+    /// image should be fed to [`V2Ingest`] + `finish_lossy` instead.
+    pub fn parse(image: &'a [u8]) -> Result<V2Trace<'a>, V2Error> {
+        Ok(V2Trace {
+            file: V2File::parse(image)?,
+        })
+    }
+
+    /// The parsed container structure.
+    pub fn file(&self) -> &V2File<'a> {
+        &self.file
+    }
+
+    /// Decodes every block and runs the full analysis pipeline.
+    ///
+    /// Each inline prefix is cross-checked against its footer
+    /// directory entry; a mismatch or an unreadable footer marks the
+    /// block corrupt (zero-filled), so flipped footer bytes surface in
+    /// the [`crate::LossReport`] rather than going unnoticed. Products
+    /// are byte-identical to analyzing the v1 image the container was
+    /// packed from.
+    pub fn analyze(&self, par: Parallelism) -> (Arc<Analysis>, CodecStats) {
+        let mut stats = CodecStats::default();
+        let mut session = IngestSession::new(self.file.header).with_parallelism(par);
+        for (si, meta) in self.file.streams.iter().enumerate() {
+            let id = session.add_stream(meta.core, meta.dropped);
+            let mut raw_left = raw_fill_budget(meta.raw_len, meta.payloads_len);
+            let mut bi: u32 = 0;
+            let mut structural_break = false;
+            for item in self.file.blocks(si) {
+                let (prefix, payload) = match item {
+                    Ok(v) => v,
+                    Err(_) => {
+                        structural_break = true;
+                        break;
+                    }
+                };
+                let entry_ok = bi < meta.n_blocks
+                    && match self.file.entry(si, bi) {
+                        Ok(e) => entry_matches(&e, &prefix),
+                        Err(_) => false,
+                    };
+                emit_block(
+                    &mut session,
+                    id,
+                    &prefix,
+                    payload,
+                    entry_ok,
+                    &mut raw_left,
+                    &mut stats,
+                );
+                bi = bi.saturating_add(1);
+            }
+            if raw_left > 0 {
+                // Structural damage or fewer blocks than the stream
+                // header promised: the missing tail becomes one gap.
+                append_zeros(&mut session, id, raw_left);
+                stats.raw_bytes_out += raw_left;
+                if structural_break || bi < meta.n_blocks {
+                    stats.blocks_corrupt += 1;
+                }
+            }
+            session.close_stream(id);
+        }
+        session.set_ctx_names(self.file.ctx_names.clone());
+        session.finish();
+        (session.snapshot(), stats)
+    }
+
+    /// Events whose reconstructed global time falls in the half-open
+    /// window `[start_tb, end_tb)`, decoding **only** packed blocks
+    /// whose footer time range overlaps the window. Gap blocks are
+    /// never decoded; one bracketing the window sets `suspect`, as do
+    /// corrupt footers/payloads and unanchored streams carrying
+    /// records. Event order matches [`crate::EventFilter`] applied to
+    /// the full analysis.
+    pub fn window_events(&self, start_tb: u64, end_tb: u64) -> WindowQuery {
+        let mut stats = CodecStats::default();
+        let mut suspect = false;
+        let mut events: Vec<GlobalEvent> = Vec::new();
+        for (si, meta) in self.file.streams.iter().enumerate() {
+            for bi in 0..meta.n_blocks {
+                let entry = match self.file.entry(si, bi) {
+                    Ok(e) => e,
+                    Err(_) => {
+                        stats.blocks_corrupt += 1;
+                        suspect = true;
+                        continue;
+                    }
+                };
+                if meta.anchoring == Anchoring::Unanchored || entry.flags & FLAG_UNPLACED != 0 {
+                    // Unplaced footers carry no usable time range; the
+                    // analyzer discards these events as unanchored.
+                    stats.blocks_skipped += 1;
+                    suspect |= entry.n_records > 0;
+                    continue;
+                }
+                if entry.kind == BlockKind::Raw {
+                    // Gap bytes: never decoded. If the gap's bracket
+                    // touches the window, events may be missing here.
+                    stats.blocks_skipped += 1;
+                    suspect |= entry.overlaps(start_tb, end_tb);
+                    continue;
+                }
+                if !entry.overlaps(start_tb, end_tb) {
+                    stats.blocks_skipped += 1;
+                    continue;
+                }
+                let payload = match self.file.payload(si, &entry) {
+                    Ok(p) if crc32(p) == entry.payload_crc => p,
+                    _ => {
+                        stats.blocks_corrupt += 1;
+                        suspect = true;
+                        continue;
+                    }
+                };
+                let records = match decode_packed_payload(payload, entry.n_records) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        stats.blocks_corrupt += 1;
+                        suspect = true;
+                        continue;
+                    }
+                };
+                stats.blocks_decoded += 1;
+                stats.records_decoded += records.len() as u64;
+                stats.payload_bytes_read += payload.len() as u64;
+                place_block_events(
+                    meta.anchoring,
+                    meta.run_tb,
+                    &entry,
+                    &records,
+                    start_tb,
+                    end_tb,
+                    &mut events,
+                );
+            }
+        }
+        // Same global order the analyzer produces: sort is stable and
+        // streams were visited in directory order, so ties beyond the
+        // key keep stream order exactly like the one-shot sort.
+        events.sort_by(|a, b| {
+            (a.time_tb, a.core.tag(), a.stream_seq).cmp(&(b.time_tb, b.core.tag(), b.stream_seq))
+        });
+        WindowQuery {
+            events,
+            suspect,
+            stats,
+        }
+    }
+}
+
+/// Footer/prefix agreement check for the one-shot integrity policy.
+fn entry_matches(entry: &BlockEntry, prefix: &BlockPrefix) -> bool {
+    entry.kind == prefix.kind
+        && entry.n_records == prefix.n_records
+        && entry.raw_len == prefix.raw_len
+        && entry.payload_len == prefix.payload_len
+        && entry.payload_crc == prefix.payload_crc
+}
+
+/// Reconstructs global time for one decoded packed block from its
+/// footer resume state and appends the records landing in the window.
+fn place_block_events(
+    anchoring: Anchoring,
+    run_tb: u64,
+    entry: &BlockEntry,
+    records: &[TraceRecord],
+    start_tb: u64,
+    end_tb: u64,
+    out: &mut Vec<GlobalEvent>,
+) {
+    match anchoring {
+        Anchoring::Ppe => {
+            for (j, rec) in records.iter().enumerate() {
+                let t = rec.timestamp;
+                if t >= start_tb && t < end_tb {
+                    out.push(GlobalEvent {
+                        time_tb: t,
+                        core: rec.core,
+                        code: rec.code,
+                        params: rec.params.clone(),
+                        stream_seq: entry.entry_seq + j as u64,
+                    });
+                }
+            }
+        }
+        Anchoring::Anchored => {
+            let mut prev = entry.entry_dec;
+            let mut elapsed = entry.entry_elapsed;
+            for (j, rec) in records.iter().enumerate() {
+                let dec = rec.timestamp as u32;
+                elapsed += u64::from(prev.wrapping_sub(dec));
+                prev = dec;
+                let t = run_tb.wrapping_add(elapsed);
+                if t >= start_tb && t < end_tb {
+                    out.push(GlobalEvent {
+                        time_tb: t,
+                        core: rec.core,
+                        code: rec.code,
+                        params: rec.params.clone(),
+                        stream_seq: entry.entry_seq + j as u64,
+                    });
+                }
+            }
+        }
+        Anchoring::Unanchored => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming (chunked) reader.
+// ---------------------------------------------------------------------
+
+/// Parse progress of the chunked v2 reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum V2State {
+    /// Waiting for the 36-byte container header.
+    Header,
+    /// Waiting for the u32 stream count.
+    StreamCount,
+    /// Waiting for a 40-byte stream header.
+    StreamHeader,
+    /// Waiting for a 17-byte inline block prefix.
+    BlockPrefix,
+    /// Buffering one block payload.
+    BlockPayload(BlockPrefix),
+    /// Discarding the rest of a structurally damaged block region.
+    SkipRegion,
+    /// Discarding the footer directory (already consumed as blocks).
+    Directory,
+    /// Waiting for the u32 name count.
+    NameCount,
+    /// Waiting for an 8-byte name entry header.
+    NameHeader,
+    /// Buffering a name's UTF-8 bytes.
+    NameBytes { ctx: u32, len: u32 },
+    /// Fully parsed; the session is finished.
+    Done,
+}
+
+/// Per-stream progress while its block region streams through.
+#[derive(Debug)]
+struct CurStream {
+    id: StreamId,
+    /// Reconstructed v1 bytes the stream header still owes.
+    raw_left: u64,
+    /// Block-region bytes not yet consumed.
+    payloads_left: u64,
+    /// Footer directory bytes to discard after the region.
+    dir_left: u64,
+}
+
+/// Incremental v2 container reader: push arbitrary byte chunks of a
+/// `PDT2` image and analyze with bounded memory — at most one block
+/// payload is buffered, and decoded records flow straight into an
+/// [`IngestSession`]. The v2 analogue of
+/// [`crate::stream::ImageIngest`].
+///
+/// Streaming is inline-prefix-driven (the footer directory trails the
+/// payloads and is discarded); payload integrity is still CRC-checked
+/// per block, and damaged blocks degrade to zero-filled gap ranges
+/// with loss accounting, exactly like the one-shot path.
+#[derive(Debug)]
+pub struct V2Ingest {
+    session: Option<IngestSession>,
+    par: Parallelism,
+    state: V2State,
+    carry: Vec<u8>,
+    cur: Option<CurStream>,
+    streams_left: u32,
+    names: Vec<(u32, String)>,
+    names_left: u32,
+    stats: CodecStats,
+    consumed: u64,
+}
+
+impl Default for V2Ingest {
+    fn default() -> Self {
+        V2Ingest::new()
+    }
+}
+
+impl V2Ingest {
+    /// Creates an empty reader awaiting the container header.
+    pub fn new() -> Self {
+        V2Ingest {
+            session: None,
+            par: Parallelism::Serial,
+            state: V2State::Header,
+            carry: Vec::new(),
+            cur: None,
+            streams_left: 0,
+            names: Vec::new(),
+            names_left: 0,
+            stats: CodecStats::default(),
+            consumed: 0,
+        }
+    }
+
+    /// Sets the parallelism used by the underlying session's decode
+    /// and product builds.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        if let Some(s) = self.session.take() {
+            self.session = Some(s.with_parallelism(par));
+        }
+        self
+    }
+
+    /// Total bytes consumed so far.
+    pub fn bytes_consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// True once the full image (through the name table) has parsed.
+    pub fn is_complete(&self) -> bool {
+        self.state == V2State::Done
+    }
+
+    /// Codec counters accumulated so far.
+    pub fn stats(&self) -> CodecStats {
+        self.stats
+    }
+
+    /// Feeds the next chunk of image bytes; chunk boundaries may fall
+    /// anywhere, including inside headers, prefixes and payloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V2Error`] on bad magic/version or an invalid name
+    /// table — structural failures that make the byte stream not a v2
+    /// image. Block-level damage never errors; it degrades to gap
+    /// accounting.
+    pub fn push(&mut self, mut chunk: &[u8]) -> Result<(), V2Error> {
+        self.consumed += chunk.len() as u64;
+        while !chunk.is_empty() {
+            match self.state {
+                V2State::Header => {
+                    if !fill(&mut self.carry, 36, &mut chunk) {
+                        return Ok(());
+                    }
+                    let h = &self.carry;
+                    if &h[..4] != MAGIC2 {
+                        return Err(V2Error::BadMagic);
+                    }
+                    let version = le_u16(&h[4..6]);
+                    if version != VERSION2 {
+                        return Err(V2Error::BadVersion { found: version });
+                    }
+                    let header = TraceHeader {
+                        version: VERSION,
+                        num_ppe_threads: h[6],
+                        num_spes: h[7],
+                        core_hz: le_u64(&h[8..16]),
+                        timebase_divider: le_u64(&h[16..24]),
+                        dec_start: le_u32(&h[24..28]),
+                        group_mask: le_u32(&h[28..32]),
+                        spe_buffer_bytes: le_u32(&h[32..36]),
+                    };
+                    self.carry.clear();
+                    self.session = Some(IngestSession::new(header).with_parallelism(self.par));
+                    self.state = V2State::StreamCount;
+                }
+                V2State::StreamCount => {
+                    if !fill(&mut self.carry, 4, &mut chunk) {
+                        return Ok(());
+                    }
+                    self.streams_left = le_u32(&self.carry);
+                    self.carry.clear();
+                    self.next_stream();
+                }
+                V2State::StreamHeader => {
+                    if !fill(&mut self.carry, 40, &mut chunk) {
+                        return Ok(());
+                    }
+                    let h = &self.carry;
+                    let core = TraceCore::from_tag(h[0]);
+                    // h[1] (anchoring) only matters to the skip path;
+                    // the streaming decode places every record itself.
+                    let n_blocks = le_u32(&h[4..8]);
+                    let dropped = le_u64(&h[8..16]);
+                    let raw_len = le_u64(&h[16..24]);
+                    let payloads_len = le_u64(&h[24..32]);
+                    self.carry.clear();
+                    let session = self.session.as_mut().expect("session exists");
+                    let id = session.add_stream(core, dropped);
+                    self.cur = Some(CurStream {
+                        id,
+                        raw_left: raw_fill_budget(raw_len, payloads_len),
+                        payloads_left: payloads_len,
+                        dir_left: u64::from(n_blocks) * pdt::v2::ENTRY_BYTES as u64,
+                    });
+                    self.streams_left -= 1;
+                    if payloads_len == 0 {
+                        self.end_blocks();
+                    } else {
+                        self.state = V2State::BlockPrefix;
+                    }
+                }
+                V2State::BlockPrefix => {
+                    let left = self.cur.as_ref().expect("stream open").payloads_left;
+                    if left < PREFIX_BYTES as u64 {
+                        // Region too short for another prefix: framing
+                        // damage — drop the remainder as one corrupt
+                        // block.
+                        self.stats.blocks_corrupt += 1;
+                        self.state = V2State::SkipRegion;
+                        continue;
+                    }
+                    if !fill(&mut self.carry, PREFIX_BYTES, &mut chunk) {
+                        return Ok(());
+                    }
+                    let decoded = BlockPrefix::decode(&self.carry);
+                    self.carry.clear();
+                    let cur = self.cur.as_mut().expect("stream open");
+                    cur.payloads_left -= PREFIX_BYTES as u64;
+                    match decoded {
+                        Ok(p) if u64::from(p.payload_len) <= cur.payloads_left => {
+                            if p.payload_len == 0 {
+                                // Degenerate but well-formed: process
+                                // with an empty payload immediately.
+                                self.state = V2State::BlockPayload(p);
+                                self.finish_block(&p);
+                            } else {
+                                self.state = V2State::BlockPayload(p);
+                            }
+                        }
+                        _ => {
+                            // Unreadable prefix or a payload length
+                            // pointing past the region: skip the rest.
+                            self.stats.blocks_corrupt += 1;
+                            self.state = V2State::SkipRegion;
+                        }
+                    }
+                }
+                V2State::BlockPayload(prefix) => {
+                    if !fill(&mut self.carry, prefix.payload_len as usize, &mut chunk) {
+                        return Ok(());
+                    }
+                    self.finish_block(&prefix);
+                }
+                V2State::SkipRegion => {
+                    let cur = self.cur.as_mut().expect("stream open");
+                    let n = (cur.payloads_left).min(chunk.len() as u64) as usize;
+                    cur.payloads_left -= n as u64;
+                    chunk = &chunk[n..];
+                    if cur.payloads_left == 0 {
+                        self.end_blocks();
+                    }
+                }
+                V2State::Directory => {
+                    let cur = self.cur.as_mut().expect("stream open");
+                    let n = (cur.dir_left).min(chunk.len() as u64) as usize;
+                    cur.dir_left -= n as u64;
+                    chunk = &chunk[n..];
+                    if cur.dir_left == 0 {
+                        self.cur = None;
+                        self.next_stream();
+                    }
+                }
+                V2State::NameCount => {
+                    if !fill(&mut self.carry, 4, &mut chunk) {
+                        return Ok(());
+                    }
+                    self.names_left = le_u32(&self.carry);
+                    self.carry.clear();
+                    self.next_name()?;
+                }
+                V2State::NameHeader => {
+                    if !fill(&mut self.carry, 8, &mut chunk) {
+                        return Ok(());
+                    }
+                    let ctx = le_u32(&self.carry[..4]);
+                    let len = le_u32(&self.carry[4..8]);
+                    self.carry.clear();
+                    self.names_left -= 1;
+                    if len == 0 {
+                        self.names.push((ctx, String::new()));
+                        self.next_name()?;
+                    } else {
+                        self.state = V2State::NameBytes { ctx, len };
+                    }
+                }
+                V2State::NameBytes { ctx, len } => {
+                    if !fill(&mut self.carry, len as usize, &mut chunk) {
+                        return Ok(());
+                    }
+                    let name = String::from_utf8(std::mem::take(&mut self.carry))
+                        .map_err(|_| V2Error::BadName)?;
+                    self.names.push((ctx, name));
+                    self.next_name()?;
+                }
+                V2State::Done => {
+                    // Trailing bytes after a complete image are
+                    // ignored, matching the tolerant v1 reader.
+                    chunk = &[];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Processes the carried payload for `prefix` and advances past it.
+    fn finish_block(&mut self, prefix: &BlockPrefix) {
+        let session = self.session.as_mut().expect("session exists");
+        let cur = self.cur.as_mut().expect("stream open");
+        emit_block(
+            session,
+            cur.id,
+            prefix,
+            &self.carry,
+            true,
+            &mut cur.raw_left,
+            &mut self.stats,
+        );
+        self.carry.clear();
+        cur.payloads_left -= u64::from(prefix.payload_len);
+        if cur.payloads_left == 0 {
+            self.end_blocks();
+        } else {
+            self.state = V2State::BlockPrefix;
+        }
+    }
+
+    /// Closes the current stream's record flow once its block region
+    /// is fully consumed (or abandoned) and moves to its directory.
+    fn end_blocks(&mut self) {
+        let session = self.session.as_mut().expect("session exists");
+        let cur = self.cur.as_mut().expect("stream open");
+        if cur.raw_left > 0 {
+            // The region ended short of the bytes the stream header
+            // promised: zero-fill so the shortfall shows up as a gap.
+            append_zeros(session, cur.id, cur.raw_left);
+            self.stats.raw_bytes_out += cur.raw_left;
+            cur.raw_left = 0;
+        }
+        session.close_stream(cur.id);
+        if cur.dir_left == 0 {
+            self.cur = None;
+            self.next_stream();
+        } else {
+            self.state = V2State::Directory;
+        }
+    }
+
+    /// Advances to the next stream header or the name table.
+    fn next_stream(&mut self) {
+        self.state = if self.streams_left == 0 {
+            V2State::NameCount
+        } else {
+            V2State::StreamHeader
+        };
+    }
+
+    /// Advances to the next name entry or completes the session.
+    fn next_name(&mut self) -> Result<(), V2Error> {
+        if self.names_left == 0 {
+            self.complete();
+        } else {
+            self.state = V2State::NameHeader;
+        }
+        Ok(())
+    }
+
+    /// Applies the name table and finishes the session.
+    fn complete(&mut self) {
+        let session = self.session.as_mut().expect("session exists");
+        session.set_ctx_names(std::mem::take(&mut self.names));
+        session.finish();
+        self.state = V2State::Done;
+    }
+
+    /// Declares the image complete; errors if parsing stopped
+    /// mid-structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V2Error::Truncated`] naming the structure that was
+    /// being read. Use [`V2Ingest::finish_lossy`] to degrade a
+    /// truncated image to loss accounting instead.
+    pub fn finish(&mut self) -> Result<(), V2Error> {
+        let reading = match self.state {
+            V2State::Done => return Ok(()),
+            V2State::Header => "header",
+            V2State::StreamCount => "stream count",
+            V2State::StreamHeader => "stream header",
+            V2State::BlockPrefix => "block prefix",
+            V2State::BlockPayload(_) => "block payload",
+            V2State::SkipRegion => "block region",
+            V2State::Directory => "footer directory",
+            V2State::NameCount => "name table",
+            V2State::NameHeader => "name entry",
+            V2State::NameBytes { .. } => "name bytes",
+        };
+        Err(V2Error::Truncated { reading })
+    }
+
+    /// Force-closes a (possibly truncated) image: a partial block is
+    /// treated as corrupt, each open or missing stream tail is
+    /// zero-filled so the loss report carries a trailing gap, and the
+    /// session is finished with whatever names arrived.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`V2Error::Truncated`] only when not even the container
+    /// header arrived — there is nothing to analyze.
+    pub fn finish_lossy(&mut self) -> Result<(), V2Error> {
+        if self.state == V2State::Done {
+            return Ok(());
+        }
+        if self.session.is_none() {
+            return Err(V2Error::Truncated { reading: "header" });
+        }
+        self.carry.clear();
+        if let V2State::BlockPayload(_) = self.state {
+            // The partial block never arrived in full.
+            self.stats.blocks_corrupt += 1;
+        }
+        if let Some(cur) = self.cur.take() {
+            let session = self.session.as_mut().expect("session exists");
+            if cur.raw_left > 0 {
+                append_zeros(session, cur.id, cur.raw_left);
+                self.stats.raw_bytes_out += cur.raw_left;
+                if !matches!(self.state, V2State::BlockPayload(_)) {
+                    self.stats.blocks_corrupt += 1;
+                }
+            }
+            session.close_stream(cur.id);
+        }
+        // Streams whose headers never arrived cannot be represented:
+        // their cores are unknown. They are simply absent, like a v1
+        // image truncated before a stream header.
+        self.complete();
+        Ok(())
+    }
+
+    /// A frozen analysis snapshot (available from the first complete
+    /// header onward; final once `finish`/`finish_lossy` ran).
+    pub fn snapshot(&mut self) -> Option<Arc<Analysis>> {
+        self.session.as_mut().map(|s| s.snapshot())
+    }
+}
+
+/// Buffers up to `need` bytes into `carry` from `chunk`, advancing
+/// `chunk`. True when `carry` holds exactly `need` bytes.
+fn fill(carry: &mut Vec<u8>, need: usize, chunk: &mut &[u8]) -> bool {
+    let take = (need - carry.len()).min(chunk.len());
+    carry.extend_from_slice(&chunk[..take]);
+    *chunk = &chunk[take..];
+    carry.len() == need
+}
+
+fn le_u16(b: &[u8]) -> u16 {
+    u16::from_le_bytes([b[0], b[1]])
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Analyzes a v2 image by whichever path fits: the cross-checking
+/// one-shot reader when the container parses whole, falling back to
+/// the chunked reader with lossy close when the image is truncated.
+///
+/// # Errors
+///
+/// Returns [`V2Error`] when the bytes are not a v2 image at all (bad
+/// magic/version, or truncated before the header completed).
+pub fn analyze_v2(image: &[u8], par: Parallelism) -> Result<(Arc<Analysis>, CodecStats), V2Error> {
+    match V2Trace::parse(image) {
+        Ok(trace) => Ok(trace.analyze(par)),
+        Err(V2Error::Truncated { .. }) => {
+            let mut ingest = V2Ingest::new().with_parallelism(par);
+            ingest.push(image)?;
+            ingest.finish_lossy()?;
+            let analysis = ingest.snapshot().expect("session after finish_lossy");
+            Ok((analysis, ingest.stats()))
+        }
+        Err(e) => Err(e),
+    }
+}

@@ -86,6 +86,22 @@ echo "== streaming-ingestion smoke =="
 # of index blocks. Emits BENCH_stream.json at the repo root.
 cargo run -q --release -p bench --bin stream_smoke
 
+echo "== v2-container differential + corruption suites =="
+# Every golden packed into the blocked, compressed PDT2 container must
+# re-analyze byte-identically to v1 (one-shot and streamed, Serial and
+# Workers(4)); windowed queries must decode only footer-overlapping
+# blocks; damage must degrade to DecodeGap accounting, never a panic.
+cargo test -q --test v2_differential
+cargo test -q --test v2_corruption
+cargo test -q --test prop_v2_codec
+
+echo "== trace-volume smoke (v2 container) =="
+# Density gate (<= 6 B/event on dense traces vs 16 raw), a >= 10M-event
+# synthetic written through the streaming V2Writer and decoded through
+# chunked V2Ingest under a peak-RSS budget, and a 5% no-regression gate
+# on the deterministic bytes/event figures. Emits BENCH_volume.json.
+cargo run -q --release -p bench --bin volume_smoke
+
 echo "== ta-serve / ta-cli follow smoke =="
 # The live-tail front ends must serve a golden end to end: ta-serve
 # answers the full command set over stdin, and ta-cli follow tails a

@@ -1,0 +1,56 @@
+//! Shared golden-corpus enumeration for the integration suites.
+//!
+//! Every differential suite iterates the same seeded corpus under
+//! `tests/golden/`; this is the single list and loader they all use
+//! (include it with `#[path = "common/goldens.rs"] mod goldens;`).
+//! Regenerate the corpus with `cargo run -p bench --bin make_golden`.
+
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+
+use pdt::TraceFile;
+
+/// Every golden trace, including the fault-injected and racy ones.
+pub const GOLDEN: [&str; 5] = [
+    "matmul.pdt",
+    "stream.pdt",
+    "pipeline.pdt",
+    "stream_faulted.pdt",
+    "stream_racy.pdt",
+];
+
+/// Absolute path of a golden trace.
+pub fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Loads and parses a golden trace.
+pub fn golden(name: &str) -> TraceFile {
+    let path = golden_path(name);
+    TraceFile::read_from(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nregenerate the corpus with `cargo run -p bench --bin make_golden`",
+            path.display()
+        )
+    })
+}
+
+/// Loads a golden trace and re-serializes it to v1 image bytes.
+pub fn golden_bytes(name: &str) -> Vec<u8> {
+    golden(name).to_bytes()
+}
+
+/// Reads the on-disk `.pdt2` variant of a golden trace, as emitted by
+/// `make_golden` (small blocks so every golden spans several).
+pub fn golden_v2_bytes(name: &str) -> Vec<u8> {
+    let path = golden_path(&name.replace(".pdt", ".pdt2"));
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nregenerate the corpus with `cargo run -p bench --bin make_golden`",
+            path.display()
+        )
+    })
+}

@@ -10,18 +10,11 @@
 //! per-core index blocks may execute in any order on any worker, but
 //! the assembled products must not depend on that order.
 
-use std::path::PathBuf;
-
-use pdt::TraceFile;
 use ta::{Analysis, ImageIngest, Parallelism};
 
-const GOLDEN: [&str; 5] = [
-    "matmul.pdt",
-    "stream.pdt",
-    "pipeline.pdt",
-    "stream_faulted.pdt",
-    "stream_racy.pdt",
-];
+#[path = "common/goldens.rs"]
+mod goldens;
+use goldens::{golden, GOLDEN};
 
 const SETTINGS: [Parallelism; 4] = [
     Parallelism::Serial,
@@ -29,18 +22,6 @@ const SETTINGS: [Parallelism; 4] = [
     Parallelism::Workers(4),
     Parallelism::Auto,
 ];
-
-fn golden(name: &str) -> TraceFile {
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(name);
-    TraceFile::read_from(&path).unwrap_or_else(|e| {
-        panic!(
-            "{}: {e}\nregenerate the corpus with `cargo run -p bench --bin make_golden`",
-            path.display()
-        )
-    })
-}
 
 /// Asserts all seven products (plus ingestion itself) of `got` equal
 /// the serial reference.

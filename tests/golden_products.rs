@@ -5,30 +5,11 @@
 //! compute from the same ingestion. Runs over the full seeded corpus,
 //! including the fault-injected and racy traces.
 
-use std::path::PathBuf;
-
-use pdt::TraceFile;
 use ta::{analyze_lossy, build_intervals, dma_occupancy, user_phases, Analysis, Parallelism};
 
-const GOLDEN: [&str; 5] = [
-    "matmul.pdt",
-    "stream.pdt",
-    "pipeline.pdt",
-    "stream_faulted.pdt",
-    "stream_racy.pdt",
-];
-
-fn golden(name: &str) -> TraceFile {
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(name);
-    TraceFile::read_from(&path).unwrap_or_else(|e| {
-        panic!(
-            "{}: {e}\nregenerate the corpus with `cargo run -p bench --bin make_golden`",
-            path.display()
-        )
-    })
-}
+#[path = "common/goldens.rs"]
+mod goldens;
+use goldens::{golden, GOLDEN};
 
 /// Columnar products (built in parallel) equal the row-path products
 /// on every golden trace.

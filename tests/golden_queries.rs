@@ -8,30 +8,12 @@
 //! (the simulator is deterministic; the generator refuses to silently
 //! overwrite drifted output).
 
-use std::path::PathBuf;
-
-use pdt::{EventGroup, TraceCore, TraceFile};
+use pdt::{EventGroup, TraceCore};
 use ta::{index::oracle, Analysis, EventFilter};
 
-const GOLDEN: [&str; 5] = [
-    "matmul.pdt",
-    "stream.pdt",
-    "pipeline.pdt",
-    "stream_faulted.pdt",
-    "stream_racy.pdt",
-];
-
-fn golden(name: &str) -> TraceFile {
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(name);
-    TraceFile::read_from(&path).unwrap_or_else(|e| {
-        panic!(
-            "{}: {e}\nregenerate the corpus with `cargo run -p bench --bin make_golden`",
-            path.display()
-        )
-    })
-}
+#[path = "common/goldens.rs"]
+mod goldens;
+use goldens::{golden, GOLDEN};
 
 /// The window matrix every golden trace is queried with: edges,
 /// interior slices, zero-length, inverted, past-end, and full-range

@@ -9,25 +9,14 @@
 //! land inside torn and corrupt records too; the per-stream resync
 //! cursors must carry that state across the boundary.
 
-use std::path::PathBuf;
 use std::sync::Arc;
 
 use pdt::TraceFile;
 use ta::{Analysis, ImageIngest, Parallelism};
 
-const GOLDEN: [&str; 5] = [
-    "matmul.pdt",
-    "stream.pdt",
-    "pipeline.pdt",
-    "stream_faulted.pdt",
-    "stream_racy.pdt",
-];
-
-fn golden_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(name)
-}
+#[path = "common/goldens.rs"]
+mod goldens;
+use goldens::{golden_path, GOLDEN};
 
 fn oneshot(name: &str) -> Analysis {
     let trace = TraceFile::read_from(golden_path(name)).unwrap_or_else(|e| {

@@ -1,0 +1,230 @@
+//! v2-container differential suite: every golden trace (including the
+//! fault-injected and racy ones) packed into the blocked, compressed
+//! `PDT2` container and re-analyzed must produce **byte-identical**
+//! products to the v1 path — one-shot ([`V2Trace`]) and streamed
+//! ([`V2Ingest`], chunk boundaries everywhere), across `Serial` and
+//! `Workers(4)` — because both decode paths reconstruct the exact v1
+//! record bytes (clean runs re-encoded canonically, gap bytes carried
+//! verbatim) and feed them through the same `IngestSession`.
+//!
+//! Also pins the block-skip acceptance criterion: a windowed query
+//! decodes only the packed blocks whose footer time range overlaps
+//! the window (asserted via [`ta::v2read::WindowQuery`] codec stats
+//! against a directory walk), and returns exactly the events
+//! [`EventFilter`] selects from the full analysis.
+
+use pdt::v2::{pack, unpack, Anchoring, BlockKind, DEFAULT_BLOCK_RECORDS, FLAG_UNPLACED};
+use ta::{Analysis, EventFilter, Parallelism, V2Ingest, V2Trace};
+
+#[path = "common/goldens.rs"]
+mod goldens;
+use goldens::{golden, golden_v2_bytes, GOLDEN};
+
+/// Small enough that every golden spans many blocks.
+const BLOCK_RECORDS: usize = 8;
+
+const PARS: [Parallelism; 2] = [Parallelism::Serial, Parallelism::Workers(4)];
+
+fn assert_products_eq(reference: &Analysis, got: &Analysis, what: &str) {
+    assert_eq!(got.events(), reference.events(), "{what}: events");
+    assert_eq!(got.loss(), reference.loss(), "{what}: loss");
+    assert_eq!(got.intervals(), reference.intervals(), "{what}: intervals");
+    assert_eq!(got.stats(), reference.stats(), "{what}: stats");
+    assert_eq!(got.timeline(), reference.timeline(), "{what}: timeline");
+    assert_eq!(got.occupancy(), reference.occupancy(), "{what}: occupancy");
+    assert_eq!(got.phases(), reference.phases(), "{what}: phases");
+    assert_eq!(got.index(), reference.index(), "{what}: index");
+    assert_eq!(got.lint(), reference.lint(), "{what}: lint");
+}
+
+/// `unpack(pack(t))` reproduces a decode-equivalent trace, and packing
+/// is idempotent: once canonicalized, the round trip is the identity
+/// on bytes. (Fault-injected goldens may hold non-canonical-but-
+/// decodable bytes that pack canonicalizes, so byte identity is pinned
+/// on the second trip.)
+#[test]
+fn v2_roundtrip_reproduces_the_trace() {
+    for name in GOLDEN {
+        let trace = golden(name);
+        for br in [1, BLOCK_RECORDS, DEFAULT_BLOCK_RECORDS] {
+            let once = unpack(&pack(&trace, br)).unwrap();
+            assert_eq!(once.header, trace.header, "{name} @{br}: header");
+            assert_eq!(once.ctx_names, trace.ctx_names, "{name} @{br}: names");
+            assert_eq!(once.streams.len(), trace.streams.len(), "{name} @{br}");
+            let twice = unpack(&pack(&once, br)).unwrap();
+            assert_eq!(twice.to_bytes(), once.to_bytes(), "{name} @{br}: bytes");
+        }
+    }
+}
+
+/// The on-disk `.pdt2` corpus is exactly `pack` of the matching v1
+/// golden at the corpus block size — so the checked-in files can never
+/// drift from the codec, and unpacking them analyzes identically.
+#[test]
+fn on_disk_pdt2_goldens_match_the_codec() {
+    for name in GOLDEN {
+        let trace = golden(name);
+        let on_disk = golden_v2_bytes(name);
+        assert_eq!(
+            on_disk,
+            pack(&trace, BLOCK_RECORDS),
+            "{name}: .pdt2 golden drifted from the codec \
+             (regenerate with `cargo run -p bench --bin make_golden`)"
+        );
+        let (a, stats) = V2Trace::parse(&on_disk)
+            .unwrap()
+            .analyze(Parallelism::Serial);
+        assert_eq!(stats.blocks_corrupt, 0, "{name}");
+        let reference = Analysis::of(&trace)
+            .parallelism(Parallelism::Serial)
+            .run()
+            .unwrap();
+        reference.build_products(Parallelism::Serial);
+        a.build_products(Parallelism::Serial);
+        assert_products_eq(&reference, &a, name);
+    }
+}
+
+/// One-shot v2 analysis equals the v1 reference on every golden, for
+/// every parallelism setting, with zero corrupt blocks.
+#[test]
+fn v2_one_shot_products_match_v1() {
+    for name in GOLDEN {
+        let trace = golden(name);
+        let reference = Analysis::of(&trace)
+            .parallelism(Parallelism::Serial)
+            .run()
+            .unwrap();
+        reference.build_products(Parallelism::Serial);
+
+        for br in [BLOCK_RECORDS, DEFAULT_BLOCK_RECORDS] {
+            let image = pack(&trace, br);
+            for par in PARS {
+                let v2 = V2Trace::parse(&image).unwrap();
+                let (a, stats) = v2.analyze(par);
+                a.build_products(par);
+                assert_products_eq(&reference, &a, &format!("{name} @{br} {par:?}"));
+                assert_eq!(stats.blocks_corrupt, 0, "{name} @{br} {par:?}");
+                assert_eq!(
+                    stats.blocks_decoded,
+                    v2.file().total_blocks(),
+                    "{name} @{br} {par:?}: analyze must decode every block"
+                );
+            }
+        }
+    }
+}
+
+/// Streamed v2 ingestion equals the v1 reference whatever the chunk
+/// boundaries — including one byte at a time, so every header, prefix
+/// and payload is split at every interior offset.
+#[test]
+fn v2_streamed_products_match_v1() {
+    for name in GOLDEN {
+        let trace = golden(name);
+        let reference = Analysis::of(&trace)
+            .parallelism(Parallelism::Serial)
+            .run()
+            .unwrap();
+        reference.build_products(Parallelism::Serial);
+        let image = pack(&trace, BLOCK_RECORDS);
+
+        for par in PARS {
+            for split in [1usize, 7, 4096] {
+                let mut ing = V2Ingest::new().with_parallelism(par);
+                for chunk in image.chunks(split) {
+                    ing.push(chunk).unwrap();
+                }
+                ing.finish().unwrap();
+                assert!(ing.is_complete());
+                assert_eq!(ing.stats().blocks_corrupt, 0, "{name} {par:?} s{split}");
+                let a = ing.snapshot().expect("snapshot after finish");
+                a.build_products(par);
+                assert_products_eq(&reference, &a, &format!("{name} {par:?} split{split}"));
+            }
+        }
+    }
+}
+
+/// The acceptance criterion: a windowed query decodes **only** the
+/// packed blocks whose footer `[min_tb, max_tb]` overlaps the window,
+/// and returns exactly the events the indexed [`EventFilter`] path
+/// selects from the fully decoded analysis.
+#[test]
+fn windowed_query_decodes_only_overlapping_blocks() {
+    for name in GOLDEN {
+        let trace = golden(name);
+        let image = pack(&trace, BLOCK_RECORDS);
+        let v2 = V2Trace::parse(&image).unwrap();
+        let (a, _) = v2.analyze(Parallelism::Serial);
+        let events = a.events();
+        assert!(!events.is_empty(), "{name}: empty golden");
+
+        // An interior window plus the edges and the full span.
+        let t_first = events.first().unwrap().time_tb;
+        let t_last = events.last().unwrap().time_tb;
+        let t_lo = events[events.len() / 3].time_tb;
+        let t_hi = events[2 * events.len() / 3].time_tb;
+        let windows = [
+            (t_lo, t_hi),
+            (t_first, t_lo),
+            (t_hi, t_last + 1),
+            (t_first, t_last + 1),
+            (t_last + 10, t_last + 20),
+        ];
+
+        for (t0, t1) in windows {
+            let wq = v2.window_events(t0, t1);
+
+            let expect = EventFilter::new().in_window(t0, t1).apply(&a);
+            assert_eq!(
+                wq.events.len(),
+                expect.len(),
+                "{name} [{t0},{t1}): event count"
+            );
+            for (got, want) in wq.events.iter().zip(expect.iter()) {
+                assert_eq!(got, *want, "{name} [{t0},{t1})");
+            }
+
+            // Count, from the footer directory alone, the packed
+            // placeable blocks that overlap the window: the query must
+            // decode exactly those and skip everything else.
+            let mut overlapping = 0u64;
+            let mut total = 0u64;
+            for (si, meta) in v2.file().streams.iter().enumerate() {
+                for bi in 0..meta.n_blocks {
+                    total += 1;
+                    let entry = v2.file().entry(si, bi).unwrap();
+                    if meta.anchoring != Anchoring::Unanchored
+                        && entry.flags & FLAG_UNPLACED == 0
+                        && entry.kind == BlockKind::Packed
+                        && entry.overlaps(t0, t1)
+                    {
+                        overlapping += 1;
+                    }
+                }
+            }
+            assert_eq!(
+                wq.stats.blocks_decoded, overlapping,
+                "{name} [{t0},{t1}): decoded exactly the overlapping packed blocks"
+            );
+            assert_eq!(
+                wq.stats.blocks_decoded + wq.stats.blocks_skipped + wq.stats.blocks_corrupt,
+                total,
+                "{name} [{t0},{t1}): every block accounted"
+            );
+        }
+
+        // The interior window must actually skip something, or the
+        // criterion is vacuous.
+        let wq = v2.window_events(t_lo, t_hi);
+        assert!(
+            wq.stats.blocks_skipped > 0,
+            "{name}: interior window skipped no block"
+        );
+        assert!(
+            wq.stats.blocks_decoded < v2.file().total_blocks(),
+            "{name}: interior window decoded everything"
+        );
+    }
+}
