@@ -16,6 +16,12 @@
 //! - `stream_racy.pdt`  the deliberately broken racy double-buffer
 //!   variant — seeds the `dma-race` / `unwaited-tag-group` /
 //!   `wait-without-dma` findings `tests/golden_lints.rs` pins
+//! - `stream_mbox_sync.pdt`  the mailbox-paced, barrier-protected
+//!   in-place double buffer: *correct*, but the window heuristic
+//!   false-positives on its unwaited PUT windows — the engine's
+//!   precision golden
+//! - `stream_tag_hidden.pdt`  the same-tag prefetch race the window
+//!   heuristic cannot see — the engine's recall golden
 //!
 //! Each trace is also emitted as a blocked, compressed v2 container
 //! (`<name>.pdt2`, small blocks so every golden spans several) for the
@@ -104,12 +110,36 @@ fn corpus() -> Result<Vec<(&'static str, TraceFile)>, String> {
         2,
     )?;
 
+    let mbox_sync = trace_of(
+        &StreamWorkload::new(StreamConfig {
+            blocks: 8,
+            block_bytes: 4096,
+            buffering: Buffering::MboxSync,
+            spes: 2,
+            ..StreamConfig::default()
+        }),
+        2,
+    )?;
+
+    let tag_hidden = trace_of(
+        &StreamWorkload::new(StreamConfig {
+            blocks: 6,
+            block_bytes: 4096,
+            buffering: Buffering::TagHidden,
+            spes: 2,
+            ..StreamConfig::default()
+        }),
+        2,
+    )?;
+
     Ok(vec![
         ("matmul.pdt", matmul),
         ("stream.pdt", stream),
         ("pipeline.pdt", pipeline),
         ("stream_faulted.pdt", faulted),
         ("stream_racy.pdt", racy),
+        ("stream_mbox_sync.pdt", mbox_sync),
+        ("stream_tag_hidden.pdt", tag_hidden),
     ])
 }
 

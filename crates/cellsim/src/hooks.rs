@@ -44,6 +44,10 @@ pub enum RuntimeEvent {
         /// Number of list elements (0 for single transfers).
         list_len: u32,
     },
+    /// SPU enqueued an MFC barrier command: all commands enqueued
+    /// before it are ordered before all commands enqueued after it,
+    /// across every tag group.
+    SpeDmaBarrier,
     /// SPU entered a tag-group wait.
     SpeTagWaitBegin {
         /// Tag mask.

@@ -563,6 +563,22 @@ impl Machine {
                 let cmd = DmaCmd::list(DmaKind::Put, lsa, list, tag)?;
                 self.spu_enqueue_dma(spe, cmd)?;
             }
+            SpuAction::DmaBarrier => {
+                let c = self.trace_spe(spe, RuntimeEvent::SpeDmaBarrier);
+                if c > 0 {
+                    self.mark(core, CoreState::TraceOverhead, now);
+                }
+                if self.spes[i].mfc.can_accept_spu() {
+                    let at = now + c + self.cfg.dma_issue_cycles;
+                    self.spes[i].mfc.enqueue_barrier();
+                    self.q.schedule_at(at, SimEvent::MfcIssue { spe });
+                    self.wake_spu(spe, SpuWake::DmaQueued, at);
+                } else {
+                    self.spes[i].mfc.note_queue_full();
+                    self.spes[i].state = SpuState::Blocked(SpuBlock::QueueBarrier);
+                    self.mark(core, CoreState::QueueWait, now + c);
+                }
+            }
             SpuAction::WaitTags { mask, mode } => {
                 let c = self.trace_spe(spe, RuntimeEvent::SpeTagWaitBegin { mask, mode });
                 if c > 0 {
@@ -829,6 +845,9 @@ impl Machine {
             self.unblock_spu_queue_slot(spe)?;
             self.q.schedule_at(finish, SimEvent::MfcDone { spe, src });
         }
+        // A retired barrier frees its queue slot without issuing
+        // anything; a queue-blocked SPU may be able to enqueue now.
+        self.unblock_spu_queue_slot(spe)?;
         Ok(())
     }
 
@@ -913,15 +932,20 @@ impl Machine {
         let i = spe.index();
         if matches!(
             self.spes[i].state,
-            SpuState::Blocked(SpuBlock::QueueSlot(_))
+            SpuState::Blocked(SpuBlock::QueueSlot(_)) | SpuState::Blocked(SpuBlock::QueueBarrier)
         ) && self.spes[i].mfc.can_accept_spu()
         {
             let state = std::mem::replace(&mut self.spes[i].state, SpuState::Running);
-            let SpuState::Blocked(SpuBlock::QueueSlot(cmd)) = state else {
-                unreachable!()
-            };
+            match state {
+                SpuState::Blocked(SpuBlock::QueueSlot(cmd)) => {
+                    self.spes[i].mfc.enqueue_spu(cmd, now);
+                }
+                SpuState::Blocked(SpuBlock::QueueBarrier) => {
+                    self.spes[i].mfc.enqueue_barrier();
+                }
+                _ => unreachable!(),
+            }
             let at = now + self.cfg.dma_issue_cycles;
-            self.spes[i].mfc.enqueue_spu(cmd, now);
             self.q.schedule_at(at, SimEvent::MfcIssue { spe });
             self.wake_spu(spe, SpuWake::DmaQueued, at);
         }

@@ -26,6 +26,18 @@ pub struct QueuedCmd {
     pub enqueued: Cycle,
 }
 
+/// One slot of the SPU command queue: a data-moving command or an
+/// `mfc_barrier`, which occupies a slot like any command but moves no
+/// data — it simply refuses to retire until everything ahead of it has
+/// completed, holding back everything behind it.
+#[derive(Debug, Clone)]
+enum SpuSlot {
+    /// A queued DMA command.
+    Cmd(QueuedCmd),
+    /// A queue barrier.
+    Barrier,
+}
+
 /// A proxy-queue entry: the command, its enqueue time, and the PPE
 /// thread to wake on completion.
 #[derive(Debug, Clone)]
@@ -84,7 +96,7 @@ pub struct MfcStats {
 /// One SPE's MFC state.
 #[derive(Debug)]
 pub struct Mfc {
-    queue: VecDeque<QueuedCmd>,
+    queue: VecDeque<SpuSlot>,
     proxy: VecDeque<ProxyEntry>,
     queue_depth: usize,
     proxy_depth: usize,
@@ -136,7 +148,22 @@ impl Mfc {
         assert!(self.can_accept_spu(), "SPU command queue overflow");
         self.tags.issue(cmd.tag);
         self.stats.spu_cmds += 1;
-        self.queue.push_back(QueuedCmd { cmd, enqueued: now });
+        self.queue
+            .push_back(SpuSlot::Cmd(QueuedCmd { cmd, enqueued: now }));
+    }
+
+    /// Enqueues an `mfc_barrier` command: it takes a queue slot, moves
+    /// no data, and retires only when every earlier command has
+    /// completed, so nothing enqueued after it can start before then.
+    /// The caller must have checked [`Mfc::can_accept_spu`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (machine logic error).
+    pub fn enqueue_barrier(&mut self) {
+        assert!(self.can_accept_spu(), "SPU command queue overflow");
+        self.stats.spu_cmds += 1;
+        self.queue.push_back(SpuSlot::Barrier);
     }
 
     /// Enqueues a tracer flush command, exempt from the capacity check
@@ -145,7 +172,8 @@ impl Mfc {
         self.tags.issue(cmd.tag);
         self.stats.spu_cmds += 1;
         self.stats.trace_cmds += 1;
-        self.queue.push_back(QueuedCmd { cmd, enqueued: now });
+        self.queue
+            .push_back(SpuSlot::Cmd(QueuedCmd { cmd, enqueued: now }));
     }
 
     /// Enqueues a proxy command.
@@ -161,16 +189,34 @@ impl Mfc {
     }
 
     /// Pops the next command to put on the wire, if concurrency allows.
-    /// SPU-queue commands have priority over proxy commands.
+    /// SPU-queue commands have priority over proxy commands. A barrier
+    /// at the head of the SPU queue retires silently once the wire is
+    /// drained; until then it pins the SPU queue (proxy commands, which
+    /// ride their own hardware queue, still flow).
     pub fn next_to_issue(&mut self) -> Option<MfcSource> {
-        if self.inflight >= self.max_inflight {
-            return None;
+        loop {
+            if self.inflight >= self.max_inflight {
+                return None;
+            }
+            match self.queue.front() {
+                Some(SpuSlot::Barrier) => {
+                    if self.inflight > 0 {
+                        // Held: fall through to the proxy queue only.
+                        break;
+                    }
+                    self.queue.pop_front();
+                }
+                Some(SpuSlot::Cmd(_)) => {
+                    let Some(SpuSlot::Cmd(c)) = self.queue.pop_front() else {
+                        unreachable!()
+                    };
+                    self.inflight += 1;
+                    return Some(MfcSource::Spu(c));
+                }
+                None => break,
+            }
         }
-        let src = if let Some(c) = self.queue.pop_front() {
-            Some(MfcSource::Spu(c))
-        } else {
-            self.proxy.pop_front().map(MfcSource::Proxy)
-        };
+        let src = self.proxy.pop_front().map(MfcSource::Proxy);
         if src.is_some() {
             self.inflight += 1;
         }
@@ -276,6 +322,50 @@ mod tests {
         assert_eq!(m.tags.outstanding(t), 0);
         assert_eq!(m.stats.bytes, 256);
         assert!(m.is_idle());
+    }
+
+    #[test]
+    fn barrier_holds_later_commands_until_drain() {
+        let mut m = Mfc::new(16, 8, 4);
+        m.enqueue_spu(cmd(0, 128), Cycle::ZERO);
+        m.enqueue_barrier();
+        m.enqueue_spu(cmd(1, 128), Cycle::new(2));
+        let first = m.next_to_issue().unwrap();
+        assert_eq!(first.cmd().tag.get(), 0);
+        assert!(m.next_to_issue().is_none(), "barrier must hold tag 1");
+        m.complete(&first);
+        let second = m.next_to_issue().unwrap();
+        assert_eq!(second.cmd().tag.get(), 1, "barrier retired after drain");
+        m.complete(&second);
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn proxy_commands_flow_past_a_held_barrier() {
+        let mut m = Mfc::new(16, 8, 4);
+        m.enqueue_spu(cmd(0, 128), Cycle::ZERO);
+        m.enqueue_barrier();
+        m.enqueue_spu(cmd(1, 128), Cycle::new(1));
+        m.enqueue_proxy(ProxyEntry {
+            cmd: cmd(2, 16),
+            enqueued: Cycle::new(2),
+            waiter: PpeThreadId::new(0),
+        });
+        let first = m.next_to_issue().unwrap();
+        assert!(matches!(first, MfcSource::Spu(_)));
+        // The SPU queue is pinned by the barrier, but the proxy queue
+        // is independent hardware and still issues.
+        let next = m.next_to_issue().unwrap();
+        assert!(matches!(next, MfcSource::Proxy(_)));
+        assert!(m.next_to_issue().is_none());
+    }
+
+    #[test]
+    fn lone_barrier_retires_immediately() {
+        let mut m = Mfc::new(16, 8, 4);
+        m.enqueue_barrier();
+        assert!(m.next_to_issue().is_none());
+        assert!(m.is_idle(), "an unobstructed barrier retires in place");
     }
 
     #[test]

@@ -17,6 +17,9 @@ pub(crate) enum SpuBlock {
     /// Waiting for a free MFC command-queue slot; the command to
     /// enqueue once one frees.
     QueueSlot(DmaCmd),
+    /// Waiting for a free MFC command-queue slot to enqueue an
+    /// `mfc_barrier`.
+    QueueBarrier,
     /// Waiting for tag groups.
     Tags {
         /// Tag mask.

@@ -62,6 +62,12 @@ pub enum SpuAction {
         /// Tag group.
         tag: TagId,
     },
+    /// Enqueue an MFC barrier command (`mfc_barrier`). Every command
+    /// enqueued before the barrier completes its data movement before
+    /// any command enqueued after it starts, regardless of tag group.
+    /// No data moves and no tag completes; the SPU resumes after the
+    /// enqueue like any other MFC command.
+    DmaBarrier,
     /// Block until tag groups in `mask` complete per `mode`.
     WaitTags {
         /// Tag-group bit mask.

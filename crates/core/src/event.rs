@@ -21,6 +21,10 @@ pub enum EventCode {
     SpeDmaGet = 0x0110,
     /// SPU enqueued a PUT. Params: as `SpeDmaGet`.
     SpeDmaPut = 0x0111,
+    /// SPU enqueued an MFC barrier command: every command enqueued
+    /// before it is ordered before every command enqueued after it,
+    /// across all tag groups. Params: `[]`.
+    SpeDmaBarrier = 0x0112,
     /// SPU issued an atomic fetch-and-add. Params: `[ea, delta]`.
     SpeAtomic = 0x0116,
     /// SPU entered a tag wait. Params: `[mask, mode]` (0=all, 1=any).
@@ -79,6 +83,7 @@ impl EventCode {
             0x0101 => SpeStop,
             0x0110 => SpeDmaGet,
             0x0111 => SpeDmaPut,
+            0x0112 => SpeDmaBarrier,
             0x0114 => SpeTagWaitBegin,
             0x0115 => SpeTagWaitEnd,
             0x0116 => SpeAtomic,
@@ -108,7 +113,7 @@ impl EventCode {
         use EventCode::*;
         match self {
             SpeCtxStart | SpeStop => EventGroup::SpeLifecycle,
-            SpeDmaGet | SpeDmaPut | SpeAtomic | SpeTagWaitBegin | SpeTagWaitEnd => {
+            SpeDmaGet | SpeDmaPut | SpeDmaBarrier | SpeAtomic | SpeTagWaitBegin | SpeTagWaitEnd => {
                 EventGroup::SpeDma
             }
             SpeMboxReadBegin | SpeMboxReadEnd | SpeMboxWrite | SpeIntrMboxWrite => {
@@ -132,6 +137,7 @@ impl EventCode {
             SpeStop => "spe-stop",
             SpeDmaGet => "spe-dma-get",
             SpeDmaPut => "spe-dma-put",
+            SpeDmaBarrier => "spe-dma-barrier",
             SpeAtomic => "spe-atomic",
             SpeTagWaitBegin => "spe-tag-wait-begin",
             SpeTagWaitEnd => "spe-tag-wait-end",
@@ -198,6 +204,7 @@ pub fn encode_event(ev: &RuntimeEvent) -> EncodedEvent {
                 None,
             )
         }
+        RuntimeEvent::SpeDmaBarrier => (EventCode::SpeDmaBarrier, vec![], None),
         RuntimeEvent::SpeSignalSend { target, reg, value } => (
             EventCode::SpeSignalSend,
             vec![

@@ -34,6 +34,21 @@ pub enum EdgeKind {
     /// An SPE outbound-mailbox write must precede the PPE read that
     /// consumed the same (k-th) word.
     OutboundMbox,
+    /// A signal-notify send (SPE `sndsig` or PPE register write) must
+    /// precede the k-th completed read of the same `(target, register)`
+    /// pair. Only emitted by [`sync_edges_columns`]: the skew machinery
+    /// ([`violations`], [`estimate_skew`]) deliberately ignores signal
+    /// traffic, so [`causal_edges`] never returns this kind.
+    Signal,
+}
+
+fn kind_rank(k: EdgeKind) -> u8 {
+    match k {
+        EdgeKind::CtxStart => 0,
+        EdgeKind::InboundMbox => 1,
+        EdgeKind::OutboundMbox => 2,
+        EdgeKind::Signal => 3,
+    }
 }
 
 /// One happens-before edge between two events (indices into
@@ -101,86 +116,11 @@ pub fn causal_edges(trace: &AnalyzedTrace) -> Vec<CausalEdge> {
 /// `CtxStart` edges survive: they pair by context id, not by count.
 pub fn causal_edges_with_loss(trace: &AnalyzedTrace, loss: &LossReport) -> Vec<CausalEdge> {
     let ctx_spe = ctx_to_spe(trace);
-    let mut edges = Vec::new();
-
-    // Queues of pending producer events per (spe, direction).
-    let mut run_by_spe: HashMap<u8, usize> = HashMap::new();
-    let mut in_writes: HashMap<u8, Vec<usize>> = HashMap::new();
-    let mut in_reads: HashMap<u8, Vec<usize>> = HashMap::new();
-    let mut out_writes: HashMap<u8, Vec<usize>> = HashMap::new();
-    let mut out_reads: HashMap<u8, Vec<usize>> = HashMap::new();
-    let mut starts: HashMap<u8, usize> = HashMap::new();
-
+    let mut q = SyncQueues::default();
     for (i, e) in trace.events.iter().enumerate() {
-        match (e.core, e.code) {
-            (TraceCore::Ppe(_), EventCode::PpeCtxRun) => {
-                run_by_spe.insert(e.params[1] as u8, i);
-            }
-            (TraceCore::Spe(s), EventCode::SpeCtxStart) => {
-                starts.insert(s, i);
-            }
-            (TraceCore::Ppe(_), EventCode::PpeMboxWrite) => {
-                if let Some(spe) = ctx_spe.get(&(e.params[0] as u32)) {
-                    in_writes.entry(*spe).or_default().push(i);
-                }
-            }
-            (TraceCore::Spe(s), EventCode::SpeMboxReadEnd) => {
-                in_reads.entry(s).or_default().push(i);
-            }
-            (TraceCore::Spe(s), EventCode::SpeMboxWrite) => {
-                out_writes.entry(s).or_default().push(i);
-            }
-            (TraceCore::Ppe(_), EventCode::PpeMboxRead) => {
-                if let Some(spe) = ctx_spe.get(&(e.params[0] as u32)) {
-                    out_reads.entry(*spe).or_default().push(i);
-                }
-            }
-            _ => {}
-        }
+        q.observe(i, e.core, e.code, &e.params, &ctx_spe);
     }
-
-    for (spe, start) in &starts {
-        if let Some(run) = run_by_spe.get(spe) {
-            edges.push(CausalEdge {
-                earlier: *run,
-                later: *start,
-                kind: EdgeKind::CtxStart,
-            });
-        }
-    }
-    // Mailboxes are FIFO: the k-th consume pairs with the k-th produce.
-    // (Events within one core are already in recording order, and the
-    // global sort is stable on stream order, so index order in each
-    // queue is the k order.)
-    for (spe, writes) in &in_writes {
-        if loss.suspect(*spe) {
-            continue;
-        }
-        if let Some(reads) = in_reads.get(spe) {
-            for (w, r) in writes.iter().zip(reads) {
-                edges.push(CausalEdge {
-                    earlier: *w,
-                    later: *r,
-                    kind: EdgeKind::InboundMbox,
-                });
-            }
-        }
-    }
-    for (spe, writes) in &out_writes {
-        if loss.suspect(*spe) {
-            continue;
-        }
-        if let Some(reads) = out_reads.get(spe) {
-            for (w, r) in writes.iter().zip(reads) {
-                edges.push(CausalEdge {
-                    earlier: *w,
-                    later: *r,
-                    kind: EdgeKind::OutboundMbox,
-                });
-            }
-        }
-    }
-    edges
+    q.emit(loss, false)
 }
 
 /// [`causal_edges_with_loss`] over the columnar store: the same
@@ -191,81 +131,210 @@ pub fn causal_edges_with_loss(trace: &AnalyzedTrace, loss: &LossReport) -> Vec<C
 /// the differential oracle.
 pub fn causal_edges_columns(trace: &ColumnarTrace, loss: &LossReport) -> Vec<CausalEdge> {
     let ctx_spe: HashMap<u32, u8> = trace.anchors.iter().map(|a| (a.ctx, a.spe)).collect();
-    let mut edges = Vec::new();
-
-    let mut run_by_spe: HashMap<u8, usize> = HashMap::new();
-    let mut in_writes: HashMap<u8, Vec<usize>> = HashMap::new();
-    let mut in_reads: HashMap<u8, Vec<usize>> = HashMap::new();
-    let mut out_writes: HashMap<u8, Vec<usize>> = HashMap::new();
-    let mut out_reads: HashMap<u8, Vec<usize>> = HashMap::new();
-    let mut starts: HashMap<u8, usize> = HashMap::new();
-
+    let mut q = SyncQueues::default();
     for (i, v) in trace.events.iter().enumerate() {
-        match (v.core, v.code) {
+        q.observe(i, v.core, v.code, v.params, &ctx_spe);
+    }
+    q.emit(loss, false)
+}
+
+/// The full synchronization-edge set of a trace — the shared extraction
+/// behind [`causal_edges_columns`] plus the signal-notify pairings the
+/// skew machinery ignores. This is the edge set the happens-before
+/// race engine ([`crate::hb`]) propagates vector clocks over, and what
+/// [`crate::session::Analysis`] memoizes once per trace so the lint
+/// rules stop re-deriving pairings per rule, per shard, and per
+/// streaming snapshot epoch.
+///
+/// Output is sorted by `(later, earlier, kind)`, so repeated extraction
+/// over identical columns is byte-identical regardless of internal map
+/// iteration order.
+pub fn sync_edges_columns(trace: &ColumnarTrace, loss: &LossReport) -> Vec<CausalEdge> {
+    let ctx_spe: HashMap<u32, u8> = trace.anchors.iter().map(|a| (a.ctx, a.spe)).collect();
+    let mut q = SyncQueues::default();
+    for (i, v) in trace.events.iter().enumerate() {
+        q.observe(i, v.core, v.code, v.params, &ctx_spe);
+    }
+    let mut edges = q.emit(loss, true);
+    edges.sort_unstable_by_key(|e| (e.later, e.earlier, kind_rank(e.kind)));
+    edges
+}
+
+/// Producer/consumer queues for every synchronization pairing the
+/// trace proves, harvested in one pass over any event sequence (rows
+/// or columns). The single definition of the FIFO pairing semantics —
+/// [`causal_edges_with_loss`], [`causal_edges_columns`] and
+/// [`sync_edges_columns`] all feed it.
+/// One recorded signal send: event index plus the sending SPE
+/// (`None` for PPE register writes).
+type SigSend = (usize, Option<u8>);
+
+#[derive(Default)]
+struct SyncQueues {
+    /// spe → `PpeCtxRun` event.
+    run_by_spe: HashMap<u8, usize>,
+    /// spe → `SpeCtxStart` event.
+    starts: HashMap<u8, usize>,
+    /// Inbound mailbox: PPE writes / SPE read-ends per SPE.
+    in_writes: HashMap<u8, Vec<usize>>,
+    in_reads: HashMap<u8, Vec<usize>>,
+    /// Outbound mailbox: SPE writes / PPE reads per SPE.
+    out_writes: HashMap<u8, Vec<usize>>,
+    out_reads: HashMap<u8, Vec<usize>>,
+    /// Signal sends per `(target spe, register)`, each tagged with the
+    /// sending SPE (`None` for PPE register writes).
+    sig_sends: HashMap<(u8, u8), Vec<SigSend>>,
+    /// Completed signal reads per `(spe, register)`.
+    sig_reads: HashMap<(u8, u8), Vec<usize>>,
+    /// Register named by the currently open `SpeSignalReadBegin` per
+    /// SPE — read-end records carry only the value, so the bracket
+    /// supplies the register.
+    open_sig_reg: HashMap<u8, u8>,
+}
+
+impl SyncQueues {
+    fn observe(
+        &mut self,
+        i: usize,
+        core: TraceCore,
+        code: EventCode,
+        params: &[u64],
+        ctx_spe: &HashMap<u32, u8>,
+    ) {
+        let ctx_target = |k: usize| {
+            params
+                .get(k)
+                .and_then(|c| ctx_spe.get(&(*c as u32)))
+                .copied()
+        };
+        match (core, code) {
             (TraceCore::Ppe(_), EventCode::PpeCtxRun) => {
-                run_by_spe.insert(v.params[1] as u8, i);
+                if let Some(&spe) = params.get(1) {
+                    self.run_by_spe.insert(spe as u8, i);
+                }
             }
             (TraceCore::Spe(s), EventCode::SpeCtxStart) => {
-                starts.insert(s, i);
+                self.starts.insert(s, i);
             }
             (TraceCore::Ppe(_), EventCode::PpeMboxWrite) => {
-                if let Some(spe) = ctx_spe.get(&(v.params[0] as u32)) {
-                    in_writes.entry(*spe).or_default().push(i);
+                if let Some(spe) = ctx_target(0) {
+                    self.in_writes.entry(spe).or_default().push(i);
                 }
             }
             (TraceCore::Spe(s), EventCode::SpeMboxReadEnd) => {
-                in_reads.entry(s).or_default().push(i);
+                self.in_reads.entry(s).or_default().push(i);
             }
             (TraceCore::Spe(s), EventCode::SpeMboxWrite) => {
-                out_writes.entry(s).or_default().push(i);
+                self.out_writes.entry(s).or_default().push(i);
             }
             (TraceCore::Ppe(_), EventCode::PpeMboxRead) => {
-                if let Some(spe) = ctx_spe.get(&(v.params[0] as u32)) {
-                    out_reads.entry(*spe).or_default().push(i);
+                if let Some(spe) = ctx_target(0) {
+                    self.out_reads.entry(spe).or_default().push(i);
                 }
+            }
+            (TraceCore::Spe(s), EventCode::SpeSignalSend) => {
+                if let (Some(&target), Some(&reg)) = (params.first(), params.get(1)) {
+                    self.sig_sends
+                        .entry((target as u8, reg as u8))
+                        .or_default()
+                        .push((i, Some(s)));
+                }
+            }
+            (TraceCore::Ppe(_), EventCode::PpeSignalWrite) => {
+                if let (Some(spe), Some(&reg)) = (ctx_target(0), params.get(1)) {
+                    self.sig_sends
+                        .entry((spe, reg as u8))
+                        .or_default()
+                        .push((i, None));
+                }
+            }
+            (TraceCore::Spe(s), EventCode::SpeSignalReadBegin) => {
+                if let Some(&reg) = params.first() {
+                    self.open_sig_reg.insert(s, reg as u8);
+                }
+            }
+            (TraceCore::Spe(s), EventCode::SpeSignalReadEnd) => {
+                let reg = self.open_sig_reg.get(&s).copied().unwrap_or(0);
+                self.sig_reads.entry((s, reg)).or_default().push(i);
             }
             _ => {}
         }
     }
 
-    for (spe, start) in &starts {
-        if let Some(run) = run_by_spe.get(spe) {
-            edges.push(CausalEdge {
-                earlier: *run,
-                later: *start,
-                kind: EdgeKind::CtxStart,
-            });
-        }
-    }
-    for (spe, writes) in &in_writes {
-        if loss.suspect(*spe) {
-            continue;
-        }
-        if let Some(reads) = in_reads.get(spe) {
-            for (w, r) in writes.iter().zip(reads) {
+    /// Pairs the queues into edges. Mailboxes and signal registers are
+    /// FIFO: the k-th consume pairs with the k-th produce. (Events
+    /// within one core are already in recording order, and the global
+    /// sort is stable on stream order, so index order in each queue is
+    /// the k order.) Pairings that trace damage could have shifted
+    /// off-by-k are dropped, not fabricated; `CtxStart` edges survive
+    /// because they pair by context id, not by count. Iteration is over
+    /// sorted keys so the emission order is deterministic.
+    fn emit(&self, loss: &LossReport, signals: bool) -> Vec<CausalEdge> {
+        let mut edges = Vec::new();
+        let sorted_keys = |m: &HashMap<u8, Vec<usize>>| {
+            let mut keys: Vec<u8> = m.keys().copied().collect();
+            keys.sort_unstable();
+            keys
+        };
+        let mut start_spes: Vec<u8> = self.starts.keys().copied().collect();
+        start_spes.sort_unstable();
+        for spe in start_spes {
+            if let Some(run) = self.run_by_spe.get(&spe) {
                 edges.push(CausalEdge {
-                    earlier: *w,
-                    later: *r,
-                    kind: EdgeKind::InboundMbox,
+                    earlier: *run,
+                    later: self.starts[&spe],
+                    kind: EdgeKind::CtxStart,
                 });
             }
         }
-    }
-    for (spe, writes) in &out_writes {
-        if loss.suspect(*spe) {
-            continue;
-        }
-        if let Some(reads) = out_reads.get(spe) {
-            for (w, r) in writes.iter().zip(reads) {
-                edges.push(CausalEdge {
-                    earlier: *w,
-                    later: *r,
-                    kind: EdgeKind::OutboundMbox,
-                });
+        for (queue, reads, kind) in [
+            (&self.in_writes, &self.in_reads, EdgeKind::InboundMbox),
+            (&self.out_writes, &self.out_reads, EdgeKind::OutboundMbox),
+        ] {
+            for spe in sorted_keys(queue) {
+                if loss.suspect(spe) {
+                    continue;
+                }
+                if let Some(reads) = reads.get(&spe) {
+                    for (w, r) in queue[&spe].iter().zip(reads) {
+                        edges.push(CausalEdge {
+                            earlier: *w,
+                            later: *r,
+                            kind,
+                        });
+                    }
+                }
             }
         }
+        if signals {
+            let mut sig_keys: Vec<(u8, u8)> = self.sig_sends.keys().copied().collect();
+            sig_keys.sort_unstable();
+            for key in sig_keys {
+                let sends = &self.sig_sends[&key];
+                // A lost send or read shifts k for the whole register,
+                // and a suspect *sender* may have sent words the trace
+                // no longer shows — drop the register's pairings if any
+                // involved stream is suspect.
+                if loss.suspect(key.0)
+                    || sends
+                        .iter()
+                        .any(|(_, sender)| sender.is_some_and(|s| loss.suspect(s)))
+                {
+                    continue;
+                }
+                if let Some(reads) = self.sig_reads.get(&key) {
+                    for ((w, _), r) in sends.iter().zip(reads) {
+                        edges.push(CausalEdge {
+                            earlier: *w,
+                            later: *r,
+                            kind: EdgeKind::Signal,
+                        });
+                    }
+                }
+            }
+        }
+        edges
     }
-    edges
 }
 
 /// Reports the edges whose reconstructed timestamps are reversed.
@@ -478,14 +547,7 @@ mod tests {
     fn columnar_edges_match_row_edges() {
         use crate::columns::ColumnarTrace;
         // Edge order depends on HashMap iteration, so compare as sets.
-        let key = |e: &CausalEdge| {
-            let k = match e.kind {
-                EdgeKind::CtxStart => 0u8,
-                EdgeKind::InboundMbox => 1,
-                EdgeKind::OutboundMbox => 2,
-            };
-            (e.earlier, e.later, k)
-        };
+        let key = |e: &CausalEdge| (e.earlier, e.later, kind_rank(e.kind));
         let sorted = |mut v: Vec<CausalEdge>| {
             v.sort_by_key(key);
             v
@@ -513,6 +575,108 @@ mod tests {
             sorted(causal_edges_columns(&cols, &loss)),
             sorted(causal_edges_with_loss(&t, &loss))
         );
+    }
+
+    /// SPE1 `sndsig`s SPE0 twice on register 1, the PPE writes
+    /// register 2 once; SPE0 completes two reads of reg 1 and one of
+    /// reg 2.
+    fn signal_trace() -> AnalyzedTrace {
+        use EventCode::*;
+        let ppe = TraceCore::Ppe(0);
+        let spe0 = TraceCore::Spe(0);
+        let spe1 = TraceCore::Spe(1);
+        let mut t = skewed_trace();
+        t.header.num_spes = 2;
+        t.events = vec![
+            ev(10, ppe, PpeCtxRun, vec![0, 0, u32::MAX as u64], 0),
+            ev(12, ppe, PpeCtxRun, vec![1, 1, u32::MAX as u64], 1),
+            ev(15, spe0, SpeCtxStart, vec![0], 0),
+            ev(16, spe1, SpeCtxStart, vec![1], 0),
+            ev(20, spe1, SpeSignalSend, vec![0, 1, 7], 1),
+            ev(25, spe0, SpeSignalReadBegin, vec![1], 1),
+            ev(30, spe0, SpeSignalReadEnd, vec![7], 2),
+            ev(40, ppe, PpeSignalWrite, vec![0, 2, 9], 2),
+            ev(45, spe0, SpeSignalReadBegin, vec![2], 3),
+            ev(50, spe0, SpeSignalReadEnd, vec![9], 4),
+            ev(60, spe1, SpeSignalSend, vec![0, 1, 8], 2),
+            ev(65, spe0, SpeSignalReadBegin, vec![1], 5),
+            ev(70, spe0, SpeSignalReadEnd, vec![8], 6),
+        ];
+        t.anchors = vec![
+            SpeAnchor {
+                spe: 0,
+                ctx: 0,
+                run_tb: 10,
+                dec_start: u32::MAX,
+            },
+            SpeAnchor {
+                spe: 1,
+                ctx: 1,
+                run_tb: 12,
+                dec_start: u32::MAX,
+            },
+        ];
+        t
+    }
+
+    #[test]
+    fn sync_edges_pair_signals_by_register_fifo() {
+        use crate::columns::ColumnarTrace;
+        let t = signal_trace();
+        let cols = ColumnarTrace::from_analyzed(&t);
+        let empty = LossReport::default();
+        // The skew path never sees signal traffic...
+        assert!(causal_edges_columns(&cols, &empty)
+            .iter()
+            .all(|e| e.kind != EdgeKind::Signal));
+        // ...but the full sync-edge set pairs each send with the k-th
+        // completed read of the same (target, register).
+        let edges = sync_edges_columns(&cols, &empty);
+        let sig: Vec<(usize, usize)> = edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Signal)
+            .map(|e| (e.earlier, e.later))
+            .collect();
+        // reg1: send@4 → read-end@6, send@10 → read-end@12;
+        // reg2: ppe-write@7 → read-end@9.
+        assert_eq!(sig, vec![(4, 6), (7, 9), (10, 12)], "{edges:?}");
+        // Output is sorted by (later, earlier, kind): deterministic.
+        let mut resorted = edges.clone();
+        resorted.sort_by_key(|e| (e.later, e.earlier, kind_rank(e.kind)));
+        assert_eq!(edges, resorted);
+    }
+
+    #[test]
+    fn suspect_streams_drop_signal_pairings() {
+        use crate::columns::ColumnarTrace;
+        use crate::loss::StreamLoss;
+        let t = signal_trace();
+        let cols = ColumnarTrace::from_analyzed(&t);
+        let lossy = |core| StreamLoss {
+            core,
+            decoded_records: 4,
+            tracer_dropped: 1,
+            gaps: vec![],
+            unanchored: false,
+        };
+        // Suspect *sender* (SPE1): its register-1 pairings drop, the
+        // PPE's register-2 edge survives (PPE streams are clean here).
+        let loss = LossReport {
+            streams: vec![lossy(TraceCore::Spe(1))],
+        };
+        let sig: Vec<usize> = sync_edges_columns(&cols, &loss)
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Signal)
+            .map(|e| e.earlier)
+            .collect();
+        assert_eq!(sig, vec![7]);
+        // Suspect *target* (SPE0): every signal pairing into it drops.
+        let loss = LossReport {
+            streams: vec![lossy(TraceCore::Spe(0))],
+        };
+        assert!(sync_edges_columns(&cols, &loss)
+            .iter()
+            .all(|e| e.kind != EdgeKind::Signal));
     }
 
     #[test]

@@ -515,6 +515,13 @@ impl ColumnarTrace {
         self.core_group_mask(core) & group as u32 != 0
     }
 
+    /// Every core that recorded at least one event, tag-sorted — the
+    /// stream universe the happens-before engine sizes its vector
+    /// clocks over.
+    pub fn cores(&self) -> Vec<TraceCore> {
+        self.core_offsets().iter().map(|&(c, _)| c).collect()
+    }
+
     /// `core`'s offsets into the global event order (empty when the
     /// core produced nothing).
     pub fn core_slice(&self, core: TraceCore) -> &[u32] {

@@ -287,6 +287,9 @@ impl<'scope> Scope<'scope> {
     /// its local LIFO deque (hot data stays put; idle siblings steal
     /// the oldest task); otherwise it goes to the scope's global
     /// injector.
+    // The one unsafe region in the workspace (the manifests forbid it
+    // elsewhere): scoped lifetime erasure, justified at each site.
+    #[allow(unsafe_code)]
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,

@@ -1,0 +1,1022 @@
+//! `ta::hb` — the happens-before race engine.
+//!
+//! The `dma-race` heuristic (half-open tag-wait windows, PR 4) is a
+//! timing pattern-matcher: it misses races that coincidental timing
+//! hides inside one wait window and flags overlaps that mailbox or
+//! signal traffic actually orders. This module replaces it with a
+//! sound ordering analysis in the ThreadSanitizer tradition: every
+//! stream (SPE or PPE) gets an epoch-based [`VecClock`], clocks
+//! advance along program order and join across the synchronization
+//! edges [`sync_edges_columns`](crate::causality::sync_edges_columns)
+//! proves (context starts, mailbox FIFO pairs, signal-notify pairs),
+//! and two overlapping DMA accesses race exactly when neither is
+//! ordered before the other.
+//!
+//! ## What orders what
+//!
+//! | mechanism | scope | effect |
+//! |-----------|-------|--------|
+//! | `SpeTagWaitEnd` covering a transfer's tag | own stream | the transfer is complete at the wait; later issues on any stream that *observes* the wait (via clocks) are ordered after it |
+//! | `SpeDmaBarrier` | own MFC queue | every transfer issued before the barrier completes before any command issued after it |
+//! | mailbox / signal / ctx-start edges | cross-stream | propagate completion knowledge between streams |
+//!
+//! Within one tag group the MFC orders *nothing* absent a wait or
+//! barrier — two same-tag transfers on overlapping bytes race, which
+//! the window heuristic can never report (it skips same-tag pairs).
+//!
+//! ## Conservatism
+//!
+//! The clock relation under-approximates true happens-before: a
+//! completion witness is only a *direct* covering `SpeTagWaitEnd`
+//! (barrier-transitive completion affects intra-stream ordering only),
+//! and damaged traces drop sync edges rather than guess at pairings.
+//! Losing an edge can only lose orderings, i.e. add findings, never
+//! hide a true race. When clock-skewed streams force the propagation
+//! to break a cycle, the index is marked [`degraded`](HbIndex::degraded)
+//! and every finding downgrades to suspect.
+//!
+//! ## Access model
+//!
+//! A `GET` writes local store and reads main memory; a `PUT` reads
+//! local store and writes main memory. Local-store pairs are per-SPE
+//! (the simulator does not model cross-SPE LS-mapped DMA); effective-
+//! address pairs are global. List DMAs scatter their EA side, so they
+//! participate in the LS check only. PPE-side proxy DMA is not
+//! reconstructed (matching the window heuristic).
+
+use std::collections::{HashMap, HashSet};
+
+use pdt::{EventCode, EventGroup, TraceCore};
+
+use crate::causality::CausalEdge;
+use crate::columns::ColumnarTrace;
+use crate::index::{IntervalTree, Span};
+
+/// An epoch-based vector clock: component `i` is the number of events
+/// of stream `i` known to have happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VecClock(Vec<u32>);
+
+impl VecClock {
+    /// The zero clock over `width` streams.
+    pub fn new(width: usize) -> Self {
+        VecClock(vec![0; width])
+    }
+
+    /// Number of stream components.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Component `i` (0 when out of range, so narrower clocks compare
+    /// as if zero-extended).
+    pub fn get(&self, i: usize) -> u32 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+
+    /// Sets component `i`.
+    pub fn set(&mut self, i: usize, v: u32) {
+        if i < self.0.len() {
+            self.0[i] = v;
+        }
+    }
+
+    /// Element-wise maximum, in place: afterwards `self` dominates both
+    /// operands' prior values.
+    pub fn join(&mut self, other: &VecClock) {
+        for (a, &b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// True when every component of `self` is ≥ the matching component
+    /// of `other`.
+    pub fn dominates(&self, other: &VecClock) -> bool {
+        let w = self.width().max(other.width());
+        (0..w).all(|i| self.get(i) >= other.get(i))
+    }
+}
+
+/// Kahn-style worklist propagation of per-stream clocks over the sync
+/// edges. A single time-ordered pass would be wrong — SPE decrementers
+/// skew, so an edge's `later` endpoint can carry an *earlier*
+/// timestamp — so instead each stream advances while the producers of
+/// its next event's incoming edges have been processed, round-robin
+/// until the trace drains.
+///
+/// `on_event(global, stream, pos, clock)` fires once per event with
+/// the stream's clock *after* the event (own epoch `pos + 1` set,
+/// incoming edges joined). Returns `true` when a cross-edge cycle
+/// (possible only in clock-skewed or damaged traces) forced progress
+/// by ignoring an unprocessed producer.
+fn propagate<F>(trace: &ColumnarTrace, edges: &[CausalEdge], mut on_event: F) -> bool
+where
+    F: FnMut(usize, usize, u32, &VecClock),
+{
+    let offsets = trace.core_offsets();
+    let width = offsets.len();
+    let n = trace.events.len();
+    let mut stream_of = vec![0u32; n];
+    let mut pos_of = vec![0u32; n];
+    for (si, (_, offs)) in offsets.iter().enumerate() {
+        for (pos, &g) in offs.iter().enumerate() {
+            stream_of[g as usize] = si as u32;
+            pos_of[g as usize] = pos as u32;
+        }
+    }
+    let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut needed = vec![false; n];
+    for e in edges {
+        if e.earlier < n && e.later < n {
+            incoming[e.later].push(e.earlier);
+            needed[e.earlier] = true;
+        }
+    }
+    let mut cursors = vec![0usize; width];
+    let mut clocks: Vec<VecClock> = (0..width).map(|_| VecClock::new(width)).collect();
+    let mut released: HashMap<usize, VecClock> = HashMap::new();
+    let mut remaining = n;
+    let mut degraded = false;
+
+    let mut process = |si: usize,
+                       cursors: &mut Vec<usize>,
+                       clocks: &mut Vec<VecClock>,
+                       released: &mut HashMap<usize, VecClock>,
+                       remaining: &mut usize| {
+        let pos = cursors[si];
+        let g = offsets[si].1[pos] as usize;
+        let clock = &mut clocks[si];
+        clock.set(si, pos as u32 + 1);
+        for p in &incoming[g] {
+            if let Some(rc) = released.get(p) {
+                clock.join(rc);
+            }
+        }
+        if needed[g] {
+            released.insert(g, clock.clone());
+        }
+        on_event(g, si, pos as u32, clock);
+        cursors[si] = pos + 1;
+        *remaining -= 1;
+    };
+
+    while remaining > 0 {
+        let mut progressed = false;
+        for si in 0..width {
+            while cursors[si] < offsets[si].1.len() {
+                let g = offsets[si].1[cursors[si]] as usize;
+                let ready = incoming[g]
+                    .iter()
+                    .all(|&p| (pos_of[p] as usize) < cursors[stream_of[p] as usize]);
+                if !ready {
+                    break;
+                }
+                process(si, &mut cursors, &mut clocks, &mut released, &mut remaining);
+                progressed = true;
+            }
+        }
+        if !progressed && remaining > 0 {
+            // Every stream is blocked on an unprocessed producer: a
+            // cycle through the edge set. Break it at the lowest-tag
+            // blocked stream (deterministic), joining only the
+            // producers that *have* released — losing a join loses
+            // orderings, which can only add (suspect) findings.
+            let si = (0..width)
+                .find(|&s| cursors[s] < offsets[s].1.len())
+                .expect("remaining > 0 implies an unfinished stream");
+            process(si, &mut cursors, &mut clocks, &mut released, &mut remaining);
+            degraded = true;
+        }
+    }
+    degraded
+}
+
+/// The full per-event clock table — the dense export the property
+/// tests check the vector-clock laws against. The race engine itself
+/// uses the sparse path ([`HbIndex::build`]) that only snapshots
+/// clocks at DMA issues.
+#[derive(Debug)]
+pub struct ClockTable {
+    clocks: Vec<VecClock>,
+    place: Vec<(usize, u32)>,
+    streams: Vec<TraceCore>,
+    degraded: bool,
+}
+
+/// Propagates clocks over every event and returns the dense table.
+pub fn event_clocks(trace: &ColumnarTrace, edges: &[CausalEdge]) -> ClockTable {
+    let n = trace.events.len();
+    let mut clocks = vec![VecClock::new(0); n];
+    let mut place = vec![(0usize, 0u32); n];
+    let degraded = propagate(trace, edges, |g, si, pos, vc| {
+        clocks[g] = vc.clone();
+        place[g] = (si, pos);
+    });
+    ClockTable {
+        clocks,
+        place,
+        streams: trace.cores(),
+        degraded,
+    }
+}
+
+impl ClockTable {
+    /// The stream universe, tag-sorted — component `i` of every clock
+    /// counts events of `streams()[i]`.
+    pub fn streams(&self) -> &[TraceCore] {
+        &self.streams
+    }
+
+    /// The clock after event `i` (its own epoch included).
+    pub fn clock(&self, i: usize) -> &VecClock {
+        &self.clocks[i]
+    }
+
+    /// `(stream index, stream position)` of event `i`.
+    pub fn place(&self, i: usize) -> (usize, u32) {
+        self.place[i]
+    }
+
+    /// Whether `a` happened before `b`: `b`'s clock has observed `a`'s
+    /// epoch. Irreflexive by definition.
+    pub fn happens_before(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        let (sa, pa) = self.place[a];
+        self.clocks[b].get(sa) > pa
+    }
+
+    /// True when a cycle in the edge set forced propagation to guess.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+}
+
+/// Direction of a reconstructed DMA access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessDir {
+    /// Main storage → local store: writes LS, reads EA.
+    Get,
+    /// Local store → main storage: reads LS, writes EA.
+    Put,
+}
+
+impl AccessDir {
+    /// Uppercase mnemonic (`"GET"` / `"PUT"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessDir::Get => "GET",
+            AccessDir::Put => "PUT",
+        }
+    }
+}
+
+/// The address space a race witness collides in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Space {
+    /// One SPE's local store (the `lsa` side of both transfers).
+    LocalStore,
+    /// Main memory (the `ea` side of both transfers).
+    MainMemory,
+}
+
+/// One endpoint of a race: a reconstructed DMA transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The issuing SPE.
+    pub spe: u8,
+    /// Transfer direction.
+    pub dir: AccessDir,
+    /// MFC tag group.
+    pub tag: u8,
+    /// Local-store address.
+    pub lsa: u64,
+    /// Effective (main-memory) address.
+    pub ea: u64,
+    /// Transfer length.
+    pub bytes: u64,
+    /// Issue tick.
+    pub time_tb: u64,
+    /// Per-stream sequence number of the issue event.
+    pub seq: u64,
+    /// Index of the issue event in the global order.
+    pub global: usize,
+}
+
+/// A race the engine proved: two overlapping accesses with no ordering
+/// path, plus the exact byte intersection. `first`/`second` follow the
+/// global event order, so `second` is the natural diagnostic anchor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceWitness {
+    /// Which address space the bytes collide in.
+    pub space: Space,
+    /// The earlier access (by global event order).
+    pub first: Access,
+    /// The later access.
+    pub second: Access,
+    /// Start of the byte intersection (in `space` addresses).
+    pub lo: u64,
+    /// End (exclusive) of the byte intersection.
+    pub hi: u64,
+    /// Both accesses share one tag group — the class of race the
+    /// window heuristic structurally cannot report.
+    pub same_tag: bool,
+}
+
+/// One reconstructed transfer with its ordering state.
+struct Transfer {
+    acc: Access,
+    /// List DMA: the EA side scatters, so it joins the LS check only.
+    list: bool,
+    /// Position of the issue in its SPE's stream.
+    pos: u32,
+    /// First position that orders later same-queue issues after this
+    /// transfer: the first covering `SpeTagWaitEnd` or the first
+    /// `SpeDmaBarrier` after issue (`u32::MAX` when neither exists).
+    order_pos: u32,
+    /// First covering `SpeTagWaitEnd` — the only completion witness
+    /// other streams can observe (`u32::MAX` when never waited).
+    wait_pos: u32,
+    /// Stream index of the issuing SPE in the clock universe.
+    stream: usize,
+    /// The stream's clock at issue.
+    issue_vc: VecClock,
+}
+
+/// An address-space span carried by the overlap tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AddrSpan {
+    lo: u64,
+    hi: u64,
+    idx: u32,
+}
+
+impl Span for AddrSpan {
+    fn span(&self) -> (u64, u64) {
+        (self.lo, self.hi)
+    }
+}
+
+/// The built race index: every proven [`RaceWitness`], grouped into
+/// per-`(spe, tag)` shards for the parallel lint runner.
+#[derive(Debug)]
+pub struct HbIndex {
+    /// Sorted distinct `(spe, tag)` pairs over *all* transfers — the
+    /// shard universe. A race lands in the shard of its `second`
+    /// (anchor) access.
+    shards: Vec<(u8, u8)>,
+    /// All races, sorted by `(shard, second.global, first.global)`.
+    races: Vec<RaceWitness>,
+    /// `races` range per shard.
+    ranges: Vec<(usize, usize)>,
+    degraded: bool,
+}
+
+impl HbIndex {
+    /// Reconstructs transfers, propagates clocks over `edges` (use
+    /// [`sync_edges_columns`](crate::causality::sync_edges_columns))
+    /// and enumerates every unordered overlapping pair.
+    pub fn build(trace: &ColumnarTrace, edges: &[CausalEdge]) -> Self {
+        let offsets = trace.core_offsets();
+        let stream_index: HashMap<TraceCore, usize> = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, (c, _))| (*c, i))
+            .collect();
+        let width = offsets.len();
+
+        // Per-SPE transfer reconstruction: the same lifetime replay as
+        // the lint sweep, plus barrier ordering and witness positions.
+        let mut per_spe: Vec<(u8, Vec<Transfer>)> = Vec::new();
+        let mut issue_of: HashMap<usize, (usize, usize)> = HashMap::new();
+        for spe in trace.spes() {
+            let core = TraceCore::Spe(spe);
+            if !trace.core_has_group(core, EventGroup::SpeDma) {
+                continue;
+            }
+            let stream = stream_index[&core];
+            let mut transfers: Vec<Transfer> = Vec::new();
+            let mut pending: Vec<usize> = Vec::new();
+            for (pos, &g) in trace.core_slice(core).iter().enumerate() {
+                let v = trace.events.view(g as usize);
+                match v.code {
+                    EventCode::SpeDmaGet | EventCode::SpeDmaPut => {
+                        if v.params.len() < 4 {
+                            continue;
+                        }
+                        transfers.push(Transfer {
+                            acc: Access {
+                                spe,
+                                dir: if v.code == EventCode::SpeDmaGet {
+                                    AccessDir::Get
+                                } else {
+                                    AccessDir::Put
+                                },
+                                tag: (v.params[3] & 0xff) as u8,
+                                lsa: v.params[1],
+                                ea: v.params[0],
+                                bytes: v.params[2],
+                                time_tb: v.time_tb,
+                                seq: v.stream_seq,
+                                global: g as usize,
+                            },
+                            list: v.params[3] >> 8 != 0,
+                            pos: pos as u32,
+                            order_pos: u32::MAX,
+                            wait_pos: u32::MAX,
+                            stream,
+                            issue_vc: VecClock::new(width),
+                        });
+                        pending.push(transfers.len() - 1);
+                    }
+                    EventCode::SpeTagWaitEnd => {
+                        let completed = v.params.first().copied().unwrap_or(0) as u32;
+                        pending.retain(|&i| {
+                            if completed & (1u32 << transfers[i].tag()) != 0 {
+                                transfers[i].wait_pos = pos as u32;
+                                transfers[i].order_pos = transfers[i].order_pos.min(pos as u32);
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                    }
+                    EventCode::SpeDmaBarrier => {
+                        // The barrier command holds the MFC queue until
+                        // every earlier command completes: all still-
+                        // open transfers become ordered before anything
+                        // issued after this position.
+                        for &i in &pending {
+                            transfers[i].order_pos = transfers[i].order_pos.min(pos as u32);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let si = per_spe.len();
+            for (ti, t) in transfers.iter().enumerate() {
+                issue_of.insert(t.acc.global, (si, ti));
+            }
+            per_spe.push((spe, transfers));
+        }
+
+        // No transfers, no races: skip clock propagation entirely, so
+        // DMA-free traces (all-user-event storms, pure compute) pay
+        // nothing for the engine.
+        if per_spe.iter().all(|(_, ts)| ts.is_empty()) {
+            return HbIndex {
+                shards: Vec::new(),
+                races: Vec::new(),
+                ranges: Vec::new(),
+                degraded: false,
+            };
+        }
+
+        // Clock propagation: snapshot each transfer's issue clock.
+        let mut issue_clocks: HashMap<usize, VecClock> = HashMap::new();
+        let degraded = propagate(trace, edges, |g, _si, _pos, vc| {
+            if issue_of.contains_key(&g) {
+                issue_clocks.insert(g, vc.clone());
+            }
+        });
+        for (_, transfers) in &mut per_spe {
+            for t in transfers {
+                if let Some(vc) = issue_clocks.remove(&t.acc.global) {
+                    t.issue_vc = vc;
+                }
+            }
+        }
+
+        let mut races: Vec<RaceWitness> = Vec::new();
+        let mut ls_pairs: HashSet<(usize, usize)> = HashSet::new();
+
+        // Local-store pairs, per SPE: earlier transfer `a`, later `t`
+        // (stream position order); they race when the bytes overlap, at
+        // least one writes LS (a GET), and `t` was issued before
+        // anything ordered `a`'s completion (no covering wait-end or
+        // barrier in between). Same-tag pairs are *not* exempt.
+        for (_, transfers) in &per_spe {
+            let spans: Vec<AddrSpan> = transfers
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.acc.bytes > 0)
+                .map(|(i, t)| AddrSpan {
+                    lo: t.acc.lsa,
+                    hi: t.acc.lsa + t.acc.bytes,
+                    idx: i as u32,
+                })
+                .collect();
+            let tree = IntervalTree::new(spans);
+            for (i, t) in transfers.iter().enumerate() {
+                if t.acc.bytes == 0 {
+                    continue;
+                }
+                for span in tree.range(t.acc.lsa, t.acc.lsa + t.acc.bytes) {
+                    let j = span.idx as usize;
+                    if j >= i {
+                        continue;
+                    }
+                    let a = &transfers[j];
+                    if a.acc.dir != AccessDir::Get && t.acc.dir != AccessDir::Get {
+                        continue;
+                    }
+                    if t.pos < a.order_pos {
+                        ls_pairs.insert((a.acc.global, t.acc.global));
+                        races.push(witness(Space::LocalStore, a, t));
+                    }
+                }
+            }
+        }
+
+        // Effective-address pairs, global: at least one PUT writes the
+        // range. Same-stream pairs use queue ordering; cross-stream
+        // pairs are ordered only when one side's completion witness is
+        // inside the other's issue clock.
+        let flat: Vec<(usize, usize)> = per_spe
+            .iter()
+            .enumerate()
+            .flat_map(|(si, (_, ts))| (0..ts.len()).map(move |ti| (si, ti)))
+            .collect();
+        let spans: Vec<AddrSpan> = flat
+            .iter()
+            .enumerate()
+            .filter(|(_, &(si, ti))| {
+                let t = &per_spe[si].1[ti];
+                !t.list && t.acc.bytes > 0
+            })
+            .map(|(i, &(si, ti))| {
+                let t = &per_spe[si].1[ti];
+                AddrSpan {
+                    lo: t.acc.ea,
+                    hi: t.acc.ea + t.acc.bytes,
+                    idx: i as u32,
+                }
+            })
+            .collect();
+        let tree = IntervalTree::new(spans);
+        for (i, &(si, ti)) in flat.iter().enumerate() {
+            let t = &per_spe[si].1[ti];
+            if t.list || t.acc.bytes == 0 {
+                continue;
+            }
+            for span in tree.range(t.acc.ea, t.acc.ea + t.acc.bytes) {
+                let j = span.idx as usize;
+                if j >= i {
+                    continue;
+                }
+                let (sj, tj) = flat[j];
+                let a = &per_spe[sj].1[tj];
+                if a.acc.dir != AccessDir::Put && t.acc.dir != AccessDir::Put {
+                    continue;
+                }
+                let ordered = if a.stream == t.stream {
+                    // Same MFC queue: positions decide (a precedes t).
+                    t.pos >= a.order_pos
+                } else {
+                    completes_before(a, t) || completes_before(t, a)
+                };
+                if ordered {
+                    continue;
+                }
+                let (first, second) = if a.acc.global < t.acc.global {
+                    (a, t)
+                } else {
+                    (t, a)
+                };
+                // A pair already proven racing in local store is one
+                // finding, not two: keep the LS witness.
+                if ls_pairs.contains(&(first.acc.global, second.acc.global)) {
+                    continue;
+                }
+                races.push(witness(Space::MainMemory, first, second));
+            }
+        }
+
+        // Shard universe: every (spe, tag) with at least one transfer.
+        let mut shards: Vec<(u8, u8)> = per_spe
+            .iter()
+            .flat_map(|(spe, ts)| ts.iter().map(move |t| (*spe, t.acc.tag)))
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        let shard_rank: HashMap<(u8, u8), usize> =
+            shards.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        races.sort_by_key(|r| {
+            (
+                shard_rank[&(r.second.spe, r.second.tag)],
+                r.second.global,
+                r.first.global,
+            )
+        });
+        let mut ranges = vec![(0usize, 0usize); shards.len()];
+        let mut at = 0;
+        for (i, &shard) in shards.iter().enumerate() {
+            let start = at;
+            while at < races.len() && (races[at].second.spe, races[at].second.tag) == shard {
+                at += 1;
+            }
+            ranges[i] = (start, at);
+        }
+        debug_assert_eq!(at, races.len(), "every race belongs to a shard");
+
+        HbIndex {
+            shards,
+            races,
+            ranges,
+            degraded,
+        }
+    }
+
+    /// The shard universe: sorted distinct `(spe, tag)` pairs.
+    pub fn shards(&self) -> &[(u8, u8)] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The races of shard `i`, in `(second.global, first.global)`
+    /// order.
+    pub fn races_in_shard(&self, i: usize) -> &[RaceWitness] {
+        let (lo, hi) = self.ranges[i];
+        &self.races[lo..hi]
+    }
+
+    /// Every race, grouped by shard.
+    pub fn races(&self) -> &[RaceWitness] {
+        &self.races
+    }
+
+    /// True when propagation had to break a cycle (clock-skewed or
+    /// damaged trace): verdicts are conservative, findings suspect.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+}
+
+impl Transfer {
+    fn tag(&self) -> u8 {
+        self.acc.tag
+    }
+}
+
+/// Whether `a`'s completion is ordered before `b`'s issue across
+/// streams: `a` has a completion witness (first covering wait-end at
+/// `wait_pos` on its own stream) and `b`'s issue clock has observed
+/// that position.
+fn completes_before(a: &Transfer, b: &Transfer) -> bool {
+    a.wait_pos != u32::MAX && b.issue_vc.get(a.stream) > a.wait_pos
+}
+
+/// Builds the witness for an unordered overlapping pair; `a` precedes
+/// `b` in global event order for LS pairs (stream-position order) and
+/// is pre-swapped by the caller for EA pairs.
+fn witness(space: Space, a: &Transfer, b: &Transfer) -> RaceWitness {
+    let (alo, ahi, blo, bhi) = match space {
+        Space::LocalStore => (
+            a.acc.lsa,
+            a.acc.lsa + a.acc.bytes,
+            b.acc.lsa,
+            b.acc.lsa + b.acc.bytes,
+        ),
+        Space::MainMemory => (
+            a.acc.ea,
+            a.acc.ea + a.acc.bytes,
+            b.acc.ea,
+            b.acc.ea + b.acc.bytes,
+        ),
+    };
+    RaceWitness {
+        space,
+        first: a.acc,
+        second: b.acc,
+        lo: alo.max(blo),
+        hi: ahi.min(bhi),
+        same_tag: a.acc.tag == b.acc.tag,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{AnalyzedTrace, GlobalEvent};
+    use crate::causality::sync_edges_columns;
+    use crate::loss::LossReport;
+    use pdt::{TraceHeader, VERSION};
+
+    fn header(spes: u8) -> TraceHeader {
+        TraceHeader {
+            version: VERSION,
+            num_ppe_threads: 1,
+            num_spes: spes,
+            core_hz: 3_200_000_000,
+            timebase_divider: 120,
+            dec_start: u32::MAX,
+            group_mask: u32::MAX,
+            spe_buffer_bytes: 2048,
+        }
+    }
+
+    fn ev(t: u64, core: TraceCore, code: EventCode, params: Vec<u64>, seq: u64) -> GlobalEvent {
+        GlobalEvent {
+            time_tb: t,
+            core,
+            code,
+            params,
+            stream_seq: seq,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dma(
+        t: u64,
+        core: TraceCore,
+        code: EventCode,
+        ea: u64,
+        lsa: u64,
+        size: u64,
+        tag: u64,
+        seq: u64,
+    ) -> GlobalEvent {
+        ev(t, core, code, vec![ea, lsa, size, tag], seq)
+    }
+
+    fn cols(events: Vec<GlobalEvent>, spes: u8) -> ColumnarTrace {
+        ColumnarTrace::from_analyzed(&AnalyzedTrace {
+            header: header(spes),
+            events,
+            ctx_names: vec![],
+            anchors: vec![],
+            dropped: 0,
+        })
+    }
+
+    fn build(c: &ColumnarTrace) -> HbIndex {
+        HbIndex::build(c, &sync_edges_columns(c, &LossReport::default()))
+    }
+
+    #[test]
+    fn same_tag_overlap_without_wait_races() {
+        use EventCode::*;
+        let s = TraceCore::Spe(0);
+        let c = cols(
+            vec![
+                dma(10, s, SpeDmaGet, 0x100000, 0x1000, 4096, 0, 0),
+                dma(20, s, SpeDmaGet, 0x200000, 0x1000, 4096, 0, 1),
+                ev(30, s, SpeTagWaitBegin, vec![1, 0], 2),
+                ev(40, s, SpeTagWaitEnd, vec![1], 3),
+            ],
+            1,
+        );
+        let idx = build(&c);
+        assert_eq!(idx.races().len(), 1, "{:?}", idx.races());
+        let r = &idx.races()[0];
+        assert!(r.same_tag);
+        assert_eq!(r.space, Space::LocalStore);
+        assert_eq!((r.lo, r.hi), (0x1000, 0x2000));
+        assert_eq!(r.second.seq, 1);
+        assert!(!idx.degraded());
+    }
+
+    #[test]
+    fn wait_between_same_tag_transfers_orders_them() {
+        use EventCode::*;
+        let s = TraceCore::Spe(0);
+        let c = cols(
+            vec![
+                dma(10, s, SpeDmaGet, 0x100000, 0x1000, 4096, 0, 0),
+                ev(20, s, SpeTagWaitBegin, vec![1, 0], 1),
+                ev(30, s, SpeTagWaitEnd, vec![1], 2),
+                dma(40, s, SpeDmaGet, 0x200000, 0x1000, 4096, 0, 3),
+                ev(50, s, SpeTagWaitBegin, vec![1, 0], 4),
+                ev(60, s, SpeTagWaitEnd, vec![1], 5),
+            ],
+            1,
+        );
+        assert!(build(&c).races().is_empty());
+    }
+
+    #[test]
+    fn dma_barrier_orders_across_tags() {
+        use EventCode::*;
+        let s = TraceCore::Spe(0);
+        // PUT tag 0, barrier, GET tag 1 into the same buffer: the
+        // window heuristic (no barrier knowledge) flags this; the
+        // engine sees the queue ordering.
+        let c = cols(
+            vec![
+                dma(10, s, SpeDmaPut, 0x100000, 0x1000, 4096, 0, 0),
+                ev(20, s, SpeDmaBarrier, vec![], 1),
+                dma(30, s, SpeDmaGet, 0x200000, 0x1000, 4096, 1, 2),
+                ev(40, s, SpeTagWaitBegin, vec![0b11, 0], 3),
+                ev(50, s, SpeTagWaitEnd, vec![0b11], 4),
+            ],
+            1,
+        );
+        assert!(build(&c).races().is_empty());
+        // Without the barrier the same shape races.
+        let c = cols(
+            vec![
+                dma(10, s, SpeDmaPut, 0x100000, 0x1000, 4096, 0, 0),
+                dma(30, s, SpeDmaGet, 0x200000, 0x1000, 4096, 1, 1),
+                ev(40, s, SpeTagWaitBegin, vec![0b11, 0], 2),
+                ev(50, s, SpeTagWaitEnd, vec![0b11], 3),
+            ],
+            1,
+        );
+        assert_eq!(build(&c).races().len(), 1);
+    }
+
+    #[test]
+    fn cross_spe_ea_writes_race_without_sync_path() {
+        use EventCode::*;
+        let s0 = TraceCore::Spe(0);
+        let s1 = TraceCore::Spe(1);
+        let c = cols(
+            vec![
+                dma(10, s0, SpeDmaPut, 0x100000, 0x1000, 4096, 0, 0),
+                ev(20, s0, SpeTagWaitBegin, vec![1, 0], 1),
+                ev(30, s0, SpeTagWaitEnd, vec![1], 2),
+                dma(40, s1, SpeDmaPut, 0x100800, 0x1000, 4096, 0, 0),
+                ev(50, s1, SpeTagWaitBegin, vec![1, 0], 1),
+                ev(60, s1, SpeTagWaitEnd, vec![1], 2),
+            ],
+            2,
+        );
+        let idx = build(&c);
+        assert_eq!(idx.races().len(), 1, "{:?}", idx.races());
+        let r = &idx.races()[0];
+        assert_eq!(r.space, Space::MainMemory);
+        assert_eq!((r.lo, r.hi), (0x100800, 0x101000));
+        assert_eq!((r.first.spe, r.second.spe), (0, 1));
+    }
+
+    #[test]
+    fn mailbox_edge_orders_cross_spe_ea_overlap() {
+        use EventCode::*;
+        let p = TraceCore::Ppe(0);
+        let s0 = TraceCore::Spe(0);
+        let s1 = TraceCore::Spe(1);
+        // SPE0 PUTs and waits, tells the PPE; the PPE forwards to
+        // SPE1, which only then PUTs the same range: ordered.
+        let c = cols(
+            vec![
+                dma(10, s0, SpeDmaPut, 0x100000, 0x1000, 4096, 0, 0),
+                ev(20, s0, SpeTagWaitBegin, vec![1, 0], 1),
+                ev(30, s0, SpeTagWaitEnd, vec![1], 2),
+                ev(40, s0, SpeMboxWrite, vec![1], 3),
+                ev(50, p, PpeMboxRead, vec![0, 1], 0),
+                ev(60, p, PpeMboxWrite, vec![1, 1], 1),
+                ev(70, s1, SpeMboxReadBegin, vec![], 0),
+                ev(80, s1, SpeMboxReadEnd, vec![1], 1),
+                dma(90, s1, SpeDmaPut, 0x100800, 0x1000, 4096, 0, 2),
+                ev(100, s1, SpeTagWaitBegin, vec![1, 0], 3),
+                ev(110, s1, SpeTagWaitEnd, vec![1], 4),
+            ],
+            2,
+        );
+        let mut c = c;
+        c.set_anchors(vec![
+            crate::analyze::SpeAnchor {
+                spe: 0,
+                ctx: 0,
+                run_tb: 0,
+                dec_start: u32::MAX,
+            },
+            crate::analyze::SpeAnchor {
+                spe: 1,
+                ctx: 1,
+                run_tb: 0,
+                dec_start: u32::MAX,
+            },
+        ]);
+        let idx = build(&c);
+        assert!(idx.races().is_empty(), "{:?}", idx.races());
+        // Drop SPE0's wait (no completion witness): the same mailbox
+        // hop no longer orders the *transfer*, only the issue.
+        let c2 = cols(
+            vec![
+                dma(10, s0, SpeDmaPut, 0x100000, 0x1000, 4096, 0, 0),
+                ev(40, s0, SpeMboxWrite, vec![1], 1),
+                ev(50, p, PpeMboxRead, vec![0, 1], 0),
+                ev(60, p, PpeMboxWrite, vec![1, 1], 1),
+                ev(70, s1, SpeMboxReadBegin, vec![], 0),
+                ev(80, s1, SpeMboxReadEnd, vec![1], 1),
+                dma(90, s1, SpeDmaPut, 0x100800, 0x1000, 4096, 0, 2),
+                ev(100, s1, SpeTagWaitBegin, vec![1, 0], 3),
+                ev(110, s1, SpeTagWaitEnd, vec![1], 4),
+            ],
+            2,
+        );
+        let mut c2 = c2;
+        c2.set_anchors(vec![
+            crate::analyze::SpeAnchor {
+                spe: 0,
+                ctx: 0,
+                run_tb: 0,
+                dec_start: u32::MAX,
+            },
+            crate::analyze::SpeAnchor {
+                spe: 1,
+                ctx: 1,
+                run_tb: 0,
+                dec_start: u32::MAX,
+            },
+        ]);
+        assert_eq!(build(&c2).races().len(), 1);
+    }
+
+    #[test]
+    fn list_dma_skips_ea_check_but_keeps_ls_check() {
+        use EventCode::*;
+        let s = TraceCore::Spe(0);
+        // params[3] high bits mark a list DMA: its EA side scatters.
+        let c = cols(
+            vec![
+                dma(10, s, SpeDmaPut, 0x100000, 0x1000, 4096, 0x100, 0),
+                dma(20, s, SpeDmaPut, 0x100000, 0x3000, 4096, 1, 1),
+                ev(30, s, SpeTagWaitBegin, vec![0b11, 0], 2),
+                ev(40, s, SpeTagWaitEnd, vec![0b11], 3),
+            ],
+            1,
+        );
+        // Disjoint LS, overlapping EA, but the first is a list DMA:
+        // nothing to report.
+        assert!(build(&c).races().is_empty());
+        // Overlapping LS still checks (GET writes LS).
+        let c = cols(
+            vec![
+                dma(10, s, SpeDmaGet, 0x100000, 0x1000, 4096, 0x100, 0),
+                dma(20, s, SpeDmaGet, 0x200000, 0x1000, 4096, 1, 1),
+                ev(30, s, SpeTagWaitBegin, vec![0b11, 0], 2),
+                ev(40, s, SpeTagWaitEnd, vec![0b11], 3),
+            ],
+            1,
+        );
+        assert_eq!(build(&c).races().len(), 1);
+    }
+
+    #[test]
+    fn shard_grouping_concatenates_to_all_races() {
+        use EventCode::*;
+        let s = TraceCore::Spe(0);
+        let c = cols(
+            vec![
+                dma(10, s, SpeDmaGet, 0x100000, 0x1000, 4096, 0, 0),
+                dma(20, s, SpeDmaGet, 0x200000, 0x1800, 4096, 1, 1),
+                dma(30, s, SpeDmaGet, 0x300000, 0x2000, 4096, 2, 2),
+                ev(40, s, SpeTagWaitBegin, vec![0b111, 0], 3),
+                ev(50, s, SpeTagWaitEnd, vec![0b111], 4),
+            ],
+            1,
+        );
+        let idx = build(&c);
+        assert_eq!(idx.shards(), &[(0, 0), (0, 1), (0, 2)]);
+        let concat: Vec<RaceWitness> = (0..idx.shard_count())
+            .flat_map(|i| idx.races_in_shard(i).iter().copied())
+            .collect();
+        assert_eq!(concat, idx.races());
+        // Pairs (tag0, tag1) and (tag1, tag2) overlap; tag0/tag2 are
+        // adjacent. Each race lands in its second access's shard.
+        assert_eq!(idx.races().len(), 2, "{:?}", idx.races());
+        assert_eq!(idx.races_in_shard(0).len(), 0);
+        assert_eq!(idx.races_in_shard(1).len(), 1);
+        assert_eq!(idx.races_in_shard(2).len(), 1);
+    }
+
+    #[test]
+    fn clock_table_orders_mailbox_chain() {
+        use EventCode::*;
+        let p = TraceCore::Ppe(0);
+        let s = TraceCore::Spe(0);
+        let mut c = cols(
+            vec![
+                ev(10, p, PpeCtxRun, vec![0, 0, u32::MAX as u64], 0),
+                ev(20, s, SpeCtxStart, vec![0], 0),
+                ev(30, p, PpeMboxWrite, vec![0, 7], 1),
+                ev(40, s, SpeMboxReadBegin, vec![], 1),
+                ev(50, s, SpeMboxReadEnd, vec![7], 2),
+            ],
+            1,
+        );
+        c.set_anchors(vec![crate::analyze::SpeAnchor {
+            spe: 0,
+            ctx: 0,
+            run_tb: 10,
+            dec_start: u32::MAX,
+        }]);
+        let edges = sync_edges_columns(&c, &LossReport::default());
+        let t = event_clocks(&c, &edges);
+        assert!(!t.degraded());
+        // Write (global 2) happens before read-end (global 4), not the
+        // reverse; read-begin (3) is unordered with the write.
+        assert!(t.happens_before(2, 4));
+        assert!(!t.happens_before(4, 2));
+        assert!(!t.happens_before(2, 3));
+        assert!(t.happens_before(0, 1), "ctx-run precedes ctx-start");
+        assert!(!t.happens_before(2, 2), "irreflexive");
+    }
+}

@@ -101,6 +101,7 @@ pub mod compare;
 pub mod csv;
 pub mod exec;
 pub mod faults;
+pub mod hb;
 pub mod histogram;
 pub mod html;
 pub mod index;
@@ -124,23 +125,27 @@ pub mod validate;
 
 pub use analyze::{analyze, analyze_lossy, AnalyzeError, AnalyzedTrace, GlobalEvent, SpeAnchor};
 pub use causality::{
-    align_clocks, apply_skew, causal_edges, causal_edges_with_loss, estimate_skew, violations,
-    CausalEdge, EdgeKind, SkewEstimate, Violation,
+    align_clocks, apply_skew, causal_edges, causal_edges_with_loss, estimate_skew,
+    sync_edges_columns, violations, CausalEdge, EdgeKind, SkewEstimate, Violation,
 };
 pub use columns::{ColumnarTrace, EventColumns, EventView, Interner, Sym};
 pub use compare::{compare_stats, compare_traces, Comparison, SpeDelta};
 pub use csv::loss_csv;
 pub use exec::{ExecPool, ExecStats, Parallelism};
 pub use faults::{FaultInjector, FaultKind, InjectedFault};
+pub use hb::{event_clocks, Access, AccessDir, ClockTable, HbIndex, RaceWitness, Space, VecClock};
 pub use histogram::Log2Histogram;
 pub use index::{
     compute_suspect_ranges, SuspectRange, TraceIndex, WindowActivity, WindowSummary,
     MAX_BASE_BUCKETS,
 };
 pub use intervals::{build_intervals, ActivityKind, Interval, SpeIntervals};
+#[cfg(feature = "scan-oracle")]
+pub use lint::dma_race_window_heuristic;
 pub use lint::{
-    lint_columns, lint_trace, Anchor, ConfigError, Diagnostic, Lint, LintConfig, LintContext,
-    LintReport, RuleInfo, Severity, Suppression,
+    lint_columns, lint_columns_sharded, lint_columns_sharded_with_edges, lint_columns_with_edges,
+    lint_trace, Anchor, ConfigError, Diagnostic, Lint, LintConfig, LintContext, LintReport,
+    RuleInfo, Severity, Suppression,
 };
 pub use loss::{DecodePolicy, LossReport, StreamLoss};
 pub use occupancy::{dma_occupancy, OccupancyStep, SpeOccupancy};

@@ -1,18 +1,27 @@
 //! DMA transfer-lifetime reconstruction and the three tag-group rules.
 //!
-//! A transfer's *unsynchronized window* runs from its issue event to
-//! the first `SpeTagWaitEnd` whose completed mask covers its tag (the
-//! only point the program is allowed to assume the data moved). Two
-//! transfers whose windows overlap are concurrent from the program's
-//! point of view; if they also overlap in local store, sit in
-//! different tag groups (the MFC orders nothing across groups) and at
-//! least one writes local store (a GET), the access pattern is a race.
-//! Concurrency resolution reuses the [`IntervalTree`] from `ta::index`
-//! over the per-SPE transfer windows, so the sweep is
-//! O(n log n + conflicts) rather than all-pairs.
+//! `dma-race` runs on the happens-before engine ([`crate::hb`]): the
+//! rule builds one [`HbIndex`] per lint run (memoized in the rule
+//! instance, shared across shards) and renders its [`RaceWitness`]es
+//! as diagnostics — the two accesses, the exact byte intersection and
+//! the absence-of-sync explanation. The pre-engine *window heuristic*
+//! (issue → first covering `SpeTagWaitEnd`, overlapping windows +
+//! overlapping local store + different tags + ≥1 GET) survives behind
+//! the `scan-oracle` feature as [`dma_race_window_heuristic`], the
+//! differential baseline the `hb_smoke` CI gate compares the engine
+//! against — exactly how PR 3/5 kept the naive scans.
+//!
+//! `unwaited-tag-group` and `wait-without-dma` still replay transfer
+//! lifetimes with [`sweep`], the single definition of the wait-window
+//! semantics.
+
+use std::sync::OnceLock;
 
 use pdt::{EventCode, TraceCore};
 
+use crate::columns::ColumnarTrace;
+use crate::hb::{HbIndex, RaceWitness, Space};
+#[cfg(feature = "scan-oracle")]
 use crate::index::{IntervalTree, Span};
 
 use super::{check_by_shards, spe_of_shard, Anchor, Diagnostic, Lint, LintContext, Severity};
@@ -43,13 +52,15 @@ struct Transfer {
 }
 
 impl Transfer {
+    #[cfg(feature = "scan-oracle")]
     fn ls_overlaps(&self, other: &Transfer) -> bool {
         self.lsa < other.lsa + other.bytes && other.lsa < self.lsa + self.bytes
     }
 }
 
 /// A transfer's unsynchronized window plus its index in the history,
-/// the payload the interval tree carries.
+/// the payload the heuristic's interval tree carries.
+#[cfg(feature = "scan-oracle")]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct TransferSpan {
     start_tb: u64,
@@ -57,6 +68,7 @@ struct TransferSpan {
     idx: u32,
 }
 
+#[cfg(feature = "scan-oracle")]
 impl Span for TransferSpan {
     fn span(&self) -> (u64, u64) {
         (self.start_tb, self.end_tb)
@@ -76,14 +88,11 @@ struct SpeDmaHistory {
 /// Replays one SPE's stream, tracking transfer lifetimes against the
 /// tag-wait events. Shared by all three DMA rules so the lifetime
 /// semantics have exactly one definition.
-fn sweep(ctx: &LintContext<'_>, spe: u8) -> SpeDmaHistory {
+fn sweep(trace: &ColumnarTrace, spe: u8) -> SpeDmaHistory {
     // The group mask knows whether this SPE recorded any DMA or
     // tag-wait event at all; when it did not, the replay below cannot
     // produce anything, so skip the scan.
-    if !ctx
-        .trace
-        .core_has_group(TraceCore::Spe(spe), pdt::EventGroup::SpeDma)
-    {
+    if !trace.core_has_group(TraceCore::Spe(spe), pdt::EventGroup::SpeDma) {
         return SpeDmaHistory {
             spe,
             transfers: Vec::new(),
@@ -94,7 +103,7 @@ fn sweep(ctx: &LintContext<'_>, spe: u8) -> SpeDmaHistory {
     let mut pending: Vec<usize> = Vec::new();
     let mut vacuous_waits = Vec::new();
     let mut last_tb = 0u64;
-    for v in ctx.trace.core_events(TraceCore::Spe(spe)) {
+    for v in trace.core_events(TraceCore::Spe(spe)) {
         last_tb = last_tb.max(v.time_tb);
         match v.code {
             EventCode::SpeDmaGet | EventCode::SpeDmaPut => {
@@ -156,9 +165,26 @@ fn sweep(ctx: &LintContext<'_>, spe: u8) -> SpeDmaHistory {
     }
 }
 
-/// `dma-race`: concurrent transfers overlapping in local store from
-/// different tag groups, at least one a GET.
-pub(super) struct DmaRace;
+/// `dma-race`: overlapping DMA accesses with no happens-before
+/// ordering path, at least one writing the shared bytes.
+pub(super) struct DmaRace {
+    /// The engine's race index, built once per lint run on first use
+    /// and shared by every shard (rule instances are created fresh per
+    /// run by `default_rules`, so the cache can never go stale).
+    hb: OnceLock<HbIndex>,
+}
+
+impl DmaRace {
+    pub(super) fn new() -> Self {
+        DmaRace {
+            hb: OnceLock::new(),
+        }
+    }
+
+    fn index(&self, ctx: &LintContext<'_>) -> &HbIndex {
+        self.hb.get_or_init(|| HbIndex::build(ctx.trace, ctx.edges))
+    }
+}
 
 impl Lint for DmaRace {
     fn id(&self) -> &'static str {
@@ -168,26 +194,124 @@ impl Lint for DmaRace {
         Severity::Error
     }
     fn docs(&self) -> &'static str {
-        "Two DMA transfers whose unsynchronized windows overlap touch the same \
-         local-store byte range from different tag groups with at least one \
-         write (GET). The MFC orders nothing across tag groups, so the final \
-         local-store contents depend on transfer timing."
+        "Two DMA accesses touch the same bytes (in one SPE's local store or \
+         in main memory), at least one writes them, and no happens-before \
+         path — tag wait, MFC barrier, or synchronization observed through \
+         mailbox/signal traffic — orders the issues. The final contents \
+         depend on transfer timing. Detected by vector-clock analysis over \
+         the trace's synchronization events; same-tag pairs race too (the \
+         MFC orders nothing within a tag group absent a wait or barrier)."
     }
 
     fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
         check_by_shards(self, ctx)
     }
 
+    /// One shard per `(spe, tag)` pair with at least one transfer; a
+    /// race is checked in the shard of its later (anchor) access.
     fn shards(&self, ctx: &LintContext<'_>) -> usize {
-        ctx.trace.spes().len()
+        self.index(ctx).shard_count()
     }
 
     fn check_shard(&self, ctx: &LintContext<'_>, shard: usize) -> Vec<Diagnostic> {
-        let spe = spe_of_shard(ctx, shard);
-        let hist = sweep(ctx, spe);
-        let mut out = Vec::new();
+        let index = self.index(ctx);
+        index
+            .races_in_shard(shard)
+            .iter()
+            .map(|w| {
+                let mut d = race_diagnostic(w);
+                // A degraded propagation (cycle through skewed sync
+                // edges) or damage on the *other* endpoint's stream
+                // makes the verdict conservative, not firm. The runner
+                // post-pass handles the anchor's own stream.
+                d.suspect = index.degraded()
+                    || ctx.stream_truncated(TraceCore::Spe(w.first.spe))
+                    || ctx.stream_truncated(TraceCore::Spe(w.second.spe));
+                d
+            })
+            .collect()
+    }
+}
+
+/// Renders one engine witness: both endpoints, the byte intersection,
+/// and why no ordering exists. Anchored at the later access with the
+/// earlier one related, like every pairwise rule.
+fn race_diagnostic(w: &RaceWitness) -> Diagnostic {
+    let anchor = |a: &crate::hb::Access| Anchor {
+        core: TraceCore::Spe(a.spe),
+        seq: a.seq,
+        time_tb: a.time_tb,
+    };
+    let (space, f_lo, f_hi, s_lo, s_hi) = match w.space {
+        Space::LocalStore => (
+            "LS",
+            w.first.lsa,
+            w.first.lsa + w.first.bytes,
+            w.second.lsa,
+            w.second.lsa + w.second.bytes,
+        ),
+        Space::MainMemory => (
+            "EA",
+            w.first.ea,
+            w.first.ea + w.first.bytes,
+            w.second.ea,
+            w.second.ea + w.second.bytes,
+        ),
+    };
+    let other = if w.first.spe == w.second.spe {
+        String::new()
+    } else {
+        format!("SPE{} ", w.first.spe)
+    };
+    let why = match (w.space, w.same_tag) {
+        (Space::LocalStore, true) => {
+            "same tag group — the MFC orders nothing within a group; \
+             no wait or barrier between the issues"
+        }
+        (Space::LocalStore, false) => "no tag wait or MFC barrier between the issues",
+        (Space::MainMemory, _) => {
+            "no synchronization path (tag wait observed via \
+             mailbox/signal) orders the transfers"
+        }
+    };
+    Diagnostic {
+        rule: "dma-race",
+        severity: Severity::Error,
+        suspect: false,
+        anchor: Some(anchor(&w.second)),
+        related: vec![anchor(&w.first)],
+        message: format!(
+            "SPE{}: {} tag {} [{space} {:#x}..{:#x}) races {}{} tag {} \
+             [{space} {:#x}..{:#x}) on bytes [{:#x}..{:#x}) — {why}",
+            w.second.spe,
+            w.second.dir.name(),
+            w.second.tag,
+            s_lo,
+            s_hi,
+            other,
+            w.first.dir.name(),
+            w.first.tag,
+            f_lo,
+            f_hi,
+            w.lo,
+            w.hi,
+        ),
+    }
+}
+
+/// The pre-engine `dma-race` heuristic, kept as the differential
+/// oracle for the `hb_smoke` CI gate: transfers whose issue→wait
+/// windows overlap in time and local store, from different tag groups,
+/// with at least one GET. Misses same-tag races and flags overlaps
+/// that mailbox/signal/barrier traffic actually orders — the
+/// imprecision the engine exists to remove.
+#[cfg(feature = "scan-oracle")]
+pub fn dma_race_window_heuristic(trace: &ColumnarTrace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for spe in trace.spes() {
+        let hist = sweep(trace, spe);
         if hist.transfers.len() < 2 {
-            return out;
+            continue;
         }
         // The unsynchronized windows, indexed by the shared tree.
         let tree = IntervalTree::new(
@@ -211,8 +335,8 @@ impl Lint for DmaRace {
                 let o = &hist.transfers[j];
                 if o.tag != t.tag && t.ls_overlaps(o) && (t.dir == Dir::Get || o.dir == Dir::Get) {
                     out.push(Diagnostic {
-                        rule: self.id(),
-                        severity: self.severity(),
+                        rule: "dma-race",
+                        severity: Severity::Error,
                         suspect: false,
                         anchor: Some(t.anchor),
                         related: vec![o.anchor],
@@ -233,10 +357,11 @@ impl Lint for DmaRace {
                 }
             }
         }
-        out
     }
+    out
 }
 
+#[cfg(feature = "scan-oracle")]
 fn dir_name(d: Dir) -> &'static str {
     match d {
         Dir::Get => "GET",
@@ -269,7 +394,7 @@ impl Lint for UnwaitedTagGroup {
     }
 
     fn check_shard(&self, ctx: &LintContext<'_>, shard: usize) -> Vec<Diagnostic> {
-        let hist = sweep(ctx, spe_of_shard(ctx, shard));
+        let hist = sweep(ctx.trace, spe_of_shard(ctx, shard));
         let mut out = Vec::new();
         // One diagnostic per (spe, tag): anchored at the first
         // unwaited issue, the rest related.
@@ -337,7 +462,7 @@ impl Lint for WaitWithoutDma {
     }
 
     fn check_shard(&self, ctx: &LintContext<'_>, shard: usize) -> Vec<Diagnostic> {
-        let hist = sweep(ctx, spe_of_shard(ctx, shard));
+        let hist = sweep(ctx.trace, spe_of_shard(ctx, shard));
         let mut out = Vec::new();
         for (anchor, mask) in &hist.vacuous_waits {
             out.push(Diagnostic {
@@ -392,8 +517,10 @@ mod tests {
         }
     }
 
+    /// A transfer with a distinct EA per issue tick, so local-store
+    /// cases stay pure LS tests (overlapping EAs are their own race).
     fn dma(t: u64, code: EventCode, lsa: u64, size: u64, tag: u64, seq: u64) -> GlobalEvent {
-        ev(t, code, vec![0x100000, lsa, size, tag], seq)
+        ev(t, code, vec![0x100000 + 0x10000 * t, lsa, size, tag], seq)
     }
 
     fn trace_of(events: Vec<GlobalEvent>) -> AnalyzedTrace {
@@ -410,11 +537,13 @@ mod tests {
         let cols = crate::columns::ColumnarTrace::from_analyzed(t);
         let loss = LossReport::default();
         let config = super::super::LintConfig::default();
+        let edges = crate::causality::sync_edges_columns(&cols, &loss);
         let ctx = LintContext {
             trace: &cols,
             intervals: &[],
             loss: &loss,
             suspects: &[],
+            edges: &edges,
             config: &config,
         };
         rule.check(&ctx)
@@ -431,10 +560,11 @@ mod tests {
             ev(40, SpeTagWaitEnd, vec![0b11], 4),
             ev(50, SpeStop, vec![0], 5),
         ]);
-        let d = run_rule(&DmaRace, &t);
+        let d = run_rule(&DmaRace::new(), &t);
         assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].anchor.unwrap().seq, 2, "anchored at the later issue");
         assert_eq!(d[0].related[0].seq, 1);
+        assert!(d[0].message.contains("on bytes [0x1800..0x2000)"));
     }
 
     #[test]
@@ -448,32 +578,44 @@ mod tests {
             ev(50, SpeTagWaitBegin, vec![0b10, 0], 4),
             ev(60, SpeTagWaitEnd, vec![0b10], 5),
         ]);
-        assert!(run_rule(&DmaRace, &t).is_empty());
+        assert!(run_rule(&DmaRace::new(), &t).is_empty());
     }
 
     #[test]
-    fn same_tag_overlap_is_not_a_race() {
+    fn same_tag_overlap_races_without_intervening_wait() {
         use EventCode::*;
+        // The MFC orders nothing within one tag group: two same-tag
+        // GETs into the same buffer inside one wait window race. The
+        // window heuristic structurally misses this (it skips same-tag
+        // pairs); the engine reports it.
         let t = trace_of(vec![
             dma(10, SpeDmaGet, 0x1000, 4096, 0, 0),
             dma(20, SpeDmaGet, 0x1000, 4096, 0, 1),
             ev(30, SpeTagWaitBegin, vec![0b1, 0], 2),
             ev(40, SpeTagWaitEnd, vec![0b1], 3),
         ]);
-        assert!(run_rule(&DmaRace, &t).is_empty());
+        let d = run_rule(&DmaRace::new(), &t);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("same tag group"), "{}", d[0].message);
+        #[cfg(feature = "scan-oracle")]
+        assert!(
+            dma_race_window_heuristic(&crate::columns::ColumnarTrace::from_analyzed(&t)).is_empty(),
+            "the heuristic misses same-tag races"
+        );
     }
 
     #[test]
     fn concurrent_puts_do_not_race() {
         use EventCode::*;
-        // Two PUTs read local store; without a write there is no race.
+        // Two PUTs read local store; with disjoint EAs nothing is
+        // doubly written, so there is no race anywhere.
         let t = trace_of(vec![
             dma(10, SpeDmaPut, 0x1000, 4096, 0, 0),
             dma(20, SpeDmaPut, 0x1000, 4096, 1, 1),
             ev(30, SpeTagWaitBegin, vec![0b11, 0], 2),
             ev(40, SpeTagWaitEnd, vec![0b11], 3),
         ]);
-        assert!(run_rule(&DmaRace, &t).is_empty());
+        assert!(run_rule(&DmaRace::new(), &t).is_empty());
         // A PUT against a concurrent overlapping GET does race.
         let t = trace_of(vec![
             dma(10, SpeDmaPut, 0x1000, 4096, 0, 0),
@@ -481,7 +623,28 @@ mod tests {
             ev(30, SpeTagWaitBegin, vec![0b11, 0], 2),
             ev(40, SpeTagWaitEnd, vec![0b11], 3),
         ]);
-        assert_eq!(run_rule(&DmaRace, &t).len(), 1);
+        assert_eq!(run_rule(&DmaRace::new(), &t).len(), 1);
+    }
+
+    #[test]
+    fn concurrent_puts_to_one_ea_range_race_in_main_memory() {
+        use EventCode::*;
+        // Disjoint local store, same effective address: both PUTs
+        // write the same main-memory bytes with no ordering between
+        // them — a race the LS-only heuristic never looked for.
+        let t = trace_of(vec![
+            ev(10, SpeDmaPut, vec![0x100000, 0x1000, 4096, 0], 0),
+            ev(20, SpeDmaPut, vec![0x100000, 0x3000, 4096, 1], 1),
+            ev(30, SpeTagWaitBegin, vec![0b11, 0], 2),
+            ev(40, SpeTagWaitEnd, vec![0b11], 3),
+        ]);
+        let d = run_rule(&DmaRace::new(), &t);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].message.contains("[EA 0x100000..0x101000)"),
+            "{}",
+            d[0].message
+        );
     }
 
     #[test]
@@ -493,7 +656,7 @@ mod tests {
             ev(30, SpeTagWaitBegin, vec![0b11, 0], 2),
             ev(40, SpeTagWaitEnd, vec![0b11], 3),
         ]);
-        assert!(run_rule(&DmaRace, &t).is_empty());
+        assert!(run_rule(&DmaRace::new(), &t).is_empty());
     }
 
     #[test]

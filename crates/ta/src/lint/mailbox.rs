@@ -24,7 +24,7 @@ use std::collections::HashMap;
 
 use pdt::{EventCode, TraceCore};
 
-use crate::causality::{causal_edges_columns, EdgeKind};
+use crate::causality::EdgeKind;
 use crate::columns::EventView;
 
 use super::{Anchor, Diagnostic, Lint, LintContext, Severity};
@@ -98,10 +98,11 @@ impl Lint for MailboxDeadlockShape {
         }
 
         // In-flight words rule out starvation: count unconsumed
-        // producer events via the FIFO pairing of causal_edges.
-        let edges = causal_edges_columns(trace, ctx.loss);
+        // producer events via the FIFO pairing of the run's shared
+        // sync-edge set (extracted once, not per rule).
         let ctx_spe: HashMap<u32, u8> = trace.anchors.iter().map(|a| (a.ctx, a.spe)).collect();
-        let paired_inbound: HashMap<u8, usize> = edges
+        let paired_inbound: HashMap<u8, usize> = ctx
+            .edges
             .iter()
             .filter(|e| e.kind == EdgeKind::InboundMbox)
             .fold(HashMap::new(), |mut m, e| {
@@ -273,11 +274,13 @@ mod tests {
         let cols = crate::columns::ColumnarTrace::from_analyzed(t);
         let loss = crate::loss::LossReport::default();
         let config = super::super::LintConfig::default();
+        let edges = crate::causality::sync_edges_columns(&cols, &loss);
         let ctx = LintContext {
             trace: &cols,
             intervals: &[],
             loss: &loss,
             suspects: &[],
+            edges: &edges,
             config: &config,
         };
         MailboxDeadlockShape.check(&ctx)

@@ -12,7 +12,7 @@
 //!
 //! | id | severity | detects |
 //! |----|----------|---------|
-//! | `dma-race` | error | concurrent DMA transfers overlapping in local store, different tag groups, ≥1 write |
+//! | `dma-race` | error | overlapping DMA accesses (local store or main memory) with no happens-before ordering path, ≥1 write — the [`crate::hb`] vector-clock engine |
 //! | `unwaited-tag-group` | error | DMA issued but never covered by a tag wait |
 //! | `wait-without-dma` | warn | tag wait naming only tags with zero outstanding transfers |
 //! | `unbalanced-intervals` | warn | begin without end / end without begin per core |
@@ -40,6 +40,7 @@ mod baseline;
 use pdt::TraceCore;
 
 use crate::analyze::{AnalyzedTrace, GlobalEvent};
+use crate::causality::{sync_edges_columns, CausalEdge};
 use crate::columns::{ColumnarTrace, EventView};
 use crate::exec::{self, Parallelism};
 use crate::index::{compute_suspect_ranges_columns, SuspectRange};
@@ -47,6 +48,8 @@ use crate::intervals::SpeIntervals;
 use crate::loss::LossReport;
 
 pub use baseline::ConfigError;
+#[cfg(feature = "scan-oracle")]
+pub use dma::dma_race_window_heuristic;
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -301,6 +304,11 @@ pub struct LintContext<'a> {
     pub loss: &'a LossReport,
     /// Decode-gap time ranges derived from `loss`.
     pub suspects: &'a [SuspectRange],
+    /// The trace's full synchronization-edge set (see
+    /// [`sync_edges_columns`]) — extracted once per run and shared by
+    /// every rule and shard, so neither the happens-before engine nor
+    /// the mailbox rules re-derive pairings.
+    pub edges: &'a [CausalEdge],
     /// The run's configuration.
     pub config: &'a LintConfig,
 }
@@ -392,7 +400,7 @@ impl LintReport {
 /// The built-in rule registry, in documentation order.
 pub fn default_rules() -> Vec<Box<dyn Lint>> {
     vec![
-        Box::new(dma::DmaRace),
+        Box::new(dma::DmaRace::new()),
         Box::new(dma::UnwaitedTagGroup),
         Box::new(dma::WaitWithoutDma),
         Box::new(structure::UnbalancedIntervals),
@@ -431,12 +439,27 @@ pub fn lint_columns(
     loss: &LossReport,
     config: &LintConfig,
 ) -> LintReport {
+    let edges = sync_edges_columns(trace, loss);
+    lint_columns_with_edges(trace, intervals, loss, &edges, config)
+}
+
+/// [`lint_columns`] with the sync-edge set supplied by the caller —
+/// the session path, where [`Analysis`](crate::Analysis) memoizes the
+/// extraction once per snapshot instead of once per lint run.
+pub fn lint_columns_with_edges(
+    trace: &ColumnarTrace,
+    intervals: &[SpeIntervals],
+    loss: &LossReport,
+    edges: &[CausalEdge],
+    config: &LintConfig,
+) -> LintReport {
     let suspects = compute_suspect_ranges_columns(trace, loss);
     let ctx = LintContext {
         trace,
         intervals,
         loss,
         suspects: &suspects,
+        edges,
         config,
     };
     let mut diagnostics = Vec::new();
@@ -488,10 +511,24 @@ pub fn lint_columns(
 /// post-processed (deny promotion, suspect downgrade, suppression)
 /// and sorted identically, so the report is byte-identical to
 /// [`lint_columns`] under every [`Parallelism`].
-pub(crate) fn lint_columns_sharded(
+pub fn lint_columns_sharded(
     trace: &ColumnarTrace,
     intervals: &[SpeIntervals],
     loss: &LossReport,
+    config: &LintConfig,
+    par: Parallelism,
+) -> LintReport {
+    let edges = sync_edges_columns(trace, loss);
+    lint_columns_sharded_with_edges(trace, intervals, loss, &edges, config, par)
+}
+
+/// [`lint_columns_sharded`] with a caller-supplied sync-edge set (the
+/// memoized session path).
+pub fn lint_columns_sharded_with_edges(
+    trace: &ColumnarTrace,
+    intervals: &[SpeIntervals],
+    loss: &LossReport,
+    edges: &[CausalEdge],
     config: &LintConfig,
     par: Parallelism,
 ) -> LintReport {
@@ -501,6 +538,7 @@ pub(crate) fn lint_columns_sharded(
         intervals,
         loss,
         suspects: &suspects,
+        edges,
         config,
     };
     let rules: Vec<Box<dyn Lint>> = default_rules()

@@ -148,6 +148,7 @@ mod tests {
             intervals: lanes,
             loss: &loss,
             suspects: &[],
+            edges: &[],
             config,
         };
         OverheadHotspot.check(&ctx)

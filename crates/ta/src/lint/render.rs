@@ -5,7 +5,10 @@
 //! emitted as decimal, and the SARIF output follows the minimal 2.1.0
 //! shape code-scanning services ingest — `tool.driver.rules` carrying
 //! the rule metadata, one `result` per diagnostic, anchors expressed
-//! as logical locations (a trace has no files to point at).
+//! as logical locations (a trace has no files to point at). A
+//! diagnostic's witness anchors — e.g. the *other* access of a DMA
+//! race — are emitted as `relatedLocations` so viewers link both
+//! endpoints of the pair.
 
 use super::{Anchor, Diagnostic, LintReport, Severity};
 
@@ -123,27 +126,31 @@ pub(super) fn to_sarif(r: &LintReport) -> String {
         .diagnostics
         .iter()
         .map(|d| {
-            let locations = d
-                .anchor
-                .iter()
-                .chain(d.related.iter())
-                .map(|a| {
-                    format!(
-                        "{{\"logicalLocations\":[{{\"name\":\"{}\"}}],\
-                         \"properties\":{{\"seq\":{},\"time_tb\":{}}}}}",
-                        esc(&a.core.to_string()),
-                        a.seq,
-                        a.time_tb
-                    )
-                })
-                .collect::<Vec<_>>();
+            let loc = |a: &Anchor| {
+                format!(
+                    "{{\"logicalLocations\":[{{\"name\":\"{}\"}}],\
+                     \"properties\":{{\"seq\":{},\"time_tb\":{}}}}}",
+                    esc(&a.core.to_string()),
+                    a.seq,
+                    a.time_tb
+                )
+            };
+            let locations = d.anchor.iter().map(loc).collect::<Vec<_>>();
+            let related = d.related.iter().map(loc).collect::<Vec<_>>();
+            let related_field = if related.is_empty() {
+                String::new()
+            } else {
+                format!(",\"relatedLocations\":[{}]", related.join(","))
+            };
             format!(
                 "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\
-                 \"locations\":[{}],\"properties\":{{\"suspect\":{}}}}}",
+                 \"locations\":[{}]{}\
+                 ,\"properties\":{{\"suspect\":{}}}}}",
                 esc(d.rule),
                 sarif_level(d.severity),
                 esc(&d.message),
                 locations.join(","),
+                related_field,
                 d.suspect
             )
         })
@@ -231,5 +238,22 @@ mod tests {
         assert!(s.contains("\"suspect\":true"));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn sarif_related_anchors_become_related_locations() {
+        let s = to_sarif(&report());
+        // The race's witness partner (seq 5) lives in relatedLocations,
+        // not in the result's primary locations array.
+        assert!(s.contains(
+            "\"relatedLocations\":[{\"logicalLocations\":[{\"name\":\"SPE0\"}],\
+             \"properties\":{\"seq\":5,\"time_tb\":1200}}]"
+        ));
+        assert!(s.contains(
+            "\"locations\":[{\"logicalLocations\":[{\"name\":\"SPE0\"}],\
+             \"properties\":{\"seq\":7,\"time_tb\":1234}}]"
+        ));
+        // A diagnostic without witnesses omits the field entirely.
+        assert_eq!(s.matches("relatedLocations").count(), 1);
     }
 }

@@ -200,6 +200,7 @@ mod tests {
             intervals: &[],
             loss: &loss,
             suspects: &[],
+            edges: &[],
             config: &config,
         };
         UnbalancedIntervals.check(&ctx)

@@ -38,11 +38,14 @@ use std::sync::{Arc, OnceLock};
 use pdt::TraceFile;
 
 use crate::analyze::{AnalyzeError, AnalyzedTrace, GlobalEvent};
+use crate::causality::{sync_edges_columns, CausalEdge};
 use crate::columns::ColumnarTrace;
 use crate::exec::{self, Parallelism, Scope};
 use crate::index::{TraceIndex, WindowSummary};
 use crate::intervals::{build_intervals_columns, build_spe_intervals_columns, SpeIntervals};
-use crate::lint::{lint_columns, lint_columns_sharded, LintConfig, LintReport};
+use crate::lint::{
+    lint_columns_sharded_with_edges, lint_columns_with_edges, LintConfig, LintReport,
+};
 use crate::loss::{DecodePolicy, LossReport};
 use crate::occupancy::{dma_occupancy_columns, dma_occupancy_columns_par, SpeOccupancy};
 use crate::parallel::{analyze_parallel, analyze_parallel_lossy};
@@ -160,6 +163,7 @@ pub struct Analysis {
     occupancy: OnceLock<Vec<SpeOccupancy>>,
     phases: OnceLock<PhaseReport>,
     index: OnceLock<TraceIndex>,
+    sync_edges: OnceLock<Vec<CausalEdge>>,
     lint: OnceLock<LintReport>,
 }
 
@@ -210,6 +214,7 @@ impl Analysis {
             occupancy: OnceLock::new(),
             phases: OnceLock::new(),
             index: OnceLock::new(),
+            sync_edges: OnceLock::new(),
             lint: OnceLock::new(),
         }
     }
@@ -371,10 +376,11 @@ impl Analysis {
         });
         s.spawn(move |_| {
             let _ = self.lint.get_or_init(|| {
-                lint_columns_sharded(
+                lint_columns_sharded_with_edges(
                     &self.columns,
                     self.intervals(),
                     &self.loss,
+                    self.sync_edges(),
                     &LintConfig::default(),
                     par,
                 )
@@ -417,17 +423,29 @@ impl Analysis {
         })
     }
 
+    /// The trace's full synchronization-edge set (context starts,
+    /// mailbox FIFO pairs, signal-notify pairs) — see
+    /// [`sync_edges_columns`]. Extracted once per snapshot and shared
+    /// by every lint run, so re-linting (or linting after streaming
+    /// appends) never re-derives the pairings.
+    pub fn sync_edges(&self) -> &[CausalEdge] {
+        self.sync_edges
+            .get_or_init(|| sync_edges_columns(&self.columns, &self.loss))
+    }
+
     /// Runs the default lint rule registry with the default
     /// [`LintConfig`], memoized like the other products. The rules see
-    /// the session's memoized intervals and its ingestion
+    /// the session's memoized intervals, its memoized
+    /// [sync edges](Self::sync_edges) and its ingestion
     /// [`LossReport`], so diagnostics anchored in damaged regions are
     /// downgraded to suspect rather than reported firm.
     pub fn lint(&self) -> &LintReport {
         self.lint.get_or_init(|| {
-            lint_columns(
+            lint_columns_with_edges(
                 &self.columns,
                 self.intervals(),
                 &self.loss,
+                self.sync_edges(),
                 &LintConfig::default(),
             )
         })
@@ -435,9 +453,16 @@ impl Analysis {
 
     /// Runs the lint rules with a caller-provided configuration
     /// (baseline suppressions, allow/deny lists, thresholds). Not
-    /// memoized — each call re-runs the rules with `config`.
+    /// memoized — each call re-runs the rules with `config` (the
+    /// sync-edge extraction is still shared via [`Self::sync_edges`]).
     pub fn lint_with(&self, config: &LintConfig) -> LintReport {
-        lint_columns(&self.columns, self.intervals(), &self.loss, config)
+        lint_columns_with_edges(
+            &self.columns,
+            self.intervals(),
+            &self.loss,
+            self.sync_edges(),
+            config,
+        )
     }
 
     /// Applies `filter` through the [index](Self::index): window

@@ -1,0 +1,440 @@
+//! SARIF shape contract for `ta-cli lint --format sarif`.
+//!
+//! Downstream viewers (code-scanning UIs, CI annotators) key on a
+//! small, stable slice of SARIF 2.1.0: `runs[].tool.driver.rules`,
+//! `results[].ruleId`/`level`/`message.text`, anchor `locations`, and
+//! the race-witness `relatedLocations`. That slice is pinned as a
+//! checked-in schema (`sarif-minimal-schema.json`) and the emitter's
+//! real output is validated against it here with a small subset
+//! validator (`type` / `required` / `properties` / `items` / `enum`).
+//! The workspace has no JSON dependency, so the test carries its own
+//! recursive-descent parser — which doubles as proof the emitter's
+//! hand-rolled escaping produces well-formed JSON.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Minimal JSON value for shape checking. Numbers stay as raw text:
+/// the schema only needs to know they are numbers.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(v) => v,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    fn str(&self) -> &str {
+        match self {
+            Json::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+}
+
+/// Recursive-descent parser over the full input; fails on trailing
+/// garbage so a stray second document or log line is caught.
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {pos:?}", ch as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        other => Err(format!("unexpected {other:?} at byte {pos:?}")),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos:?}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b[*pos] == b'-' {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+    // Must at least parse as f64 — rejects "-", "1.2.3", etc.
+    text.parse::<f64>()
+        .map_err(|e| format!("bad number {text:?}: {e}"))?;
+    Ok(Json::Num(text.to_string()))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).unwrap(), 16)
+                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                        // Surrogate pairs don't occur in our emitter's
+                        // output (it only escapes `"` and `\`); map
+                        // lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so
+                // slicing on a char boundary is safe).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        if map.insert(key.clone(), val).is_some() {
+            return Err(format!("duplicate key {key:?}"));
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            other => return Err(format!("expected , or }} got {other:?}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => return Err(format!("expected , or ] got {other:?}")),
+        }
+    }
+}
+
+/// Validates `value` against the schema subset used by
+/// `sarif-minimal-schema.json`: `type`, `required`, `properties`
+/// (validated when present), `items` (applied to every element), and
+/// `enum` (string values). Unknown instance keys are allowed — SARIF
+/// is extensible — but unknown *schema* keywords are rejected so the
+/// checked-in schema can't silently promise more than this validator
+/// enforces.
+fn validate(value: &Json, schema: &Json, path: &str, errors: &mut Vec<String>) {
+    let Json::Obj(schema_map) = schema else {
+        panic!("schema node at {path} is not an object");
+    };
+    for key in schema_map.keys() {
+        assert!(
+            matches!(
+                key.as_str(),
+                "$comment" | "type" | "required" | "properties" | "items" | "enum"
+            ),
+            "schema keyword {key:?} at {path} is outside the validator subset"
+        );
+    }
+
+    if let Some(ty) = schema_map.get("type") {
+        let ok = match ty.str() {
+            "object" => matches!(value, Json::Obj(_)),
+            "array" => matches!(value, Json::Arr(_)),
+            "string" => matches!(value, Json::Str(_)),
+            "number" => matches!(value, Json::Num(_)),
+            "boolean" => matches!(value, Json::Bool(_)),
+            other => panic!("schema type {other:?} at {path} not supported"),
+        };
+        if !ok {
+            errors.push(format!("{path}: expected {} got {value:?}", ty.str()));
+            return;
+        }
+    }
+    if let Some(allowed) = schema_map.get("enum") {
+        if !allowed.arr().contains(value) {
+            errors.push(format!("{path}: {value:?} not in enum {allowed:?}"));
+        }
+    }
+    if let Some(required) = schema_map.get("required") {
+        for key in required.arr() {
+            if value.get(key.str()).is_none() {
+                errors.push(format!("{path}: missing required key {:?}", key.str()));
+            }
+        }
+    }
+    if let (Some(props), Json::Obj(m)) = (schema_map.get("properties"), value) {
+        let Json::Obj(props) = props else {
+            panic!("properties at {path} is not an object")
+        };
+        for (key, sub) in props {
+            if let Some(v) = m.get(key) {
+                validate(v, sub, &format!("{path}.{key}"), errors);
+            }
+        }
+    }
+    if let (Some(items), Json::Arr(elems)) = (schema_map.get("items"), value) {
+        for (i, v) in elems.iter().enumerate() {
+            validate(v, items, &format!("{path}[{i}]"), errors);
+        }
+    }
+}
+
+fn golden(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name)
+}
+
+/// Runs `ta-cli lint --format sarif` and returns (success, stdout).
+fn lint_sarif(trace: &str) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ta-cli"))
+        .args(["lint", golden(trace).to_str().unwrap(), "--format", "sarif"])
+        .output()
+        .expect("run ta-cli");
+    (
+        out.status.success(),
+        String::from_utf8(out.stdout).expect("sarif output is UTF-8"),
+    )
+}
+
+fn schema() -> Json {
+    let text = include_str!("sarif-minimal-schema.json");
+    parse_json(text).expect("checked-in schema parses")
+}
+
+fn validated(trace: &str) -> (bool, Json) {
+    let (ok, stdout) = lint_sarif(trace);
+    let doc = parse_json(&stdout)
+        .unwrap_or_else(|e| panic!("{trace}: sarif output is not well-formed JSON: {e}"));
+    let mut errors = Vec::new();
+    validate(&doc, &schema(), "$", &mut errors);
+    assert!(
+        errors.is_empty(),
+        "{trace}: sarif output violates the minimal schema:\n  {}",
+        errors.join("\n  ")
+    );
+    (ok, doc)
+}
+
+#[test]
+fn racy_sarif_matches_the_minimal_schema_and_pins_rule_ids() {
+    let (ok, doc) = validated("stream_racy.pdt");
+    assert!(!ok, "14 firm errors must fail the lint exit code");
+
+    let runs = doc.get("runs").unwrap().arr();
+    assert_eq!(runs.len(), 1);
+    let driver = runs[0].get("tool").unwrap().get("driver").unwrap();
+    assert_eq!(driver.get("name").unwrap().str(), "talint");
+
+    // The registered rule ids are a stable public contract: CI
+    // configuration (e.g. `--deny`, suppression lists) keys on them.
+    let ids: Vec<&str> = driver
+        .get("rules")
+        .unwrap()
+        .arr()
+        .iter()
+        .map(|r| r.get("id").unwrap().str())
+        .collect();
+    for id in [
+        "dma-race",
+        "unwaited-tag-group",
+        "wait-without-dma",
+        "unbalanced-intervals",
+        "mailbox-deadlock-shape",
+    ] {
+        assert!(ids.contains(&id), "rule {id:?} missing from driver.rules");
+    }
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ids.len(), "duplicate rule ids: {ids:?}");
+
+    // Every result's ruleId resolves against the driver's rule table.
+    let results = runs[0].get("results").unwrap().arr();
+    assert_eq!(results.len(), 16);
+    for r in results {
+        let id = r.get("ruleId").unwrap().str();
+        assert!(ids.contains(&id), "result ruleId {id:?} not registered");
+    }
+
+    // Race results carry their witness: the anchor is the racing
+    // access, relatedLocations the other access of the pair.
+    let races: Vec<&Json> = results
+        .iter()
+        .filter(|r| r.get("ruleId").unwrap().str() == "dma-race")
+        .collect();
+    assert_eq!(races.len(), 12);
+    for r in &races {
+        assert_eq!(r.get("locations").unwrap().arr().len(), 1);
+        let related = r
+            .get("relatedLocations")
+            .expect("dma-race results carry the other access as a relatedLocation")
+            .arr();
+        assert_eq!(related.len(), 1);
+        assert_eq!(
+            r.get("properties").unwrap().get("suspect"),
+            Some(&Json::Bool(false))
+        );
+    }
+}
+
+#[test]
+fn clean_trace_sarif_matches_the_schema_with_zero_results() {
+    // The mailbox-paced in-place stream overlaps every buffer but is
+    // fully synchronized — the engine proves it clean, so the SARIF
+    // body is an empty results array, which viewers must still accept.
+    let (ok, doc) = validated("stream_mbox_sync.pdt");
+    assert!(ok, "synchronized trace must exit zero");
+    let runs = doc.get("runs").unwrap().arr();
+    assert!(runs[0].get("results").unwrap().arr().is_empty());
+
+    // Warning-only traces also exit zero, with warning-level results.
+    let (ok, doc) = validated("stream.pdt");
+    assert!(ok, "warning-only trace must exit zero");
+    for r in doc.get("runs").unwrap().arr()[0]
+        .get("results")
+        .unwrap()
+        .arr()
+    {
+        assert_eq!(r.get("level").unwrap().str(), "warning");
+    }
+}
+
+#[test]
+fn same_tag_race_sarif_reports_firm_errors() {
+    let (ok, doc) = validated("stream_tag_hidden.pdt");
+    assert!(!ok, "hidden same-tag races must fail the exit code");
+    let results = doc.get("runs").unwrap().arr()[0]
+        .get("results")
+        .unwrap()
+        .arr();
+    assert_eq!(results.len(), 4);
+    for r in results {
+        assert_eq!(r.get("ruleId").unwrap().str(), "dma-race");
+        assert_eq!(r.get("level").unwrap().str(), "error");
+        let text = r.get("message").unwrap().get("text").unwrap().str();
+        assert!(text.contains("same tag group"), "message: {text}");
+    }
+}
+
+#[test]
+fn parser_round_trips_escapes_and_rejects_malformed_documents() {
+    let doc = parse_json(r#"{"a":[1,-2.5e3,"x\"\\\n€",true,false,null],"b":{}}"#).unwrap();
+    let a = doc.get("a").unwrap().arr();
+    assert_eq!(a[2], Json::Str("x\"\\\n\u{20ac}".to_string()));
+    assert_eq!(a.len(), 6);
+
+    for bad in [
+        "{",
+        "[1,]",
+        "{\"a\":1,}",
+        "{\"a\" 1}",
+        "nul",
+        "{} {}",
+        "\"unterminated",
+        "{\"dup\":1,\"dup\":2}",
+    ] {
+        assert!(parse_json(bad).is_err(), "accepted malformed {bad:?}");
+    }
+}

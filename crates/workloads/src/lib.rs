@@ -41,4 +41,7 @@ pub use matmul::{MatmulConfig, MatmulWorkload};
 pub use pipeline::{PipelineConfig, PipelineWorkload};
 pub use sparse::{Schedule, SparseConfig, SparseWorkload};
 pub use stencil::{jacobi_reference, StencilConfig, StencilWorkload};
-pub use stream::{Buffering, RacyDoubleBufferKernel, StreamConfig, StreamWorkload};
+pub use stream::{
+    Buffering, MboxEchoDriver, MboxSyncKernel, RacyDoubleBufferKernel, StreamConfig,
+    StreamWorkload, TagHiddenKernel,
+};

@@ -14,8 +14,8 @@
 //! the paper demonstrates with the Trace Analyzer timeline.
 
 use cellsim::{
-    LsAddr, Machine, PpeProgram, SpeJob, SpmdDriver, SpuAction, SpuEnv, SpuProgram, SpuWake, TagId,
-    TagWaitMode,
+    CtxId, LsAddr, Machine, PpeAction, PpeEnv, PpeProgram, PpeWake, SpeJob, SpmdDriver, SpuAction,
+    SpuEnv, SpuProgram, SpuWake, TagId, TagWaitMode,
 };
 
 use crate::common::{check_f32, DataGen, Workload, DATA_BASE};
@@ -35,6 +35,22 @@ pub enum Buffering {
     /// `unwaited-tag-group`, `wait-without-dma`); its output is
     /// unspecified and not verified.
     RacyDouble,
+    /// A mailbox-paced, barrier-protected in-place double buffer that
+    /// is *correct* but looks racy to a window heuristic: each round's
+    /// PUT is not tag-waited until the final drain, so its wait window
+    /// stretches over the GET that later refills the same buffer. An
+    /// `mfc_barrier` between the PUT and the refill orders them; the
+    /// happens-before engine proves the overlap synchronized while the
+    /// window heuristic false-positives on it. Output is verified.
+    MboxSync,
+    /// A *deliberately broken* "double buffer" that hides its race
+    /// inside one tag group: block *k+1* is prefetched into the same
+    /// LS buffer as the in-flight GET of block *k*, on the **same**
+    /// tag — which the MFC does not order within a group. A window
+    /// heuristic that only compares differing tags misses it; the
+    /// happens-before engine reports it. Output is unspecified and
+    /// not verified.
+    TagHidden,
 }
 
 /// Streaming workload parameters.
@@ -120,28 +136,42 @@ impl Workload for StreamWorkload {
             .expect("input fits in data region");
         // Split blocks contiguously.
         let per = self.cfg.blocks.div_ceil(self.cfg.spes);
-        let jobs = (0..self.cfg.spes)
+        let mut counts = Vec::with_capacity(self.cfg.spes);
+        let jobs: Vec<SpeJob> = (0..self.cfg.spes)
             .map(|s| {
                 let first = s * per;
                 let count = per.min(self.cfg.blocks.saturating_sub(first));
+                counts.push(count);
                 let kernel: Box<dyn SpuProgram> = match self.cfg.buffering {
                     Buffering::Single => Box::new(SingleBufferKernel::new(self.cfg, first, count)),
                     Buffering::Double => Box::new(DoubleBufferKernel::new(self.cfg, first, count)),
                     Buffering::RacyDouble => {
                         Box::new(RacyDoubleBufferKernel::new(self.cfg, first, count))
                     }
+                    Buffering::MboxSync => Box::new(MboxSyncKernel::new(self.cfg, first, count)),
+                    Buffering::TagHidden => Box::new(TagHiddenKernel::new(self.cfg, first, count)),
                 };
                 SpeJob::new(format!("stream{s}"), kernel)
             })
             .collect();
-        Box::new(SpmdDriver::new(jobs))
+        if self.cfg.buffering == Buffering::MboxSync {
+            // The mailbox-paced kernel reports each round to the PPE
+            // and waits for an acknowledgement; SpmdDriver never reads
+            // outbound mailboxes, so it needs the echo driver.
+            Box::new(MboxEchoDriver::new(jobs, counts))
+        } else {
+            Box::new(SpmdDriver::new(jobs))
+        }
     }
 
     fn verify(&self, machine: &Machine) -> Result<(), String> {
-        if self.cfg.buffering == Buffering::RacyDouble {
-            // The racy kernel overwrites its input buffer while a
-            // transfer into it is still in flight; whatever it computed
-            // is unspecified by construction. The run itself (no
+        if matches!(
+            self.cfg.buffering,
+            Buffering::RacyDouble | Buffering::TagHidden
+        ) {
+            // These kernels overwrite an input buffer while a transfer
+            // into it is still in flight; whatever they computed is
+            // unspecified by construction. The run itself (no
             // simulator fault) is the only thing to verify.
             return Ok(());
         }
@@ -588,6 +618,458 @@ impl SpuProgram for RacyDoubleBufferKernel {
     }
 }
 
+// ---------------------------------------------------------------------
+// Mailbox-paced, barrier-protected kernel (correct; heuristic-hostile)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MboxPhase {
+    Init,
+    FirstGetIssued,
+    GetsIssued,
+    InWaitDone,
+    ComputeDone,
+    MboxSent,
+    Acked,
+    PutIssued,
+    BarrierIssued,
+    DrainWait,
+}
+
+/// An in-place double buffer whose rounds are paced by a PPE mailbox
+/// echo and whose buffer reuse is protected by `mfc_barrier` instead
+/// of per-round tag waits on the output group.
+///
+/// Round *k*: wait the input tag for buffer *k mod 2*, transform the
+/// block in place, report the round to the PPE and wait for the ack,
+/// PUT the buffer out on [`OUT_TAG`] **without waiting it**, issue an
+/// MFC barrier, then refill the buffer with block *k+2*. The single
+/// drain wait on [`OUT_TAG`] sits at the very end — so a window
+/// heuristic sees every PUT's wait window stretch over the refill GET
+/// of the same buffer and reports a race the barrier actually
+/// prevents. The happens-before engine stays silent here.
+#[derive(Debug)]
+pub struct MboxSyncKernel {
+    cfg: StreamConfig,
+    first: usize,
+    count: usize,
+    k: usize,
+    phase: MboxPhase,
+    bufs: [LsAddr; 2],
+}
+
+impl MboxSyncKernel {
+    /// Kernel over blocks `[first, first+count)`.
+    pub fn new(cfg: StreamConfig, first: usize, count: usize) -> Self {
+        MboxSyncKernel {
+            cfg,
+            first,
+            count,
+            k: 0,
+            phase: MboxPhase::Init,
+            bufs: [LsAddr::new(0); 2],
+        }
+    }
+
+    fn block_ea(&self, base: u64, k: usize) -> u64 {
+        base + (self.first + k) as u64 * self.cfg.block_bytes as u64
+    }
+
+    fn get_action(&self, k: usize) -> SpuAction {
+        SpuAction::DmaGet {
+            lsa: self.bufs[k % 2],
+            ea: self.block_ea(self.cfg.in_base(), k),
+            size: self.cfg.block_bytes,
+            tag: TagId::new((k % 2) as u8).unwrap(),
+        }
+    }
+
+    fn wait_in(&self) -> SpuAction {
+        SpuAction::WaitTags {
+            mask: 1 << ((self.k % 2) as u8),
+            mode: TagWaitMode::All,
+        }
+    }
+}
+
+impl SpuProgram for MboxSyncKernel {
+    fn resume(&mut self, _wake: SpuWake, mut env: SpuEnv<'_>) -> SpuAction {
+        let bytes = self.cfg.block_bytes;
+        match self.phase {
+            MboxPhase::Init => {
+                for b in 0..2 {
+                    self.bufs[b] = env.ls.alloc(bytes, 128, "buf").unwrap();
+                }
+                if self.count == 0 {
+                    return SpuAction::Stop(0);
+                }
+                self.phase = MboxPhase::FirstGetIssued;
+                self.get_action(0)
+            }
+            MboxPhase::FirstGetIssued => {
+                if self.count > 1 {
+                    self.phase = MboxPhase::GetsIssued;
+                    return self.get_action(1);
+                }
+                self.phase = MboxPhase::InWaitDone;
+                self.wait_in()
+            }
+            MboxPhase::GetsIssued => {
+                self.phase = MboxPhase::InWaitDone;
+                self.wait_in()
+            }
+            MboxPhase::InWaitDone => {
+                let buf = self.bufs[self.k % 2];
+                transform(
+                    &mut env,
+                    buf,
+                    buf,
+                    self.cfg.elems_per_block(),
+                    self.cfg.a,
+                    self.cfg.b,
+                );
+                self.phase = MboxPhase::ComputeDone;
+                SpuAction::Compute(self.cfg.compute_cycles_per_block)
+            }
+            MboxPhase::ComputeDone => {
+                self.phase = MboxPhase::MboxSent;
+                SpuAction::WriteOutMbox(self.k as u32)
+            }
+            MboxPhase::MboxSent => {
+                self.phase = MboxPhase::Acked;
+                SpuAction::ReadInMbox
+            }
+            MboxPhase::Acked => {
+                self.phase = MboxPhase::PutIssued;
+                SpuAction::DmaPut {
+                    lsa: self.bufs[self.k % 2],
+                    ea: self.block_ea(self.cfg.out_base(), self.k),
+                    size: bytes,
+                    tag: TagId::new(OUT_TAG).unwrap(),
+                }
+            }
+            MboxPhase::PutIssued => {
+                // The barrier is the whole trick: it orders the PUT we
+                // just enqueued before the refill GET below without a
+                // tag wait the heuristic could see.
+                self.phase = MboxPhase::BarrierIssued;
+                SpuAction::DmaBarrier
+            }
+            MboxPhase::BarrierIssued => {
+                let refill = self.k + 2;
+                self.k += 1;
+                if refill < self.count {
+                    self.phase = MboxPhase::GetsIssued;
+                    return self.get_action(refill);
+                }
+                if self.k < self.count {
+                    self.phase = MboxPhase::InWaitDone;
+                    return self.wait_in();
+                }
+                self.phase = MboxPhase::DrainWait;
+                SpuAction::WaitTags {
+                    mask: 1 << OUT_TAG,
+                    mode: TagWaitMode::All,
+                }
+            }
+            MboxPhase::DrainWait => SpuAction::Stop(0),
+        }
+    }
+}
+
+/// PPE driver for the mailbox-paced kernel: create → run → echo one
+/// ack per round per context (in round-major order) → join → halt.
+pub struct MboxEchoDriver {
+    jobs: Vec<Option<SpeJob>>,
+    /// Flattened (round, job) echo schedule: the job index of each
+    /// outbound-mailbox read, in the order the driver services them.
+    schedule: Vec<usize>,
+    ctxs: Vec<CtxId>,
+    phase: EchoPhase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EchoPhase {
+    Create(usize),
+    Run(usize),
+    /// Servicing `schedule[idx]`; `acked` is false while the read is
+    /// outstanding and true while the ack write is.
+    Echo {
+        idx: usize,
+        acked: bool,
+    },
+    Join(usize),
+    Done,
+}
+
+impl std::fmt::Debug for MboxEchoDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MboxEchoDriver")
+            .field("jobs", &self.jobs.len())
+            .field("echoes", &self.schedule.len())
+            .field("phase", &self.phase)
+            .finish()
+    }
+}
+
+impl MboxEchoDriver {
+    /// Creates a driver over the given jobs; `rounds[j]` is the number
+    /// of mailbox round-trips job `j` performs.
+    pub fn new(jobs: Vec<SpeJob>, rounds: Vec<usize>) -> Self {
+        assert_eq!(jobs.len(), rounds.len());
+        let max = rounds.iter().copied().max().unwrap_or(0);
+        let mut schedule = Vec::new();
+        for round in 0..max {
+            for (j, &r) in rounds.iter().enumerate() {
+                if round < r {
+                    schedule.push(j);
+                }
+            }
+        }
+        MboxEchoDriver {
+            jobs: jobs.into_iter().map(Some).collect(),
+            schedule,
+            ctxs: Vec::new(),
+            phase: EchoPhase::Create(0),
+        }
+    }
+
+    fn after_starts(&self) -> EchoPhase {
+        if self.schedule.is_empty() {
+            self.after_echoes()
+        } else {
+            EchoPhase::Echo {
+                idx: 0,
+                acked: false,
+            }
+        }
+    }
+
+    fn after_echoes(&self) -> EchoPhase {
+        if self.ctxs.is_empty() {
+            EchoPhase::Done
+        } else {
+            EchoPhase::Join(0)
+        }
+    }
+
+    fn emit(&mut self) -> PpeAction {
+        match self.phase {
+            EchoPhase::Create(j) => {
+                let job = self.jobs[j].take().expect("job consumed twice");
+                PpeAction::CreateContext {
+                    name: job.name,
+                    program: job.program,
+                }
+            }
+            EchoPhase::Run(j) => PpeAction::RunContext(self.ctxs[j]),
+            EchoPhase::Echo { idx, acked: false } => PpeAction::ReadOutMbox {
+                ctx: self.ctxs[self.schedule[idx]],
+            },
+            EchoPhase::Echo { idx, acked: true } => PpeAction::WriteInMbox {
+                ctx: self.ctxs[self.schedule[idx]],
+                value: 1,
+            },
+            EchoPhase::Join(j) => PpeAction::WaitStop { ctx: self.ctxs[j] },
+            EchoPhase::Done => PpeAction::Halt,
+        }
+    }
+}
+
+impl PpeProgram for MboxEchoDriver {
+    fn resume(&mut self, wake: PpeWake, _env: PpeEnv<'_>) -> PpeAction {
+        match wake {
+            PpeWake::Start => {
+                if self.jobs.is_empty() {
+                    self.phase = EchoPhase::Done;
+                }
+            }
+            PpeWake::ContextCreated(ctx) => {
+                let EchoPhase::Create(j) = self.phase else {
+                    panic!("unexpected ContextCreated in {:?}", self.phase)
+                };
+                self.ctxs.push(ctx);
+                self.phase = EchoPhase::Run(j);
+            }
+            PpeWake::ContextStarted(_) => {
+                let EchoPhase::Run(j) = self.phase else {
+                    panic!("unexpected ContextStarted in {:?}", self.phase)
+                };
+                self.phase = if j + 1 < self.jobs.len() {
+                    EchoPhase::Create(j + 1)
+                } else {
+                    self.after_starts()
+                };
+            }
+            PpeWake::OutMbox(_) => {
+                let EchoPhase::Echo { idx, acked: false } = self.phase else {
+                    panic!("unexpected OutMbox in {:?}", self.phase)
+                };
+                self.phase = EchoPhase::Echo { idx, acked: true };
+            }
+            PpeWake::MboxWritten => {
+                let EchoPhase::Echo { idx, acked: true } = self.phase else {
+                    panic!("unexpected MboxWritten in {:?}", self.phase)
+                };
+                self.phase = if idx + 1 < self.schedule.len() {
+                    EchoPhase::Echo {
+                        idx: idx + 1,
+                        acked: false,
+                    }
+                } else {
+                    self.after_echoes()
+                };
+            }
+            PpeWake::Stopped { .. } => {
+                let EchoPhase::Join(j) = self.phase else {
+                    panic!("unexpected Stopped in {:?}", self.phase)
+                };
+                self.phase = if j + 1 < self.ctxs.len() {
+                    EchoPhase::Join(j + 1)
+                } else {
+                    EchoPhase::Done
+                };
+            }
+            other => panic!("unexpected wake {other:?} in {:?}", self.phase),
+        }
+        self.emit()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Same-tag racy kernel (deliberately broken; heuristic-invisible)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TagHiddenPhase {
+    Init,
+    GetIssued,
+    PrefetchIssued,
+    InWaitDone,
+    ComputeDone,
+    PutIssued,
+    PutDone,
+}
+
+/// A "double buffer" whose race hides inside one tag group: each round
+/// GETs block *k* into the input buffer and immediately "prefetches"
+/// block *k+1* into the **same** buffer on the **same** tag. The MFC
+/// orders nothing within a tag group, so the two GETs race on the
+/// whole buffer — but a window heuristic that only pairs differing
+/// tags never sees it. The happens-before engine reports one same-tag
+/// race per prefetch.
+#[derive(Debug)]
+pub struct TagHiddenKernel {
+    cfg: StreamConfig,
+    first: usize,
+    count: usize,
+    k: usize,
+    phase: TagHiddenPhase,
+    in_buf: LsAddr,
+    out_buf: LsAddr,
+}
+
+impl TagHiddenKernel {
+    /// Kernel over blocks `[first, first+count)`.
+    pub fn new(cfg: StreamConfig, first: usize, count: usize) -> Self {
+        TagHiddenKernel {
+            cfg,
+            first,
+            count,
+            k: 0,
+            phase: TagHiddenPhase::Init,
+            in_buf: LsAddr::new(0),
+            out_buf: LsAddr::new(0),
+        }
+    }
+
+    fn block_ea(&self, base: u64, k: usize) -> u64 {
+        base + (self.first + k) as u64 * self.cfg.block_bytes as u64
+    }
+
+    fn get_in(&self, k: usize) -> SpuAction {
+        SpuAction::DmaGet {
+            lsa: self.in_buf,
+            ea: self.block_ea(self.cfg.in_base(), k),
+            size: self.cfg.block_bytes,
+            tag: TagId::new(IN_TAG).unwrap(),
+        }
+    }
+}
+
+impl SpuProgram for TagHiddenKernel {
+    fn resume(&mut self, _wake: SpuWake, mut env: SpuEnv<'_>) -> SpuAction {
+        let bytes = self.cfg.block_bytes;
+        match self.phase {
+            TagHiddenPhase::Init => {
+                self.in_buf = env.ls.alloc(bytes, 128, "in").unwrap();
+                self.out_buf = env.ls.alloc(bytes, 128, "out").unwrap();
+                if self.count == 0 {
+                    return SpuAction::Stop(0);
+                }
+                self.phase = TagHiddenPhase::GetIssued;
+                self.get_in(self.k)
+            }
+            TagHiddenPhase::GetIssued => {
+                // The bug: "prefetch" the next block into the same
+                // buffer on the same tag — unordered by the MFC.
+                if self.k + 1 < self.count {
+                    self.phase = TagHiddenPhase::PrefetchIssued;
+                    return self.get_in(self.k + 1);
+                }
+                self.phase = TagHiddenPhase::InWaitDone;
+                SpuAction::WaitTags {
+                    mask: 1 << IN_TAG,
+                    mode: TagWaitMode::All,
+                }
+            }
+            TagHiddenPhase::PrefetchIssued => {
+                self.phase = TagHiddenPhase::InWaitDone;
+                SpuAction::WaitTags {
+                    mask: 1 << IN_TAG,
+                    mode: TagWaitMode::All,
+                }
+            }
+            TagHiddenPhase::InWaitDone => {
+                transform(
+                    &mut env,
+                    self.in_buf,
+                    self.out_buf,
+                    self.cfg.elems_per_block(),
+                    self.cfg.a,
+                    self.cfg.b,
+                );
+                self.phase = TagHiddenPhase::ComputeDone;
+                SpuAction::Compute(self.cfg.compute_cycles_per_block)
+            }
+            TagHiddenPhase::ComputeDone => {
+                self.phase = TagHiddenPhase::PutIssued;
+                SpuAction::DmaPut {
+                    lsa: self.out_buf,
+                    ea: self.block_ea(self.cfg.out_base(), self.k),
+                    size: bytes,
+                    tag: TagId::new(OUT_TAG).unwrap(),
+                }
+            }
+            TagHiddenPhase::PutIssued => {
+                self.phase = TagHiddenPhase::PutDone;
+                SpuAction::WaitTags {
+                    mask: 1 << OUT_TAG,
+                    mode: TagWaitMode::All,
+                }
+            }
+            TagHiddenPhase::PutDone => {
+                self.k += 1;
+                if self.k >= self.count {
+                    return SpuAction::Stop(0);
+                }
+                self.phase = TagHiddenPhase::GetIssued;
+                self.get_in(self.k)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -610,6 +1092,42 @@ mod tests {
         // Output is unspecified (that's the point), but the simulator
         // must not fault and the run must terminate.
         let w = StreamWorkload::new(small(Buffering::RacyDouble, 2));
+        let r = run_workload(&w, MachineConfig::default().with_num_spes(2), None).unwrap();
+        assert!(r.report.cycles > 0);
+    }
+
+    #[test]
+    fn mbox_sync_produces_correct_results() {
+        // The barrier-protected in-place scheme is correct despite
+        // never tag-waiting a PUT before its buffer is refilled.
+        let w = StreamWorkload::new(small(Buffering::MboxSync, 2));
+        run_workload(&w, MachineConfig::default().with_num_spes(2), None).unwrap();
+    }
+
+    #[test]
+    fn mbox_sync_single_block_and_single_spe_edge_cases() {
+        for (blocks, spes) in [(1usize, 1usize), (2, 1), (3, 2)] {
+            let cfg = StreamConfig {
+                blocks,
+                block_bytes: 1024,
+                spes,
+                buffering: Buffering::MboxSync,
+                ..StreamConfig::default()
+            };
+            run_workload(
+                &StreamWorkload::new(cfg),
+                MachineConfig::default().with_num_spes(spes),
+                None,
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn tag_hidden_runs_to_completion() {
+        // Output is unspecified (the same-tag prefetch clobbers the
+        // buffer), but the run must terminate without faulting.
+        let w = StreamWorkload::new(small(Buffering::TagHidden, 2));
         let r = run_workload(&w, MachineConfig::default().with_num_spes(2), None).unwrap();
         assert!(r.report.cycles > 0);
     }

@@ -36,6 +36,15 @@ echo "== lint-engine smoke =="
 # green, and a damaged trace must degrade to suspect, not panic.
 cargo run -q -p bench --bin lint_smoke
 
+echo "== happens-before engine differential =="
+# Replays every golden through both race detectors and asserts the
+# engine's precision/recall dominance over the retired window
+# heuristic (strictly more races on the seeded-racy golden, zero on
+# the synchronized mailbox-paced one the heuristic false-positives
+# on, all of the same-tag races the heuristic cannot see), plus a
+# per-trace lint wall-time budget. Emits BENCH_lint.json.
+cargo run -q --release -p bench --bin hb_smoke
+
 echo "== ta-cli lint gate semantics =="
 # The CLI must exit nonzero on the seeded-racy golden and zero on a
 # clean one.

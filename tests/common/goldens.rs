@@ -11,13 +11,18 @@ use std::path::PathBuf;
 
 use pdt::TraceFile;
 
-/// Every golden trace, including the fault-injected and racy ones.
-pub const GOLDEN: [&str; 5] = [
+/// Every golden trace, including the fault-injected and racy ones and
+/// the two happens-before precision/recall traces (the synchronized
+/// overlap the window heuristic false-positives on, and the same-tag
+/// race it misses).
+pub const GOLDEN: [&str; 7] = [
     "matmul.pdt",
     "stream.pdt",
     "pipeline.pdt",
     "stream_faulted.pdt",
     "stream_racy.pdt",
+    "stream_mbox_sync.pdt",
+    "stream_tag_hidden.pdt",
 ];
 
 /// Absolute path of a golden trace.

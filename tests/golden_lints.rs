@@ -5,35 +5,44 @@
 //! [`Buffering::RacyDouble`] stream kernel, so its defects are known by
 //! construction: the prefetch GET lands in the same LS buffer as the
 //! in-flight GET on a never-waited tag group, and the kernel opens
-//! with a wait on an unused tag. The clean goldens must produce zero
-//! firm (non-suspect) error-severity diagnostics — including the
-//! fault-injected trace, whose truncation artifacts must be downgraded
-//! to suspect rather than reported firm.
+//! with a wait on an unused tag. Two further goldens pin the
+//! happens-before engine's precision and recall against the old window
+//! heuristic:
+//!
+//! - `stream_mbox_sync.pdt` — mailbox-paced, barrier-protected buffer
+//!   reuse: correct code the window heuristic false-positives on; the
+//!   engine must stay silent.
+//! - `stream_tag_hidden.pdt` — a same-tag prefetch race the window
+//!   heuristic (which only pairs differing tags) cannot see; the
+//!   engine must report it.
+//!
+//! The clean goldens must produce zero firm (non-suspect)
+//! error-severity diagnostics — including the fault-injected trace,
+//! whose truncation artifacts must be downgraded to suspect rather
+//! than reported firm. Every pinned report is checked on both the v1
+//! `.pdt` bytes and the blocked `.pdt2` container.
 //!
 //! Regenerate the corpus with `cargo run -p bench --bin make_golden`.
 
-use std::path::PathBuf;
-
 use pdt::{TraceCore, TraceFile};
-use ta::{Analysis, LintConfig, Parallelism, Severity};
+use ta::{
+    dma_race_window_heuristic, Analysis, LintConfig, LintReport, Parallelism, Severity, V2Trace,
+};
 
-const CLEAN: [&str; 4] = [
+#[path = "common/goldens.rs"]
+mod goldens;
+use goldens::golden_v2_bytes;
+
+const CLEAN: [&str; 5] = [
     "matmul.pdt",
     "stream.pdt",
     "pipeline.pdt",
     "stream_faulted.pdt",
+    "stream_mbox_sync.pdt",
 ];
 
 fn golden(name: &str) -> TraceFile {
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(name);
-    TraceFile::read_from(&path).unwrap_or_else(|e| {
-        panic!(
-            "{}: {e}\nregenerate the corpus with `cargo run -p bench --bin make_golden`",
-            path.display()
-        )
-    })
+    goldens::golden(name)
 }
 
 fn analysis(name: &str) -> Analysis {
@@ -43,23 +52,31 @@ fn analysis(name: &str) -> Analysis {
         .unwrap()
 }
 
-#[test]
-fn racy_stream_reports_the_seeded_defects_exactly() {
-    let a = analysis("stream_racy.pdt");
-    let report = a.lint();
+/// The same trace through the v2 container, for the `.pdt2` pins.
+fn analysis_v2(name: &str) -> std::sync::Arc<Analysis> {
+    let bytes = golden_v2_bytes(name);
+    let (a, stats) = V2Trace::parse(&bytes)
+        .unwrap()
+        .analyze(Parallelism::Workers(2));
+    assert_eq!(stats.blocks_corrupt, 0, "{name}.pdt2");
+    a
+}
 
+fn assert_racy_report(report: &LintReport) {
     // The seeded race: every tag-0 GET overlaps an outstanding tag-1
-    // prefetch into the same buffer. 3 blocks per SPE → 5 race pairs
-    // per SPE, each reported once, anchored at the later issue.
+    // prefetch into the same buffer. 3 blocks per SPE → 6 race pairs
+    // per SPE (the happens-before engine also pairs the two unordered
+    // prefetches, which share tag 1), each reported once, anchored at
+    // the later issue.
     let races: Vec<_> = report.of_rule("dma-race").collect();
-    assert_eq!(races.len(), 10, "{races:#?}");
+    assert_eq!(races.len(), 12, "{races:#?}");
     for spe in [0u8, 1] {
         let anchors: Vec<u64> = races
             .iter()
             .filter(|d| d.anchor.unwrap().core == TraceCore::Spe(spe))
             .map(|d| d.anchor.unwrap().seq)
             .collect();
-        assert_eq!(anchors, [4, 10, 11, 17, 17], "SPE{spe} race anchors");
+        assert_eq!(anchors, [4, 10, 11, 11, 17, 17], "SPE{spe} race anchors");
     }
     for d in &races {
         assert_eq!(d.severity, Severity::Error);
@@ -90,9 +107,19 @@ fn racy_stream_reports_the_seeded_defects_exactly() {
     }
 
     // Nothing else fires, and the gate counts exactly the errors.
-    assert_eq!(report.diagnostics.len(), 14, "{report:#?}");
-    assert_eq!(report.firm_errors().count(), 12);
+    assert_eq!(report.diagnostics.len(), 16, "{report:#?}");
+    assert_eq!(report.firm_errors().count(), 14);
     assert!(!report.is_clean());
+}
+
+#[test]
+fn racy_stream_reports_the_seeded_defects_exactly() {
+    assert_racy_report(analysis("stream_racy.pdt").lint());
+}
+
+#[test]
+fn racy_stream_pdt2_reports_the_same_defects() {
+    assert_racy_report(analysis_v2("stream_racy.pdt").lint());
 }
 
 #[test]
@@ -152,7 +179,7 @@ fn faulted_stream_downgrades_truncation_artifacts_to_suspect() {
 fn baseline_config_suppresses_and_gates() {
     let a = analysis("stream_racy.pdt");
 
-    // Suppress the races on SPE0 only: 5 fewer diagnostics.
+    // Suppress the races on SPE0 only: 6 fewer diagnostics.
     let config = LintConfig::from_toml_str(
         r#"
         [[suppress]]
@@ -163,8 +190,8 @@ fn baseline_config_suppresses_and_gates() {
     )
     .unwrap();
     let report = a.lint_with(&config);
-    assert_eq!(report.suppressed, 5);
-    assert_eq!(report.of_rule("dma-race").count(), 5);
+    assert_eq!(report.suppressed, 6);
+    assert_eq!(report.of_rule("dma-race").count(), 6);
     assert!(report
         .of_rule("dma-race")
         .all(|d| d.anchor.unwrap().core == TraceCore::Spe(1)));
@@ -199,10 +226,10 @@ fn renderers_cover_the_racy_report() {
 
     let text = report.render_text();
     assert!(text.contains("error[dma-race]"));
-    assert!(text.contains("12 firm error(s)"));
+    assert!(text.contains("14 firm error(s)"));
 
     let json = report.to_json();
-    assert!(json.contains("\"firm_errors\":12"));
+    assert!(json.contains("\"firm_errors\":14"));
     assert!(json.contains("\"rule\":\"unwaited-tag-group\""));
     assert_eq!(json.matches('{').count(), json.matches('}').count());
 
@@ -210,6 +237,18 @@ fn renderers_cover_the_racy_report() {
     assert!(sarif.contains("\"version\":\"2.1.0\""));
     assert!(sarif.contains("\"ruleId\":\"dma-race\""));
     assert!(sarif.contains("\"name\":\"SPE0\""));
+    // Every diagnostic with witness anchors (each race's partner
+    // access, the unwaited group's remaining issues) carries them as
+    // SARIF relatedLocations.
+    assert_eq!(
+        sarif.matches("\"relatedLocations\":").count(),
+        report
+            .diagnostics
+            .iter()
+            .filter(|d| !d.related.is_empty())
+            .count()
+    );
+    assert_eq!(sarif.matches("\"relatedLocations\":").count(), 14);
     assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
 }
 
@@ -219,4 +258,75 @@ fn session_lint_is_memoized() {
     let first: *const _ = a.lint();
     let second: *const _ = a.lint();
     assert_eq!(first, second);
+}
+
+/// The barrier-protected, mailbox-paced buffer reuse is provably
+/// ordered — but its PUTs are only tag-waited at the final drain, so
+/// the window heuristic sees each PUT's wait window stretch over the
+/// GET that refills the same buffer and reports races that cannot
+/// happen. Precision pin: the engine is silent, the heuristic is not.
+#[test]
+fn mbox_sync_overlaps_are_proved_synchronized() {
+    for a in [
+        std::sync::Arc::new(analysis("stream_mbox_sync.pdt")),
+        analysis_v2("stream_mbox_sync.pdt"),
+    ] {
+        let report = a.lint();
+        assert!(report.diagnostics.is_empty(), "{report:#?}");
+        assert!(report.is_clean());
+
+        let false_positives = dma_race_window_heuristic(a.columns());
+        assert!(
+            !false_positives.is_empty(),
+            "the golden no longer traps the window heuristic — \
+             regenerate or rework stream_mbox_sync"
+        );
+    }
+}
+
+fn assert_tag_hidden_report(report: &LintReport) {
+    // 3 blocks per SPE, each non-final round prefetching the next
+    // block into the same buffer on the same tag: 2 races per SPE,
+    // anchored at the prefetch issues (seq 2 and 9).
+    let races: Vec<_> = report.of_rule("dma-race").collect();
+    assert_eq!(races.len(), 4, "{races:#?}");
+    for spe in [0u8, 1] {
+        let anchors: Vec<u64> = races
+            .iter()
+            .filter(|d| d.anchor.unwrap().core == TraceCore::Spe(spe))
+            .map(|d| d.anchor.unwrap().seq)
+            .collect();
+        assert_eq!(anchors, [2, 9], "SPE{spe} race anchors");
+    }
+    for d in &races {
+        assert_eq!(d.severity, Severity::Error);
+        assert!(!d.suspect);
+        assert_eq!(d.related.len(), 1);
+        assert!(
+            d.message.contains("same tag group"),
+            "the witness must explain why the shared tag orders nothing: {}",
+            d.message
+        );
+    }
+    // The race is the only defect: every tag is waited, every wait
+    // covers outstanding transfers.
+    assert_eq!(report.diagnostics.len(), 4, "{report:#?}");
+    assert_eq!(report.firm_errors().count(), 4);
+}
+
+/// The same-tag prefetch race: invisible to the window heuristic
+/// (which only pairs transfers on differing tags), reported with a
+/// full witness by the engine. Recall pin.
+#[test]
+fn tag_hidden_race_is_reported_despite_the_shared_tag() {
+    for a in [
+        std::sync::Arc::new(analysis("stream_tag_hidden.pdt")),
+        analysis_v2("stream_tag_hidden.pdt"),
+    ] {
+        assert_tag_hidden_report(a.lint());
+        assert!(
+            dma_race_window_heuristic(a.columns()).is_empty(),
+            "the window heuristic should still be blind to same-tag races"
+        );
+    }
 }

@@ -1,0 +1,395 @@
+//! Property battery for the happens-before engine (`ta::hb`).
+//!
+//! * Vector-clock algebra: `join` is commutative, associative,
+//!   idempotent and monotone; `dominates` is a partial order and
+//!   exactly characterizes joins.
+//! * `happens_before` over arbitrary synthetic traces — random SPE
+//!   streams of DMA, wait, barrier, mailbox and signal events plus a
+//!   PPE driver stream — is a strict partial order: irreflexive,
+//!   antisymmetric, transitive; and same-stream events are always
+//!   ordered by position.
+//! * Race verdicts are deterministic: the lint report on the race
+//!   goldens is byte-identical across `Serial`, `Workers(4)` and
+//!   `Auto`, and across one-shot versus chunked streamed ingestion.
+
+use proptest::prelude::*;
+
+use pdt::{EventCode, TraceCore, TraceHeader, VERSION};
+use ta::{
+    event_clocks, sync_edges_columns, AnalyzedTrace, ColumnarTrace, GlobalEvent, HbIndex,
+    ImageIngest, LossReport, Parallelism, VecClock,
+};
+
+#[path = "common/goldens.rs"]
+mod goldens;
+use goldens::{golden, golden_bytes};
+
+// ---------------------------------------------------------------------
+// Vector-clock algebra
+// ---------------------------------------------------------------------
+
+fn arb_clock(width: usize) -> impl Strategy<Value = VecClock> {
+    prop::collection::vec(0u32..6, width).prop_map(|entries| {
+        let mut c = VecClock::new(entries.len());
+        for (i, e) in entries.into_iter().enumerate() {
+            c.set(i, e);
+        }
+        c
+    })
+}
+
+proptest! {
+    #[test]
+    fn join_is_commutative_associative_idempotent_monotone(
+        a in arb_clock(5),
+        b in arb_clock(5),
+        c in arb_clock(5),
+    ) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        prop_assert_eq!(&ab, &ba, "commutative");
+
+        let mut ab_c = ab.clone();
+        ab_c.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut a_bc = a.clone();
+        a_bc.join(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "associative");
+
+        let mut aa = a.clone();
+        aa.join(&a);
+        prop_assert_eq!(&aa, &a, "idempotent");
+
+        // Monotone: the join dominates both inputs, and is the least
+        // such clock (entry-wise max).
+        prop_assert!(ab.dominates(&a));
+        prop_assert!(ab.dominates(&b));
+        for i in 0..5 {
+            prop_assert_eq!(ab.get(i), a.get(i).max(b.get(i)));
+        }
+    }
+
+    #[test]
+    fn dominates_is_a_partial_order(
+        a in arb_clock(4),
+        b in arb_clock(4),
+        c in arb_clock(4),
+    ) {
+        prop_assert!(a.dominates(&a), "reflexive");
+        if a.dominates(&b) && b.dominates(&a) {
+            prop_assert_eq!(&a, &b, "antisymmetric");
+        }
+        if a.dominates(&b) && b.dominates(&c) {
+            prop_assert!(a.dominates(&c), "transitive");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Synthetic traces: happens_before is a strict partial order
+// ---------------------------------------------------------------------
+
+/// One step of a synthetic stream program; parameters are drawn from
+/// tiny domains so streams genuinely interact (shared tags, matching
+/// mailbox pairs) *and* produce malformed shapes (ends without
+/// begins, waits on idle tags) the engine must survive.
+#[derive(Debug, Clone)]
+enum Step {
+    Get { lsa: u64, tag: u64 },
+    Put { lsa: u64, tag: u64 },
+    WaitEnd { mask: u64 },
+    Barrier,
+    MboxWrite(u64),
+    MboxReadEnd(u64),
+    SignalReadBegin(u64),
+    SignalReadEnd(u64),
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        ((0u64..3), (0u64..3)).prop_map(|(b, tag)| Step::Get {
+            lsa: 0x1000 * b,
+            tag
+        }),
+        ((0u64..3), (0u64..3)).prop_map(|(b, tag)| Step::Put {
+            lsa: 0x1000 * b,
+            tag
+        }),
+        (1u64..8).prop_map(|mask| Step::WaitEnd { mask }),
+        Just(Step::Barrier),
+        (0u64..4).prop_map(Step::MboxWrite),
+        (0u64..4).prop_map(Step::MboxReadEnd),
+        (0u64..2).prop_map(Step::SignalReadBegin),
+        (0u64..4).prop_map(Step::SignalReadEnd),
+    ]
+}
+
+/// A PPE driver action against context `ctx` (== SPE index here).
+/// Contexts are drawn from the full `0..3` range and reduced modulo
+/// the actual SPE count in [`assemble`].
+#[derive(Debug, Clone)]
+enum PpeStep {
+    MboxWrite { ctx: u64, value: u64 },
+    MboxRead { ctx: u64 },
+    SignalWrite { ctx: u64, reg: u64 },
+}
+
+fn arb_ppe_step() -> impl Strategy<Value = PpeStep> {
+    prop_oneof![
+        ((0u64..3), (0u64..4)).prop_map(|(ctx, value)| PpeStep::MboxWrite { ctx, value }),
+        (0u64..3).prop_map(|ctx| PpeStep::MboxRead { ctx }),
+        ((0u64..3), (0u64..2)).prop_map(|(ctx, reg)| PpeStep::SignalWrite { ctx, reg }),
+    ]
+}
+
+/// Assembles per-stream step lists into a globally time-sorted trace.
+/// Only the first `spes` step lists are used, and PPE context ids are
+/// reduced modulo `spes`; per-stream skews make the streams interleave
+/// differently case to case.
+fn assemble(
+    spes: usize,
+    mut spe_steps: Vec<Vec<Step>>,
+    ppe_steps: Vec<PpeStep>,
+    skews: Vec<u64>,
+) -> ColumnarTrace {
+    use EventCode::*;
+    spe_steps.truncate(spes);
+    let spes = spe_steps.len() as u8;
+    let mut events = Vec::new();
+    // The PPE stream opens by running every context so mailbox and
+    // signal targets resolve.
+    let mut seq = 0u64;
+    let mut t = 1;
+    for s in 0..spes {
+        events.push(GlobalEvent {
+            time_tb: t,
+            core: TraceCore::Ppe(0),
+            code: PpeCtxRun,
+            params: vec![s as u64, s as u64],
+            stream_seq: seq,
+        });
+        seq += 1;
+        t += 1;
+    }
+    for step in ppe_steps {
+        let m = spes.max(1) as u64;
+        let (code, params) = match step {
+            PpeStep::MboxWrite { ctx, value } => (PpeMboxWrite, vec![ctx % m, value]),
+            PpeStep::MboxRead { ctx } => (PpeMboxRead, vec![ctx % m]),
+            PpeStep::SignalWrite { ctx, reg } => (PpeSignalWrite, vec![ctx % m, reg, 7]),
+        };
+        events.push(GlobalEvent {
+            time_tb: t,
+            core: TraceCore::Ppe(0),
+            code,
+            params,
+            stream_seq: seq,
+        });
+        seq += 1;
+        t += 13;
+    }
+    for (s, steps) in spe_steps.into_iter().enumerate() {
+        let core = TraceCore::Spe(s as u8);
+        let mut t = 2 + skews[s % skews.len()];
+        let mut seq = 0u64;
+        let mut push = |t: &mut u64, seq: &mut u64, code, params| {
+            events.push(GlobalEvent {
+                time_tb: *t,
+                core,
+                code,
+                params,
+                stream_seq: *seq,
+            });
+            *seq += 1;
+            *t += 7;
+        };
+        push(&mut t, &mut seq, SpeCtxStart, vec![s as u64]);
+        for step in steps {
+            match step {
+                Step::Get { lsa, tag } => {
+                    push(&mut t, &mut seq, SpeDmaGet, vec![0x10_0000, lsa, 4096, tag])
+                }
+                Step::Put { lsa, tag } => {
+                    push(&mut t, &mut seq, SpeDmaPut, vec![0x10_0000, lsa, 4096, tag])
+                }
+                Step::WaitEnd { mask } => {
+                    push(&mut t, &mut seq, SpeTagWaitBegin, vec![mask, 0]);
+                    push(&mut t, &mut seq, SpeTagWaitEnd, vec![mask]);
+                }
+                Step::Barrier => push(&mut t, &mut seq, SpeDmaBarrier, vec![]),
+                Step::MboxWrite(v) => push(&mut t, &mut seq, SpeMboxWrite, vec![v]),
+                Step::MboxReadEnd(v) => {
+                    push(&mut t, &mut seq, SpeMboxReadBegin, vec![]);
+                    push(&mut t, &mut seq, SpeMboxReadEnd, vec![v]);
+                }
+                Step::SignalReadBegin(reg) => push(&mut t, &mut seq, SpeSignalReadBegin, vec![reg]),
+                Step::SignalReadEnd(v) => push(&mut t, &mut seq, SpeSignalReadEnd, vec![v]),
+            }
+        }
+    }
+    events.sort_by_key(|e| (e.time_tb, e.core.tag(), e.stream_seq));
+    ColumnarTrace::from_analyzed(&AnalyzedTrace {
+        header: TraceHeader {
+            version: VERSION,
+            num_ppe_threads: 1,
+            num_spes: spes.max(1),
+            core_hz: 3_200_000_000,
+            timebase_divider: 120,
+            dec_start: u32::MAX,
+            group_mask: u32::MAX,
+            spe_buffer_bytes: 2048,
+        },
+        events,
+        ctx_names: vec![],
+        anchors: vec![],
+        dropped: 0,
+    })
+}
+
+/// The generator inputs for one synthetic trace: SPE count, three
+/// candidate step lists (trimmed to the count), PPE driver steps and
+/// stream skews. The stub proptest has no `prop_flat_map`, so the
+/// width-dependent trimming happens inside [`assemble`].
+type TraceParts = ((usize, Vec<Vec<Step>>), (Vec<PpeStep>, Vec<u64>));
+
+fn arb_trace_parts() -> impl Strategy<Value = TraceParts> {
+    (
+        (
+            1usize..4,
+            prop::collection::vec(prop::collection::vec(arb_step(), 0..8), 3),
+        ),
+        (
+            prop::collection::vec(arb_ppe_step(), 0..8),
+            prop::collection::vec(0u64..40, 1..=3),
+        ),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn happens_before_is_a_strict_partial_order(
+        ((spes, steps), (ppe, skews)) in arb_trace_parts()
+    ) {
+        let trace = assemble(spes, steps, ppe, skews);
+        let edges = sync_edges_columns(&trace, &LossReport::default());
+        let table = event_clocks(&trace, &edges);
+        let n = trace.events.len();
+        for a in 0..n {
+            prop_assert!(!table.happens_before(a, a), "irreflexive at {a}");
+            for b in 0..n {
+                if table.happens_before(a, b) {
+                    prop_assert!(
+                        !table.happens_before(b, a),
+                        "antisymmetry violated between {a} and {b}"
+                    );
+                }
+                for c in 0..n {
+                    if table.happens_before(a, b) && table.happens_before(b, c) {
+                        prop_assert!(
+                            table.happens_before(a, c),
+                            "transitivity violated: {a} -> {b} -> {c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_stream_events_are_ordered_by_position(
+        ((spes, steps), (ppe, skews)) in arb_trace_parts()
+    ) {
+        let trace = assemble(spes, steps, ppe, skews);
+        let edges = sync_edges_columns(&trace, &LossReport::default());
+        let table = event_clocks(&trace, &edges);
+        for core in trace.cores() {
+            let offs = trace.core_slice(core);
+            for w in offs.windows(2) {
+                let (a, b) = (w[0] as usize, w[1] as usize);
+                prop_assert!(
+                    table.happens_before(a, b),
+                    "{core:?}: adjacent stream events {a},{b} must be ordered"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn race_enumeration_never_panics_and_shards_partition(
+        ((spes, steps), (ppe, skews)) in arb_trace_parts()
+    ) {
+        let trace = assemble(spes, steps, ppe, skews);
+        let edges = sync_edges_columns(&trace, &LossReport::default());
+        let idx = HbIndex::build(&trace, &edges);
+        let total: usize = (0..idx.shard_count())
+            .map(|s| idx.races_in_shard(s).len())
+            .sum();
+        prop_assert_eq!(total, idx.races().len(), "shards must partition the races");
+        for w in idx.races() {
+            prop_assert!(w.lo < w.hi, "witness byte range must be non-empty");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Verdict determinism
+// ---------------------------------------------------------------------
+
+const RACE_GOLDENS: [&str; 3] = [
+    "stream_racy.pdt",
+    "stream_tag_hidden.pdt",
+    "stream_mbox_sync.pdt",
+];
+
+#[test]
+fn verdicts_are_identical_across_parallelism() {
+    for name in RACE_GOLDENS {
+        let trace = golden(name);
+        let reference = ta::Analysis::of(&trace)
+            .parallelism(Parallelism::Serial)
+            .run()
+            .unwrap();
+        let want_text = reference.lint().render_text();
+        let want_json = reference.lint().to_json();
+        for par in [Parallelism::Workers(4), Parallelism::Auto] {
+            let a = ta::Analysis::of(&trace).parallelism(par).run().unwrap();
+            assert_eq!(a.lint().render_text(), want_text, "{name} {par:?}");
+            assert_eq!(a.lint().to_json(), want_json, "{name} {par:?}");
+        }
+    }
+}
+
+#[test]
+fn verdicts_are_identical_one_shot_vs_streamed() {
+    for name in RACE_GOLDENS {
+        let trace = golden(name);
+        let reference = ta::Analysis::of(&trace)
+            .parallelism(Parallelism::Workers(2))
+            .run()
+            .unwrap();
+        let image = golden_bytes(name);
+        for split in [1usize, 57, 4096] {
+            let mut ing = ImageIngest::new().with_parallelism(Parallelism::Workers(2));
+            for chunk in image.chunks(split) {
+                ing.push(chunk).unwrap();
+            }
+            ing.finish().unwrap();
+            let snap = ing.snapshot().expect("complete image");
+            assert_eq!(
+                snap.lint().render_text(),
+                reference.lint().render_text(),
+                "{name} split {split}"
+            );
+            assert_eq!(
+                snap.sync_edges(),
+                reference.sync_edges(),
+                "{name} split {split}: sync-edge sets must match"
+            );
+        }
+    }
+}
