@@ -10,16 +10,34 @@
 //!   ≥10M-event synthetic must hit the same target.
 //! - **Memory is fatal.** The synthetic is written through
 //!   [`V2Writer`] and decoded through [`ta::V2Ingest`] in 1 MiB
-//!   chunks; peak RSS (`VmHWM`) must stay under a fixed budget, so the
-//!   decode path can never regress into buffering the whole image.
+//!   chunks; peak RSS (`VmHWM`) must stay under a fixed budget, and
+//!   the decoded in-memory store ([`ColumnarTrace::bytes_in_memory`])
+//!   must stay at or under 100 B/event, so the decode path can never
+//!   regress into buffering the whole image or fattening the columns.
+//! - **Throughput is fatal** (release builds). The one-shot decode
+//!   must clear 3x — and the chunked decode 2x — the pre-direct-path
+//!   baseline of 1,233,175 events/s: the direct-to-columns decoder's
+//!   reason to exist.
 //! - **Drift is fatal.** If a previous `BENCH_volume.json` exists, any
 //!   bytes/event figure more than 5% worse than the recorded one fails
 //!   the gate (the codec is deterministic, so this never flakes).
 //!
+//! When the measured 10M-event rates project the 100M-event point to
+//! fit a fixed wall-clock budget (release builds only), the gate also
+//! writes 100M events through [`V2Writer`] **to disk** and streams
+//! the file back through [`ta::V2Ingest`] — the full-scale point must
+//! clear the same RSS budget, proving the container + slim store hold
+//! a 100M-event session under 2 GiB.
+//!
+//! Event counts come from the columnar store, never from the
+//! materialized row view — rows would triple the footprint and turn
+//! the RSS gate into a measurement of the test harness.
+//!
 //! Decode throughput (events/s) is measured and recorded for the perf
 //! trajectory. Emits `BENCH_volume.json` at the repo root.
 
-use std::io;
+use std::fs::File;
+use std::io::{self, Read, Seek, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -47,20 +65,47 @@ const GOLDEN: [&str; 5] = [
     "stream_racy.pdt",
 ];
 
-/// Peak-RSS ceiling for generating + decoding the 10M-event synthetic.
-/// Sized ~2x the measured footprint of the decoded analysis (the
-/// columnar event store necessarily holds every event); the headroom
-/// catches a decode path that starts buffering whole streams.
+/// Peak-RSS ceiling for the whole run, including the 100M-event point
+/// when it fires: the slim columnar store costs ~19 B/event resident
+/// (~1.8 GiB at 100M) and the provisional decode runs free
+/// progressively during the merge, so the full-scale session fits.
 const RSS_BUDGET_MIB: u64 = 2048;
+
+/// Ceiling on the decoded store's resident bytes per event
+/// ([`ta::ColumnarTrace::bytes_in_memory`] over the column count).
+/// The slim store sits near 19; 100 catches a regression to anything
+/// row-shaped without flaking on allocator rounding.
+const MEM_MAX_BYTES_PER_EVENT: f64 = 100.0;
+
+/// The last events/s figure the v1-roundtrip path recorded before the
+/// direct-to-columns decoder landed (BENCH_volume.json history).
+const ROUNDTRIP_BASELINE_EVPS: f64 = 1_233_175.0;
+
+/// One-shot decode floor (release builds): the headline acceptance
+/// figure for the direct path.
+const MIN_ONESHOT_EVPS: f64 = 3.0 * ROUNDTRIP_BASELINE_EVPS;
+
+/// Chunked decode floor (release builds): the streaming path pays an
+/// extra provisional-run copy plus the final k-way merge, so it gates
+/// at 2x — still well clear of the roundtrip baseline, with margin
+/// against scheduler noise.
+const MIN_CHUNKED_EVPS: f64 = 2.0 * ROUNDTRIP_BASELINE_EVPS;
+
+/// The full-scale point.
+const BIG_EVENTS: usize = 100_000_000;
+
+/// Wall-clock budget for the 100M-event point (write + decode),
+/// projected from the measured 10M rates before committing to it.
+const BIG_TIME_BUDGET_S: f64 = 180.0;
 
 /// Worse-than-recorded tolerance for deterministic volume figures.
 const MAX_REGRESSION: f64 = 0.05;
 
 /// Writes a ≥`events`-event synthetic trace straight through the
-/// streaming [`V2Writer`] — it never exists as a raw v1 byte buffer.
-/// Returns the container image, the event count and the raw
+/// streaming [`V2Writer`] into `sink` — it never exists as a raw v1
+/// byte buffer. Returns the sink, the event count and the raw
 /// (v1-equivalent) byte size.
-fn write_synthetic(events: usize) -> io::Result<(Vec<u8>, usize, u64)> {
+fn write_synthetic<W: Write + Seek>(sink: W, events: usize) -> io::Result<(W, usize, u64)> {
     let spes: u8 = 8;
     let header = TraceHeader {
         version: VERSION,
@@ -72,7 +117,7 @@ fn write_synthetic(events: usize) -> io::Result<(Vec<u8>, usize, u64)> {
         group_mask: u32::MAX,
         spe_buffer_bytes: 2048,
     };
-    let mut w = V2Writer::new(io::Cursor::new(Vec::new()), header, DEFAULT_BLOCK_RECORDS)?;
+    let mut w = V2Writer::new(sink, header, DEFAULT_BLOCK_RECORDS)?;
     let mut total = 0usize;
     let mut raw = 0u64;
 
@@ -129,12 +174,12 @@ fn write_synthetic(events: usize) -> io::Result<(Vec<u8>, usize, u64)> {
         }
         w.end_stream()?;
     }
-    let cursor = w.finish(
+    let sink = w.finish(
         &(0..u32::from(spes))
             .map(|c| (c, format!("vol{c}")))
             .collect::<Vec<_>>(),
     )?;
-    Ok((cursor.into_inner(), total, raw))
+    Ok((sink, total, raw))
 }
 
 /// Bytes/event of each golden packed at the default block size.
@@ -178,6 +223,78 @@ fn check_regression(prior: Option<&str>, key: &str, new: f64) -> Result<(), Stri
     Ok(())
 }
 
+/// Throughput floors only gate optimized builds; a debug run reports
+/// the figure but cannot meaningfully fail it.
+fn check_throughput(what: &str, evps: f64, floor: f64) -> Result<(), String> {
+    if !cfg!(debug_assertions) && evps < floor {
+        return Err(format!(
+            "{what}: {:.2} M events/s under the {:.2} M events/s floor \
+             (baseline {:.2} M, pre-direct roundtrip path)",
+            evps / 1e6,
+            floor / 1e6,
+            ROUNDTRIP_BASELINE_EVPS / 1e6
+        ));
+    }
+    Ok(())
+}
+
+/// The 100M-event point: write the synthetic through [`V2Writer`] to
+/// a temp file, stream it back through [`V2Ingest`] in 8 MiB chunks,
+/// and verify the count, the per-event memory and the RSS budget at
+/// full scale. Returns `(events, write_ms, decode_ms, evps)`.
+fn run_big_point() -> Result<(usize, f64, f64, f64), String> {
+    let path = std::env::temp_dir().join(format!("ta-volume-big-{}.pdt2", std::process::id()));
+    let res = (|| {
+        let t = Instant::now();
+        let file = File::create(&path).map_err(|e| e.to_string())?;
+        let (file, total, _) = write_synthetic(file, BIG_EVENTS).map_err(|e| e.to_string())?;
+        file.sync_all().map_err(|e| e.to_string())?;
+        drop(file);
+        let write_ms = t.elapsed().as_nanos() as f64 / 1e6;
+
+        let t = Instant::now();
+        let mut ing = V2Ingest::new().with_parallelism(Parallelism::Workers(4));
+        let mut f = File::open(&path).map_err(|e| e.to_string())?;
+        let mut buf = vec![0u8; 8 << 20];
+        loop {
+            let n = f.read(&mut buf).map_err(|e| e.to_string())?;
+            if n == 0 {
+                break;
+            }
+            ing.push(&buf[..n]).map_err(|e| e.to_string())?;
+        }
+        ing.finish().map_err(|e| e.to_string())?;
+        let snap = ing.snapshot().ok_or("100m: no snapshot after finish")?;
+        let decode_ms = t.elapsed().as_nanos() as f64 / 1e6;
+
+        if ing.stats().blocks_corrupt != 0 {
+            return Err(format!(
+                "100m: {} corrupt blocks in a clean image",
+                ing.stats().blocks_corrupt
+            ));
+        }
+        let decoded = snap.columns().events.len();
+        if decoded != total {
+            return Err(format!("100m: decoded {decoded} of {total} events"));
+        }
+        let mem_bpe = snap.columns().bytes_in_memory() as f64 / total as f64;
+        if mem_bpe > MEM_MAX_BYTES_PER_EVENT {
+            return Err(format!(
+                "100m: {mem_bpe:.1} B/event in memory exceeds {MEM_MAX_BYTES_PER_EVENT}"
+            ));
+        }
+        let evps = total as f64 / (decode_ms / 1e3);
+        println!(
+            "100m: {total} events written in {write_ms:.0} ms, decoded in {decode_ms:.0} ms \
+             ({:.2} M events/s, {mem_bpe:.1} B/event resident)",
+            evps / 1e6
+        );
+        Ok((total, write_ms, decode_ms, evps))
+    })();
+    std::fs::remove_file(&path).ok();
+    res
+}
+
 fn run() -> Result<(), String> {
     let events: usize = std::env::args()
         .nth(1)
@@ -204,7 +321,9 @@ fn run() -> Result<(), String> {
     // Synthetic volume: bounded-memory write, then bounded-memory
     // chunked decode.
     let t = Instant::now();
-    let (image, total, raw) = write_synthetic(events).map_err(|e| e.to_string())?;
+    let (cursor, total, raw) =
+        write_synthetic(io::Cursor::new(Vec::new()), events).map_err(|e| e.to_string())?;
+    let image = cursor.into_inner();
     let write_ms = t.elapsed().as_nanos() as f64 / 1e6;
     let bpe = image.len() as f64 / total as f64;
     let raw_bpe = raw as f64 / total as f64;
@@ -239,26 +358,54 @@ fn run() -> Result<(), String> {
             stats.blocks_corrupt
         ));
     }
-    if snap.events().len() != total {
-        return Err(format!(
-            "decode returned {} of {total} events",
-            snap.events().len()
-        ));
+    // Count from the columns, never the materialized rows: rows would
+    // triple the footprint and corrupt the RSS measurement.
+    let decoded = snap.columns().events.len();
+    if decoded != total {
+        return Err(format!("decode returned {decoded} of {total} events"));
     }
+    let mem_bpe = snap.columns().bytes_in_memory() as f64 / total as f64;
     let evps = total as f64 / (decode_ms / 1e3);
     println!(
-        "decode: {} blocks, {total} events in {decode_ms:.0} ms ({:.2} M events/s)",
+        "decode: {} blocks, {total} events in {decode_ms:.0} ms \
+         ({:.2} M events/s, {mem_bpe:.1} B/event resident)",
         stats.blocks_decoded,
         evps / 1e6
     );
+    if mem_bpe > MEM_MAX_BYTES_PER_EVENT {
+        return Err(format!(
+            "{mem_bpe:.1} B/event in memory exceeds {MEM_MAX_BYTES_PER_EVENT}"
+        ));
+    }
+    check_throughput("chunked decode", evps, MIN_CHUNKED_EVPS)?;
+
+    // One-shot direct decode over the same image.
+    let t = Instant::now();
+    let v2 = V2Trace::parse(&image).map_err(|e| e.to_string())?;
+    let (oneshot, ostats) = v2.analyze(Parallelism::Workers(4));
+    let oneshot_ms = t.elapsed().as_nanos() as f64 / 1e6;
+    if ostats.blocks_corrupt != 0 {
+        return Err("one-shot: corrupt blocks in a clean image".into());
+    }
+    if oneshot.columns().events.len() != total {
+        return Err(format!(
+            "one-shot decoded {} of {total} events",
+            oneshot.columns().events.len()
+        ));
+    }
+    let oneshot_evps = total as f64 / (oneshot_ms / 1e3);
+    println!(
+        "one-shot decode: {total} events in {oneshot_ms:.0} ms ({:.2} M events/s)",
+        oneshot_evps / 1e6
+    );
+    check_throughput("one-shot decode", oneshot_evps, MIN_ONESHOT_EVPS)?;
+    drop(oneshot);
 
     // Block-skip win: a window covering ~1% of the trace span must
     // touch only the footer-overlapping blocks, not the whole file.
-    let ev = snap.events();
-    let (lo, hi) = (ev.first().unwrap().time_tb, ev.last().unwrap().time_tb);
+    let (lo, hi) = (snap.columns().start_tb(), snap.columns().end_tb());
     let (mid, half) = (lo + (hi - lo) / 2, (hi - lo) / 200);
     let t = Instant::now();
-    let v2 = V2Trace::parse(&image).map_err(|e| e.to_string())?;
     let wq = v2.window_events(mid - half, mid + half);
     let window_ms = t.elapsed().as_nanos() as f64 / 1e6;
     let total_blocks = v2.file().total_blocks();
@@ -276,6 +423,36 @@ fn run() -> Result<(), String> {
             wq.stats.blocks_decoded
         ));
     }
+    let window_evps = wq.events.len() as f64 / (window_ms / 1e3);
+    let window_blocks = wq.stats.blocks_decoded;
+    let image_len = image.len();
+    // Free the 10M-point structures before the full-scale point so
+    // its RSS high-water mark measures the 100M session alone.
+    drop(wq);
+    drop(v2);
+    drop(snap);
+    drop(ing);
+    drop(image);
+
+    // The full-scale point, behind a wall-clock budget projected from
+    // the measured rates (with 25% headroom): only worth the disk and
+    // the minutes when the optimized decoder is actually present.
+    let mut big: Option<(usize, f64, f64, f64)> = None;
+    if !cfg!(debug_assertions) && events >= 1_000_000 {
+        let scale = BIG_EVENTS as f64 / total as f64;
+        let projected_s = (write_ms + decode_ms) * scale * 1.25 / 1e3;
+        if projected_s <= BIG_TIME_BUDGET_S {
+            println!(
+                "100m point: projected {projected_s:.0} s fits the {BIG_TIME_BUDGET_S:.0} s budget"
+            );
+            big = Some(run_big_point()?);
+        } else {
+            println!(
+                "100m point: projected {projected_s:.0} s over the {BIG_TIME_BUDGET_S:.0} s \
+                 budget, skipped"
+            );
+        }
+    }
 
     let rss_mib = peak_rss_kb() / 1024;
     println!("peak RSS: {rss_mib} MiB (budget {RSS_BUDGET_MIB})");
@@ -287,12 +464,13 @@ fn run() -> Result<(), String> {
 
     // Deterministic figures may not drift against the recorded run.
     check_regression(prior.as_deref(), "bytes_per_event_10m", bpe)?;
+    check_regression(prior.as_deref(), "mem_bytes_per_event_10m", mem_bpe)?;
     for (name, v) in &density {
         let key = format!("bytes_per_event_{}", name.trim_end_matches(".pdt"));
         check_regression(prior.as_deref(), &key, *v)?;
     }
 
-    let records = [
+    let mut records = vec![
         BenchRecord {
             name: "volume_decode_10m".into(),
             events_per_sec: evps,
@@ -300,26 +478,40 @@ fn run() -> Result<(), String> {
             threads: 4,
         },
         BenchRecord {
+            name: "volume_oneshot_10m".into(),
+            events_per_sec: oneshot_evps,
+            wall_ms: oneshot_ms,
+            threads: 4,
+        },
+        BenchRecord {
             name: "volume_window_1pct".into(),
-            events_per_sec: wq.events.len() as f64 / (window_ms / 1e3),
+            events_per_sec: window_evps,
             wall_ms: window_ms,
             threads: 1,
         },
     ];
     let mut meta: Vec<(String, f64)> = vec![
         ("events_10m".into(), total as f64),
-        ("image_bytes_10m".into(), image.len() as f64),
+        ("image_bytes_10m".into(), image_len as f64),
         ("raw_bytes_10m".into(), raw as f64),
         ("bytes_per_event_10m".into(), bpe),
         ("raw_bytes_per_event_10m".into(), raw_bpe),
+        ("mem_bytes_per_event_10m".into(), mem_bpe),
         ("write_ms_10m".into(), write_ms),
         ("peak_rss_mib".into(), rss_mib as f64),
-        (
-            "window_blocks_decoded".into(),
-            wq.stats.blocks_decoded as f64,
-        ),
+        ("window_blocks_decoded".into(), window_blocks as f64),
         ("total_blocks".into(), total_blocks as f64),
     ];
+    if let Some((big_total, big_write_ms, big_decode_ms, big_evps)) = big {
+        records.push(BenchRecord {
+            name: "volume_decode_100m".into(),
+            events_per_sec: big_evps,
+            wall_ms: big_decode_ms,
+            threads: 4,
+        });
+        meta.push(("events_100m".into(), big_total as f64));
+        meta.push(("write_ms_100m".into(), big_write_ms));
+    }
     for (name, v) in &density {
         meta.push((
             format!("bytes_per_event_{}", name.trim_end_matches(".pdt")),
@@ -334,6 +526,33 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    // The 100M-event merge stays under the RSS budget by freeing each
+    // consumed provisional run as the merge passes it — which only
+    // returns memory to the OS if those multi-MiB buffers were mmap'd.
+    // glibc's *dynamic* mmap threshold defeats that: once an earlier
+    // phase frees an mmap'd block, the threshold rises past the run
+    // size and the runs land on the main heap, where frees shrink
+    // nothing (observed: +1.5 GiB peak). Pinning the threshold via
+    // glibc's documented env knob (read before main, hence the one-time
+    // re-exec) disables the dynamic adjustment; on other allocators the
+    // variable is inert and the child runs identically.
+    const THRESHOLD_VAR: &str = "MALLOC_MMAP_THRESHOLD_";
+    if std::env::var_os(THRESHOLD_VAR).is_none() {
+        if let Ok(exe) = std::env::current_exe() {
+            if let Ok(status) = std::process::Command::new(exe)
+                .args(std::env::args_os().skip(1))
+                .env(THRESHOLD_VAR, "1048576")
+                .status()
+            {
+                return if status.success() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
+        }
+        // Re-exec unavailable: run in-process with default behavior.
+    }
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

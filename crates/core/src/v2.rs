@@ -670,6 +670,200 @@ pub fn raw_len_of(records: &[TraceRecord]) -> usize {
     records.iter().map(TraceRecord::encoded_len).sum()
 }
 
+/// One packed block decoded column-wise: the struct-of-arrays twin of
+/// [`decode_packed_payload`]'s `Vec<TraceRecord>`. The payload's
+/// columns land directly in reusable buffers — no per-record `Vec`
+/// allocation — so a reader can append them straight into its own
+/// columnar store. Buffers keep their capacity across
+/// [`decode_packed_columns`] calls.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ColumnBatch {
+    /// Per-record core tags (expanded to `n` entries even when the
+    /// block stored a single uniform byte).
+    pub tags: Vec<u8>,
+    /// Per-record event codes.
+    pub codes: Vec<EventCode>,
+    /// Per-record raw timestamps (PPE: timebase; SPE: decrementer).
+    pub timestamps: Vec<u64>,
+    /// Parameter-range bounds into [`params`](Self::params);
+    /// `n + 1` entries.
+    pub params_off: Vec<u32>,
+    /// Flattened parameters.
+    pub params: Vec<u64>,
+}
+
+impl ColumnBatch {
+    /// Records in the batch.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Drops the contents, keeping buffer capacity.
+    pub fn clear(&mut self) {
+        self.tags.clear();
+        self.codes.clear();
+        self.timestamps.clear();
+        self.params_off.clear();
+        self.params.clear();
+    }
+
+    /// Record `i`'s parameter slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn params_of(&self, i: usize) -> &[u64] {
+        let lo = self.params_off[i] as usize;
+        let hi = self.params_off[i + 1] as usize;
+        &self.params[lo..hi]
+    }
+
+    /// Sum of the records' canonical v1 encoded lengths — what
+    /// [`records_to_bytes`] would produce, computed from the counts
+    /// alone.
+    pub fn raw_len(&self) -> u64 {
+        let mut total = 0u64;
+        for w in self.params_off.windows(2) {
+            let np = (w[1] - w[0]) as usize;
+            total += (1 + np.div_ceil(2)) as u64 * 16;
+        }
+        total
+    }
+
+    /// Reconstructs record `i` (the row-form escape hatch for readers
+    /// that fall back to the record path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn record(&self, i: usize) -> TraceRecord {
+        TraceRecord {
+            core: TraceCore::from_tag(self.tags[i]),
+            code: self.codes[i],
+            timestamp: self.timestamps[i],
+            params: self.params_of(i).to_vec(),
+        }
+    }
+}
+
+/// Decodes a packed payload straight into columnar buffers, appending
+/// nothing on failure. Validation is identical to
+/// [`decode_packed_payload`] — dictionary bounds, known event codes,
+/// parameter counts, varint termination, no trailing bytes — and the
+/// decoded columns are record-for-record equal to the record path.
+///
+/// # Errors
+///
+/// Returns [`V2Error::Corrupt`] on any inconsistency.
+pub fn decode_packed_columns(
+    payload: &[u8],
+    n_records: u32,
+    out: &mut ColumnBatch,
+) -> Result<(), V2Error> {
+    let r = decode_packed_columns_inner(payload, n_records, out);
+    if r.is_err() {
+        out.clear();
+    }
+    r
+}
+
+fn decode_packed_columns_inner(
+    payload: &[u8],
+    n_records: u32,
+    out: &mut ColumnBatch,
+) -> Result<(), V2Error> {
+    const CORRUPT: V2Error = V2Error::Corrupt {
+        what: "packed payload",
+    };
+    out.clear();
+    let n = n_records as usize;
+    if n == 0 || payload.is_empty() {
+        return Err(CORRUPT);
+    }
+    let mut buf = payload;
+    let take = |buf: &mut &[u8], n: usize| -> Result<(), V2Error> {
+        if buf.len() < n {
+            return Err(CORRUPT);
+        }
+        buf.advance(n);
+        Ok(())
+    };
+    let dict_len = buf.get_u8() as usize;
+    if dict_len == 0 || buf.len() < dict_len * 2 {
+        return Err(CORRUPT);
+    }
+    let mut dict: [EventCode; 255] = [EventCode::PpeUser; 255];
+    for slot in dict.iter_mut().take(dict_len) {
+        let raw = buf.get_u16_le();
+        *slot = EventCode::from_raw(raw).ok_or(CORRUPT)?;
+    }
+    if buf.len() < 2 {
+        return Err(CORRUPT);
+    }
+    let uniform_core = buf.get_u8();
+    let uniform_np = buf.get_u8();
+    if uniform_core > 1 || uniform_np > 1 {
+        return Err(CORRUPT);
+    }
+    let tags = buf;
+    take(&mut buf, if uniform_core == 1 { 1 } else { n })?;
+    let nparams = buf;
+    take(&mut buf, if uniform_np == 1 { 1 } else { n })?;
+    let np_bound = if uniform_np == 1 { 1 } else { n };
+    if nparams[..np_bound].iter().any(|&p| p as usize > MAX_PARAMS) {
+        return Err(CORRUPT);
+    }
+    let indices = buf;
+    take(&mut buf, n)?;
+    if indices[..n].iter().any(|&i| i as usize >= dict_len) {
+        return Err(CORRUPT);
+    }
+
+    out.timestamps.reserve(n);
+    let mut ts = get_varint(&mut buf).ok_or(CORRUPT)?;
+    out.timestamps.push(ts);
+    for _ in 1..n {
+        let delta = unzigzag(get_varint(&mut buf).ok_or(CORRUPT)?);
+        ts = ts.wrapping_add(delta as u64);
+        out.timestamps.push(ts);
+    }
+
+    out.tags.reserve(n);
+    if uniform_core == 1 {
+        out.tags.resize(n, tags[0]);
+    } else {
+        out.tags.extend_from_slice(&tags[..n]);
+    }
+    out.codes.reserve(n);
+    out.codes
+        .extend(indices[..n].iter().map(|&i| dict[i as usize]));
+
+    out.params_off.reserve(n + 1);
+    out.params_off.push(0);
+    for i in 0..n {
+        let np = if uniform_np == 1 {
+            nparams[0]
+        } else {
+            nparams[i]
+        } as usize;
+        for _ in 0..np {
+            out.params.push(get_varint(&mut buf).ok_or(CORRUPT)?);
+        }
+        out.params_off.push(out.params.len() as u32);
+    }
+    if !buf.is_empty() {
+        return Err(V2Error::Corrupt {
+            what: "trailing packed payload bytes",
+        });
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------
 // Streaming writer.
 // ---------------------------------------------------------------------
@@ -1507,6 +1701,90 @@ mod tests {
     fn crc32_known_vector() {
         assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn columnar_decode_matches_record_decode() {
+        // Mixed cores, codes and param counts so neither column
+        // collapses to its uniform byte; then a uniform run.
+        let mixed: Vec<TraceRecord> = (0..100)
+            .map(|i| TraceRecord {
+                core: if i % 3 == 0 {
+                    TraceCore::Ppe((i % 2) as u8)
+                } else {
+                    TraceCore::Spe((i % 5) as u8)
+                },
+                code: if i % 2 == 0 {
+                    EventCode::SpeDmaGet
+                } else {
+                    EventCode::PpeUser
+                },
+                timestamp: 1_000_000u64.wrapping_add(i * 37 % 1000),
+                params: vec![i; (i % 5) as usize],
+            })
+            .collect();
+        let uniform: Vec<TraceRecord> = (0..50)
+            .map(|i| TraceRecord {
+                core: TraceCore::Spe(3),
+                code: EventCode::SpeUser,
+                timestamp: 500 + i,
+                params: vec![i],
+            })
+            .collect();
+        let mut batch = ColumnBatch::default();
+        for records in [mixed, uniform] {
+            let payload = encode_packed_payload(&records);
+            let rows = decode_packed_payload(&payload, records.len() as u32).unwrap();
+            decode_packed_columns(&payload, records.len() as u32, &mut batch).unwrap();
+            assert_eq!(batch.len(), rows.len());
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(batch.record(i), *r);
+            }
+            assert_eq!(batch.raw_len(), raw_len_of(&records) as u64);
+        }
+    }
+
+    #[test]
+    fn columnar_decode_fails_atomically() {
+        let records: Vec<TraceRecord> = (0..10)
+            .map(|i| TraceRecord {
+                core: TraceCore::Spe(0),
+                code: EventCode::SpeUser,
+                timestamp: i,
+                params: vec![i, i + 1],
+            })
+            .collect();
+        let payload = encode_packed_payload(&records);
+        let mut batch = ColumnBatch::default();
+        // Truncations and bit flips must match the record decoder's
+        // verdict and leave the batch empty on failure.
+        for cut in 0..payload.len() {
+            let rows = decode_packed_payload(&payload[..cut], 10);
+            let cols = decode_packed_columns(&payload[..cut], 10, &mut batch);
+            assert_eq!(rows.is_err(), cols.is_err());
+            if cols.is_err() {
+                assert!(batch.is_empty() && batch.params_off.is_empty());
+            }
+        }
+        for bit in 0..payload.len() * 8 {
+            let mut bad = payload.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            let rows = decode_packed_payload(&bad, 10);
+            let cols = decode_packed_columns(&bad, 10, &mut batch);
+            assert_eq!(rows.is_err(), cols.is_err(), "bit {bit}");
+            match (rows, cols) {
+                (Ok(rows), Ok(())) => {
+                    assert_eq!(batch.len(), rows.len());
+                    for (i, r) in rows.iter().enumerate() {
+                        assert_eq!(batch.record(i), *r);
+                    }
+                }
+                (Err(_), Err(_)) => {
+                    assert!(batch.is_empty() && batch.params_off.is_empty());
+                }
+                _ => unreachable!(),
+            }
+        }
     }
 
     fn ppe_run(spe: u8, tb: u64, dec_start: u32) -> TraceRecord {

@@ -70,7 +70,7 @@ use std::sync::Arc;
 use pdt::{TraceCore, TraceFile, DEFAULT_BLOCK_RECORDS};
 use ta::{
     analyze_v2, compare_traces, is_v2_image, user_phases, Analysis, CsvTable, EventFilter,
-    LintConfig, Parallelism, RenderOptions, ReportKind, SvgOptions, V2Trace,
+    LintConfig, MappedImage, Parallelism, RenderOptions, ReportKind, SvgOptions, V2Trace,
 };
 
 /// Loads a trace image, sniffing the container by magic: `PDT1`
@@ -78,7 +78,9 @@ use ta::{
 /// v2 reader (falling back to the lossy streaming reader when the
 /// container is truncated).
 fn load(path: &str, strict: bool, par: Parallelism) -> Result<Arc<Analysis>, String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    // Memory-mapped when the `mmap` feature is on: the one-shot v2
+    // reader borrows blocks straight out of the mapping.
+    let bytes = MappedImage::open(path).map_err(|e| format!("{path}: {e}"))?;
     if is_v2_image(&bytes) {
         if strict {
             // Strict mode reconstructs the exact v1 bytes first, so a
@@ -311,7 +313,7 @@ fn run() -> Result<(), String> {
                 .unwrap_or(DEFAULT_BLOCK_RECORDS);
             let input = args.get(1).ok_or("pack needs IN.pdt and OUT.pdt2")?;
             let out = args.get(2).ok_or("pack needs IN.pdt and OUT.pdt2")?;
-            let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+            let bytes = MappedImage::open(input).map_err(|e| format!("{input}: {e}"))?;
             // A v2 input is accepted too: unpack + repack re-blocks it.
             let trace = if is_v2_image(&bytes) {
                 pdt::unpack(&bytes).map_err(|e| format!("{input}: {e}"))?
@@ -330,7 +332,7 @@ fn run() -> Result<(), String> {
         "unpack" => {
             let input = args.get(1).ok_or("unpack needs IN.pdt2 and OUT.pdt")?;
             let out = args.get(2).ok_or("unpack needs IN.pdt2 and OUT.pdt")?;
-            let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+            let bytes = MappedImage::open(input).map_err(|e| format!("{input}: {e}"))?;
             if !is_v2_image(&bytes) {
                 return Err(format!("{input}: not a PDT2 image"));
             }
@@ -359,7 +361,7 @@ fn run() -> Result<(), String> {
             // block-skip path: only packed blocks whose footer time
             // range overlaps the window are decoded at all.
             if !summary && !strict {
-                let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+                let data = MappedImage::open(path).map_err(|e| format!("{path}: {e}"))?;
                 if is_v2_image(&data) {
                     if let Ok(v2) = V2Trace::parse(&data) {
                         let (t0, t1) = (from.unwrap_or(0), to.unwrap_or(u64::MAX));

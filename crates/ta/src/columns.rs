@@ -6,24 +6,24 @@
 //! `Vec<u64>` per event and owned `String`s for context names, so a
 //! product pass over a large trace walks millions of small
 //! allocations. [`EventColumns`] packs the same data as parallel
-//! columns — one `Vec` per field, parameter words flattened into a
-//! single buffer addressed by an offsets column — and [`Interner`]
-//! replaces repeated strings with `u32` symbol ids resolved through
-//! one table. [`ColumnarTrace`] wraps the columns with the trace
-//! header, anchors and interned context names, memoizes the per-core
-//! offset lists every product shares, and can
-//! [`materialize`](ColumnarTrace::materialize) the original row form
-//! byte-identically so the public API is unchanged.
+//! columns — one `Vec` per field, parameter tuples deduplicated
+//! through a dictionary — and [`Interner`] replaces repeated strings
+//! with `u32` symbol ids resolved through one table. [`ColumnarTrace`]
+//! wraps the columns with the trace header, anchors and interned
+//! context names, memoizes the per-core offset lists every product
+//! shares, and can [`materialize`](ColumnarTrace::materialize) the
+//! original row form byte-identically so the public API is unchanged.
 //!
-//! Layout (`n` events, half-open offset ranges):
+//! Layout (`n` events, ~19 B/event resident, half-open offset ranges):
 //!
 //! ```text
 //! time_tb    [u64; n]     sorted (global event order)
-//! core       [TraceCore; n]
+//! core_tag   [u8; n]      TraceCore::tag values
 //! code       [EventCode; n]
-//! stream_seq [u64; n]
-//! params_off [u32; n + 1] event i's params = params_buf[off[i]..off[i+1]]
-//! params_buf [u64; sum]   flattened parameter words
+//! stream_seq [u32; n]     u32::MAX = escape to the sorted wide_seq table
+//! params_id  [u32; n]     event i's params = dict_buf[doff[id]..doff[id+1]]
+//! dict_off   [u32; d + 1] one entry per distinct tuple
+//! dict_buf   [u64; sum]   deduplicated parameter words
 //! ```
 //!
 //! Interning rules: symbols are created only while the store is built
@@ -135,32 +135,218 @@ impl EventView<'_> {
     }
 }
 
-/// Struct-of-arrays event storage. Field columns are parallel; the
-/// parameter words of all events share one flat buffer addressed by
-/// the `params_off` offsets column (`n + 1` entries).
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+/// Sentinel in the narrow sequence column: the event's sequence number
+/// does not fit and lives in the sorted overflow table instead.
+const SEQ_WIDE: u32 = u32::MAX;
+
+/// FNV-1a over parameter words (length-salted), the hash behind the
+/// parameter-dictionary index.
+fn hash_params(params: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (params.len() as u64).wrapping_mul(0x0100_0000_01b3);
+    for &p in params {
+        h = (h ^ p).wrapping_mul(0x0100_0000_01b3);
+        h ^= h >> 29;
+    }
+    h
+}
+
+/// Interning switches to append-only once this many tuples have been
+/// interned with almost no deduplication (see [`DictIndex::intern`]).
+const DICT_DEGENERATE_AFTER: u32 = 4096;
+
+/// Open-addressing index over the parameter dictionary: maps a tuple's
+/// hash to its dictionary id during store construction. Slots hold
+/// `id + 1` (0 = empty); collisions resolve by comparing the actual
+/// tuple in the dictionary buffers.
+///
+/// Traces whose tuples barely repeat (distinct DMA effective
+/// addresses on every transfer) get nothing from the dictionary but
+/// would pay a hash + probe + periodic rehash on every event, so the
+/// index watches its own hit rate: once `DICT_DEGENERATE_AFTER`
+/// tuples have been interned with under 1/8 of lookups deduplicating,
+/// it drops the hash table and appends every tuple as a fresh id —
+/// the same cost profile as a flat offsets buffer.
+#[derive(Debug, Default, Clone)]
+struct DictIndex {
+    slots: Vec<u32>,
+    /// Total `intern` calls, saturating at `DICT_DEGENERATE_AFTER`
+    /// (only the warm-up window is measured).
+    lookups: u32,
+    /// `intern` calls in the warm-up window that hit an existing id.
+    hits: u32,
+    /// Hit rate stayed under 1/8 through warm-up: append-only mode.
+    degenerate: bool,
+}
+
+impl DictIndex {
+    fn grow(&mut self, dict_off: &[u32], dict_buf: &[u64]) {
+        let cap = (self.slots.len() * 2).max(16);
+        self.slots = vec![0u32; cap];
+        for id in 0..dict_off.len().saturating_sub(1) {
+            let tuple = &dict_buf[dict_off[id] as usize..dict_off[id + 1] as usize];
+            let mut at = hash_params(tuple) as usize & (cap - 1);
+            while self.slots[at] != 0 {
+                at = (at + 1) & (cap - 1);
+            }
+            self.slots[at] = id as u32 + 1;
+        }
+    }
+
+    /// Appends `params` to the dictionary as a fresh id, bypassing the
+    /// hash table.
+    fn append(params: &[u64], dict_off: &mut Vec<u32>, dict_buf: &mut Vec<u64>) -> u32 {
+        let id = u32::try_from(dict_off.len() - 1).expect("params dictionary exceeds u32 ids");
+        dict_buf.extend_from_slice(params);
+        let end = u32::try_from(dict_buf.len()).expect("params dictionary exceeds u32 words");
+        dict_off.push(end);
+        id
+    }
+
+    /// Looks up `params` in the dictionary, interning it if new.
+    fn intern(&mut self, params: &[u64], dict_off: &mut Vec<u32>, dict_buf: &mut Vec<u64>) -> u32 {
+        if dict_off.is_empty() {
+            dict_off.push(0);
+        }
+        if self.degenerate {
+            return Self::append(params, dict_off, dict_buf);
+        }
+        if self.lookups < DICT_DEGENERATE_AFTER {
+            self.lookups += 1;
+        } else if self.hits < DICT_DEGENERATE_AFTER / 8 {
+            self.degenerate = true;
+            self.slots = Vec::new();
+            return Self::append(params, dict_off, dict_buf);
+        }
+        let n_ids = dict_off.len() - 1;
+        if (n_ids + 1) * 8 >= self.slots.len() * 7 {
+            self.grow(dict_off, dict_buf);
+        }
+        let mask = self.slots.len() - 1;
+        let mut at = hash_params(params) as usize & mask;
+        loop {
+            match self.slots[at] {
+                0 => {
+                    let id = u32::try_from(n_ids).expect("params dictionary exceeds u32 ids");
+                    dict_buf.extend_from_slice(params);
+                    let end =
+                        u32::try_from(dict_buf.len()).expect("params dictionary exceeds u32 words");
+                    dict_off.push(end);
+                    self.slots[at] = id + 1;
+                    return id;
+                }
+                slot => {
+                    let id = (slot - 1) as usize;
+                    let tuple = &dict_buf[dict_off[id] as usize..dict_off[id + 1] as usize];
+                    if tuple == params {
+                        if self.lookups < DICT_DEGENERATE_AFTER {
+                            self.hits = self.hits.saturating_add(1);
+                        }
+                        return slot - 1;
+                    }
+                    at = (at + 1) & mask;
+                }
+            }
+        }
+    }
+}
+
+/// Struct-of-arrays event storage, sized for the 100M-event point:
+/// core tags stored as single bytes, per-stream sequence numbers as
+/// `u32` with a sorted overflow escape, and parameter tuples
+/// deduplicated through a dictionary (`params_id` per event indexing
+/// `dict_off`/`dict_buf`) — DMA bursts and user markers repeat a
+/// handful of tuples millions of times, so the dictionary collapses
+/// the dominant per-event cost of the old flattened buffer.
+#[derive(Debug, Default, Clone)]
 pub struct EventColumns {
     time_tb: Vec<u64>,
-    core: Vec<TraceCore>,
+    core_tag: Vec<u8>,
     code: Vec<EventCode>,
-    stream_seq: Vec<u64>,
-    params_off: Vec<u32>,
-    params_buf: Vec<u64>,
+    stream_seq: Vec<u32>,
+    /// `(event index, sequence)` pairs, index-sorted, for events whose
+    /// sequence number is `>= u32::MAX`.
+    wide_seq: Vec<(u32, u64)>,
+    params_id: Vec<u32>,
+    dict_off: Vec<u32>,
+    dict_buf: Vec<u64>,
+    dict_index: DictIndex,
 }
+
+impl PartialEq for EventColumns {
+    /// Logical equality: same events in the same order. Dictionary id
+    /// assignment (insertion order) is deliberately not compared.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self.time_tb == other.time_tb
+            && self.core_tag == other.core_tag
+            && self.code == other.code
+            && (0..self.len())
+                .all(|i| self.seq(i) == other.seq(i) && self.params(i) == other.params(i))
+    }
+}
+
+impl Eq for EventColumns {}
 
 impl EventColumns {
     /// An empty store with capacity for `n` events.
     pub fn with_capacity(n: usize) -> Self {
-        let mut params_off = Vec::with_capacity(n + 1);
-        params_off.push(0);
         EventColumns {
             time_tb: Vec::with_capacity(n),
-            core: Vec::with_capacity(n),
+            core_tag: Vec::with_capacity(n),
             code: Vec::with_capacity(n),
             stream_seq: Vec::with_capacity(n),
-            params_off,
-            params_buf: Vec::new(),
+            wide_seq: Vec::new(),
+            params_id: Vec::with_capacity(n),
+            dict_off: vec![0],
+            dict_buf: Vec::new(),
+            dict_index: DictIndex::default(),
         }
+    }
+
+    /// Reserves column capacity for `n` more events (the direct v2
+    /// decode path knows the exact total from the block footers, so
+    /// the columns never reallocate mid-decode).
+    pub(crate) fn reserve_events(&mut self, n: usize) {
+        self.time_tb.reserve_exact(n);
+        self.core_tag.reserve_exact(n);
+        self.code.reserve_exact(n);
+        self.stream_seq.reserve_exact(n);
+        self.params_id.reserve_exact(n);
+    }
+
+    /// Interns a parameter tuple, returning its dictionary id without
+    /// appending an event — the direct decode path interns at block
+    /// granularity and appends ids later, during the merge.
+    pub(crate) fn intern_params(&mut self, params: &[u64]) -> u32 {
+        self.dict_index
+            .intern(params, &mut self.dict_off, &mut self.dict_buf)
+    }
+
+    fn push_seq(&mut self, stream_seq: u64) {
+        match u32::try_from(stream_seq) {
+            Ok(s) if s != SEQ_WIDE => self.stream_seq.push(s),
+            _ => {
+                let i = u32::try_from(self.stream_seq.len()).expect("trace exceeds u32 events");
+                self.stream_seq.push(SEQ_WIDE);
+                self.wide_seq.push((i, stream_seq));
+            }
+        }
+    }
+
+    /// Appends one event whose parameter tuple is already interned.
+    pub(crate) fn push_with_id(
+        &mut self,
+        time_tb: u64,
+        core_tag: u8,
+        code: EventCode,
+        params_id: u32,
+        stream_seq: u64,
+    ) {
+        self.time_tb.push(time_tb);
+        self.core_tag.push(core_tag);
+        self.code.push(code);
+        self.push_seq(stream_seq);
+        self.params_id.push(params_id);
     }
 
     /// Appends one event.
@@ -172,16 +358,8 @@ impl EventColumns {
         params: &[u64],
         stream_seq: u64,
     ) {
-        if self.params_off.is_empty() {
-            self.params_off.push(0);
-        }
-        self.time_tb.push(time_tb);
-        self.core.push(core);
-        self.code.push(code);
-        self.stream_seq.push(stream_seq);
-        self.params_buf.extend_from_slice(params);
-        let end = u32::try_from(self.params_buf.len()).expect("params buffer exceeds u32 offsets");
-        self.params_off.push(end);
+        let id = self.intern_params(params);
+        self.push_with_id(time_tb, core.tag(), code, id, stream_seq);
     }
 
     /// Number of events.
@@ -199,9 +377,14 @@ impl EventColumns {
         &self.time_tb
     }
 
-    /// The core column.
-    pub fn cores(&self) -> &[TraceCore] {
-        &self.core
+    /// The core-tag column ([`TraceCore::tag`] values).
+    pub fn tags(&self) -> &[u8] {
+        &self.core_tag
+    }
+
+    /// Event `i`'s producing core.
+    pub fn core(&self, i: usize) -> TraceCore {
+        TraceCore::from_tag(self.core_tag[i])
     }
 
     /// The event-code column.
@@ -209,26 +392,65 @@ impl EventColumns {
         &self.code
     }
 
-    /// The per-stream sequence-number column.
-    pub fn seqs(&self) -> &[u64] {
-        &self.stream_seq
+    /// Event `i`'s per-stream sequence number.
+    pub fn seq(&self, i: usize) -> u64 {
+        match self.stream_seq[i] {
+            SEQ_WIDE => {
+                let at = self
+                    .wide_seq
+                    .binary_search_by_key(&(i as u32), |&(idx, _)| idx)
+                    .expect("wide sequence recorded for sentinel");
+                self.wide_seq[at].1
+            }
+            s => u64::from(s),
+        }
+    }
+
+    /// Event `i`'s parameter-dictionary id.
+    pub fn params_id(&self, i: usize) -> u32 {
+        self.params_id[i]
+    }
+
+    /// The parameter tuple behind dictionary id `id`.
+    pub fn dict_params(&self, id: u32) -> &[u64] {
+        let lo = self.dict_off[id as usize] as usize;
+        let hi = self.dict_off[id as usize + 1] as usize;
+        &self.dict_buf[lo..hi]
+    }
+
+    /// Distinct parameter tuples in the dictionary.
+    pub fn dict_len(&self) -> usize {
+        self.dict_off.len().saturating_sub(1)
     }
 
     /// Event `i`'s parameter words.
     pub fn params(&self, i: usize) -> &[u64] {
-        let lo = self.params_off[i] as usize;
-        let hi = self.params_off[i + 1] as usize;
-        &self.params_buf[lo..hi]
+        self.dict_params(self.params_id[i])
+    }
+
+    /// Resident bytes of the column arrays, overflow table and
+    /// parameter dictionary (capacity-based, so reserved-but-untouched
+    /// tail pages of an exact reservation still count).
+    pub fn bytes_in_memory(&self) -> usize {
+        self.time_tb.capacity() * 8
+            + self.core_tag.capacity()
+            + self.code.capacity() * 2
+            + self.stream_seq.capacity() * 4
+            + self.wide_seq.capacity() * 16
+            + self.params_id.capacity() * 4
+            + self.dict_off.capacity() * 4
+            + self.dict_buf.capacity() * 8
+            + self.dict_index.slots.capacity() * 4
     }
 
     /// A borrowed view of event `i`.
     pub fn view(&self, i: usize) -> EventView<'_> {
         EventView {
             time_tb: self.time_tb[i],
-            core: self.core[i],
+            core: self.core(i),
             code: self.code[i],
             params: self.params(i),
-            stream_seq: self.stream_seq[i],
+            stream_seq: self.seq(i),
         }
     }
 
@@ -250,21 +472,29 @@ impl EventColumns {
         params: &[u64],
         stream_seq: u64,
     ) {
-        if self.params_off.is_empty() {
-            self.params_off.push(0);
-        }
+        let id = self.intern_params(params);
         self.time_tb.insert(i, time_tb);
-        self.core.insert(i, core);
+        self.core_tag.insert(i, core.tag());
         self.code.insert(i, code);
-        self.stream_seq.insert(i, stream_seq);
-        let lo = self.params_off[i] as usize;
-        self.params_buf.splice(lo..lo, params.iter().copied());
-        let nw = u32::try_from(params.len()).expect("params fit u32");
-        self.params_off.insert(i + 1, self.params_off[i] + nw);
-        for off in &mut self.params_off[i + 2..] {
-            *off += nw;
+        self.params_id.insert(i, id);
+        // Shift the overflow table's indices past the insertion point,
+        // then record the new event's sequence.
+        for (idx, _) in &mut self.wide_seq {
+            if *idx as usize >= i {
+                *idx += 1;
+            }
         }
-        let _ = u32::try_from(self.params_buf.len()).expect("params buffer exceeds u32 offsets");
+        match u32::try_from(stream_seq) {
+            Ok(s) if s != SEQ_WIDE => self.stream_seq.insert(i, s),
+            _ => {
+                self.stream_seq.insert(i, SEQ_WIDE);
+                let at = self
+                    .wide_seq
+                    .partition_point(|&(idx, _)| (idx as usize) < i);
+                self.wide_seq.insert(at, (i as u32, stream_seq));
+            }
+        }
+        let _ = u32::try_from(self.time_tb.len()).expect("trace exceeds u32 events");
     }
 }
 
@@ -481,8 +711,8 @@ impl ColumnarTrace {
                 "trace exceeds u32 offset space"
             );
             let mut slots: Vec<Vec<u32>> = vec![Vec::new(); 256];
-            for (i, c) in self.events.cores().iter().enumerate() {
-                slots[c.tag() as usize].push(i as u32);
+            for (i, &tag) in self.events.tags().iter().enumerate() {
+                slots[tag as usize].push(i as u32);
             }
             slots
                 .into_iter()
@@ -500,10 +730,10 @@ impl ColumnarTrace {
     pub fn core_group_mask(&self, core: TraceCore) -> u32 {
         let masks = self.group_masks.get_or_init(|| {
             let mut m = vec![0u32; 256];
-            let cores = self.events.cores();
+            let tags = self.events.tags();
             let codes = self.events.codes();
             for i in 0..self.events.len() {
-                m[cores[i].tag() as usize] |= codes[i].group() as u32;
+                m[tags[i] as usize] |= codes[i].group() as u32;
             }
             m
         });
@@ -565,6 +795,16 @@ impl ColumnarTrace {
     /// Converts timebase ticks to nanoseconds using the header clocks.
     pub fn tb_to_ns(&self, tb: u64) -> f64 {
         tb as f64 * self.header.timebase_divider as f64 * 1e9 / self.header.core_hz as f64
+    }
+
+    /// Resident bytes of the event store plus trace metadata — the
+    /// figure behind the `volume_smoke` in-memory bytes/event gate.
+    /// Memoized products (offsets, group masks) are excluded: they are
+    /// lazy and never built on the pure decode path.
+    pub fn bytes_in_memory(&self) -> usize {
+        self.events.bytes_in_memory()
+            + self.anchors.capacity() * std::mem::size_of::<SpeAnchor>()
+            + self.ctx_syms.capacity() * std::mem::size_of::<(u32, Sym)>()
     }
 }
 
@@ -642,6 +882,50 @@ mod tests {
         assert_eq!(i.get("other"), Some(b));
         assert_eq!(i.get("missing"), None);
         assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn params_dictionary_degenerates_on_distinct_tuples() {
+        // All-distinct tuples: the index must flip to append-only
+        // after the warm-up window, and every tuple must still read
+        // back exactly.
+        let mut distinct = EventColumns::default();
+        let n = DICT_DEGENERATE_AFTER as usize + 1000;
+        for i in 0..n {
+            distinct.push(
+                i as u64,
+                TraceCore::Spe(0),
+                EventCode::SpeDmaGet,
+                &[i as u64, !(i as u64)],
+                i as u64,
+            );
+        }
+        assert!(
+            distinct.dict_index.degenerate,
+            "all-distinct params must trip append-only mode"
+        );
+        assert!(distinct.dict_index.slots.is_empty(), "hash table freed");
+        for i in 0..n {
+            assert_eq!(distinct.params(i), &[i as u64, !(i as u64)]);
+        }
+
+        // A handful of repeating tuples: the dictionary must stay
+        // interned and collapse them to few ids.
+        let mut repetitive = EventColumns::default();
+        for i in 0..n {
+            repetitive.push(
+                i as u64,
+                TraceCore::Spe(0),
+                EventCode::SpeDmaGet,
+                &[(i % 4) as u64],
+                i as u64,
+            );
+        }
+        assert!(!repetitive.dict_index.degenerate);
+        assert_eq!(repetitive.dict_len(), 4);
+        for i in 0..n {
+            assert_eq!(repetitive.params(i), &[(i % 4) as u64]);
+        }
     }
 
     #[test]

@@ -41,8 +41,7 @@ use std::time::{Duration, Instant};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 
 /// The analyzer's single concurrency knob: how many executors a
-/// parallel region may use. Replaces the scattered `threads(n)` /
-/// `products_parallel(n)` integer parameters.
+/// parallel region may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Parallelism {
     /// Exactly one executor (the calling thread); no pool involvement.
@@ -74,9 +73,9 @@ impl Parallelism {
         }
     }
 
-    /// Maps a legacy `threads(n)` integer onto the enum: `n <= 1` is
-    /// [`Parallelism::Serial`], anything else [`Parallelism::Workers`].
-    /// The shim behind the deprecated integer entry points.
+    /// Maps a worker-count integer onto the enum: `n <= 1` is
+    /// [`Parallelism::Serial`], anything else [`Parallelism::Workers`]
+    /// — how `ta-cli -j N` and other integer knobs spell the enum.
     pub fn from_threads(n: usize) -> Self {
         if n <= 1 {
             Parallelism::Serial

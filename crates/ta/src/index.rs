@@ -140,8 +140,7 @@ pub fn compute_suspect_ranges_columns(
     loss: &LossReport,
 ) -> Vec<SuspectRange> {
     let (start, end) = (trace.start_tb(), trace.end_tb());
-    let cores = trace.events.cores();
-    let seqs = trace.events.seqs();
+    let tags = trace.events.tags();
     let times = trace.events.times();
     let whole = |stream| SuspectRange {
         start_tb: start,
@@ -151,22 +150,22 @@ pub fn compute_suspect_ranges_columns(
     let mut out = Vec::new();
     for s in &loss.streams {
         let from_stream = |i: &usize| match s.core {
-            TraceCore::Spe(_) => cores[*i] == s.core,
-            TraceCore::Ppe(_) => !cores[*i].is_spe(),
+            TraceCore::Spe(_) => tags[*i] == s.core.tag(),
+            TraceCore::Ppe(_) => !TraceCore::from_tag(tags[*i]).is_spe(),
         };
         for g in &s.gaps {
             let before = g
                 .records_before
                 .checked_sub(1)
                 .and_then(|seq| {
-                    (0..cores.len())
+                    (0..tags.len())
                         .filter(from_stream)
-                        .find(|&i| seqs[i] == seq)
+                        .find(|&i| trace.events.seq(i) == seq)
                 })
                 .map_or(start, |i| times[i]);
-            let after = (0..cores.len())
+            let after = (0..tags.len())
                 .filter(from_stream)
-                .find(|&i| seqs[i] == g.records_before)
+                .find(|&i| trace.events.seq(i) == g.records_before)
                 .map_or(end, |i| times[i]);
             out.push(SuspectRange {
                 start_tb: before,
@@ -1009,12 +1008,12 @@ impl TraceIndex {
             slot_of[pc.core.tag() as usize] = i;
         }
         let times = trace.events.times();
-        let cores = trace.events.cores();
+        let tags = trace.events.tags();
         let base_tb = self.pyramid.base_tb;
         {
             let counts = &mut self.pyramid.levels[0].counts;
             for i in from_ev..n_new {
-                let slot = slot_of[cores[i].tag() as usize];
+                let slot = slot_of[tags[i] as usize];
                 self.per_core[slot].offsets.push(i as u32);
                 let b = ((times[i] - base_tb) >> shift) as usize;
                 counts[b * n_cores + slot] += 1;

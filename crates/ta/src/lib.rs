@@ -152,7 +152,7 @@ pub use occupancy::{dma_occupancy, OccupancyStep, SpeOccupancy};
 pub use parallel::{analyze_parallel, analyze_parallel_lossy};
 pub use phases::{user_phases, PhaseReport, UserPhase};
 pub use query::EventFilter;
-pub use reader::TraceImage;
+pub use reader::{MappedImage, TraceImage};
 pub use report::{
     AsciiReport, CsvReport, CsvTable, HtmlReport, RenderOptions, Report, ReportKind, SvgReport,
 };

@@ -361,7 +361,6 @@ pub fn dma_race_window_heuristic(trace: &ColumnarTrace) -> Vec<Diagnostic> {
     out
 }
 
-#[cfg(feature = "scan-oracle")]
 fn dir_name(d: Dir) -> &'static str {
     match d {
         Dir::Get => "GET",

@@ -106,7 +106,7 @@ impl Lint for MailboxDeadlockShape {
             .iter()
             .filter(|e| e.kind == EdgeKind::InboundMbox)
             .fold(HashMap::new(), |mut m, e| {
-                if let TraceCore::Spe(s) = trace.events.cores()[e.later] {
+                if let TraceCore::Spe(s) = trace.events.core(e.later) {
                     *m.entry(s).or_default() += 1;
                 }
                 m

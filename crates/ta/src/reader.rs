@@ -12,11 +12,96 @@
 //! captures the analyzer targets it removes the single largest
 //! allocation of the load path.
 
+use std::path::Path;
+
 use pdt::{FormatError, StreamMeta, TraceCore, TraceFile, TraceHeader, TraceStream};
 
 use crate::analyze::{AnalyzeError, AnalyzedTrace};
 use crate::loss::LossReport;
 use crate::parallel::{analyze_sources, analyze_sources_lossy};
+
+/// An owned trace image loaded from disk, memory-mapped when the
+/// default-on `mmap` feature is enabled (falling back to a heap read
+/// when it is off or the map fails). Both representations expose the
+/// same `&[u8]`, so every parser ([`TraceImage::parse`],
+/// [`crate::V2Trace::parse`], [`crate::is_v2_image`]) borrows from the
+/// image without caring how it is backed — one load path for v1 and
+/// v2 containers.
+#[derive(Debug)]
+pub struct MappedImage {
+    repr: Repr,
+}
+
+#[derive(Debug)]
+enum Repr {
+    #[cfg(feature = "mmap")]
+    Mapped(memmap2::Mmap),
+    Heap(Vec<u8>),
+}
+
+impl MappedImage {
+    /// Loads the image at `path`, mapping it when possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be
+    /// opened or read.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<MappedImage> {
+        let path = path.as_ref();
+        #[cfg(feature = "mmap")]
+        {
+            let file = std::fs::File::open(path)?;
+            if let Ok(map) = memmap2::Mmap::map(&file) {
+                return Ok(MappedImage {
+                    repr: Repr::Mapped(map),
+                });
+            }
+        }
+        Ok(MappedImage {
+            repr: Repr::Heap(std::fs::read(path)?),
+        })
+    }
+
+    /// Wraps bytes already in memory (the heap representation).
+    pub fn from_vec(bytes: Vec<u8>) -> MappedImage {
+        MappedImage {
+            repr: Repr::Heap(bytes),
+        }
+    }
+
+    /// The image bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.repr {
+            #[cfg(feature = "mmap")]
+            Repr::Mapped(m) => m,
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Image length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// True when the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes().is_empty()
+    }
+}
+
+impl std::ops::Deref for MappedImage {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl AsRef<[u8]> for MappedImage {
+    fn as_ref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
 
 /// A parsed view over a serialized trace image. Record bytes are
 /// borrowed from the underlying buffer, never copied.
@@ -257,5 +342,22 @@ mod tests {
         let bytes = t.to_bytes();
         assert!(TraceImage::parse(&bytes[..bytes.len() - 1]).is_err());
         assert!(TraceImage::parse(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn mapped_image_matches_heap_read() {
+        let t = trace(2);
+        let bytes = t.to_bytes();
+        let path = std::env::temp_dir().join("ta_mapped_image_test.pdt");
+        std::fs::write(&path, &bytes).unwrap();
+        let mapped = MappedImage::open(&path).unwrap();
+        assert_eq!(mapped.bytes(), bytes.as_slice());
+        assert_eq!(mapped.len(), bytes.len());
+        assert!(!mapped.is_empty());
+        let heap = MappedImage::from_vec(bytes);
+        assert_eq!(&*mapped, &*heap);
+        let image = TraceImage::parse(&mapped).unwrap();
+        assert_eq!(image.to_trace_file(), t);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -79,12 +79,6 @@ impl AnalysisBuilder<'_> {
         self
     }
 
-    /// Sets the ingestion worker count.
-    #[deprecated(since = "0.1.0", note = "use `parallelism(Parallelism::Workers(n))`")]
-    pub fn threads(self, n: usize) -> Self {
-        self.parallelism(Parallelism::from_threads(n))
-    }
-
     /// Restricts the session to events passing `filter`. Applied after
     /// timestamp reconstruction, before any product is derived, so
     /// every accessor sees the filtered view.
@@ -396,16 +390,6 @@ impl Analysis {
                 )
             });
         });
-    }
-
-    /// Builds the memoized products concurrently on up to `threads`
-    /// workers.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `build_products(Parallelism::Workers(n))`"
-    )]
-    pub fn products_parallel(&self, threads: usize) -> &Self {
-        self.build_products(Parallelism::from_threads(threads))
     }
 
     /// The query index: per-core binary-searchable event offsets, an
@@ -812,7 +796,7 @@ mod tests {
     }
 
     #[test]
-    fn products_parallel_memoizes_like_serial_access() {
+    fn build_products_memoizes_like_serial_access() {
         let t = trace(2);
         let a = Analysis::of(&t).run().unwrap();
         a.build_products(Parallelism::Workers(4));
@@ -845,25 +829,6 @@ mod tests {
             .collect();
         assert!(labels.contains(&"SPE0 (kern)"), "{labels:?}");
         assert!(labels.contains(&"SPE2 (other)"), "{labels:?}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_thread_shims_still_work() {
-        // One-release compatibility: `threads(n)` / `products_parallel(n)`
-        // route through the Parallelism API and produce identical output.
-        let t = trace(2);
-        let old = Analysis::of(&t).threads(4).run().unwrap();
-        old.products_parallel(4);
-        let new = Analysis::of(&t)
-            .parallelism(Parallelism::Workers(4))
-            .run()
-            .unwrap();
-        new.build_products(Parallelism::Workers(4));
-        assert_eq!(old.stats(), new.stats());
-        assert_eq!(old.lint(), new.lint());
-        let streamed = crate::stream::IngestSession::new(t.header).with_threads(2);
-        assert!(format!("{streamed:?}").contains("Workers(2)"));
     }
 
     #[test]

@@ -216,15 +216,6 @@ impl IngestSession {
         self
     }
 
-    /// Sets the worker count used for index builds in snapshots.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `with_parallelism(Parallelism::Workers(n))`"
-    )]
-    pub fn with_threads(self, threads: usize) -> Self {
-        self.with_parallelism(Parallelism::from_threads(threads))
-    }
-
     /// Registers the next stream in directory order. `dropped` is the
     /// tracer-side drop count from the stream directory.
     ///
@@ -504,8 +495,8 @@ impl IngestSession {
                 let last = (
                     (
                         cols.events.times()[n - 1],
-                        cols.events.cores()[n - 1].tag(),
-                        cols.events.seqs()[n - 1],
+                        cols.events.tags()[n - 1],
+                        cols.events.seq(n - 1),
                     ),
                     self.committed_src[n - 1] as usize,
                 );
@@ -518,14 +509,19 @@ impl IngestSession {
                 // A bound was violated (non-monotone PPE timestamps):
                 // splice into the exact sorted position and rebuild
                 // the index once at the next snapshot.
-                let times = cols.events.times();
-                let cores = cols.events.cores();
-                let seqs = cols.events.seqs();
                 let src = &self.committed_src;
                 let (mut lo, mut hi) = (0usize, n);
                 while lo < hi {
                     let mid = (lo + hi) / 2;
-                    if ((times[mid], cores[mid].tag(), seqs[mid]), src[mid] as usize) < pair {
+                    let at = (
+                        (
+                            cols.events.times()[mid],
+                            cols.events.tags()[mid],
+                            cols.events.seq(mid),
+                        ),
+                        src[mid] as usize,
+                    );
+                    if at < pair {
                         lo = mid + 1;
                     } else {
                         hi = mid;
@@ -742,11 +738,9 @@ impl IngestSession {
             (Arc::clone(&self.committed), true)
         } else {
             let fast = n == 0 || {
-                let times = self.committed.events.times();
-                let cores = self.committed.events.cores();
-                let seqs = self.committed.events.seqs();
+                let ev = &self.committed.events;
                 let last = (
-                    (times[n - 1], cores[n - 1].tag(), seqs[n - 1]),
+                    (ev.times()[n - 1], ev.tags()[n - 1], ev.seq(n - 1)),
                     self.committed_src[n - 1] as usize,
                 );
                 (tail[0].0, tail[0].1) >= last
@@ -762,15 +756,15 @@ impl IngestSession {
                 c.set_anchors(anchors);
                 c.set_dropped(dropped_total);
                 c.set_ctx_names(&self.ctx_names);
-                let times = self.committed.events.times();
-                let cores = self.committed.events.cores();
-                let seqs = self.committed.events.seqs();
+                let ev = &self.committed.events;
+                let times = ev.times();
+                let tags = ev.tags();
                 let (mut ci, mut ti) = (0usize, 0usize);
                 while ci < n || ti < tail.len() {
                     let from_committed = match (ci < n, tail.get(ti)) {
                         (true, Some(t)) => {
                             (
-                                (times[ci], cores[ci].tag(), seqs[ci]),
+                                (times[ci], tags[ci], ev.seq(ci)),
                                 self.committed_src[ci] as usize,
                             ) < (t.0, t.1)
                         }
@@ -780,10 +774,10 @@ impl IngestSession {
                     if from_committed {
                         c.push_event(
                             times[ci],
-                            cores[ci],
-                            self.committed.events.codes()[ci],
-                            self.committed.events.params(ci),
-                            seqs[ci],
+                            ev.core(ci),
+                            ev.codes()[ci],
+                            ev.params(ci),
+                            ev.seq(ci),
                         );
                         ci += 1;
                     } else {
@@ -879,15 +873,6 @@ impl ImageIngest {
     pub fn with_parallelism(mut self, par: Parallelism) -> Self {
         self.par = par;
         self
-    }
-
-    /// Sets the worker count for the inner session's index builds.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `with_parallelism(Parallelism::Workers(n))`"
-    )]
-    pub fn with_threads(self, threads: usize) -> Self {
-        self.with_parallelism(Parallelism::from_threads(threads))
     }
 
     /// Total image bytes consumed so far.

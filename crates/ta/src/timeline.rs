@@ -169,6 +169,24 @@ pub fn build_timeline_columns(trace: &ColumnarTrace, intervals: &[SpeIntervals])
     let end_tb = trace.end_tb();
     let mut lanes = Vec::new();
 
+    // Markers need only the time and code columns; reading them
+    // directly skips the per-event view construction (params lookup,
+    // sequence decode) on this hot path.
+    let times = trace.events.times();
+    let codes = trace.events.codes();
+    let markers_of = |core: TraceCore, all: bool| -> Vec<Marker> {
+        trace
+            .core_slice(core)
+            .iter()
+            .map(|&o| o as usize)
+            .filter(|&o| all || is_marker(core, codes[o]))
+            .map(|o| Marker {
+                time_tb: times[o],
+                code: codes[o],
+            })
+            .collect()
+    };
+
     // PPE lanes: the memoized core offsets are tag-sorted, so PPE
     // threads come out ascending without a scan over the events.
     for (core, _) in trace.core_offsets() {
@@ -177,13 +195,7 @@ pub fn build_timeline_columns(trace: &ColumnarTrace, intervals: &[SpeIntervals])
             label: format!("PPE.{t}"),
             core: *core,
             segments: Vec::new(),
-            markers: trace
-                .core_events(*core)
-                .map(|v| Marker {
-                    time_tb: v.time_tb,
-                    code: v.code,
-                })
-                .collect(),
+            markers: markers_of(*core, true),
         });
     }
 
@@ -211,14 +223,7 @@ pub fn build_timeline_columns(trace: &ColumnarTrace, intervals: &[SpeIntervals])
                     kind: i.kind,
                 })
                 .collect(),
-            markers: trace
-                .core_events(core)
-                .filter(|v| is_marker(core, v.code))
-                .map(|v| Marker {
-                    time_tb: v.time_tb,
-                    code: v.code,
-                })
-                .collect(),
+            markers: markers_of(core, false),
         });
     }
 

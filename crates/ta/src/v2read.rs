@@ -15,32 +15,57 @@
 //!   `entry_dec`/`entry_elapsed`/`entry_seq` resume state without
 //!   touching any predecessor block.
 //! * [`V2Ingest`] — incremental chunk-at-a-time parser with bounded
-//!   memory (it buffers at most one block payload plus a fixed-size
-//!   header carry). It is prefix-driven — the footer directory
-//!   arrives *after* the payloads, so the streaming path verifies
-//!   the inline prefix and payload CRC only. [`V2Ingest::finish_lossy`]
-//!   force-closes a truncated image: the missing tail of each
-//!   promised stream is zero-filled, which the lossy v1 decoder
-//!   accounts as a trailing `DecodeGap` — truncation degrades to loss
-//!   accounting, never a panic.
+//!   parse-state memory (it buffers at most one block payload plus a
+//!   fixed-size header carry). It is prefix-driven — the footer
+//!   directory arrives *after* the payloads, so the streaming path
+//!   verifies the inline prefix and payload CRC only.
+//!   [`V2Ingest::finish_lossy`] force-closes a truncated image: the
+//!   missing tail of each promised stream is zero-filled, which the
+//!   lossy v1 decoder accounts as a trailing `DecodeGap` — truncation
+//!   degrades to loss accounting, never a panic.
 //!
-//! Both paths feed reconstructed v1 record bytes through
-//! [`IngestSession`], so products, loss accounting and resync
-//! behaviour are byte-identical to analyzing the v1 image the
+//! Each path has **two decoders** under it:
+//!
+//! * The default **direct-to-columns** decoder (`v2-direct` feature,
+//!   on by default) expands packed payloads straight into
+//!   [`EventColumns`] — per-stream runs, k-way merged at block
+//!   granularity, parameters interned as they decode — skipping the
+//!   v1-byte reconstruction entirely. The one-shot form harvests
+//!   anchors from the PPE pass and lazily decodes each anchored SPE
+//!   run; the chunked form buffers provisional per-stream runs
+//!   (timestamps still decrementer-relative) and applies each
+//!   stream's anchor offset as its run reaches the merge front,
+//!   freeing consumed run segments so peak memory stays near the
+//!   final store size.
+//! * The **v1-roundtrip** decoder re-encodes clean runs canonically,
+//!   carries gap bytes verbatim, and feeds the reconstructed v1
+//!   record bytes through [`IngestSession`] — the oracle the direct
+//!   decoder is differentialed against, and the fallback both paths
+//!   demote to on *any* structural damage (bad prefix, CRC failure,
+//!   short region, truncation) or on a mid-stream
+//!   [`V2Ingest::snapshot`]. A demotion replays everything already
+//!   decoded, so degraded images keep exact roundtrip semantics.
+//!
+//! Products, loss accounting and resync behaviour are byte-identical
+//! across all four combinations and to analyzing the v1 image the
 //! container was packed from — the differential suites in
-//! `tests/v2_differential.rs` pin this on every golden. Decode effort
-//! is reported via [`CodecStats`].
+//! `tests/v2_differential.rs` pin products *and* [`CodecStats`] on
+//! every golden.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use pdt::v2::{
-    crc32, decode_packed_payload, records_to_bytes, Anchoring, BlockEntry, BlockKind, BlockPrefix,
-    CodecStats, V2Error, V2File, FLAG_UNPLACED, MAGIC2, PREFIX_BYTES, VERSION2,
+    crc32, decode_packed_columns, decode_packed_payload, records_to_bytes, Anchoring, BlockEntry,
+    BlockKind, BlockPrefix, CodecStats, ColumnBatch, V2Error, V2File, FLAG_GAP, FLAG_UNPLACED,
+    MAGIC2, PREFIX_BYTES, VERSION2,
 };
-use pdt::{TraceCore, TraceHeader, TraceRecord, VERSION};
+use pdt::{EventCode, TraceCore, TraceHeader, TraceRecord, VERSION};
 
-use crate::analyze::GlobalEvent;
+use crate::analyze::{GlobalEvent, SpeAnchor};
+use crate::columns::{ColumnarTrace, EventColumns};
 use crate::exec::Parallelism;
+use crate::loss::{LossReport, StreamLoss};
 use crate::session::Analysis;
 use crate::stream::{IngestSession, StreamId};
 
@@ -174,13 +199,36 @@ impl<'a> V2Trace<'a> {
 
     /// Decodes every block and runs the full analysis pipeline.
     ///
+    /// Clean containers take the direct-to-columns path (enabled by
+    /// the default-on `v2-direct` feature): packed payloads decode
+    /// straight into the columnar store and the per-stream runs are
+    /// k-way merged, skipping the v1-byte round trip entirely. Any
+    /// damage — a footer/prefix mismatch, a failed CRC, a gap block, a
+    /// decode error — and the whole image falls back to
+    /// [`analyze_roundtrip`](Self::analyze_roundtrip), so loss
+    /// accounting stays byte-identical to the v1 reader in every
+    /// degraded case. Products are byte-identical between the two
+    /// paths (pinned per golden in `tests/v2_differential.rs`).
+    pub fn analyze(&self, par: Parallelism) -> (Arc<Analysis>, CodecStats) {
+        if cfg!(feature = "v2-direct") {
+            if let Some(out) = self.analyze_direct(par) {
+                return out;
+            }
+        }
+        self.analyze_roundtrip(par)
+    }
+
+    /// The v1-roundtrip reader: every block decodes to v1 record bytes
+    /// that replay through an [`IngestSession`], exactly as if the
+    /// original `.pdt` image were analyzed. The damage path of
+    /// [`analyze`](Self::analyze) and the differential oracle the
+    /// direct decoder is tested against.
+    ///
     /// Each inline prefix is cross-checked against its footer
     /// directory entry; a mismatch or an unreadable footer marks the
     /// block corrupt (zero-filled), so flipped footer bytes surface in
-    /// the [`crate::LossReport`] rather than going unnoticed. Products
-    /// are byte-identical to analyzing the v1 image the container was
-    /// packed from.
-    pub fn analyze(&self, par: Parallelism) -> (Arc<Analysis>, CodecStats) {
+    /// the [`crate::LossReport`] rather than going unnoticed.
+    pub fn analyze_roundtrip(&self, par: Parallelism) -> (Arc<Analysis>, CodecStats) {
         let mut stats = CodecStats::default();
         let mut session = IngestSession::new(self.file.header).with_parallelism(par);
         for (si, meta) in self.file.streams.iter().enumerate() {
@@ -226,6 +274,141 @@ impl<'a> V2Trace<'a> {
         session.set_ctx_names(self.file.ctx_names.clone());
         session.finish();
         (session.snapshot(), stats)
+    }
+
+    /// The direct-to-columns fast path: validates the whole container,
+    /// then decodes packed payloads straight into the slim columnar
+    /// store — per-stream runs, placed on the global timeline as they
+    /// decode, k-way merged with galloping bulk appends. Returns
+    /// `None` on any damage or disorder; the caller falls back to the
+    /// roundtrip reader, which re-reads from scratch (the partial
+    /// direct output is discarded, so degraded images cost one wasted
+    /// validation pass, never wrong output).
+    fn analyze_direct(&self, par: Parallelism) -> Option<(Arc<Analysis>, CodecStats)> {
+        let mut stats = CodecStats::default();
+        let mut clean = validate_clean(&self.file)?;
+        let mut trace = ColumnarTrace::empty(self.file.header);
+        let mut events = EventColumns::with_capacity(0);
+
+        // Pass 1: PPE streams decode fully up front — the anchor
+        // harvest must see every candidate before any SPE record can
+        // be placed. Their runs are kept in memory for the merge (PPE
+        // streams are small next to the SPE firehose).
+        let mut cands: Vec<DirectCand> = Vec::new();
+        let mut runs: Vec<DirectRun<'_>> = Vec::new();
+        for (si, meta) in self.file.streams.iter().enumerate() {
+            if meta.core.is_spe() {
+                continue;
+            }
+            let run = decode_ppe_run(si, &clean[si], &mut events, &mut cands, &mut stats)?;
+            if !run.time.is_empty() {
+                runs.push(DirectRun::Pre(run));
+            }
+        }
+
+        // Winner per SPE number: the candidate at the smallest
+        // (stream, record) position — exactly the first one the
+        // one-shot harvest encounters. Anchors are reported in
+        // candidate-position order.
+        let mut best: Vec<DirectCand> = Vec::new();
+        for c in &cands {
+            match best.iter_mut().find(|b| b.anchor.spe == c.anchor.spe) {
+                Some(b) => {
+                    if (c.stream, c.rec) < (b.stream, b.rec) {
+                        *b = *c;
+                    }
+                }
+                None => best.push(*c),
+            }
+        }
+        best.sort_unstable_by_key(|c| (c.stream, c.rec));
+        let anchors: Vec<SpeAnchor> = best.iter().map(|c| c.anchor).collect();
+
+        // Pass 2: SPE streams become lazy runs (anchored) or decode
+        // for accounting only (unanchored — the roundtrip reader also
+        // decodes their blocks before discarding the events).
+        let mut losses: Vec<StreamLoss> = Vec::with_capacity(self.file.streams.len());
+        let mut placed_total: u64 = 0;
+        for (si, meta) in self.file.streams.iter().enumerate() {
+            let mut unanchored = false;
+            if let TraceCore::Spe(spe) = meta.core {
+                match best.iter().find(|c| c.anchor.spe == spe) {
+                    Some(c) => {
+                        placed_total += clean[si].records;
+                        if !clean[si].blocks.is_empty() {
+                            let mut run = LazyRun {
+                                stream: si,
+                                tag: meta.core.tag(),
+                                run_tb: c.anchor.run_tb,
+                                elapsed: 0,
+                                prev_dec: c.anchor.dec_start,
+                                blocks: std::mem::take(&mut clean[si].blocks),
+                                next_block: 0,
+                                batch: ColumnBatch::default(),
+                                time: Vec::new(),
+                                id: Vec::new(),
+                                pos: 0,
+                                seq_base: 0,
+                            };
+                            // Prime the head so the merge can read a key.
+                            if run.decode_next(&mut events, &mut stats)? {
+                                runs.push(DirectRun::Lazy(run));
+                            }
+                        }
+                    }
+                    None => {
+                        decode_discard(&clean[si], &mut stats)?;
+                        unanchored = clean[si].records > 0;
+                    }
+                }
+            } else {
+                placed_total += clean[si].records;
+            }
+            losses.push(StreamLoss {
+                core: meta.core,
+                decoded_records: clean[si].records,
+                tracer_dropped: meta.dropped,
+                gaps: Vec::new(),
+                unanchored,
+            });
+        }
+        events.reserve_events(usize::try_from(placed_total).ok()?);
+
+        // K-way merge by (time, core tag, stream_seq), ties across
+        // streams broken by stream index — the commit order of the
+        // session the roundtrip reader replays through. Each round
+        // gallops: the minimum run bulk-appends every event sorting
+        // strictly below the runner-up head.
+        while runs.len() > 1 {
+            let mut mi = 0;
+            let mut mk = (runs[0].head(), runs[0].stream());
+            let mut second: Option<((u64, u8, u64), usize)> = None;
+            for (j, run) in runs.iter().enumerate().skip(1) {
+                let k = (run.head(), run.stream());
+                if k < mk {
+                    second = Some(mk);
+                    mk = k;
+                    mi = j;
+                } else if second.is_none_or(|s| k < s) {
+                    second = Some(k);
+                }
+            }
+            if runs[mi].advance(second, &mut events, &mut stats)? {
+                runs.swap_remove(mi);
+            }
+        }
+        if let Some(run) = runs.last_mut() {
+            run.advance(None, &mut events, &mut stats)?;
+        }
+
+        let dropped_total: u64 = self.file.streams.iter().map(|m| m.dropped).sum();
+        trace.events = events;
+        trace.anchors = anchors;
+        trace.dropped = dropped_total;
+        trace.set_ctx_names(&self.file.ctx_names);
+        let loss = LossReport { streams: losses };
+        let analysis = Analysis::from_shared(Arc::new(trace), loss, par);
+        Some((Arc::new(analysis), stats))
     }
 
     /// Events whose reconstructed global time falls in the half-open
@@ -370,6 +553,791 @@ fn place_block_events(
 }
 
 // ---------------------------------------------------------------------
+// Direct-to-columns decode (shared by the one-shot and chunked paths).
+// ---------------------------------------------------------------------
+
+/// One stream's validated block list for the direct path: every inline
+/// prefix agreed with its CRC-protected footer entry, every payload
+/// CRC held, every block is packed (no gap stand-ins), and the raw
+/// lengths sum to exactly what the stream header promised — the
+/// preconditions under which the roundtrip reader would decode every
+/// block cleanly with empty loss.
+struct CleanStream<'a> {
+    blocks: Vec<(BlockPrefix, &'a [u8])>,
+    /// Total records promised by the prefixes (= decoded, when clean).
+    records: u64,
+}
+
+/// Validates the whole container for the direct path. `None` means
+/// some stream carries damage (or gap blocks) and the image must take
+/// the roundtrip reader so degradation semantics stay identical.
+fn validate_clean<'a>(file: &V2File<'a>) -> Option<Vec<CleanStream<'a>>> {
+    let mut out = Vec::with_capacity(file.streams.len());
+    for (si, meta) in file.streams.iter().enumerate() {
+        let mut blocks: Vec<(BlockPrefix, &'a [u8])> = Vec::with_capacity(meta.n_blocks as usize);
+        let mut records = 0u64;
+        let mut raw_sum = 0u64;
+        for item in file.blocks(si) {
+            let (prefix, payload) = item.ok()?;
+            let bi = u32::try_from(blocks.len()).ok()?;
+            if bi >= meta.n_blocks {
+                return None;
+            }
+            let entry = file.entry(si, bi).ok()?;
+            if !entry_matches(&entry, &prefix)
+                || entry.flags & FLAG_GAP != 0
+                || prefix.kind != BlockKind::Packed
+                || crc32(payload) != prefix.payload_crc
+            {
+                return None;
+            }
+            records += u64::from(prefix.n_records);
+            raw_sum += u64::from(prefix.raw_len);
+            blocks.push((prefix, payload));
+        }
+        if blocks.len() as u32 != meta.n_blocks
+            || raw_sum != raw_fill_budget(meta.raw_len, meta.payloads_len)
+        {
+            return None;
+        }
+        out.push(CleanStream { blocks, records });
+    }
+    Some(out)
+}
+
+/// A sync-anchor candidate harvested by the direct path: a
+/// `PpeCtxRun` record at `(stream, rec)`, mirroring the session's
+/// incremental harvest.
+#[derive(Debug, Clone, Copy)]
+struct DirectCand {
+    stream: usize,
+    rec: u64,
+    anchor: SpeAnchor,
+}
+
+/// A fully decoded PPE stream held for the merge: times are the
+/// records' own timebase stamps, tags are per-record (PPE streams
+/// interleave threads), parameter tuples are already interned into the
+/// destination dictionary.
+struct PreRun {
+    stream: usize,
+    time: Vec<u64>,
+    tag: Vec<u8>,
+    code: Vec<EventCode>,
+    id: Vec<u32>,
+    pos: usize,
+}
+
+/// Decodes one clean PPE stream into a [`PreRun`], harvesting anchor
+/// candidates along the way. `None` when a payload fails to decode,
+/// its raw length disagrees with the prefix, or the stream's sort
+/// keys are not non-decreasing (corrupt-ish input the session would
+/// handle by sorting — the roundtrip reader takes over).
+fn decode_ppe_run(
+    si: usize,
+    cs: &CleanStream<'_>,
+    dest: &mut EventColumns,
+    cands: &mut Vec<DirectCand>,
+    stats: &mut CodecStats,
+) -> Option<PreRun> {
+    let n = usize::try_from(cs.records).ok()?;
+    let mut run = PreRun {
+        stream: si,
+        time: Vec::with_capacity(n),
+        tag: Vec::with_capacity(n),
+        code: Vec::with_capacity(n),
+        id: Vec::with_capacity(n),
+        pos: 0,
+    };
+    let mut batch = ColumnBatch::default();
+    let mut last = (0u64, 0u8);
+    for (prefix, payload) in &cs.blocks {
+        decode_block(prefix, payload, &mut batch, stats)?;
+        for k in 0..batch.len() {
+            let t = batch.timestamps[k];
+            let g = batch.tags[k];
+            if (t, g) < last {
+                return None;
+            }
+            last = (t, g);
+            let params = batch.params_of(k);
+            if batch.codes[k] == EventCode::PpeCtxRun && params.len() >= 3 {
+                cands.push(DirectCand {
+                    stream: si,
+                    rec: run.time.len() as u64,
+                    anchor: SpeAnchor {
+                        spe: params[1] as u8,
+                        ctx: params[0] as u32,
+                        run_tb: t,
+                        dec_start: params[2] as u32,
+                    },
+                });
+            }
+            run.time.push(t);
+            run.tag.push(g);
+            run.code.push(batch.codes[k]);
+            run.id.push(dest.intern_params(params));
+        }
+    }
+    Some(run)
+}
+
+/// Decodes every block of an unanchored stream purely for the codec
+/// counters — the roundtrip reader decodes them too before the
+/// session discards the unplaceable events.
+fn decode_discard(cs: &CleanStream<'_>, stats: &mut CodecStats) -> Option<()> {
+    let mut batch = ColumnBatch::default();
+    for (prefix, payload) in &cs.blocks {
+        decode_block(prefix, payload, &mut batch, stats)?;
+    }
+    Some(())
+}
+
+/// Decodes one clean block into `batch` and accounts it, enforcing the
+/// prefix's raw-length claim (the roundtrip reader re-encodes and
+/// compares; the columnar batch computes the same total from counts).
+fn decode_block(
+    prefix: &BlockPrefix,
+    payload: &[u8],
+    batch: &mut ColumnBatch,
+    stats: &mut CodecStats,
+) -> Option<()> {
+    decode_packed_columns(payload, prefix.n_records, batch).ok()?;
+    if batch.raw_len() != u64::from(prefix.raw_len) {
+        return None;
+    }
+    stats.blocks_decoded += 1;
+    stats.records_decoded += u64::from(prefix.n_records);
+    stats.payload_bytes_read += payload.len() as u64;
+    stats.raw_bytes_out += u64::from(prefix.raw_len);
+    Some(())
+}
+
+/// An anchored SPE stream decoded block-at-a-time during the merge:
+/// only the current block's placed times and interned parameter ids
+/// are held, so merge memory stays one block per stream.
+struct LazyRun<'a> {
+    stream: usize,
+    tag: u8,
+    run_tb: u64,
+    elapsed: u64,
+    prev_dec: u32,
+    blocks: Vec<(BlockPrefix, &'a [u8])>,
+    next_block: usize,
+    batch: ColumnBatch,
+    /// Placed global times for the current batch.
+    time: Vec<u64>,
+    /// Interned parameter ids for the current batch.
+    id: Vec<u32>,
+    pos: usize,
+    /// `stream_seq` of the current batch's first record.
+    seq_base: u64,
+}
+
+impl LazyRun<'_> {
+    /// Decodes the next block and places its events. `Some(true)` — a
+    /// block is ready; `Some(false)` — the stream is exhausted;
+    /// `None` — decode damage or a time wrap, fall back to the
+    /// roundtrip reader.
+    fn decode_next(&mut self, dest: &mut EventColumns, stats: &mut CodecStats) -> Option<bool> {
+        let Some((prefix, payload)) = self.blocks.get(self.next_block) else {
+            return Some(false);
+        };
+        self.seq_base += self.time.len() as u64;
+        self.time.clear();
+        self.id.clear();
+        decode_block(prefix, payload, &mut self.batch, stats)?;
+        for k in 0..self.batch.len() {
+            let dec = self.batch.timestamps[k] as u32;
+            self.elapsed += u64::from(self.prev_dec.wrapping_sub(dec));
+            self.prev_dec = dec;
+            // The session computes `run_tb + elapsed` unchecked; a
+            // wrap would land events out of order, which the session
+            // absorbs by sorting — send such traces down the fallback.
+            let t = self.run_tb.checked_add(self.elapsed)?;
+            self.time.push(t);
+            self.id.push(dest.intern_params(self.batch.params_of(k)));
+        }
+        self.pos = 0;
+        self.next_block += 1;
+        Some(true)
+    }
+}
+
+/// A merge cursor over one placed stream.
+enum DirectRun<'a> {
+    Pre(PreRun),
+    Lazy(LazyRun<'a>),
+}
+
+/// First index in `[lo, hi)` for which `below` is false (`below` must
+/// be monotone: true-prefix then false-suffix).
+fn upper_bound(mut lo: usize, mut hi: usize, mut below: impl FnMut(usize) -> bool) -> usize {
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if below(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+impl DirectRun<'_> {
+    fn stream(&self) -> usize {
+        match self {
+            DirectRun::Pre(r) => r.stream,
+            DirectRun::Lazy(r) => r.stream,
+        }
+    }
+
+    /// The head event's sort key. Every live run has a current event:
+    /// runs are constructed primed and removed on exhaustion.
+    fn head(&self) -> (u64, u8, u64) {
+        match self {
+            DirectRun::Pre(r) => (r.time[r.pos], r.tag[r.pos], r.pos as u64),
+            DirectRun::Lazy(r) => (r.time[r.pos], r.tag, r.seq_base + r.pos as u64),
+        }
+    }
+
+    /// Appends events into `dest` until the head key reaches `limit`
+    /// (or the run is exhausted — returns `Some(true)`); `None` falls
+    /// back. Within a run keys are strictly increasing, so the stop
+    /// index inside each block is found by binary search and the span
+    /// is bulk-appended.
+    fn advance(
+        &mut self,
+        limit: Option<((u64, u8, u64), usize)>,
+        dest: &mut EventColumns,
+        stats: &mut CodecStats,
+    ) -> Option<bool> {
+        match self {
+            DirectRun::Pre(r) => {
+                let n = r.time.len();
+                let end = match limit {
+                    None => n,
+                    Some(lim) => upper_bound(r.pos, n, |k| {
+                        ((r.time[k], r.tag[k], k as u64), r.stream) < lim
+                    }),
+                };
+                for k in r.pos..end {
+                    dest.push_with_id(r.time[k], r.tag[k], r.code[k], r.id[k], k as u64);
+                }
+                r.pos = end;
+                Some(r.pos == n)
+            }
+            DirectRun::Lazy(r) => loop {
+                let n = r.time.len();
+                let end = match limit {
+                    None => n,
+                    Some(lim) => upper_bound(r.pos, n, |k| {
+                        ((r.time[k], r.tag, r.seq_base + k as u64), r.stream) < lim
+                    }),
+                };
+                for k in r.pos..end {
+                    dest.push_with_id(
+                        r.time[k],
+                        r.tag,
+                        r.batch.codes[k],
+                        r.id[k],
+                        r.seq_base + k as u64,
+                    );
+                }
+                r.pos = end;
+                if r.pos < n {
+                    return Some(false);
+                }
+                if !r.decode_next(dest, stats)? {
+                    return Some(true);
+                }
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Direct-to-columns backend of the chunked reader.
+// ---------------------------------------------------------------------
+
+/// Events per run segment (1M: 8 MiB of times + 8 MiB of meta words).
+/// Segments are dropped one by one as the finalize merge consumes
+/// them, so the resident overlap of run storage and the destination
+/// columns stays bounded at the 100M-event point.
+const SEG_EVENTS: usize = 1 << 20;
+
+/// Records per replayed v1 append when demoting to the session.
+const REPLAY_BATCH: usize = 4096;
+
+/// One segment of a decoded per-stream run: provisional times plus a
+/// packed meta word per record (`id << 32 | tag << 16 | code`).
+#[derive(Debug, Default)]
+struct RunSeg {
+    time: Vec<u64>,
+    meta: Vec<u64>,
+}
+
+/// Packs a record's dictionary id, core tag and code into one word.
+fn pack_meta(id: u32, tag: u8, code: EventCode) -> u64 {
+    (u64::from(id) << 32) | (u64::from(tag) << 16) | u64::from(code.raw())
+}
+
+/// Appends one record to a segmented run.
+fn push_run(segs: &mut VecDeque<RunSeg>, time: u64, meta: u64) {
+    if segs.back().is_none_or(|s| s.time.len() == SEG_EVENTS) {
+        segs.push_back(RunSeg {
+            time: Vec::with_capacity(SEG_EVENTS),
+            meta: Vec::with_capacity(SEG_EVENTS),
+        });
+    }
+    let seg = segs.back_mut().expect("segment present");
+    seg.time.push(time);
+    seg.meta.push(meta);
+}
+
+/// One stream accumulating in the chunked direct backend.
+///
+/// PPE records store their own timestamps; SPE records store the
+/// *provisional* elapsed time `Σ dec deltas` from the stream's first
+/// record — the anchor (which may arrive after the SPE data) only
+/// shifts the whole run by a constant, applied during the finalize
+/// merge. That keeps ingest single-pass while matching the session's
+/// `run_tb + elapsed` placement exactly.
+#[derive(Debug)]
+struct DStream {
+    core: TraceCore,
+    dropped: u64,
+    /// Block region fully consumed (stream closed in stream order).
+    closed: bool,
+    segs: VecDeque<RunSeg>,
+    /// Records decoded into this stream.
+    records: u64,
+    /// First record's decrementer value (SPE streams).
+    first_dec: u32,
+    /// Previous record's decrementer value (SPE streams).
+    prev_dec: u32,
+    /// Provisional elapsed ticks since the first record (SPE streams).
+    elapsed: u64,
+    /// Last `(time, tag)` sort key (PPE order validation).
+    last: (u64, u8),
+}
+
+/// The chunked reader's fast path: blocks decode straight into
+/// segmented per-stream runs with parameters interned on the fly, and
+/// [`finalize`](DirectIngest::finalize) k-way merges the runs into the
+/// columnar store. Any damage demotes the whole reader to the session
+/// backend via [`into_session`](DirectIngest::into_session), which
+/// replays every decoded record as v1 bytes — so degraded images get
+/// the exact roundtrip semantics at the cost of the replay.
+#[derive(Debug)]
+struct DirectIngest {
+    header: TraceHeader,
+    streams: Vec<DStream>,
+    cands: Vec<DirectCand>,
+    /// Destination columns; only the parameter dictionary is touched
+    /// before the finalize merge appends the events.
+    dest: EventColumns,
+    batch: ColumnBatch,
+    result: Option<Arc<Analysis>>,
+}
+
+impl DirectIngest {
+    fn new(header: TraceHeader) -> Self {
+        DirectIngest {
+            header,
+            streams: Vec::new(),
+            cands: Vec::new(),
+            dest: EventColumns::with_capacity(0),
+            batch: ColumnBatch::default(),
+            result: None,
+        }
+    }
+
+    fn add_stream(&mut self, core: TraceCore, dropped: u64) -> usize {
+        self.streams.push(DStream {
+            core,
+            dropped,
+            closed: false,
+            segs: VecDeque::new(),
+            records: 0,
+            first_dec: 0,
+            prev_dec: 0,
+            elapsed: 0,
+            last: (0, 0),
+        });
+        self.streams.len() - 1
+    }
+
+    /// Decodes one block into stream `idx`'s run. `Err` means the
+    /// block is not a cleanly decodable packed block (or PPE keys went
+    /// backwards) — nothing was appended or accounted, so the caller
+    /// can demote and re-dispatch the same block through the session.
+    fn emit(
+        &mut self,
+        idx: usize,
+        prefix: &BlockPrefix,
+        payload: &[u8],
+        raw_left: &mut u64,
+        stats: &mut CodecStats,
+    ) -> Result<(), ()> {
+        if prefix.kind != BlockKind::Packed || crc32(payload) != prefix.payload_crc {
+            return Err(());
+        }
+        decode_packed_columns(payload, prefix.n_records, &mut self.batch).map_err(|_| ())?;
+        if self.batch.raw_len() != u64::from(prefix.raw_len) {
+            return Err(());
+        }
+        let DirectIngest {
+            streams,
+            cands,
+            dest,
+            batch,
+            ..
+        } = self;
+        let st = &mut streams[idx];
+        if st.core.is_spe() {
+            for k in 0..batch.len() {
+                let dec = batch.timestamps[k] as u32;
+                if st.records == 0 && k == 0 {
+                    st.first_dec = dec;
+                } else {
+                    st.elapsed += u64::from(st.prev_dec.wrapping_sub(dec));
+                }
+                st.prev_dec = dec;
+                let id = dest.intern_params(batch.params_of(k));
+                push_run(&mut st.segs, st.elapsed, pack_meta(id, 0, batch.codes[k]));
+            }
+        } else {
+            // Validate order across the whole block before appending
+            // anything: a failed block must leave no partial records
+            // behind, or the demote replay would double them.
+            let mut last = st.last;
+            for k in 0..batch.len() {
+                let key = (batch.timestamps[k], batch.tags[k]);
+                if key < last {
+                    return Err(());
+                }
+                last = key;
+            }
+            st.last = last;
+            for k in 0..batch.len() {
+                let t = batch.timestamps[k];
+                let params = batch.params_of(k);
+                if batch.codes[k] == EventCode::PpeCtxRun && params.len() >= 3 {
+                    cands.push(DirectCand {
+                        stream: idx,
+                        rec: st.records + k as u64,
+                        anchor: SpeAnchor {
+                            spe: params[1] as u8,
+                            ctx: params[0] as u32,
+                            run_tb: t,
+                            dec_start: params[2] as u32,
+                        },
+                    });
+                }
+                let id = dest.intern_params(params);
+                push_run(
+                    &mut st.segs,
+                    t,
+                    pack_meta(id, batch.tags[k], batch.codes[k]),
+                );
+            }
+        }
+        st.records += u64::from(prefix.n_records);
+        stats.blocks_decoded += 1;
+        stats.records_decoded += u64::from(prefix.n_records);
+        stats.payload_bytes_read += payload.len() as u64;
+        stats.raw_bytes_out += u64::from(prefix.raw_len);
+        *raw_left = raw_left.saturating_sub(u64::from(prefix.raw_len));
+        Ok(())
+    }
+
+    /// Demotes to the session backend: replays every decoded record as
+    /// re-encoded v1 bytes through a fresh session, closing streams
+    /// whose regions already ended. Analysis output is identical to
+    /// having streamed the image through the session from the start —
+    /// SPE decrementer values reconstruct exactly from the provisional
+    /// elapsed deltas, and re-encoded lengths equal the prefixes' raw
+    /// lengths, so loss accounting and byte counters agree too.
+    fn into_session(self, par: Parallelism) -> (IngestSession, Vec<StreamId>) {
+        let mut session = IngestSession::new(self.header).with_parallelism(par);
+        let mut ids = Vec::with_capacity(self.streams.len());
+        let dest = self.dest;
+        for st in self.streams {
+            let id = session.add_stream(st.core, st.dropped);
+            ids.push(id);
+            let spe = st.core.is_spe();
+            let mut prev_dec = st.first_dec;
+            let mut prev_time = 0u64;
+            let mut recs: Vec<TraceRecord> = Vec::with_capacity(REPLAY_BATCH);
+            for seg in st.segs {
+                for k in 0..seg.time.len() {
+                    let m = seg.meta[k];
+                    let code = EventCode::from_raw(m as u16).expect("meta holds a valid code");
+                    let params = dest.dict_params((m >> 32) as u32).to_vec();
+                    let (core, timestamp) = if spe {
+                        // Invert the provisional placement: each delta
+                        // fits u32, so the original decrementer values
+                        // (their low 32 bits — all the session reads)
+                        // come back exactly.
+                        let dec = prev_dec.wrapping_sub((seg.time[k] - prev_time) as u32);
+                        prev_time = seg.time[k];
+                        prev_dec = dec;
+                        (st.core, u64::from(dec))
+                    } else {
+                        (TraceCore::from_tag((m >> 16) as u8), seg.time[k])
+                    };
+                    recs.push(TraceRecord {
+                        core,
+                        code,
+                        timestamp,
+                        params,
+                    });
+                    if recs.len() == REPLAY_BATCH {
+                        session.append(id, &records_to_bytes(&recs));
+                        recs.clear();
+                    }
+                }
+                // `seg` drops here: replay frees run storage as it goes.
+            }
+            if !recs.is_empty() {
+                session.append(id, &records_to_bytes(&recs));
+            }
+            if st.closed {
+                session.close_stream(id);
+            }
+        }
+        (session, ids)
+    }
+
+    /// Merges the accumulated runs into the columnar store and builds
+    /// the analysis. `Err` (decrementer arithmetic would overflow the
+    /// session's unchecked `run_tb + elapsed`, or the event count
+    /// exceeds the address space) leaves every run intact so the
+    /// caller can demote and replay instead.
+    fn finalize(&mut self, names: &[(u32, String)], par: Parallelism) -> Result<(), ()> {
+        // Anchor winners, as the session harvest would pick them: the
+        // candidate at the smallest (stream, record) position per SPE,
+        // reported in candidate-position order.
+        let mut best: Vec<DirectCand> = Vec::new();
+        for c in &self.cands {
+            match best.iter_mut().find(|b| b.anchor.spe == c.anchor.spe) {
+                Some(b) => {
+                    if (c.stream, c.rec) < (b.stream, b.rec) {
+                        *b = *c;
+                    }
+                }
+                None => best.push(*c),
+            }
+        }
+        best.sort_unstable_by_key(|c| (c.stream, c.rec));
+        let anchors: Vec<SpeAnchor> = best.iter().map(|c| c.anchor).collect();
+
+        // Pass 1 (fallible, mutation-free): per-stream placement
+        // offsets. An anchored SPE run's true time is
+        // `offset + provisional elapsed` with
+        // `offset = run_tb + (dec_start - first_dec)`; both the offset
+        // and its sum with the run's last (largest) elapsed value must
+        // fit u64, or placement would wrap where the session sorts —
+        // fall back before any run is consumed.
+        let mut offsets: Vec<Option<u64>> = Vec::with_capacity(self.streams.len());
+        let mut placed_total: u64 = 0;
+        for st in &self.streams {
+            let offset = if let TraceCore::Spe(spe) = st.core {
+                match best.iter().find(|c| c.anchor.spe == spe) {
+                    Some(c) => {
+                        let diff = u64::from(c.anchor.dec_start.wrapping_sub(st.first_dec));
+                        let offset = c.anchor.run_tb.checked_add(diff).ok_or(())?;
+                        if let Some(last) = st.segs.back().and_then(|s| s.time.last()) {
+                            offset.checked_add(*last).ok_or(())?;
+                        }
+                        placed_total += st.records;
+                        Some(offset)
+                    }
+                    None => None,
+                }
+            } else {
+                placed_total += st.records;
+                Some(0)
+            };
+            offsets.push(offset);
+        }
+        let total = usize::try_from(placed_total).map_err(|_| ())?;
+
+        // Pass 2: loss rows in stream order; live streams become merge
+        // cursors, unanchored runs are freed (their events are
+        // unplaceable — the session discards them too).
+        let mut losses: Vec<StreamLoss> = Vec::with_capacity(self.streams.len());
+        let mut cursors: Vec<ChunkCursor> = Vec::new();
+        for (si, st) in self.streams.iter_mut().enumerate() {
+            let mut unanchored = false;
+            match offsets[si] {
+                Some(offset) => {
+                    if st.records > 0 {
+                        let mut c = ChunkCursor {
+                            stream: si,
+                            ppe: !st.core.is_spe(),
+                            tag: st.core.tag(),
+                            offset,
+                            segs: std::mem::take(&mut st.segs),
+                            pos: 0,
+                            seq_base: 0,
+                        };
+                        c.apply_offset();
+                        cursors.push(c);
+                    }
+                }
+                None => {
+                    unanchored = st.records > 0;
+                    st.segs = VecDeque::new();
+                }
+            }
+            losses.push(StreamLoss {
+                core: st.core,
+                decoded_records: st.records,
+                tracer_dropped: st.dropped,
+                gaps: Vec::new(),
+                unanchored,
+            });
+        }
+
+        // K-way galloping merge, identical in shape and keys to the
+        // one-shot path: minimum cursor bulk-appends everything
+        // sorting strictly below the runner-up head.
+        let mut events = std::mem::take(&mut self.dest);
+        events.reserve_events(total);
+        while cursors.len() > 1 {
+            let mut mi = 0;
+            let mut mk = (cursors[0].head(), cursors[0].stream);
+            let mut second: Option<((u64, u8, u64), usize)> = None;
+            for (j, c) in cursors.iter().enumerate().skip(1) {
+                let k = (c.head(), c.stream);
+                if k < mk {
+                    second = Some(mk);
+                    mk = k;
+                    mi = j;
+                } else if second.is_none_or(|s| k < s) {
+                    second = Some(k);
+                }
+            }
+            if cursors[mi].advance(second, &mut events) {
+                cursors.swap_remove(mi);
+            }
+        }
+        if let Some(c) = cursors.last_mut() {
+            c.advance(None, &mut events);
+        }
+
+        let mut trace = ColumnarTrace::empty(self.header);
+        trace.events = events;
+        trace.anchors = anchors;
+        trace.dropped = self.streams.iter().map(|s| s.dropped).sum();
+        trace.set_ctx_names(names);
+        let loss = LossReport { streams: losses };
+        self.result = Some(Arc::new(Analysis::from_shared(Arc::new(trace), loss, par)));
+        Ok(())
+    }
+}
+
+/// A finalize-merge cursor over one stream's segmented run.
+#[derive(Debug)]
+struct ChunkCursor {
+    stream: usize,
+    /// PPE streams read per-record tags from the meta words; SPE
+    /// streams use the stream core's tag (the session ignores SPE
+    /// record tags the same way).
+    ppe: bool,
+    tag: u8,
+    /// Added to SPE provisional times as each segment becomes front.
+    offset: u64,
+    segs: VecDeque<RunSeg>,
+    pos: usize,
+    /// `stream_seq` of the front segment's first record.
+    seq_base: u64,
+}
+
+impl ChunkCursor {
+    /// Shifts the (new) front segment onto the global timeline. The
+    /// finalize pre-check proved `offset + last elapsed` fits, and
+    /// elapsed values are monotone, so plain adds cannot wrap.
+    fn apply_offset(&mut self) {
+        if self.offset != 0 {
+            if let Some(seg) = self.segs.front_mut() {
+                for t in &mut seg.time {
+                    *t += self.offset;
+                }
+            }
+        }
+    }
+
+    fn tag_at(&self, meta: u64) -> u8 {
+        if self.ppe {
+            (meta >> 16) as u8
+        } else {
+            self.tag
+        }
+    }
+
+    /// The head event's sort key. Live cursors always have one: they
+    /// are built non-empty and removed on exhaustion.
+    fn head(&self) -> (u64, u8, u64) {
+        let seg = self.segs.front().expect("live cursor has a segment");
+        (
+            seg.time[self.pos],
+            self.tag_at(seg.meta[self.pos]),
+            self.seq_base + self.pos as u64,
+        )
+    }
+
+    /// Appends events into `dest` until the head key reaches `limit`;
+    /// true when the run is exhausted. Consumed segments are freed
+    /// immediately, returning their memory mid-merge.
+    fn advance(&mut self, limit: Option<((u64, u8, u64), usize)>, dest: &mut EventColumns) -> bool {
+        loop {
+            let Some(seg) = self.segs.front() else {
+                return true;
+            };
+            let n = seg.time.len();
+            let end = match limit {
+                None => n,
+                Some(lim) => upper_bound(self.pos, n, |k| {
+                    (
+                        (
+                            seg.time[k],
+                            self.tag_at(seg.meta[k]),
+                            self.seq_base + k as u64,
+                        ),
+                        self.stream,
+                    ) < lim
+                }),
+            };
+            for k in self.pos..end {
+                let m = seg.meta[k];
+                let code = EventCode::from_raw(m as u16).expect("meta holds a valid code");
+                dest.push_with_id(
+                    seg.time[k],
+                    self.tag_at(m),
+                    code,
+                    (m >> 32) as u32,
+                    self.seq_base + k as u64,
+                );
+            }
+            self.pos = end;
+            if self.pos < n {
+                return false;
+            }
+            self.seq_base += n as u64;
+            self.pos = 0;
+            self.segs.pop_front();
+            if self.segs.is_empty() {
+                return true;
+            }
+            self.apply_offset();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Streaming (chunked) reader.
 // ---------------------------------------------------------------------
 
@@ -403,7 +1371,8 @@ enum V2State {
 /// Per-stream progress while its block region streams through.
 #[derive(Debug)]
 struct CurStream {
-    id: StreamId,
+    /// Stream index (add order — the backends key off it).
+    idx: usize,
     /// Reconstructed v1 bytes the stream header still owes.
     raw_left: u64,
     /// Block-region bytes not yet consumed.
@@ -412,10 +1381,29 @@ struct CurStream {
     dir_left: u64,
 }
 
+/// Where the chunked reader sends decoded blocks. Every image starts
+/// on the direct backend (when the `v2-direct` feature is on) and
+/// demotes to the session backend — replaying everything decoded so
+/// far — the moment any damage appears, so degraded images keep the
+/// roundtrip reader's exact loss semantics.
+#[derive(Debug)]
+enum Backend {
+    Direct(DirectIngest),
+    Session {
+        session: IngestSession,
+        /// Stream ids in add order (`CurStream::idx` indexes this).
+        ids: Vec<StreamId>,
+    },
+}
+
 /// Incremental v2 container reader: push arbitrary byte chunks of a
-/// `PDT2` image and analyze with bounded memory — at most one block
-/// payload is buffered, and decoded records flow straight into an
-/// [`IngestSession`]. The v2 analogue of
+/// `PDT2` image and analyze with bounded parse-state memory — at most
+/// one block payload is buffered. Decoded blocks land on one of two
+/// backends: the default direct-to-columns `DirectIngest` (clean
+/// images; provisional per-stream runs merged into [`EventColumns`]
+/// at `finish`), or an [`IngestSession`] fed reconstructed v1 bytes,
+/// which any damage or mid-stream [`V2Ingest::snapshot`] demotes to
+/// by replaying everything decoded so far. The v2 analogue of
 /// [`crate::stream::ImageIngest`].
 ///
 /// Streaming is inline-prefix-driven (the footer directory trails the
@@ -424,7 +1412,7 @@ struct CurStream {
 /// with loss accounting, exactly like the one-shot path.
 #[derive(Debug)]
 pub struct V2Ingest {
-    session: Option<IngestSession>,
+    backend: Option<Backend>,
     par: Parallelism,
     state: V2State,
     carry: Vec<u8>,
@@ -446,7 +1434,7 @@ impl V2Ingest {
     /// Creates an empty reader awaiting the container header.
     pub fn new() -> Self {
         V2Ingest {
-            session: None,
+            backend: None,
             par: Parallelism::Serial,
             state: V2State::Header,
             carry: Vec::new(),
@@ -463,10 +1451,27 @@ impl V2Ingest {
     /// and product builds.
     pub fn with_parallelism(mut self, par: Parallelism) -> Self {
         self.par = par;
-        if let Some(s) = self.session.take() {
-            self.session = Some(s.with_parallelism(par));
-        }
+        self.backend = match self.backend.take() {
+            Some(Backend::Session { session, ids }) => Some(Backend::Session {
+                session: session.with_parallelism(par),
+                ids,
+            }),
+            other => other,
+        };
         self
+    }
+
+    /// Demotes the direct backend to the session backend (no-op when
+    /// already there or no header arrived yet). Called at every damage
+    /// site so degraded images keep roundtrip semantics exactly.
+    fn demote(&mut self) {
+        if matches!(self.backend, Some(Backend::Direct(_))) {
+            let Some(Backend::Direct(d)) = self.backend.take() else {
+                unreachable!()
+            };
+            let (session, ids) = d.into_session(self.par);
+            self.backend = Some(Backend::Session { session, ids });
+        }
     }
 
     /// Total bytes consumed so far.
@@ -520,7 +1525,14 @@ impl V2Ingest {
                         spe_buffer_bytes: le_u32(&h[32..36]),
                     };
                     self.carry.clear();
-                    self.session = Some(IngestSession::new(header).with_parallelism(self.par));
+                    self.backend = Some(if cfg!(feature = "v2-direct") {
+                        Backend::Direct(DirectIngest::new(header))
+                    } else {
+                        Backend::Session {
+                            session: IngestSession::new(header).with_parallelism(self.par),
+                            ids: Vec::new(),
+                        }
+                    });
                     self.state = V2State::StreamCount;
                 }
                 V2State::StreamCount => {
@@ -544,10 +1556,15 @@ impl V2Ingest {
                     let raw_len = le_u64(&h[16..24]);
                     let payloads_len = le_u64(&h[24..32]);
                     self.carry.clear();
-                    let session = self.session.as_mut().expect("session exists");
-                    let id = session.add_stream(core, dropped);
+                    let idx = match self.backend.as_mut().expect("backend exists") {
+                        Backend::Direct(d) => d.add_stream(core, dropped),
+                        Backend::Session { session, ids } => {
+                            ids.push(session.add_stream(core, dropped));
+                            ids.len() - 1
+                        }
+                    };
                     self.cur = Some(CurStream {
-                        id,
+                        idx,
                         raw_left: raw_fill_budget(raw_len, payloads_len),
                         payloads_left: payloads_len,
                         dir_left: u64::from(n_blocks) * pdt::v2::ENTRY_BYTES as u64,
@@ -565,6 +1582,7 @@ impl V2Ingest {
                         // Region too short for another prefix: framing
                         // damage — drop the remainder as one corrupt
                         // block.
+                        self.demote();
                         self.stats.blocks_corrupt += 1;
                         self.state = V2State::SkipRegion;
                         continue;
@@ -590,6 +1608,7 @@ impl V2Ingest {
                         _ => {
                             // Unreadable prefix or a payload length
                             // pointing past the region: skip the rest.
+                            self.demote();
                             self.stats.blocks_corrupt += 1;
                             self.state = V2State::SkipRegion;
                         }
@@ -664,18 +1683,37 @@ impl V2Ingest {
 
     /// Processes the carried payload for `prefix` and advances past it.
     fn finish_block(&mut self, prefix: &BlockPrefix) {
-        let session = self.session.as_mut().expect("session exists");
-        let cur = self.cur.as_mut().expect("stream open");
-        emit_block(
-            session,
-            cur.id,
-            prefix,
-            &self.carry,
-            true,
-            &mut cur.raw_left,
-            &mut self.stats,
-        );
+        if let Some(Backend::Direct(d)) = &mut self.backend {
+            let cur = self.cur.as_mut().expect("stream open");
+            if d.emit(
+                cur.idx,
+                prefix,
+                &self.carry,
+                &mut cur.raw_left,
+                &mut self.stats,
+            )
+            .is_err()
+            {
+                // Not a cleanly decodable packed block: demote (the
+                // failed emit appended nothing) and re-dispatch the
+                // same block through the session below.
+                self.demote();
+            }
+        }
+        if let Some(Backend::Session { session, ids }) = &mut self.backend {
+            let cur = self.cur.as_mut().expect("stream open");
+            emit_block(
+                session,
+                ids[cur.idx],
+                prefix,
+                &self.carry,
+                true,
+                &mut cur.raw_left,
+                &mut self.stats,
+            );
+        }
         self.carry.clear();
+        let cur = self.cur.as_mut().expect("stream open");
         cur.payloads_left -= u64::from(prefix.payload_len);
         if cur.payloads_left == 0 {
             self.end_blocks();
@@ -687,17 +1725,28 @@ impl V2Ingest {
     /// Closes the current stream's record flow once its block region
     /// is fully consumed (or abandoned) and moves to its directory.
     fn end_blocks(&mut self) {
-        let session = self.session.as_mut().expect("session exists");
-        let cur = self.cur.as_mut().expect("stream open");
-        if cur.raw_left > 0 {
+        if self.cur.as_ref().is_some_and(|c| c.raw_left > 0) {
             // The region ended short of the bytes the stream header
-            // promised: zero-fill so the shortfall shows up as a gap.
-            append_zeros(session, cur.id, cur.raw_left);
-            self.stats.raw_bytes_out += cur.raw_left;
-            cur.raw_left = 0;
+            // promised: damage — the session path zero-fills it below.
+            self.demote();
         }
-        session.close_stream(cur.id);
-        if cur.dir_left == 0 {
+        let cur = self.cur.as_mut().expect("stream open");
+        let dir_left = cur.dir_left;
+        match self.backend.as_mut().expect("backend exists") {
+            Backend::Direct(d) => {
+                d.streams[cur.idx].closed = true;
+            }
+            Backend::Session { session, ids } => {
+                if cur.raw_left > 0 {
+                    // Zero-fill so the shortfall shows up as a gap.
+                    append_zeros(session, ids[cur.idx], cur.raw_left);
+                    self.stats.raw_bytes_out += cur.raw_left;
+                    cur.raw_left = 0;
+                }
+                session.close_stream(ids[cur.idx]);
+            }
+        }
+        if dir_left == 0 {
             self.cur = None;
             self.next_stream();
         } else {
@@ -724,10 +1773,24 @@ impl V2Ingest {
         Ok(())
     }
 
-    /// Applies the name table and finishes the session.
+    /// Applies the name table and finishes whichever backend is live:
+    /// the direct backend merges its runs into the columnar store, the
+    /// session backend finishes the replay session. A direct finalize
+    /// refusal (decrementer arithmetic would wrap) demotes and
+    /// replays, so the output is never wrong — only slower.
     fn complete(&mut self) {
-        let session = self.session.as_mut().expect("session exists");
-        session.set_ctx_names(std::mem::take(&mut self.names));
+        let names = std::mem::take(&mut self.names);
+        if let Some(Backend::Direct(d)) = &mut self.backend {
+            if d.finalize(&names, self.par).is_ok() {
+                self.state = V2State::Done;
+                return;
+            }
+            self.demote();
+        }
+        let Some(Backend::Session { session, .. }) = &mut self.backend else {
+            unreachable!("complete requires a backend");
+        };
+        session.set_ctx_names(names);
         session.finish();
         self.state = V2State::Done;
     }
@@ -770,24 +1833,28 @@ impl V2Ingest {
         if self.state == V2State::Done {
             return Ok(());
         }
-        if self.session.is_none() {
+        if self.backend.is_none() {
             return Err(V2Error::Truncated { reading: "header" });
         }
+        // Truncation is damage: the session backend owns all damage.
+        self.demote();
         self.carry.clear();
         if let V2State::BlockPayload(_) = self.state {
             // The partial block never arrived in full.
             self.stats.blocks_corrupt += 1;
         }
         if let Some(cur) = self.cur.take() {
-            let session = self.session.as_mut().expect("session exists");
+            let Some(Backend::Session { session, ids }) = &mut self.backend else {
+                unreachable!("demote left a session backend");
+            };
             if cur.raw_left > 0 {
-                append_zeros(session, cur.id, cur.raw_left);
+                append_zeros(session, ids[cur.idx], cur.raw_left);
                 self.stats.raw_bytes_out += cur.raw_left;
                 if !matches!(self.state, V2State::BlockPayload(_)) {
                     self.stats.blocks_corrupt += 1;
                 }
             }
-            session.close_stream(cur.id);
+            session.close_stream(ids[cur.idx]);
         }
         // Streams whose headers never arrived cannot be represented:
         // their cores are unknown. They are simply absent, like a v1
@@ -798,8 +1865,22 @@ impl V2Ingest {
 
     /// A frozen analysis snapshot (available from the first complete
     /// header onward; final once `finish`/`finish_lossy` ran).
+    ///
+    /// A mid-stream snapshot demotes the direct backend: incremental
+    /// snapshots are the session's contract, and the direct backend
+    /// only materializes columns at completion.
     pub fn snapshot(&mut self) -> Option<Arc<Analysis>> {
-        self.session.as_mut().map(|s| s.snapshot())
+        self.backend.as_ref()?;
+        if let Some(Backend::Direct(d)) = &self.backend {
+            if let Some(a) = &d.result {
+                return Some(Arc::clone(a));
+            }
+        }
+        self.demote();
+        match &mut self.backend {
+            Some(Backend::Session { session, .. }) => Some(session.snapshot()),
+            _ => None,
+        }
     }
 }
 

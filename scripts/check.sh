@@ -15,6 +15,15 @@ echo "== clippy redundant_clone over ta =="
 # nursery-grade so it gates only the analysis crate.
 cargo clippy -p ta --all-targets -- -D warnings -D clippy::redundant_clone
 
+echo "== clippy feature matrix over ta =="
+# The v2 reader builds with any subset of {v2-direct, mmap,
+# scan-oracle}; every combination must stay warning-free (the default
+# union is covered by the workspace pass above).
+cargo clippy -p ta --all-targets --no-default-features -- -D warnings
+cargo clippy -p ta --all-targets --no-default-features --features v2-direct -- -D warnings
+cargo clippy -p ta --all-targets --no-default-features --features mmap -- -D warnings
+cargo clippy -p ta --all-targets --no-default-features --features scan-oracle -- -D warnings
+
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
@@ -107,8 +116,12 @@ cargo test -q --test prop_v2_codec
 echo "== trace-volume smoke (v2 container) =="
 # Density gate (<= 6 B/event on dense traces vs 16 raw), a >= 10M-event
 # synthetic written through the streaming V2Writer and decoded through
-# chunked V2Ingest under a peak-RSS budget, and a 5% no-regression gate
-# on the deterministic bytes/event figures. Emits BENCH_volume.json.
+# chunked V2Ingest under a peak-RSS budget and an in-memory <= 100
+# B/event ceiling, decode-throughput floors for the direct path (3x
+# the roundtrip baseline one-shot, 2x chunked), the 100M-event
+# disk-backed point when the projected wall time fits its budget, and
+# a 5% no-regression gate on the deterministic bytes/event figures.
+# Emits BENCH_volume.json.
 cargo run -q --release -p bench --bin volume_smoke
 
 echo "== ta-serve / ta-cli follow smoke =="

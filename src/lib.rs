@@ -66,8 +66,8 @@ pub mod prelude {
     pub use ta::{
         analyze, build_intervals, build_timeline, compute_stats, validate, ActivityKind, Analysis,
         AnalysisBuilder, CsvTable, DecodePolicy, EventFilter, FaultInjector, FaultKind,
-        ImageIngest, IngestSession, LossReport, RenderOptions, Report, ReportKind, SvgOptions,
-        TraceImage,
+        ImageIngest, IngestSession, LossReport, MappedImage, Parallelism, RenderOptions, Report,
+        ReportKind, SvgOptions, TraceImage,
     };
     pub use workloads::{
         run_workload, Buffering, DmaSweepConfig, DmaSweepWorkload, EventRateConfig,

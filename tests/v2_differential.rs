@@ -3,9 +3,14 @@
 //! `PDT2` container and re-analyzed must produce **byte-identical**
 //! products to the v1 path — one-shot ([`V2Trace`]) and streamed
 //! ([`V2Ingest`], chunk boundaries everywhere), across `Serial` and
-//! `Workers(4)` — because both decode paths reconstruct the exact v1
-//! record bytes (clean runs re-encoded canonically, gap bytes carried
-//! verbatim) and feed them through the same `IngestSession`.
+//! `Workers(4)`. The container now has **two readers**: the default
+//! direct-to-columns decoder (payloads land straight in
+//! `EventColumns`, merged at block granularity) and the v1-roundtrip
+//! oracle (clean runs re-encoded canonically, gap bytes carried
+//! verbatim, fed through `IngestSession`). This suite differentials
+//! the fast path against the oracle — products *and* codec stats —
+//! on every golden, and pins that `MappedImage` (mmap-backed) and
+//! heap-read images decode identically.
 //!
 //! Also pins the block-skip acceptance criterion: a windowed query
 //! decodes only the packed blocks whose footer time range overlaps
@@ -13,8 +18,10 @@
 //! against a directory walk), and returns exactly the events
 //! [`EventFilter`] selects from the full analysis.
 
+use proptest::prelude::*;
+
 use pdt::v2::{pack, unpack, Anchoring, BlockKind, DEFAULT_BLOCK_RECORDS, FLAG_UNPLACED};
-use ta::{Analysis, EventFilter, Parallelism, V2Ingest, V2Trace};
+use ta::{Analysis, EventFilter, MappedImage, Parallelism, V2Ingest, V2Trace};
 
 #[path = "common/goldens.rs"]
 mod goldens;
@@ -226,5 +233,154 @@ fn windowed_query_decodes_only_overlapping_blocks() {
             wq.stats.blocks_decoded < v2.file().total_blocks(),
             "{name}: interior window decoded everything"
         );
+    }
+}
+
+/// The direct-to-columns fast path is differentialed against the
+/// v1-roundtrip oracle explicitly: identical products **and**
+/// identical [`pdt::CodecStats`] — the fast path must account for
+/// every block, record, payload byte and reconstructed raw byte
+/// exactly as the oracle does, on every golden, at small and default
+/// block sizes, serial and parallel.
+#[test]
+fn v2_direct_decode_matches_roundtrip_oracle() {
+    for name in GOLDEN {
+        let trace = golden(name);
+        for br in [BLOCK_RECORDS, DEFAULT_BLOCK_RECORDS] {
+            let image = pack(&trace, br);
+            let v2 = V2Trace::parse(&image).unwrap();
+            for par in PARS {
+                let (oracle, oracle_stats) = v2.analyze_roundtrip(par);
+                let (fast, fast_stats) = v2.analyze(par);
+                assert_eq!(
+                    fast_stats, oracle_stats,
+                    "{name} @{br} {par:?}: codec stats diverge"
+                );
+                oracle.build_products(par);
+                fast.build_products(par);
+                assert_products_eq(&oracle, &fast, &format!("{name} @{br} {par:?} direct"));
+            }
+        }
+    }
+}
+
+/// The chunked reader's codec stats match the one-shot oracle on a
+/// clean image: every block decoded (none skipped, none corrupt), the
+/// same record and byte totals — whichever backend (direct or
+/// session) the build selected.
+#[test]
+fn v2_chunked_stats_match_roundtrip_oracle() {
+    for name in GOLDEN {
+        let trace = golden(name);
+        let image = pack(&trace, BLOCK_RECORDS);
+        let v2 = V2Trace::parse(&image).unwrap();
+        let (_, oracle_stats) = v2.analyze_roundtrip(Parallelism::Serial);
+
+        let mut ing = V2Ingest::new();
+        for chunk in image.chunks(512) {
+            ing.push(chunk).unwrap();
+        }
+        ing.finish().unwrap();
+        assert_eq!(ing.stats(), oracle_stats, "{name}: chunked stats diverge");
+        assert_eq!(
+            ing.stats().blocks_decoded,
+            v2.file().total_blocks(),
+            "{name}: chunked ingest must decode every block"
+        );
+    }
+}
+
+/// A snapshot taken **mid-stream** (which demotes the direct backend
+/// to the incremental session, replaying everything decoded so far)
+/// must not disturb the final result: the run still completes and the
+/// products stay byte-identical to the v1 reference.
+#[test]
+fn mid_stream_snapshot_keeps_products_exact() {
+    for name in GOLDEN {
+        let trace = golden(name);
+        let reference = Analysis::of(&trace)
+            .parallelism(Parallelism::Serial)
+            .run()
+            .unwrap();
+        reference.build_products(Parallelism::Serial);
+        let image = pack(&trace, BLOCK_RECORDS);
+
+        // Snapshot at several interior cut points, including very
+        // early (header only) and late (footer in flight).
+        for frac in [8usize, 2, 1] {
+            let cut = (image.len() - 1) / frac;
+            let mut ing = V2Ingest::new();
+            ing.push(&image[..cut]).unwrap();
+            // Mid-stream observation: may legitimately see a partial
+            // prefix of the events, but must never error or panic.
+            if let Some(partial) = ing.snapshot() {
+                assert!(
+                    partial.events().len() <= reference.events().len(),
+                    "{name} @1/{frac}: snapshot invented events"
+                );
+            }
+            ing.push(&image[cut..]).unwrap();
+            ing.finish().unwrap();
+            assert_eq!(
+                ing.stats().blocks_corrupt,
+                0,
+                "{name} @1/{frac}: clean image, corrupt blocks"
+            );
+            let a = ing.snapshot().expect("snapshot after finish");
+            a.build_products(Parallelism::Serial);
+            assert_products_eq(&reference, &a, &format!("{name} snapshot@1/{frac}"));
+        }
+    }
+}
+
+/// Every golden `.pdt2`, loaded through [`MappedImage::open`] (the
+/// mmap-backed loader `ta-cli` uses), analyzes byte-identically to the
+/// same image read onto the heap.
+#[test]
+fn mapped_golden_images_analyze_identically() {
+    let dir = std::env::temp_dir();
+    for name in GOLDEN {
+        let image = golden_v2_bytes(name);
+        let path = dir.join(format!("ta-map-golden-{}-{name}2", std::process::id()));
+        std::fs::write(&path, &image).unwrap();
+        let mapped = MappedImage::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(mapped.bytes(), &image[..], "{name}: loader changed bytes");
+
+        let heap = MappedImage::from_vec(image);
+        let (a, astats) = V2Trace::parse(&mapped)
+            .unwrap()
+            .analyze(Parallelism::Serial);
+        let (b, bstats) = V2Trace::parse(&heap).unwrap().analyze(Parallelism::Serial);
+        assert_eq!(astats, bstats, "{name}: stats diverge across loaders");
+        assert_eq!(a.events(), b.events(), "{name}: events diverge");
+        assert_eq!(a.loss(), b.loss(), "{name}: loss diverges");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// [`MappedImage::open`] returns exactly the bytes on disk for
+    /// arbitrary contents (including empty files), byte-identical to
+    /// the heap loader — so analyses over either representation can
+    /// never diverge.
+    #[test]
+    fn mapped_image_is_byte_identical_to_heap(
+        bytes in prop::collection::vec(any::<u8>(), 0..4096),
+        salt in any::<u32>(),
+    ) {
+        let path = std::env::temp_dir().join(format!(
+            "ta-map-prop-{}-{salt:08x}.bin",
+            std::process::id()
+        ));
+        std::fs::write(&path, &bytes).unwrap();
+        let mapped = MappedImage::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(mapped.len(), bytes.len());
+        prop_assert_eq!(mapped.bytes(), &bytes[..]);
+        let heap = MappedImage::from_vec(bytes);
+        prop_assert_eq!(mapped.bytes(), heap.bytes());
     }
 }

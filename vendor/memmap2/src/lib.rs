@@ -1,0 +1,90 @@
+//! Offline stand-in for the `memmap2` crate (see `vendor/README.md`).
+//!
+//! The real crate maps a file into the address space with `mmap(2)`;
+//! this workspace forbids `unsafe`, so the stub reads the file onto
+//! the heap once and hands out the same `Deref<Target = [u8]>`
+//! surface. Callers get identical semantics for a read-only mapping
+//! of a file that does not change underneath them — the only property
+//! this workspace relies on — while the paging benefit of a true map
+//! waits on the real crate.
+//!
+//! The `map` constructor mirrors the upstream signature minus its
+//! `unsafe` qualifier: upstream marks it `unsafe` because a mapped
+//! file mutated by another process breaks Rust's aliasing rules,
+//! which a heap copy cannot.
+
+use std::fs::File;
+use std::io::Read;
+use std::ops::Deref;
+
+/// An immutable memory map of a file (heap-backed in this stub).
+pub struct Mmap {
+    bytes: Vec<u8>,
+}
+
+impl Mmap {
+    /// Maps the whole file read-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be read.
+    pub fn map(file: &File) -> std::io::Result<Mmap> {
+        let mut bytes = Vec::new();
+        let mut f = file;
+        f.read_to_end(&mut bytes)?;
+        Ok(Mmap { bytes })
+    }
+
+    /// The mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the mapped file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("memmap2_stub_test.bin");
+        let payload = b"hello mapped world";
+        {
+            let mut f = File::create(&path).expect("create");
+            f.write_all(payload).expect("write");
+        }
+        let f = File::open(&path).expect("open");
+        let m = Mmap::map(&f).expect("map");
+        assert_eq!(&m[..], payload);
+        assert_eq!(m.len(), payload.len());
+        assert!(!m.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}
